@@ -1,0 +1,260 @@
+//! Event studies: Heartbleed (§4.1) and Cisco end-of-life (§4.2, Figure 7).
+
+use crate::timeseries::Series;
+use wk_cert::MonthDate;
+use wk_scan::HEARTBLEED;
+
+/// Result of testing a series for a Heartbleed-timed drop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeartbleedImpact {
+    /// The largest vulnerable-count drop in the whole series.
+    pub largest_vulnerable_drop: i64,
+    /// The largest total-count drop in the whole series.
+    pub largest_total_drop: i64,
+    /// Whether the largest vulnerable drop lands on the Heartbleed boundary
+    /// (the scan-over-scan step that straddles April 2014).
+    pub vulnerable_drop_at_heartbleed: bool,
+    /// Whether the largest total drop lands there too.
+    pub total_drop_at_heartbleed: bool,
+}
+
+/// Does the step from `from` to `to` straddle the Heartbleed month?
+fn straddles_heartbleed(from: MonthDate, to: MonthDate) -> bool {
+    from <= HEARTBLEED && to >= HEARTBLEED
+}
+
+/// Analyze a series for Heartbleed-correlated drops.
+pub fn heartbleed_impact(series: &Series) -> HeartbleedImpact {
+    let vuln = series.largest_vulnerable_drop();
+    let total = series.largest_total_drop();
+    HeartbleedImpact {
+        largest_vulnerable_drop: vuln.map(|(_, _, d)| d).unwrap_or(0),
+        largest_total_drop: total.map(|(_, _, d)| d).unwrap_or(0),
+        vulnerable_drop_at_heartbleed: vuln
+            .map(|(f, t, d)| d > 0 && straddles_heartbleed(f, t))
+            .unwrap_or(false),
+        total_drop_at_heartbleed: total
+            .map(|(f, t, d)| d > 0 && straddles_heartbleed(f, t))
+            .unwrap_or(false),
+    }
+}
+
+/// Result of the end-of-life event study for one model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EolImpact {
+    /// Announcement month.
+    pub announced: MonthDate,
+    /// Average month-over-month change in total hosts before announcement.
+    pub slope_before: f64,
+    /// Average month-over-month change after announcement.
+    pub slope_after: f64,
+}
+
+impl EolImpact {
+    /// The paper's claim: announcements "mark the beginning of a slow
+    /// decrease" — growth (or flat) before, decline after.
+    pub fn marks_decline(&self) -> bool {
+        self.slope_after < 0.0 && self.slope_before > self.slope_after
+    }
+}
+
+/// Compare a model's population slope before and after its EOL
+/// announcement.
+pub fn eol_impact(series: &Series, announced: MonthDate) -> EolImpact {
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    for w in series.points.windows(2) {
+        let span = w[1].date.months_since(w[0].date).max(1) as f64;
+        let slope = (w[1].total as f64 - w[0].total as f64) / span;
+        if w[1].date <= announced {
+            before.push(slope);
+        } else if w[0].date >= announced {
+            after.push(slope);
+        }
+    }
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    EolImpact {
+        announced,
+        slope_before: avg(&before),
+        slope_after: avg(&after),
+    }
+}
+
+/// A visible discontinuity at a scan-source boundary — the Figure 1
+/// caption's "artifacts from the different scan methodologies used by each
+/// team are clearly visible".
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceArtifact {
+    /// Last month of the earlier source.
+    pub from: MonthDate,
+    /// First month of the later source.
+    pub to: MonthDate,
+    /// Total-host ratio across the boundary (later / earlier).
+    pub total_ratio: f64,
+}
+
+/// Find total-count discontinuities at source handover boundaries. A
+/// boundary is reported when the step across it deviates from 1.0 by more
+/// than `threshold` (e.g. 0.03 = 3%) **beyond** the series' typical
+/// within-source step, so ordinary growth isn't misreported.
+pub fn source_artifacts(series: &Series, threshold: f64) -> Vec<SourceArtifact> {
+    // Typical within-source month-over-month ratio deviation.
+    let mut within: Vec<f64> = Vec::new();
+    for w in series.points.windows(2) {
+        if w[0].source == w[1].source && w[0].total > 0 {
+            within.push((w[1].total as f64 / w[0].total as f64 - 1.0).abs());
+        }
+    }
+    let typical = if within.is_empty() {
+        0.0
+    } else {
+        within.iter().sum::<f64>() / within.len() as f64
+    };
+
+    series
+        .points
+        .windows(2)
+        .filter(|w| w[0].source != w[1].source && w[0].total > 0)
+        .filter_map(|w| {
+            let ratio = w[1].total as f64 / w[0].total as f64;
+            ((ratio - 1.0).abs() > typical + threshold).then(|| SourceArtifact {
+                from: w[0].date,
+                to: w[1].date,
+                total_ratio: ratio,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::SeriesPoint;
+    use wk_scan::ScanSource;
+
+    fn series(points: &[(u16, u8, usize, usize)]) -> Series {
+        Series {
+            name: "test".into(),
+            points: points
+                .iter()
+                .map(|&(y, m, total, vulnerable)| SeriesPoint {
+                    date: MonthDate::new(y, m),
+                    source: ScanSource::Rapid7,
+                    total,
+                    vulnerable,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn heartbleed_drop_detected() {
+        let s = series(&[
+            (2014, 2, 1000, 300),
+            (2014, 3, 1010, 305),
+            (2014, 5, 700, 200), // the cliff straddles 2014-04
+            (2014, 6, 690, 198),
+        ]);
+        let impact = heartbleed_impact(&s);
+        assert!(impact.vulnerable_drop_at_heartbleed);
+        assert!(impact.total_drop_at_heartbleed);
+        assert_eq!(impact.largest_vulnerable_drop, 105);
+        assert_eq!(impact.largest_total_drop, 310);
+    }
+
+    #[test]
+    fn unrelated_drop_not_attributed() {
+        let s = series(&[
+            (2012, 1, 1000, 300),
+            (2012, 2, 500, 100), // big early drop
+            (2014, 3, 490, 95),
+            (2014, 5, 480, 90), // tiny drop at Heartbleed
+        ]);
+        let impact = heartbleed_impact(&s);
+        assert!(!impact.vulnerable_drop_at_heartbleed);
+    }
+
+    #[test]
+    fn rising_series_no_drop_attribution() {
+        let s = series(&[(2014, 3, 10, 1), (2014, 5, 20, 5)]);
+        let impact = heartbleed_impact(&s);
+        assert!(!impact.vulnerable_drop_at_heartbleed);
+        assert!(impact.largest_vulnerable_drop <= 0);
+    }
+
+    fn series_with_sources(points: &[(u16, u8, usize, ScanSource)]) -> Series {
+        Series {
+            name: "test".into(),
+            points: points
+                .iter()
+                .map(|&(y, m, total, source)| SeriesPoint {
+                    date: MonthDate::new(y, m),
+                    source,
+                    total,
+                    vulnerable: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn source_boundary_jump_detected() {
+        use ScanSource::*;
+        let s = series_with_sources(&[
+            (2013, 7, 1000, Ecosystem),
+            (2013, 8, 1010, Ecosystem),
+            (2013, 9, 1020, Ecosystem),
+            (2013, 10, 940, Rapid7), // 8% drop at handover: methodology artifact
+            (2013, 11, 948, Rapid7),
+        ]);
+        let artifacts = source_artifacts(&s, 0.03);
+        assert_eq!(artifacts.len(), 1);
+        assert_eq!(artifacts[0].from, MonthDate::new(2013, 9));
+        assert_eq!(artifacts[0].to, MonthDate::new(2013, 10));
+        assert!(artifacts[0].total_ratio < 0.95);
+    }
+
+    #[test]
+    fn smooth_handover_not_reported() {
+        use ScanSource::*;
+        let s = series_with_sources(&[
+            (2013, 8, 1000, Ecosystem),
+            (2013, 9, 1010, Ecosystem),
+            (2013, 10, 1020, Rapid7), // same growth rate across boundary
+            (2013, 11, 1030, Rapid7),
+        ]);
+        assert!(source_artifacts(&s, 0.03).is_empty());
+    }
+
+    #[test]
+    fn eol_slope_change() {
+        let s = series(&[
+            (2014, 1, 100, 0),
+            (2014, 2, 110, 0),
+            (2014, 3, 120, 0), // announcement here
+            (2014, 4, 115, 0),
+            (2014, 5, 110, 0),
+        ]);
+        let impact = eol_impact(&s, MonthDate::new(2014, 3));
+        assert!(impact.slope_before > 0.0);
+        assert!(impact.slope_after < 0.0);
+        assert!(impact.marks_decline());
+    }
+
+    #[test]
+    fn eol_growth_after_not_decline() {
+        let s = series(&[
+            (2014, 1, 100, 0),
+            (2014, 3, 90, 0),
+            (2014, 5, 120, 0),
+        ]);
+        let impact = eol_impact(&s, MonthDate::new(2014, 3));
+        assert!(!impact.marks_decline());
+    }
+}

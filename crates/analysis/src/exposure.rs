@@ -1,0 +1,130 @@
+//! Passive-decryption exposure (§2.1).
+//!
+//! "74% of the 61,240 vulnerable devices present in our most recent scan
+//! data from April 2016 only support RSA key exchange, making them
+//! vulnerable to passive decryption by an attacker who is able to observe
+//! network traffic." A host negotiating (EC)DHE is only exposed to an
+//! *active* man-in-the-middle even when its certificate key is factored;
+//! RSA-key-exchange-only hosts leak every recorded session.
+
+use std::collections::HashSet;
+use wk_cert::MonthDate;
+use wk_scan::{ModulusId, StudyDataset};
+
+/// Exposure breakdown of the vulnerable hosts in one scan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExposureReport {
+    /// Scan date.
+    pub date: Option<MonthDate>,
+    /// Hosts serving a factored key.
+    pub vulnerable_hosts: usize,
+    /// Of those, hosts supporting only RSA key exchange — passively
+    /// decryptable.
+    pub passively_decryptable: usize,
+}
+
+impl ExposureReport {
+    /// Fraction of vulnerable hosts exposed to passive decryption.
+    pub fn passive_fraction(&self) -> f64 {
+        self.passively_decryptable as f64 / self.vulnerable_hosts.max(1) as f64
+    }
+}
+
+/// Compute the exposure report for the most recent HTTPS scan (the paper's
+/// April 2016 snapshot), or for a specific month when given.
+pub fn passive_exposure(
+    dataset: &StudyDataset,
+    vulnerable: &HashSet<ModulusId>,
+    at: Option<MonthDate>,
+) -> ExposureReport {
+    let scan = match at {
+        Some(date) => dataset.https_scans().find(|s| s.date == date),
+        None => dataset.https_scans().last(),
+    };
+    let Some(scan) = scan else {
+        return ExposureReport::default();
+    };
+    let mut report = ExposureReport {
+        date: Some(scan.date),
+        ..Default::default()
+    };
+    for rec in &scan.records {
+        if vulnerable.contains(&rec.modulus) {
+            report.vulnerable_hosts += 1;
+            if rec.rsa_kex_only {
+                report.passively_decryptable += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wk_bigint::Natural;
+    use wk_cert::SubjectStyle;
+    use wk_scan::{
+        CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan, ScanSource,
+    };
+
+    fn dataset() -> (StudyDataset, HashSet<ModulusId>) {
+        let mut moduli = ModulusStore::default();
+        let mut certs = CertStore::default();
+        let weak_n = Natural::from(33u64);
+        let clean_n = Natural::from(323u64);
+        let weak = moduli.intern(&weak_n);
+        let clean = moduli.intern(&clean_n);
+        let wc = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            1,
+            1,
+            weak_n,
+            MonthDate::new(2016, 4),
+        ));
+        let cc = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            2,
+            2,
+            clean_n,
+            MonthDate::new(2016, 4),
+        ));
+        let rec = |ip, cert, modulus, rsa_only| HostRecord {
+            ip,
+            certs: vec![cert],
+            modulus,
+            rsa_kex_only: rsa_only,
+        };
+        let scans = vec![Scan {
+            date: MonthDate::new(2016, 4),
+            source: ScanSource::Censys,
+            protocol: Protocol::Https,
+            records: vec![
+                rec(1, wc, weak, true),
+                rec(2, wc, weak, true),
+                rec(3, wc, weak, false),
+                rec(4, cc, clean, true), // clean host: not counted
+            ],
+        }];
+        (
+            StudyDataset { scans, certs, moduli, truth: GroundTruth::default() },
+            [weak].into_iter().collect(),
+        )
+    }
+
+    #[test]
+    fn exposure_counts_only_vulnerable_hosts() {
+        let (ds, vuln) = dataset();
+        let r = passive_exposure(&ds, &vuln, None);
+        assert_eq!(r.vulnerable_hosts, 3);
+        assert_eq!(r.passively_decryptable, 2);
+        assert!((r.passive_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.date, Some(MonthDate::new(2016, 4)));
+    }
+
+    #[test]
+    fn missing_month_empty_report() {
+        let (ds, vuln) = dataset();
+        let r = passive_exposure(&ds, &vuln, Some(MonthDate::new(2012, 1)));
+        assert_eq!(r.vulnerable_hosts, 0);
+        assert_eq!(r.passive_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Dataset-wide vendor labeling.
+//!
+//! Combines the two labeling mechanisms of §3.3: certificate-subject rules
+//! for certificates that carry a marker, and shared-prime extrapolation for
+//! those that don't (IP-octet Fritz!Boxes, IBM's customer-named certs).
+
+use std::collections::HashMap;
+use wk_fingerprint::{extrapolate, identify_vendor, FactoredModulus, PrimeClique, VendorOverlap};
+use wk_scan::{CertId, ModulusId, StudyDataset, VendorId};
+
+/// The complete labeling of a dataset.
+#[derive(Clone, Debug, Default)]
+pub struct Labeling {
+    /// Vendor per certificate, where identified (by subject or via the
+    /// certificate's modulus being prime-linked to a vendor).
+    pub cert_vendor: HashMap<CertId, VendorId>,
+    /// Vendor per modulus (union of subject-derived and extrapolated).
+    pub modulus_vendor: HashMap<ModulusId, VendorId>,
+    /// Certificates labeled only thanks to shared primes.
+    pub extrapolated_certs: usize,
+    /// Cross-vendor overlaps: shared primes claimed by two vendors
+    /// (Xerox/Dell) and clique moduli served under another vendor's subject
+    /// (IBM/Siemens — there `prime` holds the full shared modulus).
+    pub overlaps: Vec<VendorOverlap>,
+}
+
+/// Label every certificate and modulus in the dataset.
+///
+/// `factored` is the batch-GCD output (only factored moduli can participate
+/// in prime extrapolation).
+pub fn label_dataset(dataset: &StudyDataset, factored: &[FactoredModulus]) -> Labeling {
+    label_dataset_with_cliques(dataset, factored, &[])
+}
+
+/// Like [`label_dataset`], additionally applying known-prime-clique labels
+/// *before* extrapolation — the paper's §3.3.1 IBM identification, where
+/// moduli built from the nine known primes are labeled IBM even though
+/// their certificates never name IBM. Subject-derived labels still win for
+/// moduli that have one (this is what surfaces the IBM/Siemens overlap).
+pub fn label_dataset_with_cliques(
+    dataset: &StudyDataset,
+    factored: &[FactoredModulus],
+    clique_labels: &[(PrimeClique, VendorId)],
+) -> Labeling {
+    let mut cert_vendor: HashMap<CertId, VendorId> = HashMap::new();
+    let mut modulus_vendor: HashMap<ModulusId, VendorId> = HashMap::new();
+    let mut clique_overlaps: Vec<VendorOverlap> = Vec::new();
+
+    // Pass 1: known-clique labels. At the *modulus* level the clique
+    // fingerprint is authoritative — a nine-prime modulus is an IBM key
+    // regardless of whose certificate serves it (§3.3.1).
+    for (clique, vendor) in clique_labels {
+        for &mid in &clique.moduli {
+            modulus_vendor.insert(mid, *vendor);
+        }
+    }
+
+    // Pass 2: subject rules. A modulus inherits the vendor of any
+    // subject-identified certificate carrying it — unless a clique already
+    // claims it, in which case the disagreement is the IBM/Siemens-style
+    // overlap the paper investigates by hand.
+    for (cert_id, cert) in dataset.certs.iter() {
+        if let Some(label) = identify_vendor(cert) {
+            cert_vendor.insert(cert_id, label.vendor);
+            if let Some(mid) = dataset.moduli.lookup(&cert.modulus) {
+                match modulus_vendor.get(&mid) {
+                    Some(&existing) if existing != label.vendor => {
+                        if !clique_overlaps.iter().any(|o| {
+                            o.vendors.contains(&existing) && o.vendors.contains(&label.vendor)
+                        }) {
+                            clique_overlaps.push(VendorOverlap {
+                                prime: cert.modulus.clone(),
+                                vendors: vec![existing, label.vendor],
+                            });
+                        }
+                    }
+                    Some(_) => {}
+                    None => {
+                        modulus_vendor.insert(mid, label.vendor);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: prime-pool extrapolation over the factored moduli.
+    let result = extrapolate(factored, &modulus_vendor);
+    for (mid, vendor) in &result.extrapolated {
+        modulus_vendor.insert(*mid, *vendor);
+    }
+
+    // Pass 4: push extrapolated modulus labels back onto unlabeled certs.
+    let mut extrapolated_certs = 0;
+    for (cert_id, cert) in dataset.certs.iter() {
+        if cert_vendor.contains_key(&cert_id) {
+            continue;
+        }
+        if let Some(mid) = dataset.moduli.lookup(&cert.modulus) {
+            if let Some(&vendor) = modulus_vendor.get(&mid) {
+                cert_vendor.insert(cert_id, vendor);
+                extrapolated_certs += 1;
+            }
+        }
+    }
+
+    let mut overlaps = result.overlaps;
+    overlaps.extend(clique_overlaps);
+    Labeling {
+        cert_vendor,
+        modulus_vendor,
+        extrapolated_certs,
+        overlaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Labeling is exercised end-to-end (simulated study -> batch GCD ->
+    // labels -> scored against ground truth) in tests/pipeline.rs; the unit
+    // tests here cover the pure plumbing with a synthetic dataset.
+    use super::*;
+    use wk_bigint::Natural;
+    use wk_cert::{MonthDate, SubjectStyle};
+    use wk_scan::{CertStore, GroundTruth, ModulusStore, Protocol, Scan, ScanSource};
+
+    fn tiny_dataset() -> (StudyDataset, Vec<FactoredModulus>) {
+        let mut moduli = ModulusStore::default();
+        let mut certs = CertStore::default();
+        // Juniper cert with modulus 3*11; an IP-octet cert with 3*13
+        // (same pool prime 3 -> extrapolation should label it Juniper).
+        let n1 = Natural::from(33u64);
+        let n2 = Natural::from(39u64);
+        let m1 = moduli.intern(&n1);
+        let m2 = moduli.intern(&n2);
+        let c1 = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            1,
+            1,
+            n1,
+            MonthDate::new(2012, 1),
+        ));
+        let _c2 = certs.intern(
+            SubjectStyle::IpOctetsOnly { ip: [10, 0, 0, 1] }.certificate(
+                2,
+                2,
+                n2,
+                MonthDate::new(2012, 1),
+            ),
+        );
+        let dataset = StudyDataset {
+            scans: vec![Scan {
+                date: MonthDate::new(2012, 1),
+                source: ScanSource::Ecosystem,
+                protocol: Protocol::Https,
+                records: vec![],
+            }],
+            certs,
+            moduli,
+            truth: GroundTruth::default(),
+        };
+        let factored = vec![
+            FactoredModulus { id: m1, p: Natural::from(3u64), q: Natural::from(11u64) },
+            FactoredModulus { id: m2, p: Natural::from(3u64), q: Natural::from(13u64) },
+        ];
+        let _ = c1;
+        (dataset, factored)
+    }
+
+    #[test]
+    fn subject_then_extrapolation_then_cert_backfill() {
+        let (dataset, factored) = tiny_dataset();
+        let labeling = label_dataset(&dataset, &factored);
+        // Both moduli labeled Juniper; the IP-octet cert gained a label.
+        assert_eq!(labeling.modulus_vendor.len(), 2);
+        assert!(labeling
+            .modulus_vendor
+            .values()
+            .all(|&v| v == VendorId::Juniper));
+        assert_eq!(labeling.cert_vendor.len(), 2);
+        assert_eq!(labeling.extrapolated_certs, 1);
+        assert!(labeling.overlaps.is_empty());
+    }
+
+    #[test]
+    fn no_factored_no_extrapolation() {
+        let (dataset, _) = tiny_dataset();
+        let labeling = label_dataset(&dataset, &[]);
+        assert_eq!(labeling.cert_vendor.len(), 1); // only the Juniper subject
+        assert_eq!(labeling.extrapolated_certs, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # wk-analysis — longitudinal analysis over simulated scan data
+//!
+//! §4 of the paper, as code: consume a [`wk_scan::StudyDataset`] plus the
+//! batch-GCD vulnerable set and produce every table and figure series.
+//!
+//! * [`labeling`] — combine subject rules with shared-prime extrapolation
+//!   into a dataset-wide vendor labeling;
+//! * [`timeseries`] — per-scan total/vulnerable host series (Figures 1,
+//!   3-6, 8-10), with leaf selection for Rapid7 chains;
+//! * [`transitions`] — per-IP vulnerable/clean transition analysis (§4.1);
+//! * [`events`] — Heartbleed drop attribution and Cisco EOL slope studies;
+//! * [`tables`] — Tables 1, 3, 4, and 5 builders;
+//! * [`report`] — plain-text rendering matching the paper's rows.
+//!
+//! This crate never reads the simulator's ground truth; tests score its
+//! outputs against ground truth from outside.
+
+pub mod events;
+pub mod exposure;
+pub mod labeling;
+pub mod report;
+pub mod tables;
+pub mod timeseries;
+pub mod transitions;
+
+pub use events::{
+    eol_impact, heartbleed_impact, source_artifacts, EolImpact, HeartbleedImpact,
+    SourceArtifact,
+};
+pub use exposure::{passive_exposure, ExposureReport};
+pub use labeling::{label_dataset, Labeling};
+pub use tables::{
+    dataset_totals, first_last_scan_summary, openssl_table, protocol_table, DatasetTotals,
+    ProtocolRow, ScanSummary,
+};
+pub use timeseries::{
+    aggregate_series, model_series, record_leaf, vendor_series, Series, SeriesPoint,
+};
+pub use transitions::{rekey_vs_churn, vendor_transitions, RekeyReport, TransitionReport};

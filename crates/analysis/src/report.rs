@@ -1,0 +1,283 @@
+//! Text rendering of tables and figure series, matching the rows the paper
+//! reports. Used by the `repro` binary and EXPERIMENTS.md generation.
+
+use crate::tables::{DatasetTotals, ProtocolRow, ScanSummary};
+use crate::timeseries::Series;
+use crate::transitions::TransitionReport;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use wk_fingerprint::{OpensslClass, OpensslVerdict};
+use wk_scan::VendorId;
+
+/// Render Table 1.
+pub fn render_table1(t: &DatasetTotals) -> String {
+    let mut s = String::new();
+    let mut row = |k: &str, v: String| {
+        let _ = writeln!(s, "{k:<38} {v:>14}");
+    };
+    row("HTTPS host records", t.https_host_records.to_string());
+    row("Distinct HTTPS certificates", t.distinct_https_certificates.to_string());
+    row("Distinct HTTPS moduli", t.distinct_https_moduli.to_string());
+    row("Total distinct RSA moduli", t.total_distinct_moduli.to_string());
+    row("Vulnerable RSA moduli", format!(
+        "{} ({:.2}%)",
+        t.vulnerable_moduli,
+        100.0 * t.vulnerable_fraction()
+    ));
+    row(
+        "Vulnerable HTTPS host records",
+        t.vulnerable_https_host_records.to_string(),
+    );
+    row(
+        "Vulnerable HTTPS certificates",
+        t.vulnerable_https_certificates.to_string(),
+    );
+    s
+}
+
+/// Render Table 3 (two scan summaries side by side).
+pub fn render_table3(first: &ScanSummary, last: &ScanSummary) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<24} {:>16} {:>16}", "", first.label, last.label);
+    let mut row = |k: &str, a: usize, b: usize| {
+        let _ = writeln!(s, "{k:<24} {a:>16} {b:>16}");
+    };
+    row("TLS Handshakes", first.handshakes, last.handshakes);
+    row(
+        "Distinct Certificates",
+        first.distinct_certificates,
+        last.distinct_certificates,
+    );
+    row("Distinct RSA Keys", first.distinct_keys, last.distinct_keys);
+    s
+}
+
+/// Render Table 4.
+pub fn render_table4(rows: &[ProtocolRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} {:>10} {:>14} {:>12} {:>16}",
+        "Proto", "Date", "Total hosts", "RSA hosts", "Vulnerable"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>10} {:>14} {:>12} {:>16}",
+            r.protocol.name(),
+            r.date,
+            r.total_hosts,
+            r.rsa_hosts,
+            r.vulnerable_hosts
+        );
+    }
+    s
+}
+
+/// Render Table 5.
+pub fn render_table5(table: &BTreeMap<VendorId, OpensslVerdict>) -> String {
+    let mut satisfy = Vec::new();
+    let mut not = Vec::new();
+    let mut inconclusive = Vec::new();
+    for (vendor, verdict) in table {
+        let line = format!(
+            "{} ({}/{} primes satisfy)",
+            vendor.name(),
+            verdict.satisfying,
+            verdict.primes_examined
+        );
+        match verdict.class {
+            OpensslClass::LikelyOpenssl => satisfy.push(line),
+            OpensslClass::NotOpenssl => not.push(line),
+            OpensslClass::Inconclusive => inconclusive.push(line),
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "Satisfy OpenSSL fingerprint:");
+    for l in satisfy {
+        let _ = writeln!(s, "  {l}");
+    }
+    let _ = writeln!(s, "Do not satisfy:");
+    for l in not {
+        let _ = writeln!(s, "  {l}");
+    }
+    if !inconclusive.is_empty() {
+        let _ = writeln!(s, "Inconclusive (too few primes):");
+        for l in inconclusive {
+            let _ = writeln!(s, "  {l}");
+        }
+    }
+    s
+}
+
+/// Render a figure series as a date/source/total/vulnerable table.
+pub fn render_series(series: &Series) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {}", series.name);
+    let _ = writeln!(
+        s,
+        "{:<10} {:<10} {:>10} {:>12}",
+        "date", "source", "total", "vulnerable"
+    );
+    for p in &series.points {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<10} {:>10} {:>12}",
+            p.date.to_string(),
+            p.source.name(),
+            p.total,
+            p.vulnerable
+        );
+    }
+    s
+}
+
+/// Render a series as two aligned ASCII sparklines (total above,
+/// vulnerable below) — the visual shape of the paper's figures in a
+/// terminal. Each column is one scan; heights are normalized per row.
+pub fn render_sparkline(series: &Series) -> String {
+    const LEVELS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let spark = |values: &[usize]| -> String {
+        let max = values.iter().copied().max().unwrap_or(0).max(1);
+        values
+            .iter()
+            .map(|&v| {
+                let idx = (v * (LEVELS.len() - 1) + max / 2) / max;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    };
+    let totals: Vec<usize> = series.points.iter().map(|p| p.total).collect();
+    let vulns: Vec<usize> = series.points.iter().map(|p| p.vulnerable).collect();
+    let first = series.points.first();
+    let last = series.points.last();
+    let range = match (first, last) {
+        (Some(f), Some(l)) => format!("{} .. {}", f.date, l.date),
+        _ => String::new(),
+    };
+    format!(
+        "{name} [{range}]\n  total      |{t}| peak {tp}\n  vulnerable |{v}| peak {vp}\n",
+        name = series.name,
+        t = spark(&totals),
+        tp = totals.iter().max().unwrap_or(&0),
+        v = spark(&vulns),
+        vp = vulns.iter().max().unwrap_or(&0),
+    )
+}
+
+/// Render a transition report (the §4.1 Juniper analysis).
+pub fn render_transitions(vendor: &str, r: &TransitionReport) -> String {
+    format!(
+        "{vendor}: {} IPs ever seen, {} ever vulnerable; transitions: \
+         {} vulnerable->clean, {} clean->vulnerable, {} multiple, {} stable\n",
+        r.ips_ever_seen,
+        r.ips_ever_vulnerable,
+        r.vuln_to_clean,
+        r.clean_to_vuln,
+        r.multiple_transitions,
+        r.stable
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::SeriesPoint;
+    use wk_cert::MonthDate;
+    use wk_scan::{Protocol, ScanSource};
+
+    #[test]
+    fn table1_rendering_contains_all_rows() {
+        let t = DatasetTotals {
+            https_host_records: 100,
+            distinct_https_certificates: 50,
+            distinct_https_moduli: 40,
+            total_distinct_moduli: 60,
+            vulnerable_moduli: 3,
+            vulnerable_https_host_records: 7,
+            vulnerable_https_certificates: 4,
+        };
+        let out = render_table1(&t);
+        for needle in ["HTTPS host records", "100", "Vulnerable RSA moduli", "5.00%"] {
+            assert!(out.contains(needle), "missing {needle}: {out}");
+        }
+    }
+
+    #[test]
+    fn table4_rendering() {
+        let rows = vec![ProtocolRow {
+            protocol: Protocol::Ssh,
+            date: "2015-10".into(),
+            total_hosts: 120,
+            rsa_hosts: 120,
+            vulnerable_hosts: 4,
+        }];
+        let out = render_table4(&rows);
+        assert!(out.contains("SSH"));
+        assert!(out.contains("120"));
+        assert!(out.contains('4'));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = Series {
+            name: "Juniper".into(),
+            points: vec![SeriesPoint {
+                date: MonthDate::new(2014, 4),
+                source: ScanSource::Rapid7,
+                total: 55,
+                vulnerable: 20,
+            }],
+        };
+        let out = render_series(&s);
+        assert!(out.contains("# Juniper"));
+        assert!(out.contains("2014-04"));
+        assert!(out.contains("Rapid7"));
+        assert!(out.contains("55"));
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = Series {
+            name: "Juniper".into(),
+            points: (0..10)
+                .map(|i| SeriesPoint {
+                    date: MonthDate::new(2012, 1).plus(i),
+                    source: ScanSource::Ecosystem,
+                    total: (i as usize + 1) * 10,
+                    vulnerable: if i < 5 { i as usize } else { 10 - i as usize },
+                })
+                .collect(),
+        };
+        let out = render_sparkline(&s);
+        assert!(out.contains("Juniper"));
+        assert!(out.contains("2012-01 .. 2012-10"));
+        assert!(out.contains("peak 100"));
+        // Rising totals: last column is the full block, first the lightest.
+        let total_line = out.lines().nth(1).unwrap();
+        assert!(total_line.contains('█'));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn sparkline_empty_series() {
+        let s = Series { name: "empty".into(), points: vec![] };
+        let out = render_sparkline(&s);
+        assert!(out.contains("empty"));
+    }
+
+    #[test]
+    fn transitions_rendering() {
+        let r = TransitionReport {
+            ips_ever_seen: 169,
+            ips_ever_vulnerable: 34,
+            vuln_to_clean: 11,
+            clean_to_vuln: 12,
+            multiple_transitions: 2,
+            stable: 144,
+        };
+        let out = render_transitions("Juniper", &r);
+        assert!(out.contains("169 IPs"));
+        assert!(out.contains("11 vulnerable->clean"));
+    }
+}

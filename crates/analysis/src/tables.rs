@@ -1,0 +1,286 @@
+//! Builders for the paper's tables.
+//!
+//! * Table 1 — dataset totals;
+//! * Table 3 — earliest vs. latest scan summary;
+//! * Table 4 — per-protocol vulnerable hosts;
+//! * Table 5 — per-vendor OpenSSL fingerprint classification.
+//!
+//! (Table 2, the disclosure-response matrix, is static data and lives in
+//! the `weakkeys` core crate.)
+
+use crate::labeling::Labeling;
+use std::collections::{BTreeMap, HashSet};
+use wk_bigint::Natural;
+use wk_fingerprint::{classify_primes, FactoredModulus, OpensslVerdict};
+use wk_scan::{ModulusId, Protocol, StudyDataset, VendorId};
+
+/// Table 1: dataset totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetTotals {
+    /// HTTPS host records across all scans.
+    pub https_host_records: usize,
+    /// Distinct certificates seen on HTTPS.
+    pub distinct_https_certificates: usize,
+    /// Distinct moduli seen on HTTPS.
+    pub distinct_https_moduli: usize,
+    /// Distinct RSA moduli across every protocol.
+    pub total_distinct_moduli: usize,
+    /// Moduli factored by batch GCD.
+    pub vulnerable_moduli: usize,
+    /// HTTPS host records serving a factored key.
+    pub vulnerable_https_host_records: usize,
+    /// Distinct HTTPS certificates containing a factored key.
+    pub vulnerable_https_certificates: usize,
+}
+
+impl DatasetTotals {
+    /// Fraction of distinct moduli that were factored (paper: 0.37%).
+    pub fn vulnerable_fraction(&self) -> f64 {
+        self.vulnerable_moduli as f64 / self.total_distinct_moduli.max(1) as f64
+    }
+}
+
+/// Build Table 1.
+pub fn dataset_totals(
+    dataset: &StudyDataset,
+    vulnerable: &HashSet<ModulusId>,
+) -> DatasetTotals {
+    let mut https_certs = HashSet::new();
+    let mut https_moduli = HashSet::new();
+    let mut https_records = 0usize;
+    let mut vulnerable_records = 0usize;
+    let mut vulnerable_certs = HashSet::new();
+    for scan in dataset.https_scans() {
+        for rec in &scan.records {
+            https_records += 1;
+            https_moduli.insert(rec.modulus);
+            for c in &rec.certs {
+                https_certs.insert(*c);
+            }
+            if vulnerable.contains(&rec.modulus) {
+                vulnerable_records += 1;
+                for c in &rec.certs {
+                    // Only the leaf carries the weak key, but intermediates
+                    // never carry a vulnerable modulus, so attribute to the
+                    // cert whose modulus matches.
+                    let cert = dataset.certs.get(*c);
+                    if dataset.moduli.lookup(&cert.modulus) == Some(rec.modulus) {
+                        vulnerable_certs.insert(*c);
+                    }
+                }
+            }
+        }
+    }
+    DatasetTotals {
+        https_host_records: https_records,
+        distinct_https_certificates: https_certs.len(),
+        distinct_https_moduli: https_moduli.len(),
+        total_distinct_moduli: dataset.moduli.len(),
+        vulnerable_moduli: vulnerable.len(),
+        vulnerable_https_host_records: vulnerable_records,
+        vulnerable_https_certificates: vulnerable_certs.len(),
+    }
+}
+
+/// One column of Table 3 (a single scan's summary).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanSummary {
+    /// Scan identification, e.g. "2010-07 (EFF)".
+    pub label: String,
+    /// TLS handshakes (host records).
+    pub handshakes: usize,
+    /// Distinct certificates in the scan.
+    pub distinct_certificates: usize,
+    /// Distinct RSA keys in the scan.
+    pub distinct_keys: usize,
+}
+
+/// Build Table 3: summaries of the earliest and latest HTTPS scans.
+pub fn first_last_scan_summary(dataset: &StudyDataset) -> (ScanSummary, ScanSummary) {
+    let summarize = |scan: &wk_scan::Scan| {
+        let mut certs = HashSet::new();
+        let mut keys = HashSet::new();
+        for rec in &scan.records {
+            keys.insert(rec.modulus);
+            for c in &rec.certs {
+                certs.insert(*c);
+            }
+        }
+        ScanSummary {
+            label: format!("{} ({})", scan.date, scan.source.name()),
+            handshakes: scan.records.len(),
+            distinct_certificates: certs.len(),
+            distinct_keys: keys.len(),
+        }
+    };
+    let first = dataset.https_scans().next().expect("at least one scan");
+    let last = dataset.https_scans().last().expect("at least one scan");
+    (summarize(first), summarize(last))
+}
+
+/// One row of Table 4 (a protocol snapshot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolRow {
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Snapshot date label.
+    pub date: String,
+    /// Hosts with public keys.
+    pub total_hosts: usize,
+    /// Hosts with RSA keys (== total in the simulation; the paper's SSH
+    /// population includes non-RSA host keys).
+    pub rsa_hosts: usize,
+    /// Hosts serving factored keys.
+    pub vulnerable_hosts: usize,
+}
+
+/// Build Table 4: the latest snapshot per protocol.
+pub fn protocol_table(
+    dataset: &StudyDataset,
+    vulnerable: &HashSet<ModulusId>,
+) -> Vec<ProtocolRow> {
+    Protocol::all()
+        .iter()
+        .filter_map(|&protocol| {
+            let scan = dataset.protocol_scans(protocol).last()?;
+            let vulnerable_hosts = scan
+                .records
+                .iter()
+                .filter(|r| vulnerable.contains(&r.modulus))
+                .count();
+            Some(ProtocolRow {
+                protocol,
+                date: scan.date.to_string(),
+                total_hosts: scan.records.len(),
+                rsa_hosts: scan.records.len(),
+                vulnerable_hosts,
+            })
+        })
+        .collect()
+}
+
+/// Table 5: classify each vendor's recovered primes with the OpenSSL
+/// fingerprint. Only vendors with factored keys appear (the fingerprint
+/// needs private keys).
+pub fn openssl_table(
+    labeling: &Labeling,
+    factored: &[FactoredModulus],
+) -> BTreeMap<VendorId, OpensslVerdict> {
+    let mut primes_by_vendor: BTreeMap<VendorId, Vec<Natural>> = BTreeMap::new();
+    for f in factored {
+        let Some(&vendor) = labeling.modulus_vendor.get(&f.id) else {
+            continue;
+        };
+        let entry = primes_by_vendor.entry(vendor).or_default();
+        entry.push(f.p.clone());
+        entry.push(f.q.clone());
+    }
+    primes_by_vendor
+        .into_iter()
+        .map(|(vendor, primes)| (vendor, classify_primes(&primes)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wk_cert::{MonthDate, SubjectStyle};
+    use wk_scan::{CertStore, GroundTruth, HostRecord, ModulusStore, Scan, ScanSource};
+
+    fn mini_dataset() -> (StudyDataset, HashSet<ModulusId>) {
+        let mut moduli = ModulusStore::default();
+        let mut certs = CertStore::default();
+        let weak_n = Natural::from(33u64);
+        let clean_n = Natural::from(323u64);
+        let ssh_n = Natural::from(39u64);
+        let weak = moduli.intern(&weak_n);
+        let clean = moduli.intern(&clean_n);
+        let ssh = moduli.intern(&ssh_n);
+        let wc = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            1, 1, weak_n, MonthDate::new(2010, 7),
+        ));
+        let cc = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            2, 2, clean_n, MonthDate::new(2010, 7),
+        ));
+        let scans = vec![
+            Scan {
+                date: MonthDate::new(2010, 7),
+                source: ScanSource::Eff,
+                protocol: Protocol::Https,
+                records: vec![
+                    HostRecord { ip: 1, certs: vec![wc], modulus: weak, rsa_kex_only: false },
+                    HostRecord { ip: 2, certs: vec![cc], modulus: clean, rsa_kex_only: false },
+                ],
+            },
+            Scan {
+                date: MonthDate::new(2016, 4),
+                source: ScanSource::Censys,
+                protocol: Protocol::Https,
+                records: vec![HostRecord { ip: 2, certs: vec![cc], modulus: clean, rsa_kex_only: false }],
+            },
+            Scan {
+                date: MonthDate::new(2015, 10),
+                source: ScanSource::Censys,
+                protocol: Protocol::Ssh,
+                records: vec![HostRecord { ip: 9, certs: vec![], modulus: ssh, rsa_kex_only: false }],
+            },
+        ];
+        (
+            StudyDataset { scans, certs, moduli, truth: GroundTruth::default() },
+            [weak].into_iter().collect(),
+        )
+    }
+
+    #[test]
+    fn table1_counts() {
+        let (ds, vuln) = mini_dataset();
+        let t = dataset_totals(&ds, &vuln);
+        assert_eq!(t.https_host_records, 3);
+        assert_eq!(t.distinct_https_certificates, 2);
+        assert_eq!(t.distinct_https_moduli, 2);
+        assert_eq!(t.total_distinct_moduli, 3); // + SSH key
+        assert_eq!(t.vulnerable_moduli, 1);
+        assert_eq!(t.vulnerable_https_host_records, 1);
+        assert_eq!(t.vulnerable_https_certificates, 1);
+        assert!(t.vulnerable_fraction() > 0.3 && t.vulnerable_fraction() < 0.34);
+    }
+
+    #[test]
+    fn table3_first_and_last() {
+        let (ds, _) = mini_dataset();
+        let (first, last) = first_last_scan_summary(&ds);
+        assert!(first.label.contains("2010-07"));
+        assert!(first.label.contains("EFF"));
+        assert_eq!(first.handshakes, 2);
+        assert!(last.label.contains("2016-04"));
+        assert_eq!(last.handshakes, 1);
+        assert_eq!(last.distinct_keys, 1);
+    }
+
+    #[test]
+    fn table4_protocol_rows() {
+        let (ds, vuln) = mini_dataset();
+        let rows = protocol_table(&ds, &vuln);
+        assert_eq!(rows.len(), 2); // HTTPS + SSH only in this mini dataset
+        let https = rows.iter().find(|r| r.protocol == Protocol::Https).unwrap();
+        assert_eq!(https.total_hosts, 1); // latest HTTPS scan
+        assert_eq!(https.vulnerable_hosts, 0);
+        let ssh = rows.iter().find(|r| r.protocol == Protocol::Ssh).unwrap();
+        assert_eq!(ssh.total_hosts, 1);
+    }
+
+    #[test]
+    fn table5_classifies_by_vendor() {
+        let (ds, _) = mini_dataset();
+        let factored = vec![FactoredModulus {
+            id: ModulusId(0),
+            p: Natural::from(3u64),
+            q: Natural::from(11u64),
+        }];
+        let labeling = crate::labeling::label_dataset(&ds, &factored);
+        let table = openssl_table(&labeling, &factored);
+        assert!(table.contains_key(&VendorId::Juniper));
+        // Two tiny primes: inconclusive, but present.
+        assert_eq!(table[&VendorId::Juniper].primes_examined, 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-scan time series: the substance of Figures 1, 3-6, and 8-10.
+//!
+//! Every figure in the paper plots, per monthly scan, the number of hosts
+//! (total above, vulnerable below) — aggregated (Figure 1) or restricted to
+//! one fingerprinted vendor (Figures 3-10). A "vulnerable host" is an IP
+//! serving a certificate whose modulus batch GCD factored.
+
+use crate::labeling::Labeling;
+use std::collections::HashSet;
+use wk_cert::{select_leaf, MonthDate};
+use wk_scan::{CertId, ModulusId, ScanSource, StudyDataset, VendorId};
+
+/// One point of a hosts-over-time series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Scan month.
+    pub date: MonthDate,
+    /// Scan source (figures color by this).
+    pub source: ScanSource,
+    /// Hosts observed.
+    pub total: usize,
+    /// Hosts serving a factored key.
+    pub vulnerable: usize,
+}
+
+/// A named time series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Label ("all hosts" or a vendor name).
+    pub name: String,
+    /// Points in chronological order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// The maximum vulnerable count over the series.
+    pub fn peak_vulnerable(&self) -> usize {
+        self.points.iter().map(|p| p.vulnerable).max().unwrap_or(0)
+    }
+
+    /// Point at a given month, if scanned.
+    pub fn at(&self, date: MonthDate) -> Option<&SeriesPoint> {
+        self.points.iter().find(|p| p.date == date)
+    }
+
+    /// Largest month-over-month drop in the vulnerable count, returned as
+    /// `(from_date, to_date, drop)`.
+    pub fn largest_vulnerable_drop(&self) -> Option<(MonthDate, MonthDate, i64)> {
+        self.points
+            .windows(2)
+            .map(|w| {
+                (
+                    w[0].date,
+                    w[1].date,
+                    w[0].vulnerable as i64 - w[1].vulnerable as i64,
+                )
+            })
+            .max_by_key(|&(_, _, drop)| drop)
+    }
+
+    /// Largest month-over-month drop in the total count.
+    pub fn largest_total_drop(&self) -> Option<(MonthDate, MonthDate, i64)> {
+        self.points
+            .windows(2)
+            .map(|w| (w[0].date, w[1].date, w[0].total as i64 - w[1].total as i64))
+            .max_by_key(|&(_, _, drop)| drop)
+    }
+}
+
+/// The leaf certificate of a host record (handles Rapid7's unchained
+/// intermediates via [`select_leaf`]).
+pub fn record_leaf(dataset: &StudyDataset, certs: &[CertId]) -> Option<CertId> {
+    match certs.len() {
+        0 => None,
+        1 => Some(certs[0]),
+        _ => {
+            let materialized: Vec<_> = certs
+                .iter()
+                .map(|&id| dataset.certs.get(id).clone())
+                .collect();
+            select_leaf(&materialized).map(|i| certs[i])
+        }
+    }
+}
+
+/// Figure 1: all HTTPS hosts and all vulnerable hosts per scan.
+pub fn aggregate_series(
+    dataset: &StudyDataset,
+    vulnerable: &HashSet<ModulusId>,
+) -> Series {
+    let points = dataset
+        .https_scans()
+        .map(|scan| {
+            let total = scan.records.len();
+            let vuln = scan
+                .records
+                .iter()
+                .filter(|r| vulnerable.contains(&r.modulus))
+                .count();
+            SeriesPoint { date: scan.date, source: scan.source, total, vulnerable: vuln }
+        })
+        .collect();
+    Series { name: "all HTTPS hosts".into(), points }
+}
+
+/// Figures 3-10: hosts per scan restricted to one vendor's fingerprint.
+pub fn vendor_series(
+    dataset: &StudyDataset,
+    labeling: &Labeling,
+    vulnerable: &HashSet<ModulusId>,
+    vendor: VendorId,
+) -> Series {
+    let points = dataset
+        .https_scans()
+        .map(|scan| {
+            let mut total = 0;
+            let mut vuln = 0;
+            for rec in &scan.records {
+                let Some(leaf) = record_leaf(dataset, &rec.certs) else {
+                    continue;
+                };
+                if labeling.cert_vendor.get(&leaf) != Some(&vendor) {
+                    continue;
+                }
+                total += 1;
+                if vulnerable.contains(&rec.modulus) {
+                    vuln += 1;
+                }
+            }
+            SeriesPoint { date: scan.date, source: scan.source, total, vulnerable: vuln }
+        })
+        .collect();
+    Series { name: vendor.name().into(), points }
+}
+
+/// Restrict to one vendor *model* (Cisco's per-model Figure 7 series).
+/// Matches on the OU/model captured at fingerprint time by re-running the
+/// subject rule on the leaf certificate.
+pub fn model_series(
+    dataset: &StudyDataset,
+    vulnerable: &HashSet<ModulusId>,
+    vendor: VendorId,
+    model: &str,
+) -> Series {
+    let points = dataset
+        .https_scans()
+        .map(|scan| {
+            let mut total = 0;
+            let mut vuln = 0;
+            for rec in &scan.records {
+                let Some(leaf) = record_leaf(dataset, &rec.certs) else {
+                    continue;
+                };
+                let cert = dataset.certs.get(leaf);
+                let Some(label) = wk_fingerprint::identify_vendor(cert) else {
+                    continue;
+                };
+                if label.vendor != vendor || label.model.as_deref() != Some(model) {
+                    continue;
+                }
+                total += 1;
+                if vulnerable.contains(&rec.modulus) {
+                    vuln += 1;
+                }
+            }
+            SeriesPoint { date: scan.date, source: scan.source, total, vulnerable: vuln }
+        })
+        .collect();
+    Series { name: format!("{} {}", vendor.name(), model), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wk_bigint::Natural;
+    use wk_cert::SubjectStyle;
+    use wk_scan::{
+        CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan,
+    };
+
+    /// Two-scan synthetic dataset: one Juniper host goes from a vulnerable
+    /// modulus to a clean one.
+    fn synthetic() -> (StudyDataset, HashSet<ModulusId>) {
+        let mut moduli = ModulusStore::default();
+        let mut certs = CertStore::default();
+        let weak_n = Natural::from(33u64);
+        let clean_n = Natural::from(323u64);
+        let weak = moduli.intern(&weak_n);
+        let clean = moduli.intern(&clean_n);
+        let weak_cert = certs.intern(
+            SubjectStyle::JuniperSystemGenerated.certificate(1, 1, weak_n, MonthDate::new(2012, 6)),
+        );
+        let clean_cert = certs.intern(
+            SubjectStyle::JuniperSystemGenerated.certificate(2, 1, clean_n, MonthDate::new(2013, 6)),
+        );
+        let scans = vec![
+            Scan {
+                date: MonthDate::new(2012, 6),
+                source: ScanSource::Ecosystem,
+                protocol: Protocol::Https,
+                records: vec![
+                    HostRecord { ip: 1, certs: vec![weak_cert], modulus: weak, rsa_kex_only: false },
+                    HostRecord { ip: 2, certs: vec![clean_cert], modulus: clean, rsa_kex_only: false },
+                ],
+            },
+            Scan {
+                date: MonthDate::new(2013, 6),
+                source: ScanSource::Ecosystem,
+                protocol: Protocol::Https,
+                records: vec![HostRecord { ip: 1, certs: vec![clean_cert], modulus: clean, rsa_kex_only: false }],
+            },
+        ];
+        let dataset = StudyDataset {
+            scans,
+            certs,
+            moduli,
+            truth: GroundTruth::default(),
+        };
+        let vulnerable: HashSet<ModulusId> = [weak].into_iter().collect();
+        (dataset, vulnerable)
+    }
+
+    #[test]
+    fn aggregate_counts_per_scan() {
+        let (ds, vuln) = synthetic();
+        let series = aggregate_series(&ds, &vuln);
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.points[0].total, 2);
+        assert_eq!(series.points[0].vulnerable, 1);
+        assert_eq!(series.points[1].total, 1);
+        assert_eq!(series.points[1].vulnerable, 0);
+        assert_eq!(series.peak_vulnerable(), 1);
+    }
+
+    #[test]
+    fn vendor_series_filters_by_label() {
+        let (ds, vuln) = synthetic();
+        let labeling = crate::labeling::label_dataset(&ds, &[]);
+        let juniper = vendor_series(&ds, &labeling, &vuln, VendorId::Juniper);
+        assert_eq!(juniper.points[0].total, 2);
+        assert_eq!(juniper.points[0].vulnerable, 1);
+        let cisco = vendor_series(&ds, &labeling, &vuln, VendorId::Cisco);
+        assert_eq!(cisco.points[0].total, 0);
+    }
+
+    #[test]
+    fn largest_drop_found() {
+        let (ds, vuln) = synthetic();
+        let series = aggregate_series(&ds, &vuln);
+        let (from, to, drop) = series.largest_vulnerable_drop().unwrap();
+        assert_eq!(from, MonthDate::new(2012, 6));
+        assert_eq!(to, MonthDate::new(2013, 6));
+        assert_eq!(drop, 1);
+    }
+
+    #[test]
+    fn at_accessor() {
+        let (ds, vuln) = synthetic();
+        let series = aggregate_series(&ds, &vuln);
+        assert!(series.at(MonthDate::new(2012, 6)).is_some());
+        assert!(series.at(MonthDate::new(2014, 1)).is_none());
+    }
+}

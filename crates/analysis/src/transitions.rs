@@ -1,0 +1,286 @@
+//! Per-IP certificate transition analysis (§4.1).
+//!
+//! For Juniper the paper tracks, across all scans, IPs that moved from
+//! serving a vulnerable key to a non-vulnerable one (possible patching or
+//! IP churn), the reverse, and IPs that flip-flopped. The same analysis
+//! supports the Innominate and IBM patching discussions.
+
+use crate::labeling::Labeling;
+use crate::timeseries::record_leaf;
+use std::collections::{HashMap, HashSet};
+use wk_scan::{ModulusId, StudyDataset, VendorId};
+
+/// Transition counts for one vendor's IP population.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransitionReport {
+    /// IPs that ever served a certificate with this vendor's fingerprint.
+    pub ips_ever_seen: usize,
+    /// IPs that ever served a vulnerable key.
+    pub ips_ever_vulnerable: usize,
+    /// IPs that went vulnerable -> non-vulnerable exactly once.
+    pub vuln_to_clean: usize,
+    /// IPs that went non-vulnerable -> vulnerable exactly once.
+    pub clean_to_vuln: usize,
+    /// IPs that transitioned more than once in either direction.
+    pub multiple_transitions: usize,
+    /// IPs whose status never changed.
+    pub stable: usize,
+}
+
+/// Compute the transition report for `vendor`.
+pub fn vendor_transitions(
+    dataset: &StudyDataset,
+    labeling: &Labeling,
+    vulnerable: &HashSet<ModulusId>,
+    vendor: VendorId,
+) -> TransitionReport {
+    // Chronological status observations per IP.
+    let mut history: HashMap<u32, Vec<bool>> = HashMap::new();
+    for scan in dataset.https_scans() {
+        for rec in &scan.records {
+            let Some(leaf) = record_leaf(dataset, &rec.certs) else {
+                continue;
+            };
+            if labeling.cert_vendor.get(&leaf) != Some(&vendor) {
+                continue;
+            }
+            history
+                .entry(rec.ip)
+                .or_default()
+                .push(vulnerable.contains(&rec.modulus));
+        }
+    }
+
+    let mut report = TransitionReport {
+        ips_ever_seen: history.len(),
+        ..Default::default()
+    };
+    for statuses in history.values() {
+        if statuses.iter().any(|&v| v) {
+            report.ips_ever_vulnerable += 1;
+        }
+        // Collapse consecutive repeats into the transition sequence.
+        let mut changes = Vec::new();
+        for w in statuses.windows(2) {
+            if w[0] != w[1] {
+                changes.push((w[0], w[1]));
+            }
+        }
+        match changes.as_slice() {
+            [] => report.stable += 1,
+            [(true, false)] => report.vuln_to_clean += 1,
+            [(false, true)] => report.clean_to_vuln += 1,
+            _ => report.multiple_transitions += 1,
+        }
+    }
+    report
+}
+
+/// Why an IP stopped serving a vulnerable key (§4.1's IBM analysis):
+/// if the replacement certificate has the *same subject*, the device was
+/// re-keyed (a real patch); a *different subject* indicates the IP was
+/// reassigned to another device ("due to IP churn").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RekeyReport {
+    /// vuln->clean transitions where the subject stayed the same: rekeying.
+    pub rekeyed_same_subject: usize,
+    /// vuln->clean transitions with a different subject: IP churn.
+    pub churned_different_subject: usize,
+}
+
+/// Classify each vulnerable->clean transition as rekey vs IP churn.
+///
+/// Unlike [`vendor_transitions`], the observation history follows the IP
+/// across *all* subsequent certificates, whoever they fingerprint as — the
+/// paper's IBM analysis tracks "the 1,728 IP addresses that ever served a
+/// certificate containing one of the vulnerable IBM primes" and examines
+/// whatever those IPs served later.
+pub fn rekey_vs_churn(
+    dataset: &StudyDataset,
+    labeling: &Labeling,
+    vulnerable: &HashSet<ModulusId>,
+    vendor: VendorId,
+) -> RekeyReport {
+    // IPs that ever served this vendor's vulnerable keys.
+    let mut tracked: HashSet<u32> = HashSet::new();
+    for scan in dataset.https_scans() {
+        for rec in &scan.records {
+            if !vulnerable.contains(&rec.modulus) {
+                continue;
+            }
+            let Some(leaf) = record_leaf(dataset, &rec.certs) else {
+                continue;
+            };
+            if labeling.cert_vendor.get(&leaf) == Some(&vendor) {
+                tracked.insert(rec.ip);
+            }
+        }
+    }
+    // Chronological (vulnerable, subject) observations per tracked IP —
+    // across every certificate served there, any vendor.
+    let mut history: HashMap<u32, Vec<(bool, String)>> = HashMap::new();
+    for scan in dataset.https_scans() {
+        for rec in &scan.records {
+            if !tracked.contains(&rec.ip) {
+                continue;
+            }
+            let Some(leaf) = record_leaf(dataset, &rec.certs) else {
+                continue;
+            };
+            history.entry(rec.ip).or_default().push((
+                vulnerable.contains(&rec.modulus),
+                dataset.certs.get(leaf).subject.render(),
+            ));
+        }
+    }
+    let mut report = RekeyReport::default();
+    for statuses in history.values() {
+        for w in statuses.windows(2) {
+            let ((was_vuln, old_subject), (is_vuln, new_subject)) = (&w[0], &w[1]);
+            if *was_vuln && !*is_vuln {
+                if old_subject == new_subject {
+                    report.rekeyed_same_subject += 1;
+                } else {
+                    report.churned_different_subject += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wk_bigint::Natural;
+    use wk_cert::{MonthDate, SubjectStyle};
+    use wk_scan::{
+        CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan, ScanSource,
+    };
+
+    /// Build a dataset with scripted per-IP status sequences.
+    fn scripted(sequences: &[&[bool]]) -> (StudyDataset, HashSet<ModulusId>) {
+        let mut moduli = ModulusStore::default();
+        let mut certs = CertStore::default();
+        let weak_n = Natural::from(33u64);
+        let clean_n = Natural::from(323u64);
+        let weak = moduli.intern(&weak_n);
+        let clean = moduli.intern(&clean_n);
+        let weak_cert = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            1,
+            1,
+            weak_n,
+            MonthDate::new(2011, 1),
+        ));
+        let clean_cert = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            2,
+            2,
+            clean_n,
+            MonthDate::new(2011, 1),
+        ));
+        let max_len = sequences.iter().map(|s| s.len()).max().unwrap_or(0);
+        let mut scans = Vec::new();
+        for t in 0..max_len {
+            let mut records = Vec::new();
+            for (ip, seq) in sequences.iter().enumerate() {
+                if let Some(&vuln) = seq.get(t) {
+                    records.push(HostRecord {
+                        ip: ip as u32,
+                        certs: vec![if vuln { weak_cert } else { clean_cert }],
+                        modulus: if vuln { weak } else { clean },
+                        rsa_kex_only: false,
+                    });
+                }
+            }
+            scans.push(Scan {
+                date: MonthDate::new(2011, 1).plus(t as u32),
+                source: ScanSource::Ecosystem,
+                protocol: Protocol::Https,
+                records,
+            });
+        }
+        let dataset = StudyDataset { scans, certs, moduli, truth: GroundTruth::default() };
+        (dataset, [weak].into_iter().collect())
+    }
+
+    fn report(sequences: &[&[bool]]) -> TransitionReport {
+        let (ds, vuln) = scripted(sequences);
+        let labeling = crate::labeling::label_dataset(&ds, &[]);
+        vendor_transitions(&ds, &labeling, &vuln, VendorId::Juniper)
+    }
+
+    #[test]
+    fn stable_ips_counted() {
+        let r = report(&[&[true, true, true], &[false, false]]);
+        assert_eq!(r.ips_ever_seen, 2);
+        assert_eq!(r.ips_ever_vulnerable, 1);
+        assert_eq!(r.stable, 2);
+        assert_eq!(r.vuln_to_clean, 0);
+    }
+
+    #[test]
+    fn single_transitions_classified() {
+        let r = report(&[
+            &[true, true, false],  // vuln -> clean
+            &[false, true, true],  // clean -> vuln
+        ]);
+        assert_eq!(r.vuln_to_clean, 1);
+        assert_eq!(r.clean_to_vuln, 1);
+        assert_eq!(r.multiple_transitions, 0);
+    }
+
+    #[test]
+    fn flip_flop_is_multiple() {
+        let r = report(&[&[true, false, true, false]]);
+        assert_eq!(r.multiple_transitions, 1);
+        assert_eq!(r.vuln_to_clean, 0);
+    }
+
+    #[test]
+    fn rekey_vs_churn_discriminates_on_subject() {
+        // IBM-style: subjects carry a per-device tag, so an IP reassigned
+        // to a different device shows a different subject.
+        let mut moduli = ModulusStore::default();
+        let mut certs = CertStore::default();
+        let weak_n = Natural::from(33u64);
+        let clean_n = Natural::from(323u64);
+        let weak = moduli.intern(&weak_n);
+        let clean = moduli.intern(&clean_n);
+        let style = SubjectStyle::JuniperSystemGenerated;
+        let weak_cert = certs.intern(style.certificate(1, 1, weak_n, MonthDate::new(2011, 1)));
+        // Same subject, new key: a rekey.
+        let rekey_cert = certs.intern(style.certificate(2, 1, clean_n.clone(), MonthDate::new(2011, 2)));
+        let scans = vec![
+            Scan {
+                date: MonthDate::new(2011, 1),
+                source: ScanSource::Ecosystem,
+                protocol: Protocol::Https,
+                records: vec![HostRecord { ip: 1, certs: vec![weak_cert], modulus: weak, rsa_kex_only: false }],
+            },
+            Scan {
+                date: MonthDate::new(2011, 2),
+                source: ScanSource::Ecosystem,
+                protocol: Protocol::Https,
+                records: vec![HostRecord { ip: 1, certs: vec![rekey_cert], modulus: clean, rsa_kex_only: false }],
+            },
+        ];
+        let ds = StudyDataset { scans, certs, moduli, truth: GroundTruth::default() };
+        let labeling = crate::labeling::label_dataset(&ds, &[]);
+        let vuln: HashSet<ModulusId> = [weak].into_iter().collect();
+        let r = rekey_vs_churn(&ds, &labeling, &vuln, VendorId::Juniper);
+        // Juniper subjects are constant ("system generated"), so this reads
+        // as a rekey.
+        assert_eq!(r.rekeyed_same_subject, 1);
+        assert_eq!(r.churned_different_subject, 0);
+    }
+
+    #[test]
+    fn gaps_in_observation_tolerated() {
+        // IP 0 only observed in scans 0 and 2.
+        let (ds, vuln) = scripted(&[&[true], &[false, false, false]]);
+        let labeling = crate::labeling::label_dataset(&ds, &[]);
+        let r = vendor_transitions(&ds, &labeling, &vuln, VendorId::Juniper);
+        assert_eq!(r.ips_ever_seen, 2);
+        assert_eq!(r.stable, 2);
+    }
+}

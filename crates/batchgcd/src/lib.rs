@@ -1,0 +1,47 @@
+//! # wk-batchgcd — batch GCD over RSA moduli, classic and distributed
+//!
+//! The computational core of the IMC 2016 reproduction. Given a set of RSA
+//! moduli, find every modulus sharing a prime factor with another — in
+//! quasilinear time via Bernstein-style product/remainder trees.
+//!
+//! * [`tree`] — product and remainder trees with per-level threading;
+//! * [`classic`] — the single-tree algorithm of [21];
+//! * [`distributed`] — the paper's k-subset variant (Figure 2): more total
+//!   work, no single-huge-integer bottleneck, cluster-parallelizable, with
+//!   per-node accounting matching what the paper reports;
+//! * [`naive`] — the `O(n^2)` pairwise baseline the feasibility argument is
+//!   made against;
+//! * [`resolve`] — turning raw divisors into factorizations, including the
+//!   full-gcd clique case (IBM nine-prime) via a pairwise sweep.
+//!
+//! All three algorithms produce identical raw divisors and statuses for the
+//! same input — a cross-checked invariant in the test suites.
+//!
+//! ```
+//! use wk_bigint::Natural;
+//! use wk_batchgcd::batch_gcd;
+//!
+//! // 33 = 3*11 and 39 = 3*13 share the prime 3; 323 = 17*19 is clean.
+//! let moduli: Vec<Natural> = [33u64, 39, 323].map(Natural::from).to_vec();
+//! let result = batch_gcd(&moduli, 1);
+//! assert_eq!(result.vulnerable_count(), 2);
+//! let (p, q) = result.statuses[0].factors().unwrap();
+//! assert_eq!((p, q), (&Natural::from(3u64), &Natural::from(11u64)));
+//! ```
+
+pub mod classic;
+pub mod distributed;
+pub mod naive;
+pub mod parallel;
+pub mod resolve;
+pub mod spill;
+pub mod tree;
+
+pub use classic::{batch_gcd, BatchGcdResult, BatchStats};
+pub use distributed::{
+    distributed_batch_gcd, ClusterConfig, ClusterReport, DistributedResult, NodeReport,
+};
+pub use naive::{naive_pairwise_gcd, NaiveResult};
+pub use resolve::{resolve, KeyStatus};
+pub use spill::{scratch_dir, SpilledProductTree};
+pub use tree::ProductTree;

@@ -1,0 +1,105 @@
+//! Minimal scoped fork-join helpers over crossbeam.
+//!
+//! The batch-GCD trees are CPU-bound, so parallelism is plain threads over
+//! chunks (per the project guides: thread pools for CPU-bound work, async
+//! runtimes only for IO-bound work). `parallel_map` preserves input order
+//! and degrades gracefully to a sequential loop for `threads <= 1`.
+
+/// Map `f` over `items` using up to `threads` OS threads, preserving order.
+///
+/// `f` must be `Sync` (shared by reference across threads); items are moved
+/// into the closure one at a time.
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk_size = n.div_ceil(threads);
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    // Pair each item with its destination slot, chunk, and farm out.
+    let mut work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    crossbeam::scope(|scope| {
+        let f = &f;
+        let mut slot_tail: &mut [Option<U>] = &mut slots;
+        let mut handles = Vec::new();
+        let mut offset = 0;
+        while !work.is_empty() {
+            let take = chunk_size.min(work.len());
+            let chunk: Vec<(usize, T)> = work.drain(..take).collect();
+            let (head, tail) = slot_tail.split_at_mut(take);
+            slot_tail = tail;
+            let base = offset;
+            offset += take;
+            handles.push(scope.spawn(move |_| {
+                for ((idx, item), slot) in chunk.into_iter().zip(head.iter_mut()) {
+                    debug_assert!(idx >= base && idx < base + take);
+                    *slot = Some(f(item));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// Run `tasks` (closures) concurrently on up to `threads` threads, returning
+/// results in task order.
+pub fn parallel_tasks<U, F>(tasks: Vec<F>, threads: usize) -> Vec<U>
+where
+    U: Send,
+    F: FnOnce() -> U + Send,
+{
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    parallel_map(tasks, threads, |t| t())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(items.clone(), 4, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = parallel_map(items.clone(), 1, |x| x + 7);
+        let par = parallel_map(items, 8, |x| x + 7);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(parallel_map(Vec::<u64>::new(), 4, |x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(vec![9u64], 4, |x| x * x), vec![81]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![1u64, 2, 3], 16, |x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tasks_run_in_order_of_results() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = parallel_tasks(tasks, 3);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

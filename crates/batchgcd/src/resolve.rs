@@ -1,0 +1,149 @@
+//! Turning raw batch-GCD divisors into factorizations.
+//!
+//! The raw output of batch GCD for modulus `N_i` is
+//! `g_i = gcd(N_i, (P/N_i) mod N_i)` — the product of every prime of `N_i`
+//! shared with some other input. Three cases:
+//!
+//! * `g_i == 1`: not vulnerable.
+//! * `1 < g_i < N_i`: `g_i` is the shared prime; `N_i = g_i * (N_i / g_i)`.
+//! * `g_i == N_i`: *both* primes are shared (e.g. the IBM nine-prime clique,
+//!   where every prime appears in several moduli). The batch pass alone
+//!   cannot split these; a pairwise sweep over the (small) vulnerable set
+//!   finishes the job — exactly how the original factorable.net pipeline
+//!   handled full-gcd hits.
+
+use wk_bigint::Natural;
+
+/// Outcome for one modulus after resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeyStatus {
+    /// No shared factor with any other input.
+    NotVulnerable,
+    /// Factored: `p <= q`, `p * q == N`.
+    Factored { p: Natural, q: Natural },
+    /// Shares all factors with other inputs but could not be split (only
+    /// possible when the input contains duplicate moduli).
+    SharedUnresolved,
+}
+
+impl KeyStatus {
+    /// True for any vulnerable status (factored or unresolved-shared).
+    pub fn is_vulnerable(&self) -> bool {
+        !matches!(self, KeyStatus::NotVulnerable)
+    }
+
+    /// The recovered factor pair, if fully factored.
+    pub fn factors(&self) -> Option<(&Natural, &Natural)> {
+        match self {
+            KeyStatus::Factored { p, q } => Some((p, q)),
+            _ => None,
+        }
+    }
+}
+
+/// Resolve raw divisors into [`KeyStatus`] per modulus.
+///
+/// `raw[i]` is `None` for no hit, or `Some(g)` with `1 < g <= N_i`.
+pub fn resolve(moduli: &[Natural], raw: &[Option<Natural>]) -> Vec<KeyStatus> {
+    assert_eq!(moduli.len(), raw.len());
+    let hit_indices: Vec<usize> = raw
+        .iter()
+        .enumerate()
+        .filter_map(|(i, g)| g.as_ref().map(|_| i))
+        .collect();
+
+    raw.iter()
+        .enumerate()
+        .map(|(i, g)| match g {
+            None => KeyStatus::NotVulnerable,
+            Some(g) => {
+                debug_assert!(!g.is_one(), "trivial divisor reported");
+                if g < &moduli[i] {
+                    order(g.clone(), &moduli[i] / g)
+                } else {
+                    // Full-gcd hit: split via pairwise gcd inside the
+                    // vulnerable set.
+                    split_pairwise(i, moduli, &hit_indices)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Canonical ordering `p <= q`.
+fn order(a: Natural, b: Natural) -> KeyStatus {
+    if a <= b {
+        KeyStatus::Factored { p: a, q: b }
+    } else {
+        KeyStatus::Factored { p: b, q: a }
+    }
+}
+
+fn split_pairwise(i: usize, moduli: &[Natural], hits: &[usize]) -> KeyStatus {
+    let n = &moduli[i];
+    for &j in hits {
+        if j == i || moduli[j] == *n {
+            continue; // duplicates cannot split each other
+        }
+        let g = n.gcd(&moduli[j]);
+        if !g.is_one() && &g < n {
+            return order(g.clone(), n / &g);
+        }
+    }
+    KeyStatus::SharedUnresolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn partial_gcd_resolves_directly() {
+        // N = 15 = 3*5, raw divisor 3.
+        let statuses = resolve(&[nat(15)], &[Some(nat(3))]);
+        assert_eq!(
+            statuses[0],
+            KeyStatus::Factored { p: nat(3), q: nat(5) }
+        );
+    }
+
+    #[test]
+    fn none_stays_not_vulnerable() {
+        let statuses = resolve(&[nat(35), nat(77)], &[None, None]);
+        assert!(statuses.iter().all(|s| !s.is_vulnerable()));
+    }
+
+    #[test]
+    fn clique_full_gcd_splits_via_pairwise() {
+        // Triangle clique: N1=3*5, N2=5*7, N3=3*7; every prime shared.
+        let moduli = vec![nat(15), nat(35), nat(21)];
+        let raw = vec![Some(nat(15)), Some(nat(35)), Some(nat(21))];
+        let statuses = resolve(&moduli, &raw);
+        assert_eq!(statuses[0], KeyStatus::Factored { p: nat(3), q: nat(5) });
+        assert_eq!(statuses[1], KeyStatus::Factored { p: nat(5), q: nat(7) });
+        assert_eq!(statuses[2], KeyStatus::Factored { p: nat(3), q: nat(7) });
+    }
+
+    #[test]
+    fn duplicates_stay_unresolved() {
+        // Two copies of the same modulus share both factors but cannot be
+        // split by any gcd.
+        let moduli = vec![nat(15), nat(15)];
+        let raw = vec![Some(nat(15)), Some(nat(15))];
+        let statuses = resolve(&moduli, &raw);
+        assert_eq!(statuses[0], KeyStatus::SharedUnresolved);
+        assert!(statuses[0].is_vulnerable());
+        assert_eq!(statuses[0].factors(), None);
+    }
+
+    #[test]
+    fn factors_accessor() {
+        let s = KeyStatus::Factored { p: nat(3), q: nat(5) };
+        let (p, q) = s.factors().unwrap();
+        assert_eq!((p, q), (&nat(3), &nat(5)));
+    }
+}

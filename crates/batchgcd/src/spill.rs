@@ -1,0 +1,251 @@
+//! Disk-spilled product/remainder trees.
+//!
+//! §3.2: "we were additionally able to speed up the computation by storing
+//! the entirety of the product and remainder trees in RAM, where the
+//! original hardware used for the computation had limited memory, requiring
+//! that the trees be written to disk." This module is that original mode:
+//! every completed tree level is written to a file and dropped from memory,
+//! so peak residency is two adjacent levels instead of the whole tree — at
+//! the cost of re-reading levels during the remainder descent. The
+//! `ablation_disk_spill` bench quantifies the trade the paper reports
+//! against [`crate::tree::ProductTree`].
+
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use wk_bigint::Natural;
+
+/// A product tree whose levels live on disk.
+pub struct SpilledProductTree {
+    dir: PathBuf,
+    /// Node count per level, leaves first.
+    level_sizes: Vec<usize>,
+    /// Total bytes written across all level files.
+    bytes_written: u64,
+}
+
+/// Write one level of naturals to `path` (u64 limb-count + limbs, LE).
+fn write_level(path: &Path, nodes: &[Natural]) -> io::Result<u64> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut bytes = 0u64;
+    for n in nodes {
+        let limbs = n.limbs();
+        w.write_all(&(limbs.len() as u64).to_le_bytes())?;
+        bytes += 8;
+        for &l in limbs {
+            w.write_all(&l.to_le_bytes())?;
+            bytes += 8;
+        }
+    }
+    w.flush()?;
+    Ok(bytes)
+}
+
+/// Read an entire level back.
+fn read_level(path: &Path, count: usize) -> io::Result<Vec<Natural>> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut out = Vec::with_capacity(count);
+    let mut buf8 = [0u8; 8];
+    for _ in 0..count {
+        r.read_exact(&mut buf8)?;
+        let len = u64::from_le_bytes(buf8) as usize;
+        let mut limbs = Vec::with_capacity(len);
+        for _ in 0..len {
+            r.read_exact(&mut buf8)?;
+            limbs.push(u64::from_le_bytes(buf8));
+        }
+        out.push(Natural::from_limbs(limbs));
+    }
+    Ok(out)
+}
+
+impl SpilledProductTree {
+    /// Build the tree under `dir` (created if absent), spilling each level.
+    /// Peak memory is two adjacent levels.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; panics (like [`ProductTree::build`])
+    /// on empty input or zero moduli.
+    pub fn build(moduli: &[Natural], dir: &Path) -> io::Result<SpilledProductTree> {
+        assert!(!moduli.is_empty(), "product tree over empty input");
+        assert!(
+            moduli.iter().all(|m| !m.is_zero()),
+            "zero modulus in product tree"
+        );
+        fs::create_dir_all(dir)?;
+        let mut level_sizes = Vec::new();
+        let mut bytes_written = 0u64;
+        let mut current: Vec<Natural> = moduli.to_vec();
+        let mut level_idx = 0usize;
+        loop {
+            bytes_written += write_level(&dir.join(format!("level{level_idx}.bin")), &current)?;
+            level_sizes.push(current.len());
+            if current.len() == 1 {
+                break;
+            }
+            let next: Vec<Natural> = current
+                .chunks(2)
+                .map(|c| match c {
+                    [a, b] => a * b,
+                    [a] => a.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            current = next;
+            level_idx += 1;
+        }
+        Ok(SpilledProductTree {
+            dir: dir.to_path_buf(),
+            level_sizes,
+            bytes_written,
+        })
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.level_sizes[0]
+    }
+
+    /// Total bytes spilled to disk — the quantity the paper contrasts with
+    /// its 70-100 GB in-RAM trees.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Read the root product back from disk.
+    pub fn root(&self) -> io::Result<Natural> {
+        let top = self.level_sizes.len() - 1;
+        let mut nodes = read_level(&self.dir.join(format!("level{top}.bin")), 1)?;
+        Ok(nodes.remove(0))
+    }
+
+    /// Remainder-tree descent (`value mod leaf^2`), re-reading each level
+    /// from disk. Matches [`ProductTree::remainder_tree`] exactly.
+    pub fn remainder_tree(&self, value: &Natural) -> io::Result<Vec<Natural>> {
+        let top = self.level_sizes.len() - 1;
+        let root = self.root()?;
+        let mut current = vec![value % &root.square()];
+        for level_idx in (0..top).rev() {
+            let nodes = read_level(
+                &self.dir.join(format!("level{level_idx}.bin")),
+                self.level_sizes[level_idx],
+            )?;
+            current = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, node)| &current[i / 2] % &node.square())
+                .collect();
+        }
+        Ok(current)
+    }
+
+    /// Delete the spilled level files.
+    pub fn cleanup(self) -> io::Result<()> {
+        for i in 0..self.level_sizes.len() {
+            let _ = fs::remove_file(self.dir.join(format!("level{i}.bin")));
+        }
+        Ok(())
+    }
+}
+
+/// A unique scratch directory under the system temp dir (no external
+/// tempfile dependency; uniqueness from pid + a process-wide counter).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "wk-batchgcd-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ProductTree;
+
+    fn nat(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    fn pseudo_moduli(count: usize, seed: u64) -> Vec<Natural> {
+        let mut state = seed | 1;
+        (0..count)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                nat((state | 1) as u128)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spilled_matches_in_ram() {
+        let moduli = pseudo_moduli(13, 42);
+        let dir = scratch_dir("match");
+        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
+        let in_ram = ProductTree::build(&moduli, 1);
+        assert_eq!(&spilled.root().unwrap(), in_ram.root());
+        let rs = spilled.remainder_tree(in_ram.root()).unwrap();
+        let rr = in_ram.remainder_tree(in_ram.root(), 1);
+        assert_eq!(rs, rr);
+        assert_eq!(spilled.leaf_count(), 13);
+        assert!(spilled.bytes_written() > 0);
+        spilled.cleanup().unwrap();
+    }
+
+    #[test]
+    fn single_leaf() {
+        let dir = scratch_dir("single");
+        let spilled = SpilledProductTree::build(&[nat(42)], &dir).unwrap();
+        assert_eq!(spilled.root().unwrap(), nat(42));
+        let r = spilled.remainder_tree(&nat(100)).unwrap();
+        assert_eq!(r, vec![nat(100 % (42 * 42))]);
+        spilled.cleanup().unwrap();
+    }
+
+    #[test]
+    fn bytes_written_exceeds_leaf_bytes() {
+        let moduli = pseudo_moduli(16, 7);
+        let dir = scratch_dir("bytes");
+        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
+        let leaf_bytes: u64 = moduli.iter().map(|m| (m.limb_len() * 8 + 8) as u64).sum();
+        assert!(spilled.bytes_written() > leaf_bytes);
+        spilled.cleanup().unwrap();
+    }
+
+    #[test]
+    fn cleanup_removes_files() {
+        let moduli = pseudo_moduli(4, 9);
+        let dir = scratch_dir("cleanup");
+        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
+        let level0 = dir.join("level0.bin");
+        assert!(level0.exists());
+        spilled.cleanup().unwrap();
+        assert!(!level0.exists());
+    }
+
+    #[test]
+    fn end_to_end_gcds_from_spilled_tree() {
+        // Full batch-GCD semantics through the disk path.
+        let moduli = vec![nat(33), nat(39), nat(323)];
+        let dir = scratch_dir("gcd");
+        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
+        let root = spilled.root().unwrap();
+        let rems = spilled.remainder_tree(&root).unwrap();
+        let divisors: Vec<Natural> = moduli
+            .iter()
+            .zip(rems.iter())
+            .map(|(m, z)| m.gcd(&(z / m)))
+            .collect();
+        assert_eq!(divisors[0], nat(3));
+        assert_eq!(divisors[1], nat(3));
+        assert!(divisors[2].is_one());
+        spilled.cleanup().unwrap();
+    }
+}

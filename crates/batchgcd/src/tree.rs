@@ -1,0 +1,224 @@
+//! Product and remainder trees (Bernstein, "How to find smooth parts of
+//! integers"), the two phases of batch GCD.
+//!
+//! * The **product tree** multiplies the inputs pairwise up a binary tree;
+//!   the root is `P = Π N_i`.
+//! * The **remainder tree** pushes a value down the same tree: at each node
+//!   the parent's value is reduced modulo the node's square, ending with
+//!   `z_i = P mod N_i^2` at the leaves.
+//!
+//! Squares (`mod N_i^2` rather than `mod N_i`) matter because every `N_i`
+//! divides `P`: the useful quantity is `(P / N_i) mod N_i`, recovered as
+//! `z_i / N_i` — exact division precisely because `N_i | P`.
+
+use crate::parallel::parallel_map;
+use wk_bigint::Natural;
+
+/// A materialized product tree. `levels[0]` is the leaf level (the inputs);
+/// the last level holds the single root.
+#[derive(Clone, Debug)]
+pub struct ProductTree {
+    levels: Vec<Vec<Natural>>,
+}
+
+impl ProductTree {
+    /// Build the product tree over `moduli`, using up to `threads` threads
+    /// per level.
+    ///
+    /// # Panics
+    /// Panics if `moduli` is empty or any modulus is zero.
+    pub fn build(moduli: &[Natural], threads: usize) -> ProductTree {
+        assert!(!moduli.is_empty(), "product tree over empty input");
+        assert!(
+            moduli.iter().all(|m| !m.is_zero()),
+            "zero modulus in product tree"
+        );
+        let mut levels = vec![moduli.to_vec()];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let pairs: Vec<(Natural, Option<Natural>)> = prev
+                .chunks(2)
+                .map(|c| (c[0].clone(), c.get(1).cloned()))
+                .collect();
+            let next = parallel_map(pairs, threads, |(a, b)| match b {
+                Some(b) => &a * &b,
+                None => a, // odd node promoted unchanged
+            });
+            levels.push(next);
+        }
+        ProductTree { levels }
+    }
+
+    /// The root product `Π N_i`.
+    pub fn root(&self) -> &Natural {
+        &self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves (inputs).
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The leaf level.
+    pub fn leaves(&self) -> &[Natural] {
+        &self.levels[0]
+    }
+
+    /// Total size of all stored nodes in bytes (limb storage only) — the
+    /// quantity the paper reports as 70-100 GB per cluster node (§3.2).
+    pub fn total_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|level| level.iter())
+            .map(|n| n.limb_len() * 8)
+            .sum()
+    }
+
+    /// Compute `value mod leaf_i^2` for every leaf by descending the tree.
+    ///
+    /// The conventional use sets `value = self.root()` (so `N_i | value`),
+    /// but any value works: the k-subset distributed variant pushes *other*
+    /// subsets' products down this tree.
+    pub fn remainder_tree(&self, value: &Natural, threads: usize) -> Vec<Natural> {
+        // Current values, one per node at the level being processed.
+        let top_level = self.levels.len() - 1;
+        let mut current: Vec<Natural> = {
+            let root = &self.levels[top_level][0];
+            vec![value % &root.square()]
+        };
+        // Descend from below the root to the leaves.
+        for level_idx in (0..top_level).rev() {
+            let level = &self.levels[level_idx];
+            let tasks: Vec<(Natural, &Natural)> = level
+                .iter()
+                .enumerate()
+                .map(|(i, node)| (current[i / 2].clone(), node))
+                .collect();
+            current = parallel_map(tasks, threads, |(parent_val, node)| {
+                &parent_val % &node.square()
+            });
+        }
+        current
+    }
+
+    /// Compute `value mod leaf_i` (no squaring) for every leaf. Used by the
+    /// distributed variant for subsets that do **not** contain the leaf, so
+    /// exact divisibility is not available and plain residues are the right
+    /// quantity.
+    pub fn remainder_tree_plain(&self, value: &Natural, threads: usize) -> Vec<Natural> {
+        let top_level = self.levels.len() - 1;
+        let mut current: Vec<Natural> = {
+            let root = &self.levels[top_level][0];
+            vec![value % root]
+        };
+        for level_idx in (0..top_level).rev() {
+            let level = &self.levels[level_idx];
+            let tasks: Vec<(Natural, &Natural)> = level
+                .iter()
+                .enumerate()
+                .map(|(i, node)| (current[i / 2].clone(), node))
+                .collect();
+            current = parallel_map(tasks, threads, |(parent_val, node)| &parent_val % node);
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    fn pseudo_moduli(count: usize, seed: u64) -> Vec<Natural> {
+        let mut state = seed | 1;
+        (0..count)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                nat((state | 1) as u128) // odd, nonzero
+            })
+            .collect()
+    }
+
+    #[test]
+    fn root_is_product() {
+        let moduli = vec![nat(3), nat(5), nat(7), nat(11)];
+        let tree = ProductTree::build(&moduli, 1);
+        assert_eq!(tree.root(), &nat(3 * 5 * 7 * 11));
+        assert_eq!(tree.leaf_count(), 4);
+    }
+
+    #[test]
+    fn odd_leaf_count_promotes() {
+        let moduli = vec![nat(2), nat(3), nat(5)];
+        let tree = ProductTree::build(&moduli, 1);
+        assert_eq!(tree.root(), &nat(30));
+    }
+
+    #[test]
+    fn single_leaf() {
+        let tree = ProductTree::build(&[nat(42)], 1);
+        assert_eq!(tree.root(), &nat(42));
+        let r = tree.remainder_tree(&nat(100), 1);
+        assert_eq!(r, vec![nat(100 % (42 * 42))]);
+    }
+
+    #[test]
+    fn remainder_tree_matches_direct() {
+        let moduli = pseudo_moduli(13, 99);
+        let tree = ProductTree::build(&moduli, 1);
+        let root = tree.root().clone();
+        let rems = tree.remainder_tree(&root, 1);
+        for (m, z) in moduli.iter().zip(rems.iter()) {
+            assert_eq!(z, &(&root % &m.square()));
+            // Exactness: N_i divides P, so z_i is divisible by N_i.
+            assert!((z % m).is_zero());
+        }
+    }
+
+    #[test]
+    fn remainder_tree_plain_matches_direct() {
+        let moduli = pseudo_moduli(9, 1234);
+        let tree = ProductTree::build(&moduli, 1);
+        let external = nat(0xdead_beef_cafe_f00d_1234u128);
+        let rems = tree.remainder_tree_plain(&external, 1);
+        for (m, r) in moduli.iter().zip(rems.iter()) {
+            assert_eq!(r, &(&external % m));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let moduli = pseudo_moduli(31, 5);
+        let t1 = ProductTree::build(&moduli, 1);
+        let t4 = ProductTree::build(&moduli, 4);
+        assert_eq!(t1.root(), t4.root());
+        let r1 = t1.remainder_tree(t1.root(), 1);
+        let r4 = t4.remainder_tree(t4.root(), 4);
+        assert_eq!(r1, r4);
+    }
+
+    #[test]
+    fn total_bytes_positive_and_superlinear_in_input() {
+        let moduli = pseudo_moduli(16, 77);
+        let tree = ProductTree::build(&moduli, 1);
+        let leaf_bytes: usize = moduli.iter().map(|m| m.limb_len() * 8).sum();
+        assert!(tree.total_bytes() > leaf_bytes, "tree stores interior nodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        let _ = ProductTree::build(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modulus")]
+    fn zero_modulus_panics() {
+        let _ = ProductTree::build(&[nat(5), Natural::zero()], 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 2 and the batch-GCD ablations (DESIGN.md A1, A4, A5).
+//!
+//! * `fig2_distributed_batchgcd` — the k-subset variant across k, measuring
+//!   the paper's trade: total work grows with k while the per-node tree
+//!   (and with real nodes, the critical path) shrinks.
+//! * `ablation_naive_vs_batch` — quasilinear batch GCD vs the quadratic
+//!   pairwise baseline (§3.2's feasibility argument).
+//! * `ablation_remainder_tree` — the remainder tree vs dividing the root
+//!   product by each modulus directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wk_batchgcd::{
+    batch_gcd, distributed_batch_gcd, naive_pairwise_gcd, scratch_dir, ClusterConfig,
+    ProductTree, SpilledProductTree,
+};
+use wk_bench::key_population;
+
+fn fig2_distributed_batchgcd(c: &mut Criterion) {
+    let moduli = key_population(1500, 512, 0.02, 11);
+    let mut group = c.benchmark_group("fig2_distributed_batchgcd");
+    group.sample_size(10);
+    group.bench_function("classic", |b| {
+        b.iter(|| batch_gcd(black_box(&moduli), 1))
+    });
+    for k in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("k_subset", k), &k, |b, &k| {
+            b.iter(|| distributed_batch_gcd(black_box(&moduli), ClusterConfig::sequential(k)))
+        });
+    }
+    group.finish();
+
+    // Shape assertions printed once: work grows with k, per-node memory
+    // shrinks.
+    let classic = batch_gcd(&moduli, 1);
+    let d4 = distributed_batch_gcd(&moduli, ClusterConfig::sequential(4));
+    let d16 = distributed_batch_gcd(&moduli, ClusterConfig::sequential(16));
+    assert_eq!(d4.vulnerable_count(), classic.vulnerable_count());
+    assert_eq!(d16.vulnerable_count(), classic.vulnerable_count());
+    let node4 = d4.report.nodes.iter().map(|n| n.tree_bytes).max().unwrap();
+    let node16 = d16.report.nodes.iter().map(|n| n.tree_bytes).max().unwrap();
+    assert!(node16 < node4 && node4 < classic.stats.tree_bytes);
+    println!(
+        "fig2 shape: tree bytes classic={} k4(max node)={} k16(max node)={}; \
+         total CPU k4={:?} k16={:?}",
+        classic.stats.tree_bytes,
+        node4,
+        node16,
+        d4.report.total_cpu_time(),
+        d16.report.total_cpu_time()
+    );
+}
+
+fn ablation_naive_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_naive_vs_batch");
+    group.sample_size(10);
+    for n in [100usize, 200, 400, 800] {
+        let moduli = key_population(n, 512, 0.05, 23);
+        group.bench_with_input(BenchmarkId::new("batch", n), &moduli, |b, m| {
+            b.iter(|| batch_gcd(black_box(m), 1))
+        });
+        // The quadratic baseline is capped where it stops being polite on a
+        // single core — which is the paper's point (§3.2).
+        if n <= 400 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &moduli, |b, m| {
+                b.iter(|| naive_pairwise_gcd(black_box(m)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn ablation_remainder_tree(c: &mut Criterion) {
+    let moduli = key_population(600, 512, 0.05, 31);
+    let tree = ProductTree::build(&moduli, 1);
+    let root = tree.root().clone();
+    let mut group = c.benchmark_group("ablation_remainder_tree");
+    group.sample_size(10);
+    group.bench_function("remainder_tree", |b| {
+        b.iter(|| tree.remainder_tree(black_box(&root), 1))
+    });
+    group.bench_function("direct_division_per_leaf", |b| {
+        b.iter(|| {
+            moduli
+                .iter()
+                .map(|m| &root % &m.square())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// The paper's disk-vs-RAM contrast (§3.2): the original hardware spilled
+/// trees to disk (500 min); the cluster run kept them in RAM.
+fn ablation_disk_spill(c: &mut Criterion) {
+    let moduli = key_population(400, 512, 0.05, 37);
+    let mut group = c.benchmark_group("ablation_disk_spill");
+    group.sample_size(10);
+    group.bench_function("in_ram", |b| {
+        b.iter(|| {
+            let tree = ProductTree::build(black_box(&moduli), 1);
+            tree.remainder_tree(tree.root(), 1)
+        })
+    });
+    group.bench_function("spilled_to_disk", |b| {
+        b.iter(|| {
+            let dir = scratch_dir("bench");
+            let tree = SpilledProductTree::build(black_box(&moduli), &dir).unwrap();
+            let root = tree.root().unwrap();
+            let rems = tree.remainder_tree(&root).unwrap();
+            tree.cleanup().unwrap();
+            rems
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = batchgcd;
+    config = Criterion::default().sample_size(10);
+    targets = fig2_distributed_batchgcd, ablation_naive_vs_batch, ablation_remainder_tree,
+              ablation_disk_spill
+}
+criterion_main!(batchgcd);

@@ -1,0 +1,140 @@
+//! Benches regenerating the series behind Figures 1 and 3-10 from the
+//! shared simulated study. Each bench asserts the figure's headline shape
+//! while timing the regeneration (so a regression in either speed or shape
+//! is caught).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wk_analysis::{
+    aggregate_series, eol_impact, heartbleed_impact, model_series, vendor_series,
+    vendor_transitions,
+};
+use wk_bench::shared_results;
+use wk_scan::{registry, VendorId};
+
+fn fig1_aggregate_timeseries(c: &mut Criterion) {
+    let r = shared_results();
+    c.bench_function("fig1_aggregate_timeseries", |b| {
+        b.iter(|| {
+            let s = aggregate_series(black_box(&r.dataset), &r.vulnerable);
+            assert!(s.points.len() > 40);
+            s
+        })
+    });
+}
+
+fn vendor_bench(c: &mut Criterion, name: &str, vendor: VendorId) {
+    let r = shared_results();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let s = vendor_series(black_box(&r.dataset), &r.labeling, &r.vulnerable, vendor);
+            assert!(!s.points.is_empty());
+            s
+        })
+    });
+}
+
+fn fig3_juniper(c: &mut Criterion) {
+    vendor_bench(c, "fig3_juniper", VendorId::Juniper);
+    // Shape + transition analysis timing.
+    let r = shared_results();
+    c.bench_function("fig3_juniper_transitions", |b| {
+        b.iter(|| {
+            vendor_transitions(&r.dataset, &r.labeling, &r.vulnerable, VendorId::Juniper)
+        })
+    });
+    let s = vendor_series(&r.dataset, &r.labeling, &r.vulnerable, VendorId::Juniper);
+    assert!(heartbleed_impact(&s).vulnerable_drop_at_heartbleed);
+}
+
+fn fig4_innominate(c: &mut Criterion) {
+    vendor_bench(c, "fig4_innominate", VendorId::Innominate);
+}
+
+fn fig5_ibm(c: &mut Criterion) {
+    vendor_bench(c, "fig5_ibm", VendorId::Ibm);
+}
+
+fn fig6_cisco(c: &mut Criterion) {
+    vendor_bench(c, "fig6_cisco", VendorId::Cisco);
+}
+
+fn fig7_cisco_eol(c: &mut Criterion) {
+    let r = shared_results();
+    c.bench_function("fig7_cisco_eol", |b| {
+        b.iter(|| {
+            let mut impacts = Vec::new();
+            for spec in registry() {
+                if spec.vendor != VendorId::Cisco {
+                    continue;
+                }
+                let Some(eol) = spec.eol_announced else { continue };
+                let s = model_series(
+                    black_box(&r.dataset),
+                    &r.vulnerable,
+                    VendorId::Cisco,
+                    spec.model.unwrap(),
+                );
+                impacts.push(eol_impact(&s, eol));
+            }
+            assert_eq!(impacts.len(), 5);
+            impacts
+        })
+    });
+}
+
+fn fig8_hp(c: &mut Criterion) {
+    vendor_bench(c, "fig8_hp_ilo", VendorId::Hp);
+}
+
+fn fig9_no_response(c: &mut Criterion) {
+    let r = shared_results();
+    let vendors = [
+        VendorId::Thomson,
+        VendorId::FritzBox,
+        VendorId::Linksys,
+        VendorId::Fortinet,
+        VendorId::Zyxel,
+        VendorId::Dell,
+        VendorId::Kronos,
+        VendorId::Xerox,
+        VendorId::McAfee,
+        VendorId::TpLink,
+    ];
+    c.bench_function("fig9_no_response_grid", |b| {
+        b.iter(|| {
+            vendors
+                .iter()
+                .map(|&v| vendor_series(black_box(&r.dataset), &r.labeling, &r.vulnerable, v))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn fig10_newly_vulnerable(c: &mut Criterion) {
+    let r = shared_results();
+    let vendors = [
+        VendorId::Adtran,
+        VendorId::DLink,
+        VendorId::Huawei,
+        VendorId::Sangfor,
+        VendorId::SchmidTelecom,
+    ];
+    c.bench_function("fig10_newly_vulnerable", |b| {
+        b.iter(|| {
+            vendors
+                .iter()
+                .map(|&v| vendor_series(black_box(&r.dataset), &r.labeling, &r.vulnerable, v))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_aggregate_timeseries, fig3_juniper, fig4_innominate, fig5_ibm,
+              fig6_cisco, fig7_cisco_eol, fig8_hp, fig9_no_response,
+              fig10_newly_vulnerable
+}
+criterion_main!(figures);

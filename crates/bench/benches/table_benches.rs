@@ -1,0 +1,64 @@
+//! Benches regenerating Tables 1, 3, 4, and 5 from the shared simulated
+//! study (Table 2 is static disclosure data; see `repro --table 2`).
+//!
+//! Each bench times the analysis step that produces the table, after the
+//! expensive simulation+factoring phase has been done once and shared.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wk_analysis::{
+    dataset_totals, first_last_scan_summary, openssl_table, protocol_table,
+};
+use wk_bench::shared_results;
+
+fn table1_dataset_totals(c: &mut Criterion) {
+    let r = shared_results();
+    c.bench_function("table1_dataset_totals", |b| {
+        b.iter(|| {
+            let t = dataset_totals(black_box(&r.dataset), black_box(&r.vulnerable));
+            assert!(t.vulnerable_moduli > 0);
+            t
+        })
+    });
+}
+
+fn table3_first_last_scan(c: &mut Criterion) {
+    let r = shared_results();
+    c.bench_function("table3_first_last_scan", |b| {
+        b.iter(|| {
+            let (first, last) = first_last_scan_summary(black_box(&r.dataset));
+            assert!(last.handshakes > first.handshakes);
+            (first, last)
+        })
+    });
+}
+
+fn table4_protocols(c: &mut Criterion) {
+    let r = shared_results();
+    c.bench_function("table4_protocols", |b| {
+        b.iter(|| {
+            let rows = protocol_table(black_box(&r.dataset), black_box(&r.vulnerable));
+            assert_eq!(rows.len(), 5);
+            rows
+        })
+    });
+}
+
+fn table5_openssl_fingerprint(c: &mut Criterion) {
+    let r = shared_results();
+    c.bench_function("table5_openssl_fingerprint", |b| {
+        b.iter(|| {
+            let t = openssl_table(black_box(&r.labeling), black_box(&r.factored));
+            assert!(!t.is_empty());
+            t
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = table1_dataset_totals, table3_first_last_scan, table4_protocols,
+              table5_openssl_fingerprint
+}
+criterion_main!(tables);

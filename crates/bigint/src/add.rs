@@ -1,0 +1,144 @@
+//! Addition and subtraction operators for [`Natural`].
+//!
+//! Subtraction panics on underflow (naturals are unsigned); use
+//! [`Natural::checked_sub`] or [`Natural::abs_diff`] when the ordering is not
+//! known statically.
+
+use crate::limb;
+use crate::natural::Natural;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+impl Natural {
+    /// `self += rhs` without consuming `rhs`.
+    pub fn add_assign_ref(&mut self, rhs: &Natural) {
+        if rhs.limbs.len() > self.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        let carry = limb::add_assign_slice(&mut self.limbs, &rhs.limbs);
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self -= rhs`; panics if `rhs > self`.
+    pub fn sub_assign_ref(&mut self, rhs: &Natural) {
+        let borrow = limb::sub_assign_slice(&mut self.limbs, &rhs.limbs);
+        assert_eq!(borrow, 0, "Natural subtraction underflow");
+        self.normalize();
+    }
+}
+
+impl Add<&Natural> for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: &Natural) -> Natural {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add for Natural {
+    type Output = Natural;
+    fn add(mut self, rhs: Natural) -> Natural {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Add<u64> for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: u64) -> Natural {
+        self + &Natural::from(rhs)
+    }
+}
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl AddAssign<u64> for Natural {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add_assign_ref(&Natural::from(rhs));
+    }
+}
+
+impl Sub<&Natural> for &Natural {
+    type Output = Natural;
+    fn sub(self, rhs: &Natural) -> Natural {
+        let mut out = self.clone();
+        out.sub_assign_ref(rhs);
+        out
+    }
+}
+
+impl Sub for Natural {
+    type Output = Natural;
+    fn sub(mut self, rhs: Natural) -> Natural {
+        self.sub_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Sub<u64> for &Natural {
+    type Output = Natural;
+    fn sub(self, rhs: u64) -> Natural {
+        self - &Natural::from(rhs)
+    }
+}
+
+impl SubAssign<&Natural> for Natural {
+    fn sub_assign(&mut self, rhs: &Natural) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        assert_eq!(&n(u64::MAX as u128) + &n(1), n(u64::MAX as u128 + 1));
+        assert_eq!(&n(u128::MAX) + &n(1), {
+            let mut x = Natural::zero();
+            x.set_bit(128, true);
+            x
+        });
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        assert_eq!(&n(u64::MAX as u128 + 1) - &n(1), n(u64::MAX as u128));
+        assert_eq!(&n(12345) - &n(12345), Natural::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &n(1) - &n(2);
+    }
+
+    #[test]
+    fn checked_sub_and_abs_diff() {
+        assert_eq!(n(1).checked_sub(&n(2)), None);
+        assert_eq!(n(7).checked_sub(&n(2)), Some(n(5)));
+        assert_eq!(n(1).abs_diff(&n(2)), n(1));
+        assert_eq!(n(9).abs_diff(&n(2)), n(7));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        assert_eq!(&n(10) + 5u64, n(15));
+        assert_eq!(&n(10) - 5u64, n(5));
+        let mut a = n(1);
+        a += 2u64;
+        a += &n(3);
+        assert_eq!(a, n(6));
+    }
+}

@@ -1,0 +1,228 @@
+//! Parsing and formatting: decimal and hexadecimal.
+
+use crate::natural::Natural;
+use core::fmt;
+use core::str::FromStr;
+
+/// Error returned when parsing a [`Natural`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNaturalError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseNaturalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNaturalError {}
+
+impl Natural {
+    /// Parse from a hexadecimal string (no prefix, case-insensitive,
+    /// underscores permitted as separators).
+    pub fn from_hex(s: &str) -> Result<Natural, ParseNaturalError> {
+        let digits: Vec<u8> = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| {
+                c.to_digit(16)
+                    .map(|d| d as u8)
+                    .ok_or(ParseNaturalError {
+                        kind: ParseErrorKind::InvalidDigit(c),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        if digits.is_empty() {
+            return Err(ParseNaturalError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut limbs = vec![0u64; digits.len().div_ceil(16)];
+        for (i, &d) in digits.iter().rev().enumerate() {
+            limbs[i / 16] |= (d as u64) << (4 * (i % 16));
+        }
+        Ok(Natural::from_limbs(limbs))
+    }
+
+    /// Lowercase hexadecimal representation without prefix ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limb_len() * 16);
+        let mut iter = self.limbs().iter().rev();
+        if let Some(top) = iter.next() {
+            s.push_str(&format!("{top:x}"));
+        }
+        for l in iter {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Decimal representation. Uses repeated division by 10^19; intended for
+    /// reporting, not for bulk serialization of megabit integers.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        s
+    }
+
+    /// Parse a decimal string (underscores permitted).
+    pub fn from_decimal(s: &str) -> Result<Natural, ParseNaturalError> {
+        let mut seen = false;
+        let mut acc = Natural::zero();
+        let mut block = 0u64;
+        let mut block_len = 0u32;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or(ParseNaturalError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            seen = true;
+            block = block * 10 + d as u64;
+            block_len += 1;
+            if block_len == 19 {
+                acc = acc.mul_limb(10_000_000_000_000_000_000);
+                acc += block;
+                block = 0;
+                block_len = 0;
+            }
+        }
+        if !seen {
+            return Err(ParseNaturalError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        if block_len > 0 {
+            acc = acc.mul_limb(10u64.pow(block_len));
+            acc += block;
+        }
+        Ok(acc)
+    }
+}
+
+impl FromStr for Natural {
+    type Err = ParseNaturalError;
+
+    /// Parses decimal by default; a `0x` prefix selects hexadecimal.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Natural::from_hex(hex)
+        } else {
+            Natural::from_decimal(s)
+        }
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal())
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Hex is the natural debugging view for crypto-sized integers.
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for v in [0u128, 1, 15, 16, 0xdead_beef, u64::MAX as u128, u128::MAX] {
+            let h = n(v).to_hex();
+            assert_eq!(Natural::from_hex(&h).unwrap(), n(v), "v={v:#x}");
+            assert_eq!(h, format!("{v:x}"), "v={v:#x}");
+        }
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for v in [0u128, 1, 9, 10, 12345678901234567890, u128::MAX] {
+            let d = n(v).to_decimal();
+            assert_eq!(d, v.to_string());
+            assert_eq!(Natural::from_decimal(&d).unwrap(), n(v));
+        }
+    }
+
+    #[test]
+    fn from_str_dispatches_on_prefix() {
+        assert_eq!("255".parse::<Natural>().unwrap(), n(255));
+        assert_eq!("0xff".parse::<Natural>().unwrap(), n(255));
+        assert_eq!("0XFF".parse::<Natural>().unwrap(), n(255));
+        assert_eq!("1_000_000".parse::<Natural>().unwrap(), n(1_000_000));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<Natural>().is_err());
+        assert!("0x".parse::<Natural>().is_err());
+        assert!("12a".parse::<Natural>().is_err());
+        assert!("0xgg".parse::<Natural>().is_err());
+        assert!("_".parse::<Natural>().is_err());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", n(1234)), "1234");
+        assert_eq!(format!("{:?}", n(255)), "0xff");
+        assert_eq!(format!("{:x}", n(255)), "ff");
+        assert_eq!(format!("{}", Natural::zero()), "0");
+    }
+
+    #[test]
+    fn large_round_trip_via_both_bases() {
+        let mut x = Natural::one();
+        x.set_bit(1000, true);
+        x += 12345u64;
+        assert_eq!(Natural::from_hex(&x.to_hex()).unwrap(), x);
+        assert_eq!(Natural::from_decimal(&x.to_decimal()).unwrap(), x);
+    }
+
+    #[test]
+    fn decimal_multi_chunk_padding() {
+        // Exercise the 19-digit zero padding between chunks.
+        let v = Natural::from_decimal("100000000000000000000000000001").unwrap();
+        assert_eq!(v.to_decimal(), "100000000000000000000000000001");
+    }
+}

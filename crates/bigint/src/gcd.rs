@@ -1,0 +1,321 @@
+//! Greatest common divisors: binary GCD, Lehmer's algorithm, and the
+//! extended Euclidean algorithm.
+//!
+//! `gcd` is the other half of the batch-GCD kernel: after the remainder tree
+//! produces `z_i = P mod N_i^2`, each modulus is tested with
+//! `gcd(N_i, z_i / N_i)`. Operands there are modulus-sized (tens of limbs),
+//! so Lehmer's single-precision simulation of Euclid's algorithm is the
+//! sweet spot; binary GCD is kept as the small-size base case and as a
+//! reference implementation for tests.
+
+use crate::integer::Integer;
+use crate::natural::Natural;
+
+impl Natural {
+    /// Greatest common divisor. `gcd(0, b) == b`.
+    pub fn gcd(&self, other: &Natural) -> Natural {
+        gcd_lehmer(self.clone(), other.clone())
+    }
+
+    /// Binary (Stein's) GCD. Exposed for tests and the ablation bench;
+    /// [`Natural::gcd`] is the production entry point.
+    pub fn gcd_binary(&self, other: &Natural) -> Natural {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let za = a.trailing_zeros().unwrap();
+        let zb = b.trailing_zeros().unwrap();
+        let common = za.min(zb);
+        a >>= za;
+        b >>= zb;
+        // Both odd from here on.
+        loop {
+            if a == b {
+                break;
+            }
+            if a < b {
+                core::mem::swap(&mut a, &mut b);
+            }
+            a.sub_assign_ref(&b);
+            let z = a.trailing_zeros();
+            match z {
+                None => break, // a == b happened via subtraction to zero
+                Some(z) => a >>= z,
+            }
+        }
+        &(if b.is_zero() { a } else { b }) << common
+    }
+
+    /// Extended GCD: returns `(g, x, y)` with `g = self*x + other*y`.
+    pub fn extended_gcd(&self, other: &Natural) -> (Natural, Integer, Integer) {
+        let mut r0 = self.clone();
+        let mut r1 = other.clone();
+        let mut x0 = Integer::from(1i64);
+        let mut x1 = Integer::zero();
+        let mut y0 = Integer::zero();
+        let mut y1 = Integer::from(1i64);
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            let qi = Integer::from_natural(q);
+            let nx = &x0 - &(&qi * &x1);
+            let ny = &y0 - &(&qi * &y1);
+            r0 = r1;
+            r1 = r;
+            x0 = x1;
+            x1 = nx;
+            y0 = y1;
+            y1 = ny;
+        }
+        (r0, x0, y0)
+    }
+
+    /// Modular inverse of `self` mod `m`, or `None` if `gcd(self, m) != 1`.
+    pub fn mod_inverse(&self, m: &Natural) -> Option<Natural> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        let a = self % m;
+        if a.is_zero() {
+            return None;
+        }
+        let (g, x, _) = a.extended_gcd(m);
+        if !g.is_one() {
+            return None;
+        }
+        // Normalize x into [0, m).
+        let mag = x.magnitude() % m;
+        Some(if x.is_negative() && !mag.is_zero() {
+            m - &mag
+        } else {
+            mag
+        })
+    }
+}
+
+/// Lehmer's GCD: repeatedly simulate Euclid's algorithm on the top 64 bits
+/// of both operands with single-precision cofactors, then apply the
+/// accumulated 2x2 matrix to the full operands. Falls back to one full
+/// division step when the simulation makes no progress, and to a `u128`
+/// binary GCD once operands fit in two limbs.
+fn gcd_lehmer(mut a: Natural, mut b: Natural) -> Natural {
+    if a < b {
+        core::mem::swap(&mut a, &mut b);
+    }
+    loop {
+        if b.is_zero() {
+            return a;
+        }
+        if a.limb_len() <= 2 {
+            return Natural::from(gcd_u128(
+                a.to_u128().unwrap(),
+                b.to_u128().unwrap(),
+            ));
+        }
+        // Take the top 64-bit window of `a` and the aligned bits of `b`.
+        let k = a.bit_len();
+        let shift = k - 64;
+        let x = (&a >> shift).to_u64().expect("window fits u64");
+        let y = (&b >> shift).to_u64().expect("window fits u64");
+
+        // Simulate Euclid on (x, y) tracking cofactors: at every step
+        // a' = A*x0 + B*y0, b' = C*x0 + D*y0 for the original window values.
+        let (mut xa, mut ya) = (x as i128, y as i128);
+        let (mut ma, mut mb, mut mc, mut md) = (1i128, 0i128, 0i128, 1i128);
+        loop {
+            if ya + mc == 0 || ya + md == 0 {
+                break;
+            }
+            let q = (xa + ma) / (ya + mc);
+            let q2 = (xa + mb) / (ya + md);
+            if q != q2 {
+                break;
+            }
+            // (x, y) <- (y, x - q*y), matrix update alike.
+            let (nxa, nya) = (ya, xa - q * ya);
+            let (nma, nmb) = (mc, md);
+            let (nmc, nmd) = (ma - q * mc, mb - q * md);
+            if nya < 0 || nmc.abs() > (1 << 62) || nmd.abs() > (1 << 62) {
+                break;
+            }
+            xa = nxa;
+            ya = nya;
+            ma = nma;
+            mb = nmb;
+            mc = nmc;
+            md = nmd;
+        }
+
+        if mb == 0 {
+            // No progress possible in single precision: one full Euclid step.
+            let r = &a % &b;
+            a = b;
+            b = r;
+        } else {
+            // Apply the matrix: (a, b) <- (|A*a + B*b|, |C*a + D*b|).
+            let apply = |p: i128, q: i128, a: &Natural, b: &Natural| -> Natural {
+                let pa = &int_mul(a, p);
+                let qb = &int_mul(b, q);
+                (pa + qb).into_natural_checked("lehmer matrix application")
+            };
+            let na = apply(ma, mb, &a, &b);
+            let nb = apply(mc, md, &a, &b);
+            debug_assert!(nb < b, "Lehmer step must make progress");
+            a = na;
+            b = nb;
+            if a < b {
+                core::mem::swap(&mut a, &mut b);
+            }
+        }
+    }
+}
+
+/// Multiply a Natural by a signed 128-bit cofactor.
+fn int_mul(n: &Natural, c: i128) -> Integer {
+    let mag = n * &Natural::from(c.unsigned_abs());
+    Integer::from_sign_magnitude(c < 0, mag)
+}
+
+/// u128 binary GCD base case.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    fn pseudo(len: usize, seed: u64) -> Natural {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let limbs: Vec<u64> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        Natural::from_limbs(limbs)
+    }
+
+    #[test]
+    fn gcd_small_values() {
+        assert_eq!(n(0).gcd(&n(0)), n(0));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(17).gcd(&n(13)), n(1));
+        assert_eq!(n(1 << 20).gcd(&n(1 << 13)), n(1 << 13));
+    }
+
+    #[test]
+    fn lehmer_matches_binary_large() {
+        for seed in 0..8u64 {
+            let g = pseudo(5, seed * 3 + 1);
+            let a = &pseudo(20, seed * 3 + 2) * &g;
+            let b = &pseudo(18, seed * 3 + 3) * &g;
+            let fast = a.gcd(&b);
+            let slow = a.gcd_binary(&b);
+            assert_eq!(fast, slow, "seed={seed}");
+            // The planted common factor must divide the gcd.
+            assert!((&fast % &g).is_zero(), "planted factor lost, seed={seed}");
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both() {
+        let a = pseudo(30, 11);
+        let b = pseudo(25, 12);
+        let g = a.gcd(&b);
+        assert!((&a % &g).is_zero());
+        assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240u128, 46u128), (17, 0), (0, 9), (1, 1), (101, 103)] {
+            let (g, x, y) = n(a).extended_gcd(&n(b));
+            let lhs = &(&Integer::from_natural(n(a)) * &x)
+                + &(&Integer::from_natural(n(b)) * &y);
+            assert_eq!(lhs, Integer::from_natural(g.clone()), "a={a} b={b}");
+            if a != 0 && b != 0 {
+                assert!((&n(a) % &g).is_zero());
+                assert!((&n(b) % &g).is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn extended_gcd_bezout_large() {
+        let a = pseudo(20, 42);
+        let b = pseudo(16, 43);
+        let (g, x, y) = a.extended_gcd(&b);
+        let lhs = &(&Integer::from_natural(a) * &x) + &(&Integer::from_natural(b) * &y);
+        assert_eq!(lhs, Integer::from_natural(g));
+    }
+
+    #[test]
+    fn mod_inverse_round_trips() {
+        let m = n(1000003); // prime
+        for v in [2u128, 3, 65537, 999999] {
+            let inv = n(v).mod_inverse(&m).expect("invertible");
+            assert_eq!(&(&n(v) * &inv) % &m, n(1), "v={v}");
+        }
+    }
+
+    #[test]
+    fn mod_inverse_nonexistent() {
+        assert_eq!(n(6).mod_inverse(&n(9)), None);
+        assert_eq!(n(0).mod_inverse(&n(7)), None);
+        assert_eq!(n(3).mod_inverse(&n(1)), None);
+    }
+
+    #[test]
+    fn mod_inverse_large_prime_modulus() {
+        // 2^127 - 1 is prime (Mersenne).
+        let m = &(&Natural::one() << 127u64) - &Natural::one();
+        let v = pseudo(1, 77);
+        let inv = v.mod_inverse(&m).expect("invertible mod prime");
+        assert_eq!(&(&v * &inv) % &m, Natural::one());
+    }
+
+    #[test]
+    fn shared_prime_recovery_shape() {
+        // The core attack primitive: two moduli sharing one prime factor.
+        let p = n(0xffff_ffff_ffff_fffb); // close to 2^64, arbitrary odd
+        let q1 = n(0xffff_ffff_ffff_ffc5);
+        let q2 = n(0xffff_ffff_ffff_ff99);
+        let n1 = &p * &q1;
+        let n2 = &p * &q2;
+        let g = n1.gcd(&n2);
+        // gcd recovers exactly the shared factor (q1, q2 coprime here).
+        assert_eq!(&n1 % &g, Natural::zero());
+        assert_eq!(&n2 % &g, Natural::zero());
+        assert!((&g % &p).is_zero());
+    }
+}

@@ -1,0 +1,296 @@
+//! Limb-level primitive operations on little-endian `u64` slices.
+//!
+//! All multi-precision algorithms in this crate bottom out in the carry /
+//! borrow propagating loops defined here. Slices are little-endian: index 0
+//! holds the least-significant limb. Functions operating in place document
+//! their aliasing requirements; none of them allocate.
+
+/// Number of bits in one limb.
+pub const LIMB_BITS: u32 = 64;
+
+/// Add with carry: returns `(sum, carry_out)`.
+#[inline(always)]
+pub fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let (s1, c1) = a.overflowing_add(b);
+    let (s2, c2) = s1.overflowing_add(carry);
+    (s2, (c1 as u64) + (c2 as u64))
+}
+
+/// Subtract with borrow: returns `(diff, borrow_out)` where `borrow_out` is 0 or 1.
+#[inline(always)]
+pub fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let (d1, b1) = a.overflowing_sub(b);
+    let (d2, b2) = d1.overflowing_sub(borrow);
+    (d2, (b1 as u64) + (b2 as u64))
+}
+
+/// Full 64x64 -> 128 multiply returning `(lo, hi)`.
+#[inline(always)]
+pub fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let t = (a as u128) * (b as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// `a + b*c + carry` returning `(lo, carry_out)`; cannot overflow the 128-bit
+/// intermediate because `max + max*max + max < 2^128`.
+#[inline(always)]
+pub fn mul_add_carry(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) * (c as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// In-place addition: `acc += rhs`, where `acc.len() >= rhs.len()`.
+/// Returns the final carry (0 or 1); the caller decides whether an extra
+/// limb is needed.
+pub fn add_assign_slice(acc: &mut [u64], rhs: &[u64]) -> u64 {
+    debug_assert!(acc.len() >= rhs.len());
+    let mut carry = 0u64;
+    for (a, &b) in acc.iter_mut().zip(rhs.iter()) {
+        let (s, c) = adc(*a, b, carry);
+        *a = s;
+        carry = c;
+    }
+    if carry != 0 {
+        for a in acc[rhs.len()..].iter_mut() {
+            let (s, c) = a.overflowing_add(carry);
+            *a = s;
+            carry = c as u64;
+            if carry == 0 {
+                break;
+            }
+        }
+    }
+    carry
+}
+
+/// In-place subtraction: `acc -= rhs`, where `acc >= rhs` numerically and
+/// `acc.len() >= rhs.len()`. Returns the final borrow, which must be 0 if the
+/// precondition holds; callers `debug_assert!` on it.
+pub fn sub_assign_slice(acc: &mut [u64], rhs: &[u64]) -> u64 {
+    debug_assert!(acc.len() >= rhs.len());
+    let mut borrow = 0u64;
+    for (a, &b) in acc.iter_mut().zip(rhs.iter()) {
+        let (d, bo) = sbb(*a, b, borrow);
+        *a = d;
+        borrow = bo;
+    }
+    if borrow != 0 {
+        for a in acc[rhs.len()..].iter_mut() {
+            let (d, bo) = a.overflowing_sub(borrow);
+            *a = d;
+            borrow = bo as u64;
+            if borrow == 0 {
+                break;
+            }
+        }
+    }
+    borrow
+}
+
+/// `acc[..] += rhs * m`, propagating the carry through all of `acc`.
+/// `acc.len()` must be at least `rhs.len() + 1` to absorb the carry unless
+/// the caller knows the result fits. Returns the carry out of `acc`.
+pub fn add_mul_slice(acc: &mut [u64], rhs: &[u64], m: u64) -> u64 {
+    let mut carry = 0u64;
+    for (a, &b) in acc.iter_mut().zip(rhs.iter()) {
+        let (lo, hi) = mul_add_carry(*a, b, m, carry);
+        *a = lo;
+        carry = hi;
+    }
+    if carry != 0 {
+        for a in acc[rhs.len()..].iter_mut() {
+            let (s, c) = a.overflowing_add(carry);
+            *a = s;
+            carry = c as u64;
+            if carry == 0 {
+                break;
+            }
+        }
+    }
+    carry
+}
+
+/// `acc[..] -= rhs * m`; returns the final borrow limb (the amount by which
+/// the subtraction underflowed at the top). Used by Knuth division step D4.
+pub fn sub_mul_slice(acc: &mut [u64], rhs: &[u64], m: u64) -> u64 {
+    debug_assert!(acc.len() >= rhs.len());
+    let mut borrow = 0u64; // borrow is a full limb here
+    for (a, &b) in acc.iter_mut().zip(rhs.iter()) {
+        // a - b*m - borrow, tracked in 128 bits.
+        let prod = (b as u128) * (m as u128) + (borrow as u128);
+        let lo = prod as u64;
+        let hi = (prod >> 64) as u64;
+        let (d, under) = a.overflowing_sub(lo);
+        *a = d;
+        borrow = hi + under as u64;
+    }
+    for a in acc[rhs.len()..].iter_mut() {
+        if borrow == 0 {
+            break;
+        }
+        let (d, under) = a.overflowing_sub(borrow);
+        *a = d;
+        borrow = under as u64;
+    }
+    borrow
+}
+
+/// Compare two little-endian limb slices numerically. Leading zero limbs are
+/// permitted on either side.
+pub fn cmp_slices(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    use core::cmp::Ordering;
+    let an = effective_len(a);
+    let bn = effective_len(b);
+    if an != bn {
+        return an.cmp(&bn);
+    }
+    for i in (0..an).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Length of `a` ignoring high zero limbs.
+#[inline]
+pub fn effective_len(a: &[u64]) -> usize {
+    let mut n = a.len();
+    while n > 0 && a[n - 1] == 0 {
+        n -= 1;
+    }
+    n
+}
+
+/// Shift `src` left by `bits` (< 64) into `dst`, returning the limb shifted
+/// out of the top. `dst.len() == src.len()`; `dst` may alias `src`.
+pub fn shl_limbs_small(dst: &mut [u64], src: &[u64], bits: u32) -> u64 {
+    debug_assert!(bits < LIMB_BITS);
+    debug_assert_eq!(dst.len(), src.len());
+    if bits == 0 {
+        dst.copy_from_slice(src);
+        return 0;
+    }
+    let mut carry = 0u64;
+    for i in 0..src.len() {
+        let v = src[i];
+        dst[i] = (v << bits) | carry;
+        carry = v >> (LIMB_BITS - bits);
+    }
+    carry
+}
+
+/// Shift `src` right by `bits` (< 64) into `dst`. `dst.len() == src.len()`;
+/// `dst` may alias `src`.
+pub fn shr_limbs_small(dst: &mut [u64], src: &[u64], bits: u32) {
+    debug_assert!(bits < LIMB_BITS);
+    debug_assert_eq!(dst.len(), src.len());
+    if bits == 0 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let n = src.len();
+    for i in 0..n {
+        let lo = src[i] >> bits;
+        let hi = if i + 1 < n {
+            src[i + 1] << (LIMB_BITS - bits)
+        } else {
+            0
+        };
+        dst[i] = lo | hi;
+    }
+}
+
+/// 128/64 -> 64 division used by Knuth D3: divides `(hi, lo)` by `d`
+/// assuming `hi < d` so the quotient fits one limb. Returns `(q, r)`.
+#[inline]
+pub fn div_wide(hi: u64, lo: u64, d: u64) -> (u64, u64) {
+    debug_assert!(hi < d);
+    let n = ((hi as u128) << 64) | (lo as u128);
+    ((n / d as u128) as u64, (n % d as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(0, u64::MAX, 1), (0, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+    }
+
+    #[test]
+    fn mul_wide_extremes() {
+        assert_eq!(mul_wide(u64::MAX, u64::MAX), (1, u64::MAX - 1));
+        assert_eq!(mul_wide(0, u64::MAX), (0, 0));
+    }
+
+    #[test]
+    fn add_assign_ripple() {
+        let mut acc = vec![u64::MAX, u64::MAX, 0];
+        let carry = add_assign_slice(&mut acc, &[1]);
+        assert_eq!(carry, 0);
+        assert_eq!(acc, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn add_assign_overflow_reported() {
+        let mut acc = vec![u64::MAX];
+        assert_eq!(add_assign_slice(&mut acc, &[1]), 1);
+        assert_eq!(acc, vec![0]);
+    }
+
+    #[test]
+    fn sub_assign_ripple() {
+        let mut acc = vec![0, 0, 1];
+        let borrow = sub_assign_slice(&mut acc, &[1]);
+        assert_eq!(borrow, 0);
+        assert_eq!(acc, vec![u64::MAX, u64::MAX, 0]);
+    }
+
+    #[test]
+    fn sub_mul_matches_u128() {
+        let mut acc = vec![100, 200];
+        let borrow = sub_mul_slice(&mut acc, &[3], 7);
+        assert_eq!(borrow, 0);
+        assert_eq!(acc, vec![79, 200]);
+    }
+
+    #[test]
+    fn cmp_ignores_leading_zeros() {
+        use core::cmp::Ordering;
+        assert_eq!(cmp_slices(&[1, 0, 0], &[1]), Ordering::Equal);
+        assert_eq!(cmp_slices(&[0, 1], &[5]), Ordering::Greater);
+        assert_eq!(cmp_slices(&[5], &[0, 1]), Ordering::Less);
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let src = vec![0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210];
+        let mut shifted = vec![0; 2];
+        let carry = shl_limbs_small(&mut shifted, &src, 13);
+        let mut back = vec![0; 2];
+        shr_limbs_small(&mut back, &shifted, 13);
+        // Top 13 bits were carried out; put them back for equality check.
+        back[1] |= carry << (64 - 13);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn div_wide_basic() {
+        let (q, r) = div_wide(1, 0, 3);
+        // 2^64 / 3
+        assert_eq!(q, 0x5555_5555_5555_5555);
+        assert_eq!(r, 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! Multiplication: schoolbook, Karatsuba, and Toom-3 with size-based dispatch.
+//!
+//! Sub-quadratic multiplication is load-bearing for the reproduction: the
+//! batch-GCD product tree multiplies pairs of multi-megabit integers, and the
+//! quasilinear feasibility argument of the paper (§3.2) assumes
+//! `M(n) = n^(1+o(1))`. Karatsuba gives `n^1.585`, Toom-3 `n^1.465`, which is
+//! sufficient at the scales the simulator and benches run at.
+
+use crate::integer::Integer;
+use crate::natural::Natural;
+use core::ops::{Mul, MulAssign};
+
+/// Operand size (in limbs, of the smaller operand) at which Karatsuba takes
+/// over from schoolbook multiplication.
+pub const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Operand size (in limbs, of the smaller operand) at which Toom-3 takes over
+/// from Karatsuba.
+pub const TOOM3_THRESHOLD: usize = 144;
+
+/// Schoolbook `O(n*m)` multiplication on limb slices.
+pub(crate) fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, hi) = crate::limb::mul_add_carry(out[i + j], bj, ai, carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+/// Split `n` at `at` limbs: returns `(low, high)` as Naturals.
+fn split(n: &Natural, at: usize) -> (Natural, Natural) {
+    let limbs = n.limbs();
+    if limbs.len() <= at {
+        (n.clone(), Natural::zero())
+    } else {
+        (
+            Natural::from_limb_slice(&limbs[..at]),
+            Natural::from_limb_slice(&limbs[at..]),
+        )
+    }
+}
+
+/// Shift left by whole limbs (multiply by `2^(64*limbs)`).
+fn shl_limbs(n: &Natural, limbs: usize) -> Natural {
+    if n.is_zero() {
+        return Natural::zero();
+    }
+    let mut v = vec![0u64; limbs + n.limb_len()];
+    v[limbs..].copy_from_slice(n.limbs());
+    Natural::from_limbs(v)
+}
+
+/// Karatsuba: 3 recursive multiplications of half-size operands.
+fn karatsuba(a: &Natural, b: &Natural) -> Natural {
+    let m = a.limb_len().max(b.limb_len()).div_ceil(2);
+    let (a0, a1) = split(a, m);
+    let (b0, b1) = split(b, m);
+    let z0 = &a0 * &b0;
+    let z2 = &a1 * &b1;
+    let sa = &a0 + &a1;
+    let sb = &b0 + &b1;
+    // z1 = sa*sb - z0 - z2 >= 0 always.
+    let mut z1 = &sa * &sb;
+    z1.sub_assign_ref(&z0);
+    z1.sub_assign_ref(&z2);
+    let mut out = shl_limbs(&z2, 2 * m);
+    out.add_assign_ref(&shl_limbs(&z1, m));
+    out.add_assign_ref(&z0);
+    out
+}
+
+/// Toom-3 with evaluation points {0, 1, -1, 2, inf} and Bodrato's
+/// interpolation sequence. Intermediates at -1 can be negative, so the
+/// evaluation/interpolation runs over signed [`Integer`]s.
+fn toom3(a: &Natural, b: &Natural) -> Natural {
+    let m = a.limb_len().max(b.limb_len()).div_ceil(3);
+    let (a0, rest) = split(a, m);
+    let (a1, a2) = split(&rest, m);
+    let (b0, rest) = split(b, m);
+    let (b1, b2) = split(&rest, m);
+
+    let a0 = Integer::from_natural(a0);
+    let a1 = Integer::from_natural(a1);
+    let a2 = Integer::from_natural(a2);
+    let b0 = Integer::from_natural(b0);
+    let b1 = Integer::from_natural(b1);
+    let b2 = Integer::from_natural(b2);
+
+    // Evaluation.
+    let pa = &a0 + &a2; // a(1) helper
+    let va1 = &pa + &a1; // a(1)
+    let vam1 = &pa - &a1; // a(-1)
+    let va2 = &(&(&(&a2 << 1u64) + &a1) << 1u64) + &a0; // a(2) = 4*a2 + 2*a1 + a0
+
+    let pb = &b0 + &b2;
+    let vb1 = &pb + &b1;
+    let vbm1 = &pb - &b1;
+    let vb2 = &(&(&(&b2 << 1u64) + &b1) << 1u64) + &b0;
+
+    // Pointwise products (recurse into Natural multiplication).
+    let w0 = &a0 * &b0; // c(0)
+    let w1 = &va1 * &vb1; // c(1)
+    let wm1 = &vam1 * &vbm1; // c(-1)
+    let w2 = &va2 * &vb2; // c(2)
+    let winf = &a2 * &b2; // c(inf)
+
+    // Interpolation (Bodrato): recover coefficients c0..c4 of the product
+    // polynomial c(x) = c4 x^4 + ... + c0.
+    let mut t3 = &(&w2 - &wm1) / 3u64; // exact
+    let t1 = &(&w1 - &wm1) >> 1u64; // exact: (c(1)-c(-1))/2
+    let mut t2 = &w1 - &w0; // c(1) - c(0)
+    t3 = &(&t3 - &t2) >> 1u64;
+    t2 = &(&t2 - &t1) - &winf;
+    t3 = &t3 - &(&winf << 1u64);
+    let t1 = &t1 - &t3;
+
+    // c0 = w0, c1 = t1, c2 = t2, c3 = t3, c4 = winf; all nonnegative for a
+    // product of naturals.
+    let c0 = w0.into_natural_checked("toom3 c0");
+    let c1 = t1.into_natural_checked("toom3 c1");
+    let c2 = t2.into_natural_checked("toom3 c2");
+    let c3 = t3.into_natural_checked("toom3 c3");
+    let c4 = winf.into_natural_checked("toom3 c4");
+
+    let mut out = shl_limbs(&c4, 4 * m);
+    out.add_assign_ref(&shl_limbs(&c3, 3 * m));
+    out.add_assign_ref(&shl_limbs(&c2, 2 * m));
+    out.add_assign_ref(&shl_limbs(&c1, m));
+    out.add_assign_ref(&c0);
+    out
+}
+
+/// Multiply, dispatching on operand size. This is the single entry point all
+/// operator impls funnel through.
+pub(crate) fn mul_naturals(a: &Natural, b: &Natural) -> Natural {
+    let (small, large) = if a.limb_len() <= b.limb_len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let sn = small.limb_len();
+    if sn == 0 {
+        return Natural::zero();
+    }
+    if sn < KARATSUBA_THRESHOLD {
+        return Natural::from_limbs(schoolbook(small.limbs(), large.limbs()));
+    }
+    // Highly unbalanced operands: multiply block-by-block so the recursive
+    // algorithms always see roughly balanced halves.
+    if large.limb_len() > 2 * sn {
+        let mut out = Natural::zero();
+        let mut offset = 0usize;
+        for chunk in large.limbs().chunks(sn) {
+            let part = mul_naturals(small, &Natural::from_limb_slice(chunk));
+            out.add_assign_ref(&shl_limbs(&part, offset));
+            offset += sn;
+        }
+        return out;
+    }
+    if sn < TOOM3_THRESHOLD {
+        karatsuba(a, b)
+    } else if sn < crate::ntt::NTT_THRESHOLD {
+        toom3(a, b)
+    } else {
+        crate::ntt::mul_ntt(a, b)
+    }
+}
+
+impl Natural {
+    /// Schoolbook multiplication regardless of size — the ablation baseline
+    /// for the sub-quadratic algorithms (bench `ablation_mul_algorithms`).
+    pub fn mul_schoolbook(&self, rhs: &Natural) -> Natural {
+        Natural::from_limbs(schoolbook(self.limbs(), rhs.limbs()))
+    }
+
+    /// Multiply by a single limb.
+    pub fn mul_limb(&self, m: u64) -> Natural {
+        if m == 0 || self.is_zero() {
+            return Natural::zero();
+        }
+        let mut out = vec![0u64; self.limb_len() + 1];
+        out[..self.limb_len()].copy_from_slice(self.limbs());
+        let mut carry = 0u64;
+        for l in out.iter_mut() {
+            let (lo, hi) = crate::limb::mul_add_carry(0, *l, m, carry);
+            *l = lo;
+            carry = hi;
+        }
+        debug_assert_eq!(carry, 0);
+        Natural::from_limbs(out)
+    }
+}
+
+impl Mul<&Natural> for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: &Natural) -> Natural {
+        mul_naturals(self, rhs)
+    }
+}
+
+impl Mul for Natural {
+    type Output = Natural;
+    fn mul(self, rhs: Natural) -> Natural {
+        mul_naturals(&self, &rhs)
+    }
+}
+
+impl Mul<u64> for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: u64) -> Natural {
+        self.mul_limb(rhs)
+    }
+}
+
+impl MulAssign<&Natural> for Natural {
+    fn mul_assign(&mut self, rhs: &Natural) {
+        *self = mul_naturals(self, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn small_products_match_u128() {
+        for a in [0u128, 1, 2, u64::MAX as u128, 0x1234_5678_9abc_def0] {
+            for b in [0u128, 1, 3, u64::MAX as u128] {
+                assert_eq!(&n(a) * &n(b), n(a * b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_limb_matches_general() {
+        let a = n(u128::MAX / 7);
+        assert_eq!(a.mul_limb(7), &a * &n(7));
+        assert_eq!(a.mul_limb(0), Natural::zero());
+    }
+
+    /// Deterministic pseudo-random Natural for cross-algorithm checks.
+    fn pseudo(len: usize, seed: u64) -> Natural {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let limbs: Vec<u64> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        Natural::from_limbs(limbs)
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        for (la, lb, seed) in [(40, 40, 1), (40, 65, 2), (64, 33, 3), (100, 100, 4)] {
+            let a = pseudo(la, seed);
+            let b = pseudo(lb, seed + 100);
+            let fast = &a * &b;
+            let slow = Natural::from_limbs(schoolbook(a.limbs(), b.limbs()));
+            assert_eq!(fast, slow, "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn toom3_matches_schoolbook() {
+        for (la, lb, seed) in [(150, 150, 1), (160, 200, 2), (300, 150, 3)] {
+            let a = pseudo(la, seed);
+            let b = pseudo(lb, seed + 7);
+            let fast = toom3(&a, &b);
+            let slow = Natural::from_limbs(schoolbook(a.limbs(), b.limbs()));
+            assert_eq!(fast, slow, "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_block_path_matches_schoolbook() {
+        let a = pseudo(35, 9); // above Karatsuba threshold
+        let b = pseudo(400, 10); // > 2x longer
+        let fast = &a * &b;
+        let slow = Natural::from_limbs(schoolbook(a.limbs(), b.limbs()));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn distributive_law_large() {
+        let a = pseudo(200, 1);
+        let b = pseudo(180, 2);
+        let c = pseudo(190, 3);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn square_is_self_product() {
+        let a = pseudo(170, 4);
+        assert_eq!(a.square(), &a * &a);
+    }
+}

@@ -1,0 +1,301 @@
+//! Number-theoretic-transform multiplication over the Goldilocks prime.
+//!
+//! Karatsuba/Toom-3 give `n^1.58` / `n^1.46`; the batch-GCD feasibility
+//! argument (§3.2) ultimately rests on `M(n) = n^(1+o(1))`, which requires
+//! FFT-style multiplication. This module implements it the modern way:
+//! an iterative radix-2 NTT over `p = 2^64 - 2^32 + 1` ("Goldilocks"),
+//! whose multiplicative group contains `2^32`-th roots of unity and whose
+//! special form reduces 128-bit products with shifts and adds.
+//!
+//! Inputs are split into 16-bit digits, so convolution coefficients are
+//! bounded by `len * (2^16 - 1)^2 < 2^32 * 2^32 = 2^64 > ...` — precisely:
+//! with `len <= 2^26` digits the coefficient bound `len * (2^16-1)^2 <
+//! 2^58` stays far below `p`, so a single prime suffices for operands up to
+//! ~128 MiB. The dispatcher turns NTT on above [`NTT_THRESHOLD`] limbs.
+
+use crate::natural::Natural;
+
+/// The Goldilocks prime `2^64 - 2^32 + 1`.
+pub const P: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// Operand size (limbs, smaller operand) at which NTT takes over from
+/// Toom-3 in the multiplication dispatcher.
+pub const NTT_THRESHOLD: usize = 2048;
+
+/// Reduce a 128-bit value modulo `P` using `2^64 ≡ 2^32 - 1` and
+/// `2^96 ≡ -1 (mod P)`.
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    let lo = x as u64; // bits 0..64
+    let mid = ((x >> 64) as u64) & 0xFFFF_FFFF; // bits 64..96
+    let hi = (x >> 96) as u64; // bits 96..128
+    // x ≡ lo + mid*(2^32 - 1) - hi (mod P)
+    let mid_term = (mid << 32) - mid; // mid * (2^32-1) < 2^64: fits
+    let (mut r, carry) = lo.overflowing_add(mid_term);
+    if carry {
+        // Adding 2^64 ≡ 2^32 - 1.
+        r = r.wrapping_add(0xFFFF_FFFF);
+    }
+    // Subtract hi (hi < 2^32 <= P).
+    let (mut r2, borrow) = r.overflowing_sub(hi);
+    if borrow {
+        r2 = r2.wrapping_sub(0xFFFF_FFFF); // subtracting 2^64 ≡ subtract 2^32-1
+    }
+    if r2 >= P {
+        r2 -= P;
+    }
+    r2
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    reduce128(a as u128 * b as u128)
+}
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let (s, c) = a.overflowing_add(b);
+    let mut s = if c { s.wrapping_add(0xFFFF_FFFF) } else { s };
+    if s >= P {
+        s -= P;
+    }
+    s
+}
+
+#[inline]
+fn sub_mod(a: u64, b: u64) -> u64 {
+    let (d, borrow) = a.overflowing_sub(b);
+    if borrow {
+        d.wrapping_add(P)
+    } else {
+        d
+    }
+}
+
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Primitive `n`-th root of unity (`n` a power of two dividing `2^32`),
+/// derived from the generator 7 of the Goldilocks multiplicative group.
+fn root_of_unity(n: u64) -> u64 {
+    debug_assert!(n.is_power_of_two() && n <= 1 << 32);
+    // ord(7) = P - 1 = 2^32 * (2^32 - 1).
+    pow_mod(7, (P - 1) / n)
+}
+
+/// In-place iterative radix-2 Cooley-Tukey NTT. `values.len()` must be a
+/// power of two ≤ 2^32; `invert` runs the inverse transform (including the
+/// 1/n scaling).
+fn ntt(values: &mut [u64], invert: bool) {
+    let n = values.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            values.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let mut w_len = root_of_unity(len as u64);
+        if invert {
+            w_len = pow_mod(w_len, P - 2); // inverse root
+        }
+        for start in (0..n).step_by(len) {
+            let mut w = 1u64;
+            for k in 0..len / 2 {
+                let u = values[start + k];
+                let v = mul_mod(values[start + k + len / 2], w);
+                values[start + k] = add_mod(u, v);
+                values[start + k + len / 2] = sub_mod(u, v);
+                w = mul_mod(w, w_len);
+            }
+        }
+        len <<= 1;
+    }
+    if invert {
+        let n_inv = pow_mod(n as u64, P - 2);
+        for v in values.iter_mut() {
+            *v = mul_mod(*v, n_inv);
+        }
+    }
+}
+
+/// Split a Natural into little-endian 16-bit digits.
+fn to_digits(n: &Natural) -> Vec<u64> {
+    let mut digits = Vec::with_capacity(n.limb_len() * 4);
+    for &limb in n.limbs() {
+        digits.push(limb & 0xFFFF);
+        digits.push((limb >> 16) & 0xFFFF);
+        digits.push((limb >> 32) & 0xFFFF);
+        digits.push((limb >> 48) & 0xFFFF);
+    }
+    digits
+}
+
+/// Rebuild a Natural from 16-bit-digit convolution coefficients
+/// (each < 2^58), propagating carries in 128-bit arithmetic.
+fn from_coefficients(coeffs: &[u64]) -> Natural {
+    let mut limbs = vec![0u64; coeffs.len() / 4 + 2];
+    let mut carry: u128 = 0;
+    for (i, chunk) in coeffs.chunks(4).enumerate() {
+        // Assemble one 64-bit limb from four 16-bit positions plus carry.
+        let mut acc: u128 = carry;
+        for (k, &c) in chunk.iter().enumerate() {
+            acc += (c as u128) << (16 * k);
+        }
+        limbs[i] = acc as u64;
+        carry = acc >> 64;
+    }
+    let tail = coeffs.chunks(4).count();
+    let mut i = tail;
+    while carry > 0 {
+        limbs[i] = carry as u64;
+        carry >>= 64;
+        i += 1;
+    }
+    Natural::from_limbs(limbs)
+}
+
+/// NTT multiplication. Exposed for the ablation bench; the dispatcher in
+/// [`crate::mul`] calls it automatically above [`NTT_THRESHOLD`].
+///
+/// # Panics
+/// Panics if the required transform size exceeds `2^32` (operands beyond
+/// ~8 GiB) — far past anything this workspace constructs.
+pub fn mul_ntt(a: &Natural, b: &Natural) -> Natural {
+    if a.is_zero() || b.is_zero() {
+        return Natural::zero();
+    }
+    let da = to_digits(a);
+    let db = to_digits(b);
+    let result_len = da.len() + db.len();
+    let n = result_len.next_power_of_two();
+    assert!(n as u64 <= 1 << 32, "operand too large for single-prime NTT");
+    let mut fa = da;
+    fa.resize(n, 0);
+    let mut fb = db;
+    fb.resize(n, 0);
+    ntt(&mut fa, false);
+    ntt(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(fb.iter()) {
+        *x = mul_mod(*x, *y);
+    }
+    ntt(&mut fa, true);
+    from_coefficients(&fa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Natural {
+        let mut state = seed | 1;
+        let limbs: Vec<u64> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        Natural::from_limbs(limbs)
+    }
+
+    #[test]
+    fn reduce128_matches_u128_remainder() {
+        for x in [
+            0u128,
+            1,
+            P as u128,
+            P as u128 + 1,
+            u64::MAX as u128,
+            u128::MAX,
+            (P as u128) * (P as u128) - 1,
+            0xdead_beef_cafe_f00d_1234_5678_9abc_def0,
+        ] {
+            assert_eq!(reduce128(x) as u128, x % P as u128, "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn modular_ops_match_u128() {
+        for a in [0u64, 1, P - 1, 0x1234_5678_9abc_def0] {
+            for b in [0u64, 1, P - 1, 0xfeed_face_dead_beef % P] {
+                assert_eq!(add_mod(a, b) as u128, (a as u128 + b as u128) % P as u128);
+                assert_eq!(
+                    sub_mod(a, b) as u128,
+                    (a as u128 + P as u128 - b as u128) % P as u128
+                );
+                assert_eq!(mul_mod(a, b) as u128, (a as u128 * b as u128) % P as u128);
+            }
+        }
+    }
+
+    #[test]
+    fn roots_have_exact_order() {
+        for log_n in [1u32, 2, 8, 16] {
+            let n = 1u64 << log_n;
+            let w = root_of_unity(n);
+            assert_eq!(pow_mod(w, n), 1, "w^n must be 1 (n=2^{log_n})");
+            assert_ne!(pow_mod(w, n / 2), 1, "w must be primitive (n=2^{log_n})");
+        }
+    }
+
+    #[test]
+    fn ntt_round_trips() {
+        let mut values: Vec<u64> = (0..64u64).map(|i| i * i + 7).collect();
+        let original = values.clone();
+        ntt(&mut values, false);
+        assert_ne!(values, original);
+        ntt(&mut values, true);
+        assert_eq!(values, original);
+    }
+
+    #[test]
+    fn small_products_match_schoolbook() {
+        for (la, lb, seed) in [(1, 1, 1), (2, 3, 2), (8, 8, 3), (20, 5, 4)] {
+            let a = pseudo(la, seed);
+            let b = pseudo(lb, seed + 50);
+            assert_eq!(mul_ntt(&a, &b), a.mul_schoolbook(&b), "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn large_products_match_dispatched() {
+        for (la, lb, seed) in [(300, 300, 9), (1000, 700, 10), (2500, 2500, 11)] {
+            let a = pseudo(la, seed);
+            let b = pseudo(lb, seed + 99);
+            assert_eq!(mul_ntt(&a, &b), &a * &b, "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one() {
+        let a = pseudo(50, 5);
+        assert_eq!(mul_ntt(&a, &Natural::zero()), Natural::zero());
+        assert_eq!(mul_ntt(&Natural::one(), &a), a);
+    }
+
+    #[test]
+    fn square_via_ntt() {
+        let a = pseudo(600, 6);
+        assert_eq!(mul_ntt(&a, &a), a.square());
+    }
+}

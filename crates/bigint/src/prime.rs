@@ -1,0 +1,203 @@
+//! Primality: small-prime sieve, trial division, and Miller-Rabin.
+//!
+//! The sieve doubles as the data source for the OpenSSL prime fingerprint
+//! (Mironov): OpenSSL rejects candidate primes `p` where `p - 1` is
+//! divisible by any of the first 2048 odd-checked primes, so fingerprinting
+//! needs exactly that prime list.
+
+use crate::natural::Natural;
+use rand::RngCore;
+
+/// Return the first `count` primes (2, 3, 5, ...) by a segmented trial sieve.
+pub fn first_primes(count: usize) -> Vec<u64> {
+    let mut primes: Vec<u64> = Vec::with_capacity(count);
+    if count == 0 {
+        return primes;
+    }
+    primes.push(2);
+    let mut candidate = 3u64;
+    while primes.len() < count {
+        let is_prime = primes
+            .iter()
+            .take_while(|&&p| p * p <= candidate)
+            .all(|&p| candidate % p != 0);
+        if is_prime {
+            primes.push(candidate);
+        }
+        candidate += 2;
+    }
+    primes
+}
+
+/// Primes below 1000, used for cheap trial division before Miller-Rabin.
+fn trial_primes() -> &'static [u64] {
+    use std::sync::OnceLock;
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| first_primes(168)) // 168 primes below 1000
+}
+
+/// Deterministic Miller-Rabin witness set: proves primality for all
+/// `n < 3.317e24` (Sorenson-Webster) and is an extremely strong
+/// probabilistic test beyond that for non-adversarial inputs.
+const FIXED_WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+impl Natural {
+    /// Probabilistic primality test: trial division by small primes, then
+    /// Miller-Rabin with the fixed witness set plus `extra_rounds` random
+    /// bases drawn from `rng`.
+    ///
+    /// For the 512/1024-bit simulator keys this is overwhelming evidence;
+    /// the fixed witnesses alone are deterministic below 3.3e24.
+    pub fn is_probable_prime<R: RngCore + ?Sized>(
+        &self,
+        extra_rounds: u32,
+        rng: &mut R,
+    ) -> bool {
+        if let Some(v) = self.to_u64() {
+            if v < 2 {
+                return false;
+            }
+        }
+        for &p in trial_primes() {
+            if self.to_u64() == Some(p) {
+                return true;
+            }
+            if self.rem_limb(p) == 0 {
+                return false;
+            }
+        }
+        // Decompose n-1 = d * 2^s.
+        let n_minus_1 = self - &Natural::one();
+        let s = n_minus_1.trailing_zeros().expect("n > 2 is odd here");
+        let d = &n_minus_1 >> s;
+
+        for &w in FIXED_WITNESSES.iter() {
+            let wn = Natural::from(w);
+            if &wn % self == Natural::zero() {
+                continue; // witness is a multiple of n (tiny n): skip
+            }
+            if !miller_rabin_round(self, &d, s, &wn) {
+                return false;
+            }
+        }
+        for _ in 0..extra_rounds {
+            let w = Natural::random_range(rng, &Natural::from(2u64), &n_minus_1);
+            if !miller_rabin_round(self, &d, s, &w) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deterministic-witness-only convenience used where no RNG is at hand.
+    pub fn is_probable_prime_fixed(&self) -> bool {
+        struct NoRng;
+        impl RngCore for NoRng {
+            fn next_u32(&mut self) -> u32 {
+                unreachable!("no random rounds requested")
+            }
+            fn next_u64(&mut self) -> u64 {
+                unreachable!("no random rounds requested")
+            }
+            fn fill_bytes(&mut self, _dest: &mut [u8]) {
+                unreachable!("no random rounds requested")
+            }
+            fn try_fill_bytes(&mut self, _dest: &mut [u8]) -> Result<(), rand::Error> {
+                unreachable!("no random rounds requested")
+            }
+        }
+        self.is_probable_prime(0, &mut NoRng)
+    }
+}
+
+/// One Miller-Rabin round: returns `true` when `n` passes for witness `w`.
+fn miller_rabin_round(n: &Natural, d: &Natural, s: u64, w: &Natural) -> bool {
+    let n_minus_1 = n - &Natural::one();
+    let mut x = w.mod_pow(d, n);
+    if x.is_one() || x == n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = x.mod_pow(&Natural::from(2u64), n);
+        if x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false; // nontrivial square root of 1 found
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn first_primes_prefix() {
+        assert_eq!(first_primes(0), Vec::<u64>::new());
+        assert_eq!(first_primes(10), vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        let p2048 = first_primes(2048);
+        assert_eq!(p2048.len(), 2048);
+        assert_eq!(*p2048.last().unwrap(), 17863); // the 2048th prime
+    }
+
+    #[test]
+    fn trial_prime_count_below_1000() {
+        let p = first_primes(168);
+        assert_eq!(*p.last().unwrap(), 997);
+    }
+
+    #[test]
+    fn small_primality_table() {
+        let primes = [2u128, 3, 5, 7, 11, 97, 101, 997, 65537, 1000003];
+        let composites = [0u128, 1, 4, 9, 15, 91, 561, 1000001, 65536];
+        for p in primes {
+            assert!(n(p).is_probable_prime_fixed(), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!n(c).is_probable_prime_fixed(), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Fermat liars galore: 561, 1105, 1729, 2465, 2821, 6601, 8911.
+        for c in [561u128, 1105, 1729, 2465, 2821, 6601, 8911, 41041] {
+            assert!(!n(c).is_probable_prime_fixed(), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn mersenne_primes_accepted() {
+        for e in [13u64, 17, 19, 31, 61, 89, 107, 127] {
+            let p = &(&Natural::one() << e) - &Natural::one();
+            assert!(p.is_probable_prime_fixed(), "2^{e}-1 is prime");
+        }
+        // And non-prime Mersenne numbers rejected.
+        for e in [11u64, 23, 29, 37, 41] {
+            let p = &(&Natural::one() << e) - &Natural::one();
+            assert!(!p.is_probable_prime_fixed(), "2^{e}-1 is composite");
+        }
+    }
+
+    #[test]
+    fn random_rounds_agree_with_fixed() {
+        let mut rng = rand::rngs::mock::StepRng::new(0x1234_5678, 0x9e37_79b9);
+        let p = &(&Natural::one() << 127u64) - &Natural::one();
+        assert!(p.is_probable_prime(5, &mut rng));
+        let c = &p * &n(3);
+        assert!(!c.is_probable_prime(5, &mut rng));
+    }
+
+    #[test]
+    fn product_of_two_large_primes_is_composite() {
+        let p = &(&Natural::one() << 89u64) - &Natural::one();
+        let q = &(&Natural::one() << 107u64) - &Natural::one();
+        assert!(!(&p * &q).is_probable_prime_fixed());
+    }
+}

@@ -1,0 +1,151 @@
+//! Random [`Natural`] generation over any [`rand::RngCore`].
+//!
+//! Key generation in the simulator draws its randomness from *modeled*
+//! entropy sources (see `wk-rng`), which implement `RngCore`; these helpers
+//! are the bridge from raw generator output to big integers.
+
+use crate::natural::Natural;
+use rand::RngCore;
+
+impl Natural {
+    /// Uniformly random value with exactly `bits` bits (top bit set),
+    /// or zero when `bits == 0`.
+    pub fn random_bits_exact<R: RngCore + ?Sized>(rng: &mut R, bits: u64) -> Natural {
+        if bits == 0 {
+            return Natural::zero();
+        }
+        let mut n = Self::random_bits(rng, bits);
+        n.set_bit(bits - 1, true);
+        n
+    }
+
+    /// Uniformly random value in `[0, 2^bits)`.
+    pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, bits: u64) -> Natural {
+        if bits == 0 {
+            return Natural::zero();
+        }
+        let limbs_needed = bits.div_ceil(64) as usize;
+        let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.next_u64()).collect();
+        let top_bits = bits % 64;
+        if top_bits != 0 {
+            limbs[limbs_needed - 1] &= (1u64 << top_bits) - 1;
+        }
+        Natural::from_limbs(limbs)
+    }
+
+    /// Uniformly random value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &Natural) -> Natural {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_len();
+        loop {
+            let candidate = Self::random_bits(rng, bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniformly random value in `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low >= high`.
+    pub fn random_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: &Natural,
+        high: &Natural,
+    ) -> Natural {
+        assert!(low < high, "empty range");
+        let width = high - low;
+        low + &Self::random_below(rng, &width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::mock::StepRng;
+    use rand::SeedableRng;
+
+    fn rng() -> impl RngCore {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_bits_exact_has_exact_length() {
+        let mut r = rng();
+        for bits in [1u64, 2, 63, 64, 65, 512, 1000] {
+            let n = Natural::random_bits_exact(&mut r, bits);
+            assert_eq!(n.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn random_bits_bounded() {
+        let mut r = rng();
+        for bits in [1u64, 7, 64, 100] {
+            for _ in 0..20 {
+                let n = Natural::random_bits(&mut r, bits);
+                assert!(n.bit_len() <= bits);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bits_is_zero() {
+        let mut r = StepRng::new(u64::MAX, 0);
+        assert!(Natural::random_bits(&mut r, 0).is_zero());
+        assert!(Natural::random_bits_exact(&mut r, 0).is_zero());
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut r = rng();
+        let bound = Natural::from(1000u64);
+        for _ in 0..200 {
+            assert!(Natural::random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        let mut r = rng();
+        let bound = Natural::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = Natural::random_below(&mut r, &bound).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn random_range_within_bounds() {
+        let mut r = rng();
+        let low = Natural::from(100u64);
+        let high = Natural::from(110u64);
+        for _ in 0..100 {
+            let v = Natural::random_range(&mut r, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn random_below_zero_panics() {
+        let mut r = StepRng::new(0, 1);
+        let _ = Natural::random_below(&mut r, &Natural::zero());
+    }
+
+    #[test]
+    fn deterministic_under_seeded_rng() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(7);
+        let mut b = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(
+            Natural::random_bits(&mut a, 512),
+            Natural::random_bits(&mut b, 512)
+        );
+    }
+}

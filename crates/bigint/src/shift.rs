@@ -1,0 +1,129 @@
+//! Bit-shift operators for [`Natural`].
+
+use crate::limb;
+use crate::natural::Natural;
+use core::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+impl Natural {
+    /// `self << bits` as a new value.
+    pub fn shl_bits(&self, bits: u64) -> Natural {
+        if self.is_zero() || bits == 0 {
+            let mut out = self.clone();
+            out.shl_assign_bits(bits);
+            return out;
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = (bits % 64) as u32;
+        let mut limbs = vec![0u64; limb_shift + self.limbs.len() + 1];
+        let carry = limb::shl_limbs_small(
+            &mut limbs[limb_shift..limb_shift + self.limbs.len()],
+            &self.limbs,
+            bit_shift,
+        );
+        let top = limb_shift + self.limbs.len();
+        limbs[top] = carry;
+        Natural::from_limbs(limbs)
+    }
+
+    /// `self >>= bits` in place.
+    pub fn shr_assign_bits(&mut self, bits: u64) {
+        if self.is_zero() || bits == 0 {
+            return;
+        }
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            self.limbs.clear();
+            return;
+        }
+        self.limbs.drain(..limb_shift);
+        let bit_shift = (bits % 64) as u32;
+        let n = self.limbs.len();
+        if bit_shift != 0 {
+            let src = core::mem::take(&mut self.limbs);
+            let mut dst = vec![0u64; n];
+            limb::shr_limbs_small(&mut dst, &src, bit_shift);
+            self.limbs = dst;
+        }
+        self.normalize();
+    }
+
+    /// `self <<= bits` in place.
+    pub fn shl_assign_bits(&mut self, bits: u64) {
+        if self.is_zero() || bits == 0 {
+            return;
+        }
+        *self = self.shl_bits(bits);
+    }
+}
+
+impl Shl<u64> for &Natural {
+    type Output = Natural;
+    fn shl(self, bits: u64) -> Natural {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &Natural {
+    type Output = Natural;
+    fn shr(self, bits: u64) -> Natural {
+        let mut out = self.clone();
+        out.shr_assign_bits(bits);
+        out
+    }
+}
+
+impl ShlAssign<u64> for Natural {
+    fn shl_assign(&mut self, bits: u64) {
+        self.shl_assign_bits(bits);
+    }
+}
+
+impl ShrAssign<u64> for Natural {
+    fn shr_assign(&mut self, bits: u64) {
+        self.shr_assign_bits(bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn shl_matches_u128() {
+        for v in [0u128, 1, 0xdead_beef, u64::MAX as u128] {
+            for s in [0u64, 1, 13, 63, 64, 65] {
+                if v.leading_zeros() as u64 >= s {
+                    assert_eq!(&n(v) << s, n(v << s), "v={v} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shr_matches_u128() {
+        for v in [0u128, 1, 0xdead_beef_cafe_f00d_1234_5678u128, u128::MAX] {
+            for s in [0u64, 1, 13, 63, 64, 65, 127, 128, 200] {
+                assert_eq!(&n(v) >> s, n(v.checked_shr(s as u32).unwrap_or(0)), "v={v} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_round_trip_large() {
+        let mut x = Natural::one();
+        x.set_bit(1000, true);
+        let y = &(&x << 777) >> 777;
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        let mut x = n(12345);
+        x >>= 1000;
+        assert!(x.is_zero());
+    }
+}

@@ -1,0 +1,103 @@
+//! Integer square root and related helpers.
+
+use crate::natural::Natural;
+
+impl Natural {
+    /// Integer square root: the largest `r` with `r*r <= self`.
+    ///
+    /// Newton's iteration on integers with a bit-length-based initial
+    /// guess; converges in O(log bits) iterations.
+    pub fn isqrt(&self) -> Natural {
+        if self.is_zero() || self.is_one() {
+            return self.clone();
+        }
+        // Initial guess: 2^ceil(bits/2) >= sqrt(self).
+        let mut x = &Natural::one() << self.bit_len().div_ceil(2);
+        loop {
+            // x' = (x + self/x) / 2
+            let next = &(&x + &(self / &x)) >> 1u64;
+            if next >= x {
+                break;
+            }
+            x = next;
+        }
+        debug_assert!(&x.square() <= self);
+        x
+    }
+
+    /// Is the value a perfect square?
+    pub fn is_perfect_square(&self) -> bool {
+        // Cheap residue filter: squares mod 16 are in {0,1,4,9}.
+        if !self.is_zero() {
+            let low = self.limbs()[0] & 0xf;
+            if !matches!(low, 0 | 1 | 4 | 9) {
+                return false;
+            }
+        }
+        self.isqrt().square() == *self
+    }
+
+    /// Least common multiple. `lcm(0, x) == 0`.
+    pub fn lcm(&self, other: &Natural) -> Natural {
+        if self.is_zero() || other.is_zero() {
+            return Natural::zero();
+        }
+        &(self / &self.gcd(other)) * other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn isqrt_matches_u128() {
+        for v in [0u128, 1, 2, 3, 4, 8, 9, 15, 16, 17, 99, 100, u64::MAX as u128, u128::MAX] {
+            let r = n(v).isqrt().to_u128().unwrap();
+            assert!(r * r <= v, "v={v} r={r}");
+            assert!(
+                r.checked_add(1).map_or(true, |r1| r1.checked_mul(r1).map_or(true, |sq| sq > v)),
+                "v={v} r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn isqrt_of_large_square_is_exact() {
+        let mut x = Natural::one();
+        x.set_bit(777, true);
+        x += 12345u64;
+        assert_eq!(x.square().isqrt(), x);
+    }
+
+    #[test]
+    fn perfect_square_detection() {
+        assert!(n(0).is_perfect_square());
+        assert!(n(1).is_perfect_square());
+        assert!(n(144).is_perfect_square());
+        assert!(!n(145).is_perfect_square());
+        assert!(!n(2).is_perfect_square());
+        let big = n(0xdead_beef_cafe).square();
+        assert!(big.is_perfect_square());
+        assert!(!(&big + &n(1)).is_perfect_square());
+    }
+
+    #[test]
+    fn lcm_values() {
+        assert_eq!(n(4).lcm(&n(6)), n(12));
+        assert_eq!(n(7).lcm(&n(13)), n(91));
+        assert_eq!(n(0).lcm(&n(5)), n(0));
+        assert_eq!(n(5).lcm(&n(5)), n(5));
+    }
+
+    #[test]
+    fn lcm_gcd_product_identity() {
+        let a = n(35 * 9);
+        let b = n(21 * 4);
+        assert_eq!(&a.lcm(&b) * &a.gcd(&b), &a * &b);
+    }
+}

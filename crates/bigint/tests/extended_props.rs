@@ -1,0 +1,85 @@
+//! Property tests for the extended arithmetic: NTT multiplication, integer
+//! square root, lcm, and cross-algorithm agreement at dispatch boundaries.
+
+use proptest::prelude::*;
+use wk_bigint::Natural;
+
+fn natural(max_limbs: usize) -> impl Strategy<Value = Natural> {
+    proptest::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(Natural::from_limbs)
+}
+
+fn nonzero_natural(max_limbs: usize) -> impl Strategy<Value = Natural> {
+    natural(max_limbs).prop_map(|n| if n.is_zero() { Natural::one() } else { n })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// NTT multiplication agrees with the dispatched algorithms at every
+    /// size (the dispatcher itself only uses NTT above 2048 limbs, so this
+    /// cross-checks the independent code path).
+    #[test]
+    fn ntt_matches_dispatched(a in natural(80), b in natural(80)) {
+        prop_assert_eq!(wk_bigint::mul_ntt(&a, &b), &a * &b);
+    }
+
+    /// isqrt returns the exact floor square root.
+    #[test]
+    fn isqrt_bounds(a in natural(30)) {
+        let r = a.isqrt();
+        prop_assert!(r.square() <= a);
+        let r1 = &r + &Natural::one();
+        prop_assert!(r1.square() > a);
+    }
+
+    /// Perfect squares round-trip through isqrt.
+    #[test]
+    fn perfect_square_roundtrip(a in natural(15)) {
+        let sq = a.square();
+        prop_assert!(sq.is_perfect_square());
+        prop_assert_eq!(sq.isqrt(), a);
+    }
+
+    /// lcm * gcd == a * b.
+    #[test]
+    fn lcm_gcd_identity(a in nonzero_natural(12), b in nonzero_natural(12)) {
+        prop_assert_eq!(&a.lcm(&b) * &a.gcd(&b), &a * &b);
+    }
+
+    /// lcm is divisible by both arguments.
+    #[test]
+    fn lcm_is_common_multiple(a in nonzero_natural(8), b in nonzero_natural(8)) {
+        let l = a.lcm(&b);
+        prop_assert!((&l % &a).is_zero());
+        prop_assert!((&l % &b).is_zero());
+    }
+
+    /// NTT at asymmetric sizes (one operand far larger).
+    #[test]
+    fn ntt_asymmetric(a in natural(4), b in natural(200)) {
+        prop_assert_eq!(wk_bigint::mul_ntt(&a, &b), &a * &b);
+    }
+
+    /// The dispatched product crosses the NTT threshold consistently:
+    /// build operands just below/above 2048 limbs deterministically from a
+    /// seed and compare against schoolbook on a truncated check — instead,
+    /// verify the ring identity (a+1)*b == a*b + b at large sizes, which
+    /// any dispatch inconsistency would break.
+    #[test]
+    fn large_dispatch_ring_identity(seed in 0u64..32) {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let limbs: Vec<u64> = (0..2100)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        let a = Natural::from_limbs(limbs.clone());
+        let b = Natural::from_limbs(limbs.into_iter().rev().collect());
+        let lhs = &(&a + &Natural::one()) * &b; // NTT path (2100 limbs)
+        let rhs = &(&a * &b) + &b;
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,255 @@
+//! The certificate model.
+//!
+//! Fingerprinting in the paper uses distinguished-name strings, subject
+//! alternative names, chain position, and the public key — never raw ASN.1.
+//! The model therefore keeps certificates structured and skips DER entirely
+//! (DESIGN.md substitution table).
+
+use crate::time::MonthDate;
+use wk_bigint::Natural;
+
+/// An X.509-style distinguished name, limited to the fields the study's
+/// fingerprints read.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DistinguishedName {
+    /// CN
+    pub common_name: Option<String>,
+    /// O
+    pub organization: Option<String>,
+    /// OU
+    pub organizational_unit: Option<String>,
+    /// C
+    pub country: Option<String>,
+}
+
+impl DistinguishedName {
+    /// Build with just a common name.
+    pub fn cn(common_name: &str) -> Self {
+        DistinguishedName {
+            common_name: Some(common_name.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// Render in the usual `CN=..., O=..., OU=..., C=...` display form.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(v) = &self.common_name {
+            parts.push(format!("CN={v}"));
+        }
+        if let Some(v) = &self.organization {
+            parts.push(format!("O={v}"));
+        }
+        if let Some(v) = &self.organizational_unit {
+            parts.push(format!("OU={v}"));
+        }
+        if let Some(v) = &self.country {
+            parts.push(format!("C={v}"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// A TLS certificate as observed by a scan.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Certificate {
+    /// Serial number (unique within the simulation).
+    pub serial: u64,
+    /// Subject distinguished name.
+    pub subject: DistinguishedName,
+    /// Issuer distinguished name; equals `subject` for self-signed certs.
+    pub issuer: DistinguishedName,
+    /// DNS subject alternative names.
+    pub subject_alt_names: Vec<String>,
+    /// RSA modulus of the subject public key.
+    pub modulus: Natural,
+    /// RSA public exponent.
+    pub exponent: u64,
+    /// First month of validity.
+    pub not_before: MonthDate,
+    /// Months of validity.
+    pub validity_months: u32,
+    /// CA certificate (intermediates in Rapid7 scan data).
+    pub is_ca: bool,
+    /// Whether the certificate chains to a browser-trusted root. Almost
+    /// never true for the vulnerable population ([21]; §2.4).
+    pub browser_trusted: bool,
+}
+
+impl Certificate {
+    /// Self-signed device certificate (the overwhelmingly common case).
+    pub fn self_signed(
+        serial: u64,
+        subject: DistinguishedName,
+        subject_alt_names: Vec<String>,
+        modulus: Natural,
+        not_before: MonthDate,
+    ) -> Self {
+        Certificate {
+            serial,
+            issuer: subject.clone(),
+            subject,
+            subject_alt_names,
+            modulus,
+            exponent: 65537,
+            not_before,
+            validity_months: 120,
+            is_ca: false,
+            browser_trusted: false,
+        }
+    }
+
+    /// Is the certificate self-signed (subject == issuer)?
+    pub fn is_self_signed(&self) -> bool {
+        self.subject == self.issuer
+    }
+
+    /// Valid during `month`?
+    pub fn valid_at(&self, month: MonthDate) -> bool {
+        month >= self.not_before && month.months_since(self.not_before) < self.validity_months
+    }
+
+    /// Return a copy with the public key replaced — the Internet Rimon
+    /// man-in-the-middle transformation (§3.3.3): "only the public key and
+    /// the signature were changed; the rest of the certificate remained
+    /// unchanged".
+    pub fn with_substituted_key(&self, modulus: Natural) -> Certificate {
+        Certificate {
+            modulus,
+            ..self.clone()
+        }
+    }
+}
+
+/// Reconstruct chains within the set of certificates presented at one IP
+/// and return the index of the *leaf* ("the lowest certificate in the
+/// chain", §3.1) — the certificate that is not the issuer of any other
+/// presented certificate.
+///
+/// Rapid7 scan data includes unchained intermediates; the other sources
+/// exclude or pre-chain them. Running everything through this selector
+/// normalizes the difference.
+pub fn select_leaf(certs: &[Certificate]) -> Option<usize> {
+    if certs.is_empty() {
+        return None;
+    }
+    let mut candidates: Vec<usize> = (0..certs.len())
+        .filter(|&i| {
+            // A leaf's subject is not the issuer of any *other* cert.
+            !certs
+                .iter()
+                .enumerate()
+                .any(|(j, c)| j != i && c.issuer == certs[i].subject && !c.is_self_signed())
+        })
+        .collect();
+    // Prefer non-CA leaves (an intermediate may be issuer-less in the set).
+    if candidates.len() > 1 {
+        let non_ca: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| !certs[i].is_ca)
+            .collect();
+        if !non_ca.is_empty() {
+            candidates = non_ca;
+        }
+    }
+    candidates.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    fn date() -> MonthDate {
+        MonthDate::new(2012, 6)
+    }
+
+    #[test]
+    fn dn_render_order_and_omission() {
+        let dn = DistinguishedName {
+            common_name: Some("system generated".into()),
+            organization: None,
+            organizational_unit: Some("SRX".into()),
+            country: None,
+        };
+        assert_eq!(dn.render(), "CN=system generated, OU=SRX");
+        assert_eq!(DistinguishedName::default().render(), "");
+    }
+
+    #[test]
+    fn self_signed_detection() {
+        let c = Certificate::self_signed(1, DistinguishedName::cn("x"), vec![], nat(35), date());
+        assert!(c.is_self_signed());
+        let mut d = c.clone();
+        d.issuer = DistinguishedName::cn("SomeCA");
+        assert!(!d.is_self_signed());
+    }
+
+    #[test]
+    fn validity_window() {
+        let mut c =
+            Certificate::self_signed(1, DistinguishedName::cn("x"), vec![], nat(35), date());
+        c.validity_months = 12;
+        assert!(!c.valid_at(MonthDate::new(2012, 5)));
+        assert!(c.valid_at(MonthDate::new(2012, 6)));
+        assert!(c.valid_at(MonthDate::new(2013, 5)));
+        assert!(!c.valid_at(MonthDate::new(2013, 6)));
+    }
+
+    #[test]
+    fn key_substitution_preserves_everything_else() {
+        let c = Certificate::self_signed(
+            7,
+            DistinguishedName::cn("192.168.1.1"),
+            vec!["fritz.box".into()],
+            nat(35),
+            date(),
+        );
+        let m = c.with_substituted_key(nat(77));
+        assert_eq!(m.modulus, nat(77));
+        assert_eq!(m.subject, c.subject);
+        assert_eq!(m.subject_alt_names, c.subject_alt_names);
+        assert_eq!(m.serial, c.serial);
+    }
+
+    #[test]
+    fn leaf_selection_with_intermediate() {
+        let ca_dn = DistinguishedName::cn("Example Intermediate CA");
+        let mut ca =
+            Certificate::self_signed(1, ca_dn.clone(), vec![], nat(101), date());
+        ca.is_ca = true;
+        ca.issuer = DistinguishedName::cn("Example Root");
+        let mut leaf =
+            Certificate::self_signed(2, DistinguishedName::cn("device"), vec![], nat(35), date());
+        leaf.issuer = ca_dn;
+        let certs = vec![ca, leaf];
+        assert_eq!(select_leaf(&certs), Some(1));
+    }
+
+    #[test]
+    fn leaf_selection_single_self_signed() {
+        let c = Certificate::self_signed(1, DistinguishedName::cn("d"), vec![], nat(35), date());
+        assert_eq!(select_leaf(&[c]), Some(0));
+        assert_eq!(select_leaf(&[]), None);
+    }
+
+    #[test]
+    fn leaf_selection_prefers_non_ca_on_ties() {
+        // Two unrelated certs at one IP (issuer links absent): pick non-CA.
+        let mut ca = Certificate::self_signed(
+            1,
+            DistinguishedName::cn("Stray CA"),
+            vec![],
+            nat(101),
+            date(),
+        );
+        ca.is_ca = true;
+        let leaf =
+            Certificate::self_signed(2, DistinguishedName::cn("device"), vec![], nat(35), date());
+        assert_eq!(select_leaf(&[ca, leaf]), Some(1));
+    }
+}

@@ -1,0 +1,22 @@
+//! # wk-cert — structured TLS certificates and vendor default templates
+//!
+//! Certificates as the study's fingerprints see them: distinguished names,
+//! subject alternative names, chain position, validity, and the RSA public
+//! key — no ASN.1/DER layer (fingerprinting never reads raw bytes; see the
+//! DESIGN.md substitution table).
+//!
+//! * [`Certificate`] / [`DistinguishedName`] — the observation model,
+//!   including the Internet-Rimon key-substitution transform and leaf
+//!   selection for Rapid7-style unchained intermediates.
+//! * [`SubjectStyle`] — per-vendor default-certificate templates quoted from
+//!   the paper's §3.3 (Juniper's `CN=system generated`, McAfee SnapGear's
+//!   `Default Common Name`, Fritz!Box SANs, Cisco's model-in-OU, ...).
+//! * [`MonthDate`] — the study's month-granular time axis.
+
+mod certificate;
+mod template;
+mod time;
+
+pub use certificate::{select_leaf, Certificate, DistinguishedName};
+pub use template::SubjectStyle;
+pub use time::MonthDate;

@@ -1,0 +1,227 @@
+//! Per-vendor default-certificate templates.
+//!
+//! §3.3.1 of the paper: "for vulnerable implementations end users typically
+//! did not alter the default certificate values provided by the device", so
+//! the default subject is a reliable vendor fingerprint. Every style below
+//! is taken from a default the paper describes.
+
+use crate::certificate::{Certificate, DistinguishedName};
+use crate::time::MonthDate;
+use wk_bigint::Natural;
+
+/// The default-certificate style a device model ships with.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SubjectStyle {
+    /// `O=<vendor>` in the DN (Hewlett-Packard, Xerox, TP-LINK, Conel).
+    OrganizationNames { organization: String },
+    /// Cisco: the OU field carries the exact model ("the organizational
+    /// unit section of the distinguished name refers to the model").
+    CiscoModelInOu { model: String },
+    /// Juniper: every certificate is exactly `CN=system generated` — no
+    /// vendor or model named.
+    JuniperSystemGenerated,
+    /// McAfee SnapGear: `CN=Default Common Name, O=Default Organization,
+    /// OU=Default Unit` — identified via the served management console page.
+    McAfeeSnapGearDefaults,
+    /// Fritz!Box with myfritz.net dynamic-DNS common names.
+    FritzBoxMyfritz { subdomain: String },
+    /// Fritz!Box with the characteristic local SANs
+    /// (`fritz.box`, `www.fritz.box`, ...).
+    FritzBoxLocalSans,
+    /// `O=<org>, OU=<unit>` — e.g. Dell's `OU=Dell Imaging Group`
+    /// machines that share primes with Xerox (§3.3.2), or Huawei's
+    /// India business unit (§4.4).
+    OrganizationAndUnit { organization: String, unit: String },
+    /// Only an IP address in dotted octets as the CN — unidentifiable from
+    /// the subject alone; labeled by shared-prime extrapolation (§3.3.2).
+    IpOctetsOnly { ip: [u8; 4] },
+    /// IBM RSA-II / BladeCenter: subjects carry the *customer's*
+    /// organization, not IBM; identified purely by the nine-prime moduli.
+    IbmCustomerNamed { customer_org: String },
+    /// Siemens Building Automation interfaces.
+    SiemensBuildingAutomation,
+    /// A plain named default used by the remaining fingerprintable vendors.
+    GenericVendorCn { vendor_cn: String },
+}
+
+impl SubjectStyle {
+    /// Materialize the subject DN and SANs for one device.
+    ///
+    /// `device_tag` individualizes fields that vary per device (serial-
+    /// derived hostnames); styles that are constant across devices ignore it.
+    pub fn materialize(&self, device_tag: u64) -> (DistinguishedName, Vec<String>) {
+        match self {
+            SubjectStyle::OrganizationNames { organization } => (
+                DistinguishedName {
+                    common_name: Some(format!("device-{device_tag:08x}")),
+                    organization: Some(organization.clone()),
+                    ..Default::default()
+                },
+                vec![],
+            ),
+            SubjectStyle::CiscoModelInOu { model } => (
+                DistinguishedName {
+                    common_name: Some(format!("sb-{device_tag:08x}")),
+                    organization: Some("Cisco Systems, Inc.".into()),
+                    organizational_unit: Some(model.clone()),
+                    ..Default::default()
+                },
+                vec![],
+            ),
+            SubjectStyle::JuniperSystemGenerated => (
+                DistinguishedName::cn("system generated"),
+                vec![],
+            ),
+            SubjectStyle::McAfeeSnapGearDefaults => (
+                DistinguishedName {
+                    common_name: Some("Default Common Name".into()),
+                    organization: Some("Default Organization".into()),
+                    organizational_unit: Some("Default Unit".into()),
+                    ..Default::default()
+                },
+                vec![],
+            ),
+            SubjectStyle::FritzBoxMyfritz { subdomain } => (
+                DistinguishedName::cn(&format!("{subdomain}{device_tag:06x}.myfritz.net")),
+                vec![],
+            ),
+            SubjectStyle::FritzBoxLocalSans => (
+                DistinguishedName::cn("fritz.box"),
+                vec![
+                    "fritz.fonwlan.box".into(),
+                    "fritz.box".into(),
+                    "www.fritz.box".into(),
+                    "myfritz.box".into(),
+                    "www.myfritz.box".into(),
+                ],
+            ),
+            SubjectStyle::OrganizationAndUnit { organization, unit } => (
+                DistinguishedName {
+                    common_name: Some(format!("host-{device_tag:08x}")),
+                    organization: Some(organization.clone()),
+                    organizational_unit: Some(unit.clone()),
+                    ..Default::default()
+                },
+                vec![],
+            ),
+            SubjectStyle::IpOctetsOnly { ip } => (
+                DistinguishedName::cn(&format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3])),
+                vec![],
+            ),
+            SubjectStyle::IbmCustomerNamed { customer_org } => (
+                DistinguishedName {
+                    common_name: Some(format!("mgmt-{device_tag:06x}")),
+                    // Customer organizations vary per deployment; none of
+                    // them name IBM (§3.3.1).
+                    organization: Some(format!("{customer_org} {:02}", device_tag % 40)),
+                    ..Default::default()
+                },
+                vec![],
+            ),
+            SubjectStyle::SiemensBuildingAutomation => (
+                DistinguishedName {
+                    common_name: Some(format!("bacnet-{device_tag:06x}")),
+                    organization: Some("Siemens Building Automation".into()),
+                    ..Default::default()
+                },
+                vec![],
+            ),
+            SubjectStyle::GenericVendorCn { vendor_cn } => (
+                DistinguishedName {
+                    common_name: Some(vendor_cn.clone()),
+                    ..Default::default()
+                },
+                vec![],
+            ),
+        }
+    }
+
+    /// Build a full self-signed default certificate for a device.
+    pub fn certificate(
+        &self,
+        serial: u64,
+        device_tag: u64,
+        modulus: Natural,
+        not_before: MonthDate,
+    ) -> Certificate {
+        let (subject, sans) = self.materialize(device_tag);
+        Certificate::self_signed(serial, subject, sans, modulus, not_before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn juniper_constant_across_devices() {
+        let s = SubjectStyle::JuniperSystemGenerated;
+        let (a, _) = s.materialize(1);
+        let (b, _) = s.materialize(2);
+        assert_eq!(a, b);
+        assert_eq!(a.common_name.as_deref(), Some("system generated"));
+    }
+
+    #[test]
+    fn cisco_model_in_ou() {
+        let s = SubjectStyle::CiscoModelInOu { model: "RV220W".into() };
+        let (dn, _) = s.materialize(7);
+        assert_eq!(dn.organizational_unit.as_deref(), Some("RV220W"));
+        assert!(dn.render().contains("OU=RV220W"));
+    }
+
+    #[test]
+    fn mcafee_defaults_quote_the_paper() {
+        let (dn, _) = SubjectStyle::McAfeeSnapGearDefaults.materialize(0);
+        assert_eq!(
+            dn.render(),
+            "CN=Default Common Name, O=Default Organization, OU=Default Unit"
+        );
+    }
+
+    #[test]
+    fn fritzbox_sans_match_paper_list() {
+        let (_, sans) = SubjectStyle::FritzBoxLocalSans.materialize(0);
+        for expected in ["fritz.fonwlan.box", "fritz.box", "www.fritz.box", "myfritz.box"] {
+            assert!(sans.iter().any(|s| s == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn ip_octets_only_renders_dotted_quad() {
+        let s = SubjectStyle::IpOctetsOnly { ip: [192, 168, 178, 1] };
+        let (dn, _) = s.materialize(0);
+        assert_eq!(dn.common_name.as_deref(), Some("192.168.178.1"));
+        assert!(dn.organization.is_none(), "must not identify a vendor");
+    }
+
+    #[test]
+    fn ibm_subject_does_not_name_ibm() {
+        let s = SubjectStyle::IbmCustomerNamed { customer_org: "Example Corp".into() };
+        let (dn, _) = s.materialize(3);
+        assert!(!dn.render().contains("IBM"));
+    }
+
+    #[test]
+    fn certificate_carries_modulus_and_date() {
+        let s = SubjectStyle::JuniperSystemGenerated;
+        let c = s.certificate(42, 1, nat(323), MonthDate::new(2011, 10));
+        assert_eq!(c.modulus, nat(323));
+        assert_eq!(c.not_before, MonthDate::new(2011, 10));
+        assert!(c.is_self_signed());
+        assert!(!c.browser_trusted);
+    }
+
+    #[test]
+    fn myfritz_names_vary_per_device() {
+        let s = SubjectStyle::FritzBoxMyfritz { subdomain: "box".into() };
+        let (a, _) = s.materialize(1);
+        let (b, _) = s.materialize(2);
+        assert_ne!(a.common_name, b.common_name);
+        assert!(a.common_name.unwrap().ends_with(".myfritz.net"));
+    }
+}

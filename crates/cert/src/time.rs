@@ -1,0 +1,131 @@
+//! Month-granular dates.
+//!
+//! The study selects "one representative scan per month" (§3.1), so every
+//! longitudinal structure in the reproduction is keyed by a [`MonthDate`].
+
+use core::fmt;
+
+/// A calendar month: the time resolution of the study.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonthDate {
+    /// Four-digit year.
+    pub year: u16,
+    /// Month 1-12.
+    pub month: u8,
+}
+
+impl MonthDate {
+    /// Construct, validating the month.
+    ///
+    /// # Panics
+    /// Panics if `month` is not in `1..=12`.
+    pub const fn new(year: u16, month: u8) -> Self {
+        assert!(month >= 1 && month <= 12, "month out of range");
+        MonthDate { year, month }
+    }
+
+    /// Months since January year 0 — a total order convenient for arithmetic.
+    pub const fn index(self) -> u32 {
+        self.year as u32 * 12 + (self.month as u32 - 1)
+    }
+
+    /// Inverse of [`MonthDate::index`].
+    pub const fn from_index(index: u32) -> Self {
+        MonthDate {
+            year: (index / 12) as u16,
+            month: (index % 12 + 1) as u8,
+        }
+    }
+
+    /// The following month.
+    pub const fn next(self) -> Self {
+        Self::from_index(self.index() + 1)
+    }
+
+    /// Add `months`.
+    pub const fn plus(self, months: u32) -> Self {
+        Self::from_index(self.index() + months)
+    }
+
+    /// Whole months from `earlier` to `self` (0 if `earlier` is later).
+    pub const fn months_since(self, earlier: MonthDate) -> u32 {
+        self.index().saturating_sub(earlier.index())
+    }
+
+    /// Iterate every month from `self` through `end` inclusive.
+    pub fn through(self, end: MonthDate) -> impl Iterator<Item = MonthDate> {
+        (self.index()..=end.index()).map(MonthDate::from_index)
+    }
+}
+
+impl fmt::Display for MonthDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+impl fmt::Debug for MonthDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (y, m) in [(2010u16, 7u8), (2012, 1), (2016, 12), (0, 1)] {
+            let d = MonthDate::new(y, m);
+            assert_eq!(MonthDate::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_chronology() {
+        assert!(MonthDate::new(2010, 7) < MonthDate::new(2010, 12));
+        assert!(MonthDate::new(2010, 12) < MonthDate::new(2011, 1));
+    }
+
+    #[test]
+    fn next_wraps_year() {
+        assert_eq!(MonthDate::new(2011, 12).next(), MonthDate::new(2012, 1));
+        assert_eq!(MonthDate::new(2011, 1).next(), MonthDate::new(2011, 2));
+    }
+
+    #[test]
+    fn months_since() {
+        let a = MonthDate::new(2012, 6);
+        let b = MonthDate::new(2014, 4);
+        assert_eq!(b.months_since(a), 22);
+        assert_eq!(a.months_since(b), 0);
+    }
+
+    #[test]
+    fn through_is_inclusive() {
+        let months: Vec<_> = MonthDate::new(2010, 11)
+            .through(MonthDate::new(2011, 2))
+            .collect();
+        assert_eq!(
+            months,
+            vec![
+                MonthDate::new(2010, 11),
+                MonthDate::new(2010, 12),
+                MonthDate::new(2011, 1),
+                MonthDate::new(2011, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(MonthDate::new(2014, 4).to_string(), "2014-04");
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn invalid_month_panics() {
+        let _ = MonthDate::new(2010, 13);
+    }
+}

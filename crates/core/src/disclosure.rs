@@ -1,0 +1,198 @@
+//! The 2012 disclosure process (Table 2, §2.5).
+//!
+//! 61 vendors were notified between February and June 2012; 37 concerned
+//! weak TLS/SSH RSA keys. Only five released public advisories; about half
+//! acknowledged receipt. The paper's Table 2 groups the 37 RSA-affected
+//! vendors into four response categories.
+//!
+//! Category assignments for the headline vendors follow the paper's text
+//! (§4.1-4.4) exactly; the remaining minor vendors are distributed to match
+//! Table 2's column structure and the "about half acknowledged" statement —
+//! the scanned table in our source does not preserve cell alignment, so
+//! those per-cell placements are reconstructed (documented in DESIGN.md).
+
+use wk_scan::ResponseCategory;
+
+/// One notified vendor and its response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotifiedVendor {
+    /// Vendor name as listed in Table 2.
+    pub name: &'static str,
+    /// Response category.
+    pub response: ResponseCategory,
+    /// Whether the vulnerable keys were TLS (vs. SSH-only) — the paper's
+    /// analysis covers only the TLS population.
+    pub tls: bool,
+}
+
+/// Total vendors notified in 2012 (TLS + SSH + DSA).
+pub const TOTAL_NOTIFIED_2012: usize = 61;
+/// Vendors notified specifically about weak RSA keys (Table 2).
+pub const RSA_NOTIFIED_2012: usize = 37;
+/// Vendors with vulnerable TLS certificates among those (§2.5).
+pub const TLS_AFFECTED: usize = 28;
+
+/// Table 2: the 37 vendors notified about weak RSA keys in 2012.
+pub fn table2() -> Vec<NotifiedVendor> {
+    use ResponseCategory::*;
+    let v = |name, response, tls| NotifiedVendor { name, response, tls };
+    vec![
+        // Public advisories (§2.5/§4.1: five total; Intel and Tropos for
+        // SSH host keys, the other three for TLS).
+        v("Juniper", PublicAdvisory, true),
+        v("Innominate", PublicAdvisory, true),
+        v("IBM", PublicAdvisory, true),
+        v("Intel", PublicAdvisory, false),
+        v("Tropos", PublicAdvisory, false),
+        // Private substantive responses (§4.2 names Cisco and HP).
+        v("Cisco", PrivateResponse, true),
+        v("HP", PrivateResponse, true),
+        v("Emerson", PrivateResponse, true),
+        v("Sentry", PrivateResponse, true),
+        v("NTI", PrivateResponse, true),
+        v("ADTRAN", PrivateResponse, false), // responded about SSH DSA in 2012
+        v("Pogoplug", PrivateResponse, true),
+        // Automated acknowledgments only.
+        v("Brocade", AutoResponse, true),
+        v("Technicolor", AutoResponse, true),
+        v("Haivision", AutoResponse, true),
+        v("Sinetica", AutoResponse, true),
+        v("Motorola", AutoResponse, true),
+        v("Pronto", AutoResponse, true),
+        // Never responded (§4.3's ten tracked vendors and the rest).
+        v("Dell", NoResponse, true),
+        v("ZyXEL", NoResponse, true),
+        v("McAfee", NoResponse, true),
+        v("TP-Link", NoResponse, true),
+        v("Fortinet", NoResponse, true),
+        v("Hillstone Networks", NoResponse, true),
+        v("2-Wire", NoResponse, true),
+        v("D-Link", NoResponse, true),
+        v("AudioCodes", NoResponse, true),
+        v("Xerox", NoResponse, true),
+        v("SkyStream", NoResponse, true),
+        v("Ruckus", NoResponse, true),
+        v("Kronos", NoResponse, true),
+        v("Kyocera", NoResponse, true),
+        v("BelAir", NoResponse, true),
+        v("Simton", NoResponse, true),
+        v("Linksys", NoResponse, true),
+        v("AVM", NoResponse, true), // Fritz!Box
+        v("JDSU", NoResponse, false),
+    ]
+}
+
+/// Render Table 2 grouped by category.
+pub fn render_table2() -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let groups = [
+        ("Public Advisory", ResponseCategory::PublicAdvisory),
+        ("Private Response", ResponseCategory::PrivateResponse),
+        ("Auto-Response", ResponseCategory::AutoResponse),
+        ("No Response", ResponseCategory::NoResponse),
+    ];
+    for (label, cat) in groups {
+        let names: Vec<&str> = table2()
+            .iter()
+            .filter(|nv| nv.response == cat)
+            .map(|nv| nv.name)
+            .collect();
+        let _ = writeln!(s, "{label} ({}):", names.len());
+        let _ = writeln!(s, "  {}", names.join(", "));
+    }
+    let _ = writeln!(
+        s,
+        "{} vendors notified about weak RSA keys (of {} total 2012 notifications); \
+         5 public advisories; about half acknowledged receipt.",
+        RSA_NOTIFIED_2012, TOTAL_NOTIFIED_2012
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_37_vendors() {
+        assert_eq!(table2().len(), RSA_NOTIFIED_2012);
+    }
+
+    #[test]
+    fn exactly_five_public_advisories() {
+        let advisories = table2()
+            .iter()
+            .filter(|v| v.response == ResponseCategory::PublicAdvisory)
+            .count();
+        assert_eq!(advisories, 5);
+    }
+
+    #[test]
+    fn three_tls_public_advisories() {
+        // Juniper, Innominate, IBM — the only vendors whose TLS patching
+        // behavior §5.3 says is observable.
+        let tls_adv: Vec<&str> = table2()
+            .iter()
+            .filter(|v| v.response == ResponseCategory::PublicAdvisory && v.tls)
+            .map(|v| v.name)
+            .collect();
+        assert_eq!(tls_adv, vec!["Juniper", "Innominate", "IBM"]);
+    }
+
+    #[test]
+    fn about_half_acknowledged() {
+        let acknowledged = table2()
+            .iter()
+            .filter(|v| {
+                matches!(
+                    v.response,
+                    ResponseCategory::PublicAdvisory | ResponseCategory::PrivateResponse
+                )
+            })
+            .count();
+        // "About half of the vendors acknowledged receipt" — we count
+        // substantive responses as 13/37; with auto-responses, 19/37.
+        let with_auto = acknowledged
+            + table2()
+                .iter()
+                .filter(|v| v.response == ResponseCategory::AutoResponse)
+                .count();
+        assert!(acknowledged >= 12 && with_auto <= 20);
+    }
+
+    #[test]
+    fn no_response_is_majority_of_nonresponders() {
+        let none = table2()
+            .iter()
+            .filter(|v| v.response == ResponseCategory::NoResponse)
+            .count();
+        assert!(none >= 15, "most vendors never responded: {none}");
+    }
+
+    #[test]
+    fn rendering_contains_all_groups_and_names() {
+        let out = render_table2();
+        for needle in ["Public Advisory", "No Response", "Juniper", "ZyXEL", "37"] {
+            assert!(out.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn tracked_vendors_consistent_with_simulator_registry() {
+        // Every §4.3 no-response vendor tracked by the simulator must be
+        // NoResponse here too (AVM == Fritz!Box).
+        let t2 = table2();
+        for name in [
+            "Thomson", "Linksys", "ZyXEL", "McAfee", "Fortinet", "Kronos", "Xerox",
+        ] {
+            if let Some(nv) = t2.iter().find(|v| v.name == name) {
+                assert_eq!(
+                    nv.response,
+                    ResponseCategory::NoResponse,
+                    "{name} must be NoResponse"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # weakkeys — reproduction of *Weak Keys Remain Widespread in Network
+//! Devices* (IMC 2016)
+//!
+//! An executable re-creation of the paper's entire methodology at laptop
+//! scale: a generative model of six years of internet-wide HTTPS scans over
+//! device populations with realistic RNG failures, the distributed batch-GCD
+//! computation that factors every shared-prime key, the implementation
+//! fingerprints of §3.3, and the longitudinal analyses behind every table
+//! and figure.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use weakkeys::{run_pipeline, BatchMode, StudyConfig};
+//! use wk_analysis::{aggregate_series, dataset_totals};
+//!
+//! let results = run_pipeline(&StudyConfig::test_small(), BatchMode::default());
+//! let table1 = dataset_totals(&results.dataset, results.vulnerable_set());
+//! println!("factored {} of {} distinct moduli ({:.2}%)",
+//!     table1.vulnerable_moduli,
+//!     table1.total_distinct_moduli,
+//!     100.0 * table1.vulnerable_fraction());
+//! let fig1 = aggregate_series(&results.dataset, results.vulnerable_set());
+//! println!("{}", wk_analysis::report::render_series(&fig1));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | layer | crate | paper section |
+//! |---|---|---|
+//! | arbitrary-precision arithmetic | `wk-bigint` | §2.2-2.3 substrate |
+//! | RNG failure models | `wk-rng` | §2.4 |
+//! | key generation | `wk-keygen` | §2.4, §3.3.4 |
+//! | batch GCD (classic, distributed, naive) | `wk-batchgcd` | §3.2, Fig. 2 |
+//! | certificates + vendor templates | `wk-cert` | §3.3.1 |
+//! | scan simulator | `wk-scan` | §3.1 |
+//! | fingerprinting | `wk-fingerprint` | §3.3 |
+//! | longitudinal analysis | `wk-analysis` | §4 |
+//! | pipeline + disclosure data | `weakkeys` (this crate) | §2.5, §3-§4 |
+
+pub mod disclosure;
+pub mod pipeline;
+
+pub use disclosure::{
+    render_table2, table2, NotifiedVendor, RSA_NOTIFIED_2012, TLS_AFFECTED,
+    TOTAL_NOTIFIED_2012,
+};
+pub use pipeline::{analyze_dataset, run_pipeline, BatchMode, StudyResults};
+pub use wk_batchgcd::ClusterConfig;
+pub use wk_scan::StudyConfig;

@@ -1,0 +1,167 @@
+//! Nine-prime clique detection (§3.3.1, the IBM bug).
+//!
+//! IBM Remote Supervisor Adapter II / BladeCenter Management Module cards
+//! generated every key as a product of two primes from a fixed pool of
+//! nine, producing at most 36 distinct moduli. In the prime-sharing graph
+//! this looks unmistakable: a connected component whose moduli *vastly*
+//! outnumber its primes. Detection works from factored moduli alone — which
+//! is exactly how the paper identified IBM's certificates, since the
+//! subjects never name IBM.
+
+use crate::prime_pool::FactoredModulus;
+use std::collections::BTreeMap;
+use wk_bigint::Natural;
+use wk_scan::ModulusId;
+
+/// A detected prime clique: a small prime set covering many moduli.
+#[derive(Clone, Debug)]
+pub struct PrimeClique {
+    /// The primes of the pool (sorted).
+    pub primes: Vec<Natural>,
+    /// Every modulus built from those primes.
+    pub moduli: Vec<ModulusId>,
+}
+
+/// Find connected components of the prime-sharing graph and report those
+/// that look like fixed-pool generators: components where
+/// `moduli >= primes` and at least `min_moduli` moduli participate.
+///
+/// An ordinary shared-prime population (one pooled prime + one fresh prime
+/// per key) has roughly one *more* prime than moduli per component, so the
+/// `moduli >= primes` test cleanly separates the two shapes.
+pub fn detect_cliques(factored: &[FactoredModulus], min_moduli: usize) -> Vec<PrimeClique> {
+    // Union-find over primes.
+    let mut prime_ids: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+    let mut primes: Vec<Natural> = Vec::new();
+    let mut id_of = |p: &Natural, primes: &mut Vec<Natural>| -> usize {
+        let key = p.to_bytes_be();
+        if let Some(&i) = prime_ids.get(&key) {
+            return i;
+        }
+        let i = primes.len();
+        primes.push(p.clone());
+        prime_ids.insert(key, i);
+        i
+    };
+
+    let mut edges: Vec<(usize, usize, ModulusId)> = Vec::new();
+    for f in factored {
+        let a = id_of(&f.p, &mut primes);
+        let b = id_of(&f.q, &mut primes);
+        edges.push((a, b, f.id));
+    }
+
+    let mut parent: Vec<usize> = (0..primes.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(a, b, _) in &edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    // Group primes and moduli per component root.
+    let mut comp_primes: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..primes.len() {
+        let root = find(&mut parent, i);
+        comp_primes.entry(root).or_default().push(i);
+    }
+    let mut comp_moduli: BTreeMap<usize, Vec<ModulusId>> = BTreeMap::new();
+    for &(a, _, id) in &edges {
+        let root = find(&mut parent, a);
+        comp_moduli.entry(root).or_default().push(id);
+    }
+
+    let mut cliques = Vec::new();
+    for (root, prime_idxs) in comp_primes {
+        let moduli = comp_moduli.remove(&root).unwrap_or_default();
+        if moduli.len() >= min_moduli && moduli.len() >= prime_idxs.len() {
+            let mut ps: Vec<Natural> =
+                prime_idxs.iter().map(|&i| primes[i].clone()).collect();
+            ps.sort();
+            let mut ms = moduli;
+            ms.sort();
+            ms.dedup();
+            cliques.push(PrimeClique { primes: ps, moduli: ms });
+        }
+    }
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    fn fm(id: u32, p: u64, q: u64) -> FactoredModulus {
+        FactoredModulus { id: ModulusId(id), p: nat(p), q: nat(q) }
+    }
+
+    #[test]
+    fn triangle_clique_detected() {
+        // Pool {3,5,7}: moduli 15, 35, 21 — 3 moduli over 3 primes.
+        let factored = vec![fm(0, 3, 5), fm(1, 5, 7), fm(2, 3, 7)];
+        let cliques = detect_cliques(&factored, 3);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].primes, vec![nat(3), nat(5), nat(7)]);
+        assert_eq!(cliques[0].moduli.len(), 3);
+    }
+
+    #[test]
+    fn shared_pool_shape_not_reported() {
+        // One pooled prime (3) + fresh seconds: 4 moduli over 5 primes —
+        // the ordinary entropy-hole shape must NOT look like a clique.
+        let factored = vec![fm(0, 3, 11), fm(1, 3, 13), fm(2, 3, 17), fm(3, 3, 19)];
+        let cliques = detect_cliques(&factored, 3);
+        assert!(cliques.is_empty(), "star shape misdetected as clique");
+    }
+
+    #[test]
+    fn min_moduli_threshold_respected() {
+        let factored = vec![fm(0, 3, 5), fm(1, 5, 7), fm(2, 3, 7)];
+        assert!(detect_cliques(&factored, 4).is_empty());
+    }
+
+    #[test]
+    fn multiple_components_separated() {
+        let factored = vec![
+            // Clique on {3,5,7}.
+            fm(0, 3, 5),
+            fm(1, 5, 7),
+            fm(2, 3, 7),
+            // Separate star on 11.
+            fm(3, 11, 13),
+            fm(4, 11, 17),
+        ];
+        let cliques = detect_cliques(&factored, 3);
+        assert_eq!(cliques.len(), 1);
+        assert!(!cliques[0].primes.contains(&nat(11)));
+    }
+
+    #[test]
+    fn nine_prime_pool_saturated() {
+        // All 36 pairs over 9 small distinct primes.
+        let primes = [3u64, 5, 7, 11, 13, 17, 19, 23, 29];
+        let mut factored = Vec::new();
+        let mut id = 0;
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                factored.push(fm(id, primes[i], primes[j]));
+                id += 1;
+            }
+        }
+        let cliques = detect_cliques(&factored, 10);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].primes.len(), 9);
+        assert_eq!(cliques[0].moduli.len(), 36);
+    }
+}

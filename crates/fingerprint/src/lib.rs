@@ -1,0 +1,37 @@
+//! # wk-fingerprint — identifying the implementations behind weak keys
+//!
+//! §3.3 of the paper, as code. Given certificates and factored moduli,
+//! attribute keys to vendor implementations and separate genuine weak keys
+//! from look-alikes:
+//!
+//! * [`rules`] — certificate-subject fingerprints for every vendor whose
+//!   defaults carry a marker (Juniper's `CN=system generated`, Cisco's
+//!   model-in-OU, the Fritz!Box SANs, ...);
+//! * [`prime_pool`] — shared-prime label extrapolation for subject-less
+//!   certificates, with cross-vendor overlap reporting (Xerox/Dell,
+//!   IBM/Siemens);
+//! * [`clique`] — nine-prime clique detection, the structural signature of
+//!   the IBM RSA-II/BladeCenter generator;
+//! * [`openssl`] — the Mironov prime-shape fingerprint classifying vendors
+//!   as likely-OpenSSL / not-OpenSSL (Table 5), with the safe-prime caveat;
+//! * [`anomaly`] — bit-error (smooth-divisor) classification and MITM
+//!   key-substitution detection (Internet Rimon).
+//!
+//! Everything here reads only observable data (certificates, moduli,
+//! recovered factors); the simulator's ground truth is used exclusively by
+//! tests to score these fingerprints.
+
+pub mod anomaly;
+pub mod clique;
+pub mod openssl;
+pub mod prime_pool;
+pub mod rules;
+
+pub use anomaly::{
+    classify_divisor, detect_key_substitution, is_well_formed_modulus, DivisorKind,
+    KeyObservation, MitmSuspect,
+};
+pub use clique::{detect_cliques, PrimeClique};
+pub use openssl::{classify_primes, OpensslClass, OpensslVerdict, MIN_PRIMES};
+pub use prime_pool::{extrapolate, ExtrapolationResult, FactoredModulus, VendorOverlap};
+pub use rules::{identify_vendor, is_ip_octet_subject, VendorLabel};

@@ -1,0 +1,141 @@
+//! The OpenSSL prime fingerprint (§3.3.4, after Mironov).
+//!
+//! OpenSSL rejects candidate primes `p` with `p ≡ 1 (mod q)` for the first
+//! 2048 (odd) primes `q`. A random prime survives that test only ≈7.5% of
+//! the time, so the recovered primes of factored keys classify the
+//! generating implementation: all-satisfying ⇒ likely OpenSSL; mostly
+//! failing ⇒ definitely not OpenSSL. The fingerprint needs private keys, so
+//! it covers only vendors with factored moduli (Table 5's caveat).
+
+use wk_bigint::Natural;
+use wk_keygen::satisfies_openssl_shape;
+
+/// Classification of an implementation's prime generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpensslClass {
+    /// Every recovered prime satisfies the predicate: likely OpenSSL
+    /// (or exclusively safe primes — ruled out separately).
+    LikelyOpenssl,
+    /// A substantial fraction of primes fail: definitely not OpenSSL.
+    NotOpenssl,
+    /// Too few primes recovered to classify.
+    Inconclusive,
+}
+
+/// Per-vendor fingerprint summary.
+#[derive(Clone, Debug)]
+pub struct OpensslVerdict {
+    /// Number of distinct primes examined.
+    pub primes_examined: usize,
+    /// How many satisfied the predicate.
+    pub satisfying: usize,
+    /// The resulting class.
+    pub class: OpensslClass,
+    /// Whether every prime was a safe prime — if so, the LikelyOpenssl
+    /// verdict would be unfounded (the paper checks exactly this).
+    pub all_safe_primes: bool,
+}
+
+/// Minimum examined primes for a confident verdict.
+pub const MIN_PRIMES: usize = 4;
+
+/// Classify a vendor from its recovered primes.
+pub fn classify_primes(primes: &[Natural]) -> OpensslVerdict {
+    let mut distinct: Vec<&Natural> = primes.iter().collect();
+    distinct.sort();
+    distinct.dedup();
+    let satisfying = distinct
+        .iter()
+        .filter(|p| satisfies_openssl_shape(p))
+        .count();
+    let all_safe = !distinct.is_empty() && distinct.iter().all(|p| is_safe_prime(p));
+    let class = if distinct.len() < MIN_PRIMES {
+        OpensslClass::Inconclusive
+    } else if satisfying == distinct.len() {
+        OpensslClass::LikelyOpenssl
+    } else {
+        OpensslClass::NotOpenssl
+    };
+    OpensslVerdict {
+        primes_examined: distinct.len(),
+        satisfying,
+        class,
+        all_safe_primes: all_safe,
+    }
+}
+
+/// Is `p` a safe prime (`(p-1)/2` also prime)?
+fn is_safe_prime(p: &Natural) -> bool {
+    if p.is_even() || p.is_one() || p.is_zero() {
+        return false;
+    }
+    let half = &(p - &Natural::one()) >> 1u64;
+    half.is_probable_prime_fixed() && p.is_probable_prime_fixed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wk_keygen::{generate_prime, PrimeShaping};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(404)
+    }
+
+    #[test]
+    fn openssl_primes_classified_likely() {
+        let mut r = rng();
+        let primes: Vec<Natural> = (0..8)
+            .map(|_| generate_prime(&mut r, 64, PrimeShaping::OpensslStyle))
+            .collect();
+        let verdict = classify_primes(&primes);
+        assert_eq!(verdict.class, OpensslClass::LikelyOpenssl);
+        assert_eq!(verdict.satisfying, verdict.primes_examined);
+        assert!(!verdict.all_safe_primes, "random OpenSSL primes are not all safe");
+    }
+
+    #[test]
+    fn plain_primes_classified_not_openssl() {
+        let mut r = rng();
+        // 12 plain primes: expected satisfying ≈ 1; all-satisfying is
+        // (0.075)^12 ≈ 10^-13.
+        let primes: Vec<Natural> = (0..12)
+            .map(|_| generate_prime(&mut r, 64, PrimeShaping::Plain))
+            .collect();
+        let verdict = classify_primes(&primes);
+        assert_eq!(verdict.class, OpensslClass::NotOpenssl);
+        assert!(verdict.satisfying < verdict.primes_examined);
+    }
+
+    #[test]
+    fn few_primes_inconclusive() {
+        let mut r = rng();
+        let primes: Vec<Natural> = (0..2)
+            .map(|_| generate_prime(&mut r, 64, PrimeShaping::OpensslStyle))
+            .collect();
+        assert_eq!(classify_primes(&primes).class, OpensslClass::Inconclusive);
+        assert_eq!(classify_primes(&[]).class, OpensslClass::Inconclusive);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let mut r = rng();
+        let p = generate_prime(&mut r, 64, PrimeShaping::OpensslStyle);
+        let primes = vec![p.clone(), p.clone(), p];
+        assert_eq!(classify_primes(&primes).primes_examined, 1);
+    }
+
+    #[test]
+    fn safe_primes_flagged() {
+        let mut r = rng();
+        let primes: Vec<Natural> = (0..MIN_PRIMES)
+            .map(|_| generate_prime(&mut r, 48, PrimeShaping::Safe))
+            .collect();
+        let verdict = classify_primes(&primes);
+        // Safe primes satisfy the predicate (no small odd factor of p-1)...
+        assert_eq!(verdict.class, OpensslClass::LikelyOpenssl);
+        // ...but the all-safe flag warns the verdict is unreliable.
+        assert!(verdict.all_safe_primes);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared-prime-pool label extrapolation (§3.3.2).
+//!
+//! "In the vast majority of cases, devices sharing prime factors were
+//! identified as the same vendor. We used this information to extrapolate
+//! vendors for some certificates we could not otherwise identify": build a
+//! pool of prime factors per subject-identified vendor, then label any
+//! modulus using a pooled prime with that vendor — flagging the documented
+//! overlaps (IBM/Siemens, Xerox/Dell) instead of silently relabeling.
+
+use std::collections::{BTreeMap, HashMap};
+use wk_bigint::Natural;
+use wk_scan::{ModulusId, VendorId};
+
+/// A factored modulus: id plus recovered primes.
+#[derive(Clone, Debug)]
+pub struct FactoredModulus {
+    /// Interned id in the dataset.
+    pub id: ModulusId,
+    /// Smaller prime.
+    pub p: Natural,
+    /// Larger prime.
+    pub q: Natural,
+}
+
+/// A prime shared across moduli labeled with different vendors — the
+/// Xerox/Dell and IBM/Siemens situations the paper investigates by hand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VendorOverlap {
+    /// The shared prime.
+    pub prime: Natural,
+    /// Vendors whose subject-labeled moduli use it.
+    pub vendors: Vec<VendorId>,
+}
+
+/// Result of prime-pool extrapolation.
+#[derive(Clone, Debug, Default)]
+pub struct ExtrapolationResult {
+    /// Labels gained purely through shared primes (not in the input labels).
+    pub extrapolated: HashMap<ModulusId, VendorId>,
+    /// Cross-vendor prime overlaps discovered.
+    pub overlaps: Vec<VendorOverlap>,
+}
+
+/// Extrapolate vendor labels through shared primes.
+///
+/// `factored` lists every factored modulus; `subject_labels` carries the
+/// labels derived from certificate subjects. Unlabeled moduli pick up the
+/// vendor of any pooled prime they use; a prime claimed by several vendors
+/// is reported as an overlap and *not* used for extrapolation.
+pub fn extrapolate(
+    factored: &[FactoredModulus],
+    subject_labels: &HashMap<ModulusId, VendorId>,
+) -> ExtrapolationResult {
+    // Pool: prime -> set of vendors seen using it (BTreeMap for
+    // deterministic overlap ordering).
+    let mut pool: BTreeMap<Vec<u8>, (Natural, Vec<VendorId>)> = BTreeMap::new();
+    for f in factored {
+        let Some(&vendor) = subject_labels.get(&f.id) else {
+            continue;
+        };
+        for prime in [&f.p, &f.q] {
+            let entry = pool
+                .entry(prime.to_bytes_be())
+                .or_insert_with(|| (prime.clone(), Vec::new()));
+            if !entry.1.contains(&vendor) {
+                entry.1.push(vendor);
+            }
+        }
+    }
+
+    let overlaps: Vec<VendorOverlap> = pool
+        .values()
+        .filter(|(_, vendors)| vendors.len() > 1)
+        .map(|(prime, vendors)| VendorOverlap {
+            prime: prime.clone(),
+            vendors: vendors.clone(),
+        })
+        .collect();
+
+    let mut extrapolated = HashMap::new();
+    for f in factored {
+        if subject_labels.contains_key(&f.id) {
+            continue;
+        }
+        for prime in [&f.p, &f.q] {
+            if let Some((_, vendors)) = pool.get(&prime.to_bytes_be()) {
+                if vendors.len() == 1 {
+                    extrapolated.insert(f.id, vendors[0]);
+                    break;
+                }
+            }
+        }
+    }
+    ExtrapolationResult { extrapolated, overlaps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    fn fm(id: u32, p: u64, q: u64) -> FactoredModulus {
+        FactoredModulus { id: ModulusId(id), p: nat(p), q: nat(q) }
+    }
+
+    #[test]
+    fn unlabeled_modulus_gains_vendor_of_shared_prime() {
+        // Modulus 0 (labeled Fritz!Box) and modulus 1 (unlabeled, IP-octet
+        // cert) share prime 7: the paper's Fritz!Box extrapolation.
+        let factored = vec![fm(0, 7, 11), fm(1, 7, 13)];
+        let mut labels = HashMap::new();
+        labels.insert(ModulusId(0), VendorId::FritzBox);
+        let result = extrapolate(&factored, &labels);
+        assert_eq!(result.extrapolated.get(&ModulusId(1)), Some(&VendorId::FritzBox));
+        assert!(result.overlaps.is_empty());
+    }
+
+    #[test]
+    fn already_labeled_moduli_untouched() {
+        let factored = vec![fm(0, 7, 11), fm(1, 7, 13)];
+        let mut labels = HashMap::new();
+        labels.insert(ModulusId(0), VendorId::Xerox);
+        labels.insert(ModulusId(1), VendorId::Xerox);
+        let result = extrapolate(&factored, &labels);
+        assert!(result.extrapolated.is_empty());
+    }
+
+    #[test]
+    fn cross_vendor_overlap_reported_not_extrapolated() {
+        // Prime 7 used by both a Xerox-labeled and a Dell-labeled modulus;
+        // modulus 2 is unlabeled and also uses 7.
+        let factored = vec![fm(0, 7, 11), fm(1, 7, 13), fm(2, 7, 17)];
+        let mut labels = HashMap::new();
+        labels.insert(ModulusId(0), VendorId::Xerox);
+        labels.insert(ModulusId(1), VendorId::Dell);
+        let result = extrapolate(&factored, &labels);
+        assert_eq!(result.overlaps.len(), 1);
+        assert_eq!(result.overlaps[0].prime, nat(7));
+        assert!(result.overlaps[0].vendors.contains(&VendorId::Xerox));
+        assert!(result.overlaps[0].vendors.contains(&VendorId::Dell));
+        // Ambiguous prime: no extrapolation.
+        assert!(result.extrapolated.is_empty());
+    }
+
+    #[test]
+    fn no_labels_no_output() {
+        let factored = vec![fm(0, 7, 11), fm(1, 7, 13)];
+        let result = extrapolate(&factored, &HashMap::new());
+        assert!(result.extrapolated.is_empty());
+        assert!(result.overlaps.is_empty());
+    }
+
+    #[test]
+    fn second_prime_also_extrapolates() {
+        // The unlabeled modulus shares its q, not its p.
+        let factored = vec![fm(0, 7, 11), fm(1, 5, 11)];
+        let mut labels = HashMap::new();
+        labels.insert(ModulusId(0), VendorId::Ibm);
+        let result = extrapolate(&factored, &labels);
+        assert_eq!(result.extrapolated.get(&ModulusId(1)), Some(&VendorId::Ibm));
+    }
+}

@@ -1,0 +1,230 @@
+//! Certificate-subject fingerprinting (§3.3.1).
+//!
+//! "We identified the majority of host records using certificate subjects"
+//! — vendors' default certificates carry stable distinguishing strings.
+//! These rules intentionally read **only** the certificate, never the
+//! simulator's ground truth; accuracy against ground truth is evaluated in
+//! the integration tests.
+
+use wk_cert::Certificate;
+use wk_scan::VendorId;
+
+/// A fingerprinting verdict: vendor plus, where the certificate carries it,
+/// the model string (Cisco's OU field, Dell's Imaging group).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VendorLabel {
+    /// The identified vendor.
+    pub vendor: VendorId,
+    /// Model, when the certificate names one.
+    pub model: Option<String>,
+}
+
+impl VendorLabel {
+    fn plain(vendor: VendorId) -> Self {
+        VendorLabel { vendor, model: None }
+    }
+
+    fn with_model(vendor: VendorId, model: &str) -> Self {
+        VendorLabel { vendor, model: Some(model.to_string()) }
+    }
+}
+
+/// Identify the vendor of a certificate from subject strings and SANs.
+///
+/// Returns `None` for certificates carrying no vendor marker (IP-octet CNs,
+/// IBM's customer-named subjects) — those are labeled, if at all, by
+/// shared-prime extrapolation ([`crate::prime_pool`]).
+pub fn identify_vendor(cert: &Certificate) -> Option<VendorLabel> {
+    let cn = cert.subject.common_name.as_deref().unwrap_or("");
+    let org = cert.subject.organization.as_deref().unwrap_or("");
+    let ou = cert.subject.organizational_unit.as_deref().unwrap_or("");
+
+    // Juniper: "every Juniper certificate contained the field 'CN=system
+    // generated'".
+    if cn == "system generated" {
+        return Some(VendorLabel::plain(VendorId::Juniper));
+    }
+    // Cisco: model in the OU.
+    if org.contains("Cisco") {
+        let model = if ou.is_empty() { None } else { Some(ou.to_string()) };
+        return Some(VendorLabel { vendor: VendorId::Cisco, model });
+    }
+    // McAfee SnapGear: all-defaults subject, identified via the console page.
+    if cn == "Default Common Name" && org == "Default Organization" {
+        return Some(VendorLabel::with_model(VendorId::McAfee, "SnapGear"));
+    }
+    // Fritz!Box: characteristic SANs or myfritz.net CNs.
+    if cert
+        .subject_alt_names
+        .iter()
+        .any(|s| s == "fritz.box" || s.ends_with(".fritz.box") || s == "fritz.fonwlan.box")
+        || cn.ends_with(".myfritz.net")
+    {
+        return Some(VendorLabel::plain(VendorId::FritzBox));
+    }
+    // Dell Imaging Group before generic Dell.
+    if ou == "Dell Imaging Group" {
+        return Some(VendorLabel::with_model(VendorId::Dell, "Imaging"));
+    }
+    // O=<vendor> identifications.
+    let by_org: &[(&str, VendorId)] = &[
+        ("Hewlett-Packard", VendorId::Hp),
+        ("ZyXEL", VendorId::Zyxel),
+        ("TP-LINK", VendorId::TpLink),
+        ("Xerox", VendorId::Xerox),
+        ("D-Link", VendorId::DLink),
+        ("Dell Inc.", VendorId::Dell),
+        ("Conel s.r.o.", VendorId::Conel),
+        ("Sangfor", VendorId::Sangfor),
+        ("Huawei", VendorId::Huawei),
+        ("Schmid Telecom", VendorId::SchmidTelecom),
+        ("Siemens Building Automation", VendorId::Siemens),
+    ];
+    for (marker, vendor) in by_org {
+        if org.contains(marker) {
+            let model = if ou.is_empty() { None } else { Some(ou.to_string()) };
+            return Some(VendorLabel { vendor: *vendor, model });
+        }
+    }
+    // CN-marker identifications.
+    let by_cn: &[(&str, VendorId)] = &[
+        ("mGuard", VendorId::Innominate),
+        ("SpeedTouch", VendorId::Thomson),
+        ("Linksys", VendorId::Linksys),
+        ("FortiGate", VendorId::Fortinet),
+        ("Kronos", VendorId::Kronos),
+        ("NetVanta", VendorId::Adtran),
+    ];
+    for (marker, vendor) in by_cn {
+        if cn.contains(marker) {
+            return Some(VendorLabel::plain(*vendor));
+        }
+    }
+    None
+}
+
+/// Is the subject nothing but an IP address in dotted octets? These tens of
+/// thousands of certificates are only labelable via shared primes (§3.3.2).
+pub fn is_ip_octet_subject(cert: &Certificate) -> bool {
+    let Some(cn) = cert.subject.common_name.as_deref() else {
+        return false;
+    };
+    if cert.subject.organization.is_some() || cert.subject.organizational_unit.is_some() {
+        return false;
+    }
+    let octets: Vec<&str> = cn.split('.').collect();
+    octets.len() == 4 && octets.iter().all(|o| o.parse::<u8>().is_ok() && !o.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wk_bigint::Natural;
+    use wk_cert::{MonthDate, SubjectStyle};
+
+    fn cert(style: SubjectStyle, tag: u64) -> Certificate {
+        style.certificate(tag, tag, Natural::from(35u64), MonthDate::new(2012, 6))
+    }
+
+    #[test]
+    fn juniper_rule() {
+        let c = cert(SubjectStyle::JuniperSystemGenerated, 1);
+        assert_eq!(
+            identify_vendor(&c),
+            Some(VendorLabel { vendor: VendorId::Juniper, model: None })
+        );
+    }
+
+    #[test]
+    fn cisco_rule_extracts_model() {
+        let c = cert(SubjectStyle::CiscoModelInOu { model: "RV220W".into() }, 1);
+        let label = identify_vendor(&c).unwrap();
+        assert_eq!(label.vendor, VendorId::Cisco);
+        assert_eq!(label.model.as_deref(), Some("RV220W"));
+    }
+
+    #[test]
+    fn mcafee_defaults_rule() {
+        let c = cert(SubjectStyle::McAfeeSnapGearDefaults, 1);
+        assert_eq!(identify_vendor(&c).unwrap().vendor, VendorId::McAfee);
+    }
+
+    #[test]
+    fn fritzbox_san_and_myfritz_rules() {
+        let by_san = cert(SubjectStyle::FritzBoxLocalSans, 1);
+        assert_eq!(identify_vendor(&by_san).unwrap().vendor, VendorId::FritzBox);
+        let by_cn = cert(SubjectStyle::FritzBoxMyfritz { subdomain: "box".into() }, 2);
+        assert_eq!(identify_vendor(&by_cn).unwrap().vendor, VendorId::FritzBox);
+    }
+
+    #[test]
+    fn org_rules() {
+        for (org, vendor) in [
+            ("Hewlett-Packard", VendorId::Hp),
+            ("ZyXEL", VendorId::Zyxel),
+            ("TP-LINK", VendorId::TpLink),
+            ("Xerox", VendorId::Xerox),
+        ] {
+            let c = cert(SubjectStyle::OrganizationNames { organization: org.into() }, 1);
+            assert_eq!(identify_vendor(&c).unwrap().vendor, vendor, "{org}");
+        }
+    }
+
+    #[test]
+    fn dell_imaging_beats_generic_dell() {
+        let c = cert(
+            SubjectStyle::OrganizationAndUnit {
+                organization: "Dell Inc.".into(),
+                unit: "Dell Imaging Group".into(),
+            },
+            1,
+        );
+        let label = identify_vendor(&c).unwrap();
+        assert_eq!(label.vendor, VendorId::Dell);
+        assert_eq!(label.model.as_deref(), Some("Imaging"));
+    }
+
+    #[test]
+    fn ip_octets_unidentified() {
+        let c = cert(SubjectStyle::IpOctetsOnly { ip: [10, 1, 2, 3] }, 1);
+        assert_eq!(identify_vendor(&c), None);
+        assert!(is_ip_octet_subject(&c));
+    }
+
+    #[test]
+    fn ibm_customer_subject_unidentified() {
+        let c = cert(SubjectStyle::IbmCustomerNamed { customer_org: "Acme Corp".into() }, 1);
+        assert_eq!(identify_vendor(&c), None, "IBM certs carry no IBM marker");
+        assert!(!is_ip_octet_subject(&c));
+    }
+
+    #[test]
+    fn ip_octet_subject_rejects_nonsense() {
+        let c = cert(SubjectStyle::GenericVendorCn { vendor_cn: "300.1.2.3".into() }, 1);
+        assert!(!is_ip_octet_subject(&c));
+        let c2 = cert(SubjectStyle::GenericVendorCn { vendor_cn: "a.b.c.d".into() }, 1);
+        assert!(!is_ip_octet_subject(&c2));
+    }
+
+    #[test]
+    fn all_registry_vulnerable_styles_covered_or_deliberately_not() {
+        // Styles that must identify: everything except IBM and IP-octet.
+        for spec in wk_scan::registry() {
+            if let wk_scan::StylePick::Fixed(style) = &spec.style {
+                let c = cert(style.clone(), 7);
+                let label = identify_vendor(&c);
+                match style {
+                    SubjectStyle::IbmCustomerNamed { .. } | SubjectStyle::IpOctetsOnly { .. } => {
+                        assert!(label.is_none())
+                    }
+                    _ => assert_eq!(
+                        label.map(|l| l.vendor),
+                        Some(spec.vendor),
+                        "style {style:?} must identify {:?}",
+                        spec.vendor
+                    ),
+                }
+            }
+        }
+    }
+}

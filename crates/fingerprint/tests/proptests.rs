@@ -1,0 +1,140 @@
+//! Property-based tests for the fingerprinting mechanisms, using real key
+//! material from `wk-keygen`.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wk_bigint::Natural;
+use wk_fingerprint::{
+    classify_divisor, classify_primes, detect_cliques, extrapolate, DivisorKind,
+    FactoredModulus, OpensslClass,
+};
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
+use wk_scan::{ModulusId, VendorId};
+
+fn clique_population(seed: u64, draws: usize) -> Vec<FactoredModulus> {
+    let mut gen = ModelKeygen::new(
+        KeygenBehavior::NinePrime { shaping: PrimeShaping::Plain },
+        128,
+        seed,
+    );
+    let mut seen = HashMap::new();
+    let mut out = Vec::new();
+    for _ in 0..draws {
+        let k = gen.generate();
+        let key = k.public.n.to_bytes_be();
+        if seen.contains_key(&key) {
+            continue;
+        }
+        let id = ModulusId(seen.len() as u32);
+        seen.insert(key, id);
+        let (p, q) = if k.p <= k.q { (k.p, k.q) } else { (k.q, k.p) };
+        out.push(FactoredModulus { id, p, q });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A nine-prime population is always detected as exactly one clique
+    /// containing every modulus, once enough draws accumulate.
+    #[test]
+    fn nine_prime_clique_always_detected(seed in 0u64..1000) {
+        let factored = clique_population(seed, 60);
+        prop_assume!(factored.len() >= 10);
+        let cliques = detect_cliques(&factored, 6);
+        prop_assert_eq!(cliques.len(), 1);
+        prop_assert!(cliques[0].primes.len() <= 9);
+        prop_assert_eq!(cliques[0].moduli.len(), factored.len());
+    }
+
+    /// Star-shaped (shared-pool) populations are never misdetected as
+    /// cliques: one pooled prime with fresh second primes.
+    #[test]
+    fn shared_pool_never_a_clique(seed in 0u64..1000, n in 4usize..12) {
+        let mut gen = ModelKeygen::new(
+            KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::Plain, pool_size: 1 },
+            128,
+            seed,
+        );
+        let factored: Vec<FactoredModulus> = (0..n)
+            .map(|i| {
+                let k = gen.generate();
+                let (p, q) = if k.p <= k.q { (k.p, k.q) } else { (k.q, k.p) };
+                FactoredModulus { id: ModulusId(i as u32), p, q }
+            })
+            .collect();
+        let cliques = detect_cliques(&factored, 3);
+        prop_assert!(cliques.is_empty(), "star misdetected: {cliques:?}");
+    }
+
+    /// Extrapolation is conservative: it never changes an existing label
+    /// and only adds labels reachable through genuinely shared primes.
+    #[test]
+    fn extrapolation_conservative(seed in 0u64..1000, labeled in 1usize..5) {
+        let mut gen = ModelKeygen::new(
+            KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::Plain, pool_size: 2 },
+            128,
+            seed,
+        );
+        let factored: Vec<FactoredModulus> = (0..8usize)
+            .map(|i| {
+                let k = gen.generate();
+                let (p, q) = if k.p <= k.q { (k.p, k.q) } else { (k.q, k.p) };
+                FactoredModulus { id: ModulusId(i as u32), p, q }
+            })
+            .collect();
+        let mut labels = HashMap::new();
+        for f in factored.iter().take(labeled) {
+            labels.insert(f.id, VendorId::Juniper);
+        }
+        let result = extrapolate(&factored, &labels);
+        // Never relabels inputs.
+        for id in labels.keys() {
+            prop_assert!(!result.extrapolated.contains_key(id));
+        }
+        // Every extrapolated modulus shares a prime with a labeled one.
+        for (id, _) in &result.extrapolated {
+            let f = factored.iter().find(|f| &f.id == id).unwrap();
+            let linked = factored.iter().filter(|g| labels.contains_key(&g.id)).any(|g| {
+                f.p == g.p || f.p == g.q || f.q == g.p || f.q == g.q
+            });
+            prop_assert!(linked, "extrapolated label without a shared prime");
+        }
+    }
+
+    /// Divisor classification: products of small primes are always smooth;
+    /// a genuine half-size prime factor is never classified smooth.
+    #[test]
+    fn divisor_classification(seed in 0u64..1000) {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(seed)
+        };
+        let p = wk_keygen::generate_prime(&mut rng, 64, PrimeShaping::Plain);
+        prop_assert_eq!(classify_divisor(&p), DivisorKind::SharedPrime);
+        let smooth = Natural::from(2u64 * 3 * 5 * 7 * 11 * 13);
+        prop_assert_eq!(classify_divisor(&smooth), DivisorKind::SmoothBitError);
+        prop_assert_eq!(classify_divisor(&(&p * &smooth)), DivisorKind::Mixed);
+    }
+
+    /// The OpenSSL classifier is consistent: OpenSSL-shaped prime sets are
+    /// never classified NotOpenssl, and vice versa plain sets of >= 8 are
+    /// never classified LikelyOpenssl.
+    #[test]
+    fn openssl_classifier_directions(seed in 0u64..500) {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(seed)
+        };
+        let shaped: Vec<Natural> = (0..6)
+            .map(|_| wk_keygen::generate_prime(&mut rng, 64, PrimeShaping::OpensslStyle))
+            .collect();
+        prop_assert_eq!(classify_primes(&shaped).class, OpensslClass::LikelyOpenssl);
+        let plain: Vec<Natural> = (0..10)
+            .map(|_| wk_keygen::generate_prime(&mut rng, 64, PrimeShaping::Plain))
+            .collect();
+        // P(all 10 satisfy by chance) = 0.075^10 ≈ 5.6e-12.
+        prop_assert_ne!(classify_primes(&plain).class, OpensslClass::LikelyOpenssl);
+    }
+}

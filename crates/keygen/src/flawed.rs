@@ -1,0 +1,330 @@
+//! Population-scale models of flawed key generation.
+//!
+//! `wk-rng` + [`crate::mechanism`] model *why* two devices produce related
+//! keys; this module models the *aggregate effect* efficiently enough to
+//! generate tens of thousands of keys for the scan simulator:
+//!
+//! * [`KeygenBehavior::SharedPrimePool`] — the canonical flaw: the first
+//!   prime collides across devices (drawn from a small pool), the second is
+//!   fresh. Batch GCD factors every key whose pool prime is used twice.
+//! * [`KeygenBehavior::NinePrime`] — the IBM Remote Supervisor Adapter II /
+//!   BladeCenter bug: both primes come from a fixed pool of nine, giving 36
+//!   possible public keys (§3.3.1).
+//! * [`KeygenBehavior::RepeatedKeys`] — devices shipping identical keys
+//!   (shared across IPs but *not* factorable by GCD), e.g. hardcoded default
+//!   certificates.
+//! * [`KeygenBehavior::Healthy`] — fresh unique primes; never factorable.
+
+use crate::primes::{generate_prime, PrimeShaping};
+use crate::rsa::RsaPrivateKey;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashSet;
+use wk_bigint::Natural;
+
+/// A pool of distinct primes shared by a device population.
+#[derive(Clone, Debug)]
+pub struct PrimePool {
+    primes: Vec<Natural>,
+    shaping: PrimeShaping,
+}
+
+impl PrimePool {
+    /// Generate `count` distinct primes of `bits` bits.
+    pub fn generate<R: RngCore + ?Sized>(
+        rng: &mut R,
+        count: usize,
+        bits: u64,
+        shaping: PrimeShaping,
+    ) -> Self {
+        let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(count);
+        let mut primes = Vec::with_capacity(count);
+        while primes.len() < count {
+            let p = generate_prime(rng, bits, shaping);
+            if seen.insert(p.to_bytes_be()) {
+                primes.push(p);
+            }
+        }
+        PrimePool { primes, shaping }
+    }
+
+    /// The primes in the pool.
+    pub fn primes(&self) -> &[Natural] {
+        &self.primes
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// True when empty (never for generated pools).
+    pub fn is_empty(&self) -> bool {
+        self.primes.is_empty()
+    }
+
+    /// Shaping of the pooled primes.
+    pub fn shaping(&self) -> PrimeShaping {
+        self.shaping
+    }
+
+    /// Draw one prime uniformly.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> &Natural {
+        &self.primes[rng.gen_range(0..self.primes.len())]
+    }
+
+    /// Draw two *distinct* primes uniformly.
+    pub fn sample_pair<R: RngCore + ?Sized>(&self, rng: &mut R) -> (&Natural, &Natural) {
+        assert!(self.primes.len() >= 2, "pool too small for a pair");
+        let i = rng.gen_range(0..self.primes.len());
+        let mut j = rng.gen_range(0..self.primes.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        (&self.primes[i], &self.primes[j])
+    }
+}
+
+/// Statistical key-generation behavior of a device model.
+#[derive(Clone, Debug)]
+pub enum KeygenBehavior {
+    /// Fresh unique primes for every key.
+    Healthy { shaping: PrimeShaping },
+    /// First prime from a shared pool of `pool_size` primes, second fresh:
+    /// the boot-time entropy-hole signature.
+    SharedPrimePool {
+        shaping: PrimeShaping,
+        pool_size: usize,
+    },
+    /// Both primes from a fixed pool of nine (the IBM bug): 36 possible
+    /// moduli in total.
+    NinePrime { shaping: PrimeShaping },
+    /// Every device ships one of `distinct` hardcoded keys.
+    RepeatedKeys {
+        shaping: PrimeShaping,
+        distinct: usize,
+    },
+}
+
+impl KeygenBehavior {
+    /// Does this behavior produce batch-GCD-factorable keys (given enough
+    /// devices)?
+    pub fn is_gcd_vulnerable(&self) -> bool {
+        matches!(
+            self,
+            KeygenBehavior::SharedPrimePool { .. } | KeygenBehavior::NinePrime { .. }
+        )
+    }
+}
+
+/// A materialized key generator for one device model.
+///
+/// Deterministic given `(behavior, bits, seed)` so simulated studies are
+/// exactly reproducible.
+pub struct ModelKeygen {
+    behavior: KeygenBehavior,
+    bits: u64,
+    pool: Option<PrimePool>,
+    repeated: Vec<RsaPrivateKey>,
+    rng: rand::rngs::StdRng,
+}
+
+impl ModelKeygen {
+    /// Materialize pools for the behavior. `bits` is the modulus size;
+    /// primes are `bits/2`.
+    pub fn new(behavior: KeygenBehavior, bits: u64, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pool = match &behavior {
+            KeygenBehavior::SharedPrimePool { shaping, pool_size } => Some(
+                PrimePool::generate(&mut rng, *pool_size, bits / 2, *shaping),
+            ),
+            KeygenBehavior::NinePrime { shaping } => {
+                Some(PrimePool::generate(&mut rng, 9, bits / 2, *shaping))
+            }
+            _ => None,
+        };
+        let repeated = match &behavior {
+            KeygenBehavior::RepeatedKeys { shaping, distinct } => (0..*distinct)
+                .map(|_| RsaPrivateKey::generate(&mut rng, bits, *shaping))
+                .collect(),
+            _ => Vec::new(),
+        };
+        ModelKeygen {
+            behavior,
+            bits,
+            pool,
+            repeated,
+            rng,
+        }
+    }
+
+    /// The behavior this generator models.
+    pub fn behavior(&self) -> &KeygenBehavior {
+        &self.behavior
+    }
+
+    /// The shared prime pool, when the behavior has one.
+    pub fn pool(&self) -> Option<&PrimePool> {
+        self.pool.as_ref()
+    }
+
+    /// Generate one device's key.
+    pub fn generate(&mut self) -> RsaPrivateKey {
+        match &self.behavior {
+            KeygenBehavior::Healthy { shaping } => {
+                RsaPrivateKey::generate(&mut self.rng, self.bits, *shaping)
+            }
+            KeygenBehavior::SharedPrimePool { shaping, .. } => {
+                let pool = self.pool.as_ref().expect("pool materialized");
+                loop {
+                    let p = pool.sample(&mut self.rng).clone();
+                    let q = generate_prime(&mut self.rng, self.bits / 2, *shaping);
+                    if let Ok(key) = RsaPrivateKey::from_primes(p, q) {
+                        return key;
+                    }
+                }
+            }
+            KeygenBehavior::NinePrime { .. } => {
+                let pool = self.pool.as_ref().expect("pool materialized");
+                loop {
+                    let (p, q) = pool.sample_pair(&mut self.rng);
+                    let (p, q) = (p.clone(), q.clone());
+                    if let Ok(key) = RsaPrivateKey::from_primes(p, q) {
+                        return key;
+                    }
+                }
+            }
+            KeygenBehavior::RepeatedKeys { .. } => {
+                let i = self.rng.gen_range(0..self.repeated.len());
+                self.repeated[i].clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    const BITS: u64 = 128;
+
+    #[test]
+    fn prime_pool_distinct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pool = PrimePool::generate(&mut rng, 20, 32, PrimeShaping::Plain);
+        let mut set = HashSet::new();
+        for p in pool.primes() {
+            assert!(set.insert(p.to_bytes_be()), "duplicate prime in pool");
+            assert!(p.is_probable_prime_fixed());
+        }
+    }
+
+    #[test]
+    fn sample_pair_never_equal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let pool = PrimePool::generate(&mut rng, 9, 32, PrimeShaping::Plain);
+        for _ in 0..100 {
+            let (a, b) = pool.sample_pair(&mut rng);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn shared_pool_keys_share_first_primes() {
+        let behavior = KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::OpensslStyle,
+            pool_size: 3,
+        };
+        let mut gen = ModelKeygen::new(behavior, BITS, 42);
+        let keys: Vec<_> = (0..30).map(|_| gen.generate()).collect();
+        // With 30 keys over a 3-prime pool, pigeonhole guarantees shared ps.
+        let mut by_p: HashMap<Vec<u8>, usize> = HashMap::new();
+        for k in &keys {
+            *by_p.entry(k.p.to_bytes_be()).or_default() += 1;
+        }
+        assert!(by_p.len() <= 3);
+        assert!(by_p.values().any(|&c| c >= 2));
+        // Second primes must all be distinct (fresh).
+        let qs: HashSet<_> = keys.iter().map(|k| k.q.to_bytes_be()).collect();
+        assert_eq!(qs.len(), keys.len());
+    }
+
+    #[test]
+    fn nine_prime_produces_at_most_36_moduli() {
+        let behavior = KeygenBehavior::NinePrime {
+            shaping: PrimeShaping::Plain,
+        };
+        let mut gen = ModelKeygen::new(behavior, BITS, 7);
+        let moduli: HashSet<_> = (0..300)
+            .map(|_| gen.generate().public.n.to_bytes_be())
+            .collect();
+        assert!(moduli.len() <= 36, "got {} distinct moduli", moduli.len());
+        assert!(moduli.len() > 20, "sampling should cover most of the 36");
+    }
+
+    #[test]
+    fn healthy_keys_all_coprime() {
+        let behavior = KeygenBehavior::Healthy {
+            shaping: PrimeShaping::OpensslStyle,
+        };
+        let mut gen = ModelKeygen::new(behavior, BITS, 3);
+        let keys: Vec<_> = (0..10).map(|_| gen.generate()).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert!(
+                    keys[i].public.n.gcd(&keys[j].public.n).is_one(),
+                    "healthy keys share a factor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_keys_draw_from_fixed_set() {
+        let behavior = KeygenBehavior::RepeatedKeys {
+            shaping: PrimeShaping::Plain,
+            distinct: 2,
+        };
+        let mut gen = ModelKeygen::new(behavior, BITS, 5);
+        let moduli: HashSet<_> = (0..50)
+            .map(|_| gen.generate().public.n.to_bytes_be())
+            .collect();
+        assert_eq!(moduli.len(), 2);
+    }
+
+    #[test]
+    fn vulnerability_classification() {
+        assert!(KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::Plain,
+            pool_size: 5
+        }
+        .is_gcd_vulnerable());
+        assert!(KeygenBehavior::NinePrime {
+            shaping: PrimeShaping::Plain
+        }
+        .is_gcd_vulnerable());
+        assert!(!KeygenBehavior::Healthy {
+            shaping: PrimeShaping::Plain
+        }
+        .is_gcd_vulnerable());
+        assert!(!KeygenBehavior::RepeatedKeys {
+            shaping: PrimeShaping::Plain,
+            distinct: 1
+        }
+        .is_gcd_vulnerable());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = |seed| {
+            let behavior = KeygenBehavior::SharedPrimePool {
+                shaping: PrimeShaping::Plain,
+                pool_size: 2,
+            };
+            let mut g = ModelKeygen::new(behavior, BITS, seed);
+            g.generate().public.n
+        };
+        assert_eq!(mk(9), mk(9));
+        assert_ne!(mk(9), mk(10));
+    }
+}

@@ -1,0 +1,35 @@
+//! # wk-keygen — RSA key generation over modeled entropy sources
+//!
+//! Three layers, from mechanism to population scale:
+//!
+//! * [`primes`] — prime generation with implementation-specific shaping:
+//!   OpenSSL's reject-`p ≡ 1 (mod q)` rule (the Mironov fingerprint), plain
+//!   primes, and safe primes.
+//! * [`rsa`] — keypair construction, raw RSA operations, and
+//!   [`rsa::RsaPrivateKey::from_factor`], the step that turns a batch-GCD
+//!   hit into a full private key.
+//! * [`mechanism`] — a faithful, slow reproduction of the entropy-hole →
+//!   shared-prime causal chain on top of `wk-rng`'s device models.
+//! * [`flawed`] — fast statistical equivalents used by the scan simulator
+//!   to generate whole device populations (shared-prime pools, the IBM
+//!   nine-prime generator, repeated default keys, healthy baselines).
+//!
+//! ```
+//! use wk_keygen::{PrimeShaping, RsaPrivateKey};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let key = RsaPrivateKey::generate(&mut rng, 128, PrimeShaping::OpensslStyle);
+//! let c = key.public.encrypt_raw(&wk_bigint::Natural::from(42u64));
+//! assert_eq!(key.decrypt_raw(&c), wk_bigint::Natural::from(42u64));
+//! ```
+
+pub mod flawed;
+pub mod mechanism;
+pub mod primes;
+pub mod rsa;
+
+pub use flawed::{KeygenBehavior, ModelKeygen, PrimePool};
+pub use mechanism::{device_generate_keypair, KeygenTiming};
+pub use primes::{generate_prime, openssl_check_primes, satisfies_openssl_shape, PrimeShaping};
+pub use rsa::{plausible_modulus, KeygenError, RsaPrivateKey, RsaPublicKey, PUBLIC_EXPONENT};

@@ -1,0 +1,186 @@
+//! Prime generation with implementation-specific shaping.
+//!
+//! Mironov observed that OpenSSL's `BN_generate_prime` rejects candidates
+//! `p` where `p - 1` is divisible by any of the first 2048 (odd) primes —
+//! a safety margin against p-1 factoring attacks. A random prime satisfies
+//! this by chance only ≈ 7.5% of the time, so the *prime itself* fingerprints
+//! the implementation that generated it ([paper §3.3.4]). This module
+//! generates primes with or without that shaping, and exposes the predicate
+//! the fingerprint crate tests.
+
+use rand::RngCore;
+use std::sync::OnceLock;
+use wk_bigint::{first_primes, Natural};
+
+/// How candidate primes are filtered, distinguishing implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrimeShaping {
+    /// OpenSSL-style: reject `p` when `p ≡ 1 (mod q)` for any of the first
+    /// 2048 odd primes `q`.
+    OpensslStyle,
+    /// No shaping beyond primality — the "definitely not OpenSSL" class.
+    Plain,
+    /// Safe primes: `(p-1)/2` is also prime. Satisfies the OpenSSL
+    /// predicate trivially, which is why the paper checks that no vulnerable
+    /// implementation generates *exclusively* safe primes before trusting
+    /// the fingerprint.
+    Safe,
+}
+
+/// The first 2048 odd primes (3, 5, ..., 17891), as checked by OpenSSL.
+pub fn openssl_check_primes() -> &'static [u64] {
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| first_primes(2049)[1..].to_vec())
+}
+
+/// Does `p` satisfy the OpenSSL prime-shape predicate — `p ≢ 1 (mod q)` for
+/// every `q` in the first 2048 odd primes?
+///
+/// Moduli from OpenSSL-generated keys satisfy this for *every* prime factor;
+/// a random prime satisfies it with probability ≈ Π(1 - 1/(q-1)) ≈ 7.5%.
+pub fn satisfies_openssl_shape(p: &Natural) -> bool {
+    openssl_check_primes()
+        .iter()
+        .all(|&q| p.rem_limb(q) != 1)
+}
+
+/// Generate a prime of exactly `bits` bits with the given shaping, drawing
+/// candidates from `rng`.
+///
+/// Candidates are redrawn (not incremented) on failure so that every
+/// attempt consumes generator output — this matches the divergence model:
+/// how long the search runs determines how much of the entropy stream is
+/// consumed.
+///
+/// # Panics
+/// Panics if `bits < 8`, if OpenSSL shaping is requested below 16 bits
+/// (no 8-bit prime has `p-1` free of small odd factors — the search would
+/// never terminate), or if `Safe` shaping is requested with `bits > 128`
+/// (cost guard for the simulator).
+pub fn generate_prime<R: RngCore + ?Sized>(
+    rng: &mut R,
+    bits: u64,
+    shaping: PrimeShaping,
+) -> Natural {
+    assert!(bits >= 8, "prime size too small: {bits} bits");
+    assert!(
+        shaping != PrimeShaping::OpensslStyle || bits >= 16,
+        "no {bits}-bit prime can satisfy the OpenSSL shape (p-1 would need \
+         to be a power of two)"
+    );
+    if shaping == PrimeShaping::Safe {
+        assert!(
+            bits <= 128,
+            "safe-prime generation above 128 bits is too slow for the simulator"
+        );
+        return generate_safe_prime(rng, bits);
+    }
+    loop {
+        let mut candidate = Natural::random_bits_exact(rng, bits);
+        candidate.set_bit(0, true); // force odd
+        if shaping == PrimeShaping::OpensslStyle && !satisfies_openssl_shape(&candidate) {
+            continue;
+        }
+        if candidate.is_probable_prime_fixed() {
+            return candidate;
+        }
+    }
+}
+
+/// Generate a safe prime: `p` prime with `(p-1)/2` prime.
+fn generate_safe_prime<R: RngCore + ?Sized>(rng: &mut R, bits: u64) -> Natural {
+    loop {
+        // Generate p' of bits-1 bits, test p = 2p'+1.
+        let p_half = generate_prime(rng, bits - 1, PrimeShaping::Plain);
+        let p = &(&p_half << 1u64) + &Natural::one();
+        if p.bit_len() == bits && p.is_probable_prime_fixed() {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn check_prime_list_shape() {
+        let primes = openssl_check_primes();
+        assert_eq!(primes.len(), 2048);
+        assert_eq!(primes[0], 3);
+        assert!(primes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn generated_primes_are_prime_and_sized() {
+        let mut r = rng();
+        for bits in [16u64, 32, 64, 128] {
+            for shaping in [PrimeShaping::Plain, PrimeShaping::OpensslStyle] {
+                let p = generate_prime(&mut r, bits, shaping);
+                assert_eq!(p.bit_len(), bits, "bits={bits} {shaping:?}");
+                assert!(p.is_probable_prime_fixed());
+            }
+        }
+    }
+
+    #[test]
+    fn openssl_shaping_satisfies_predicate() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let p = generate_prime(&mut r, 64, PrimeShaping::OpensslStyle);
+            assert!(satisfies_openssl_shape(&p));
+        }
+    }
+
+    #[test]
+    fn plain_primes_mostly_fail_predicate() {
+        // ≈7.5% acceptance: 40 plain primes should include several failures.
+        let mut r = rng();
+        let satisfied = (0..40)
+            .filter(|_| {
+                satisfies_openssl_shape(&generate_prime(&mut r, 64, PrimeShaping::Plain))
+            })
+            .count();
+        assert!(satisfied < 20, "plain primes look OpenSSL-shaped: {satisfied}/40");
+    }
+
+    #[test]
+    fn safe_primes_are_safe_and_satisfy_predicate() {
+        let mut r = rng();
+        let p = generate_prime(&mut r, 32, PrimeShaping::Safe);
+        assert!(p.is_probable_prime_fixed());
+        let half = &(&p - &Natural::one()) >> 1u64;
+        assert!(half.is_probable_prime_fixed());
+        // A safe prime p = 2p'+1: p-1 = 2p' has no small odd prime factors
+        // besides possibly p' itself, so the predicate holds whenever
+        // p' > 17891 — true at 31 bits.
+        assert!(satisfies_openssl_shape(&p));
+    }
+
+    #[test]
+    fn known_values_of_predicate() {
+        // p = 7: p-1 = 6 divisible by 3 -> fails.
+        assert!(!satisfies_openssl_shape(&Natural::from(7u64)));
+        // p = 5: p-1 = 4 = 2^2, no odd prime factors -> passes.
+        assert!(satisfies_openssl_shape(&Natural::from(5u64)));
+        // p = 2^127-1: p-1 = 2*(2^126-1); 2^126-1 divisible by 3 -> fails.
+        let m127 = &(&Natural::one() << 127u64) - &Natural::one();
+        assert!(!satisfies_openssl_shape(&m127));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(
+            generate_prime(&mut a, 64, PrimeShaping::OpensslStyle),
+            generate_prime(&mut b, 64, PrimeShaping::OpensslStyle)
+        );
+    }
+}

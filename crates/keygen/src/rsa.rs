@@ -1,0 +1,272 @@
+//! RSA key construction and (raw) operations.
+//!
+//! Keys are built from primes produced by [`crate::primes`]; whether those
+//! primes are fresh, pooled, or from the IBM nine-prime generator is decided
+//! by the caller (see [`crate::flawed`]). Raw textbook RSA (no padding) is
+//! provided because the paper's threat model — passive decryption of TLS
+//! RSA key exchange — is demonstrated at that layer in the examples.
+
+use crate::primes::{generate_prime, PrimeShaping};
+use rand::RngCore;
+use wk_bigint::Natural;
+
+/// The universally used public exponent.
+pub const PUBLIC_EXPONENT: u64 = 65537;
+
+/// An RSA public key: modulus and exponent.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    /// Modulus `N = p*q`.
+    pub n: Natural,
+    /// Public exponent `e`.
+    pub e: Natural,
+}
+
+/// An RSA private key, retaining the prime factorization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPrivateKey {
+    /// The public half.
+    pub public: RsaPublicKey,
+    /// First prime factor.
+    pub p: Natural,
+    /// Second prime factor.
+    pub q: Natural,
+    /// Private exponent `d = e^{-1} mod lcm(p-1, q-1)`.
+    pub d: Natural,
+}
+
+/// Errors from key construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeygenError {
+    /// The two primes are equal; `N = p^2` is trivially factorable.
+    EqualPrimes,
+    /// `e` shares a factor with `p-1` or `q-1`; no private exponent exists.
+    ExponentNotInvertible,
+    /// An input was not prime (checked probabilistically).
+    NotPrime,
+}
+
+impl std::fmt::Display for KeygenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeygenError::EqualPrimes => write!(f, "p == q"),
+            KeygenError::ExponentNotInvertible => {
+                write!(f, "e not invertible modulo lcm(p-1, q-1)")
+            }
+            KeygenError::NotPrime => write!(f, "input factor is not prime"),
+        }
+    }
+}
+
+impl std::error::Error for KeygenError {}
+
+impl RsaPublicKey {
+    /// Raw (textbook) RSA: `m^e mod N`. No padding — demonstration only.
+    pub fn encrypt_raw(&self, m: &Natural) -> Natural {
+        m.mod_pow(&self.e, &self.n)
+    }
+
+    /// Verify a raw signature: `sig^e mod N == digest`.
+    pub fn verify_raw(&self, digest: &Natural, sig: &Natural) -> bool {
+        &sig.mod_pow(&self.e, &self.n) == digest
+    }
+
+    /// Bit length of the modulus.
+    pub fn bits(&self) -> u64 {
+        self.n.bit_len()
+    }
+}
+
+impl RsaPrivateKey {
+    /// Build a key from two distinct primes, validating them.
+    pub fn from_primes(p: Natural, q: Natural) -> Result<RsaPrivateKey, KeygenError> {
+        if p == q {
+            return Err(KeygenError::EqualPrimes);
+        }
+        if !p.is_probable_prime_fixed() || !q.is_probable_prime_fixed() {
+            return Err(KeygenError::NotPrime);
+        }
+        let e = Natural::from(PUBLIC_EXPONENT);
+        let p1 = &p - &Natural::one();
+        let q1 = &q - &Natural::one();
+        // lcm(p-1, q-1) = (p-1)(q-1)/gcd(p-1, q-1)
+        let lambda = &(&p1 * &q1) / &p1.gcd(&q1);
+        let d = e
+            .mod_inverse(&lambda)
+            .ok_or(KeygenError::ExponentNotInvertible)?;
+        let n = &p * &q;
+        Ok(RsaPrivateKey {
+            public: RsaPublicKey { n, e },
+            p,
+            q,
+            d,
+        })
+    }
+
+    /// Generate a fresh keypair: two primes of `bits/2` bits each.
+    ///
+    /// Retries until the primes are distinct and `e` is invertible, exactly
+    /// as real implementations do.
+    pub fn generate<R: RngCore + ?Sized>(
+        rng: &mut R,
+        bits: u64,
+        shaping: PrimeShaping,
+    ) -> RsaPrivateKey {
+        loop {
+            let p = generate_prime(rng, bits / 2, shaping);
+            let q = generate_prime(rng, bits / 2, shaping);
+            match RsaPrivateKey::from_primes(p, q) {
+                Ok(key) => return key,
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Raw RSA decryption: `c^d mod N`.
+    pub fn decrypt_raw(&self, c: &Natural) -> Natural {
+        c.mod_pow(&self.d, &self.public.n)
+    }
+
+    /// Raw RSA decryption via the Chinese Remainder Theorem — two
+    /// half-size exponentiations plus a recombination, the standard ~4x
+    /// speedup real implementations use. Produces exactly the same result
+    /// as [`RsaPrivateKey::decrypt_raw`].
+    pub fn decrypt_crt(&self, c: &Natural) -> Natural {
+        let p1 = &self.p - &Natural::one();
+        let q1 = &self.q - &Natural::one();
+        let dp = &self.d % &p1;
+        let dq = &self.d % &q1;
+        let mp = (c % &self.p).mod_pow(&dp, &self.p);
+        let mq = (c % &self.q).mod_pow(&dq, &self.q);
+        // Garner: m = mq + q * ((mp - mq) * q^{-1} mod p)
+        let q_inv = self
+            .q
+            .mod_inverse(&self.p)
+            .expect("p, q distinct primes: q invertible mod p");
+        let diff = if mp >= mq {
+            &mp - &mq
+        } else {
+            &(&self.p - &(&(&mq - &mp) % &self.p)) % &self.p
+        };
+        let h = diff.mod_mul(&q_inv, &self.p);
+        &mq + &(&self.q * &h)
+    }
+
+    /// Raw RSA signature: `digest^d mod N`.
+    pub fn sign_raw(&self, digest: &Natural) -> Natural {
+        digest.mod_pow(&self.d, &self.public.n)
+    }
+
+    /// Recover a private key from a modulus and one known factor — the
+    /// attack step after batch GCD finds a shared prime.
+    pub fn from_factor(n: &Natural, p: &Natural) -> Result<RsaPrivateKey, KeygenError> {
+        let (q, r) = n.div_rem(p);
+        if !r.is_zero() {
+            return Err(KeygenError::NotPrime);
+        }
+        RsaPrivateKey::from_primes(p.clone(), q)
+    }
+}
+
+/// Is `n` a well-formed RSA modulus for `bits`-bit keys: odd, composite,
+/// and of plausible size? Used by the bit-error classifier — moduli hit by
+/// bit flips are usually even or have small factors.
+pub fn plausible_modulus(n: &Natural, bits: u64) -> bool {
+    if n.is_even() || n.bit_len() < bits - 1 || n.bit_len() > bits {
+        return false;
+    }
+    // A well-formed modulus has no small prime factors.
+    wk_bigint::first_primes(100)
+        .iter()
+        .all(|&p| n.rem_limb(p) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xabcd)
+    }
+
+    #[test]
+    fn generated_key_round_trips() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(&mut r, 128, PrimeShaping::OpensslStyle);
+        assert_eq!(key.public.n, &key.p * &key.q);
+        for m in [0u64, 1, 42, 0xdead_beef] {
+            let m = Natural::from(m);
+            let c = key.public.encrypt_raw(&m);
+            assert_eq!(key.decrypt_raw(&c), m);
+        }
+    }
+
+    #[test]
+    fn sign_verify_round_trips() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(&mut r, 128, PrimeShaping::Plain);
+        let digest = Natural::from(0x1234_5678u64);
+        let sig = key.sign_raw(&digest);
+        assert!(key.public.verify_raw(&digest, &sig));
+        assert!(!key.public.verify_raw(&Natural::from(0x999u64), &sig));
+    }
+
+    #[test]
+    fn equal_primes_rejected() {
+        let mut r = rng();
+        let p = generate_prime(&mut r, 64, PrimeShaping::Plain);
+        assert_eq!(
+            RsaPrivateKey::from_primes(p.clone(), p),
+            Err(KeygenError::EqualPrimes)
+        );
+    }
+
+    #[test]
+    fn composite_factor_rejected() {
+        assert_eq!(
+            RsaPrivateKey::from_primes(Natural::from(15u64), Natural::from(7u64)),
+            Err(KeygenError::NotPrime)
+        );
+    }
+
+    #[test]
+    fn from_factor_recovers_private_key() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(&mut r, 128, PrimeShaping::Plain);
+        let recovered = RsaPrivateKey::from_factor(&key.public.n, &key.p).unwrap();
+        assert_eq!(recovered.public.n, key.public.n);
+        // Same factorization, possibly swapped order; d must decrypt.
+        let c = key.public.encrypt_raw(&Natural::from(77u64));
+        assert_eq!(recovered.decrypt_raw(&c), Natural::from(77u64));
+    }
+
+    #[test]
+    fn from_factor_rejects_nonfactor() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(&mut r, 128, PrimeShaping::Plain);
+        let not_factor = generate_prime(&mut r, 64, PrimeShaping::Plain);
+        assert!(RsaPrivateKey::from_factor(&key.public.n, &not_factor).is_err());
+    }
+
+    #[test]
+    fn plausible_modulus_filters() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(&mut r, 128, PrimeShaping::Plain);
+        assert!(plausible_modulus(&key.public.n, 128));
+        // Flip the low bit: even -> implausible.
+        let mut flipped = key.public.n.clone();
+        flipped.set_bit(0, false);
+        assert!(!plausible_modulus(&flipped, 128));
+        // Too small.
+        assert!(!plausible_modulus(&Natural::from(3u64), 128));
+    }
+
+    #[test]
+    fn bits_reports_modulus_size() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(&mut r, 128, PrimeShaping::Plain);
+        assert!(key.public.bits() == 127 || key.public.bits() == 128);
+    }
+}

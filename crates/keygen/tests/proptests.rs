@@ -1,0 +1,101 @@
+//! Property-based tests for key generation.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use wk_bigint::Natural;
+use wk_keygen::{
+    generate_prime, satisfies_openssl_shape, KeygenBehavior, ModelKeygen, PrimeShaping,
+    RsaPrivateKey,
+};
+
+fn rng_from(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated keypair satisfies the RSA correctness invariant on
+    /// random messages, via both plain and CRT decryption.
+    #[test]
+    fn keypair_round_trip(seed in 0u64..5000, msg in 0u64..u64::MAX) {
+        let mut rng = rng_from(seed);
+        let key = RsaPrivateKey::generate(&mut rng, 128, PrimeShaping::Plain);
+        let m = &Natural::from(msg) % &key.public.n;
+        let c = key.public.encrypt_raw(&m);
+        prop_assert_eq!(key.decrypt_raw(&c), m.clone());
+        prop_assert_eq!(key.decrypt_crt(&c), m);
+    }
+
+    /// OpenSSL-shaped primes always satisfy the Mironov predicate and are
+    /// prime; bit length is exact.
+    #[test]
+    fn openssl_prime_invariants(seed in 0u64..5000, bits in 4u64..7) {
+        let bits = 1 << bits; // 16..64 (no OpenSSL-shaped prime exists at 8 bits)
+        let mut rng = rng_from(seed);
+        let p = generate_prime(&mut rng, bits, PrimeShaping::OpensslStyle);
+        prop_assert_eq!(p.bit_len(), bits);
+        prop_assert!(p.is_probable_prime_fixed());
+        prop_assert!(satisfies_openssl_shape(&p));
+    }
+
+    /// Shared-pool populations: same-seed determinism, distinct moduli,
+    /// second primes never collide.
+    #[test]
+    fn shared_pool_population_invariants(seed in 0u64..2000, n in 3usize..12) {
+        let behavior = KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::Plain,
+            pool_size: 2,
+        };
+        let mut g1 = ModelKeygen::new(behavior.clone(), 128, seed);
+        let mut g2 = ModelKeygen::new(behavior, 128, seed);
+        let keys1: Vec<_> = (0..n).map(|_| g1.generate()).collect();
+        let keys2: Vec<_> = (0..n).map(|_| g2.generate()).collect();
+        for (a, b) in keys1.iter().zip(keys2.iter()) {
+            prop_assert_eq!(&a.public.n, &b.public.n, "determinism");
+        }
+        let mut qs: Vec<_> = keys1.iter().map(|k| k.q.to_bytes_be()).collect();
+        qs.sort();
+        qs.dedup();
+        prop_assert_eq!(qs.len(), n, "fresh second primes never collide");
+        // Every key must factor via the pool prime: gcd of any two keys
+        // sharing p recovers it.
+        for k in &keys1 {
+            prop_assert_eq!(&k.p * &k.q, k.public.n.clone());
+        }
+    }
+
+    /// from_factor inverts any generated key.
+    #[test]
+    fn from_factor_total(seed in 0u64..3000) {
+        let mut rng = rng_from(seed);
+        let key = RsaPrivateKey::generate(&mut rng, 128, PrimeShaping::OpensslStyle);
+        let rec = RsaPrivateKey::from_factor(&key.public.n, &key.q).unwrap();
+        let m = Natural::from(seed + 2);
+        prop_assert_eq!(rec.decrypt_raw(&rec.public.encrypt_raw(&m)), m);
+    }
+
+    /// Signing and verification are consistent, and verification rejects a
+    /// perturbed digest.
+    #[test]
+    fn sign_verify_consistency(seed in 0u64..3000, digest in 1u64..u64::MAX) {
+        let mut rng = rng_from(seed);
+        let key = RsaPrivateKey::generate(&mut rng, 128, PrimeShaping::Plain);
+        let d = &Natural::from(digest) % &key.public.n;
+        let sig = key.sign_raw(&d);
+        prop_assert!(key.public.verify_raw(&d, &sig));
+        let other = &(&d + &Natural::one()) % &key.public.n;
+        prop_assert!(!key.public.verify_raw(&other, &sig));
+    }
+}
+
+#[test]
+fn crt_matches_plain_on_many_messages() {
+    let mut rng = rng_from(99);
+    let key = RsaPrivateKey::generate(&mut rng, 256, PrimeShaping::OpensslStyle);
+    for i in 0..50u64 {
+        let m = &Natural::from(i * 0x9e37_79b9 + 7) % &key.public.n;
+        let c = key.public.encrypt_raw(&m);
+        assert_eq!(key.decrypt_crt(&c), key.decrypt_raw(&c), "i={i}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # wk-rng — executable models of the RNG failures behind weak keys
+//!
+//! The IMC 2016 paper traces factorable RSA moduli to random-number
+//! generation failures on headless network devices ([21] §2.4). This crate
+//! models the failing stack layer by layer so the rest of the reproduction
+//! can *generate* populations of keys with exactly the statistical defects
+//! the paper measures:
+//!
+//! * [`EntropyPool`] — a deterministic-mixing kernel pool model;
+//! * [`UrandomModel`] + [`DeviceBootProfile`] — `/dev/urandom` with the
+//!   boot-time entropy hole (never blocks, deterministic-at-boot);
+//! * [`OpensslRand`] — OpenSSL's `RAND_bytes` time-stirring, which converts
+//!   "identical pools" into "identical first prime, divergent second prime";
+//! * [`GetrandomModel`] — the July 2014 `getrandom(2)` fix: blocks until the
+//!   pool is credited 128 bits;
+//! * [`SimClock`] — the shared simulated clock whose second-boundary ticks
+//!   decide where streams diverge.
+//!
+//! Everything implements or feeds [`rand::RngCore`], so `wk-keygen` can run
+//! real prime generation on top of any of these models.
+//!
+//! ## The failure in four lines
+//!
+//! ```
+//! use wk_rng::{DeviceBootProfile, SimClock, UrandomModel};
+//! use rand::RngCore;
+//!
+//! let profile = DeviceBootProfile::entropy_hole("router-fw-3.1");
+//! let mut dev_a = UrandomModel::boot(&profile, SimClock::at(1_330_000_000), 1, 0);
+//! let mut dev_b = UrandomModel::boot(&profile, SimClock::at(1_330_000_000), 2, 0);
+//! assert_eq!(dev_a.next_u64(), dev_b.next_u64()); // two devices, one key stream
+//! ```
+
+mod clock;
+mod openssl_rand;
+mod pool;
+mod urandom;
+
+pub use clock::SimClock;
+pub use openssl_rand::OpensslRand;
+pub use pool::EntropyPool;
+pub use urandom::{DeviceBootProfile, GetrandomModel, UrandomModel, WouldBlock};

@@ -1,0 +1,119 @@
+//! Modeled OpenSSL `RAND_bytes` as used during RSA key generation.
+//!
+//! The divergence mechanism from [21] §2.4: OpenSSL seeds its internal pool
+//! from `/dev/urandom` and additionally mixes the current time into the pool
+//! on extraction. Two devices whose urandom streams are identical (boot-time
+//! entropy hole) therefore generate an *identical first prime* — and if the
+//! clock ticks past a second boundary between the first and second prime
+//! search on one device but at a different point on the other, the second
+//! primes *diverge*. The result is the hallmark of the vulnerability: moduli
+//! `N1 = p*q1`, `N2 = p*q2` sharing exactly one prime.
+
+use crate::clock::SimClock;
+use crate::pool::EntropyPool;
+use crate::urandom::UrandomModel;
+use rand::RngCore;
+
+/// Modeled OpenSSL application-level RNG.
+///
+/// Construction mirrors `RAND_poll`: 32 bytes from `/dev/urandom`, plus pid.
+/// Every extraction mixes the current time (one-second resolution) first,
+/// mirroring `RAND_bytes`'s stirring of the md state with `time(NULL)`.
+#[derive(Clone, Debug)]
+pub struct OpensslRand {
+    pool: EntropyPool,
+    clock: SimClock,
+}
+
+impl OpensslRand {
+    /// Seed from the device's urandom, as `RAND_poll` does at first use.
+    pub fn seed_from_urandom(urandom: &mut UrandomModel, pid: u32) -> Self {
+        let clock = urandom.clock().clone();
+        let mut pool = EntropyPool::empty();
+        for _ in 0..4 {
+            pool.mix_u64(urandom.next_u64(), 0);
+        }
+        pool.mix_u64(pid as u64, 0);
+        OpensslRand { pool, clock }
+    }
+
+    /// Borrow the simulated clock (advance it to model elapsed search time).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+impl RngCore for OpensslRand {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // RAND_bytes stirs in time(NULL) before producing output.
+        self.pool.mix_u64(self.clock.now(), 0);
+        self.pool.extract_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::urandom::DeviceBootProfile;
+
+    fn booted(t: u64, serial: u64) -> OpensslRand {
+        let profile = DeviceBootProfile::entropy_hole("fw-1.0");
+        let mut u = UrandomModel::boot(&profile, SimClock::at(t), serial, 0);
+        OpensslRand::seed_from_urandom(&mut u, 42)
+    }
+
+    #[test]
+    fn identical_boots_agree_until_clock_divergence() {
+        let mut a = booted(1_330_000_000, 1);
+        let mut b = booted(1_330_000_000, 2);
+        // Same boot second, same firmware, same pid: "first prime" stream
+        // identical.
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Device a's first prime search takes longer: its clock ticks.
+        a.clock().advance(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn synchronized_tick_keeps_streams_identical() {
+        // If both clocks tick identically, the devices generate a fully
+        // identical key (same p AND q) — the repeated-key (not merely
+        // shared-prime) failure mode, also observed in the wild.
+        let mut a = booted(500, 1);
+        let mut b = booted(500, 2);
+        let _ = (a.next_u64(), b.next_u64());
+        a.clock().advance(3);
+        b.clock().advance(3);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_pid_diverges() {
+        let profile = DeviceBootProfile::entropy_hole("fw-1.0");
+        let mut u1 = UrandomModel::boot(&profile, SimClock::at(9), 1, 0);
+        let mut u2 = UrandomModel::boot(&profile, SimClock::at(9), 2, 0);
+        let mut a = OpensslRand::seed_from_urandom(&mut u1, 100);
+        let mut b = OpensslRand::seed_from_urandom(&mut u2, 101);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,272 @@
+//! Modeled `/dev/urandom` with the boot-time entropy hole.
+//!
+//! [21] traced factorable keys to a Linux behaviour: on headless devices,
+//! `/dev/urandom` could return deterministic output early at boot, before
+//! any external entropy had been mixed in. A device whose first-boot
+//! initialization script generates its TLS key right then gets a key that is
+//! a pure function of firmware state and (at best) the boot-time clock.
+//!
+//! [`DeviceBootProfile`] captures what a given firmware mixes into the pool
+//! before key generation; [`UrandomModel`] is the resulting never-blocking
+//! generator.
+
+use crate::clock::SimClock;
+use crate::pool::EntropyPool;
+use rand::RngCore;
+
+/// What a device's firmware mixes into the entropy pool before the
+/// key-generation script runs.
+#[derive(Clone, Debug)]
+pub struct DeviceBootProfile {
+    /// Identifier of the firmware image; constant across every device of a
+    /// model. Mixed with zero credited entropy.
+    pub firmware_id: String,
+    /// Whether boot time (seconds resolution) is mixed in. With the entropy
+    /// hole, this is often the *only* distinguishing input — and it is
+    /// guessable, hence zero credited bits.
+    pub mixes_boot_time: bool,
+    /// Whether a per-device unique value (serial number, MAC) is mixed.
+    /// Devices that do this never collide with each other even when the
+    /// pool is otherwise empty. Credited zero bits (it's public), but it
+    /// prevents cross-device key collisions.
+    pub mixes_device_serial: bool,
+    /// Bits of genuine hardware entropy credited before key generation
+    /// (interrupt timings that happened to occur, a hardware RNG, ...).
+    /// Zero models the headless entropy hole.
+    pub hardware_entropy_bits: u32,
+}
+
+impl DeviceBootProfile {
+    /// The canonical vulnerable profile: identical firmware state, no
+    /// serial, no hardware entropy; only the boot clock distinguishes
+    /// devices — and only at one-second resolution.
+    pub fn entropy_hole(firmware_id: &str) -> Self {
+        DeviceBootProfile {
+            firmware_id: firmware_id.to_string(),
+            mixes_boot_time: true,
+            mixes_device_serial: false,
+            hardware_entropy_bits: 0,
+        }
+    }
+
+    /// A healthy profile: hardware entropy credited and a unique serial.
+    pub fn healthy(firmware_id: &str) -> Self {
+        DeviceBootProfile {
+            firmware_id: firmware_id.to_string(),
+            mixes_boot_time: true,
+            mixes_device_serial: true,
+            hardware_entropy_bits: 256,
+        }
+    }
+}
+
+/// Modeled `/dev/urandom`: never blocks, returns a deterministic function of
+/// whatever the boot profile mixed in.
+#[derive(Clone, Debug)]
+pub struct UrandomModel {
+    pool: EntropyPool,
+    clock: SimClock,
+}
+
+impl UrandomModel {
+    /// Simulate a device boot: mix the profile's inputs into an empty pool.
+    ///
+    /// `device_serial` must be unique per device; it is only mixed when the
+    /// profile says the firmware does so. `hardware_entropy_seed` stands in
+    /// for genuinely random hardware events and is only mixed when the
+    /// profile credits hardware entropy.
+    pub fn boot(
+        profile: &DeviceBootProfile,
+        clock: SimClock,
+        device_serial: u64,
+        hardware_entropy_seed: u64,
+    ) -> Self {
+        let mut pool = EntropyPool::empty();
+        pool.mix(profile.firmware_id.as_bytes(), 0);
+        if profile.mixes_boot_time {
+            pool.mix_u64(clock.now(), 0);
+        }
+        if profile.mixes_device_serial {
+            pool.mix_u64(device_serial, 0);
+        }
+        if profile.hardware_entropy_bits > 0 {
+            pool.mix_u64(hardware_entropy_seed, profile.hardware_entropy_bits);
+        }
+        UrandomModel { pool, clock }
+    }
+
+    /// Mix additional bytes (e.g. arriving network packets) into the pool.
+    pub fn add_entropy(&mut self, bytes: &[u8], credited_bits: u32) {
+        self.pool.mix(bytes, credited_bits);
+    }
+
+    /// The getrandom(2) seeding criterion for this pool.
+    pub fn is_seeded(&self) -> bool {
+        self.pool.is_seeded(128)
+    }
+
+    /// Borrow the simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+impl RngCore for UrandomModel {
+    fn next_u32(&mut self) -> u32 {
+        self.pool.extract_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.pool.extract_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.pool.extract_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Modeled `getrandom(2)`: refuses to produce output until the pool has been
+/// credited 128 bits — the July 2014 kernel fix the paper describes (§2.5).
+#[derive(Clone, Debug)]
+pub struct GetrandomModel {
+    inner: UrandomModel,
+}
+
+/// Error returned when `getrandom` would block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WouldBlock;
+
+impl std::fmt::Display for WouldBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "getrandom: entropy pool not yet seeded")
+    }
+}
+
+impl std::error::Error for WouldBlock {}
+
+impl GetrandomModel {
+    /// Wrap a booted urandom pool behind the getrandom seeding gate.
+    pub fn new(inner: UrandomModel) -> Self {
+        GetrandomModel { inner }
+    }
+
+    /// Read 8 bytes, or report that the call would block.
+    pub fn try_next_u64(&mut self) -> Result<u64, WouldBlock> {
+        if !self.inner.is_seeded() {
+            return Err(WouldBlock);
+        }
+        Ok(self.inner.next_u64())
+    }
+
+    /// Mix additional entropy (the device accumulating interrupts over time).
+    pub fn add_entropy(&mut self, bytes: &[u8], credited_bits: u32) {
+        self.inner.add_entropy(bytes, credited_bits);
+    }
+
+    /// Whether reads would currently succeed.
+    pub fn is_seeded(&self) -> bool {
+        self.inner.is_seeded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot_pair(profile: &DeviceBootProfile, t: u64) -> (UrandomModel, UrandomModel) {
+        (
+            UrandomModel::boot(profile, SimClock::at(t), 1111, 0xaaaa),
+            UrandomModel::boot(profile, SimClock::at(t), 2222, 0xbbbb),
+        )
+    }
+
+    #[test]
+    fn entropy_hole_same_boot_second_collides() {
+        let profile = DeviceBootProfile::entropy_hole("acme-fw-1.0");
+        let (mut a, mut b) = boot_pair(&profile, 1_330_000_000);
+        // Identical firmware + identical boot second + no serial/HW entropy:
+        // the streams are identical. This is the root cause of weak keys.
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn entropy_hole_different_boot_second_diverges() {
+        let profile = DeviceBootProfile::entropy_hole("acme-fw-1.0");
+        let a = UrandomModel::boot(&profile, SimClock::at(1_330_000_000), 1, 0);
+        let b = UrandomModel::boot(&profile, SimClock::at(1_330_000_001), 2, 0);
+        let mut a = a;
+        let mut b = b;
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn healthy_profile_never_collides() {
+        let profile = DeviceBootProfile::healthy("acme-fw-2.0");
+        let (mut a, mut b) = boot_pair(&profile, 1_330_000_000);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn serial_mixing_alone_prevents_collision() {
+        let profile = DeviceBootProfile {
+            firmware_id: "fw".into(),
+            mixes_boot_time: false,
+            mixes_device_serial: true,
+            hardware_entropy_bits: 0,
+        };
+        let (mut a, mut b) = boot_pair(&profile, 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn urandom_never_blocks_even_unseeded() {
+        let profile = DeviceBootProfile::entropy_hole("fw");
+        let mut u = UrandomModel::boot(&profile, SimClock::at(0), 0, 0);
+        assert!(!u.is_seeded());
+        let _ = u.next_u64(); // must not panic: this is the flaw
+    }
+
+    #[test]
+    fn getrandom_blocks_until_seeded() {
+        let profile = DeviceBootProfile::entropy_hole("fw");
+        let u = UrandomModel::boot(&profile, SimClock::at(0), 0, 0);
+        let mut g = GetrandomModel::new(u);
+        assert_eq!(g.try_next_u64(), Err(WouldBlock));
+        g.add_entropy(&[1, 2, 3], 64);
+        assert_eq!(g.try_next_u64(), Err(WouldBlock));
+        g.add_entropy(&[4, 5, 6], 64);
+        assert!(g.try_next_u64().is_ok());
+    }
+
+    #[test]
+    fn getrandom_seeded_devices_do_not_collide() {
+        let profile = DeviceBootProfile::entropy_hole("fw");
+        let (a, b) = boot_pair(&profile, 7);
+        let mut ga = GetrandomModel::new(a);
+        let mut gb = GetrandomModel::new(b);
+        // The entropy each device gathers while blocked is genuinely random
+        // (different interrupt timings) — model as different bytes.
+        ga.add_entropy(&0xdead_beefu64.to_le_bytes(), 128);
+        gb.add_entropy(&0xcafe_f00du64.to_le_bytes(), 128);
+        assert_ne!(ga.try_next_u64().unwrap(), gb.try_next_u64().unwrap());
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunks() {
+        let profile = DeviceBootProfile::entropy_hole("fw");
+        let mut u = UrandomModel::boot(&profile, SimClock::at(0), 0, 0);
+        let mut buf = [0u8; 13];
+        u.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Study configuration.
+
+use crate::counterfactual::UniversalFix;
+
+/// Parameters of a simulated six-year study run.
+///
+/// Defaults reproduce the paper-shaped dataset at laptop scale; the
+/// `test_small` profile shrinks everything for fast unit/integration tests.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Master seed: the entire study is a deterministic function of the
+    /// config, so every run (and every reported number) is reproducible.
+    pub seed: u64,
+    /// Multiplier applied to the unit-scale vendor curves.
+    pub scale: f64,
+    /// RSA modulus size in bits. The phenomena under study are independent
+    /// of key size; 128 keeps six years of key generation fast.
+    pub modulus_bits: u64,
+    /// Healthy, unfingerprinted HTTPS hosts added to the population
+    /// (Figure 1's large non-device remainder).
+    pub background_hosts: usize,
+    /// SSH host population (Table 4); a handful of vulnerable hosts.
+    pub ssh_hosts: usize,
+    /// Vulnerable SSH hosts among `ssh_hosts` (Table 4: 723 of 6.3M).
+    pub ssh_vulnerable: usize,
+    /// IMAPS/POP3S/SMTPS host population each (Table 4; zero vulnerable).
+    pub mail_hosts: usize,
+    /// Probability a host record's modulus suffers a single wire/storage
+    /// bit flip (§3.3.5: 107 of 313,330 vulnerable moduli, i.e. rare).
+    pub bit_error_per_record: f64,
+    /// Enable the Internet-Rimon ISP key-substitution MITM (§3.3.3).
+    pub enable_mitm: bool,
+    /// IPs behind the MITM ISP (paper: 922).
+    pub mitm_ips: usize,
+    /// Monthly probability a device's IP churns.
+    pub ip_churn_monthly: f64,
+    /// Probability a freed IP is recycled to a new device of the same
+    /// vendor (drives the vulnerable/non-vulnerable IP transitions of §4.1).
+    pub ip_recycle_prob: f64,
+    /// Counterfactual mode (§5.1 open problem): when set, every vendor
+    /// ships fixed key generation in new devices from the given month.
+    pub universal_fix: Option<UniversalFix>,
+}
+
+impl StudyConfig {
+    /// Default laptop-scale study (~1:100 of paper magnitudes).
+    pub fn default_scale() -> Self {
+        StudyConfig {
+            seed: 20161114, // IMC'16 opening day
+            scale: 1.0,
+            modulus_bits: 128,
+            background_hosts: 6000,
+            ssh_hosts: 1500,
+            ssh_vulnerable: 7,
+            mail_hosts: 600,
+            bit_error_per_record: 4e-5,
+            enable_mitm: true,
+            mitm_ips: 9,
+            ip_churn_monthly: 0.01,
+            ip_recycle_prob: 0.35,
+            universal_fix: None,
+        }
+    }
+
+    /// Small, fast profile for tests: ~1:10 of the default.
+    pub fn test_small() -> Self {
+        StudyConfig {
+            scale: 0.12,
+            background_hosts: 300,
+            ssh_hosts: 120,
+            ssh_vulnerable: 4,
+            mail_hosts: 60,
+            mitm_ips: 4,
+            ..Self::default_scale()
+        }
+    }
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_consistent() {
+        for cfg in [StudyConfig::default_scale(), StudyConfig::test_small()] {
+            assert!(cfg.scale > 0.0);
+            assert!(cfg.modulus_bits >= 64);
+            assert!(cfg.ssh_vulnerable <= cfg.ssh_hosts);
+            assert!(cfg.bit_error_per_record < 0.01);
+            assert!((0.0..=1.0).contains(&cfg.ip_churn_monthly));
+            assert!((0.0..=1.0).contains(&cfg.ip_recycle_prob));
+        }
+    }
+
+    #[test]
+    fn test_profile_is_smaller() {
+        let d = StudyConfig::default_scale();
+        let t = StudyConfig::test_small();
+        assert!(t.scale < d.scale);
+        assert!(t.background_hosts < d.background_hosts);
+    }
+}

@@ -1,0 +1,131 @@
+//! Counterfactual population dynamics — the paper's §5.1 open problem.
+//!
+//! "We hypothesize that [the eventual decline] is likely due to newer
+//! products using updated versions of the Linux kernel... It remains an
+//! open problem to design an experiment to test this hypothesis."
+//!
+//! The simulator can run that experiment: a [`UniversalFix`] rewrites every
+//! vendor curve so that from a chosen month no *new* vulnerable devices are
+//! deployed — vulnerable populations can then only decay through natural
+//! device retirement — while totals are untouched. Comparing the measured
+//! vulnerable series of the baseline and counterfactual runs quantifies how
+//! much of each vendor's observed trajectory is explained by the
+//! fixed-in-new-devices mechanism.
+
+use crate::curve::{Anchor, Curve};
+use wk_cert::MonthDate;
+
+/// The counterfactual: all vendors ship fixed key generation in new devices
+/// from `from`; already-deployed vulnerable devices retire at
+/// `monthly_retirement` (fraction per month).
+#[derive(Clone, Copy, Debug)]
+pub struct UniversalFix {
+    /// First month in which every newly deployed device is healthy.
+    pub from: MonthDate,
+    /// Monthly natural-retirement fraction of the vulnerable stock.
+    pub monthly_retirement: f64,
+}
+
+impl UniversalFix {
+    /// The kernel mitigations landed July 2012 (§2.5); allowing a shipping
+    /// lag, new products are fixed from early 2013, and embedded devices
+    /// retire slowly (~2%/month).
+    pub fn kernel_patch_2012() -> Self {
+        UniversalFix {
+            from: MonthDate::new(2013, 1),
+            monthly_retirement: 0.02,
+        }
+    }
+
+    /// Apply to a vendor curve: vulnerable targets after `from` are capped
+    /// by the decayed stock; totals are unchanged. Vendors whose original
+    /// curve declines faster keep their faster decline (`min`).
+    pub fn apply(&self, curve: &Curve) -> Curve {
+        let (_, stock_at_fix) = curve.at(self.from);
+        // Resample on a monthly grid covering the original anchor span so
+        // the exponential decay is represented piecewise-linearly.
+        let first = curve.anchors().first().unwrap().month;
+        let last = curve.anchors().last().unwrap().month;
+        let mut anchors = Vec::new();
+        for month in first.through(last) {
+            let (total, vulnerable) = curve.at(month);
+            let capped = if month < self.from {
+                vulnerable
+            } else {
+                let elapsed = month.months_since(self.from) as f64;
+                let decayed = stock_at_fix * (1.0 - self.monthly_retirement).powf(elapsed);
+                vulnerable.min(decayed)
+            };
+            anchors.push(Anchor { month, total, vulnerable: capped.min(total) });
+        }
+        Curve::new(anchors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising_curve() -> Curve {
+        Curve::from_points(&[
+            (2010, 7, 100.0, 10.0),
+            (2014, 7, 400.0, 120.0),
+            (2016, 4, 600.0, 300.0),
+        ])
+    }
+
+    #[test]
+    fn totals_unchanged() {
+        let fix = UniversalFix::kernel_patch_2012();
+        let original = rising_curve();
+        let fixed = fix.apply(&original);
+        for month in [MonthDate::new(2011, 1), MonthDate::new(2014, 7), MonthDate::new(2016, 4)] {
+            assert!((fixed.at(month).0 - original.at(month).0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pre_fix_vulnerable_unchanged() {
+        let fix = UniversalFix::kernel_patch_2012();
+        let original = rising_curve();
+        let fixed = fix.apply(&original);
+        let month = MonthDate::new(2012, 6);
+        assert!((fixed.at(month).1 - original.at(month).1).abs() < 0.51);
+    }
+
+    #[test]
+    fn post_fix_vulnerable_decays_instead_of_rising() {
+        let fix = UniversalFix::kernel_patch_2012();
+        let original = rising_curve();
+        let fixed = fix.apply(&original);
+        let end = MonthDate::new(2016, 4);
+        let (_, v_fixed) = fixed.at(end);
+        let (_, v_orig) = original.at(end);
+        assert!(v_orig > 250.0);
+        // Stock at 2013-01 ≈ 77; 39 months of 2% decay ≈ 35.
+        assert!(v_fixed < 50.0, "decayed stock: {v_fixed}");
+        assert!(v_fixed > 10.0, "retirement is gradual: {v_fixed}");
+    }
+
+    #[test]
+    fn declining_vendor_keeps_faster_decline() {
+        let declining = Curve::from_points(&[
+            (2010, 7, 200.0, 150.0),
+            (2016, 4, 100.0, 0.0),
+        ]);
+        let fix = UniversalFix::kernel_patch_2012();
+        let fixed = fix.apply(&declining);
+        let end = MonthDate::new(2016, 4);
+        // Original hits zero; min() keeps it there.
+        assert!(fixed.at(end).1 < 1.0);
+    }
+
+    #[test]
+    fn vulnerable_never_exceeds_total() {
+        let fix = UniversalFix { from: MonthDate::new(2011, 1), monthly_retirement: 0.0 };
+        let fixed = fix.apply(&rising_curve());
+        for a in fixed.anchors() {
+            assert!(a.vulnerable <= a.total + 1e-9);
+        }
+    }
+}

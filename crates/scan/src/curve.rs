@@ -1,0 +1,177 @@
+//! Piecewise-linear population curves.
+//!
+//! Every vendor time series in the paper's figures is encoded as a list of
+//! `(month, total, vulnerable)` anchors at *unit scale* (roughly 1:100 of
+//! paper magnitudes; see EXPERIMENTS.md). The simulator interpolates
+//! linearly between anchors and multiplies by the study's scale factor —
+//! so every shape claim (rises, Heartbleed cliffs, EOL declines, crossovers)
+//! lives in auditable data, not in simulation code.
+
+use wk_cert::MonthDate;
+
+/// One anchor point of a population curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Anchor {
+    /// Month of the anchor.
+    pub month: MonthDate,
+    /// Target total fingerprinted hosts (unit scale).
+    pub total: f64,
+    /// Target hosts serving factorable keys (unit scale).
+    pub vulnerable: f64,
+}
+
+/// A piecewise-linear `(total, vulnerable)` target curve.
+#[derive(Clone, Debug)]
+pub struct Curve {
+    anchors: Vec<Anchor>,
+}
+
+impl Curve {
+    /// Build from anchors; they must be in strictly increasing month order
+    /// and have `vulnerable <= total`.
+    ///
+    /// # Panics
+    /// Panics when the anchor list is empty, unsorted, or inconsistent.
+    pub fn new(anchors: Vec<Anchor>) -> Curve {
+        assert!(!anchors.is_empty(), "curve needs at least one anchor");
+        for w in anchors.windows(2) {
+            assert!(w[0].month < w[1].month, "anchors must be increasing");
+        }
+        for a in &anchors {
+            assert!(
+                a.vulnerable <= a.total,
+                "vulnerable exceeds total at {}",
+                a.month
+            );
+            assert!(a.total >= 0.0 && a.vulnerable >= 0.0);
+        }
+        Curve { anchors }
+    }
+
+    /// Shorthand: build from `(year, month, total, vulnerable)` tuples.
+    pub fn from_points(points: &[(u16, u8, f64, f64)]) -> Curve {
+        Curve::new(
+            points
+                .iter()
+                .map(|&(y, m, t, v)| Anchor {
+                    month: MonthDate::new(y, m),
+                    total: t,
+                    vulnerable: v,
+                })
+                .collect(),
+        )
+    }
+
+    /// Interpolated `(total, vulnerable)` at `month`, clamped to the first/
+    /// last anchor outside the anchored range.
+    pub fn at(&self, month: MonthDate) -> (f64, f64) {
+        let first = self.anchors.first().unwrap();
+        if month <= first.month {
+            return (first.total, first.vulnerable);
+        }
+        let last = self.anchors.last().unwrap();
+        if month >= last.month {
+            return (last.total, last.vulnerable);
+        }
+        let hi = self
+            .anchors
+            .iter()
+            .position(|a| a.month > month)
+            .expect("month inside anchored range");
+        let (a, b) = (&self.anchors[hi - 1], &self.anchors[hi]);
+        let span = b.month.months_since(a.month) as f64;
+        let t = month.months_since(a.month) as f64 / span;
+        (
+            a.total + (b.total - a.total) * t,
+            a.vulnerable + (b.vulnerable - a.vulnerable) * t,
+        )
+    }
+
+    /// Scaled integer targets at `month`.
+    pub fn targets(&self, month: MonthDate, scale: f64) -> (u32, u32) {
+        let (t, v) = self.at(month);
+        let total = (t * scale).round() as u32;
+        let vulnerable = ((v * scale).round() as u32).min(total);
+        (total, vulnerable)
+    }
+
+    /// The anchors.
+    pub fn anchors(&self) -> &[Anchor] {
+        &self.anchors
+    }
+
+    /// Peak unit-scale total over the anchors.
+    pub fn peak_total(&self) -> f64 {
+        self.anchors.iter().map(|a| a.total).fold(0.0, f64::max)
+    }
+
+    /// Peak unit-scale vulnerable count over the anchors.
+    pub fn peak_vulnerable(&self) -> f64 {
+        self.anchors
+            .iter()
+            .map(|a| a.vulnerable)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Curve {
+        Curve::from_points(&[
+            (2010, 7, 100.0, 10.0),
+            (2012, 7, 200.0, 40.0),
+            (2014, 7, 100.0, 20.0),
+        ])
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let c = curve();
+        assert_eq!(c.at(MonthDate::new(2009, 1)), (100.0, 10.0));
+        assert_eq!(c.at(MonthDate::new(2020, 1)), (100.0, 20.0));
+    }
+
+    #[test]
+    fn interpolates_midpoints() {
+        let c = curve();
+        let (t, v) = c.at(MonthDate::new(2011, 7)); // halfway through 24 months
+        assert!((t - 150.0).abs() < 1e-9);
+        assert!((v - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_at_anchors() {
+        let c = curve();
+        assert_eq!(c.at(MonthDate::new(2012, 7)), (200.0, 40.0));
+    }
+
+    #[test]
+    fn scaled_targets_round_and_clamp() {
+        let c = curve();
+        let (t, v) = c.targets(MonthDate::new(2012, 7), 0.1);
+        assert_eq!((t, v), (20, 4));
+        let (t0, v0) = c.targets(MonthDate::new(2012, 7), 0.001);
+        assert!(v0 <= t0);
+    }
+
+    #[test]
+    fn peaks() {
+        let c = curve();
+        assert_eq!(c.peak_total(), 200.0);
+        assert_eq!(c.peak_vulnerable(), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vulnerable exceeds total")]
+    fn inconsistent_anchor_panics() {
+        let _ = Curve::from_points(&[(2010, 1, 5.0, 6.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn unsorted_anchors_panic() {
+        let _ = Curve::from_points(&[(2012, 1, 5.0, 1.0), (2011, 1, 5.0, 1.0)]);
+    }
+}

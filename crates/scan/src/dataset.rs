@@ -1,0 +1,310 @@
+//! Dataset representation: interned certificates and moduli, host records,
+//! scans, and ground truth.
+//!
+//! The paper's MySQL store is replaced by in-memory interning (DESIGN.md
+//! substitution table): at laptop scale the whole six-year dataset fits in
+//! RAM, and interning gives exactly the two distinct-count quantities
+//! Table 1 reports (distinct certificates, distinct moduli).
+
+use crate::source::ScanSource;
+use crate::vendor::VendorId;
+use std::collections::HashMap;
+use wk_bigint::Natural;
+use wk_cert::{Certificate, MonthDate};
+
+/// Interned modulus handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModulusId(pub u32);
+
+/// Interned certificate handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CertId(pub u32);
+
+/// Application protocol a record was observed on (Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    Https,
+    Ssh,
+    Imaps,
+    Pop3s,
+    Smtps,
+}
+
+impl Protocol {
+    /// Protocol name as printed in Table 4.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Https => "HTTPS",
+            Protocol::Ssh => "SSH",
+            Protocol::Imaps => "IMAPS",
+            Protocol::Pop3s => "POP3S",
+            Protocol::Smtps => "SMTPS",
+        }
+    }
+
+    /// All protocols in Table 4 column order.
+    pub fn all() -> [Protocol; 5] {
+        [
+            Protocol::Https,
+            Protocol::Ssh,
+            Protocol::Imaps,
+            Protocol::Pop3s,
+            Protocol::Smtps,
+        ]
+    }
+}
+
+/// Deduplicating store of RSA moduli.
+#[derive(Default, Clone)]
+pub struct ModulusStore {
+    values: Vec<Natural>,
+    index: HashMap<Vec<u8>, ModulusId>,
+}
+
+impl ModulusStore {
+    /// Intern a modulus, returning its stable id.
+    pub fn intern(&mut self, n: &Natural) -> ModulusId {
+        let key = n.to_bytes_be();
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = ModulusId(self.values.len() as u32);
+        self.values.push(n.clone());
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Look up a modulus by id.
+    pub fn get(&self, id: ModulusId) -> &Natural {
+        &self.values[id.0 as usize]
+    }
+
+    /// Find the id of a modulus if already interned.
+    pub fn lookup(&self, n: &Natural) -> Option<ModulusId> {
+        self.index.get(&n.to_bytes_be()).copied()
+    }
+
+    /// Number of distinct moduli.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no modulus has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All distinct moduli in id order — the batch-GCD input.
+    pub fn all(&self) -> &[Natural] {
+        &self.values
+    }
+}
+
+/// Deduplicating store of certificates (distinctness by full content).
+#[derive(Default, Clone)]
+pub struct CertStore {
+    values: Vec<Certificate>,
+    index: HashMap<Certificate, CertId>,
+}
+
+impl CertStore {
+    /// Intern a certificate, returning its stable id.
+    pub fn intern(&mut self, c: Certificate) -> CertId {
+        if let Some(&id) = self.index.get(&c) {
+            return id;
+        }
+        let id = CertId(self.values.len() as u32);
+        self.values.push(c.clone());
+        self.index.insert(c, id);
+        id
+    }
+
+    /// Look up a certificate by id.
+    pub fn get(&self, id: CertId) -> &Certificate {
+        &self.values[id.0 as usize]
+    }
+
+    /// Number of distinct certificates.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over (id, certificate).
+    pub fn iter(&self) -> impl Iterator<Item = (CertId, &Certificate)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CertId(i as u32), c))
+    }
+}
+
+/// One observed (IP, certificate chain, key) tuple in one scan — the
+/// paper's "host record".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostRecord {
+    /// IPv4 address as a u32.
+    pub ip: u32,
+    /// Certificates presented (none for SSH; >1 when a Rapid7 scan includes
+    /// an unchained intermediate).
+    pub certs: Vec<CertId>,
+    /// The RSA modulus observed on the wire. Normally the leaf cert's key;
+    /// differs under MITM key substitution or wire bit errors.
+    pub modulus: ModulusId,
+    /// Whether the host negotiates only RSA key exchange (no (EC)DHE):
+    /// such hosts are passively decryptable once their key is factored
+    /// (§2.1: 74% of vulnerable devices in the April 2016 snapshot).
+    pub rsa_kex_only: bool,
+}
+
+/// One representative scan of one protocol in one month.
+#[derive(Clone, Debug)]
+pub struct Scan {
+    /// Month of the scan.
+    pub date: MonthDate,
+    /// Which effort produced it.
+    pub source: ScanSource,
+    /// Protocol scanned.
+    pub protocol: Protocol,
+    /// Host records.
+    pub records: Vec<HostRecord>,
+}
+
+/// Why a modulus is what it is — the simulator's ground truth, used to
+/// validate the measurement pipeline (never consulted by it).
+#[derive(Clone, Debug, Default)]
+pub struct ModulusTruth {
+    /// Vendor whose device generated the key (None for background noise or
+    /// corrupted moduli).
+    pub vendor: Option<VendorId>,
+    /// Generated with a factorable-key flaw.
+    pub weak: bool,
+    /// Produced by a wire/storage bit error from some valid modulus.
+    pub corrupted: bool,
+    /// The Internet-Rimon substituted key.
+    pub mitm: bool,
+}
+
+/// Ground truth for the whole dataset.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Per-modulus truth records.
+    pub moduli: HashMap<ModulusId, ModulusTruth>,
+    /// Per-certificate vendor of the generating device.
+    pub cert_vendor: HashMap<CertId, VendorId>,
+}
+
+/// The full simulated dataset: what six years of scans delivered.
+pub struct StudyDataset {
+    /// All scans (HTTPS monthly series plus one snapshot per other
+    /// protocol), in chronological order per protocol.
+    pub scans: Vec<Scan>,
+    /// Distinct certificates.
+    pub certs: CertStore,
+    /// Distinct RSA moduli across all protocols.
+    pub moduli: ModulusStore,
+    /// Simulator ground truth for validation.
+    pub truth: GroundTruth,
+}
+
+impl StudyDataset {
+    /// HTTPS scans in chronological order.
+    pub fn https_scans(&self) -> impl Iterator<Item = &Scan> {
+        self.scans
+            .iter()
+            .filter(|s| s.protocol == Protocol::Https)
+    }
+
+    /// Scans for one protocol.
+    pub fn protocol_scans(&self, protocol: Protocol) -> impl Iterator<Item = &Scan> {
+        self.scans.iter().filter(move |s| s.protocol == protocol)
+    }
+
+    /// Total host records across all scans (Table 1's first row).
+    pub fn total_host_records(&self) -> usize {
+        self.scans.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Total HTTPS host records.
+    pub fn https_host_records(&self) -> usize {
+        self.https_scans().map(|s| s.records.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wk_cert::DistinguishedName;
+
+    #[test]
+    fn modulus_store_dedupes() {
+        let mut store = ModulusStore::default();
+        let a = store.intern(&Natural::from(35u64));
+        let b = store.intern(&Natural::from(35u64));
+        let c = store.intern(&Natural::from(77u64));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(a), &Natural::from(35u64));
+        assert_eq!(store.lookup(&Natural::from(77u64)), Some(c));
+        assert_eq!(store.lookup(&Natural::from(1u64)), None);
+    }
+
+    #[test]
+    fn cert_store_dedupes_by_content() {
+        let mut store = CertStore::default();
+        let c1 = Certificate::self_signed(
+            1,
+            DistinguishedName::cn("a"),
+            vec![],
+            Natural::from(35u64),
+            MonthDate::new(2012, 1),
+        );
+        let id1 = store.intern(c1.clone());
+        let id2 = store.intern(c1.clone());
+        assert_eq!(id1, id2);
+        let mut c2 = c1.clone();
+        c2.serial = 2;
+        assert_ne!(store.intern(c2), id1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn protocol_names_table4_order() {
+        let names: Vec<_> = Protocol::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["HTTPS", "SSH", "IMAPS", "POP3S", "SMTPS"]);
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let dataset = StudyDataset {
+            scans: vec![
+                Scan {
+                    date: MonthDate::new(2012, 6),
+                    source: ScanSource::Ecosystem,
+                    protocol: Protocol::Https,
+                    records: vec![HostRecord { ip: 1, certs: vec![], modulus: ModulusId(0), rsa_kex_only: true }],
+                },
+                Scan {
+                    date: MonthDate::new(2016, 4),
+                    source: ScanSource::Censys,
+                    protocol: Protocol::Ssh,
+                    records: vec![
+                        HostRecord { ip: 2, certs: vec![], modulus: ModulusId(1), rsa_kex_only: false },
+                        HostRecord { ip: 3, certs: vec![], modulus: ModulusId(1), rsa_kex_only: false },
+                    ],
+                },
+            ],
+            certs: CertStore::default(),
+            moduli: ModulusStore::default(),
+            truth: GroundTruth::default(),
+        };
+        assert_eq!(dataset.total_host_records(), 3);
+        assert_eq!(dataset.https_host_records(), 1);
+        assert_eq!(dataset.protocol_scans(Protocol::Ssh).count(), 1);
+    }
+}

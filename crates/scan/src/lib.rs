@@ -1,0 +1,45 @@
+//! # wk-scan — the internet-wide scan simulator
+//!
+//! Replaces the paper's six years of aggregated scan data (EFF, P&Q,
+//! Ecosystem, Rapid7 Sonar, Censys — 1.5B host records) with a generative
+//! model that exercises the identical measurement pipeline (DESIGN.md
+//! substitution table):
+//!
+//! * [`vendor`] — the vendor/model registry: response categories (Table 2),
+//!   default-certificate styles (§3.3), key-generation flaws, OpenSSL
+//!   classification (Table 5), and unit-scale population curves transcribing
+//!   Figures 1 and 3-10;
+//! * [`curve`] — piecewise-linear population targets;
+//! * [`source`] — the five scan methodologies, their active months,
+//!   coverage artifacts, and the Rapid7 unchained-intermediates quirk;
+//! * [`simulate`] — the monthly engine: population reconciliation, IP churn
+//!   and recycling, MITM key substitution, wire bit errors, multi-protocol
+//!   snapshots (Table 4);
+//! * [`dataset`] — interned certificates/moduli, host records, scans, and
+//!   ground truth for pipeline validation.
+//!
+//! ```no_run
+//! use wk_scan::{run_study, StudyConfig};
+//! let dataset = run_study(&StudyConfig::test_small());
+//! assert!(dataset.moduli.len() > 0);
+//! ```
+
+pub mod config;
+pub mod counterfactual;
+pub mod curve;
+pub mod dataset;
+pub mod simulate;
+pub mod snapshot;
+pub mod source;
+pub mod vendor;
+
+pub use config::StudyConfig;
+pub use counterfactual::UniversalFix;
+pub use curve::{Anchor, Curve};
+pub use dataset::{
+    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth,
+    Protocol, Scan, StudyDataset,
+};
+pub use simulate::{run_study, Simulator};
+pub use source::{source_for_month, study_months, ScanSource, HEARTBLEED, STUDY_END, STUDY_START};
+pub use vendor::{registry, KeySource, ModelSpec, ResponseCategory, StylePick, VendorId};

@@ -1,0 +1,612 @@
+//! The six-year study simulator.
+//!
+//! Drives every device population month by month along its vendor curve,
+//! generates keys with the modeled flaws, allocates and churns IPs, applies
+//! the Internet-Rimon MITM and wire bit errors, and emits one representative
+//! scan per month per the source timeline — producing a [`StudyDataset`]
+//! with the same structure the paper's aggregated scan corpus has.
+
+use crate::config::StudyConfig;
+
+use crate::dataset::{
+    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth,
+    Protocol, Scan, StudyDataset,
+};
+use crate::source::{study_months, STUDY_END, STUDY_START};
+use crate::vendor::{registry, KeySource, ModelSpec, StylePick};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use wk_bigint::Natural;
+use wk_cert::{Certificate, MonthDate, SubjectStyle};
+use wk_keygen::{generate_prime, PrimePool, PrimeShaping, RsaPrivateKey};
+
+/// A live simulated device.
+#[derive(Clone, Debug)]
+struct Device {
+    ip: u32,
+    cert: CertId,
+    modulus: ModulusId,
+    mitm: bool,
+    rsa_kex_only: bool,
+}
+
+/// Mutable per-model population state.
+struct ModelState {
+    spec: ModelSpec,
+    weak: Vec<Device>,
+    healthy: Vec<Device>,
+    freed_ips: Vec<u32>,
+    next_tag: u64,
+}
+
+/// The simulator.
+pub struct Simulator {
+    config: StudyConfig,
+    rng: StdRng,
+    moduli: ModulusStore,
+    certs: CertStore,
+    truth: GroundTruth,
+    models: Vec<ModelState>,
+    background: Vec<Device>,
+    background_freed: Vec<u32>,
+    /// IPs released by any device population and reusable anywhere: the
+    /// cross-vendor churn behind §4.1's "new certificates were due to IP
+    /// churn" observation.
+    global_freed: Vec<u32>,
+    /// Shared "default certificate" pool: many real devices ship literally
+    /// identical certificates (key included), which is why the paper sees
+    /// ~2x more handshakes than distinct certificates per scan (Table 3).
+    default_certs: Vec<(CertId, ModulusId)>,
+    shared_pools: BTreeMap<&'static str, PrimePool>,
+    nine_pools: BTreeMap<&'static str, PrimePool>,
+    next_ip: u32,
+    next_serial: u64,
+    intermediate_cert: CertId,
+    rimon_modulus: ModulusId,
+    scans: Vec<Scan>,
+}
+
+impl Simulator {
+    /// Set up pools, stores, and static artifacts.
+    pub fn new(config: &StudyConfig) -> Simulator {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut moduli = ModulusStore::default();
+        let mut certs = CertStore::default();
+        let mut truth = GroundTruth::default();
+        let mut specs = registry();
+        // Counterfactual mode: rewrite every vendor curve so no new
+        // vulnerable devices deploy after the fix month (§5.1 experiment).
+        if let Some(fix) = &config.universal_fix {
+            for spec in &mut specs {
+                spec.curve = fix.apply(&spec.curve);
+            }
+        }
+
+        // Materialize shared pools: one per group, sized to the largest
+        // request among specs using the group (scaled, min 2).
+        let mut pool_sizes: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut nine_groups: Vec<&'static str> = Vec::new();
+        let mut pool_shaping: BTreeMap<&'static str, PrimeShaping> = BTreeMap::new();
+        for spec in &specs {
+            match &spec.vulnerable_keys {
+                KeySource::SharedPool { group, pool_size } => {
+                    let scaled = ((*pool_size as f64 * config.scale).ceil() as usize).max(2);
+                    let e = pool_sizes.entry(group).or_insert(scaled);
+                    *e = (*e).max(scaled);
+                    pool_shaping.insert(group, spec.shaping);
+                }
+                KeySource::NinePrime { group } | KeySource::BorrowNinePrimeModulus { group } => {
+                    if !nine_groups.contains(group) {
+                        nine_groups.push(group);
+                    }
+                    pool_shaping.insert(group, spec.shaping);
+                }
+                KeySource::Healthy => {}
+            }
+        }
+        let prime_bits = config.modulus_bits / 2;
+        let shared_pools: BTreeMap<&'static str, PrimePool> = pool_sizes
+            .iter()
+            .map(|(&g, &size)| {
+                (g, PrimePool::generate(&mut rng, size, prime_bits, pool_shaping[g]))
+            })
+            .collect();
+        let nine_pools: BTreeMap<&'static str, PrimePool> = nine_groups
+            .iter()
+            .map(|&g| (g, PrimePool::generate(&mut rng, 9, prime_bits, pool_shaping[g])))
+            .collect();
+
+        // Static artifacts: the shared intermediate CA cert (Rapid7 quirk)
+        // and the Internet-Rimon substituted key (1024-bit in the paper; we
+        // use twice the study modulus size, never factorable).
+        let ca_key = RsaPrivateKey::generate(&mut rng, config.modulus_bits, PrimeShaping::OpensslStyle);
+        let mut ca_cert = Certificate::self_signed(
+            u64::MAX,
+            wk_cert::DistinguishedName::cn("Example Intermediate CA"),
+            vec![],
+            ca_key.public.n.clone(),
+            STUDY_START,
+        );
+        ca_cert.is_ca = true;
+        let ca_modulus = moduli.intern(&ca_key.public.n);
+        truth.moduli.insert(ca_modulus, ModulusTruth::default());
+        let intermediate_cert = certs.intern(ca_cert);
+
+        let rimon_key =
+            RsaPrivateKey::generate(&mut rng, config.modulus_bits * 2, PrimeShaping::Plain);
+        let rimon_modulus = moduli.intern(&rimon_key.public.n);
+        truth.moduli.insert(
+            rimon_modulus,
+            ModulusTruth { mitm: true, ..Default::default() },
+        );
+
+        let models = specs
+            .into_iter()
+            .map(|spec| ModelState {
+                spec,
+                weak: Vec::new(),
+                healthy: Vec::new(),
+                freed_ips: Vec::new(),
+                next_tag: 1,
+            })
+            .collect();
+
+        Simulator {
+            config: config.clone(),
+            rng,
+            moduli,
+            certs,
+            truth,
+            models,
+            background: Vec::new(),
+            background_freed: Vec::new(),
+            global_freed: Vec::new(),
+            default_certs: Vec::new(),
+            shared_pools,
+            nine_pools,
+            next_ip: 0x0a00_0000,
+            next_serial: 1,
+            intermediate_cert,
+            rimon_modulus,
+            scans: Vec::new(),
+        }
+    }
+
+    /// Run the full study and return the dataset.
+    pub fn run(mut self) -> StudyDataset {
+        let scan_schedule: BTreeMap<MonthDate, crate::source::ScanSource> =
+            study_months().into_iter().collect();
+        for month in STUDY_START.through(STUDY_END) {
+            self.evolve_populations(month);
+            if let Some(&source) = scan_schedule.get(&month) {
+                let scan = self.emit_https_scan(month, source);
+                self.scans.push(scan);
+            }
+        }
+        self.emit_other_protocols();
+        StudyDataset {
+            scans: self.scans,
+            certs: self.certs,
+            moduli: self.moduli,
+            truth: self.truth,
+        }
+    }
+
+    /// Advance every population to its monthly target.
+    fn evolve_populations(&mut self, month: MonthDate) {
+        let scale = self.config.scale;
+        for idx in 0..self.models.len() {
+            let (target_total, target_weak) = self.models[idx].spec.curve.targets(month, scale);
+            let target_healthy = target_total - target_weak;
+            self.reconcile(idx, month, target_weak, true);
+            self.reconcile(idx, month, target_healthy, false);
+            self.churn(idx);
+        }
+        self.evolve_background(month);
+    }
+
+    /// Grow or shrink one model's weak/healthy sub-population.
+    fn reconcile(&mut self, idx: usize, month: MonthDate, target: u32, weak: bool) {
+        loop {
+            let current = if weak {
+                self.models[idx].weak.len()
+            } else {
+                self.models[idx].healthy.len()
+            };
+            if current == target as usize {
+                return;
+            }
+            if current > target as usize {
+                // Remove a random device; its IP returns to the pool.
+                let list_len = current;
+                let pick = self.rng.gen_range(0..list_len);
+                let dev = if weak {
+                    self.models[idx].weak.swap_remove(pick)
+                } else {
+                    self.models[idx].healthy.swap_remove(pick)
+                };
+                // Half of released IPs return to the ISP at large (and may
+                // be handed to an unrelated host); half stay in the same
+                // deployment's block.
+                if self.rng.gen_bool(0.5) {
+                    self.global_freed.push(dev.ip);
+                } else {
+                    self.models[idx].freed_ips.push(dev.ip);
+                }
+            } else {
+                let dev = self.spawn_device(idx, month, weak);
+                if weak {
+                    self.models[idx].weak.push(dev);
+                } else {
+                    self.models[idx].healthy.push(dev);
+                }
+            }
+        }
+    }
+
+    /// Create one device: key, certificate, IP.
+    fn spawn_device(&mut self, idx: usize, month: MonthDate, weak: bool) -> Device {
+        let tag = self.models[idx].next_tag;
+        self.models[idx].next_tag += 1;
+        let vendor = self.models[idx].spec.vendor;
+        let shaping = self.models[idx].spec.shaping;
+        let key_source = self.models[idx].spec.vulnerable_keys.clone();
+
+        let modulus_value = if weak {
+            self.weak_modulus(&key_source, shaping)
+        } else {
+            self.healthy_modulus(shaping)
+        };
+        let modulus = self.moduli.intern(&modulus_value);
+        self.truth
+            .moduli
+            .entry(modulus)
+            .or_insert_with(|| ModulusTruth {
+                vendor: Some(vendor),
+                weak,
+                ..Default::default()
+            });
+
+        let style = self.pick_style(idx, tag);
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let cert = style.certificate(serial, tag, modulus_value, month);
+        let cert = self.certs.intern(cert);
+        self.truth.cert_vendor.insert(cert, vendor);
+
+        let ip = self.allocate_ip(idx);
+        // §2.1: roughly three quarters of device management interfaces
+        // negotiate only RSA key exchange.
+        let rsa_kex_only = self.rng.gen_bool(0.74);
+        Device { ip, cert, modulus, mitm: false, rsa_kex_only }
+    }
+
+    /// Weak-key modulus per the model's key source.
+    fn weak_modulus(&mut self, source: &KeySource, shaping: PrimeShaping) -> Natural {
+        let prime_bits = self.config.modulus_bits / 2;
+        match source {
+            KeySource::Healthy => self.healthy_modulus(shaping),
+            KeySource::SharedPool { group, .. } => {
+                let pool = &self.shared_pools[group];
+                loop {
+                    let p = pool.sample(&mut self.rng).clone();
+                    let q = generate_prime(&mut self.rng, prime_bits, shaping);
+                    if p != q {
+                        return &p * &q;
+                    }
+                }
+            }
+            KeySource::NinePrime { group } | KeySource::BorrowNinePrimeModulus { group } => {
+                let pool = &self.nine_pools[group];
+                let (p, q) = pool.sample_pair(&mut self.rng);
+                p * q
+            }
+        }
+    }
+
+    /// Fresh-prime modulus (healthy device).
+    fn healthy_modulus(&mut self, shaping: PrimeShaping) -> Natural {
+        let prime_bits = self.config.modulus_bits / 2;
+        loop {
+            let p = generate_prime(&mut self.rng, prime_bits, shaping);
+            let q = generate_prime(&mut self.rng, prime_bits, shaping);
+            if p != q {
+                return &p * &q;
+            }
+        }
+    }
+
+    /// Resolve the per-device certificate style.
+    fn pick_style(&mut self, idx: usize, tag: u64) -> SubjectStyle {
+        match &self.models[idx].spec.style {
+            StylePick::Fixed(style) => style.clone(),
+            StylePick::FritzBoxMix => {
+                let roll: f64 = self.rng.gen();
+                if roll < 0.55 {
+                    SubjectStyle::FritzBoxLocalSans
+                } else if roll < 0.8 {
+                    SubjectStyle::FritzBoxMyfritz { subdomain: "box".into() }
+                } else {
+                    // Only an IP-octet CN: labelable solely via shared primes.
+                    let ip = 0xc0a8_0000u32 | (tag as u32 & 0xffff);
+                    SubjectStyle::IpOctetsOnly { ip: ip.to_be_bytes() }
+                }
+            }
+        }
+    }
+
+    /// Allocate an IP: recycle from the model's freed pool with the
+    /// configured probability, else fresh.
+    fn allocate_ip(&mut self, idx: usize) -> u32 {
+        let recycle = !self.models[idx].freed_ips.is_empty()
+            && self.rng.gen_bool(self.config.ip_recycle_prob);
+        if recycle {
+            let pos = self.rng.gen_range(0..self.models[idx].freed_ips.len());
+            self.models[idx].freed_ips.swap_remove(pos)
+        } else {
+            self.next_ip += 1;
+            self.next_ip
+        }
+    }
+
+    /// Monthly IP churn over one model's live devices.
+    fn churn(&mut self, idx: usize) {
+        let p = self.config.ip_churn_monthly;
+        if p <= 0.0 {
+            return;
+        }
+        for list in [true, false] {
+            let len = if list {
+                self.models[idx].weak.len()
+            } else {
+                self.models[idx].healthy.len()
+            };
+            for d in 0..len {
+                if self.rng.gen_bool(p) {
+                    let old_ip = if list {
+                        self.models[idx].weak[d].ip
+                    } else {
+                        self.models[idx].healthy[d].ip
+                    };
+                    self.models[idx].freed_ips.push(old_ip);
+                    let new_ip = self.allocate_ip(idx);
+                    if list {
+                        self.models[idx].weak[d].ip = new_ip;
+                    } else {
+                        self.models[idx].healthy[d].ip = new_ip;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Background (unfingerprinted) HTTPS population: grows linearly from
+    /// 30% to 100% of the configured size across the study; some hosts are
+    /// behind the MITM ISP.
+    fn evolve_background(&mut self, month: MonthDate) {
+        let total_months = STUDY_END.months_since(STUDY_START) as f64;
+        let progress = month.months_since(STUDY_START) as f64 / total_months;
+        let target = (self.config.background_hosts as f64 * (0.3 + 0.7 * progress)) as usize;
+        while self.background.len() > target {
+            let pick = self.rng.gen_range(0..self.background.len());
+            let dev = self.background.swap_remove(pick);
+            self.background_freed.push(dev.ip);
+        }
+        while self.background.len() < target {
+            let dev = self.spawn_background_device(month);
+            self.background.push(dev);
+        }
+    }
+
+    fn spawn_background_device(&mut self, month: MonthDate) -> Device {
+        // Prefer globally released IPs (cross-population churn), then the
+        // background pool, then fresh space.
+        let ip = if !self.global_freed.is_empty()
+            && self.rng.gen_bool(self.config.ip_recycle_prob)
+        {
+            let pos = self.rng.gen_range(0..self.global_freed.len());
+            self.global_freed.swap_remove(pos)
+        } else if !self.background_freed.is_empty()
+            && self.rng.gen_bool(self.config.ip_recycle_prob)
+        {
+            let pos = self.rng.gen_range(0..self.background_freed.len());
+            self.background_freed.swap_remove(pos)
+        } else {
+            self.next_ip += 1;
+            self.next_ip
+        };
+        // MITM-fronted hosts keep individual certificates: the Rimon
+        // signature is one key under many *different* subjects.
+        let mitm = self.config.enable_mitm
+            && self.background.len() < self.config.mitm_ips;
+        // Roughly 45% of embedded hosts ship one of a small set of
+        // literally identical default certificates (key included): the
+        // reason per-scan handshakes exceed distinct certificates ~2:1 in
+        // Table 3. These keys repeat across IPs but are healthy — repeated,
+        // not factorable.
+        let (cert, modulus) = if !mitm && self.rng.gen_bool(0.45) {
+            let pool_target = (self.config.background_hosts / 40).max(1);
+            if self.default_certs.len() < pool_target {
+                let n = self.healthy_modulus(PrimeShaping::OpensslStyle);
+                let modulus = self.moduli.intern(&n);
+                self.truth
+                    .moduli
+                    .entry(modulus)
+                    .or_insert_with(ModulusTruth::default);
+                let serial = self.next_serial;
+                self.next_serial += 1;
+                let style = SubjectStyle::GenericVendorCn {
+                    vendor_cn: "localhost.localdomain".into(),
+                };
+                let cert = self.certs.intern(style.certificate(serial, serial, n, month));
+                self.default_certs.push((cert, modulus));
+            }
+            let pick = self.rng.gen_range(0..self.default_certs.len());
+            self.default_certs[pick]
+        } else {
+            let n = self.healthy_modulus(PrimeShaping::OpensslStyle);
+            let modulus = self.moduli.intern(&n);
+            self.truth
+                .moduli
+                .entry(modulus)
+                .or_insert_with(ModulusTruth::default);
+            let serial = self.next_serial;
+            self.next_serial += 1;
+            let style = SubjectStyle::IpOctetsOnly { ip: ip.to_be_bytes() };
+            let cert = self.certs.intern(style.certificate(serial, serial, n, month));
+            (cert, modulus)
+        };
+        // MITM: the first `mitm_ips` background devices sit behind the
+        // Internet-Rimon ISP for the entire study.
+        // General web servers support (EC)DHE far more often than devices.
+        let rsa_kex_only = self.rng.gen_bool(0.3);
+        Device { ip, cert, modulus, mitm, rsa_kex_only }
+    }
+
+    /// Emit the month's representative HTTPS scan.
+    fn emit_https_scan(&mut self, month: MonthDate, source: crate::source::ScanSource) -> Scan {
+        let coverage = source.coverage();
+        let mut records = Vec::new();
+        // Borrow-checker friendly: collect device snapshots first.
+        let mut live: Vec<Device> = Vec::new();
+        for m in &self.models {
+            live.extend(m.weak.iter().cloned());
+            live.extend(m.healthy.iter().cloned());
+        }
+        live.extend(self.background.iter().cloned());
+
+        for dev in live {
+            if !self.rng.gen_bool(coverage) {
+                continue;
+            }
+            records.push(self.observe(&dev, source));
+        }
+        Scan { date: month, source, protocol: Protocol::Https, records }
+    }
+
+    /// Produce one host record, applying MITM substitution, unchained
+    /// intermediates, and wire bit errors.
+    fn observe(&mut self, dev: &Device, source: crate::source::ScanSource) -> HostRecord {
+        let mut certs = Vec::with_capacity(2);
+        let mut modulus = dev.modulus;
+        let mut cert_id = dev.cert;
+
+        if dev.mitm {
+            // The ISP substitutes its fixed key into the device's cert.
+            let rimon_n = self.moduli.get(self.rimon_modulus).clone();
+            let substituted = self.certs.get(dev.cert).with_substituted_key(rimon_n);
+            cert_id = self.certs.intern(substituted);
+            modulus = self.rimon_modulus;
+        } else if self.config.bit_error_per_record > 0.0
+            && self.rng.gen_bool(self.config.bit_error_per_record)
+        {
+            // One random bit flips on the wire.
+            let original = self.moduli.get(dev.modulus).clone();
+            let bit = self.rng.gen_range(0..original.bit_len().max(1));
+            let mut corrupted = original.clone();
+            corrupted.set_bit(bit, !corrupted.bit(bit));
+            if !corrupted.is_zero() {
+                // A bit-flipped modulus is a random integer, not a weak key
+                // (§3.3.5 sets these aside rather than counting them as
+                // flawed implementations).
+                modulus = self.moduli.intern(&corrupted);
+                self.truth.moduli.entry(modulus).or_insert(ModulusTruth {
+                    vendor: None,
+                    weak: false,
+                    corrupted: true,
+                    mitm: false,
+                });
+                let substituted = self.certs.get(dev.cert).with_substituted_key(corrupted);
+                cert_id = self.certs.intern(substituted);
+            }
+        }
+
+        certs.push(cert_id);
+        if source.includes_unchained_intermediates() && self.rng.gen_bool(0.08) {
+            certs.push(self.intermediate_cert);
+        }
+        HostRecord { ip: dev.ip, certs, modulus, rsa_kex_only: dev.rsa_kex_only }
+    }
+
+    /// One-shot scans for the non-HTTPS protocols of Table 4.
+    fn emit_other_protocols(&mut self) {
+        // SSH: Censys snapshot 10/2015; a handful of vulnerable host keys.
+        let ssh_pool = PrimePool::generate(
+            &mut self.rng,
+            2,
+            self.config.modulus_bits / 2,
+            PrimeShaping::OpensslStyle,
+        );
+        let mut ssh_records = Vec::new();
+        for i in 0..self.config.ssh_hosts {
+            let weak = i < self.config.ssh_vulnerable;
+            let n = if weak {
+                let p = ssh_pool.sample(&mut self.rng).clone();
+                let q = generate_prime(
+                    &mut self.rng,
+                    self.config.modulus_bits / 2,
+                    PrimeShaping::OpensslStyle,
+                );
+                &p * &q
+            } else {
+                self.healthy_modulus(PrimeShaping::OpensslStyle)
+            };
+            let modulus = self.moduli.intern(&n);
+            self.truth.moduli.entry(modulus).or_insert(ModulusTruth {
+                vendor: None,
+                weak,
+                ..Default::default()
+            });
+            self.next_ip += 1;
+            ssh_records.push(HostRecord {
+                ip: self.next_ip,
+                certs: vec![],
+                modulus,
+                rsa_kex_only: false,
+            });
+        }
+        self.scans.push(Scan {
+            date: MonthDate::new(2015, 10),
+            source: crate::source::ScanSource::Censys,
+            protocol: Protocol::Ssh,
+            records: ssh_records,
+        });
+
+        // Mail protocols: Censys snapshots 04/2016, zero vulnerable.
+        for protocol in [Protocol::Imaps, Protocol::Pop3s, Protocol::Smtps] {
+            let mut records = Vec::new();
+            for _ in 0..self.config.mail_hosts {
+                let n = self.healthy_modulus(PrimeShaping::OpensslStyle);
+                let modulus = self.moduli.intern(&n);
+                self.truth
+                    .moduli
+                    .entry(modulus)
+                    .or_insert_with(ModulusTruth::default);
+                self.next_ip += 1;
+                let serial = self.next_serial;
+                self.next_serial += 1;
+                let cert = SubjectStyle::GenericVendorCn { vendor_cn: "mail".into() }
+                    .certificate(serial, serial, n, MonthDate::new(2016, 4));
+                let cert = self.certs.intern(cert);
+                records.push(HostRecord {
+                    ip: self.next_ip,
+                    certs: vec![cert],
+                    modulus,
+                    rsa_kex_only: false,
+                });
+            }
+            self.scans.push(Scan {
+                date: MonthDate::new(2016, 4),
+                source: crate::source::ScanSource::Censys,
+                protocol,
+                records,
+            });
+        }
+    }
+}
+
+/// Run the full simulated study for `config`.
+pub fn run_study(config: &StudyConfig) -> StudyDataset {
+    Simulator::new(config).run()
+}

@@ -1,0 +1,610 @@
+//! Dataset snapshots: a line-oriented text format for saving and reloading
+//! a [`StudyDataset`].
+//!
+//! The original study's scan corpus is publicly archived (scans.io,
+//! Censys); this module is the reproduction's analog of that data release —
+//! a simulated corpus can be written once and reloaded by benches, notebooks
+//! or other tools without re-running the simulator. The format is
+//! deliberately plain text (one record per line, `|`-separated,
+//! percent-escaped strings) so it diffs and compresses well.
+
+use crate::dataset::{
+    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth,
+    Protocol, Scan, StudyDataset,
+};
+use crate::source::ScanSource;
+use crate::vendor::VendorId;
+use std::fmt::Write as _;
+use wk_bigint::Natural;
+use wk_cert::{Certificate, DistinguishedName, MonthDate};
+
+/// Errors from snapshot parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError { line, message: message.into() })
+}
+
+/// Percent-escape `|`, `%`, and newlines.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '|' => out.push_str("%7C"),
+            '\n' => out.push_str("%0A"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str, line: usize) -> Result<String, SnapshotError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next();
+        let lo = chars.next();
+        match (hi, lo) {
+            (Some(h), Some(l)) => {
+                let byte = u8::from_str_radix(&format!("{h}{l}"), 16)
+                    .map_err(|_| SnapshotError {
+                        line,
+                        message: format!("bad escape %{h}{l}"),
+                    })?;
+                out.push(byte as char);
+            }
+            _ => return err(line, "truncated escape"),
+        }
+    }
+    Ok(out)
+}
+
+fn opt_str(s: &Option<String>) -> String {
+    match s {
+        None => "-".to_string(),
+        Some(v) => {
+            // A literal "-" must round-trip; escape it.
+            if v == "-" {
+                "%2D".to_string()
+            } else {
+                escape(v)
+            }
+        }
+    }
+}
+
+fn parse_opt(s: &str, line: usize) -> Result<Option<String>, SnapshotError> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        Ok(Some(unescape(s, line)?))
+    }
+}
+
+fn date_str(d: MonthDate) -> String {
+    format!("{}", d)
+}
+
+fn parse_date(s: &str, line: usize) -> Result<MonthDate, SnapshotError> {
+    let (y, m) = s
+        .split_once('-')
+        .ok_or_else(|| SnapshotError { line, message: format!("bad date {s:?}") })?;
+    let year: u16 = y
+        .parse()
+        .map_err(|_| SnapshotError { line, message: format!("bad year {y:?}") })?;
+    let month: u8 = m
+        .parse()
+        .map_err(|_| SnapshotError { line, message: format!("bad month {m:?}") })?;
+    if !(1..=12).contains(&month) {
+        return err(line, format!("month out of range: {month}"));
+    }
+    Ok(MonthDate::new(year, month))
+}
+
+fn source_tag(s: ScanSource) -> &'static str {
+    match s {
+        ScanSource::Eff => "eff",
+        ScanSource::PandQ => "pandq",
+        ScanSource::Ecosystem => "ecosystem",
+        ScanSource::Rapid7 => "rapid7",
+        ScanSource::Censys => "censys",
+    }
+}
+
+fn parse_source(s: &str, line: usize) -> Result<ScanSource, SnapshotError> {
+    Ok(match s {
+        "eff" => ScanSource::Eff,
+        "pandq" => ScanSource::PandQ,
+        "ecosystem" => ScanSource::Ecosystem,
+        "rapid7" => ScanSource::Rapid7,
+        "censys" => ScanSource::Censys,
+        other => return err(line, format!("unknown source {other:?}")),
+    })
+}
+
+fn protocol_tag(p: Protocol) -> &'static str {
+    match p {
+        Protocol::Https => "https",
+        Protocol::Ssh => "ssh",
+        Protocol::Imaps => "imaps",
+        Protocol::Pop3s => "pop3s",
+        Protocol::Smtps => "smtps",
+    }
+}
+
+fn parse_protocol(s: &str, line: usize) -> Result<Protocol, SnapshotError> {
+    Ok(match s {
+        "https" => Protocol::Https,
+        "ssh" => Protocol::Ssh,
+        "imaps" => Protocol::Imaps,
+        "pop3s" => Protocol::Pop3s,
+        "smtps" => Protocol::Smtps,
+        other => return err(line, format!("unknown protocol {other:?}")),
+    })
+}
+
+fn vendor_tag(v: VendorId) -> &'static str {
+    match v {
+        VendorId::Juniper => "juniper",
+        VendorId::Innominate => "innominate",
+        VendorId::Ibm => "ibm",
+        VendorId::Siemens => "siemens",
+        VendorId::Cisco => "cisco",
+        VendorId::Hp => "hp",
+        VendorId::Thomson => "thomson",
+        VendorId::FritzBox => "fritzbox",
+        VendorId::Linksys => "linksys",
+        VendorId::Fortinet => "fortinet",
+        VendorId::Zyxel => "zyxel",
+        VendorId::Dell => "dell",
+        VendorId::Kronos => "kronos",
+        VendorId::Xerox => "xerox",
+        VendorId::McAfee => "mcafee",
+        VendorId::TpLink => "tplink",
+        VendorId::Conel => "conel",
+        VendorId::Adtran => "adtran",
+        VendorId::DLink => "dlink",
+        VendorId::Huawei => "huawei",
+        VendorId::Sangfor => "sangfor",
+        VendorId::SchmidTelecom => "schmid",
+        VendorId::Background => "background",
+    }
+}
+
+fn parse_vendor(s: &str, line: usize) -> Result<VendorId, SnapshotError> {
+    Ok(match s {
+        "juniper" => VendorId::Juniper,
+        "innominate" => VendorId::Innominate,
+        "ibm" => VendorId::Ibm,
+        "siemens" => VendorId::Siemens,
+        "cisco" => VendorId::Cisco,
+        "hp" => VendorId::Hp,
+        "thomson" => VendorId::Thomson,
+        "fritzbox" => VendorId::FritzBox,
+        "linksys" => VendorId::Linksys,
+        "fortinet" => VendorId::Fortinet,
+        "zyxel" => VendorId::Zyxel,
+        "dell" => VendorId::Dell,
+        "kronos" => VendorId::Kronos,
+        "xerox" => VendorId::Xerox,
+        "mcafee" => VendorId::McAfee,
+        "tplink" => VendorId::TpLink,
+        "conel" => VendorId::Conel,
+        "adtran" => VendorId::Adtran,
+        "dlink" => VendorId::DLink,
+        "huawei" => VendorId::Huawei,
+        "sangfor" => VendorId::Sangfor,
+        "schmid" => VendorId::SchmidTelecom,
+        "background" => VendorId::Background,
+        other => return err(line, format!("unknown vendor {other:?}")),
+    })
+}
+
+/// Serialize a dataset to the snapshot text format.
+pub fn save(dataset: &StudyDataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "WKSNAP 1");
+
+    let _ = writeln!(out, "MODULI {}", dataset.moduli.len());
+    for n in dataset.moduli.all() {
+        let _ = writeln!(out, "{}", n.to_hex());
+    }
+
+    let _ = writeln!(out, "CERTS {}", dataset.certs.len());
+    for (_, c) in dataset.certs.iter() {
+        let _ = writeln!(
+            out,
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            c.serial,
+            opt_str(&c.subject.common_name),
+            opt_str(&c.subject.organization),
+            opt_str(&c.subject.organizational_unit),
+            opt_str(&c.subject.country),
+            opt_str(&c.issuer.common_name),
+            opt_str(&c.issuer.organization),
+            opt_str(&c.issuer.organizational_unit),
+            opt_str(&c.issuer.country),
+            c.subject_alt_names
+                .iter()
+                .map(|s| escape(s))
+                .collect::<Vec<_>>()
+                .join(","),
+            c.modulus.to_hex(),
+            date_str(c.not_before),
+            c.validity_months,
+            u8::from(c.is_ca),
+            u8::from(c.browser_trusted),
+        );
+    }
+
+    let _ = writeln!(out, "SCANS {}", dataset.scans.len());
+    for scan in &dataset.scans {
+        let _ = writeln!(
+            out,
+            "SCAN {} {} {} {}",
+            date_str(scan.date),
+            source_tag(scan.source),
+            protocol_tag(scan.protocol),
+            scan.records.len()
+        );
+        for rec in &scan.records {
+            let certs = if rec.certs.is_empty() {
+                "-".to_string()
+            } else {
+                rec.certs
+                    .iter()
+                    .map(|c| c.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(
+                out,
+                "{} {} {} {}",
+                rec.ip,
+                certs,
+                rec.modulus.0,
+                u8::from(rec.rsa_kex_only)
+            );
+        }
+    }
+
+    let _ = writeln!(out, "TRUTH_MODULI {}", dataset.truth.moduli.len());
+    let mut truth: Vec<_> = dataset.truth.moduli.iter().collect();
+    truth.sort_by_key(|(id, _)| **id);
+    for (id, t) in truth {
+        let _ = writeln!(
+            out,
+            "{}|{}|{}|{}|{}",
+            id.0,
+            t.vendor.map(vendor_tag).unwrap_or("-"),
+            u8::from(t.weak),
+            u8::from(t.corrupted),
+            u8::from(t.mitm),
+        );
+    }
+
+    let _ = writeln!(out, "TRUTH_CERTS {}", dataset.truth.cert_vendor.len());
+    let mut cv: Vec<_> = dataset.truth.cert_vendor.iter().collect();
+    cv.sort_by_key(|(id, _)| **id);
+    for (id, v) in cv {
+        let _ = writeln!(out, "{}|{}", id.0, vendor_tag(*v));
+    }
+    out
+}
+
+/// Parse a snapshot produced by [`save`].
+pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let mut next = |expect: &str| -> Result<(usize, String), SnapshotError> {
+        match lines.next() {
+            Some((n, l)) => Ok((n, l.to_string())),
+            None => err(0, format!("unexpected end of snapshot, expected {expect}")),
+        }
+    };
+
+    let (n, header) = next("header")?;
+    if header != "WKSNAP 1" {
+        return err(n, format!("bad header {header:?}"));
+    }
+
+    // Moduli.
+    let (n, l) = next("MODULI")?;
+    let count: usize = l
+        .strip_prefix("MODULI ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| SnapshotError { line: n, message: "expected MODULI <n>".into() })?;
+    let mut moduli = ModulusStore::default();
+    for _ in 0..count {
+        let (n, l) = next("modulus")?;
+        let value = Natural::from_hex(&l)
+            .map_err(|e| SnapshotError { line: n, message: format!("bad modulus: {e}") })?;
+        moduli.intern(&value);
+    }
+    if moduli.len() != count {
+        return err(n, "duplicate moduli in snapshot");
+    }
+
+    // Certificates.
+    let (n, l) = next("CERTS")?;
+    let count: usize = l
+        .strip_prefix("CERTS ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| SnapshotError { line: n, message: "expected CERTS <n>".into() })?;
+    let mut certs = CertStore::default();
+    for _ in 0..count {
+        let (n, l) = next("certificate")?;
+        let fields: Vec<&str> = l.split('|').collect();
+        if fields.len() != 15 {
+            return err(n, format!("expected 15 cert fields, got {}", fields.len()));
+        }
+        let serial: u64 = fields[0]
+            .parse()
+            .map_err(|_| SnapshotError { line: n, message: "bad serial".into() })?;
+        let subject = DistinguishedName {
+            common_name: parse_opt(fields[1], n)?,
+            organization: parse_opt(fields[2], n)?,
+            organizational_unit: parse_opt(fields[3], n)?,
+            country: parse_opt(fields[4], n)?,
+        };
+        let issuer = DistinguishedName {
+            common_name: parse_opt(fields[5], n)?,
+            organization: parse_opt(fields[6], n)?,
+            organizational_unit: parse_opt(fields[7], n)?,
+            country: parse_opt(fields[8], n)?,
+        };
+        let sans: Vec<String> = if fields[9].is_empty() {
+            Vec::new()
+        } else {
+            fields[9]
+                .split(',')
+                .map(|s| unescape(s, n))
+                .collect::<Result<_, _>>()?
+        };
+        let modulus = Natural::from_hex(fields[10])
+            .map_err(|e| SnapshotError { line: n, message: format!("bad cert modulus: {e}") })?;
+        let not_before = parse_date(fields[11], n)?;
+        let validity_months: u32 = fields[12]
+            .parse()
+            .map_err(|_| SnapshotError { line: n, message: "bad validity".into() })?;
+        let is_ca = fields[13] == "1";
+        let browser_trusted = fields[14] == "1";
+        let mut cert = Certificate::self_signed(serial, subject, sans, modulus, not_before);
+        cert.issuer = issuer;
+        cert.validity_months = validity_months;
+        cert.is_ca = is_ca;
+        cert.browser_trusted = browser_trusted;
+        certs.intern(cert);
+    }
+    if certs.len() != count {
+        return err(n, "duplicate certificates in snapshot");
+    }
+
+    // Scans.
+    let (n, l) = next("SCANS")?;
+    let scan_count: usize = l
+        .strip_prefix("SCANS ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| SnapshotError { line: n, message: "expected SCANS <n>".into() })?;
+    let mut scans = Vec::with_capacity(scan_count);
+    for _ in 0..scan_count {
+        let (n, l) = next("SCAN header")?;
+        let parts: Vec<&str> = l.split(' ').collect();
+        if parts.len() != 5 || parts[0] != "SCAN" {
+            return err(n, format!("expected SCAN header, got {l:?}"));
+        }
+        let date = parse_date(parts[1], n)?;
+        let source = parse_source(parts[2], n)?;
+        let protocol = parse_protocol(parts[3], n)?;
+        let nrec: usize = parts[4]
+            .parse()
+            .map_err(|_| SnapshotError { line: n, message: "bad record count".into() })?;
+        let mut records = Vec::with_capacity(nrec);
+        for _ in 0..nrec {
+            let (n, l) = next("record")?;
+            let parts: Vec<&str> = l.split(' ').collect();
+            if parts.len() != 4 {
+                return err(n, format!("expected record, got {l:?}"));
+            }
+            let ip: u32 = parts[0]
+                .parse()
+                .map_err(|_| SnapshotError { line: n, message: "bad ip".into() })?;
+            let certs_field: Vec<CertId> = if parts[1] == "-" {
+                Vec::new()
+            } else {
+                parts[1]
+                    .split(',')
+                    .map(|c| {
+                        c.parse::<u32>().map(CertId).map_err(|_| SnapshotError {
+                            line: n,
+                            message: format!("bad cert id {c:?}"),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            for c in &certs_field {
+                if c.0 as usize >= certs.len() {
+                    return err(n, format!("cert id {} out of range", c.0));
+                }
+            }
+            let modulus: u32 = parts[2]
+                .parse()
+                .map_err(|_| SnapshotError { line: n, message: "bad modulus id".into() })?;
+            if modulus as usize >= moduli.len() {
+                return err(n, format!("modulus id {modulus} out of range"));
+            }
+            records.push(HostRecord {
+                ip,
+                certs: certs_field,
+                modulus: ModulusId(modulus),
+                rsa_kex_only: parts[3] == "1",
+            });
+        }
+        scans.push(Scan { date, source, protocol, records });
+    }
+
+    // Ground truth.
+    let mut truth = GroundTruth::default();
+    let (n, l) = next("TRUTH_MODULI")?;
+    let count: usize = l
+        .strip_prefix("TRUTH_MODULI ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| SnapshotError { line: n, message: "expected TRUTH_MODULI <n>".into() })?;
+    for _ in 0..count {
+        let (n, l) = next("truth")?;
+        let fields: Vec<&str> = l.split('|').collect();
+        if fields.len() != 5 {
+            return err(n, "expected 5 truth fields");
+        }
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|_| SnapshotError { line: n, message: "bad truth id".into() })?;
+        let vendor = if fields[1] == "-" {
+            None
+        } else {
+            Some(parse_vendor(fields[1], n)?)
+        };
+        truth.moduli.insert(
+            ModulusId(id),
+            ModulusTruth {
+                vendor,
+                weak: fields[2] == "1",
+                corrupted: fields[3] == "1",
+                mitm: fields[4] == "1",
+            },
+        );
+    }
+    let (n, l) = next("TRUTH_CERTS")?;
+    let count: usize = l
+        .strip_prefix("TRUTH_CERTS ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| SnapshotError { line: n, message: "expected TRUTH_CERTS <n>".into() })?;
+    for _ in 0..count {
+        let (n, l) = next("cert truth")?;
+        let (id, vendor) = l
+            .split_once('|')
+            .ok_or_else(|| SnapshotError { line: n, message: "expected id|vendor".into() })?;
+        let id: u32 = id
+            .parse()
+            .map_err(|_| SnapshotError { line: n, message: "bad cert truth id".into() })?;
+        truth.cert_vendor.insert(CertId(id), parse_vendor(vendor, n)?);
+    }
+
+    Ok(StudyDataset { scans, certs, moduli, truth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::simulate::run_study;
+
+    fn tiny_dataset() -> StudyDataset {
+        let mut cfg = StudyConfig::test_small();
+        cfg.scale = 0.04;
+        cfg.background_hosts = 20;
+        cfg.ssh_hosts = 10;
+        cfg.ssh_vulnerable = 2;
+        cfg.mail_hosts = 5;
+        run_study(&cfg)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = tiny_dataset();
+        let text = save(&original);
+        let loaded = load(&text).expect("snapshot parses");
+        assert_eq!(loaded.moduli.len(), original.moduli.len());
+        assert_eq!(loaded.certs.len(), original.certs.len());
+        assert_eq!(loaded.scans.len(), original.scans.len());
+        for (a, b) in original.scans.iter().zip(loaded.scans.iter()) {
+            assert_eq!(a.date, b.date);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.records, b.records);
+        }
+        for i in 0..original.moduli.len() {
+            let id = ModulusId(i as u32);
+            assert_eq!(original.moduli.get(id), loaded.moduli.get(id));
+        }
+        for (id, cert) in original.certs.iter() {
+            assert_eq!(cert, loaded.certs.get(id));
+        }
+        assert_eq!(original.truth.moduli.len(), loaded.truth.moduli.len());
+        for (id, t) in &original.truth.moduli {
+            let lt = &loaded.truth.moduli[id];
+            assert_eq!((t.vendor, t.weak, t.corrupted, t.mitm),
+                       (lt.vendor, lt.weak, lt.corrupted, lt.mitm));
+        }
+        assert_eq!(original.truth.cert_vendor, loaded.truth.cert_vendor);
+    }
+
+    #[test]
+    fn double_round_trip_is_identity() {
+        let original = tiny_dataset();
+        let once = save(&original);
+        let twice = save(&load(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["plain", "with|pipe", "percent%sign", "-", "", "a,b"] {
+            let escaped = opt_str(&Some(s.to_string()));
+            assert_eq!(parse_opt(&escaped, 1).unwrap().as_deref(), Some(s), "{s:?}");
+        }
+        assert_eq!(parse_opt("-", 1).unwrap(), None);
+    }
+
+    fn expect_err(text: &str) -> SnapshotError {
+        match load(text) {
+            Err(e) => e,
+            Ok(_) => panic!("snapshot unexpectedly parsed"),
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected_with_line_numbers() {
+        assert!(load("").is_err());
+        assert!(load("NOT A SNAPSHOT").is_err());
+        assert_eq!(expect_err("WKSNAP 1\nMODULI 1\nZZZ").line, 3);
+        assert_eq!(expect_err("WKSNAP 1\nMODULI nope").line, 2);
+    }
+
+    #[test]
+    fn out_of_range_ids_rejected() {
+        let text = "WKSNAP 1\nMODULI 1\nff\nCERTS 0\nSCANS 1\nSCAN 2012-06 censys https 1\n1 - 7 0\nTRUTH_MODULI 0\nTRUTH_CERTS 0\n";
+        let e = expect_err(text);
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn all_vendor_tags_round_trip() {
+        use VendorId::*;
+        for v in [
+            Juniper, Innominate, Ibm, Siemens, Cisco, Hp, Thomson, FritzBox, Linksys,
+            Fortinet, Zyxel, Dell, Kronos, Xerox, McAfee, TpLink, Conel, Adtran, DLink,
+            Huawei, Sangfor, SchmidTelecom, Background,
+        ] {
+            assert_eq!(parse_vendor(vendor_tag(v), 1).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The five scan sources and their methodological artifacts.
+//!
+//! §3.1: EFF SSL Observatory (07/2010, 12/2010), the P&Q scan (10/2011),
+//! Ecosystem (06/2012-01/2014), Rapid7 Sonar (10/2013-05/2015), and Censys
+//! (07/2015-04/2016). "Artifacts from the different scan methodologies used
+//! by each team are clearly visible" in Figure 1 — modeled here as per-source
+//! coverage factors, plus Rapid7's unchained intermediate certificates.
+
+use wk_cert::MonthDate;
+
+/// One of the five historical scan effort the study aggregates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScanSource {
+    /// EFF SSL Observatory: Nmap + custom Python client, scans spanning
+    /// two-three months each.
+    Eff,
+    /// Heninger et al.'s October 2011 scan ("P&Q").
+    PandQ,
+    /// Durumeric et al.'s HTTPS Ecosystem scans (ZMap, 18h full sweeps).
+    Ecosystem,
+    /// Rapid7 Project Sonar weekly scans.
+    Rapid7,
+    /// The Censys search engine's daily scans.
+    Censys,
+}
+
+impl ScanSource {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanSource::Eff => "EFF",
+            ScanSource::PandQ => "P&Q",
+            ScanSource::Ecosystem => "Ecosystem",
+            ScanSource::Rapid7 => "Rapid7",
+            ScanSource::Censys => "Censys",
+        }
+    }
+
+    /// Fraction of the live population a scan from this source observes.
+    /// Slow Nmap-era sweeps miss more hosts than ZMap-era ones; the jumps
+    /// between levels reproduce Figure 1's visible methodology artifacts.
+    pub fn coverage(self) -> f64 {
+        match self {
+            ScanSource::Eff => 0.75,
+            ScanSource::PandQ => 0.80,
+            ScanSource::Ecosystem => 0.90,
+            ScanSource::Rapid7 => 0.86,
+            ScanSource::Censys => 0.97,
+        }
+    }
+
+    /// Rapid7 "included sets of intermediate certificates without
+    /// explicitly chaining them" (§3.1); other sources exclude or pre-chain.
+    pub fn includes_unchained_intermediates(self) -> bool {
+        matches!(self, ScanSource::Rapid7)
+    }
+
+    /// All sources, in chronological order of first activity.
+    pub fn all() -> [ScanSource; 5] {
+        [
+            ScanSource::Eff,
+            ScanSource::PandQ,
+            ScanSource::Ecosystem,
+            ScanSource::Rapid7,
+            ScanSource::Censys,
+        ]
+    }
+}
+
+/// First month of the aggregated study.
+pub const STUDY_START: MonthDate = MonthDate::new(2010, 7);
+/// Last month of the aggregated study.
+pub const STUDY_END: MonthDate = MonthDate::new(2016, 4);
+/// The Heartbleed disclosure month (§4.1) — annotated in several figures.
+pub const HEARTBLEED: MonthDate = MonthDate::new(2014, 4);
+
+/// Which source provides the representative scan for `month`, if any.
+///
+/// Months with several active sources pick the most complete (later-era)
+/// one; months where no source was scanning return `None`, reproducing the
+/// gaps visible in Figure 1.
+pub fn source_for_month(month: MonthDate) -> Option<ScanSource> {
+    let m = |y, mo| MonthDate::new(y, mo);
+    // EFF: two scans, July and December 2010.
+    if month == m(2010, 7) || month == m(2010, 12) {
+        return Some(ScanSource::Eff);
+    }
+    // P&Q: October 2011.
+    if month == m(2011, 10) {
+        return Some(ScanSource::PandQ);
+    }
+    // Censys, daily 07/2015 - 04/2016: preferred when active.
+    if month >= m(2015, 7) && month <= m(2016, 4) {
+        return Some(ScanSource::Censys);
+    }
+    // Rapid7, weekly 10/2013 - 05/2015: preferred over Ecosystem overlap.
+    if month >= m(2013, 10) && month <= m(2015, 5) {
+        return Some(ScanSource::Rapid7);
+    }
+    // Ecosystem, 06/2012 - 01/2014.
+    if month >= m(2012, 6) && month <= m(2014, 1) {
+        return Some(ScanSource::Ecosystem);
+    }
+    None
+}
+
+/// Every (month, source) pair of the study, in order.
+pub fn study_months() -> Vec<(MonthDate, ScanSource)> {
+    STUDY_START
+        .through(STUDY_END)
+        .filter_map(|m| source_for_month(m).map(|s| (m, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_in_unit_interval() {
+        for s in ScanSource::all() {
+            assert!(s.coverage() > 0.0 && s.coverage() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn timeline_matches_paper() {
+        let m = |y, mo| MonthDate::new(y, mo);
+        assert_eq!(source_for_month(m(2010, 7)), Some(ScanSource::Eff));
+        assert_eq!(source_for_month(m(2010, 8)), None); // gap
+        assert_eq!(source_for_month(m(2010, 12)), Some(ScanSource::Eff));
+        assert_eq!(source_for_month(m(2011, 10)), Some(ScanSource::PandQ));
+        assert_eq!(source_for_month(m(2011, 11)), None);
+        assert_eq!(source_for_month(m(2012, 6)), Some(ScanSource::Ecosystem));
+        assert_eq!(source_for_month(m(2013, 9)), Some(ScanSource::Ecosystem));
+        assert_eq!(source_for_month(m(2013, 10)), Some(ScanSource::Rapid7));
+        assert_eq!(source_for_month(m(2015, 5)), Some(ScanSource::Rapid7));
+        assert_eq!(source_for_month(m(2015, 6)), None); // gap between Rapid7 and Censys
+        assert_eq!(source_for_month(m(2015, 7)), Some(ScanSource::Censys));
+        assert_eq!(source_for_month(m(2016, 4)), Some(ScanSource::Censys));
+    }
+
+    #[test]
+    fn study_months_ordered_and_bounded() {
+        let months = study_months();
+        assert!(months.len() > 40, "several years of monthly scans");
+        assert!(months.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(months.first().unwrap().0, STUDY_START);
+        assert_eq!(months.last().unwrap().0, STUDY_END);
+    }
+
+    #[test]
+    fn heartbleed_month_is_scanned() {
+        assert_eq!(source_for_month(HEARTBLEED), Some(ScanSource::Rapid7));
+    }
+
+    #[test]
+    fn only_rapid7_has_unchained_intermediates() {
+        for s in ScanSource::all() {
+            assert_eq!(
+                s.includes_unchained_intermediates(),
+                s == ScanSource::Rapid7
+            );
+        }
+    }
+}

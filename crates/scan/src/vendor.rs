@@ -1,0 +1,707 @@
+//! The vendor/model registry: every fingerprintable device population in
+//! the study, with its disclosure-response category, default-certificate
+//! style, key-generation flaw, OpenSSL classification (Table 5), and
+//! population curve (Figures 1, 3-10) at unit scale.
+//!
+//! Unit scale is ≈1:100 of paper magnitudes (documented per experiment in
+//! EXPERIMENTS.md); [`crate::StudyConfig::scale`] rescales uniformly.
+
+use crate::curve::Curve;
+use wk_cert::{MonthDate, SubjectStyle};
+use wk_keygen::PrimeShaping;
+
+/// Vendors tracked by the simulator (the subset of Table 2 with enough
+/// devices for time-series figures, plus the post-2012 newcomers of §4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VendorId {
+    Juniper,
+    Innominate,
+    Ibm,
+    Siemens,
+    Cisco,
+    Hp,
+    Thomson,
+    FritzBox,
+    Linksys,
+    Fortinet,
+    Zyxel,
+    Dell,
+    Kronos,
+    Xerox,
+    McAfee,
+    TpLink,
+    Conel,
+    Adtran,
+    DLink,
+    Huawei,
+    Sangfor,
+    SchmidTelecom,
+    /// The non-fingerprinted remainder of the HTTPS host population.
+    Background,
+}
+
+impl VendorId {
+    /// Human-readable vendor name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            VendorId::Juniper => "Juniper",
+            VendorId::Innominate => "Innominate",
+            VendorId::Ibm => "IBM",
+            VendorId::Siemens => "Siemens",
+            VendorId::Cisco => "Cisco",
+            VendorId::Hp => "HP",
+            VendorId::Thomson => "Thomson",
+            VendorId::FritzBox => "Fritz!Box",
+            VendorId::Linksys => "Linksys",
+            VendorId::Fortinet => "Fortinet",
+            VendorId::Zyxel => "ZyXEL",
+            VendorId::Dell => "Dell",
+            VendorId::Kronos => "Kronos",
+            VendorId::Xerox => "Xerox",
+            VendorId::McAfee => "McAfee",
+            VendorId::TpLink => "TP-LINK",
+            VendorId::Conel => "Conel s.r.o.",
+            VendorId::Adtran => "ADTRAN",
+            VendorId::DLink => "D-Link",
+            VendorId::Huawei => "Huawei",
+            VendorId::Sangfor => "Sangfor",
+            VendorId::SchmidTelecom => "Schmid Telecom",
+            VendorId::Background => "(unfingerprinted)",
+        }
+    }
+}
+
+/// Vendor response to the 2012 disclosure (Table 2 categories).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResponseCategory {
+    /// Released a public security advisory.
+    PublicAdvisory,
+    /// Responded substantively in private, no public advisory.
+    PrivateResponse,
+    /// Only an automated acknowledgment.
+    AutoResponse,
+    /// Never responded.
+    NoResponse,
+    /// Introduced the flaw after the 2012 disclosure (§4.4) — not among the
+    /// 37 originally notified.
+    NewlyVulnerableSince2012,
+}
+
+/// Where a model's key material comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeySource {
+    /// Fresh unique primes (never factorable).
+    Healthy,
+    /// First prime from the named shared pool, second fresh — the
+    /// entropy-hole signature. Vendors sharing a `group` share primes
+    /// (the Xerox / Dell-Imaging overlap, §3.3.2).
+    SharedPool {
+        group: &'static str,
+        pool_size: usize,
+    },
+    /// Both primes from the named nine-prime pool (IBM, §3.3.1).
+    NinePrime { group: &'static str },
+    /// Serve a complete modulus drawn from the named nine-prime pool
+    /// (the Siemens certificate using an IBM modulus, §3.3.1).
+    BorrowNinePrimeModulus { group: &'static str },
+}
+
+/// How a device of this model picks its default-certificate style.
+#[derive(Clone, Debug)]
+pub enum StylePick {
+    /// All devices use one style.
+    Fixed(SubjectStyle),
+    /// Fritz!Box reality (§3.3.2): some devices carry identifying SANs or
+    /// myfritz.net names, others only an IP-octet CN (labelable only by
+    /// shared primes).
+    FritzBoxMix,
+}
+
+/// One device model's full specification.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Vendor.
+    pub vendor: VendorId,
+    /// Model string (shown in Cisco OUs; `None` when indistinct).
+    pub model: Option<&'static str>,
+    /// Default-certificate style.
+    pub style: StylePick,
+    /// Key source for *vulnerable* devices of this model.
+    pub vulnerable_keys: KeySource,
+    /// Prime shaping — the Table 5 OpenSSL classification.
+    pub shaping: PrimeShaping,
+    /// Population curve at unit scale.
+    pub curve: Curve,
+    /// Cisco end-of-life announcement month (Figure 7), if any.
+    pub eol_announced: Option<MonthDate>,
+    /// Response category for Table 2 grouping.
+    pub response: ResponseCategory,
+}
+
+fn fixed(style: SubjectStyle) -> StylePick {
+    StylePick::Fixed(style)
+}
+
+fn org(name: &str) -> StylePick {
+    fixed(SubjectStyle::OrganizationNames {
+        organization: name.to_string(),
+    })
+}
+
+fn cn(name: &str) -> StylePick {
+    fixed(SubjectStyle::GenericVendorCn {
+        vendor_cn: name.to_string(),
+    })
+}
+
+/// The full registry. Curve anchors transcribe the shapes of Figures 1 and
+/// 3-10; see EXPERIMENTS.md for the per-figure mapping and the scale note.
+pub fn registry() -> Vec<ModelSpec> {
+    use PrimeShaping::{OpensslStyle, Plain};
+    use ResponseCategory::*;
+    use VendorId::*;
+    let mut specs = Vec::new();
+
+    // ---- Figure 3: Juniper (public advisory 04+07/2012; vulnerable hosts
+    // RISE for two years after; biggest drop of the dataset at Heartbleed,
+    // where ~30K total / >9K vulnerable went dark; NetScreen crash reports).
+    // Table 5: does NOT satisfy the OpenSSL fingerprint.
+    specs.push(ModelSpec {
+        vendor: Juniper,
+        model: None,
+        style: fixed(SubjectStyle::JuniperSystemGenerated),
+        vulnerable_keys: KeySource::SharedPool { group: "juniper", pool_size: 40 },
+        shaping: Plain,
+        curve: Curve::from_points(&[
+            (2010, 7, 420.0, 90.0),
+            (2011, 10, 520.0, 130.0),
+            (2012, 6, 600.0, 180.0),
+            (2013, 6, 680.0, 230.0),
+            (2014, 4, 755.0, 282.0),
+            (2014, 5, 450.0, 190.0), // Heartbleed cliff (between the 04 and 05 scans)
+            (2015, 7, 430.0, 185.0),
+            (2016, 4, 400.0, 175.0),
+        ]),
+        eol_announced: None,
+        response: PublicAdvisory,
+    });
+
+    // ---- Figure 4: Innominate mGuard (public advisory 06/2012; vulnerable
+    // population *flat* for four years; total rises — fixed in new devices).
+    specs.push(ModelSpec {
+        vendor: Innominate,
+        model: Some("mGuard"),
+        style: cn("mGuard"),
+        vulnerable_keys: KeySource::SharedPool { group: "innominate", pool_size: 8 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 20.0, 14.0),
+            (2012, 6, 42.0, 30.0),
+            (2014, 4, 60.0, 30.0),
+            (2016, 4, 80.0, 29.0),
+        ]),
+        eol_announced: None,
+        response: PublicAdvisory,
+    });
+
+    // ---- Figure 5: IBM RSA-II / BladeCenter (CVE-2012-2187; 36 possible
+    // keys from 9 primes; already declining by 2012; sharp Heartbleed drop;
+    // declines because devices go offline, not because users patch).
+    // Total population unknown in the paper (certs don't name IBM), so the
+    // curve's total tracks the vulnerable count.
+    specs.push(ModelSpec {
+        vendor: Ibm,
+        model: Some("RSA-II/BladeCenter"),
+        style: fixed(SubjectStyle::IbmCustomerNamed { customer_org: "Customer Org".into() }),
+        vulnerable_keys: KeySource::NinePrime { group: "ibm" },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 100.0, 100.0),
+            (2012, 6, 72.0, 72.0),
+            (2014, 4, 52.0, 52.0),
+            (2014, 5, 22.0, 22.0), // Heartbleed cliff (the series' largest step)
+            (2016, 4, 15.0, 15.0),
+        ]),
+        eol_announced: None,
+        response: PublicAdvisory,
+    });
+
+    // ---- Siemens Building Automation: ~15K certs at paper scale, of which
+    // 2,441 used an IBM modulus (from 02/2013) and 18 were otherwise
+    // vulnerable. Table 5: does NOT satisfy the fingerprint.
+    specs.push(ModelSpec {
+        vendor: Siemens,
+        model: Some("Building Automation"),
+        style: fixed(SubjectStyle::SiemensBuildingAutomation),
+        vulnerable_keys: KeySource::SharedPool { group: "siemens", pool_size: 2 },
+        shaping: Plain,
+        curve: Curve::from_points(&[
+            (2010, 7, 80.0, 0.0),
+            (2013, 1, 120.0, 3.0),
+            (2016, 4, 150.0, 3.0),
+        ]),
+        eol_announced: None,
+        response: AutoResponse,
+    });
+    // The IBM-modulus-bearing Siemens population appears 02/2013 and stays.
+    specs.push(ModelSpec {
+        vendor: Siemens,
+        model: Some("Building Automation (IBM modulus)"),
+        style: fixed(SubjectStyle::SiemensBuildingAutomation),
+        vulnerable_keys: KeySource::BorrowNinePrimeModulus { group: "ibm" },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2013, 1, 0.0, 0.0),
+            (2013, 2, 10.0, 10.0),
+            (2016, 4, 12.0, 12.0),
+        ]),
+        eol_announced: None,
+        response: AutoResponse,
+    });
+
+    // ---- Figures 6-7: Cisco small business (private response only;
+    // vulnerable hosts rise through 2014 then start declining; per-model
+    // EOL announcements begin slow total declines, announcement preceding
+    // end-of-sale by months). Table 5: satisfies OpenSSL fingerprint.
+    let cisco_models: [(&str, Option<(u16, u8)>, &[(u16, u8, f64, f64)]); 5] = [
+        // RV082: EOL announced, never vulnerable in our labels (Fig 7 note).
+        ("RV082", Some((2015, 1)), &[
+            (2010, 7, 90.0, 0.0),
+            (2015, 1, 140.0, 0.0),
+            (2016, 4, 110.0, 0.0),
+        ]),
+        ("RV120W", Some((2014, 7)), &[
+            (2010, 7, 20.0, 2.0),
+            (2012, 6, 80.0, 14.0),
+            (2014, 7, 120.0, 26.0),
+            (2016, 4, 95.0, 18.0),
+        ]),
+        ("RV220W", Some((2014, 3)), &[
+            (2010, 7, 10.0, 1.0),
+            (2012, 6, 70.0, 12.0),
+            (2014, 3, 110.0, 24.0),
+            (2016, 4, 80.0, 15.0),
+        ]),
+        ("RV180/180W", Some((2015, 6)), &[
+            (2011, 6, 0.0, 0.0),
+            (2012, 6, 40.0, 8.0),
+            (2015, 6, 100.0, 20.0),
+            (2016, 4, 90.0, 17.0),
+        ]),
+        ("SA520/540", Some((2013, 5)), &[
+            (2010, 7, 60.0, 10.0),
+            (2013, 5, 100.0, 22.0),
+            (2016, 4, 60.0, 12.0),
+        ]),
+    ];
+    for (model, eol, pts) in cisco_models {
+        specs.push(ModelSpec {
+            vendor: Cisco,
+            model: Some(model),
+            style: fixed(SubjectStyle::CiscoModelInOu { model: model.to_string() }),
+            vulnerable_keys: KeySource::SharedPool { group: "cisco", pool_size: 20 },
+            shaping: OpensslStyle,
+            curve: Curve::from_points(pts),
+            eol_announced: eol.map(|(y, m)| MonthDate::new(y, m)),
+            response: PrivateResponse,
+        });
+    }
+
+    // ---- Figure 8: HP iLO (private response; vulnerable peak 2012 then
+    // steady decline; iLO crashed when Heartbleed-scanned -> drop in total
+    // and vulnerable after 04/2014).
+    specs.push(ModelSpec {
+        vendor: Hp,
+        model: Some("iLO"),
+        style: org("Hewlett-Packard"),
+        vulnerable_keys: KeySource::SharedPool { group: "hp", pool_size: 10 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 800.0, 40.0),
+            (2012, 3, 900.0, 60.0),
+            (2014, 4, 1000.0, 36.0),
+            (2014, 6, 850.0, 22.0), // Heartbleed crash fallout
+            (2016, 4, 800.0, 10.0),
+        ]),
+        eol_announced: None,
+        response: PrivateResponse,
+    });
+
+    // ---- Figure 9: the ten never-responded vendors. Shapes: gradual
+    // decline; Thomson/Linksys/ZyXEL/McAfee vulnerable decline TRACKS the
+    // total decline; Fritz!Box rises then declines (fixed ~2014).
+    specs.push(ModelSpec {
+        vendor: Thomson,
+        model: None,
+        style: cn("SpeedTouch"),
+        vulnerable_keys: KeySource::SharedPool { group: "thomson", pool_size: 25 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 500.0, 150.0),
+            (2012, 6, 350.0, 100.0),
+            (2014, 4, 200.0, 45.0),
+            (2016, 4, 90.0, 8.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: FritzBox,
+        model: None,
+        style: StylePick::FritzBoxMix,
+        vulnerable_keys: KeySource::SharedPool { group: "fritzbox", pool_size: 30 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 200.0, 10.0),
+            (2012, 6, 700.0, 90.0),
+            (2014, 1, 1200.0, 200.0), // vulnerable peak, then fixed in new devices
+            (2015, 7, 1400.0, 130.0),
+            (2016, 4, 1500.0, 80.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: Linksys,
+        model: None,
+        style: cn("Linksys WRV"),
+        vulnerable_keys: KeySource::SharedPool { group: "linksys", pool_size: 8 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 1500.0, 30.0),
+            (2013, 6, 900.0, 15.0),
+            (2016, 4, 500.0, 3.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: Fortinet,
+        model: Some("FortiGate"),
+        style: cn("FortiGate"),
+        vulnerable_keys: KeySource::SharedPool { group: "fortinet", pool_size: 5 },
+        shaping: Plain, // Table 5: does not satisfy
+        curve: Curve::from_points(&[
+            (2010, 7, 500.0, 18.0),
+            (2013, 6, 1200.0, 12.0),
+            (2016, 4, 2000.0, 6.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: Zyxel,
+        model: None,
+        style: org("ZyXEL"),
+        vulnerable_keys: KeySource::SharedPool { group: "zyxel", pool_size: 15 },
+        shaping: Plain, // Table 5: does not satisfy
+        curve: Curve::from_points(&[
+            (2010, 7, 800.0, 80.0),
+            (2013, 6, 600.0, 40.0),
+            (2016, 4, 400.0, 8.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    // Dell: majority of vulnerable keys from its own (OpenSSL-shaped) pool;
+    // the "Dell Imaging Group" machines share the Xerox pool (§3.3.2).
+    specs.push(ModelSpec {
+        vendor: Dell,
+        model: None,
+        style: org("Dell Inc."),
+        vulnerable_keys: KeySource::SharedPool { group: "dell", pool_size: 4 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 200.0, 13.0),
+            (2013, 6, 300.0, 7.0),
+            (2016, 4, 400.0, 1.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: Dell,
+        model: Some("Imaging"),
+        style: fixed(SubjectStyle::OrganizationAndUnit {
+            organization: "Dell Inc.".into(),
+            unit: "Dell Imaging Group".into(),
+        }),
+        vulnerable_keys: KeySource::SharedPool { group: "xerox", pool_size: 6 },
+        shaping: Plain, // Xerox primes
+        curve: Curve::from_points(&[
+            (2010, 7, 6.0, 4.0),
+            (2016, 4, 6.0, 2.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: Kronos,
+        model: Some("4500"),
+        style: cn("Kronos 4500"),
+        vulnerable_keys: KeySource::SharedPool { group: "kronos", pool_size: 3 },
+        shaping: Plain, // Table 5: does not satisfy
+        curve: Curve::from_points(&[
+            (2010, 7, 60.0, 6.0),
+            (2016, 4, 80.0, 2.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: Xerox,
+        model: None,
+        style: org("Xerox"),
+        vulnerable_keys: KeySource::SharedPool { group: "xerox", pool_size: 6 },
+        shaping: Plain, // Table 5: does not satisfy
+        curve: Curve::from_points(&[
+            (2010, 7, 60.0, 6.0),
+            (2013, 6, 70.0, 4.0),
+            (2016, 4, 80.0, 2.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: McAfee,
+        model: Some("SnapGear"),
+        style: fixed(SubjectStyle::McAfeeSnapGearDefaults),
+        vulnerable_keys: KeySource::SharedPool { group: "mcafee", pool_size: 2 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 60.0, 4.0),
+            (2013, 6, 40.0, 2.0),
+            (2016, 4, 20.0, 0.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    specs.push(ModelSpec {
+        vendor: TpLink,
+        model: None,
+        style: org("TP-LINK"),
+        vulnerable_keys: KeySource::SharedPool { group: "tplink", pool_size: 12 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 600.0, 60.0),
+            (2013, 6, 500.0, 45.0),
+            (2016, 4, 400.0, 30.0),
+        ]),
+        eol_announced: None,
+        response: NoResponse,
+    });
+    // Conel s.r.o. appears in §3.3.1's O=vendor list; small population.
+    specs.push(ModelSpec {
+        vendor: Conel,
+        model: None,
+        style: org("Conel s.r.o."),
+        vulnerable_keys: KeySource::SharedPool { group: "conel", pool_size: 2 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 15.0, 3.0),
+            (2016, 4, 20.0, 2.0),
+        ]),
+        eol_announced: None,
+        response: AutoResponse,
+    });
+
+    // ---- Figure 10: newly vulnerable since 2012 (§4.4).
+    specs.push(ModelSpec {
+        vendor: Adtran,
+        model: Some("NetVanta"),
+        style: cn("NetVanta"),
+        vulnerable_keys: KeySource::SharedPool { group: "adtran", pool_size: 4 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 400.0, 0.0),
+            (2014, 12, 700.0, 0.0),
+            (2015, 1, 710.0, 2.0), // HTTPS RSA flaw newly introduced 2015
+            (2016, 4, 800.0, 20.0),
+        ]),
+        eol_announced: None,
+        response: NewlyVulnerableSince2012,
+    });
+    specs.push(ModelSpec {
+        vendor: DLink,
+        model: None,
+        style: org("D-Link"),
+        vulnerable_keys: KeySource::SharedPool { group: "dlink", pool_size: 25 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 400.0, 5.0),
+            (2012, 6, 800.0, 8.0),
+            (2014, 6, 1400.0, 60.0),
+            (2016, 4, 2000.0, 150.0), // dramatic rise
+        ]),
+        eol_announced: None,
+        response: NewlyVulnerableSince2012,
+    });
+    specs.push(ModelSpec {
+        vendor: Huawei,
+        model: Some("India BU"),
+        style: fixed(SubjectStyle::OrganizationAndUnit {
+            organization: "Huawei".into(),
+            unit: "India BU".into(),
+        }),
+        vulnerable_keys: KeySource::SharedPool { group: "huawei", pool_size: 30 },
+        shaping: Plain, // Table 5: does not satisfy
+        curve: Curve::from_points(&[
+            (2010, 7, 100.0, 0.0),
+            (2015, 3, 400.0, 0.0),
+            (2015, 4, 420.0, 5.0), // first vulnerable hosts April 2015
+            (2016, 4, 600.0, 300.0), // dramatic increase
+        ]),
+        eol_announced: None,
+        response: NewlyVulnerableSince2012,
+    });
+    specs.push(ModelSpec {
+        vendor: Sangfor,
+        model: None,
+        style: org("Sangfor"),
+        vulnerable_keys: KeySource::SharedPool { group: "sangfor", pool_size: 4 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 50.0, 0.0),
+            (2013, 6, 170.0, 0.0),
+            (2014, 1, 200.0, 2.0),
+            (2016, 4, 400.0, 20.0),
+        ]),
+        eol_announced: None,
+        response: NewlyVulnerableSince2012,
+    });
+    specs.push(ModelSpec {
+        vendor: SchmidTelecom,
+        model: None,
+        style: fixed(SubjectStyle::OrganizationAndUnit {
+            organization: "Schmid Telecom".into(),
+            unit: "India".into(),
+        }),
+        vulnerable_keys: KeySource::SharedPool { group: "schmid", pool_size: 2 },
+        shaping: OpensslStyle,
+        curve: Curve::from_points(&[
+            (2010, 7, 8.0, 0.0),
+            (2012, 10, 9.0, 0.0),
+            (2013, 1, 10.0, 2.0),
+            (2016, 4, 15.0, 8.0),
+        ]),
+        eol_announced: None,
+        response: NewlyVulnerableSince2012,
+    });
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{HEARTBLEED, STUDY_END, STUDY_START};
+
+    #[test]
+    fn registry_nonempty_and_consistent() {
+        let specs = registry();
+        assert!(specs.len() >= 20, "got {}", specs.len());
+        for s in &specs {
+            assert!(s.curve.peak_total() >= s.curve.peak_vulnerable());
+            // Every curve must be meaningful somewhere inside the study.
+            let (t, _) = s.curve.at(STUDY_END);
+            let (t0, _) = s.curve.at(STUDY_START);
+            assert!(t > 0.0 || t0 > 0.0, "{:?} never populated", s.vendor);
+        }
+    }
+
+    #[test]
+    fn juniper_shape_claims() {
+        let spec = registry()
+            .into_iter()
+            .find(|s| s.vendor == VendorId::Juniper)
+            .unwrap();
+        // Vulnerable hosts RISE from disclosure (2012-06) to just before
+        // Heartbleed (Figure 3's headline).
+        let (_, v_disclosure) = spec.curve.at(MonthDate::new(2012, 6));
+        let (_, v_pre_hb) = spec.curve.at(MonthDate::new(2014, 3));
+        assert!(v_pre_hb > v_disclosure);
+        // Largest single drop at Heartbleed.
+        let (t_pre, v_pre) = spec.curve.at(MonthDate::new(2014, 3));
+        let (t_post, v_post) = spec.curve.at(MonthDate::new(2014, 5));
+        assert!(t_pre - t_post > 100.0);
+        assert!(v_pre - v_post > 50.0);
+        let _ = HEARTBLEED;
+    }
+
+    #[test]
+    fn innominate_vulnerable_flat_after_advisory() {
+        let spec = registry()
+            .into_iter()
+            .find(|s| s.vendor == VendorId::Innominate)
+            .unwrap();
+        let (_, v2012) = spec.curve.at(MonthDate::new(2012, 6));
+        let (_, v2016) = spec.curve.at(MonthDate::new(2016, 4));
+        assert!((v2012 - v2016).abs() <= 2.0, "mGuard vulnerable stays flat");
+        let (t2012, _) = spec.curve.at(MonthDate::new(2012, 6));
+        let (t2016, _) = spec.curve.at(MonthDate::new(2016, 4));
+        assert!(t2016 > t2012, "total keeps rising");
+    }
+
+    #[test]
+    fn newly_vulnerable_start_at_zero() {
+        for v in [VendorId::Adtran, VendorId::Huawei, VendorId::Sangfor] {
+            let spec = registry().into_iter().find(|s| s.vendor == v).unwrap();
+            let (_, v2012) = spec.curve.at(MonthDate::new(2012, 6));
+            let (_, v2016) = spec.curve.at(MonthDate::new(2016, 4));
+            assert_eq!(v2012, 0.0, "{v:?} must be clean in 2012");
+            assert!(v2016 > 0.0, "{v:?} must be vulnerable by 2016");
+        }
+    }
+
+    #[test]
+    fn xerox_and_dell_imaging_share_pool_group() {
+        let specs = registry();
+        let xerox = specs.iter().find(|s| s.vendor == VendorId::Xerox).unwrap();
+        let dell_imaging = specs
+            .iter()
+            .find(|s| s.vendor == VendorId::Dell && s.model == Some("Imaging"))
+            .unwrap();
+        match (&xerox.vulnerable_keys, &dell_imaging.vulnerable_keys) {
+            (
+                KeySource::SharedPool { group: g1, .. },
+                KeySource::SharedPool { group: g2, .. },
+            ) => assert_eq!(g1, g2),
+            other => panic!("expected shared pools, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cisco_models_have_staggered_eols() {
+        let specs = registry();
+        let eols: Vec<MonthDate> = specs
+            .iter()
+            .filter(|s| s.vendor == VendorId::Cisco)
+            .filter_map(|s| s.eol_announced)
+            .collect();
+        assert_eq!(eols.len(), 5);
+        let mut sorted = eols.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert!(sorted.len() >= 4, "EOL dates must be staggered");
+    }
+
+    #[test]
+    fn table5_classification_examples() {
+        let specs = registry();
+        let shaping_of = |v: VendorId| {
+            specs
+                .iter()
+                .find(|s| s.vendor == v)
+                .map(|s| s.shaping)
+                .unwrap()
+        };
+        // "Do not satisfy" column.
+        for v in [VendorId::Juniper, VendorId::Fortinet, VendorId::Huawei, VendorId::Kronos, VendorId::Xerox, VendorId::Zyxel, VendorId::Siemens] {
+            assert_eq!(shaping_of(v), PrimeShaping::Plain, "{v:?}");
+        }
+        // "Satisfy" column.
+        for v in [VendorId::Cisco, VendorId::Hp, VendorId::Ibm, VendorId::Innominate, VendorId::McAfee, VendorId::TpLink] {
+            assert_eq!(shaping_of(v), PrimeShaping::OpensslStyle, "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Failure-injection tests for the snapshot parser: every corruption must
+//! produce a structured [`SnapshotError`] — never a panic — and a valid
+//! snapshot must survive the mutations that preserve validity.
+
+use proptest::prelude::*;
+use wk_scan::{run_study, snapshot, StudyConfig};
+
+fn small_snapshot() -> String {
+    let mut cfg = StudyConfig::test_small();
+    cfg.scale = 0.03;
+    cfg.background_hosts = 15;
+    cfg.ssh_hosts = 8;
+    cfg.ssh_vulnerable = 2;
+    cfg.mail_hosts = 4;
+    snapshot::save(&run_study(&cfg))
+}
+
+#[test]
+fn truncation_at_every_section_boundary_errors_cleanly() {
+    let text = small_snapshot();
+    let lines: Vec<&str> = text.lines().collect();
+    // Cut the snapshot at a spread of points; each must error, not panic.
+    for cut in [0, 1, 2, lines.len() / 4, lines.len() / 2, lines.len() - 1] {
+        let truncated = lines[..cut].join("\n");
+        assert!(
+            snapshot::load(&truncated).is_err(),
+            "truncation at line {cut} must fail"
+        );
+    }
+    // The full text still parses.
+    assert!(snapshot::load(&text).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replacing any single line with garbage errors cleanly (or, for
+    /// record-count-preserving garbage, is caught by range checks).
+    #[test]
+    fn single_line_corruption_never_panics(line_idx in 0usize..500, garbage in "[a-z0-9|,. ]{0,30}") {
+        // Reuse one snapshot across cases via a lazy static.
+        use std::sync::OnceLock;
+        static SNAP: OnceLock<String> = OnceLock::new();
+        let text = SNAP.get_or_init(small_snapshot);
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let idx = line_idx % lines.len();
+        lines[idx] = garbage;
+        let mutated = lines.join("\n");
+        // Must not panic; may legitimately succeed only if the garbage
+        // happened to parse as an equivalent record.
+        let _ = snapshot::load(&mutated);
+    }
+
+    /// Byte-level bit flips in the text never panic the parser.
+    #[test]
+    fn byte_flip_never_panics(pos in 0usize..100_000, bit in 0u8..7) {
+        use std::sync::OnceLock;
+        static SNAP: OnceLock<String> = OnceLock::new();
+        let text = SNAP.get_or_init(small_snapshot);
+        let mut bytes = text.as_bytes().to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = snapshot::load(&s);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end tests of the study simulator.
+
+use std::collections::HashSet;
+use wk_scan::{
+    run_study, Protocol, ScanSource, StudyConfig, StudyDataset, VendorId, HEARTBLEED,
+    STUDY_END, STUDY_START,
+};
+
+fn dataset() -> StudyDataset {
+    run_study(&StudyConfig::test_small())
+}
+
+#[test]
+fn study_produces_consistent_dataset() {
+    let ds = dataset();
+    assert!(ds.moduli.len() > 100, "moduli: {}", ds.moduli.len());
+    assert!(ds.certs.len() > 100, "certs: {}", ds.certs.len());
+    assert!(ds.total_host_records() > ds.https_host_records());
+    // Every record's certs and modulus resolve in the stores.
+    for scan in &ds.scans {
+        assert!(scan.date >= STUDY_START && scan.date <= STUDY_END);
+        for rec in &scan.records {
+            assert!((rec.modulus.0 as usize) < ds.moduli.len());
+            for c in &rec.certs {
+                assert!((c.0 as usize) < ds.certs.len());
+            }
+            if scan.protocol == Protocol::Https {
+                assert!(!rec.certs.is_empty(), "HTTPS records carry certs");
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = run_study(&StudyConfig::test_small());
+    let b = run_study(&StudyConfig::test_small());
+    assert_eq!(a.moduli.len(), b.moduli.len());
+    assert_eq!(a.certs.len(), b.certs.len());
+    assert_eq!(a.total_host_records(), b.total_host_records());
+    // Spot-check deep equality of one scan.
+    assert_eq!(a.scans[0].records, b.scans[0].records);
+}
+
+#[test]
+fn different_seed_different_data() {
+    let a = run_study(&StudyConfig::test_small());
+    let mut cfg = StudyConfig::test_small();
+    cfg.seed += 1;
+    let b = run_study(&cfg);
+    assert_ne!(a.scans[0].records, b.scans[0].records);
+}
+
+#[test]
+fn https_scan_timeline_matches_sources() {
+    let ds = dataset();
+    let months: Vec<_> = ds.https_scans().map(|s| (s.date, s.source)).collect();
+    assert_eq!(months.first().unwrap().0, STUDY_START);
+    assert_eq!(months.last().unwrap().0, STUDY_END);
+    assert!(months.iter().any(|&(_, s)| s == ScanSource::Eff));
+    assert!(months.iter().any(|&(_, s)| s == ScanSource::Censys));
+    assert!(months.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn weak_moduli_exist_and_are_labeled() {
+    let ds = dataset();
+    let weak: Vec<_> = ds
+        .truth
+        .moduli
+        .values()
+        .filter(|t| t.weak)
+        .collect();
+    assert!(weak.len() > 10, "weak moduli: {}", weak.len());
+    // Weak moduli come from real vendors (except SSH pool keys).
+    assert!(weak.iter().any(|t| t.vendor == Some(VendorId::Juniper)));
+    assert!(weak.iter().any(|t| t.vendor == Some(VendorId::Ibm)));
+}
+
+#[test]
+fn heartbleed_drop_visible_in_juniper_records() {
+    // Half scale keeps the Juniper population large enough for a clean
+    // signal without full-study runtime.
+    let mut cfg = StudyConfig::test_small();
+    cfg.scale = 0.5;
+    cfg.background_hosts = 100;
+    let ds = run_study(&cfg);
+    // Count Juniper-truth host records per scan around Heartbleed.
+    let count_at = |date| {
+        ds.https_scans()
+            .find(|s| s.date == date)
+            .map(|s| {
+                s.records
+                    .iter()
+                    .filter(|r| {
+                        r.certs.first().is_some_and(|c| {
+                            ds.truth.cert_vendor.get(c) == Some(&VendorId::Juniper)
+                        })
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    let before = count_at(wk_cert::MonthDate::new(2014, 3));
+    let after = count_at(wk_cert::MonthDate::new(2014, 5));
+    assert!(
+        (after as f64) < before as f64 * 0.75,
+        "Juniper population must drop at Heartbleed: {before} -> {after}"
+    );
+    let _ = HEARTBLEED;
+}
+
+#[test]
+fn mitm_key_appears_at_multiple_ips_with_distinct_subjects() {
+    let ds = dataset();
+    let mitm_id = ds
+        .truth
+        .moduli
+        .iter()
+        .find(|(_, t)| t.mitm)
+        .map(|(id, _)| *id)
+        .expect("MITM modulus exists");
+    let mut ips = HashSet::new();
+    let mut subjects = HashSet::new();
+    for scan in ds.https_scans() {
+        for rec in &scan.records {
+            if rec.modulus == mitm_id {
+                ips.insert(rec.ip);
+                subjects.insert(ds.certs.get(rec.certs[0]).subject.render());
+            }
+        }
+    }
+    assert!(ips.len() >= 2, "MITM key at multiple IPs: {}", ips.len());
+    assert!(subjects.len() >= 2, "subjects differ under one key");
+}
+
+#[test]
+fn rapid7_scans_include_intermediates_others_do_not() {
+    let ds = dataset();
+    for scan in ds.https_scans() {
+        let with_chain = scan.records.iter().filter(|r| r.certs.len() > 1).count();
+        if scan.source == ScanSource::Rapid7 {
+            assert!(with_chain > 0, "Rapid7 scan must include intermediates");
+        } else {
+            assert_eq!(with_chain, 0, "{:?} must not", scan.source);
+        }
+    }
+}
+
+#[test]
+fn ssh_scan_has_configured_vulnerable_hosts() {
+    let cfg = StudyConfig::test_small();
+    let ds = run_study(&cfg);
+    let ssh: Vec<_> = ds.protocol_scans(Protocol::Ssh).collect();
+    assert_eq!(ssh.len(), 1);
+    let weak = ssh[0]
+        .records
+        .iter()
+        .filter(|r| ds.truth.moduli.get(&r.modulus).is_some_and(|t| t.weak))
+        .count();
+    assert_eq!(weak, cfg.ssh_vulnerable);
+    assert_eq!(ssh[0].records.len(), cfg.ssh_hosts);
+}
+
+#[test]
+fn mail_protocols_have_zero_vulnerable() {
+    let ds = dataset();
+    for p in [Protocol::Imaps, Protocol::Pop3s, Protocol::Smtps] {
+        for scan in ds.protocol_scans(p) {
+            let weak = scan
+                .records
+                .iter()
+                .filter(|r| ds.truth.moduli.get(&r.modulus).is_some_and(|t| t.weak))
+                .count();
+            assert_eq!(weak, 0, "{p:?} must have no vulnerable hosts");
+        }
+    }
+}
+
+#[test]
+fn ibm_moduli_form_small_clique() {
+    let ds = dataset();
+    let ibm_moduli: HashSet<_> = ds
+        .truth
+        .moduli
+        .iter()
+        .filter(|(_, t)| t.vendor == Some(VendorId::Ibm) && t.weak)
+        .map(|(id, _)| *id)
+        .collect();
+    assert!(
+        !ibm_moduli.is_empty() && ibm_moduli.len() <= 36,
+        "IBM distinct moduli: {}",
+        ibm_moduli.len()
+    );
+}

@@ -1,0 +1,195 @@
+//! What a factored certificate key buys an attacker (§2.1).
+//!
+//! * [`passive_decrypt_record`] — decrypt a *recorded* session: works for
+//!   RSA key exchange, impossible for DHE (forward secrecy), which is why
+//!   the paper highlights that 74% of vulnerable devices negotiate only
+//!   RSA key exchange.
+//! * [`forge_server_key_exchange`] — the active attack that works against
+//!   *both* suites: with the private key, an impostor signs its own DH
+//!   parameters and passes client verification.
+
+use crate::handshake::{CipherSuite, Transcript};
+use crate::kdf;
+use wk_bigint::Natural;
+use wk_keygen::RsaPrivateKey;
+
+/// Why a passive decryption attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttackError {
+    /// The session used ephemeral Diffie-Hellman: the certificate key never
+    /// touches the premaster, so recorded traffic stays sealed.
+    ForwardSecrecy,
+    /// The supplied private key does not match the transcript's certificate.
+    WrongKey,
+    /// No record with that sequence number in the transcript.
+    NoSuchRecord,
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::ForwardSecrecy => {
+                write!(f, "DHE session: forward secrecy holds even with the factored key")
+            }
+            AttackError::WrongKey => write!(f, "private key does not match the certificate"),
+            AttackError::NoSuchRecord => write!(f, "no such record in transcript"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+/// Recover the session master seed from a recorded transcript using a
+/// factored certificate key.
+pub fn recover_master(
+    transcript: &Transcript,
+    key: &RsaPrivateKey,
+) -> Result<u64, AttackError> {
+    if key.public.n != transcript.certificate.modulus {
+        return Err(AttackError::WrongKey);
+    }
+    match transcript.suite {
+        CipherSuite::Dhe => Err(AttackError::ForwardSecrecy),
+        CipherSuite::RsaKex => {
+            let premaster = key.decrypt_raw(&transcript.client_kex);
+            Ok(kdf::master_seed(
+                &premaster,
+                transcript.client_random,
+                transcript.server_random,
+            ))
+        }
+    }
+}
+
+/// Decrypt one recorded application record.
+pub fn passive_decrypt_record(
+    transcript: &Transcript,
+    key: &RsaPrivateKey,
+    seq: u64,
+) -> Result<Vec<u8>, AttackError> {
+    let master = recover_master(transcript, key)?;
+    let (_, ciphertext) = transcript
+        .records
+        .iter()
+        .find(|(s, _)| *s == seq)
+        .ok_or(AttackError::NoSuchRecord)?;
+    Ok(kdf::record_xor(master, seq, ciphertext))
+}
+
+/// The active attack: with the factored key, sign arbitrary DH parameters
+/// so a client verifying against the real certificate accepts the impostor.
+/// Returns `(dh_public, signature)` ready for a ServerKeyExchange.
+pub fn forge_server_key_exchange(
+    key: &RsaPrivateKey,
+    client_random: u64,
+    server_random: u64,
+    attacker_dh_public: &Natural,
+) -> (Natural, Natural) {
+    let digest = kdf::transcript_digest(&[
+        &client_random.to_le_bytes(),
+        &server_random.to_le_bytes(),
+        &attacker_dh_public.to_bytes_be(),
+    ]);
+    let signature = key.sign_raw(&Natural::from(digest));
+    (attacker_dh_public.clone(), signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::{dh_group, handshake, ServerConfig};
+    use rand::SeedableRng;
+    use wk_cert::{MonthDate, SubjectStyle};
+    use wk_keygen::{PrimeShaping, RsaPublicKey};
+
+    fn server(seed: u64, supports: Vec<CipherSuite>) -> ServerConfig {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let key = RsaPrivateKey::generate(&mut rng, 256, PrimeShaping::OpensslStyle);
+        let certificate = SubjectStyle::JuniperSystemGenerated.certificate(
+            1,
+            1,
+            key.public.n.clone(),
+            MonthDate::new(2012, 1),
+        );
+        ServerConfig { key, certificate, supports }
+    }
+
+    #[test]
+    fn rsa_kex_recorded_session_decrypts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg = server(20, vec![CipherSuite::RsaKex]);
+        let (mut client, _, mut transcript) =
+            handshake(&mut rng, &cfg, &[CipherSuite::RsaKex]).unwrap();
+        let (seq, ct) = client.seal(b"password=hunter2");
+        transcript.records.push((seq, ct));
+        // Years later: the key is factored (here: simply known).
+        let plain = passive_decrypt_record(&transcript, &cfg.key, seq).unwrap();
+        assert_eq!(plain, b"password=hunter2");
+    }
+
+    #[test]
+    fn dhe_recorded_session_stays_sealed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = server(21, vec![CipherSuite::Dhe]);
+        let (mut client, _, mut transcript) =
+            handshake(&mut rng, &cfg, &[CipherSuite::Dhe]).unwrap();
+        let (seq, ct) = client.seal(b"password=hunter2");
+        transcript.records.push((seq, ct));
+        assert_eq!(
+            passive_decrypt_record(&transcript, &cfg.key, seq).err(),
+            Some(AttackError::ForwardSecrecy)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = server(22, vec![CipherSuite::RsaKex]);
+        let (_, _, transcript) = handshake(&mut rng, &cfg, &[CipherSuite::RsaKex]).unwrap();
+        let other = RsaPrivateKey::generate(&mut rng, 256, PrimeShaping::Plain);
+        assert_eq!(
+            recover_master(&transcript, &other).err(),
+            Some(AttackError::WrongKey)
+        );
+    }
+
+    #[test]
+    fn missing_record_reported() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let cfg = server(23, vec![CipherSuite::RsaKex]);
+        let (_, _, transcript) = handshake(&mut rng, &cfg, &[CipherSuite::RsaKex]).unwrap();
+        assert_eq!(
+            passive_decrypt_record(&transcript, &cfg.key, 99).err(),
+            Some(AttackError::NoSuchRecord)
+        );
+    }
+
+    #[test]
+    fn forged_kex_passes_client_verification() {
+        // The MITM: attacker holds the factored key, presents its own DH
+        // public; the client's signature check (against the *real*
+        // certificate) accepts it.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = server(24, vec![CipherSuite::Dhe]);
+        let (p, g) = dh_group();
+        let attacker_secret = Natural::random_bits(&mut rng, 192);
+        let attacker_pub = g.mod_pow(&attacker_secret, &p);
+        let (client_random, server_random) = (rng.next_u64(), rng.next_u64());
+        let (dh_pub, sig) =
+            forge_server_key_exchange(&cfg.key, client_random, server_random, &attacker_pub);
+
+        // The client-side check, verbatim.
+        let digest = kdf::transcript_digest(&[
+            &client_random.to_le_bytes(),
+            &server_random.to_le_bytes(),
+            &dh_pub.to_bytes_be(),
+        ]);
+        let vk = RsaPublicKey {
+            n: cfg.certificate.modulus.clone(),
+            e: Natural::from(wk_keygen::PUBLIC_EXPONENT),
+        };
+        assert!(vk.verify_raw(&Natural::from(digest), &sig));
+        use rand::RngCore;
+        let _ = rng.next_u64();
+    }
+}

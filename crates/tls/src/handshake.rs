@@ -1,0 +1,304 @@
+//! The miniature handshake: TLS-RSA and TLS-DHE key exchange.
+//!
+//! Faithful in structure — hellos with nonces, certificate, (signed) server
+//! key exchange for DHE, client key exchange, Finished verification — and
+//! in the security properties the paper leans on:
+//!
+//! * **RSA key exchange**: the premaster travels encrypted under the
+//!   certificate key, so factoring that key later decrypts *recorded*
+//!   sessions (§2.1's passive attack).
+//! * **DHE**: the certificate key only signs; factoring it enables active
+//!   impersonation but recorded sessions stay sealed (forward secrecy).
+
+use crate::kdf;
+use rand::RngCore;
+use wk_bigint::Natural;
+use wk_cert::Certificate;
+use wk_keygen::RsaPrivateKey;
+
+/// Key-exchange suites the miniature protocol speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CipherSuite {
+    /// RSA key exchange: client encrypts the premaster to the cert key.
+    RsaKex,
+    /// Ephemeral Diffie-Hellman, certificate key signs the parameters.
+    Dhe,
+}
+
+/// Handshake and protocol errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TlsError {
+    /// Client and server share no cipher suite.
+    NoCommonCipher,
+    /// ServerKeyExchange signature failed to verify.
+    BadSignature,
+    /// A Finished verify value did not match.
+    BadFinished,
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::NoCommonCipher => write!(f, "no common cipher suite"),
+            TlsError::BadSignature => write!(f, "server key exchange signature invalid"),
+            TlsError::BadFinished => write!(f, "finished verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+/// The DHE group: p = 2^255 - 19 (prime), g = 2. A toy-sized well-known
+/// group — the reproduction never attacks the DH problem itself.
+pub fn dh_group() -> (Natural, Natural) {
+    let p = &(&Natural::one() << 255u64) - &Natural::from(19u64);
+    (p, Natural::from(2u64))
+}
+
+/// Server-side configuration: long-term key and certificate.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// The certificate key (weak or healthy — that's the experiment).
+    pub key: RsaPrivateKey,
+    /// The served certificate; its modulus must match `key`.
+    pub certificate: Certificate,
+    /// Suites the server accepts, in preference order.
+    pub supports: Vec<CipherSuite>,
+}
+
+/// Everything a passive observer on the network path records.
+#[derive(Clone, Debug)]
+pub struct Transcript {
+    /// Client nonce.
+    pub client_random: u64,
+    /// Server nonce.
+    pub server_random: u64,
+    /// Negotiated suite.
+    pub suite: CipherSuite,
+    /// The certificate as transmitted.
+    pub certificate: Certificate,
+    /// DHE only: server's ephemeral public value and its RSA signature.
+    pub server_kex: Option<(Natural, Natural)>,
+    /// RSA-kex: premaster encrypted under the certificate key;
+    /// DHE: the client's ephemeral public value.
+    pub client_kex: Natural,
+    /// Encrypted application records (sequence, ciphertext).
+    pub records: Vec<(u64, Vec<u8>)>,
+}
+
+/// One endpoint of an established session.
+#[derive(Clone, Debug)]
+pub struct Connection {
+    master: u64,
+    next_seq: u64,
+}
+
+impl Connection {
+    /// Encrypt the next application record, returning (sequence, bytes).
+    pub fn seal(&mut self, plaintext: &[u8]) -> (u64, Vec<u8>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        (seq, kdf::record_xor(self.master, seq, plaintext))
+    }
+
+    /// Decrypt a record by sequence number.
+    pub fn open(&self, seq: u64, ciphertext: &[u8]) -> Vec<u8> {
+        kdf::record_xor(self.master, seq, ciphertext)
+    }
+}
+
+/// Digest the handshake messages that feed Finished.
+fn handshake_digest(
+    client_random: u64,
+    server_random: u64,
+    suite: CipherSuite,
+    client_kex: &Natural,
+) -> u64 {
+    let suite_byte = [match suite {
+        CipherSuite::RsaKex => 0u8,
+        CipherSuite::Dhe => 1u8,
+    }];
+    kdf::transcript_digest(&[
+        &client_random.to_le_bytes(),
+        &server_random.to_le_bytes(),
+        &suite_byte,
+        &client_kex.to_bytes_be(),
+    ])
+}
+
+/// Digest signed by ServerKeyExchange (binds nonces and the DH public).
+fn kex_digest(client_random: u64, server_random: u64, dh_public: &Natural) -> Natural {
+    let d = kdf::transcript_digest(&[
+        &client_random.to_le_bytes(),
+        &server_random.to_le_bytes(),
+        &dh_public.to_bytes_be(),
+    ]);
+    Natural::from(d)
+}
+
+/// Run a full handshake plus Finished verification between a fresh client
+/// and `server`, returning both connection halves and the passive
+/// observer's transcript.
+pub fn handshake<R: RngCore + ?Sized>(
+    rng: &mut R,
+    server: &ServerConfig,
+    client_offers: &[CipherSuite],
+) -> Result<(Connection, Connection, Transcript), TlsError> {
+    // Hellos.
+    let client_random = rng.next_u64();
+    let server_random = rng.next_u64();
+    let suite = *server
+        .supports
+        .iter()
+        .find(|s| client_offers.contains(s))
+        .ok_or(TlsError::NoCommonCipher)?;
+
+    // Key exchange.
+    let (premaster, client_kex, server_kex) = match suite {
+        CipherSuite::RsaKex => {
+            let premaster =
+                Natural::random_below(rng, &server.certificate.modulus);
+            let encrypted = premaster.mod_pow(
+                &Natural::from(wk_keygen::PUBLIC_EXPONENT),
+                &server.certificate.modulus,
+            );
+            (premaster, encrypted, None)
+        }
+        CipherSuite::Dhe => {
+            let (p, g) = dh_group();
+            let server_secret = Natural::random_bits(rng, 192);
+            let client_secret = Natural::random_bits(rng, 192);
+            let server_pub = g.mod_pow(&server_secret, &p);
+            let client_pub = g.mod_pow(&client_secret, &p);
+            // Server signs (nonces, server_pub) with its certificate key.
+            let digest = kex_digest(client_random, server_random, &server_pub);
+            let signature = server.key.sign_raw(&digest);
+            // Client verifies before continuing.
+            let vk = wk_keygen::RsaPublicKey {
+                n: server.certificate.modulus.clone(),
+                e: Natural::from(wk_keygen::PUBLIC_EXPONENT),
+            };
+            if !vk.verify_raw(&digest, &signature) {
+                return Err(TlsError::BadSignature);
+            }
+            let shared = server_pub.mod_pow(&client_secret, &p);
+            debug_assert_eq!(shared, client_pub.mod_pow(&server_secret, &p));
+            (shared, client_pub, Some((server_pub, signature)))
+        }
+    };
+
+    // Master derivation and mutual Finished verification.
+    let master = kdf::master_seed(&premaster, client_random, server_random);
+    let digest = handshake_digest(client_random, server_random, suite, &client_kex);
+    let client_verify = kdf::finished_verify(master, digest);
+    let server_verify = kdf::finished_verify(master, digest ^ 1);
+    if client_verify != kdf::finished_verify(master, digest)
+        || server_verify != kdf::finished_verify(master, digest ^ 1)
+    {
+        return Err(TlsError::BadFinished);
+    }
+
+    let transcript = Transcript {
+        client_random,
+        server_random,
+        suite,
+        certificate: server.certificate.clone(),
+        server_kex,
+        client_kex,
+        records: Vec::new(),
+    };
+    Ok((
+        Connection { master, next_seq: 0 },
+        Connection { master, next_seq: 0 },
+        transcript,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wk_cert::{MonthDate, SubjectStyle};
+    use wk_keygen::PrimeShaping;
+
+    fn server(seed: u64, supports: Vec<CipherSuite>) -> ServerConfig {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let key = RsaPrivateKey::generate(&mut rng, 256, PrimeShaping::OpensslStyle);
+        let certificate = SubjectStyle::JuniperSystemGenerated.certificate(
+            1,
+            1,
+            key.public.n.clone(),
+            MonthDate::new(2012, 1),
+        );
+        ServerConfig { key, certificate, supports }
+    }
+
+    #[test]
+    fn rsa_kex_session_round_trips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let server_cfg = server(10, vec![CipherSuite::RsaKex]);
+        let (mut client, server_conn, transcript) =
+            handshake(&mut rng, &server_cfg, &[CipherSuite::RsaKex]).unwrap();
+        assert_eq!(transcript.suite, CipherSuite::RsaKex);
+        assert!(transcript.server_kex.is_none());
+        let (seq, ct) = client.seal(b"GET /status");
+        assert_eq!(server_conn.open(seq, &ct), b"GET /status");
+    }
+
+    #[test]
+    fn dhe_session_round_trips_with_signature() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let server_cfg = server(11, vec![CipherSuite::Dhe]);
+        let (mut client, server_conn, transcript) =
+            handshake(&mut rng, &server_cfg, &[CipherSuite::Dhe, CipherSuite::RsaKex]).unwrap();
+        assert_eq!(transcript.suite, CipherSuite::Dhe);
+        assert!(transcript.server_kex.is_some());
+        let (seq, ct) = client.seal(b"secret");
+        assert_eq!(server_conn.open(seq, &ct), b"secret");
+    }
+
+    #[test]
+    fn no_common_cipher_fails() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let server_cfg = server(12, vec![CipherSuite::Dhe]);
+        assert_eq!(
+            handshake(&mut rng, &server_cfg, &[CipherSuite::RsaKex]).err(),
+            Some(TlsError::NoCommonCipher)
+        );
+    }
+
+    #[test]
+    fn server_preference_order_wins() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let server_cfg = server(13, vec![CipherSuite::Dhe, CipherSuite::RsaKex]);
+        let (_, _, t) =
+            handshake(&mut rng, &server_cfg, &[CipherSuite::RsaKex, CipherSuite::Dhe]).unwrap();
+        assert_eq!(t.suite, CipherSuite::Dhe);
+    }
+
+    #[test]
+    fn forged_certificate_key_breaks_dhe_signature() {
+        // A server whose certificate advertises a key it does not hold
+        // cannot produce a valid ServerKeyExchange signature.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut cfg = server(14, vec![CipherSuite::Dhe]);
+        let other = RsaPrivateKey::generate(&mut rng, 256, PrimeShaping::Plain);
+        cfg.certificate = cfg.certificate.with_substituted_key(other.public.n.clone());
+        assert_eq!(
+            handshake(&mut rng, &cfg, &[CipherSuite::Dhe]).err(),
+            Some(TlsError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn distinct_sequences_distinct_ciphertexts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let server_cfg = server(15, vec![CipherSuite::RsaKex]);
+        let (mut client, _, _) =
+            handshake(&mut rng, &server_cfg, &[CipherSuite::RsaKex]).unwrap();
+        let (s1, c1) = client.seal(b"same");
+        let (s2, c2) = client.seal(b"same");
+        assert_ne!(s1, s2);
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Key derivation and the toy record cipher.
+//!
+//! Stand-ins for TLS's PRF and record protection with the same *data flow*:
+//! the session keystream is a deterministic function of (premaster secret,
+//! client random, server random), so recovering the premaster recovers the
+//! session. No cryptographic strength is claimed — the reproduction studies
+//! key recovery, not cipher design.
+
+use wk_bigint::Natural;
+
+/// Derive the master seed from the premaster secret and both nonces.
+pub fn master_seed(premaster: &Natural, client_random: u64, server_random: u64) -> u64 {
+    let mut seed = 0x243f_6a88_85a3_08d3u64; // pi digits, nothing-up-my-sleeve
+    for &limb in premaster.limbs() {
+        seed = splitmix(seed ^ limb);
+    }
+    seed = splitmix(seed ^ client_random);
+    splitmix(seed ^ server_random)
+}
+
+/// The verify value both sides exchange in Finished messages: a digest of
+/// the master seed and the handshake transcript digest.
+pub fn finished_verify(master: u64, transcript_digest: u64) -> u64 {
+    splitmix(master ^ transcript_digest.rotate_left(32))
+}
+
+/// Order-sensitive digest of handshake bytes.
+pub fn transcript_digest(chunks: &[&[u8]]) -> u64 {
+    let mut acc = 0x4528_21e6_38d0_1377u64;
+    for chunk in chunks {
+        for &b in *chunk {
+            acc = splitmix(acc ^ b as u64);
+        }
+        acc = splitmix(acc ^ 0xff00_ff00_ff00_ff00);
+    }
+    acc
+}
+
+/// XOR keystream generated from the master seed; encryption == decryption.
+pub fn record_xor(master: u64, sequence: u64, data: &[u8]) -> Vec<u8> {
+    let mut state = splitmix(master ^ splitmix(sequence));
+    data.iter()
+        .map(|&b| {
+            state = splitmix(state);
+            b ^ (state as u8)
+        })
+        .collect()
+}
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_seed() {
+        let pm = Natural::from(0xdead_beefu64);
+        assert_eq!(master_seed(&pm, 1, 2), master_seed(&pm, 1, 2));
+        assert_ne!(master_seed(&pm, 1, 2), master_seed(&pm, 1, 3));
+        assert_ne!(master_seed(&pm, 1, 2), master_seed(&Natural::from(5u64), 1, 2));
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let data = b"attack at dawn";
+        let c = record_xor(42, 0, data);
+        assert_ne!(&c[..], &data[..]);
+        assert_eq!(record_xor(42, 0, &c), data);
+    }
+
+    #[test]
+    fn sequence_separates_records() {
+        let data = b"same plaintext";
+        assert_ne!(record_xor(42, 0, data), record_xor(42, 1, data));
+    }
+
+    #[test]
+    fn transcript_digest_order_sensitive() {
+        let a = transcript_digest(&[b"hello", b"world"]);
+        let b = transcript_digest(&[b"world", b"hello"]);
+        assert_ne!(a, b);
+        // Chunk boundaries matter too (no ambiguity between ab|c and a|bc).
+        assert_ne!(
+            transcript_digest(&[b"ab", b"c"]),
+            transcript_digest(&[b"a", b"bc"])
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # wk-tls — a miniature TLS handshake substrate
+//!
+//! Just enough of TLS to make the paper's threat model (§2.1) executable:
+//!
+//! * [`handshake`] — hellos, certificate, RSA or signed-DHE key exchange,
+//!   Finished verification, and the [`Transcript`] a passive network
+//!   observer records;
+//! * [`kdf`] — the toy PRF and record keystream (the key-recovery *data
+//!   flow* of TLS, with no cryptographic-strength claims);
+//! * [`attack`] — what a batch-GCD-factored certificate key enables:
+//!   passive decryption of recorded RSA-key-exchange sessions, the
+//!   forward-secrecy wall for DHE, and active ServerKeyExchange forgery
+//!   (impersonation / MITM) that works against both suites.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use wk_keygen::{PrimeShaping, RsaPrivateKey};
+//! use wk_cert::{MonthDate, SubjectStyle};
+//! use wk_tls::{handshake, passive_decrypt_record, CipherSuite, ServerConfig};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let key = RsaPrivateKey::generate(&mut rng, 256, PrimeShaping::OpensslStyle);
+//! let cert = SubjectStyle::JuniperSystemGenerated
+//!     .certificate(1, 1, key.public.n.clone(), MonthDate::new(2012, 1));
+//! let server = ServerConfig { key: key.clone(), certificate: cert, supports: vec![CipherSuite::RsaKex] };
+//!
+//! let (mut client, _, mut transcript) = handshake(&mut rng, &server, &[CipherSuite::RsaKex]).unwrap();
+//! let (seq, ct) = client.seal(b"admin login");
+//! transcript.records.push((seq, ct));
+//! // Later, with the (batch-GCD-factored) key:
+//! assert_eq!(passive_decrypt_record(&transcript, &key, seq).unwrap(), b"admin login");
+//! ```
+
+pub mod attack;
+pub mod handshake;
+pub mod kdf;
+
+pub use attack::{
+    forge_server_key_exchange, passive_decrypt_record, recover_master, AttackError,
+};
+pub use handshake::{
+    dh_group, handshake, CipherSuite, Connection, ServerConfig, Transcript, TlsError,
+};

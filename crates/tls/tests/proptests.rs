@@ -1,0 +1,78 @@
+//! Property tests for the TLS substrate: every handshake round-trips, the
+//! passive attack succeeds exactly on RSA key exchange, and record
+//! protection separates sessions.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use wk_cert::{MonthDate, SubjectStyle};
+use wk_keygen::{PrimeShaping, RsaPrivateKey};
+use wk_tls::{handshake, passive_decrypt_record, AttackError, CipherSuite, ServerConfig};
+
+fn server(seed: u64, supports: Vec<CipherSuite>) -> ServerConfig {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let key = RsaPrivateKey::generate(&mut rng, 128, PrimeShaping::OpensslStyle);
+    let certificate = SubjectStyle::JuniperSystemGenerated.certificate(
+        1,
+        1,
+        key.public.n.clone(),
+        MonthDate::new(2012, 1),
+    );
+    ServerConfig { key, certificate, supports }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any message round-trips through an RSA-kex session, and the passive
+    /// attacker with the server key reads it from the transcript.
+    #[test]
+    fn rsa_kex_roundtrip_and_passive_attack(
+        seed in 0u64..2000,
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(1));
+        let cfg = server(seed, vec![CipherSuite::RsaKex]);
+        let (mut client, server_conn, mut transcript) =
+            handshake(&mut rng, &cfg, &[CipherSuite::RsaKex]).unwrap();
+        let (seq, ct) = client.seal(&msg);
+        prop_assert_eq!(server_conn.open(seq, &ct), msg.clone());
+        transcript.records.push((seq, ct));
+        prop_assert_eq!(
+            passive_decrypt_record(&transcript, &cfg.key, seq).unwrap(),
+            msg
+        );
+    }
+
+    /// DHE sessions round-trip but resist the passive attack for every
+    /// seed — forward secrecy is unconditional, not seed-dependent.
+    #[test]
+    fn dhe_roundtrip_but_forward_secret(
+        seed in 0u64..2000,
+        msg in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(7));
+        let cfg = server(seed, vec![CipherSuite::Dhe]);
+        let (mut client, server_conn, mut transcript) =
+            handshake(&mut rng, &cfg, &[CipherSuite::Dhe]).unwrap();
+        let (seq, ct) = client.seal(&msg);
+        prop_assert_eq!(server_conn.open(seq, &ct), msg);
+        transcript.records.push((seq, ct));
+        prop_assert_eq!(
+            passive_decrypt_record(&transcript, &cfg.key, seq).err(),
+            Some(AttackError::ForwardSecrecy)
+        );
+    }
+
+    /// A different key never decrypts a recorded session.
+    #[test]
+    fn wrong_key_never_decrypts(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(13));
+        let cfg = server(seed, vec![CipherSuite::RsaKex]);
+        let other = server(seed.wrapping_add(5000), vec![CipherSuite::RsaKex]);
+        let (_, _, transcript) = handshake(&mut rng, &cfg, &[CipherSuite::RsaKex]).unwrap();
+        prop_assert_eq!(
+            wk_tls::recover_master(&transcript, &other.key).err(),
+            Some(AttackError::WrongKey)
+        );
+    }
+}

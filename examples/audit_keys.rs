@@ -1,0 +1,100 @@
+//! Audit a set of RSA moduli for shared factors — the practical tool a
+//! downstream user runs over their own key inventory.
+//!
+//! Input: one hexadecimal modulus per line (blank lines and `#` comments
+//! ignored), from a file argument or stdin. Output: one line per vulnerable
+//! modulus with the recovered factors.
+//!
+//! ```sh
+//! cargo run --release --example audit_keys -- moduli.txt
+//! printf '21\n33\n35\n' | cargo run --release --example audit_keys
+//! ```
+
+use std::io::Read;
+use wk_batchgcd::{batch_gcd, KeyStatus};
+use wk_bigint::Natural;
+
+fn main() {
+    let input = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fatal(&format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| fatal(&format!("cannot read stdin: {e}")));
+            buf
+        }
+    };
+
+    let mut moduli = Vec::new();
+    let mut line_numbers = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match Natural::from_hex(line.trim_start_matches("0x")) {
+            Ok(n) if !n.is_zero() => {
+                moduli.push(n);
+                line_numbers.push(lineno + 1);
+            }
+            Ok(_) => eprintln!("line {}: zero modulus skipped", lineno + 1),
+            Err(e) => eprintln!("line {}: parse error ({e}), skipped", lineno + 1),
+        }
+    }
+    if moduli.is_empty() {
+        fatal("no moduli to audit");
+    }
+
+    // Deduplicate (duplicates would flag each other as shared).
+    let mut seen = std::collections::HashSet::new();
+    let mut distinct = Vec::new();
+    let mut distinct_lines = Vec::new();
+    for (n, line) in moduli.into_iter().zip(line_numbers) {
+        if seen.insert(n.to_bytes_be()) {
+            distinct.push(n);
+            distinct_lines.push(line);
+        } else {
+            eprintln!("line {line}: duplicate modulus skipped");
+        }
+    }
+
+    eprintln!("auditing {} distinct moduli...", distinct.len());
+    let result = batch_gcd(&distinct, 1);
+    let mut vulnerable = 0;
+    for (i, status) in result.statuses.iter().enumerate() {
+        match status {
+            KeyStatus::NotVulnerable => {}
+            KeyStatus::Factored { p, q } => {
+                vulnerable += 1;
+                println!(
+                    "line {}: VULNERABLE  N = {} * {}",
+                    distinct_lines[i],
+                    p.to_hex(),
+                    q.to_hex()
+                );
+            }
+            KeyStatus::SharedUnresolved => {
+                vulnerable += 1;
+                println!(
+                    "line {}: VULNERABLE (shares all factors; could not split)",
+                    distinct_lines[i]
+                );
+            }
+        }
+    }
+    eprintln!(
+        "{vulnerable} of {} moduli share factors ({:?} total)",
+        distinct.len(),
+        result.stats.total_time()
+    );
+    if vulnerable > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("audit_keys: {msg}");
+    std::process::exit(2);
+}

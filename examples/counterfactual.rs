@@ -1,0 +1,56 @@
+//! The §5.1 open-problem experiment: would the weak-key population have
+//! looked different if every vendor had shipped the July 2012 kernel
+//! mitigations in new products?
+//!
+//! Runs the study twice — baseline vs a universal fixed-in-new-devices
+//! counterfactual from 2013-01 — and prints the aggregate vulnerable series
+//! side by side.
+//!
+//! ```sh
+//! cargo run --release --example counterfactual
+//! ```
+
+use wk_analysis::aggregate_series;
+use weakkeys::{run_pipeline, BatchMode, StudyConfig};
+use wk_scan::UniversalFix;
+
+fn main() {
+    let mut baseline_cfg = StudyConfig::default_scale();
+    baseline_cfg.scale = 0.3;
+    baseline_cfg.background_hosts = 400;
+    let mut fixed_cfg = baseline_cfg.clone();
+    fixed_cfg.universal_fix = Some(UniversalFix::kernel_patch_2012());
+
+    eprintln!("running baseline study...");
+    let baseline = run_pipeline(&baseline_cfg, BatchMode::default());
+    eprintln!("running counterfactual (all vendors fix new devices from 2013-01)...");
+    let fixed = run_pipeline(&fixed_cfg, BatchMode::default());
+
+    let base_series = aggregate_series(&baseline.dataset, baseline.vulnerable_set());
+    let fix_series = aggregate_series(&fixed.dataset, fixed.vulnerable_set());
+
+    println!(
+        "{:<10} {:>14} {:>18} {:>8}",
+        "date", "baseline vuln", "counterfactual", "saved"
+    );
+    for (b, f) in base_series.points.iter().zip(fix_series.points.iter()) {
+        assert_eq!(b.date, f.date);
+        println!(
+            "{:<10} {:>14} {:>18} {:>8}",
+            b.date.to_string(),
+            b.vulnerable,
+            f.vulnerable,
+            b.vulnerable as i64 - f.vulnerable as i64
+        );
+    }
+
+    let b_end = base_series.points.last().unwrap().vulnerable;
+    let f_end = fix_series.points.last().unwrap().vulnerable;
+    println!(
+        "\nstudy end (2016-04): baseline {b_end} vulnerable hosts vs {f_end} under the \
+         counterfactual — {:.0}% of the 2016 vulnerable population is explained by \
+         post-2012 deployments of still-flawed firmware (§4.4's newly vulnerable \
+         products plus continued vulnerable production).",
+        100.0 * (b_end.saturating_sub(f_end)) as f64 / b_end.max(1) as f64
+    );
+}

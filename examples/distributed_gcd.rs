@@ -1,0 +1,79 @@
+//! Figure 2 in action: compare the naive pairwise baseline, the classic
+//! single-tree batch GCD, and the paper's k-subset distributed variant on
+//! the same key set, reporting wall-clock, total CPU, and peak per-node
+//! memory for each k.
+//!
+//! ```sh
+//! cargo run --release --example distributed_gcd            # 2000 keys
+//! cargo run --release --example distributed_gcd -- 5000    # more keys
+//! ```
+
+use std::time::Instant;
+use wk_batchgcd::{batch_gcd, distributed_batch_gcd, naive_pairwise_gcd, ClusterConfig};
+use wk_bigint::Natural;
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    println!("generating {count} 512-bit moduli (1% over a shared pool)...");
+    let mut flawed = ModelKeygen::new(
+        KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::OpensslStyle, pool_size: 5 },
+        512,
+        1,
+    );
+    let mut healthy = ModelKeygen::new(
+        KeygenBehavior::Healthy { shaping: PrimeShaping::OpensslStyle },
+        512,
+        2,
+    );
+    let weak = (count / 100).max(2);
+    let mut moduli: Vec<Natural> = (0..weak).map(|_| flawed.generate().public.n).collect();
+    moduli.extend((0..count - weak).map(|_| healthy.generate().public.n));
+
+    // Naive baseline (quadratic): only run when small enough to be polite.
+    if count <= 3000 {
+        let t = Instant::now();
+        let naive = naive_pairwise_gcd(&moduli);
+        println!(
+            "naive pairwise: {} gcd ops, {} vulnerable, {:?}",
+            naive.gcd_operations,
+            naive.statuses.iter().filter(|s| s.is_vulnerable()).count(),
+            t.elapsed()
+        );
+    } else {
+        println!("naive pairwise: skipped (quadratic; the paper's point exactly)");
+    }
+
+    // Classic single tree.
+    let classic = batch_gcd(&moduli, 1);
+    println!(
+        "classic batch GCD: {} vulnerable, {:?} (tree {} MiB)",
+        classic.vulnerable_count(),
+        classic.stats.total_time(),
+        classic.stats.tree_bytes / (1 << 20)
+    );
+
+    // k-subset distributed: the paper used k = 16.
+    println!("\n{:>4} {:>12} {:>12} {:>14} {:>16}", "k", "wall", "total CPU", "critical path", "peak node MiB");
+    for k in [1usize, 2, 4, 8, 16] {
+        let result = distributed_batch_gcd(&moduli, ClusterConfig::sequential(k));
+        assert_eq!(result.vulnerable_count(), classic.vulnerable_count());
+        println!(
+            "{:>4} {:>12?} {:>12?} {:>14?} {:>16}",
+            k,
+            result.report.wall_time,
+            result.report.total_cpu_time(),
+            result.report.critical_path(),
+            result.report.peak_node_bytes() / (1 << 20),
+        );
+    }
+    println!(
+        "\nshape check: total CPU grows with k (quadratic subset pairing), while the \
+         critical path — the wall-clock on a real k-node cluster — shrinks, and peak \
+         per-node memory drops. That is the trade the paper reports as 86 min wall / \
+         1089 CPU-hours at k=16 versus 500 min on one machine."
+    );
+}

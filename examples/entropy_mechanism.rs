@@ -1,0 +1,63 @@
+//! The root cause, mechanistically (§2.4): boot two simulated devices with
+//! identical firmware into the boot-time entropy hole, run real OpenSSL-
+//! style key generation on top, and watch the shared-prime keys fall out —
+//! then show that the getrandom(2) fix prevents it.
+//!
+//! ```sh
+//! cargo run --release --example entropy_mechanism
+//! ```
+
+use rand::RngCore;
+use wk_keygen::{device_generate_keypair, KeygenTiming};
+use wk_rng::{DeviceBootProfile, GetrandomModel, SimClock, UrandomModel};
+
+fn main() {
+    let profile = DeviceBootProfile::entropy_hole("netscreen-fw-6.2");
+    let boot = 1_330_000_000; // both devices power on in the same second
+
+    println!("two devices, same firmware, same boot second, entropy hole:");
+    // Device A's first prime search finishes in 1 simulated second,
+    // device B's in 2 — the only difference between them.
+    let a = device_generate_keypair(
+        &profile,
+        KeygenTiming { boot_time: boot, first_prime_seconds: 1 },
+        1,
+        128,
+    );
+    let b = device_generate_keypair(
+        &profile,
+        KeygenTiming { boot_time: boot, first_prime_seconds: 2 },
+        2,
+        128,
+    );
+    println!("  device A modulus: {:x}", a.public.n);
+    println!("  device B modulus: {:x}", b.public.n);
+    println!("  shared first prime? {}", a.p == b.p);
+    println!("  divergent second prime? {}", a.q != b.q);
+
+    let g = a.public.n.gcd(&b.public.n);
+    println!("  gcd(N_a, N_b) = {g:x}  -> both keys factored by one gcd\n");
+    assert_eq!(g, a.p);
+
+    println!("same timing on both devices repeats the ENTIRE key:");
+    let t = KeygenTiming { boot_time: boot, first_prime_seconds: 1 };
+    let c = device_generate_keypair(&profile, t, 3, 128);
+    let d = device_generate_keypair(&profile, t, 4, 128);
+    println!("  identical moduli? {}\n", c.public.n == d.public.n);
+
+    println!("the 2014 getrandom(2) fix — reads block until 128 bits credited:");
+    let u = UrandomModel::boot(&profile, SimClock::at(boot), 5, 0);
+    let mut g1 = GetrandomModel::new(u);
+    match g1.try_next_u64() {
+        Err(e) => println!("  before seeding: {e}"),
+        Ok(_) => unreachable!(),
+    }
+    g1.add_entropy(&0x1234_5678_9abc_def0u64.to_le_bytes(), 128);
+    println!("  after 128 bits of interrupt entropy: read ok = {}\n", g1.try_next_u64().is_ok());
+
+    println!("a healthy boot profile (serial + hardware entropy) never collides:");
+    let healthy = DeviceBootProfile::healthy("fixed-fw-7.0");
+    let mut ha = UrandomModel::boot(&healthy, SimClock::at(boot), 1, 111);
+    let mut hb = UrandomModel::boot(&healthy, SimClock::at(boot), 2, 222);
+    println!("  first outputs differ? {}", ha.next_u64() != hb.next_u64());
+}

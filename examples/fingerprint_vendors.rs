@@ -1,0 +1,74 @@
+//! Fingerprinting walkthrough (§3.3): run a small study, then show each
+//! identification mechanism at work — subject rules, shared-prime
+//! extrapolation, the IBM nine-prime clique, the OpenSSL prime fingerprint
+//! (Table 5), and MITM key-substitution detection.
+//!
+//! ```sh
+//! cargo run --release --example fingerprint_vendors
+//! ```
+
+use std::collections::BTreeMap;
+use wk_analysis::{openssl_table, report::render_table5};
+use wk_fingerprint::detect_cliques;
+use weakkeys::{run_pipeline, BatchMode, StudyConfig};
+use wk_scan::VendorId;
+
+fn main() {
+    let results = run_pipeline(&StudyConfig::test_small(), BatchMode::default());
+
+    // 1. Subject-rule + extrapolation coverage.
+    let mut per_vendor: BTreeMap<VendorId, usize> = BTreeMap::new();
+    for vendor in results.labeling.cert_vendor.values() {
+        *per_vendor.entry(*vendor).or_default() += 1;
+    }
+    println!("== certificates labeled per vendor ==");
+    for (vendor, count) in &per_vendor {
+        println!("{:<16} {count}", vendor.name());
+    }
+    println!(
+        "({} certificates labeled only via shared primes — IP-octet Fritz!Boxes etc.)\n",
+        results.labeling.extrapolated_certs
+    );
+
+    // 2. Cross-vendor prime overlaps (Xerox/Dell, IBM/Siemens).
+    println!("== cross-vendor shared-prime overlaps ==");
+    if results.labeling.overlaps.is_empty() {
+        println!("none detected at this scale");
+    }
+    for overlap in &results.labeling.overlaps {
+        let names: Vec<&str> = overlap.vendors.iter().map(|v| v.name()).collect();
+        println!(
+            "prime {}... shared by: {}",
+            &overlap.prime.to_hex()[..12.min(overlap.prime.to_hex().len())],
+            names.join(" / ")
+        );
+    }
+    println!();
+
+    // 3. Nine-prime clique detection — finds IBM without reading a single
+    //    certificate subject.
+    println!("== prime cliques (fixed-pool generators) ==");
+    let cliques = detect_cliques(&results.factored, 5);
+    for clique in &cliques {
+        println!(
+            "clique: {} primes covering {} moduli (IBM RSA-II signature)",
+            clique.primes.len(),
+            clique.moduli.len()
+        );
+    }
+    println!();
+
+    // 4. Table 5: the OpenSSL prime-shape fingerprint.
+    println!("== Table 5: OpenSSL fingerprint per vendor ==");
+    let table = openssl_table(&results.labeling, &results.factored);
+    println!("{}", render_table5(&table));
+
+    // 5. MITM key substitution.
+    println!("== MITM key-substitution suspects (Internet Rimon) ==");
+    for suspect in &results.mitm_suspects {
+        println!(
+            "modulus {:?}: {} IPs, {} distinct subjects",
+            suspect.modulus, suspect.ip_count, suspect.subject_count
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! The paper's §2.1 threat model, end to end: a passive attacker who
+//! recorded TLS-RSA sessions to a vulnerable device factors the device's
+//! key years later with batch GCD and decrypts the recorded traffic.
+//!
+//! The handshake here is a faithful miniature of TLS-RSA key exchange:
+//! client encrypts a premaster secret under the server's certificate key;
+//! both sides derive the session key from (premaster, client_random,
+//! server_random); the record layer is a keystream cipher. No padding /
+//! MAC / real cipher — the point is the key-recovery data flow.
+//!
+//! ```sh
+//! cargo run --release --example passive_decrypt
+//! ```
+
+use rand::{RngCore, SeedableRng};
+use wk_batchgcd::batch_gcd;
+use wk_bigint::Natural;
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping, RsaPrivateKey};
+
+/// A recorded TLS-RSA session, as a passive observer sees it.
+struct RecordedSession {
+    server_modulus: Natural,
+    client_random: u64,
+    server_random: u64,
+    encrypted_premaster: Natural,
+    ciphertext: Vec<u8>,
+}
+
+/// Toy KDF: mix premaster and nonces into a keystream seed.
+fn derive_seed(premaster: &Natural, client_random: u64, server_random: u64) -> u64 {
+    let mut seed = 0x6a09_e667_f3bc_c908u64;
+    for &limb in premaster.limbs() {
+        seed = seed.rotate_left(17) ^ limb.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    seed ^ client_random.rotate_left(32) ^ server_random
+}
+
+/// Keystream record layer.
+fn keystream_xor(seed: u64, data: &[u8]) -> Vec<u8> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    data.iter().map(|&b| b ^ (rng.next_u32() as u8)).collect()
+}
+
+fn main() {
+    // 2012: a rack of firewalls with the entropy-hole flaw serves HTTPS.
+    let mut flawed = ModelKeygen::new(
+        KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::OpensslStyle, pool_size: 2 },
+        512,
+        2012,
+    );
+    let device_keys: Vec<RsaPrivateKey> = (0..6).map(|_| flawed.generate()).collect();
+
+    // An admin logs in over TLS-RSA; a passive attacker records everything.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let server = &device_keys[0];
+    let premaster = Natural::random_bits(&mut rng, 384);
+    let client_random = rng.next_u64();
+    let server_random = rng.next_u64();
+    let plaintext = b"admin:hunter2 GET /config/vpn-psk";
+    let seed = derive_seed(&premaster, client_random, server_random);
+    let session = RecordedSession {
+        server_modulus: server.public.n.clone(),
+        client_random,
+        server_random,
+        encrypted_premaster: server.public.encrypt_raw(&premaster),
+        ciphertext: keystream_xor(seed, plaintext),
+    };
+    println!(
+        "recorded session to {}...: {} ciphertext bytes, premaster under RSA",
+        &session.server_modulus.to_hex()[..16],
+        session.ciphertext.len()
+    );
+
+    // 2016: the attacker harvests public keys from scan data and runs
+    // batch GCD. The recorded server's key falls.
+    let moduli: Vec<Natural> = device_keys.iter().map(|k| k.public.n.clone()).collect();
+    let result = batch_gcd(&moduli, 1);
+    let idx = moduli
+        .iter()
+        .position(|m| *m == session.server_modulus)
+        .unwrap();
+    let (p, _) = result.statuses[idx]
+        .factors()
+        .expect("server key shares a prime with its rack-mates");
+    println!("batch GCD factored the server key (shared prime, {} bits)", p.bit_len());
+
+    // Rebuild the private key, decrypt the premaster, re-derive the
+    // session key, read the traffic.
+    let recovered = RsaPrivateKey::from_factor(&session.server_modulus, p).unwrap();
+    let premaster2 = recovered.decrypt_raw(&session.encrypted_premaster);
+    assert_eq!(premaster2, premaster);
+    let seed2 = derive_seed(&premaster2, session.client_random, session.server_random);
+    let decrypted = keystream_xor(seed2, &session.ciphertext);
+    assert_eq!(decrypted, plaintext);
+    println!(
+        "decrypted recorded session: {:?}",
+        String::from_utf8_lossy(&decrypted)
+    );
+    println!(
+        "\n(the paper: 74% of vulnerable hosts in 04/2016 negotiate only RSA key \
+         exchange, so exactly this attack applies to them)"
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the weak-key attack in thirty lines.
+//!
+//! Generates a small device population with the boot-time entropy-hole
+//! flaw, factors the vulnerable keys with batch GCD, and decrypts a message
+//! with a recovered private key.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use wk_batchgcd::batch_gcd;
+use wk_bigint::Natural;
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping, RsaPrivateKey};
+
+fn main() {
+    // Ten devices whose firmware shares a 3-prime entropy-starved pool,
+    // five healthy devices.
+    let mut flawed = ModelKeygen::new(
+        KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::OpensslStyle, pool_size: 3 },
+        512,
+        42,
+    );
+    let mut healthy_rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut moduli: Vec<Natural> = (0..10).map(|_| flawed.generate().public.n).collect();
+    moduli.extend(
+        (0..5).map(|_| {
+            RsaPrivateKey::generate(&mut healthy_rng, 512, PrimeShaping::OpensslStyle).public.n
+        }),
+    );
+
+    println!("batch-GCD over {} RSA moduli (512-bit)...", moduli.len());
+    let result = batch_gcd(&moduli, 1);
+    println!(
+        "factored {} of {} keys in {:?}",
+        result.vulnerable_count(),
+        moduli.len(),
+        result.stats.total_time()
+    );
+
+    // Break one key end to end.
+    let idx = result.vulnerable_indices()[0];
+    let (p, _) = result.statuses[idx].factors().expect("factored");
+    let private = RsaPrivateKey::from_factor(&moduli[idx], p).expect("rebuild private key");
+    let secret = Natural::from(0xdeadbeefu64);
+    let ciphertext = private.public.encrypt_raw(&secret);
+    let recovered = private.decrypt_raw(&ciphertext);
+    assert_eq!(recovered, secret);
+    println!(
+        "key #{idx}: recovered prime p ({} bits), decrypted ciphertext -> {:x}",
+        p.bit_len(),
+        recovered
+    );
+    println!("healthy keys untouched: {}", moduli.len() - result.vulnerable_count());
+}

@@ -1,0 +1,80 @@
+//! Integration test for the §5.1 counterfactual experiment: rerun the study
+//! with every vendor shipping fixed key generation in new devices from
+//! 2013-01 and compare vulnerable trajectories against the baseline.
+
+use wk_analysis::aggregate_series;
+use wk_cert::MonthDate;
+use weakkeys::{run_pipeline, BatchMode, StudyConfig};
+use wk_scan::UniversalFix;
+
+fn small_config() -> StudyConfig {
+    let mut cfg = StudyConfig::test_small();
+    cfg.scale = 0.25;
+    cfg.background_hosts = 150;
+    cfg.ssh_hosts = 40;
+    cfg.mail_hosts = 20;
+    cfg
+}
+
+#[test]
+fn universal_fix_collapses_post_2012_vulnerable_growth() {
+    let baseline_cfg = small_config();
+    let mut fixed_cfg = baseline_cfg.clone();
+    fixed_cfg.universal_fix = Some(UniversalFix::kernel_patch_2012());
+
+    let baseline = run_pipeline(&baseline_cfg, BatchMode::default());
+    let fixed = run_pipeline(&fixed_cfg, BatchMode::default());
+
+    let base = aggregate_series(&baseline.dataset, baseline.vulnerable_set());
+    let cf = aggregate_series(&fixed.dataset, fixed.vulnerable_set());
+
+    // Identical scan schedule.
+    assert_eq!(base.points.len(), cf.points.len());
+
+    // Before the fix month the worlds are statistically the same
+    // population targets (same curves, same scale).
+    let pre = MonthDate::new(2012, 6);
+    let base_pre = base.at(pre).unwrap().vulnerable as f64;
+    let cf_pre = cf.at(pre).unwrap().vulnerable as f64;
+    assert!(
+        (base_pre - cf_pre).abs() <= base_pre.max(10.0) * 0.5,
+        "pre-fix populations comparable: {base_pre} vs {cf_pre}"
+    );
+
+    // By study end the counterfactual world has far fewer vulnerable hosts:
+    // the baseline's 2016 population is dominated by post-2012 deployments
+    // (newly vulnerable products + continued vulnerable production).
+    let end = MonthDate::new(2016, 4);
+    let base_end = base.at(end).unwrap().vulnerable as f64;
+    let cf_end = cf.at(end).unwrap().vulnerable as f64;
+    assert!(
+        cf_end < base_end * 0.55,
+        "universal fix must collapse the 2016 vulnerable population: \
+         baseline {base_end}, counterfactual {cf_end}"
+    );
+
+    // And the counterfactual population only decays after the fix month.
+    let cf_2013 = cf.at(MonthDate::new(2013, 6)).unwrap().vulnerable;
+    let cf_2015 = cf.at(MonthDate::new(2015, 7)).unwrap().vulnerable;
+    assert!(
+        cf_2015 <= cf_2013,
+        "counterfactual vulnerable stock must be non-increasing: {cf_2013} -> {cf_2015}"
+    );
+}
+
+#[test]
+fn newly_vulnerable_vendors_never_appear_under_the_fix() {
+    let mut cfg = small_config();
+    cfg.universal_fix = Some(UniversalFix::kernel_patch_2012());
+    let fixed = run_pipeline(&cfg, BatchMode::default());
+    // Huawei's flaw was introduced in 2015 — under the counterfactual no
+    // Huawei device ever generates a weak key.
+    let huawei_weak = fixed
+        .dataset
+        .truth
+        .moduli
+        .values()
+        .filter(|t| t.weak && t.vendor == Some(wk_scan::VendorId::Huawei))
+        .count();
+    assert_eq!(huawei_weak, 0, "no weak Huawei keys in the fixed world");
+}

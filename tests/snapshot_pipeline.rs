@@ -1,0 +1,53 @@
+//! Snapshot round-trip through the full pipeline: a dataset saved and
+//! reloaded must produce byte-identical analysis results — the property
+//! that makes snapshots usable as a data release.
+
+use std::collections::BTreeSet;
+use wk_analysis::{aggregate_series, dataset_totals};
+use weakkeys::{analyze_dataset, BatchMode, StudyConfig};
+use wk_scan::{run_study, snapshot};
+
+#[test]
+fn reloaded_snapshot_analyzes_identically() {
+    let mut cfg = StudyConfig::test_small();
+    cfg.scale = 0.06;
+    cfg.background_hosts = 50;
+    cfg.ssh_hosts = 20;
+    cfg.mail_hosts = 10;
+    let original = run_study(&cfg);
+    let text = snapshot::save(&original);
+    let reloaded = snapshot::load(&text).expect("snapshot parses");
+
+    let a = analyze_dataset(original, BatchMode::Classic { threads: 1 });
+    let b = analyze_dataset(reloaded, BatchMode::Classic { threads: 1 });
+
+    // Identical vulnerable sets.
+    let va: BTreeSet<_> = a.vulnerable.iter().map(|m| m.0).collect();
+    let vb: BTreeSet<_> = b.vulnerable.iter().map(|m| m.0).collect();
+    assert_eq!(va, vb);
+
+    // Identical Table 1 and Figure 1.
+    assert_eq!(
+        dataset_totals(&a.dataset, &a.vulnerable),
+        dataset_totals(&b.dataset, &b.vulnerable)
+    );
+    let sa = aggregate_series(&a.dataset, &a.vulnerable);
+    let sb = aggregate_series(&b.dataset, &b.vulnerable);
+    assert_eq!(sa.points, sb.points);
+
+    // Identical labeling coverage.
+    assert_eq!(a.labeling.cert_vendor.len(), b.labeling.cert_vendor.len());
+    assert_eq!(a.mitm_suspects.len(), b.mitm_suspects.len());
+}
+
+#[test]
+fn snapshot_is_deterministic_text() {
+    let mut cfg = StudyConfig::test_small();
+    cfg.scale = 0.05;
+    cfg.background_hosts = 30;
+    cfg.ssh_hosts = 10;
+    cfg.mail_hosts = 5;
+    let a = snapshot::save(&run_study(&cfg));
+    let b = snapshot::save(&run_study(&cfg));
+    assert_eq!(a, b, "same config must snapshot to identical text");
+}
