@@ -249,11 +249,7 @@ mod tests {
 
     #[test]
     fn eol_growth_after_not_decline() {
-        let s = series(&[
-            (2014, 1, 100, 0),
-            (2014, 3, 90, 0),
-            (2014, 5, 120, 0),
-        ]);
+        let s = series(&[(2014, 1, 100, 0), (2014, 3, 90, 0), (2014, 5, 120, 0)]);
         let impact = eol_impact(&s, MonthDate::new(2014, 3));
         assert!(!impact.marks_decline());
     }

@@ -64,9 +64,7 @@ mod tests {
     use super::*;
     use wk_bigint::Natural;
     use wk_cert::SubjectStyle;
-    use wk_scan::{
-        CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan, ScanSource,
-    };
+    use wk_scan::{CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan, ScanSource};
 
     fn dataset() -> (StudyDataset, HashSet<ModulusId>) {
         let mut moduli = ModulusStore::default();
@@ -105,7 +103,12 @@ mod tests {
             ],
         }];
         (
-            StudyDataset { scans, certs, moduli, truth: GroundTruth::default() },
+            StudyDataset {
+                scans,
+                certs,
+                moduli,
+                truth: GroundTruth::default(),
+            },
             [weak].into_iter().collect(),
         )
     }

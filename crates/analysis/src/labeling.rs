@@ -158,8 +158,16 @@ mod tests {
             truth: GroundTruth::default(),
         };
         let factored = vec![
-            FactoredModulus { id: m1, p: Natural::from(3u64), q: Natural::from(11u64) },
-            FactoredModulus { id: m2, p: Natural::from(3u64), q: Natural::from(13u64) },
+            FactoredModulus {
+                id: m1,
+                p: Natural::from(3u64),
+                q: Natural::from(11u64),
+            },
+            FactoredModulus {
+                id: m2,
+                p: Natural::from(3u64),
+                q: Natural::from(13u64),
+            },
         ];
         let _ = c1;
         (dataset, factored)

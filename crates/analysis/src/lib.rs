@@ -24,8 +24,7 @@ pub mod timeseries;
 pub mod transitions;
 
 pub use events::{
-    eol_impact, heartbleed_impact, source_artifacts, EolImpact, HeartbleedImpact,
-    SourceArtifact,
+    eol_impact, heartbleed_impact, source_artifacts, EolImpact, HeartbleedImpact, SourceArtifact,
 };
 pub use exposure::{passive_exposure, ExposureReport};
 pub use labeling::{label_dataset, Labeling};

@@ -16,14 +16,23 @@ pub fn render_table1(t: &DatasetTotals) -> String {
         let _ = writeln!(s, "{k:<38} {v:>14}");
     };
     row("HTTPS host records", t.https_host_records.to_string());
-    row("Distinct HTTPS certificates", t.distinct_https_certificates.to_string());
+    row(
+        "Distinct HTTPS certificates",
+        t.distinct_https_certificates.to_string(),
+    );
     row("Distinct HTTPS moduli", t.distinct_https_moduli.to_string());
-    row("Total distinct RSA moduli", t.total_distinct_moduli.to_string());
-    row("Vulnerable RSA moduli", format!(
-        "{} ({:.2}%)",
-        t.vulnerable_moduli,
-        100.0 * t.vulnerable_fraction()
-    ));
+    row(
+        "Total distinct RSA moduli",
+        t.total_distinct_moduli.to_string(),
+    );
+    row(
+        "Vulnerable RSA moduli",
+        format!(
+            "{} ({:.2}%)",
+            t.vulnerable_moduli,
+            100.0 * t.vulnerable_fraction()
+        ),
+    );
     row(
         "Vulnerable HTTPS host records",
         t.vulnerable_https_host_records.to_string(),
@@ -198,7 +207,12 @@ mod tests {
             vulnerable_https_certificates: 4,
         };
         let out = render_table1(&t);
-        for needle in ["HTTPS host records", "100", "Vulnerable RSA moduli", "5.00%"] {
+        for needle in [
+            "HTTPS host records",
+            "100",
+            "Vulnerable RSA moduli",
+            "5.00%",
+        ] {
             assert!(out.contains(needle), "missing {needle}: {out}");
         }
     }
@@ -261,7 +275,10 @@ mod tests {
 
     #[test]
     fn sparkline_empty_series() {
-        let s = Series { name: "empty".into(), points: vec![] };
+        let s = Series {
+            name: "empty".into(),
+            points: vec![],
+        };
         let out = render_sparkline(&s);
         assert!(out.contains("empty"));
     }

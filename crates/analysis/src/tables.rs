@@ -41,10 +41,7 @@ impl DatasetTotals {
 }
 
 /// Build Table 1.
-pub fn dataset_totals(
-    dataset: &StudyDataset,
-    vulnerable: &HashSet<ModulusId>,
-) -> DatasetTotals {
+pub fn dataset_totals(dataset: &StudyDataset, vulnerable: &HashSet<ModulusId>) -> DatasetTotals {
     let mut https_certs = HashSet::new();
     let mut https_moduli = HashSet::new();
     let mut https_records = 0usize;
@@ -135,10 +132,7 @@ pub struct ProtocolRow {
 }
 
 /// Build Table 4: the latest snapshot per protocol.
-pub fn protocol_table(
-    dataset: &StudyDataset,
-    vulnerable: &HashSet<ModulusId>,
-) -> Vec<ProtocolRow> {
+pub fn protocol_table(dataset: &StudyDataset, vulnerable: &HashSet<ModulusId>) -> Vec<ProtocolRow> {
     Protocol::all()
         .iter()
         .filter_map(|&protocol| {
@@ -197,10 +191,16 @@ mod tests {
         let clean = moduli.intern(&clean_n);
         let ssh = moduli.intern(&ssh_n);
         let wc = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
-            1, 1, weak_n, MonthDate::new(2010, 7),
+            1,
+            1,
+            weak_n,
+            MonthDate::new(2010, 7),
         ));
         let cc = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
-            2, 2, clean_n, MonthDate::new(2010, 7),
+            2,
+            2,
+            clean_n,
+            MonthDate::new(2010, 7),
         ));
         let scans = vec![
             Scan {
@@ -208,25 +208,50 @@ mod tests {
                 source: ScanSource::Eff,
                 protocol: Protocol::Https,
                 records: vec![
-                    HostRecord { ip: 1, certs: vec![wc], modulus: weak, rsa_kex_only: false },
-                    HostRecord { ip: 2, certs: vec![cc], modulus: clean, rsa_kex_only: false },
+                    HostRecord {
+                        ip: 1,
+                        certs: vec![wc],
+                        modulus: weak,
+                        rsa_kex_only: false,
+                    },
+                    HostRecord {
+                        ip: 2,
+                        certs: vec![cc],
+                        modulus: clean,
+                        rsa_kex_only: false,
+                    },
                 ],
             },
             Scan {
                 date: MonthDate::new(2016, 4),
                 source: ScanSource::Censys,
                 protocol: Protocol::Https,
-                records: vec![HostRecord { ip: 2, certs: vec![cc], modulus: clean, rsa_kex_only: false }],
+                records: vec![HostRecord {
+                    ip: 2,
+                    certs: vec![cc],
+                    modulus: clean,
+                    rsa_kex_only: false,
+                }],
             },
             Scan {
                 date: MonthDate::new(2015, 10),
                 source: ScanSource::Censys,
                 protocol: Protocol::Ssh,
-                records: vec![HostRecord { ip: 9, certs: vec![], modulus: ssh, rsa_kex_only: false }],
+                records: vec![HostRecord {
+                    ip: 9,
+                    certs: vec![],
+                    modulus: ssh,
+                    rsa_kex_only: false,
+                }],
             },
         ];
         (
-            StudyDataset { scans, certs, moduli, truth: GroundTruth::default() },
+            StudyDataset {
+                scans,
+                certs,
+                moduli,
+                truth: GroundTruth::default(),
+            },
             [weak].into_iter().collect(),
         )
     }

@@ -8,7 +8,7 @@
 use crate::labeling::Labeling;
 use std::collections::HashSet;
 use wk_cert::{select_leaf, MonthDate};
-use wk_scan::{CertId, ModulusId, ScanSource, StudyDataset, VendorId};
+use wk_scan::{CertId, ModulusId, ScanSource, StudyDataset, VendorId, HEARTBLEED};
 
 /// One point of a hosts-over-time series.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,25 +45,45 @@ impl Series {
 
     /// Largest month-over-month drop in the vulnerable count, returned as
     /// `(from_date, to_date, drop)`.
+    ///
+    /// Tie-breaking is deterministic (`max_by_key` would return whichever
+    /// maximal window came last): among equal maximal drops, a window
+    /// straddling the Heartbleed month wins — the event study asks "did the
+    /// largest drop land on Heartbleed", and when an equally large drop
+    /// exists elsewhere the answer is still yes — otherwise the earliest
+    /// window is returned.
     pub fn largest_vulnerable_drop(&self) -> Option<(MonthDate, MonthDate, i64)> {
-        self.points
-            .windows(2)
-            .map(|w| {
-                (
-                    w[0].date,
-                    w[1].date,
-                    w[0].vulnerable as i64 - w[1].vulnerable as i64,
-                )
-            })
-            .max_by_key(|&(_, _, drop)| drop)
+        Self::largest_drop(self.points.windows(2).map(|w| {
+            (
+                w[0].date,
+                w[1].date,
+                w[0].vulnerable as i64 - w[1].vulnerable as i64,
+            )
+        }))
     }
 
-    /// Largest month-over-month drop in the total count.
+    /// Largest month-over-month drop in the total count. Ties resolve as in
+    /// [`Series::largest_vulnerable_drop`]: Heartbleed-straddling window
+    /// first, then earliest.
     pub fn largest_total_drop(&self) -> Option<(MonthDate, MonthDate, i64)> {
-        self.points
-            .windows(2)
-            .map(|w| (w[0].date, w[1].date, w[0].total as i64 - w[1].total as i64))
-            .max_by_key(|&(_, _, drop)| drop)
+        Self::largest_drop(
+            self.points
+                .windows(2)
+                .map(|w| (w[0].date, w[1].date, w[0].total as i64 - w[1].total as i64)),
+        )
+    }
+
+    fn largest_drop(
+        windows: impl Iterator<Item = (MonthDate, MonthDate, i64)>,
+    ) -> Option<(MonthDate, MonthDate, i64)> {
+        let windows: Vec<_> = windows.collect();
+        let max = windows.iter().map(|&(_, _, drop)| drop).max()?;
+        windows
+            .iter()
+            .copied()
+            .filter(|&(_, _, drop)| drop == max)
+            .find(|&(from, to, _)| from <= HEARTBLEED && to >= HEARTBLEED)
+            .or_else(|| windows.into_iter().find(|&(_, _, drop)| drop == max))
     }
 }
 
@@ -84,10 +104,7 @@ pub fn record_leaf(dataset: &StudyDataset, certs: &[CertId]) -> Option<CertId> {
 }
 
 /// Figure 1: all HTTPS hosts and all vulnerable hosts per scan.
-pub fn aggregate_series(
-    dataset: &StudyDataset,
-    vulnerable: &HashSet<ModulusId>,
-) -> Series {
+pub fn aggregate_series(dataset: &StudyDataset, vulnerable: &HashSet<ModulusId>) -> Series {
     let points = dataset
         .https_scans()
         .map(|scan| {
@@ -97,10 +114,18 @@ pub fn aggregate_series(
                 .iter()
                 .filter(|r| vulnerable.contains(&r.modulus))
                 .count();
-            SeriesPoint { date: scan.date, source: scan.source, total, vulnerable: vuln }
+            SeriesPoint {
+                date: scan.date,
+                source: scan.source,
+                total,
+                vulnerable: vuln,
+            }
         })
         .collect();
-    Series { name: "all HTTPS hosts".into(), points }
+    Series {
+        name: "all HTTPS hosts".into(),
+        points,
+    }
 }
 
 /// Figures 3-10: hosts per scan restricted to one vendor's fingerprint.
@@ -127,10 +152,18 @@ pub fn vendor_series(
                     vuln += 1;
                 }
             }
-            SeriesPoint { date: scan.date, source: scan.source, total, vulnerable: vuln }
+            SeriesPoint {
+                date: scan.date,
+                source: scan.source,
+                total,
+                vulnerable: vuln,
+            }
         })
         .collect();
-    Series { name: vendor.name().into(), points }
+    Series {
+        name: vendor.name().into(),
+        points,
+    }
 }
 
 /// Restrict to one vendor *model* (Cisco's per-model Figure 7 series).
@@ -163,10 +196,18 @@ pub fn model_series(
                     vuln += 1;
                 }
             }
-            SeriesPoint { date: scan.date, source: scan.source, total, vulnerable: vuln }
+            SeriesPoint {
+                date: scan.date,
+                source: scan.source,
+                total,
+                vulnerable: vuln,
+            }
         })
         .collect();
-    Series { name: format!("{} {}", vendor.name(), model), points }
+    Series {
+        name: format!("{} {}", vendor.name(), model),
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -174,9 +215,7 @@ mod tests {
     use super::*;
     use wk_bigint::Natural;
     use wk_cert::SubjectStyle;
-    use wk_scan::{
-        CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan,
-    };
+    use wk_scan::{CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan};
 
     /// Two-scan synthetic dataset: one Juniper host goes from a vulnerable
     /// modulus to a clean one.
@@ -187,27 +226,48 @@ mod tests {
         let clean_n = Natural::from(323u64);
         let weak = moduli.intern(&weak_n);
         let clean = moduli.intern(&clean_n);
-        let weak_cert = certs.intern(
-            SubjectStyle::JuniperSystemGenerated.certificate(1, 1, weak_n, MonthDate::new(2012, 6)),
-        );
-        let clean_cert = certs.intern(
-            SubjectStyle::JuniperSystemGenerated.certificate(2, 1, clean_n, MonthDate::new(2013, 6)),
-        );
+        let weak_cert = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            1,
+            1,
+            weak_n,
+            MonthDate::new(2012, 6),
+        ));
+        let clean_cert = certs.intern(SubjectStyle::JuniperSystemGenerated.certificate(
+            2,
+            1,
+            clean_n,
+            MonthDate::new(2013, 6),
+        ));
         let scans = vec![
             Scan {
                 date: MonthDate::new(2012, 6),
                 source: ScanSource::Ecosystem,
                 protocol: Protocol::Https,
                 records: vec![
-                    HostRecord { ip: 1, certs: vec![weak_cert], modulus: weak, rsa_kex_only: false },
-                    HostRecord { ip: 2, certs: vec![clean_cert], modulus: clean, rsa_kex_only: false },
+                    HostRecord {
+                        ip: 1,
+                        certs: vec![weak_cert],
+                        modulus: weak,
+                        rsa_kex_only: false,
+                    },
+                    HostRecord {
+                        ip: 2,
+                        certs: vec![clean_cert],
+                        modulus: clean,
+                        rsa_kex_only: false,
+                    },
                 ],
             },
             Scan {
                 date: MonthDate::new(2013, 6),
                 source: ScanSource::Ecosystem,
                 protocol: Protocol::Https,
-                records: vec![HostRecord { ip: 1, certs: vec![clean_cert], modulus: clean, rsa_kex_only: false }],
+                records: vec![HostRecord {
+                    ip: 1,
+                    certs: vec![clean_cert],
+                    modulus: clean,
+                    rsa_kex_only: false,
+                }],
             },
         ];
         let dataset = StudyDataset {
@@ -251,6 +311,75 @@ mod tests {
         assert_eq!(from, MonthDate::new(2012, 6));
         assert_eq!(to, MonthDate::new(2013, 6));
         assert_eq!(drop, 1);
+    }
+
+    fn flat_series(points: &[(u16, u8, usize, usize)]) -> Series {
+        Series {
+            name: "tie".into(),
+            points: points
+                .iter()
+                .map(|&(y, m, total, vulnerable)| SeriesPoint {
+                    date: MonthDate::new(y, m),
+                    source: ScanSource::Rapid7,
+                    total,
+                    vulnerable,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tied_drops_prefer_heartbleed_window() {
+        // Two equal drops of 50; the later one straddles 2014-04. The old
+        // `max_by_key` happened to pick the last maximal window — the rule
+        // is now explicit and holds regardless of ordering.
+        let s = flat_series(&[
+            (2012, 1, 500, 100),
+            (2012, 2, 450, 50),
+            (2014, 3, 450, 100),
+            (2014, 5, 400, 50),
+        ]);
+        let (from, to, drop) = s.largest_vulnerable_drop().unwrap();
+        assert_eq!(drop, 50);
+        assert_eq!(
+            (from, to),
+            (MonthDate::new(2014, 3), MonthDate::new(2014, 5))
+        );
+
+        // Mirror image: the straddling window comes first, an equal drop
+        // later. max_by_key would have picked the later one.
+        let s = flat_series(&[
+            (2014, 3, 450, 100),
+            (2014, 5, 400, 50),
+            (2015, 1, 400, 100),
+            (2015, 2, 350, 50),
+        ]);
+        let (from, to, _) = s.largest_vulnerable_drop().unwrap();
+        assert_eq!(
+            (from, to),
+            (MonthDate::new(2014, 3), MonthDate::new(2014, 5))
+        );
+        let (from, to, _) = s.largest_total_drop().unwrap();
+        assert_eq!(
+            (from, to),
+            (MonthDate::new(2014, 3), MonthDate::new(2014, 5))
+        );
+    }
+
+    #[test]
+    fn tied_drops_away_from_heartbleed_prefer_earliest() {
+        let s = flat_series(&[
+            (2012, 1, 500, 100),
+            (2012, 2, 450, 50),
+            (2015, 1, 450, 100),
+            (2015, 2, 400, 50),
+        ]);
+        let (from, to, drop) = s.largest_vulnerable_drop().unwrap();
+        assert_eq!(drop, 50);
+        assert_eq!(
+            (from, to),
+            (MonthDate::new(2012, 1), MonthDate::new(2012, 2))
+        );
     }
 
     #[test]

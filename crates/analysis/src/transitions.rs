@@ -154,9 +154,7 @@ mod tests {
     use super::*;
     use wk_bigint::Natural;
     use wk_cert::{MonthDate, SubjectStyle};
-    use wk_scan::{
-        CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan, ScanSource,
-    };
+    use wk_scan::{CertStore, GroundTruth, HostRecord, ModulusStore, Protocol, Scan, ScanSource};
 
     /// Build a dataset with scripted per-IP status sequences.
     fn scripted(sequences: &[&[bool]]) -> (StudyDataset, HashSet<ModulusId>) {
@@ -199,7 +197,12 @@ mod tests {
                 records,
             });
         }
-        let dataset = StudyDataset { scans, certs, moduli, truth: GroundTruth::default() };
+        let dataset = StudyDataset {
+            scans,
+            certs,
+            moduli,
+            truth: GroundTruth::default(),
+        };
         (dataset, [weak].into_iter().collect())
     }
 
@@ -221,8 +224,8 @@ mod tests {
     #[test]
     fn single_transitions_classified() {
         let r = report(&[
-            &[true, true, false],  // vuln -> clean
-            &[false, true, true],  // clean -> vuln
+            &[true, true, false], // vuln -> clean
+            &[false, true, true], // clean -> vuln
         ]);
         assert_eq!(r.vuln_to_clean, 1);
         assert_eq!(r.clean_to_vuln, 1);
@@ -249,22 +252,38 @@ mod tests {
         let style = SubjectStyle::JuniperSystemGenerated;
         let weak_cert = certs.intern(style.certificate(1, 1, weak_n, MonthDate::new(2011, 1)));
         // Same subject, new key: a rekey.
-        let rekey_cert = certs.intern(style.certificate(2, 1, clean_n.clone(), MonthDate::new(2011, 2)));
+        let rekey_cert =
+            certs.intern(style.certificate(2, 1, clean_n.clone(), MonthDate::new(2011, 2)));
         let scans = vec![
             Scan {
                 date: MonthDate::new(2011, 1),
                 source: ScanSource::Ecosystem,
                 protocol: Protocol::Https,
-                records: vec![HostRecord { ip: 1, certs: vec![weak_cert], modulus: weak, rsa_kex_only: false }],
+                records: vec![HostRecord {
+                    ip: 1,
+                    certs: vec![weak_cert],
+                    modulus: weak,
+                    rsa_kex_only: false,
+                }],
             },
             Scan {
                 date: MonthDate::new(2011, 2),
                 source: ScanSource::Ecosystem,
                 protocol: Protocol::Https,
-                records: vec![HostRecord { ip: 1, certs: vec![rekey_cert], modulus: clean, rsa_kex_only: false }],
+                records: vec![HostRecord {
+                    ip: 1,
+                    certs: vec![rekey_cert],
+                    modulus: clean,
+                    rsa_kex_only: false,
+                }],
             },
         ];
-        let ds = StudyDataset { scans, certs, moduli, truth: GroundTruth::default() };
+        let ds = StudyDataset {
+            scans,
+            certs,
+            moduli,
+            truth: GroundTruth::default(),
+        };
         let labeling = crate::labeling::label_dataset(&ds, &[]);
         let vuln: HashSet<ModulusId> = [weak].into_iter().collect();
         let r = rekey_vs_churn(&ds, &labeling, &vuln, VendorId::Juniper);

@@ -5,6 +5,7 @@
 //! study ran on a 16-core machine; the paper's contribution is the k-subset
 //! variant in [`crate::distributed`], benchmarked against this baseline.
 
+use crate::pool::{PhaseExec, WorkerPool};
 use crate::resolve::{resolve, KeyStatus};
 use crate::tree::ProductTree;
 use std::time::{Duration, Instant};
@@ -23,12 +24,26 @@ pub struct BatchStats {
     pub tree_bytes: usize,
     /// Number of input moduli.
     pub input_count: usize,
+    /// Executor metrics for the product-tree phase.
+    pub product_tree_exec: PhaseExec,
+    /// Executor metrics for the remainder-tree phase.
+    pub remainder_tree_exec: PhaseExec,
+    /// Executor metrics for the division + gcd phase.
+    pub gcd_exec: PhaseExec,
 }
 
 impl BatchStats {
     /// Total wall-clock time across phases.
     pub fn total_time(&self) -> Duration {
         self.product_tree_time + self.remainder_tree_time + self.gcd_time
+    }
+
+    /// Executor metrics summed over all three phases.
+    pub fn total_exec(&self) -> PhaseExec {
+        let mut total = self.product_tree_exec.clone();
+        total.merge(&self.remainder_tree_exec);
+        total.merge(&self.gcd_exec);
+        total
     }
 }
 
@@ -67,31 +82,36 @@ impl BatchGcdResult {
 /// duplicates are tolerated but reported as
 /// [`KeyStatus::SharedUnresolved`].
 pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
+    // One work-stealing pool serves every phase of the run; per-phase
+    // domains separate the executor accounting.
+    let pool = WorkerPool::new(threads);
+    let build_domain = pool.domain();
+    let remainder_domain = pool.domain();
+    let gcd_domain = pool.domain();
+
     let t0 = Instant::now();
-    let tree = ProductTree::build(moduli, threads);
+    let tree = ProductTree::build(moduli, pool.exec_in(&build_domain));
     let product_tree_time = t0.elapsed();
     let tree_bytes = tree.total_bytes();
 
     let t1 = Instant::now();
-    let remainders = tree.remainder_tree(tree.root(), threads);
+    let remainders = tree.remainder_tree(tree.root(), pool.exec_in(&remainder_domain));
     let remainder_tree_time = t1.elapsed();
 
     let t2 = Instant::now();
-    let raw_divisors: Vec<Option<Natural>> = crate::parallel::parallel_map(
-        moduli.iter().zip(remainders.into_iter()).collect(),
-        threads,
-        |(n, z)| {
-            // z = P mod N^2; N | P, so z/N = (P/N) mod N exactly.
-            let (zn, r) = z.div_rem(n);
-            debug_assert!(r.is_zero(), "N must divide P mod N^2");
-            let g = n.gcd(&zn);
-            if g.is_one() {
-                None
-            } else {
-                Some(g)
-            }
-        },
-    );
+    let raw_divisors: Vec<Option<Natural>> =
+        pool.exec_in(&gcd_domain)
+            .map(moduli.iter().zip(remainders).collect(), |(n, z)| {
+                // z = P mod N^2; N | P, so z/N = (P/N) mod N exactly.
+                let (zn, r) = z.div_rem(n);
+                debug_assert!(r.is_zero(), "N must divide P mod N^2");
+                let g = n.gcd(&zn);
+                if g.is_one() {
+                    None
+                } else {
+                    Some(g)
+                }
+            });
     let gcd_time = t2.elapsed();
 
     let statuses = resolve(moduli, &raw_divisors);
@@ -104,6 +124,9 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
             gcd_time,
             tree_bytes,
             input_count: moduli.len(),
+            product_tree_exec: build_domain.phase(),
+            remainder_tree_exec: remainder_domain.phase(),
+            gcd_exec: gcd_domain.phase(),
         },
     }
 }
@@ -125,11 +148,17 @@ mod tests {
         assert_eq!(res.vulnerable_count(), 2);
         assert_eq!(
             res.statuses[0],
-            KeyStatus::Factored { p: nat(3), q: nat(11) }
+            KeyStatus::Factored {
+                p: nat(3),
+                q: nat(11)
+            }
         );
         assert_eq!(
             res.statuses[1],
-            KeyStatus::Factored { p: nat(3), q: nat(13) }
+            KeyStatus::Factored {
+                p: nat(3),
+                q: nat(13)
+            }
         );
         assert_eq!(res.statuses[2], KeyStatus::NotVulnerable);
         assert_eq!(res.vulnerable_indices(), vec![0, 1]);
@@ -167,11 +196,25 @@ mod tests {
         let res = batch_gcd(&moduli, 1);
         assert_eq!(res.stats.input_count, 4);
         assert!(res.stats.tree_bytes > 0);
+        // Executor accounting: 4 leaves pair into 2 then 1 (3 build tasks),
+        // the descent reduces 2 + 4 nodes below the root, 4 gcd tasks.
+        assert_eq!(res.stats.product_tree_exec.tasks(), 3);
+        assert_eq!(res.stats.remainder_tree_exec.tasks(), 6);
+        assert_eq!(res.stats.gcd_exec.tasks(), 4);
+        assert_eq!(res.stats.total_exec().tasks(), 13);
     }
 
     #[test]
     fn parallel_matches_sequential() {
-        let moduli = vec![nat(33), nat(39), nat(323), nat(15), nat(35), nat(21), nat(437)];
+        let moduli = vec![
+            nat(33),
+            nat(39),
+            nat(323),
+            nat(15),
+            nat(35),
+            nat(21),
+            nat(437),
+        ];
         let seq = batch_gcd(&moduli, 1);
         let par = batch_gcd(&moduli, 4);
         assert_eq!(seq.statuses, par.statuses);

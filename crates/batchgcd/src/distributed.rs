@@ -19,7 +19,7 @@
 //! residues (`P_j mod N_i`) and takes `gcd(N_i, P_j mod N_i)`, which is the
 //! correct pair-coverage quantity.
 
-use crate::parallel::parallel_tasks;
+use crate::pool::{ExecDomain, PhaseExec, WorkerPool};
 use crate::resolve::{resolve, KeyStatus};
 use crate::tree::ProductTree;
 use std::time::{Duration, Instant};
@@ -46,6 +46,13 @@ impl ClusterConfig {
             threads_per_node: 1,
         }
     }
+
+    /// Execution slots of the shared pool: enough for `node_threads` node
+    /// tasks each fanning out `threads_per_node` ways. Both levels draw
+    /// from this one pool instead of spawning their own threads.
+    pub fn total_threads(&self) -> usize {
+        self.node_threads.max(1) * self.threads_per_node.max(1)
+    }
 }
 
 /// Per-node accounting, mirroring what the paper reports per machine.
@@ -65,6 +72,10 @@ pub struct NodeReport {
     pub tree_bytes: usize,
     /// Bytes of the largest foreign subset product held during descent.
     pub largest_foreign_product_bytes: usize,
+    /// Executor metrics for the pool tasks this node's work submitted
+    /// (tree-level multiplies and remainder reductions; slots are shared
+    /// with the other nodes).
+    pub exec: PhaseExec,
 }
 
 impl NodeReport {
@@ -83,6 +94,10 @@ pub struct ClusterReport {
     pub wall_time: Duration,
     /// Number of subsets (k).
     pub k: usize,
+    /// Executor metrics for phase 1 (all nodes' product-tree builds).
+    pub build_exec: PhaseExec,
+    /// Executor metrics for phase 2 (all descents + gcd sweeps).
+    pub descent_exec: PhaseExec,
 }
 
 impl ClusterReport {
@@ -98,6 +113,13 @@ impl ClusterReport {
             .map(NodeReport::busy_time)
             .max()
             .unwrap_or_default()
+    }
+
+    /// Executor metrics summed over both phases.
+    pub fn total_exec(&self) -> PhaseExec {
+        let mut total = self.build_exec.clone();
+        total.merge(&self.descent_exec);
+        total
     }
 
     /// Peak per-node memory (own tree + largest foreign product).
@@ -139,6 +161,14 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
     let k = config.subsets.min(moduli.len());
     let wall_start = Instant::now();
 
+    // One work-stealing pool for the whole cluster run: node tasks and the
+    // tree work inside them share the same execution slots, so a node that
+    // finishes early steals tree-level tasks from its neighbours instead of
+    // idling. Per-node domains keep the accounting separate.
+    let pool = WorkerPool::new(config.total_threads());
+    let build_domains: Vec<ExecDomain> = (0..k).map(|_| pool.domain()).collect();
+    let descent_domains: Vec<ExecDomain> = (0..k).map(|_| pool.domain()).collect();
+
     // Partition into k contiguous subsets of near-equal size.
     let base = moduli.len() / k;
     let extra = moduli.len() % k;
@@ -151,19 +181,21 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
     }
 
     // Phase 1: each node builds its own product tree.
-    let tpn = config.threads_per_node;
     let tree_tasks: Vec<_> = ranges
         .iter()
-        .map(|r| {
+        .enumerate()
+        .map(|(i, r)| {
             let subset = &moduli[r.clone()];
+            let pool = &pool;
+            let domain = &build_domains[i];
             move || {
                 let t0 = Instant::now();
-                let tree = ProductTree::build(subset, tpn);
+                let tree = ProductTree::build(subset, pool.exec_in(domain));
                 (tree, t0.elapsed())
             }
         })
         .collect();
-    let trees: Vec<(ProductTree, Duration)> = parallel_tasks(tree_tasks, config.node_threads);
+    let trees: Vec<(ProductTree, Duration)> = pool.exec().run_tasks(tree_tasks);
 
     // Broadcast: collect the k subset products.
     let products: Vec<Natural> = trees.iter().map(|(t, _)| t.root().clone()).collect();
@@ -177,6 +209,9 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
             let products = &products;
             let subset = &moduli[ranges[i].clone()];
             let build_time = *build_time;
+            let pool = &pool;
+            let build_domain = &build_domains[i];
+            let descent_domain = &descent_domains[i];
             move || {
                 let mut divisors: Vec<Option<Natural>> = vec![None; subset.len()];
                 let mut remainder_time = Duration::ZERO;
@@ -184,14 +219,14 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
                 for (j, product) in products.iter().enumerate() {
                     let t0 = Instant::now();
                     let rems = if i == j {
-                        tree.remainder_tree(product, tpn)
+                        tree.remainder_tree(product, pool.exec_in(descent_domain))
                     } else {
-                        tree.remainder_tree_plain(product, tpn)
+                        tree.remainder_tree_plain(product, pool.exec_in(descent_domain))
                     };
                     remainder_time += t0.elapsed();
 
                     let t1 = Instant::now();
-                    for (idx, (leaf, z)) in subset.iter().zip(rems.into_iter()).enumerate() {
+                    for (idx, (leaf, z)) in subset.iter().zip(rems).enumerate() {
                         let candidate = if i == j {
                             // Own subset: exact z/N as in the classic pass.
                             let (zn, r) = z.div_rem(leaf);
@@ -206,6 +241,8 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
                     }
                     gcd_time += t1.elapsed();
                 }
+                let mut exec = build_domain.phase();
+                exec.merge(&descent_domain.phase());
                 let report = NodeReport {
                     node_id: i,
                     subset_size: subset.len(),
@@ -214,13 +251,13 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
                     gcd_time,
                     tree_bytes: tree.total_bytes(),
                     largest_foreign_product_bytes: foreign_max_bytes,
+                    exec,
                 };
                 (divisors, report)
             }
         })
         .collect();
-    let node_outputs: Vec<(Vec<Option<Natural>>, NodeReport)> =
-        parallel_tasks(node_tasks, config.node_threads);
+    let node_outputs: Vec<(Vec<Option<Natural>>, NodeReport)> = pool.exec().run_tasks(node_tasks);
 
     // Stitch the per-node divisor vectors back into input order.
     let mut raw_divisors: Vec<Option<Natural>> = Vec::with_capacity(moduli.len());
@@ -228,6 +265,15 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
     for (divs, report) in node_outputs {
         raw_divisors.extend(divs);
         reports.push(report);
+    }
+
+    let mut build_exec = PhaseExec::default();
+    let mut descent_exec = PhaseExec::default();
+    for domain in &build_domains {
+        build_exec.merge(&domain.phase());
+    }
+    for domain in &descent_domains {
+        descent_exec.merge(&domain.phase());
     }
 
     let statuses = resolve(moduli, &raw_divisors);
@@ -238,6 +284,8 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
             nodes: reports,
             wall_time: wall_start.elapsed(),
             k,
+            build_exec,
+            descent_exec,
         },
     }
 }
@@ -312,6 +360,12 @@ mod tests {
         assert_eq!(sizes, moduli.len());
         assert!(dist.report.total_cpu_time() >= dist.report.critical_path());
         assert!(dist.report.peak_node_bytes() > 0);
+        // Executor accounting: every node contributed tasks in both phases,
+        // and the cluster totals are the per-node sums.
+        let node_tasks: u64 = dist.report.nodes.iter().map(|n| n.exec.tasks()).sum();
+        assert_eq!(dist.report.total_exec().tasks(), node_tasks);
+        assert!(dist.report.build_exec.tasks() > 0);
+        assert!(dist.report.descent_exec.tasks() > 0);
     }
 
     #[test]
@@ -329,7 +383,13 @@ mod tests {
         let moduli = mixed_moduli();
         let classic = batch_gcd(&moduli, 1);
         let dist = distributed_batch_gcd(&moduli, ClusterConfig::sequential(3));
-        let max_node_tree = dist.report.nodes.iter().map(|n| n.tree_bytes).max().unwrap();
+        let max_node_tree = dist
+            .report
+            .nodes
+            .iter()
+            .map(|n| n.tree_bytes)
+            .max()
+            .unwrap();
         assert!(max_node_tree < classic.stats.tree_bytes);
     }
 }

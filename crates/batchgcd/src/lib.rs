@@ -4,15 +4,27 @@
 //! moduli, find every modulus sharing a prime factor with another — in
 //! quasilinear time via Bernstein-style product/remainder trees.
 //!
-//! * [`tree`] — product and remainder trees with per-level threading;
+//! * [`pool`] — the work-stealing executor every algorithm runs on: one
+//!   [`pool::WorkerPool`] per run, per-worker deques with LIFO owner pops
+//!   and FIFO stealing, so uneven bigint sizes no longer serialize on the
+//!   slowest statically-assigned chunk. [`pool::ExecDomain`]s tag submitted
+//!   work, and [`pool::PhaseExec`] snapshots per-phase task counts, steal
+//!   counts, and per-worker busy time (surfaced through
+//!   [`classic::BatchStats`] and [`distributed::ClusterReport`]);
+//! * [`tree`] — product and remainder trees with per-level parallelism on
+//!   the pool;
 //! * [`classic`] — the single-tree algorithm of [21];
 //! * [`distributed`] — the paper's k-subset variant (Figure 2): more total
 //!   work, no single-huge-integer bottleneck, cluster-parallelizable, with
-//!   per-node accounting matching what the paper reports;
+//!   per-node accounting matching what the paper reports. Simulated node
+//!   parallelism and within-node threading draw from one shared pool sized
+//!   `node_threads * threads_per_node`;
 //! * [`naive`] — the `O(n^2)` pairwise baseline the feasibility argument is
 //!   made against;
 //! * [`resolve`] — turning raw divisors into factorizations, including the
-//!   full-gcd clique case (IBM nine-prime) via a pairwise sweep.
+//!   full-gcd clique case (IBM nine-prime) via a pairwise sweep;
+//! * [`spill`] — the paper's original disk-backed mode: tree levels spill
+//!   to scratch files (removed on drop) so peak memory stays at two levels.
 //!
 //! All three algorithms produce identical raw divisors and statuses for the
 //! same input — a cross-checked invariant in the test suites.
@@ -27,12 +39,14 @@
 //! assert_eq!(result.vulnerable_count(), 2);
 //! let (p, q) = result.statuses[0].factors().unwrap();
 //! assert_eq!((p, q), (&Natural::from(3u64), &Natural::from(11u64)));
+//! // Executor accounting rides along with the result.
+//! assert!(result.stats.total_exec().tasks() > 0);
 //! ```
 
 pub mod classic;
 pub mod distributed;
 pub mod naive;
-pub mod parallel;
+pub mod pool;
 pub mod resolve;
 pub mod spill;
 pub mod tree;
@@ -42,6 +56,7 @@ pub use distributed::{
     distributed_batch_gcd, ClusterConfig, ClusterReport, DistributedResult, NodeReport,
 };
 pub use naive::{naive_pairwise_gcd, NaiveResult};
+pub use pool::{Exec, ExecDomain, PhaseExec, WorkerPool};
 pub use resolve::{resolve, KeyStatus};
 pub use spill::{scratch_dir, SpilledProductTree};
 pub use tree::ProductTree;

@@ -92,6 +92,6 @@ mod tests {
     fn empty_and_single() {
         assert_eq!(naive_pairwise_gcd(&[]).gcd_operations, 0);
         let one = naive_pairwise_gcd(&[nat(35)]);
-        assert_eq!(one.statuses[0].is_vulnerable(), false);
+        assert!(!one.statuses[0].is_vulnerable());
     }
 }

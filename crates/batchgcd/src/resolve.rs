@@ -107,7 +107,10 @@ mod tests {
         let statuses = resolve(&[nat(15)], &[Some(nat(3))]);
         assert_eq!(
             statuses[0],
-            KeyStatus::Factored { p: nat(3), q: nat(5) }
+            KeyStatus::Factored {
+                p: nat(3),
+                q: nat(5)
+            }
         );
     }
 
@@ -123,9 +126,27 @@ mod tests {
         let moduli = vec![nat(15), nat(35), nat(21)];
         let raw = vec![Some(nat(15)), Some(nat(35)), Some(nat(21))];
         let statuses = resolve(&moduli, &raw);
-        assert_eq!(statuses[0], KeyStatus::Factored { p: nat(3), q: nat(5) });
-        assert_eq!(statuses[1], KeyStatus::Factored { p: nat(5), q: nat(7) });
-        assert_eq!(statuses[2], KeyStatus::Factored { p: nat(3), q: nat(7) });
+        assert_eq!(
+            statuses[0],
+            KeyStatus::Factored {
+                p: nat(3),
+                q: nat(5)
+            }
+        );
+        assert_eq!(
+            statuses[1],
+            KeyStatus::Factored {
+                p: nat(5),
+                q: nat(7)
+            }
+        );
+        assert_eq!(
+            statuses[2],
+            KeyStatus::Factored {
+                p: nat(3),
+                q: nat(7)
+            }
+        );
     }
 
     #[test]
@@ -142,7 +163,10 @@ mod tests {
 
     #[test]
     fn factors_accessor() {
-        let s = KeyStatus::Factored { p: nat(3), q: nat(5) };
+        let s = KeyStatus::Factored {
+            p: nat(3),
+            q: nat(5),
+        };
         let (p, q) = s.factors().unwrap();
         assert_eq!((p, q), (&nat(3), &nat(5)));
     }

@@ -9,8 +9,11 @@
 //! the cost of re-reading levels during the remainder descent. The
 //! `ablation_disk_spill` bench quantifies the trade the paper reports
 //! against [`crate::tree::ProductTree`].
+//!
+//! Scratch files are removed when the tree is dropped (best-effort), or
+//! eagerly and error-checked via [`SpilledProductTree::cleanup`].
 
-
+use crate::pool::Exec;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -23,6 +26,8 @@ pub struct SpilledProductTree {
     level_sizes: Vec<usize>,
     /// Total bytes written across all level files.
     bytes_written: u64,
+    /// Set by [`SpilledProductTree::cleanup`] so `Drop` doesn't re-delete.
+    cleaned: bool,
 }
 
 /// Write one level of naturals to `path` (u64 limb-count + limbs, LE).
@@ -43,33 +48,38 @@ fn write_level(path: &Path, nodes: &[Natural]) -> io::Result<u64> {
     Ok(bytes)
 }
 
-/// Read an entire level back.
+/// Read an entire level back: one bulk read per node, not one per limb.
 fn read_level(path: &Path, count: usize) -> io::Result<Vec<Natural>> {
     let file = File::open(path)?;
     let mut r = BufReader::new(file);
     let mut out = Vec::with_capacity(count);
-    let mut buf8 = [0u8; 8];
+    let mut header = [0u8; 8];
+    let mut payload = Vec::new();
     for _ in 0..count {
-        r.read_exact(&mut buf8)?;
-        let len = u64::from_le_bytes(buf8) as usize;
-        let mut limbs = Vec::with_capacity(len);
-        for _ in 0..len {
-            r.read_exact(&mut buf8)?;
-            limbs.push(u64::from_le_bytes(buf8));
-        }
+        r.read_exact(&mut header)?;
+        let len = u64::from_le_bytes(header) as usize;
+        payload.resize(len * 8, 0);
+        r.read_exact(&mut payload)?;
+        let limbs: Vec<u64> = payload
+            .chunks_exact(8)
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().unwrap()))
+            .collect();
         out.push(Natural::from_limbs(limbs));
     }
     Ok(out)
 }
 
 impl SpilledProductTree {
-    /// Build the tree under `dir` (created if absent), spilling each level.
-    /// Peak memory is two adjacent levels.
+    /// Build the tree under `dir` (created if absent), spilling each level;
+    /// pair multiplies within a level run on `exec`'s pool. Peak memory is
+    /// two adjacent levels.
     ///
     /// # Errors
     /// Propagates filesystem errors; panics (like [`ProductTree::build`])
     /// on empty input or zero moduli.
-    pub fn build(moduli: &[Natural], dir: &Path) -> io::Result<SpilledProductTree> {
+    ///
+    /// [`ProductTree::build`]: crate::tree::ProductTree::build
+    pub fn build(moduli: &[Natural], dir: &Path, exec: Exec<'_>) -> io::Result<SpilledProductTree> {
         assert!(!moduli.is_empty(), "product tree over empty input");
         assert!(
             moduli.iter().all(|m| !m.is_zero()),
@@ -86,21 +96,21 @@ impl SpilledProductTree {
             if current.len() == 1 {
                 break;
             }
-            let next: Vec<Natural> = current
+            let pairs: Vec<(Natural, Option<Natural>)> = current
                 .chunks(2)
-                .map(|c| match c {
-                    [a, b] => a * b,
-                    [a] => a.clone(),
-                    _ => unreachable!(),
-                })
+                .map(|c| (c[0].clone(), c.get(1).cloned()))
                 .collect();
-            current = next;
+            current = exec.map(pairs, |(a, b)| match b {
+                Some(b) => &a * &b,
+                None => a,
+            });
             level_idx += 1;
         }
         Ok(SpilledProductTree {
             dir: dir.to_path_buf(),
             level_sizes,
             bytes_written,
+            cleaned: false,
         })
     }
 
@@ -123,8 +133,11 @@ impl SpilledProductTree {
     }
 
     /// Remainder-tree descent (`value mod leaf^2`), re-reading each level
-    /// from disk. Matches [`ProductTree::remainder_tree`] exactly.
-    pub fn remainder_tree(&self, value: &Natural) -> io::Result<Vec<Natural>> {
+    /// from disk and reducing its nodes on `exec`'s pool. Matches
+    /// [`ProductTree::remainder_tree`] exactly.
+    ///
+    /// [`ProductTree::remainder_tree`]: crate::tree::ProductTree::remainder_tree
+    pub fn remainder_tree(&self, value: &Natural, exec: Exec<'_>) -> io::Result<Vec<Natural>> {
         let top = self.level_sizes.len() - 1;
         let root = self.root()?;
         let mut current = vec![value % &root.square()];
@@ -133,21 +146,46 @@ impl SpilledProductTree {
                 &self.dir.join(format!("level{level_idx}.bin")),
                 self.level_sizes[level_idx],
             )?;
-            current = nodes
-                .iter()
+            let tasks: Vec<(Natural, Natural)> = nodes
+                .into_iter()
                 .enumerate()
-                .map(|(i, node)| &current[i / 2] % &node.square())
+                .map(|(i, node)| (current[i / 2].clone(), node))
                 .collect();
+            current = exec.map(tasks, |(parent_val, node)| &parent_val % &node.square());
         }
         Ok(current)
     }
 
-    /// Delete the spilled level files.
-    pub fn cleanup(self) -> io::Result<()> {
+    fn remove_files(&self) -> io::Result<()> {
         for i in 0..self.level_sizes.len() {
-            let _ = fs::remove_file(self.dir.join(format!("level{i}.bin")));
+            let path = self.dir.join(format!("level{i}.bin"));
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
         }
+        // The scratch dir itself may hold other callers' files; only remove
+        // it when empty.
+        let _ = fs::remove_dir(&self.dir);
         Ok(())
+    }
+
+    /// Delete the spilled level files, reporting filesystem errors. For the
+    /// fire-and-forget path, just drop the tree.
+    pub fn cleanup(mut self) -> io::Result<()> {
+        self.cleaned = true;
+        self.remove_files()
+    }
+}
+
+impl Drop for SpilledProductTree {
+    /// Best-effort scratch removal, so panics and early `?` returns don't
+    /// leak level files under the temp dir.
+    fn drop(&mut self) {
+        if !self.cleaned {
+            let _ = self.remove_files();
+        }
     }
 }
 
@@ -157,15 +195,13 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!(
-        "wk-batchgcd-{tag}-{}-{n}",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("wk-batchgcd-{tag}-{}-{n}", std::process::id()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::WorkerPool;
     use crate::tree::ProductTree;
 
     fn nat(v: u128) -> Natural {
@@ -186,13 +222,14 @@ mod tests {
 
     #[test]
     fn spilled_matches_in_ram() {
+        let pool = WorkerPool::new(1);
         let moduli = pseudo_moduli(13, 42);
         let dir = scratch_dir("match");
-        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
-        let in_ram = ProductTree::build(&moduli, 1);
+        let spilled = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
+        let in_ram = ProductTree::build(&moduli, pool.exec());
         assert_eq!(&spilled.root().unwrap(), in_ram.root());
-        let rs = spilled.remainder_tree(in_ram.root()).unwrap();
-        let rr = in_ram.remainder_tree(in_ram.root(), 1);
+        let rs = spilled.remainder_tree(in_ram.root(), pool.exec()).unwrap();
+        let rr = in_ram.remainder_tree(in_ram.root(), pool.exec());
         assert_eq!(rs, rr);
         assert_eq!(spilled.leaf_count(), 13);
         assert!(spilled.bytes_written() > 0);
@@ -200,20 +237,39 @@ mod tests {
     }
 
     #[test]
+    fn pooled_build_matches_sequential() {
+        let moduli = pseudo_moduli(21, 8);
+        let seq_pool = WorkerPool::new(1);
+        let par_pool = WorkerPool::new(4);
+        let dir_a = scratch_dir("seq");
+        let dir_b = scratch_dir("par");
+        let a = SpilledProductTree::build(&moduli, &dir_a, seq_pool.exec()).unwrap();
+        let b = SpilledProductTree::build(&moduli, &dir_b, par_pool.exec()).unwrap();
+        assert_eq!(a.root().unwrap(), b.root().unwrap());
+        let root = a.root().unwrap();
+        assert_eq!(
+            a.remainder_tree(&root, seq_pool.exec()).unwrap(),
+            b.remainder_tree(&root, par_pool.exec()).unwrap()
+        );
+    }
+
+    #[test]
     fn single_leaf() {
+        let pool = WorkerPool::new(1);
         let dir = scratch_dir("single");
-        let spilled = SpilledProductTree::build(&[nat(42)], &dir).unwrap();
+        let spilled = SpilledProductTree::build(&[nat(42)], &dir, pool.exec()).unwrap();
         assert_eq!(spilled.root().unwrap(), nat(42));
-        let r = spilled.remainder_tree(&nat(100)).unwrap();
-        assert_eq!(r, vec![nat(100 % (42 * 42))]);
+        let r = spilled.remainder_tree(&nat(100), pool.exec()).unwrap();
+        assert_eq!(r, vec![nat(100)]);
         spilled.cleanup().unwrap();
     }
 
     #[test]
     fn bytes_written_exceeds_leaf_bytes() {
+        let pool = WorkerPool::new(1);
         let moduli = pseudo_moduli(16, 7);
         let dir = scratch_dir("bytes");
-        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
+        let spilled = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
         let leaf_bytes: u64 = moduli.iter().map(|m| (m.limb_len() * 8 + 8) as u64).sum();
         assert!(spilled.bytes_written() > leaf_bytes);
         spilled.cleanup().unwrap();
@@ -221,9 +277,10 @@ mod tests {
 
     #[test]
     fn cleanup_removes_files() {
+        let pool = WorkerPool::new(1);
         let moduli = pseudo_moduli(4, 9);
         let dir = scratch_dir("cleanup");
-        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
+        let spilled = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
         let level0 = dir.join("level0.bin");
         assert!(level0.exists());
         spilled.cleanup().unwrap();
@@ -231,13 +288,47 @@ mod tests {
     }
 
     #[test]
+    fn drop_removes_files() {
+        let pool = WorkerPool::new(1);
+        let moduli = pseudo_moduli(4, 11);
+        let dir = scratch_dir("drop");
+        let spilled = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
+        let level0 = dir.join("level0.bin");
+        assert!(level0.exists());
+        drop(spilled);
+        assert!(!level0.exists(), "Drop must clear scratch files");
+        assert!(!dir.exists(), "empty scratch dir is removed too");
+    }
+
+    #[test]
+    fn drop_runs_on_early_exit() {
+        // A panicking scope (stand-in for any early `?` return) must not
+        // leak scratch files.
+        let moduli = pseudo_moduli(4, 13);
+        let dir = scratch_dir("unwind");
+        let level0 = dir.join("level0.bin");
+        let result = std::panic::catch_unwind({
+            let moduli = moduli.clone();
+            let dir = dir.clone();
+            move || {
+                let pool = WorkerPool::new(1);
+                let _spilled = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
+                panic!("mid-descent failure");
+            }
+        });
+        assert!(result.is_err());
+        assert!(!level0.exists(), "unwinding must clear scratch files");
+    }
+
+    #[test]
     fn end_to_end_gcds_from_spilled_tree() {
         // Full batch-GCD semantics through the disk path.
+        let pool = WorkerPool::new(1);
         let moduli = vec![nat(33), nat(39), nat(323)];
         let dir = scratch_dir("gcd");
-        let spilled = SpilledProductTree::build(&moduli, &dir).unwrap();
+        let spilled = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
         let root = spilled.root().unwrap();
-        let rems = spilled.remainder_tree(&root).unwrap();
+        let rems = spilled.remainder_tree(&root, pool.exec()).unwrap();
         let divisors: Vec<Natural> = moduli
             .iter()
             .zip(rems.iter())

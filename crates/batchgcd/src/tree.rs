@@ -11,7 +11,7 @@
 //! divides `P`: the useful quantity is `(P / N_i) mod N_i`, recovered as
 //! `z_i / N_i` — exact division precisely because `N_i | P`.
 
-use crate::parallel::parallel_map;
+use crate::pool::Exec;
 use wk_bigint::Natural;
 
 /// A materialized product tree. `levels[0]` is the leaf level (the inputs);
@@ -22,12 +22,12 @@ pub struct ProductTree {
 }
 
 impl ProductTree {
-    /// Build the product tree over `moduli`, using up to `threads` threads
-    /// per level.
+    /// Build the product tree over `moduli`, running each level's pair
+    /// multiplies on `exec`'s work-stealing pool.
     ///
     /// # Panics
     /// Panics if `moduli` is empty or any modulus is zero.
-    pub fn build(moduli: &[Natural], threads: usize) -> ProductTree {
+    pub fn build(moduli: &[Natural], exec: Exec<'_>) -> ProductTree {
         assert!(!moduli.is_empty(), "product tree over empty input");
         assert!(
             moduli.iter().all(|m| !m.is_zero()),
@@ -40,7 +40,7 @@ impl ProductTree {
                 .chunks(2)
                 .map(|c| (c[0].clone(), c.get(1).cloned()))
                 .collect();
-            let next = parallel_map(pairs, threads, |(a, b)| match b {
+            let next = exec.map(pairs, |(a, b)| match b {
                 Some(b) => &a * &b,
                 None => a, // odd node promoted unchanged
             });
@@ -79,7 +79,7 @@ impl ProductTree {
     /// The conventional use sets `value = self.root()` (so `N_i | value`),
     /// but any value works: the k-subset distributed variant pushes *other*
     /// subsets' products down this tree.
-    pub fn remainder_tree(&self, value: &Natural, threads: usize) -> Vec<Natural> {
+    pub fn remainder_tree(&self, value: &Natural, exec: Exec<'_>) -> Vec<Natural> {
         // Current values, one per node at the level being processed.
         let top_level = self.levels.len() - 1;
         let mut current: Vec<Natural> = {
@@ -94,9 +94,7 @@ impl ProductTree {
                 .enumerate()
                 .map(|(i, node)| (current[i / 2].clone(), node))
                 .collect();
-            current = parallel_map(tasks, threads, |(parent_val, node)| {
-                &parent_val % &node.square()
-            });
+            current = exec.map(tasks, |(parent_val, node)| &parent_val % &node.square());
         }
         current
     }
@@ -105,7 +103,7 @@ impl ProductTree {
     /// distributed variant for subsets that do **not** contain the leaf, so
     /// exact divisibility is not available and plain residues are the right
     /// quantity.
-    pub fn remainder_tree_plain(&self, value: &Natural, threads: usize) -> Vec<Natural> {
+    pub fn remainder_tree_plain(&self, value: &Natural, exec: Exec<'_>) -> Vec<Natural> {
         let top_level = self.levels.len() - 1;
         let mut current: Vec<Natural> = {
             let root = &self.levels[top_level][0];
@@ -118,7 +116,7 @@ impl ProductTree {
                 .enumerate()
                 .map(|(i, node)| (current[i / 2].clone(), node))
                 .collect();
-            current = parallel_map(tasks, threads, |(parent_val, node)| &parent_val % node);
+            current = exec.map(tasks, |(parent_val, node)| &parent_val % node);
         }
         current
     }
@@ -127,6 +125,12 @@ impl ProductTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::WorkerPool;
+
+    /// Sequential single-slot pool for the deterministic tests.
+    fn seq() -> WorkerPool {
+        WorkerPool::new(1)
+    }
 
     fn nat(v: u128) -> Natural {
         Natural::from(v)
@@ -147,7 +151,7 @@ mod tests {
     #[test]
     fn root_is_product() {
         let moduli = vec![nat(3), nat(5), nat(7), nat(11)];
-        let tree = ProductTree::build(&moduli, 1);
+        let tree = ProductTree::build(&moduli, seq().exec());
         assert_eq!(tree.root(), &nat(3 * 5 * 7 * 11));
         assert_eq!(tree.leaf_count(), 4);
     }
@@ -155,24 +159,24 @@ mod tests {
     #[test]
     fn odd_leaf_count_promotes() {
         let moduli = vec![nat(2), nat(3), nat(5)];
-        let tree = ProductTree::build(&moduli, 1);
+        let tree = ProductTree::build(&moduli, seq().exec());
         assert_eq!(tree.root(), &nat(30));
     }
 
     #[test]
     fn single_leaf() {
-        let tree = ProductTree::build(&[nat(42)], 1);
+        let tree = ProductTree::build(&[nat(42)], seq().exec());
         assert_eq!(tree.root(), &nat(42));
-        let r = tree.remainder_tree(&nat(100), 1);
-        assert_eq!(r, vec![nat(100 % (42 * 42))]);
+        let r = tree.remainder_tree(&nat(100), seq().exec());
+        assert_eq!(r, vec![nat(100)]);
     }
 
     #[test]
     fn remainder_tree_matches_direct() {
         let moduli = pseudo_moduli(13, 99);
-        let tree = ProductTree::build(&moduli, 1);
+        let tree = ProductTree::build(&moduli, seq().exec());
         let root = tree.root().clone();
-        let rems = tree.remainder_tree(&root, 1);
+        let rems = tree.remainder_tree(&root, seq().exec());
         for (m, z) in moduli.iter().zip(rems.iter()) {
             assert_eq!(z, &(&root % &m.square()));
             // Exactness: N_i divides P, so z_i is divisible by N_i.
@@ -183,9 +187,9 @@ mod tests {
     #[test]
     fn remainder_tree_plain_matches_direct() {
         let moduli = pseudo_moduli(9, 1234);
-        let tree = ProductTree::build(&moduli, 1);
+        let tree = ProductTree::build(&moduli, seq().exec());
         let external = nat(0xdead_beef_cafe_f00d_1234u128);
-        let rems = tree.remainder_tree_plain(&external, 1);
+        let rems = tree.remainder_tree_plain(&external, seq().exec());
         for (m, r) in moduli.iter().zip(rems.iter()) {
             assert_eq!(r, &(&external % m));
         }
@@ -194,31 +198,36 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let moduli = pseudo_moduli(31, 5);
-        let t1 = ProductTree::build(&moduli, 1);
-        let t4 = ProductTree::build(&moduli, 4);
+        let pool1 = seq();
+        let pool4 = WorkerPool::new(4);
+        let t1 = ProductTree::build(&moduli, pool1.exec());
+        let t4 = ProductTree::build(&moduli, pool4.exec());
         assert_eq!(t1.root(), t4.root());
-        let r1 = t1.remainder_tree(t1.root(), 1);
-        let r4 = t4.remainder_tree(t4.root(), 4);
+        let r1 = t1.remainder_tree(t1.root(), pool1.exec());
+        let r4 = t4.remainder_tree(t4.root(), pool4.exec());
         assert_eq!(r1, r4);
     }
 
     #[test]
     fn total_bytes_positive_and_superlinear_in_input() {
         let moduli = pseudo_moduli(16, 77);
-        let tree = ProductTree::build(&moduli, 1);
+        let tree = ProductTree::build(&moduli, seq().exec());
         let leaf_bytes: usize = moduli.iter().map(|m| m.limb_len() * 8).sum();
-        assert!(tree.total_bytes() > leaf_bytes, "tree stores interior nodes");
+        assert!(
+            tree.total_bytes() > leaf_bytes,
+            "tree stores interior nodes"
+        );
     }
 
     #[test]
     #[should_panic(expected = "empty input")]
     fn empty_input_panics() {
-        let _ = ProductTree::build(&[], 1);
+        let _ = ProductTree::build(&[], seq().exec());
     }
 
     #[test]
     #[should_panic(expected = "zero modulus")]
     fn zero_modulus_panics() {
-        let _ = ProductTree::build(&[nat(5), Natural::zero()], 1);
+        let _ = ProductTree::build(&[nat(5), Natural::zero()], seq().exec());
     }
 }

@@ -7,12 +7,15 @@
 //!   pairwise baseline (§3.2's feasibility argument).
 //! * `ablation_remainder_tree` — the remainder tree vs dividing the root
 //!   product by each modulus directly.
+//! * `exec_skewed_sizes` — the work-stealing case: a population whose
+//!   bigint sizes are pathologically uneven, where static chunking would
+//!   serialize on whichever chunk drew the large moduli.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wk_batchgcd::{
-    batch_gcd, distributed_batch_gcd, naive_pairwise_gcd, scratch_dir, ClusterConfig,
-    ProductTree, SpilledProductTree,
+    batch_gcd, distributed_batch_gcd, naive_pairwise_gcd, scratch_dir, ClusterConfig, ProductTree,
+    SpilledProductTree, WorkerPool,
 };
 use wk_bench::key_population;
 
@@ -20,9 +23,7 @@ fn fig2_distributed_batchgcd(c: &mut Criterion) {
     let moduli = key_population(1500, 512, 0.02, 11);
     let mut group = c.benchmark_group("fig2_distributed_batchgcd");
     group.sample_size(10);
-    group.bench_function("classic", |b| {
-        b.iter(|| batch_gcd(black_box(&moduli), 1))
-    });
+    group.bench_function("classic", |b| b.iter(|| batch_gcd(black_box(&moduli), 1)));
     for k in [2usize, 4, 8, 16] {
         group.bench_with_input(BenchmarkId::new("k_subset", k), &k, |b, &k| {
             b.iter(|| distributed_batch_gcd(black_box(&moduli), ClusterConfig::sequential(k)))
@@ -72,12 +73,13 @@ fn ablation_naive_vs_batch(c: &mut Criterion) {
 
 fn ablation_remainder_tree(c: &mut Criterion) {
     let moduli = key_population(600, 512, 0.05, 31);
-    let tree = ProductTree::build(&moduli, 1);
+    let pool = WorkerPool::new(1);
+    let tree = ProductTree::build(&moduli, pool.exec());
     let root = tree.root().clone();
     let mut group = c.benchmark_group("ablation_remainder_tree");
     group.sample_size(10);
     group.bench_function("remainder_tree", |b| {
-        b.iter(|| tree.remainder_tree(black_box(&root), 1))
+        b.iter(|| tree.remainder_tree(black_box(&root), pool.exec()))
     });
     group.bench_function("direct_division_per_leaf", |b| {
         b.iter(|| {
@@ -94,20 +96,21 @@ fn ablation_remainder_tree(c: &mut Criterion) {
 /// trees to disk (500 min); the cluster run kept them in RAM.
 fn ablation_disk_spill(c: &mut Criterion) {
     let moduli = key_population(400, 512, 0.05, 37);
+    let pool = WorkerPool::new(1);
     let mut group = c.benchmark_group("ablation_disk_spill");
     group.sample_size(10);
     group.bench_function("in_ram", |b| {
         b.iter(|| {
-            let tree = ProductTree::build(black_box(&moduli), 1);
-            tree.remainder_tree(tree.root(), 1)
+            let tree = ProductTree::build(black_box(&moduli), pool.exec());
+            tree.remainder_tree(tree.root(), pool.exec())
         })
     });
     group.bench_function("spilled_to_disk", |b| {
         b.iter(|| {
             let dir = scratch_dir("bench");
-            let tree = SpilledProductTree::build(black_box(&moduli), &dir).unwrap();
+            let tree = SpilledProductTree::build(black_box(&moduli), &dir, pool.exec()).unwrap();
             let root = tree.root().unwrap();
-            let rems = tree.remainder_tree(&root).unwrap();
+            let rems = tree.remainder_tree(&root, pool.exec()).unwrap();
             tree.cleanup().unwrap();
             rems
         })
@@ -115,10 +118,46 @@ fn ablation_disk_spill(c: &mut Criterion) {
     group.finish();
 }
 
+/// Work-stealing stress: mix 512-bit moduli with a sprinkle of much larger
+/// ones so per-task costs are wildly uneven. With static chunking, whole
+/// chunks of cheap tasks queue behind a chunk that drew the expensive
+/// moduli; the deque-stealing pool keeps every worker busy.
+fn exec_skewed_sizes(c: &mut Criterion) {
+    let mut moduli = key_population(360, 512, 0.02, 41);
+    // Every 24th modulus is 2048-bit: ~16x the multiply cost at the leaves.
+    let fat = key_population(15, 2048, 0.0, 43);
+    for (slot, big) in moduli.iter_mut().step_by(24).zip(fat) {
+        *slot = big;
+    }
+    let mut group = c.benchmark_group("exec_skewed_sizes");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_gcd_skewed", threads),
+            &threads,
+            |b, &t| b.iter(|| batch_gcd(black_box(&moduli), t)),
+        );
+    }
+    group.finish();
+
+    // Print the executor's own evidence once: with 4 workers, steals must
+    // actually occur and every worker must have executed tasks.
+    let res = batch_gcd(&moduli, 4);
+    let exec = res.stats.total_exec();
+    println!(
+        "exec_skewed_sizes: tasks={} steals={} active_workers={}/{} busy={:?}",
+        exec.tasks(),
+        exec.steals,
+        exec.active_workers(),
+        exec.workers(),
+        exec.busy_total()
+    );
+}
+
 criterion_group! {
     name = batchgcd;
     config = Criterion::default().sample_size(10);
     targets = fig2_distributed_batchgcd, ablation_naive_vs_batch, ablation_remainder_tree,
-              ablation_disk_spill
+              ablation_disk_spill, exec_skewed_sizes
 }
 criterion_main!(batchgcd);

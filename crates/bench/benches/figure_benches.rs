@@ -39,9 +39,7 @@ fn fig3_juniper(c: &mut Criterion) {
     // Shape + transition analysis timing.
     let r = shared_results();
     c.bench_function("fig3_juniper_transitions", |b| {
-        b.iter(|| {
-            vendor_transitions(&r.dataset, &r.labeling, &r.vulnerable, VendorId::Juniper)
-        })
+        b.iter(|| vendor_transitions(&r.dataset, &r.labeling, &r.vulnerable, VendorId::Juniper))
     });
     let s = vendor_series(&r.dataset, &r.labeling, &r.vulnerable, VendorId::Juniper);
     assert!(heartbleed_impact(&s).vulnerable_drop_at_heartbleed);
@@ -68,7 +66,9 @@ fn fig7_cisco_eol(c: &mut Criterion) {
                 if spec.vendor != VendorId::Cisco {
                     continue;
                 }
-                let Some(eol) = spec.eol_announced else { continue };
+                let Some(eol) = spec.eol_announced else {
+                    continue;
+                };
                 let s = model_series(
                     black_box(&r.dataset),
                     &r.vulnerable,

@@ -6,9 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wk_analysis::{
-    dataset_totals, first_last_scan_summary, openssl_table, protocol_table,
-};
+use wk_analysis::{dataset_totals, first_last_scan_summary, openssl_table, protocol_table};
 use wk_bench::shared_results;
 
 fn table1_dataset_totals(c: &mut Criterion) {

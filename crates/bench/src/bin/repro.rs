@@ -8,17 +8,17 @@
 //! cargo run --release -p wk-bench --bin repro -- --scale 0.5 --all
 //! ```
 
+use weakkeys::{render_table2, run_pipeline, BatchMode, StudyConfig, StudyResults};
 use wk_analysis::report::{
-    render_series, render_sparkline, render_table1, render_table3, render_table4,
-    render_table5, render_transitions,
+    render_series, render_sparkline, render_table1, render_table3, render_table4, render_table5,
+    render_transitions,
 };
 use wk_analysis::{
-    aggregate_series, dataset_totals, eol_impact, first_last_scan_summary,
-    heartbleed_impact, model_series, openssl_table, passive_exposure, protocol_table,
-    rekey_vs_churn, vendor_series, vendor_transitions,
+    aggregate_series, dataset_totals, eol_impact, first_last_scan_summary, heartbleed_impact,
+    model_series, openssl_table, passive_exposure, protocol_table, rekey_vs_churn, vendor_series,
+    vendor_transitions,
 };
 use wk_batchgcd::{batch_gcd, distributed_batch_gcd, ClusterConfig};
-use weakkeys::{render_table2, run_pipeline, BatchMode, StudyConfig, StudyResults};
 use wk_scan::{registry, VendorId};
 
 struct Args {
@@ -28,23 +28,36 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { tables: vec![], figures: vec![], scale: 0.4 };
+    let mut args = Args {
+        tables: vec![],
+        figures: vec![],
+        scale: 0.4,
+    };
     let mut all = true;
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--table" => {
-                let n = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(usage);
+                let n = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage);
                 args.tables.push(n);
                 all = false;
             }
             "--figure" => {
-                let n = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(usage);
+                let n = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage);
                 args.figures.push(n);
                 all = false;
             }
             "--scale" => {
-                args.scale = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(usage);
+                args.scale = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(usage);
             }
             "--all" => all = true,
             _ => usage(),
@@ -79,6 +92,14 @@ fn main() {
         results.bit_error_hits.len(),
         results.mitm_suspects.len()
     );
+    if let Some(stats) = &results.batch_stats {
+        eprintln!(
+            "batch-GCD executor: product tree {}, remainder tree {}, gcd {}",
+            fmt_exec(&stats.product_tree_exec),
+            fmt_exec(&stats.remainder_tree_exec),
+            fmt_exec(&stats.gcd_exec)
+        );
+    }
     let exposure = passive_exposure(&results.dataset, &results.vulnerable, None);
     eprintln!(
         "passive decryption exposure (paper: 74% of vulnerable hosts RSA-kex-only in 04/2016): \
@@ -96,6 +117,18 @@ fn main() {
     }
 }
 
+/// One-line summary of a phase's executor counters.
+fn fmt_exec(e: &wk_batchgcd::PhaseExec) -> String {
+    format!(
+        "{} tasks / {} steals / {:?} busy on {}/{} workers",
+        e.tasks(),
+        e.steals,
+        e.busy_total(),
+        e.active_workers(),
+        e.workers()
+    )
+}
+
 fn header(what: &str, paper: &str) {
     println!("{}", "=".repeat(72));
     println!("{what}");
@@ -111,7 +144,10 @@ fn print_table(n: u32, r: &StudyResults) {
                 "1.53B HTTPS host records; 65.3M distinct certs; 81.2M distinct moduli; \
                  313,330 vulnerable (0.37%); 2.96M vulnerable host records",
             );
-            println!("{}", render_table1(&dataset_totals(&r.dataset, &r.vulnerable)));
+            println!(
+                "{}",
+                render_table1(&dataset_totals(&r.dataset, &r.vulnerable))
+            );
         }
         2 => {
             header(
@@ -133,7 +169,10 @@ fn print_table(n: u32, r: &StudyResults) {
                 "Table 4: per-protocol vulnerable hosts",
                 "HTTPS 59,628 vulnerable; SSH 723; IMAPS/POP3S/SMTPS 0",
             );
-            println!("{}", render_table4(&protocol_table(&r.dataset, &r.vulnerable)));
+            println!(
+                "{}",
+                render_table4(&protocol_table(&r.dataset, &r.vulnerable))
+            );
         }
         5 => {
             header(
@@ -141,7 +180,10 @@ fn print_table(n: u32, r: &StudyResults) {
                 "satisfy: Cisco, HP, IBM, Innominate, Fritz!Box, Thomson, D-Link, TP-LINK...; \
                  do not: Juniper, Fortinet, Huawei, Kronos, Siemens, Xerox, ZyXEL",
             );
-            println!("{}", render_table5(&openssl_table(&r.labeling, &r.factored)));
+            println!(
+                "{}",
+                render_table5(&openssl_table(&r.labeling, &r.factored))
+            );
         }
         other => eprintln!("unknown table {other}"),
     }
@@ -187,18 +229,27 @@ fn print_figure(n: u32, r: &StudyResults) {
                 classic.vulnerable_count()
             );
             println!(
-                "{:>4} {:>14} {:>14} {:>14} {:>14}",
-                "k", "total CPU", "critical path", "peak node KiB", "vulnerable"
+                "classic executor: product tree {}; remainder tree {}; gcd {}",
+                fmt_exec(&classic.stats.product_tree_exec),
+                fmt_exec(&classic.stats.remainder_tree_exec),
+                fmt_exec(&classic.stats.gcd_exec)
+            );
+            println!(
+                "{:>4} {:>14} {:>14} {:>14} {:>14} {:>12} {:>8}",
+                "k", "total CPU", "critical path", "peak node KiB", "vulnerable", "exec tasks", "steals"
             );
             for k in [2usize, 4, 8, 16] {
                 let d = distributed_batch_gcd(moduli, ClusterConfig::sequential(k));
+                let exec = d.report.total_exec();
                 println!(
-                    "{:>4} {:>14?} {:>14?} {:>14} {:>14}",
+                    "{:>4} {:>14?} {:>14?} {:>14} {:>14} {:>12} {:>8}",
                     k,
                     d.report.total_cpu_time(),
                     d.report.critical_path(),
                     d.report.peak_node_bytes() / 1024,
-                    d.vulnerable_count()
+                    d.vulnerable_count(),
+                    exec.tasks(),
+                    exec.steals
                 );
             }
             println!();

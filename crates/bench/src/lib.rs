@@ -38,7 +38,9 @@ pub fn key_population(count: usize, bits: u64, weak_fraction: f64, seed: u64) ->
         seed,
     );
     let mut healthy = ModelKeygen::new(
-        KeygenBehavior::Healthy { shaping: PrimeShaping::OpensslStyle },
+        KeygenBehavior::Healthy {
+            shaping: PrimeShaping::OpensslStyle,
+        },
         bits,
         seed + 1,
     );
@@ -57,7 +59,7 @@ mod tests {
         assert_eq!(pop.len(), 50);
         let result = wk_batchgcd::batch_gcd(&pop, 1);
         let v = result.vulnerable_count();
-        assert!(v >= 2 && v <= 10, "vulnerable: {v}");
+        assert!((2..=10).contains(&v), "vulnerable: {v}");
     }
 
     #[test]

@@ -155,10 +155,7 @@ fn knuth_normalized(u: &mut Vec<u64>, v: &[u64]) -> (Vec<u64>, Vec<u64>) {
 
 /// Split `a` into little-endian blocks of `n` limbs each.
 fn blocks_of(a: &Natural, n: usize) -> Vec<Natural> {
-    a.limbs()
-        .chunks(n)
-        .map(Natural::from_limb_slice)
-        .collect()
+    a.limbs().chunks(n).map(Natural::from_limb_slice).collect()
 }
 
 /// Shift left by whole limbs.
@@ -325,7 +322,14 @@ mod tests {
 
     #[test]
     fn small_division_matches_u128() {
-        for a in [0u128, 1, 17, u64::MAX as u128, u128::MAX, 12345678901234567890] {
+        for a in [
+            0u128,
+            1,
+            17,
+            u64::MAX as u128,
+            u128::MAX,
+            12345678901234567890,
+        ] {
             for b in [1u128, 2, 3, 17, u64::MAX as u128, 1 << 100] {
                 let (q, r) = n(a).div_rem(&n(b));
                 assert_eq!(q, n(a / b), "q a={a} b={b}");

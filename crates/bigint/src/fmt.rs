@@ -35,11 +35,9 @@ impl Natural {
             .chars()
             .filter(|&c| c != '_')
             .map(|c| {
-                c.to_digit(16)
-                    .map(|d| d as u8)
-                    .ok_or(ParseNaturalError {
-                        kind: ParseErrorKind::InvalidDigit(c),
-                    })
+                c.to_digit(16).map(|d| d as u8).ok_or(ParseNaturalError {
+                    kind: ParseErrorKind::InvalidDigit(c),
+                })
             })
             .collect::<Result<_, _>>()?;
         if digits.is_empty() {

@@ -111,10 +111,7 @@ fn gcd_lehmer(mut a: Natural, mut b: Natural) -> Natural {
             return a;
         }
         if a.limb_len() <= 2 {
-            return Natural::from(gcd_u128(
-                a.to_u128().unwrap(),
-                b.to_u128().unwrap(),
-            ));
+            return Natural::from(gcd_u128(a.to_u128().unwrap(), b.to_u128().unwrap()));
         }
         // Take the top 64-bit window of `a` and the aligned bits of `b`.
         let k = a.bit_len();
@@ -260,8 +257,7 @@ mod tests {
     fn extended_gcd_bezout_identity() {
         for (a, b) in [(240u128, 46u128), (17, 0), (0, 9), (1, 1), (101, 103)] {
             let (g, x, y) = n(a).extended_gcd(&n(b));
-            let lhs = &(&Integer::from_natural(n(a)) * &x)
-                + &(&Integer::from_natural(n(b)) * &y);
+            let lhs = &(&Integer::from_natural(n(a)) * &x) + &(&Integer::from_natural(n(b)) * &y);
             assert_eq!(lhs, Integer::from_natural(g.clone()), "a={a} b={b}");
             if a != 0 && b != 0 {
                 assert!((&n(a) % &g).is_zero());

@@ -34,7 +34,11 @@ impl Integer {
 
     /// Wrap a natural as a nonnegative integer.
     pub fn from_natural(n: Natural) -> Self {
-        let sign = if n.is_zero() { Sign::Zero } else { Sign::Positive };
+        let sign = if n.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Positive
+        };
         Integer { sign, magnitude: n }
     }
 
@@ -179,10 +183,7 @@ impl Mul<&Integer> for &Integer {
         if self.is_zero() || rhs.is_zero() {
             return Integer::zero();
         }
-        Integer::from_sign_magnitude(
-            self.sign != rhs.sign,
-            &self.magnitude * &rhs.magnitude,
-        )
+        Integer::from_sign_magnitude(self.sign != rhs.sign, &self.magnitude * &rhs.magnitude)
     }
 }
 
@@ -200,7 +201,7 @@ impl Shr<u64> for &Integer {
     type Output = Integer;
     fn shr(self, bits: u64) -> Integer {
         debug_assert!(
-            self.magnitude.trailing_zeros().map_or(true, |t| t >= bits),
+            self.magnitude.trailing_zeros().is_none_or(|t| t >= bits),
             "inexact right shift of Integer"
         );
         Integer::from_sign_magnitude(self.is_negative(), &self.magnitude >> bits)
@@ -265,8 +266,8 @@ mod tests {
 
     #[test]
     fn exact_division_by_three() {
-        assert_eq!((&i(-9)).div_exact_limb(3), i(-3));
-        assert_eq!((&i(0)).div_exact_limb(3), i(0));
+        assert_eq!(i(-9).div_exact_limb(3), i(-3));
+        assert_eq!(i(0).div_exact_limb(3), i(0));
     }
 
     #[test]

@@ -65,8 +65,7 @@ impl MontgomeryContext {
         for i in 0..self.len {
             let m = limbs[i].wrapping_mul(self.n0_inv);
             // limbs[i..] += m * modulus; the addition zeroes limbs[i].
-            let carry =
-                crate::limb::add_mul_slice(&mut limbs[i..], self.modulus.limbs(), m);
+            let carry = crate::limb::add_mul_slice(&mut limbs[i..], self.modulus.limbs(), m);
             debug_assert_eq!(carry, 0);
             debug_assert_eq!(limbs[i], 0);
         }
@@ -83,6 +82,7 @@ impl MontgomeryContext {
     }
 
     /// Convert out of Montgomery form: `x*R -> x`.
+    #[allow(clippy::wrong_self_convention)]
     fn from_mont(&self, x: &Natural) -> Natural {
         self.redc(x)
     }

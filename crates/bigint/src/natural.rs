@@ -71,7 +71,7 @@ impl Natural {
 
     /// True iff the value is even. Zero is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// True iff the value is odd.
@@ -83,9 +83,7 @@ impl Natural {
     pub fn bit_len(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
-            }
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
         }
     }
 
@@ -274,7 +272,14 @@ mod tests {
 
     #[test]
     fn bit_len_matches_u128() {
-        for v in [1u128, 2, 3, u64::MAX as u128, u64::MAX as u128 + 1, u128::MAX] {
+        for v in [
+            1u128,
+            2,
+            3,
+            u64::MAX as u128,
+            u64::MAX as u128 + 1,
+            u128::MAX,
+        ] {
             assert_eq!(Natural::from(v).bit_len(), (128 - v.leading_zeros()) as u64);
         }
     }
@@ -329,10 +334,7 @@ mod tests {
     fn pow_small() {
         assert_eq!(Natural::from(3u64).pow(0), Natural::one());
         assert_eq!(Natural::from(3u64).pow(5), Natural::from(243u64));
-        assert_eq!(
-            Natural::from(2u64).pow(130).bit_len(),
-            131
-        );
+        assert_eq!(Natural::from(2u64).pow(130).bit_len(), 131);
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn reduce128(x: u128) -> u64 {
     let lo = x as u64; // bits 0..64
     let mid = ((x >> 64) as u64) & 0xFFFF_FFFF; // bits 64..96
     let hi = (x >> 96) as u64; // bits 96..128
-    // x ≡ lo + mid*(2^32 - 1) - hi (mod P)
+                               // x ≡ lo + mid*(2^32 - 1) - hi (mod P)
     let mid_term = (mid << 32) - mid; // mid * (2^32-1) < 2^64: fits
     let (mut r, carry) = lo.overflowing_add(mid_term);
     if carry {
@@ -187,7 +187,10 @@ pub fn mul_ntt(a: &Natural, b: &Natural) -> Natural {
     let db = to_digits(b);
     let result_len = da.len() + db.len();
     let n = result_len.next_power_of_two();
-    assert!(n as u64 <= 1 << 32, "operand too large for single-prime NTT");
+    assert!(
+        n as u64 <= 1 << 32,
+        "operand too large for single-prime NTT"
+    );
     let mut fa = da;
     fa.resize(n, 0);
     let mut fb = db;

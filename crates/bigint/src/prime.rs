@@ -20,7 +20,7 @@ pub fn first_primes(count: usize) -> Vec<u64> {
         let is_prime = primes
             .iter()
             .take_while(|&&p| p * p <= candidate)
-            .all(|&p| candidate % p != 0);
+            .all(|&p| !candidate.is_multiple_of(p));
         if is_prime {
             primes.push(candidate);
         }
@@ -48,11 +48,7 @@ impl Natural {
     ///
     /// For the 512/1024-bit simulator keys this is overwhelming evidence;
     /// the fixed witnesses alone are deterministic below 3.3e24.
-    pub fn is_probable_prime<R: RngCore + ?Sized>(
-        &self,
-        extra_rounds: u32,
-        rng: &mut R,
-    ) -> bool {
+    pub fn is_probable_prime<R: RngCore + ?Sized>(&self, extra_rounds: u32, rng: &mut R) -> bool {
         if let Some(v) = self.to_u64() {
             if v < 2 {
                 return false;

@@ -107,7 +107,11 @@ mod tests {
     fn shr_matches_u128() {
         for v in [0u128, 1, 0xdead_beef_cafe_f00d_1234_5678u128, u128::MAX] {
             for s in [0u64, 1, 13, 63, 64, 65, 127, 128, 200] {
-                assert_eq!(&n(v) >> s, n(v.checked_shr(s as u32).unwrap_or(0)), "v={v} s={s}");
+                assert_eq!(
+                    &n(v) >> s,
+                    n(v.checked_shr(s as u32).unwrap_or(0)),
+                    "v={v} s={s}"
+                );
             }
         }
     }

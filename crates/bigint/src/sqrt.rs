@@ -56,11 +56,27 @@ mod tests {
 
     #[test]
     fn isqrt_matches_u128() {
-        for v in [0u128, 1, 2, 3, 4, 8, 9, 15, 16, 17, 99, 100, u64::MAX as u128, u128::MAX] {
+        for v in [
+            0u128,
+            1,
+            2,
+            3,
+            4,
+            8,
+            9,
+            15,
+            16,
+            17,
+            99,
+            100,
+            u64::MAX as u128,
+            u128::MAX,
+        ] {
             let r = n(v).isqrt().to_u128().unwrap();
             assert!(r * r <= v, "v={v} r={r}");
             assert!(
-                r.checked_add(1).map_or(true, |r1| r1.checked_mul(r1).map_or(true, |sq| sq > v)),
+                r.checked_add(1)
+                    .is_none_or(|r1| r1.checked_mul(r1).is_none_or(|sq| sq > v)),
                 "v={v} r={r}"
             );
         }

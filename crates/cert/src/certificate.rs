@@ -219,8 +219,7 @@ mod tests {
     #[test]
     fn leaf_selection_with_intermediate() {
         let ca_dn = DistinguishedName::cn("Example Intermediate CA");
-        let mut ca =
-            Certificate::self_signed(1, ca_dn.clone(), vec![], nat(101), date());
+        let mut ca = Certificate::self_signed(1, ca_dn.clone(), vec![], nat(101), date());
         ca.is_ca = true;
         ca.issuer = DistinguishedName::cn("Example Root");
         let mut leaf =

@@ -68,10 +68,9 @@ impl SubjectStyle {
                 },
                 vec![],
             ),
-            SubjectStyle::JuniperSystemGenerated => (
-                DistinguishedName::cn("system generated"),
-                vec![],
-            ),
+            SubjectStyle::JuniperSystemGenerated => {
+                (DistinguishedName::cn("system generated"), vec![])
+            }
             SubjectStyle::McAfeeSnapGearDefaults => (
                 DistinguishedName {
                     common_name: Some("Default Common Name".into()),
@@ -168,7 +167,9 @@ mod tests {
 
     #[test]
     fn cisco_model_in_ou() {
-        let s = SubjectStyle::CiscoModelInOu { model: "RV220W".into() };
+        let s = SubjectStyle::CiscoModelInOu {
+            model: "RV220W".into(),
+        };
         let (dn, _) = s.materialize(7);
         assert_eq!(dn.organizational_unit.as_deref(), Some("RV220W"));
         assert!(dn.render().contains("OU=RV220W"));
@@ -186,14 +187,21 @@ mod tests {
     #[test]
     fn fritzbox_sans_match_paper_list() {
         let (_, sans) = SubjectStyle::FritzBoxLocalSans.materialize(0);
-        for expected in ["fritz.fonwlan.box", "fritz.box", "www.fritz.box", "myfritz.box"] {
+        for expected in [
+            "fritz.fonwlan.box",
+            "fritz.box",
+            "www.fritz.box",
+            "myfritz.box",
+        ] {
             assert!(sans.iter().any(|s| s == expected), "missing {expected}");
         }
     }
 
     #[test]
     fn ip_octets_only_renders_dotted_quad() {
-        let s = SubjectStyle::IpOctetsOnly { ip: [192, 168, 178, 1] };
+        let s = SubjectStyle::IpOctetsOnly {
+            ip: [192, 168, 178, 1],
+        };
         let (dn, _) = s.materialize(0);
         assert_eq!(dn.common_name.as_deref(), Some("192.168.178.1"));
         assert!(dn.organization.is_none(), "must not identify a vendor");
@@ -201,7 +209,9 @@ mod tests {
 
     #[test]
     fn ibm_subject_does_not_name_ibm() {
-        let s = SubjectStyle::IbmCustomerNamed { customer_org: "Example Corp".into() };
+        let s = SubjectStyle::IbmCustomerNamed {
+            customer_org: "Example Corp".into(),
+        };
         let (dn, _) = s.materialize(3);
         assert!(!dn.render().contains("IBM"));
     }
@@ -218,7 +228,9 @@ mod tests {
 
     #[test]
     fn myfritz_names_vary_per_device() {
-        let s = SubjectStyle::FritzBoxMyfritz { subdomain: "box".into() };
+        let s = SubjectStyle::FritzBoxMyfritz {
+            subdomain: "box".into(),
+        };
         let (a, _) = s.materialize(1);
         let (b, _) = s.materialize(2);
         assert_ne!(a.common_name, b.common_name);

@@ -35,7 +35,11 @@ pub const TLS_AFFECTED: usize = 28;
 /// Table 2: the 37 vendors notified about weak RSA keys in 2012.
 pub fn table2() -> Vec<NotifiedVendor> {
     use ResponseCategory::*;
-    let v = |name, response, tls| NotifiedVendor { name, response, tls };
+    let v = |name, response, tls| NotifiedVendor {
+        name,
+        response,
+        tls,
+    };
     vec![
         // Public advisories (§2.5/§4.1: five total; Intel and Tropos for
         // SSH host keys, the other three for TLS).

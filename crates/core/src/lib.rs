@@ -42,8 +42,7 @@ pub mod disclosure;
 pub mod pipeline;
 
 pub use disclosure::{
-    render_table2, table2, NotifiedVendor, RSA_NOTIFIED_2012, TLS_AFFECTED,
-    TOTAL_NOTIFIED_2012,
+    render_table2, table2, NotifiedVendor, RSA_NOTIFIED_2012, TLS_AFFECTED, TOTAL_NOTIFIED_2012,
 };
 pub use pipeline::{analyze_dataset, run_pipeline, BatchMode, StudyResults};
 pub use wk_batchgcd::ClusterConfig;

@@ -99,7 +99,11 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
                 // artifacts and are set aside (§3.3.5).
                 if divisor_kind == DivisorKind::SharedPrime {
                     vulnerable.insert(id);
-                    factored.push(FactoredModulus { id, p: p.clone(), q: q.clone() });
+                    factored.push(FactoredModulus {
+                        id,
+                        p: p.clone(),
+                        q: q.clone(),
+                    });
                 } else {
                     bit_error_hits.push(id);
                 }
@@ -180,8 +184,16 @@ mod tests {
             !results.vulnerable.is_empty(),
             "simulated study must contain factorable keys"
         );
-        assert_eq!(results.factored.len() <= results.vulnerable.len(), true);
-        assert!(results.batch_stats.is_some());
+        assert!(results.factored.len() <= results.vulnerable.len());
+        let stats = results
+            .batch_stats
+            .as_ref()
+            .expect("classic mode records stats");
+        // The work-stealing pool meters every phase, even single-threaded.
+        assert!(stats.product_tree_exec.tasks() > 0);
+        assert!(stats.remainder_tree_exec.tasks() > 0);
+        assert!(stats.gcd_exec.tasks() > 0);
+        assert!(stats.total_exec().busy_total() > std::time::Duration::ZERO);
         // Every factored modulus re-multiplies correctly.
         for f in &results.factored {
             let n = results.dataset.moduli.get(f.id);
@@ -251,8 +263,7 @@ mod tests {
     #[test]
     fn labeling_covers_major_vendors() {
         let results = run_pipeline(&tiny_config(), BatchMode::default());
-        let labeled: HashSet<VendorId> =
-            results.labeling.cert_vendor.values().copied().collect();
+        let labeled: HashSet<VendorId> = results.labeling.cert_vendor.values().copied().collect();
         for vendor in [VendorId::Juniper, VendorId::Hp, VendorId::FritzBox] {
             assert!(labeled.contains(&vendor), "missing {vendor:?}");
         }

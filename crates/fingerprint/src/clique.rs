@@ -52,7 +52,7 @@ pub fn detect_cliques(factored: &[FactoredModulus], min_moduli: usize) -> Vec<Pr
     }
 
     let mut parent: Vec<usize> = (0..primes.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -82,13 +82,15 @@ pub fn detect_cliques(factored: &[FactoredModulus], min_moduli: usize) -> Vec<Pr
     for (root, prime_idxs) in comp_primes {
         let moduli = comp_moduli.remove(&root).unwrap_or_default();
         if moduli.len() >= min_moduli && moduli.len() >= prime_idxs.len() {
-            let mut ps: Vec<Natural> =
-                prime_idxs.iter().map(|&i| primes[i].clone()).collect();
+            let mut ps: Vec<Natural> = prime_idxs.iter().map(|&i| primes[i].clone()).collect();
             ps.sort();
             let mut ms = moduli;
             ms.sort();
             ms.dedup();
-            cliques.push(PrimeClique { primes: ps, moduli: ms });
+            cliques.push(PrimeClique {
+                primes: ps,
+                moduli: ms,
+            });
         }
     }
     cliques
@@ -103,7 +105,11 @@ mod tests {
     }
 
     fn fm(id: u32, p: u64, q: u64) -> FactoredModulus {
-        FactoredModulus { id: ModulusId(id), p: nat(p), q: nat(q) }
+        FactoredModulus {
+            id: ModulusId(id),
+            p: nat(p),
+            q: nat(q),
+        }
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod prime_pool;
 pub mod rules;
 
 pub use anomaly::{
-    classify_divisor, detect_key_substitution, is_well_formed_modulus, DivisorKind,
-    KeyObservation, MitmSuspect,
+    classify_divisor, detect_key_substitution, is_well_formed_modulus, DivisorKind, KeyObservation,
+    MitmSuspect,
 };
 pub use clique::{detect_cliques, PrimeClique};
 pub use openssl::{classify_primes, OpensslClass, OpensslVerdict, MIN_PRIMES};

@@ -92,7 +92,10 @@ mod tests {
         let verdict = classify_primes(&primes);
         assert_eq!(verdict.class, OpensslClass::LikelyOpenssl);
         assert_eq!(verdict.satisfying, verdict.primes_examined);
-        assert!(!verdict.all_safe_primes, "random OpenSSL primes are not all safe");
+        assert!(
+            !verdict.all_safe_primes,
+            "random OpenSSL primes are not all safe"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ pub fn extrapolate(
             }
         }
     }
-    ExtrapolationResult { extrapolated, overlaps }
+    ExtrapolationResult {
+        extrapolated,
+        overlaps,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +106,11 @@ mod tests {
     }
 
     fn fm(id: u32, p: u64, q: u64) -> FactoredModulus {
-        FactoredModulus { id: ModulusId(id), p: nat(p), q: nat(q) }
+        FactoredModulus {
+            id: ModulusId(id),
+            p: nat(p),
+            q: nat(q),
+        }
     }
 
     #[test]
@@ -114,7 +121,10 @@ mod tests {
         let mut labels = HashMap::new();
         labels.insert(ModulusId(0), VendorId::FritzBox);
         let result = extrapolate(&factored, &labels);
-        assert_eq!(result.extrapolated.get(&ModulusId(1)), Some(&VendorId::FritzBox));
+        assert_eq!(
+            result.extrapolated.get(&ModulusId(1)),
+            Some(&VendorId::FritzBox)
+        );
         assert!(result.overlaps.is_empty());
     }
 

@@ -21,11 +21,17 @@ pub struct VendorLabel {
 
 impl VendorLabel {
     fn plain(vendor: VendorId) -> Self {
-        VendorLabel { vendor, model: None }
+        VendorLabel {
+            vendor,
+            model: None,
+        }
     }
 
     fn with_model(vendor: VendorId, model: &str) -> Self {
-        VendorLabel { vendor, model: Some(model.to_string()) }
+        VendorLabel {
+            vendor,
+            model: Some(model.to_string()),
+        }
     }
 }
 
@@ -46,8 +52,15 @@ pub fn identify_vendor(cert: &Certificate) -> Option<VendorLabel> {
     }
     // Cisco: model in the OU.
     if org.contains("Cisco") {
-        let model = if ou.is_empty() { None } else { Some(ou.to_string()) };
-        return Some(VendorLabel { vendor: VendorId::Cisco, model });
+        let model = if ou.is_empty() {
+            None
+        } else {
+            Some(ou.to_string())
+        };
+        return Some(VendorLabel {
+            vendor: VendorId::Cisco,
+            model,
+        });
     }
     // McAfee SnapGear: all-defaults subject, identified via the console page.
     if cn == "Default Common Name" && org == "Default Organization" {
@@ -82,8 +95,15 @@ pub fn identify_vendor(cert: &Certificate) -> Option<VendorLabel> {
     ];
     for (marker, vendor) in by_org {
         if org.contains(marker) {
-            let model = if ou.is_empty() { None } else { Some(ou.to_string()) };
-            return Some(VendorLabel { vendor: *vendor, model });
+            let model = if ou.is_empty() {
+                None
+            } else {
+                Some(ou.to_string())
+            };
+            return Some(VendorLabel {
+                vendor: *vendor,
+                model,
+            });
         }
     }
     // CN-marker identifications.
@@ -113,7 +133,10 @@ pub fn is_ip_octet_subject(cert: &Certificate) -> bool {
         return false;
     }
     let octets: Vec<&str> = cn.split('.').collect();
-    octets.len() == 4 && octets.iter().all(|o| o.parse::<u8>().is_ok() && !o.is_empty())
+    octets.len() == 4
+        && octets
+            .iter()
+            .all(|o| o.parse::<u8>().is_ok() && !o.is_empty())
 }
 
 #[cfg(test)]
@@ -131,13 +154,21 @@ mod tests {
         let c = cert(SubjectStyle::JuniperSystemGenerated, 1);
         assert_eq!(
             identify_vendor(&c),
-            Some(VendorLabel { vendor: VendorId::Juniper, model: None })
+            Some(VendorLabel {
+                vendor: VendorId::Juniper,
+                model: None
+            })
         );
     }
 
     #[test]
     fn cisco_rule_extracts_model() {
-        let c = cert(SubjectStyle::CiscoModelInOu { model: "RV220W".into() }, 1);
+        let c = cert(
+            SubjectStyle::CiscoModelInOu {
+                model: "RV220W".into(),
+            },
+            1,
+        );
         let label = identify_vendor(&c).unwrap();
         assert_eq!(label.vendor, VendorId::Cisco);
         assert_eq!(label.model.as_deref(), Some("RV220W"));
@@ -153,7 +184,12 @@ mod tests {
     fn fritzbox_san_and_myfritz_rules() {
         let by_san = cert(SubjectStyle::FritzBoxLocalSans, 1);
         assert_eq!(identify_vendor(&by_san).unwrap().vendor, VendorId::FritzBox);
-        let by_cn = cert(SubjectStyle::FritzBoxMyfritz { subdomain: "box".into() }, 2);
+        let by_cn = cert(
+            SubjectStyle::FritzBoxMyfritz {
+                subdomain: "box".into(),
+            },
+            2,
+        );
         assert_eq!(identify_vendor(&by_cn).unwrap().vendor, VendorId::FritzBox);
     }
 
@@ -165,7 +201,12 @@ mod tests {
             ("TP-LINK", VendorId::TpLink),
             ("Xerox", VendorId::Xerox),
         ] {
-            let c = cert(SubjectStyle::OrganizationNames { organization: org.into() }, 1);
+            let c = cert(
+                SubjectStyle::OrganizationNames {
+                    organization: org.into(),
+                },
+                1,
+            );
             assert_eq!(identify_vendor(&c).unwrap().vendor, vendor, "{org}");
         }
     }
@@ -193,16 +234,31 @@ mod tests {
 
     #[test]
     fn ibm_customer_subject_unidentified() {
-        let c = cert(SubjectStyle::IbmCustomerNamed { customer_org: "Acme Corp".into() }, 1);
+        let c = cert(
+            SubjectStyle::IbmCustomerNamed {
+                customer_org: "Acme Corp".into(),
+            },
+            1,
+        );
         assert_eq!(identify_vendor(&c), None, "IBM certs carry no IBM marker");
         assert!(!is_ip_octet_subject(&c));
     }
 
     #[test]
     fn ip_octet_subject_rejects_nonsense() {
-        let c = cert(SubjectStyle::GenericVendorCn { vendor_cn: "300.1.2.3".into() }, 1);
+        let c = cert(
+            SubjectStyle::GenericVendorCn {
+                vendor_cn: "300.1.2.3".into(),
+            },
+            1,
+        );
         assert!(!is_ip_octet_subject(&c));
-        let c2 = cert(SubjectStyle::GenericVendorCn { vendor_cn: "a.b.c.d".into() }, 1);
+        let c2 = cert(
+            SubjectStyle::GenericVendorCn {
+                vendor_cn: "a.b.c.d".into(),
+            },
+            1,
+        );
         assert!(!is_ip_octet_subject(&c2));
     }
 

@@ -5,15 +5,17 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 use wk_bigint::Natural;
 use wk_fingerprint::{
-    classify_divisor, classify_primes, detect_cliques, extrapolate, DivisorKind,
-    FactoredModulus, OpensslClass,
+    classify_divisor, classify_primes, detect_cliques, extrapolate, DivisorKind, FactoredModulus,
+    OpensslClass,
 };
 use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
 use wk_scan::{ModulusId, VendorId};
 
 fn clique_population(seed: u64, draws: usize) -> Vec<FactoredModulus> {
     let mut gen = ModelKeygen::new(
-        KeygenBehavior::NinePrime { shaping: PrimeShaping::Plain },
+        KeygenBehavior::NinePrime {
+            shaping: PrimeShaping::Plain,
+        },
         128,
         seed,
     );
@@ -94,7 +96,7 @@ proptest! {
             prop_assert!(!result.extrapolated.contains_key(id));
         }
         // Every extrapolated modulus shares a prime with a labeled one.
-        for (id, _) in &result.extrapolated {
+        for id in result.extrapolated.keys() {
             let f = factored.iter().find(|f| &f.id == id).unwrap();
             let linked = factored.iter().filter(|g| labels.contains_key(&g.id)).any(|g| {
                 f.p == g.p || f.p == g.q || f.q == g.p || f.q == g.q

@@ -133,15 +133,16 @@ impl ModelKeygen {
     /// primes are `bits/2`.
     pub fn new(behavior: KeygenBehavior, bits: u64, seed: u64) -> Self {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let pool = match &behavior {
-            KeygenBehavior::SharedPrimePool { shaping, pool_size } => Some(
-                PrimePool::generate(&mut rng, *pool_size, bits / 2, *shaping),
-            ),
-            KeygenBehavior::NinePrime { shaping } => {
-                Some(PrimePool::generate(&mut rng, 9, bits / 2, *shaping))
-            }
-            _ => None,
-        };
+        let pool =
+            match &behavior {
+                KeygenBehavior::SharedPrimePool { shaping, pool_size } => Some(
+                    PrimePool::generate(&mut rng, *pool_size, bits / 2, *shaping),
+                ),
+                KeygenBehavior::NinePrime { shaping } => {
+                    Some(PrimePool::generate(&mut rng, 9, bits / 2, *shaping))
+                }
+                _ => None,
+            };
         let repeated = match &behavior {
             KeygenBehavior::RepeatedKeys { shaping, distinct } => (0..*distinct)
                 .map(|_| RsaPrivateKey::generate(&mut rng, bits, *shaping))

@@ -73,13 +73,19 @@ mod tests {
         // second prime draws see different clock values and diverge.
         let a = device_generate_keypair(
             &hole(),
-            KeygenTiming { boot_time: 1_330_000_000, first_prime_seconds: 1 },
+            KeygenTiming {
+                boot_time: 1_330_000_000,
+                first_prime_seconds: 1,
+            },
             1,
             BITS,
         );
         let b = device_generate_keypair(
             &hole(),
-            KeygenTiming { boot_time: 1_330_000_000, first_prime_seconds: 2 },
+            KeygenTiming {
+                boot_time: 1_330_000_000,
+                first_prime_seconds: 2,
+            },
             2,
             BITS,
         );
@@ -93,7 +99,10 @@ mod tests {
 
     #[test]
     fn same_boot_same_timing_repeats_entire_key() {
-        let t = KeygenTiming { boot_time: 1_330_000_000, first_prime_seconds: 1 };
+        let t = KeygenTiming {
+            boot_time: 1_330_000_000,
+            first_prime_seconds: 1,
+        };
         let a = device_generate_keypair(&hole(), t, 1, BITS);
         let b = device_generate_keypair(&hole(), t, 2, BITS);
         assert_eq!(a.public.n, b.public.n, "identical timing repeats the key");
@@ -103,13 +112,19 @@ mod tests {
     fn different_boot_seconds_unrelated_keys() {
         let a = device_generate_keypair(
             &hole(),
-            KeygenTiming { boot_time: 1_330_000_000, first_prime_seconds: 1 },
+            KeygenTiming {
+                boot_time: 1_330_000_000,
+                first_prime_seconds: 1,
+            },
             1,
             BITS,
         );
         let b = device_generate_keypair(
             &hole(),
-            KeygenTiming { boot_time: 1_330_000_777, first_prime_seconds: 1 },
+            KeygenTiming {
+                boot_time: 1_330_000_777,
+                first_prime_seconds: 1,
+            },
             2,
             BITS,
         );
@@ -120,7 +135,10 @@ mod tests {
     #[test]
     fn healthy_profile_unrelated_even_with_same_timing() {
         let profile = DeviceBootProfile::healthy("fixed-fw-7.0");
-        let t = KeygenTiming { boot_time: 1_400_000_000, first_prime_seconds: 1 };
+        let t = KeygenTiming {
+            boot_time: 1_400_000_000,
+            first_prime_seconds: 1,
+        };
         let a = device_generate_keypair(&profile, t, 1, BITS);
         let b = device_generate_keypair(&profile, t, 2, BITS);
         assert_ne!(a.p, b.p);

@@ -39,9 +39,7 @@ pub fn openssl_check_primes() -> &'static [u64] {
 /// Moduli from OpenSSL-generated keys satisfy this for *every* prime factor;
 /// a random prime satisfies it with probability ≈ Π(1 - 1/(q-1)) ≈ 7.5%.
 pub fn satisfies_openssl_shape(p: &Natural) -> bool {
-    openssl_check_primes()
-        .iter()
-        .all(|&q| p.rem_limb(q) != 1)
+    openssl_check_primes().iter().all(|&q| p.rem_limb(q) != 1)
 }
 
 /// Generate a prime of exactly `bits` bits with the given shaping, drawing
@@ -143,11 +141,12 @@ mod tests {
         // ≈7.5% acceptance: 40 plain primes should include several failures.
         let mut r = rng();
         let satisfied = (0..40)
-            .filter(|_| {
-                satisfies_openssl_shape(&generate_prime(&mut r, 64, PrimeShaping::Plain))
-            })
+            .filter(|_| satisfies_openssl_shape(&generate_prime(&mut r, 64, PrimeShaping::Plain)))
             .count();
-        assert!(satisfied < 20, "plain primes look OpenSSL-shaped: {satisfied}/40");
+        assert!(
+            satisfied < 20,
+            "plain primes look OpenSSL-shaped: {satisfied}/40"
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl UniversalFix {
                 let decayed = stock_at_fix * (1.0 - self.monthly_retirement).powf(elapsed);
                 vulnerable.min(decayed)
             };
-            anchors.push(Anchor { month, total, vulnerable: capped.min(total) });
+            anchors.push(Anchor {
+                month,
+                total,
+                vulnerable: capped.min(total),
+            });
         }
         Curve::new(anchors)
     }
@@ -79,7 +83,11 @@ mod tests {
         let fix = UniversalFix::kernel_patch_2012();
         let original = rising_curve();
         let fixed = fix.apply(&original);
-        for month in [MonthDate::new(2011, 1), MonthDate::new(2014, 7), MonthDate::new(2016, 4)] {
+        for month in [
+            MonthDate::new(2011, 1),
+            MonthDate::new(2014, 7),
+            MonthDate::new(2016, 4),
+        ] {
             assert!((fixed.at(month).0 - original.at(month).0).abs() < 1e-9);
         }
     }
@@ -109,10 +117,7 @@ mod tests {
 
     #[test]
     fn declining_vendor_keeps_faster_decline() {
-        let declining = Curve::from_points(&[
-            (2010, 7, 200.0, 150.0),
-            (2016, 4, 100.0, 0.0),
-        ]);
+        let declining = Curve::from_points(&[(2010, 7, 200.0, 150.0), (2016, 4, 100.0, 0.0)]);
         let fix = UniversalFix::kernel_patch_2012();
         let fixed = fix.apply(&declining);
         let end = MonthDate::new(2016, 4);
@@ -122,7 +127,10 @@ mod tests {
 
     #[test]
     fn vulnerable_never_exceeds_total() {
-        let fix = UniversalFix { from: MonthDate::new(2011, 1), monthly_retirement: 0.0 };
+        let fix = UniversalFix {
+            from: MonthDate::new(2011, 1),
+            monthly_retirement: 0.0,
+        };
         let fixed = fix.apply(&rising_curve());
         for a in fixed.anchors() {
             assert!(a.vulnerable <= a.total + 1e-9);

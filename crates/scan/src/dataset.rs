@@ -214,9 +214,7 @@ pub struct StudyDataset {
 impl StudyDataset {
     /// HTTPS scans in chronological order.
     pub fn https_scans(&self) -> impl Iterator<Item = &Scan> {
-        self.scans
-            .iter()
-            .filter(|s| s.protocol == Protocol::Https)
+        self.scans.iter().filter(|s| s.protocol == Protocol::Https)
     }
 
     /// Scans for one protocol.
@@ -287,15 +285,30 @@ mod tests {
                     date: MonthDate::new(2012, 6),
                     source: ScanSource::Ecosystem,
                     protocol: Protocol::Https,
-                    records: vec![HostRecord { ip: 1, certs: vec![], modulus: ModulusId(0), rsa_kex_only: true }],
+                    records: vec![HostRecord {
+                        ip: 1,
+                        certs: vec![],
+                        modulus: ModulusId(0),
+                        rsa_kex_only: true,
+                    }],
                 },
                 Scan {
                     date: MonthDate::new(2016, 4),
                     source: ScanSource::Censys,
                     protocol: Protocol::Ssh,
                     records: vec![
-                        HostRecord { ip: 2, certs: vec![], modulus: ModulusId(1), rsa_kex_only: false },
-                        HostRecord { ip: 3, certs: vec![], modulus: ModulusId(1), rsa_kex_only: false },
+                        HostRecord {
+                            ip: 2,
+                            certs: vec![],
+                            modulus: ModulusId(1),
+                            rsa_kex_only: false,
+                        },
+                        HostRecord {
+                            ip: 3,
+                            certs: vec![],
+                            modulus: ModulusId(1),
+                            rsa_kex_only: false,
+                        },
                     ],
                 },
             ],

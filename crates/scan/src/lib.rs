@@ -37,8 +37,8 @@ pub use config::StudyConfig;
 pub use counterfactual::UniversalFix;
 pub use curve::{Anchor, Curve};
 pub use dataset::{
-    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth,
-    Protocol, Scan, StudyDataset,
+    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth, Protocol,
+    Scan, StudyDataset,
 };
 pub use simulate::{run_study, Simulator};
 pub use source::{source_for_month, study_months, ScanSource, HEARTBLEED, STUDY_END, STUDY_START};

@@ -9,8 +9,8 @@
 use crate::config::StudyConfig;
 
 use crate::dataset::{
-    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth,
-    Protocol, Scan, StudyDataset,
+    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth, Protocol,
+    Scan, StudyDataset,
 };
 use crate::source::{study_months, STUDY_END, STUDY_START};
 use crate::vendor::{registry, KeySource, ModelSpec, StylePick};
@@ -109,18 +109,27 @@ impl Simulator {
         let shared_pools: BTreeMap<&'static str, PrimePool> = pool_sizes
             .iter()
             .map(|(&g, &size)| {
-                (g, PrimePool::generate(&mut rng, size, prime_bits, pool_shaping[g]))
+                (
+                    g,
+                    PrimePool::generate(&mut rng, size, prime_bits, pool_shaping[g]),
+                )
             })
             .collect();
         let nine_pools: BTreeMap<&'static str, PrimePool> = nine_groups
             .iter()
-            .map(|&g| (g, PrimePool::generate(&mut rng, 9, prime_bits, pool_shaping[g])))
+            .map(|&g| {
+                (
+                    g,
+                    PrimePool::generate(&mut rng, 9, prime_bits, pool_shaping[g]),
+                )
+            })
             .collect();
 
         // Static artifacts: the shared intermediate CA cert (Rapid7 quirk)
         // and the Internet-Rimon substituted key (1024-bit in the paper; we
         // use twice the study modulus size, never factorable).
-        let ca_key = RsaPrivateKey::generate(&mut rng, config.modulus_bits, PrimeShaping::OpensslStyle);
+        let ca_key =
+            RsaPrivateKey::generate(&mut rng, config.modulus_bits, PrimeShaping::OpensslStyle);
         let mut ca_cert = Certificate::self_signed(
             u64::MAX,
             wk_cert::DistinguishedName::cn("Example Intermediate CA"),
@@ -138,7 +147,10 @@ impl Simulator {
         let rimon_modulus = moduli.intern(&rimon_key.public.n);
         truth.moduli.insert(
             rimon_modulus,
-            ModulusTruth { mitm: true, ..Default::default() },
+            ModulusTruth {
+                mitm: true,
+                ..Default::default()
+            },
         );
 
         let models = specs
@@ -279,7 +291,13 @@ impl Simulator {
         // §2.1: roughly three quarters of device management interfaces
         // negotiate only RSA key exchange.
         let rsa_kex_only = self.rng.gen_bool(0.74);
-        Device { ip, cert, modulus, mitm: false, rsa_kex_only }
+        Device {
+            ip,
+            cert,
+            modulus,
+            mitm: false,
+            rsa_kex_only,
+        }
     }
 
     /// Weak-key modulus per the model's key source.
@@ -326,11 +344,15 @@ impl Simulator {
                 if roll < 0.55 {
                     SubjectStyle::FritzBoxLocalSans
                 } else if roll < 0.8 {
-                    SubjectStyle::FritzBoxMyfritz { subdomain: "box".into() }
+                    SubjectStyle::FritzBoxMyfritz {
+                        subdomain: "box".into(),
+                    }
                 } else {
                     // Only an IP-octet CN: labelable solely via shared primes.
                     let ip = 0xc0a8_0000u32 | (tag as u32 & 0xffff);
-                    SubjectStyle::IpOctetsOnly { ip: ip.to_be_bytes() }
+                    SubjectStyle::IpOctetsOnly {
+                        ip: ip.to_be_bytes(),
+                    }
                 }
             }
         }
@@ -402,8 +424,7 @@ impl Simulator {
     fn spawn_background_device(&mut self, month: MonthDate) -> Device {
         // Prefer globally released IPs (cross-population churn), then the
         // background pool, then fresh space.
-        let ip = if !self.global_freed.is_empty()
-            && self.rng.gen_bool(self.config.ip_recycle_prob)
+        let ip = if !self.global_freed.is_empty() && self.rng.gen_bool(self.config.ip_recycle_prob)
         {
             let pos = self.rng.gen_range(0..self.global_freed.len());
             self.global_freed.swap_remove(pos)
@@ -418,28 +439,26 @@ impl Simulator {
         };
         // MITM-fronted hosts keep individual certificates: the Rimon
         // signature is one key under many *different* subjects.
-        let mitm = self.config.enable_mitm
-            && self.background.len() < self.config.mitm_ips;
-        // Roughly 45% of embedded hosts ship one of a small set of
+        let mitm = self.config.enable_mitm && self.background.len() < self.config.mitm_ips;
+        // Roughly 60% of embedded hosts ship one of a small set of
         // literally identical default certificates (key included): the
         // reason per-scan handshakes exceed distinct certificates ~2:1 in
         // Table 3. These keys repeat across IPs but are healthy — repeated,
         // not factorable.
-        let (cert, modulus) = if !mitm && self.rng.gen_bool(0.45) {
-            let pool_target = (self.config.background_hosts / 40).max(1);
+        let (cert, modulus) = if !mitm && self.rng.gen_bool(0.60) {
+            let pool_target = (self.config.background_hosts / 60).max(1);
             if self.default_certs.len() < pool_target {
                 let n = self.healthy_modulus(PrimeShaping::OpensslStyle);
                 let modulus = self.moduli.intern(&n);
-                self.truth
-                    .moduli
-                    .entry(modulus)
-                    .or_insert_with(ModulusTruth::default);
+                self.truth.moduli.entry(modulus).or_default();
                 let serial = self.next_serial;
                 self.next_serial += 1;
                 let style = SubjectStyle::GenericVendorCn {
                     vendor_cn: "localhost.localdomain".into(),
                 };
-                let cert = self.certs.intern(style.certificate(serial, serial, n, month));
+                let cert = self
+                    .certs
+                    .intern(style.certificate(serial, serial, n, month));
                 self.default_certs.push((cert, modulus));
             }
             let pick = self.rng.gen_range(0..self.default_certs.len());
@@ -447,21 +466,28 @@ impl Simulator {
         } else {
             let n = self.healthy_modulus(PrimeShaping::OpensslStyle);
             let modulus = self.moduli.intern(&n);
-            self.truth
-                .moduli
-                .entry(modulus)
-                .or_insert_with(ModulusTruth::default);
+            self.truth.moduli.entry(modulus).or_default();
             let serial = self.next_serial;
             self.next_serial += 1;
-            let style = SubjectStyle::IpOctetsOnly { ip: ip.to_be_bytes() };
-            let cert = self.certs.intern(style.certificate(serial, serial, n, month));
+            let style = SubjectStyle::IpOctetsOnly {
+                ip: ip.to_be_bytes(),
+            };
+            let cert = self
+                .certs
+                .intern(style.certificate(serial, serial, n, month));
             (cert, modulus)
         };
         // MITM: the first `mitm_ips` background devices sit behind the
         // Internet-Rimon ISP for the entire study.
         // General web servers support (EC)DHE far more often than devices.
         let rsa_kex_only = self.rng.gen_bool(0.3);
-        Device { ip, cert, modulus, mitm, rsa_kex_only }
+        Device {
+            ip,
+            cert,
+            modulus,
+            mitm,
+            rsa_kex_only,
+        }
     }
 
     /// Emit the month's representative HTTPS scan.
@@ -482,7 +508,12 @@ impl Simulator {
             }
             records.push(self.observe(&dev, source));
         }
-        Scan { date: month, source, protocol: Protocol::Https, records }
+        Scan {
+            date: month,
+            source,
+            protocol: Protocol::Https,
+            records,
+        }
     }
 
     /// Produce one host record, applying MITM substitution, unchained
@@ -526,7 +557,12 @@ impl Simulator {
         if source.includes_unchained_intermediates() && self.rng.gen_bool(0.08) {
             certs.push(self.intermediate_cert);
         }
-        HostRecord { ip: dev.ip, certs, modulus, rsa_kex_only: dev.rsa_kex_only }
+        HostRecord {
+            ip: dev.ip,
+            certs,
+            modulus,
+            rsa_kex_only: dev.rsa_kex_only,
+        }
     }
 
     /// One-shot scans for the non-HTTPS protocols of Table 4.
@@ -579,15 +615,14 @@ impl Simulator {
             for _ in 0..self.config.mail_hosts {
                 let n = self.healthy_modulus(PrimeShaping::OpensslStyle);
                 let modulus = self.moduli.intern(&n);
-                self.truth
-                    .moduli
-                    .entry(modulus)
-                    .or_insert_with(ModulusTruth::default);
+                self.truth.moduli.entry(modulus).or_default();
                 self.next_ip += 1;
                 let serial = self.next_serial;
                 self.next_serial += 1;
-                let cert = SubjectStyle::GenericVendorCn { vendor_cn: "mail".into() }
-                    .certificate(serial, serial, n, MonthDate::new(2016, 4));
+                let cert = SubjectStyle::GenericVendorCn {
+                    vendor_cn: "mail".into(),
+                }
+                .certificate(serial, serial, n, MonthDate::new(2016, 4));
                 let cert = self.certs.intern(cert);
                 records.push(HostRecord {
                     ip: self.next_ip,

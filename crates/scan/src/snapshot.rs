@@ -9,8 +9,8 @@
 //! percent-escaped strings) so it diffs and compresses well.
 
 use crate::dataset::{
-    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth,
-    Protocol, Scan, StudyDataset,
+    CertId, CertStore, GroundTruth, HostRecord, ModulusId, ModulusStore, ModulusTruth, Protocol,
+    Scan, StudyDataset,
 };
 use crate::source::ScanSource;
 use crate::vendor::VendorId;
@@ -36,7 +36,10 @@ impl std::fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SnapshotError> {
-    Err(SnapshotError { line, message: message.into() })
+    Err(SnapshotError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Percent-escape `|`, `%`, and newlines.
@@ -65,8 +68,8 @@ fn unescape(s: &str, line: usize) -> Result<String, SnapshotError> {
         let lo = chars.next();
         match (hi, lo) {
             (Some(h), Some(l)) => {
-                let byte = u8::from_str_radix(&format!("{h}{l}"), 16)
-                    .map_err(|_| SnapshotError {
+                let byte =
+                    u8::from_str_radix(&format!("{h}{l}"), 16).map_err(|_| SnapshotError {
                         line,
                         message: format!("bad escape %{h}{l}"),
                     })?;
@@ -105,15 +108,18 @@ fn date_str(d: MonthDate) -> String {
 }
 
 fn parse_date(s: &str, line: usize) -> Result<MonthDate, SnapshotError> {
-    let (y, m) = s
-        .split_once('-')
-        .ok_or_else(|| SnapshotError { line, message: format!("bad date {s:?}") })?;
-    let year: u16 = y
-        .parse()
-        .map_err(|_| SnapshotError { line, message: format!("bad year {y:?}") })?;
-    let month: u8 = m
-        .parse()
-        .map_err(|_| SnapshotError { line, message: format!("bad month {m:?}") })?;
+    let (y, m) = s.split_once('-').ok_or_else(|| SnapshotError {
+        line,
+        message: format!("bad date {s:?}"),
+    })?;
+    let year: u16 = y.parse().map_err(|_| SnapshotError {
+        line,
+        message: format!("bad year {y:?}"),
+    })?;
+    let month: u8 = m.parse().map_err(|_| SnapshotError {
+        line,
+        message: format!("bad month {m:?}"),
+    })?;
     if !(1..=12).contains(&month) {
         return err(line, format!("month out of range: {month}"));
     }
@@ -331,12 +337,17 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     let count: usize = l
         .strip_prefix("MODULI ")
         .and_then(|c| c.parse().ok())
-        .ok_or_else(|| SnapshotError { line: n, message: "expected MODULI <n>".into() })?;
+        .ok_or_else(|| SnapshotError {
+            line: n,
+            message: "expected MODULI <n>".into(),
+        })?;
     let mut moduli = ModulusStore::default();
     for _ in 0..count {
         let (n, l) = next("modulus")?;
-        let value = Natural::from_hex(&l)
-            .map_err(|e| SnapshotError { line: n, message: format!("bad modulus: {e}") })?;
+        let value = Natural::from_hex(&l).map_err(|e| SnapshotError {
+            line: n,
+            message: format!("bad modulus: {e}"),
+        })?;
         moduli.intern(&value);
     }
     if moduli.len() != count {
@@ -348,7 +359,10 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     let count: usize = l
         .strip_prefix("CERTS ")
         .and_then(|c| c.parse().ok())
-        .ok_or_else(|| SnapshotError { line: n, message: "expected CERTS <n>".into() })?;
+        .ok_or_else(|| SnapshotError {
+            line: n,
+            message: "expected CERTS <n>".into(),
+        })?;
     let mut certs = CertStore::default();
     for _ in 0..count {
         let (n, l) = next("certificate")?;
@@ -356,9 +370,10 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
         if fields.len() != 15 {
             return err(n, format!("expected 15 cert fields, got {}", fields.len()));
         }
-        let serial: u64 = fields[0]
-            .parse()
-            .map_err(|_| SnapshotError { line: n, message: "bad serial".into() })?;
+        let serial: u64 = fields[0].parse().map_err(|_| SnapshotError {
+            line: n,
+            message: "bad serial".into(),
+        })?;
         let subject = DistinguishedName {
             common_name: parse_opt(fields[1], n)?,
             organization: parse_opt(fields[2], n)?,
@@ -379,12 +394,15 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
                 .map(|s| unescape(s, n))
                 .collect::<Result<_, _>>()?
         };
-        let modulus = Natural::from_hex(fields[10])
-            .map_err(|e| SnapshotError { line: n, message: format!("bad cert modulus: {e}") })?;
+        let modulus = Natural::from_hex(fields[10]).map_err(|e| SnapshotError {
+            line: n,
+            message: format!("bad cert modulus: {e}"),
+        })?;
         let not_before = parse_date(fields[11], n)?;
-        let validity_months: u32 = fields[12]
-            .parse()
-            .map_err(|_| SnapshotError { line: n, message: "bad validity".into() })?;
+        let validity_months: u32 = fields[12].parse().map_err(|_| SnapshotError {
+            line: n,
+            message: "bad validity".into(),
+        })?;
         let is_ca = fields[13] == "1";
         let browser_trusted = fields[14] == "1";
         let mut cert = Certificate::self_signed(serial, subject, sans, modulus, not_before);
@@ -403,7 +421,10 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     let scan_count: usize = l
         .strip_prefix("SCANS ")
         .and_then(|c| c.parse().ok())
-        .ok_or_else(|| SnapshotError { line: n, message: "expected SCANS <n>".into() })?;
+        .ok_or_else(|| SnapshotError {
+            line: n,
+            message: "expected SCANS <n>".into(),
+        })?;
     let mut scans = Vec::with_capacity(scan_count);
     for _ in 0..scan_count {
         let (n, l) = next("SCAN header")?;
@@ -414,9 +435,10 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
         let date = parse_date(parts[1], n)?;
         let source = parse_source(parts[2], n)?;
         let protocol = parse_protocol(parts[3], n)?;
-        let nrec: usize = parts[4]
-            .parse()
-            .map_err(|_| SnapshotError { line: n, message: "bad record count".into() })?;
+        let nrec: usize = parts[4].parse().map_err(|_| SnapshotError {
+            line: n,
+            message: "bad record count".into(),
+        })?;
         let mut records = Vec::with_capacity(nrec);
         for _ in 0..nrec {
             let (n, l) = next("record")?;
@@ -424,9 +446,10 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
             if parts.len() != 4 {
                 return err(n, format!("expected record, got {l:?}"));
             }
-            let ip: u32 = parts[0]
-                .parse()
-                .map_err(|_| SnapshotError { line: n, message: "bad ip".into() })?;
+            let ip: u32 = parts[0].parse().map_err(|_| SnapshotError {
+                line: n,
+                message: "bad ip".into(),
+            })?;
             let certs_field: Vec<CertId> = if parts[1] == "-" {
                 Vec::new()
             } else {
@@ -445,9 +468,10 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
                     return err(n, format!("cert id {} out of range", c.0));
                 }
             }
-            let modulus: u32 = parts[2]
-                .parse()
-                .map_err(|_| SnapshotError { line: n, message: "bad modulus id".into() })?;
+            let modulus: u32 = parts[2].parse().map_err(|_| SnapshotError {
+                line: n,
+                message: "bad modulus id".into(),
+            })?;
             if modulus as usize >= moduli.len() {
                 return err(n, format!("modulus id {modulus} out of range"));
             }
@@ -458,7 +482,12 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
                 rsa_kex_only: parts[3] == "1",
             });
         }
-        scans.push(Scan { date, source, protocol, records });
+        scans.push(Scan {
+            date,
+            source,
+            protocol,
+            records,
+        });
     }
 
     // Ground truth.
@@ -467,16 +496,20 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     let count: usize = l
         .strip_prefix("TRUTH_MODULI ")
         .and_then(|c| c.parse().ok())
-        .ok_or_else(|| SnapshotError { line: n, message: "expected TRUTH_MODULI <n>".into() })?;
+        .ok_or_else(|| SnapshotError {
+            line: n,
+            message: "expected TRUTH_MODULI <n>".into(),
+        })?;
     for _ in 0..count {
         let (n, l) = next("truth")?;
         let fields: Vec<&str> = l.split('|').collect();
         if fields.len() != 5 {
             return err(n, "expected 5 truth fields");
         }
-        let id: u32 = fields[0]
-            .parse()
-            .map_err(|_| SnapshotError { line: n, message: "bad truth id".into() })?;
+        let id: u32 = fields[0].parse().map_err(|_| SnapshotError {
+            line: n,
+            message: "bad truth id".into(),
+        })?;
         let vendor = if fields[1] == "-" {
             None
         } else {
@@ -496,19 +529,31 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     let count: usize = l
         .strip_prefix("TRUTH_CERTS ")
         .and_then(|c| c.parse().ok())
-        .ok_or_else(|| SnapshotError { line: n, message: "expected TRUTH_CERTS <n>".into() })?;
+        .ok_or_else(|| SnapshotError {
+            line: n,
+            message: "expected TRUTH_CERTS <n>".into(),
+        })?;
     for _ in 0..count {
         let (n, l) = next("cert truth")?;
-        let (id, vendor) = l
-            .split_once('|')
-            .ok_or_else(|| SnapshotError { line: n, message: "expected id|vendor".into() })?;
-        let id: u32 = id
-            .parse()
-            .map_err(|_| SnapshotError { line: n, message: "bad cert truth id".into() })?;
-        truth.cert_vendor.insert(CertId(id), parse_vendor(vendor, n)?);
+        let (id, vendor) = l.split_once('|').ok_or_else(|| SnapshotError {
+            line: n,
+            message: "expected id|vendor".into(),
+        })?;
+        let id: u32 = id.parse().map_err(|_| SnapshotError {
+            line: n,
+            message: "bad cert truth id".into(),
+        })?;
+        truth
+            .cert_vendor
+            .insert(CertId(id), parse_vendor(vendor, n)?);
     }
 
-    Ok(StudyDataset { scans, certs, moduli, truth })
+    Ok(StudyDataset {
+        scans,
+        certs,
+        moduli,
+        truth,
+    })
 }
 
 #[cfg(test)]
@@ -551,8 +596,10 @@ mod tests {
         assert_eq!(original.truth.moduli.len(), loaded.truth.moduli.len());
         for (id, t) in &original.truth.moduli {
             let lt = &loaded.truth.moduli[id];
-            assert_eq!((t.vendor, t.weak, t.corrupted, t.mitm),
-                       (lt.vendor, lt.weak, lt.corrupted, lt.mitm));
+            assert_eq!(
+                (t.vendor, t.weak, t.corrupted, t.mitm),
+                (lt.vendor, lt.weak, lt.corrupted, lt.mitm)
+            );
         }
         assert_eq!(original.truth.cert_vendor, loaded.truth.cert_vendor);
     }
@@ -600,9 +647,29 @@ mod tests {
     fn all_vendor_tags_round_trip() {
         use VendorId::*;
         for v in [
-            Juniper, Innominate, Ibm, Siemens, Cisco, Hp, Thomson, FritzBox, Linksys,
-            Fortinet, Zyxel, Dell, Kronos, Xerox, McAfee, TpLink, Conel, Adtran, DLink,
-            Huawei, Sangfor, SchmidTelecom, Background,
+            Juniper,
+            Innominate,
+            Ibm,
+            Siemens,
+            Cisco,
+            Hp,
+            Thomson,
+            FritzBox,
+            Linksys,
+            Fortinet,
+            Zyxel,
+            Dell,
+            Kronos,
+            Xerox,
+            McAfee,
+            TpLink,
+            Conel,
+            Adtran,
+            DLink,
+            Huawei,
+            Sangfor,
+            SchmidTelecom,
+            Background,
         ] {
             assert_eq!(parse_vendor(vendor_tag(v), 1).unwrap(), v);
         }

@@ -156,6 +156,7 @@ fn cn(name: &str) -> StylePick {
 
 /// The full registry. Curve anchors transcribe the shapes of Figures 1 and
 /// 3-10; see EXPERIMENTS.md for the per-figure mapping and the scale note.
+#[allow(clippy::vec_init_then_push)] // the long push-per-model form keeps each figure's block self-contained
 pub fn registry() -> Vec<ModelSpec> {
     use PrimeShaping::{OpensslStyle, Plain};
     use ResponseCategory::*;
@@ -170,7 +171,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Juniper,
         model: None,
         style: fixed(SubjectStyle::JuniperSystemGenerated),
-        vulnerable_keys: KeySource::SharedPool { group: "juniper", pool_size: 40 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "juniper",
+            pool_size: 40,
+        },
         shaping: Plain,
         curve: Curve::from_points(&[
             (2010, 7, 420.0, 90.0),
@@ -192,7 +196,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Innominate,
         model: Some("mGuard"),
         style: cn("mGuard"),
-        vulnerable_keys: KeySource::SharedPool { group: "innominate", pool_size: 8 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "innominate",
+            pool_size: 8,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 20.0, 14.0),
@@ -212,7 +219,9 @@ pub fn registry() -> Vec<ModelSpec> {
     specs.push(ModelSpec {
         vendor: Ibm,
         model: Some("RSA-II/BladeCenter"),
-        style: fixed(SubjectStyle::IbmCustomerNamed { customer_org: "Customer Org".into() }),
+        style: fixed(SubjectStyle::IbmCustomerNamed {
+            customer_org: "Customer Org".into(),
+        }),
         vulnerable_keys: KeySource::NinePrime { group: "ibm" },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
@@ -233,7 +242,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Siemens,
         model: Some("Building Automation"),
         style: fixed(SubjectStyle::SiemensBuildingAutomation),
-        vulnerable_keys: KeySource::SharedPool { group: "siemens", pool_size: 2 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "siemens",
+            pool_size: 2,
+        },
         shaping: Plain,
         curve: Curve::from_points(&[
             (2010, 7, 80.0, 0.0),
@@ -263,43 +275,74 @@ pub fn registry() -> Vec<ModelSpec> {
     // vulnerable hosts rise through 2014 then start declining; per-model
     // EOL announcements begin slow total declines, announcement preceding
     // end-of-sale by months). Table 5: satisfies OpenSSL fingerprint.
-    let cisco_models: [(&str, Option<(u16, u8)>, &[(u16, u8, f64, f64)]); 5] = [
+    // (model name, EOL announcement month, curve anchors).
+    type CiscoModelRow = (
+        &'static str,
+        Option<(u16, u8)>,
+        &'static [(u16, u8, f64, f64)],
+    );
+    let cisco_models: [CiscoModelRow; 5] = [
         // RV082: EOL announced, never vulnerable in our labels (Fig 7 note).
-        ("RV082", Some((2015, 1)), &[
-            (2010, 7, 90.0, 0.0),
-            (2015, 1, 140.0, 0.0),
-            (2016, 4, 110.0, 0.0),
-        ]),
-        ("RV120W", Some((2014, 7)), &[
-            (2010, 7, 20.0, 2.0),
-            (2012, 6, 80.0, 14.0),
-            (2014, 7, 120.0, 26.0),
-            (2016, 4, 95.0, 18.0),
-        ]),
-        ("RV220W", Some((2014, 3)), &[
-            (2010, 7, 10.0, 1.0),
-            (2012, 6, 70.0, 12.0),
-            (2014, 3, 110.0, 24.0),
-            (2016, 4, 80.0, 15.0),
-        ]),
-        ("RV180/180W", Some((2015, 6)), &[
-            (2011, 6, 0.0, 0.0),
-            (2012, 6, 40.0, 8.0),
-            (2015, 6, 100.0, 20.0),
-            (2016, 4, 90.0, 17.0),
-        ]),
-        ("SA520/540", Some((2013, 5)), &[
-            (2010, 7, 60.0, 10.0),
-            (2013, 5, 100.0, 22.0),
-            (2016, 4, 60.0, 12.0),
-        ]),
+        (
+            "RV082",
+            Some((2015, 1)),
+            &[
+                (2010, 7, 90.0, 0.0),
+                (2015, 1, 140.0, 0.0),
+                (2016, 4, 110.0, 0.0),
+            ],
+        ),
+        (
+            "RV120W",
+            Some((2014, 7)),
+            &[
+                (2010, 7, 20.0, 2.0),
+                (2012, 6, 80.0, 14.0),
+                (2014, 7, 120.0, 26.0),
+                (2016, 4, 95.0, 18.0),
+            ],
+        ),
+        (
+            "RV220W",
+            Some((2014, 3)),
+            &[
+                (2010, 7, 10.0, 1.0),
+                (2012, 6, 70.0, 12.0),
+                (2014, 3, 110.0, 24.0),
+                (2016, 4, 80.0, 15.0),
+            ],
+        ),
+        (
+            "RV180/180W",
+            Some((2015, 6)),
+            &[
+                (2011, 6, 0.0, 0.0),
+                (2012, 6, 40.0, 8.0),
+                (2015, 6, 100.0, 20.0),
+                (2016, 4, 90.0, 17.0),
+            ],
+        ),
+        (
+            "SA520/540",
+            Some((2013, 5)),
+            &[
+                (2010, 7, 60.0, 10.0),
+                (2013, 5, 100.0, 22.0),
+                (2016, 4, 60.0, 12.0),
+            ],
+        ),
     ];
     for (model, eol, pts) in cisco_models {
         specs.push(ModelSpec {
             vendor: Cisco,
             model: Some(model),
-            style: fixed(SubjectStyle::CiscoModelInOu { model: model.to_string() }),
-            vulnerable_keys: KeySource::SharedPool { group: "cisco", pool_size: 20 },
+            style: fixed(SubjectStyle::CiscoModelInOu {
+                model: model.to_string(),
+            }),
+            vulnerable_keys: KeySource::SharedPool {
+                group: "cisco",
+                pool_size: 20,
+            },
             shaping: OpensslStyle,
             curve: Curve::from_points(pts),
             eol_announced: eol.map(|(y, m)| MonthDate::new(y, m)),
@@ -314,7 +357,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Hp,
         model: Some("iLO"),
         style: org("Hewlett-Packard"),
-        vulnerable_keys: KeySource::SharedPool { group: "hp", pool_size: 10 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "hp",
+            pool_size: 10,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 800.0, 40.0),
@@ -334,7 +380,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Thomson,
         model: None,
         style: cn("SpeedTouch"),
-        vulnerable_keys: KeySource::SharedPool { group: "thomson", pool_size: 25 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "thomson",
+            pool_size: 25,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 500.0, 150.0),
@@ -349,7 +398,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: FritzBox,
         model: None,
         style: StylePick::FritzBoxMix,
-        vulnerable_keys: KeySource::SharedPool { group: "fritzbox", pool_size: 30 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "fritzbox",
+            pool_size: 30,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 200.0, 10.0),
@@ -365,7 +417,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Linksys,
         model: None,
         style: cn("Linksys WRV"),
-        vulnerable_keys: KeySource::SharedPool { group: "linksys", pool_size: 8 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "linksys",
+            pool_size: 8,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 1500.0, 30.0),
@@ -379,7 +434,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Fortinet,
         model: Some("FortiGate"),
         style: cn("FortiGate"),
-        vulnerable_keys: KeySource::SharedPool { group: "fortinet", pool_size: 5 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "fortinet",
+            pool_size: 5,
+        },
         shaping: Plain, // Table 5: does not satisfy
         curve: Curve::from_points(&[
             (2010, 7, 500.0, 18.0),
@@ -393,7 +451,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Zyxel,
         model: None,
         style: org("ZyXEL"),
-        vulnerable_keys: KeySource::SharedPool { group: "zyxel", pool_size: 15 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "zyxel",
+            pool_size: 15,
+        },
         shaping: Plain, // Table 5: does not satisfy
         curve: Curve::from_points(&[
             (2010, 7, 800.0, 80.0),
@@ -409,7 +470,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Dell,
         model: None,
         style: org("Dell Inc."),
-        vulnerable_keys: KeySource::SharedPool { group: "dell", pool_size: 4 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "dell",
+            pool_size: 4,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 200.0, 13.0),
@@ -426,12 +490,12 @@ pub fn registry() -> Vec<ModelSpec> {
             organization: "Dell Inc.".into(),
             unit: "Dell Imaging Group".into(),
         }),
-        vulnerable_keys: KeySource::SharedPool { group: "xerox", pool_size: 6 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "xerox",
+            pool_size: 6,
+        },
         shaping: Plain, // Xerox primes
-        curve: Curve::from_points(&[
-            (2010, 7, 6.0, 4.0),
-            (2016, 4, 6.0, 2.0),
-        ]),
+        curve: Curve::from_points(&[(2010, 7, 6.0, 4.0), (2016, 4, 6.0, 2.0)]),
         eol_announced: None,
         response: NoResponse,
     });
@@ -439,12 +503,12 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Kronos,
         model: Some("4500"),
         style: cn("Kronos 4500"),
-        vulnerable_keys: KeySource::SharedPool { group: "kronos", pool_size: 3 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "kronos",
+            pool_size: 3,
+        },
         shaping: Plain, // Table 5: does not satisfy
-        curve: Curve::from_points(&[
-            (2010, 7, 60.0, 6.0),
-            (2016, 4, 80.0, 2.0),
-        ]),
+        curve: Curve::from_points(&[(2010, 7, 60.0, 6.0), (2016, 4, 80.0, 2.0)]),
         eol_announced: None,
         response: NoResponse,
     });
@@ -452,7 +516,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Xerox,
         model: None,
         style: org("Xerox"),
-        vulnerable_keys: KeySource::SharedPool { group: "xerox", pool_size: 6 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "xerox",
+            pool_size: 6,
+        },
         shaping: Plain, // Table 5: does not satisfy
         curve: Curve::from_points(&[
             (2010, 7, 60.0, 6.0),
@@ -466,7 +533,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: McAfee,
         model: Some("SnapGear"),
         style: fixed(SubjectStyle::McAfeeSnapGearDefaults),
-        vulnerable_keys: KeySource::SharedPool { group: "mcafee", pool_size: 2 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "mcafee",
+            pool_size: 2,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 60.0, 4.0),
@@ -480,7 +550,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: TpLink,
         model: None,
         style: org("TP-LINK"),
-        vulnerable_keys: KeySource::SharedPool { group: "tplink", pool_size: 12 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "tplink",
+            pool_size: 12,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 600.0, 60.0),
@@ -495,12 +568,12 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Conel,
         model: None,
         style: org("Conel s.r.o."),
-        vulnerable_keys: KeySource::SharedPool { group: "conel", pool_size: 2 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "conel",
+            pool_size: 2,
+        },
         shaping: OpensslStyle,
-        curve: Curve::from_points(&[
-            (2010, 7, 15.0, 3.0),
-            (2016, 4, 20.0, 2.0),
-        ]),
+        curve: Curve::from_points(&[(2010, 7, 15.0, 3.0), (2016, 4, 20.0, 2.0)]),
         eol_announced: None,
         response: AutoResponse,
     });
@@ -510,7 +583,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Adtran,
         model: Some("NetVanta"),
         style: cn("NetVanta"),
-        vulnerable_keys: KeySource::SharedPool { group: "adtran", pool_size: 4 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "adtran",
+            pool_size: 4,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 400.0, 0.0),
@@ -525,7 +601,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: DLink,
         model: None,
         style: org("D-Link"),
-        vulnerable_keys: KeySource::SharedPool { group: "dlink", pool_size: 25 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "dlink",
+            pool_size: 25,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 400.0, 5.0),
@@ -543,12 +622,15 @@ pub fn registry() -> Vec<ModelSpec> {
             organization: "Huawei".into(),
             unit: "India BU".into(),
         }),
-        vulnerable_keys: KeySource::SharedPool { group: "huawei", pool_size: 30 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "huawei",
+            pool_size: 30,
+        },
         shaping: Plain, // Table 5: does not satisfy
         curve: Curve::from_points(&[
             (2010, 7, 100.0, 0.0),
             (2015, 3, 400.0, 0.0),
-            (2015, 4, 420.0, 5.0), // first vulnerable hosts April 2015
+            (2015, 4, 420.0, 5.0),   // first vulnerable hosts April 2015
             (2016, 4, 600.0, 300.0), // dramatic increase
         ]),
         eol_announced: None,
@@ -558,7 +640,10 @@ pub fn registry() -> Vec<ModelSpec> {
         vendor: Sangfor,
         model: None,
         style: org("Sangfor"),
-        vulnerable_keys: KeySource::SharedPool { group: "sangfor", pool_size: 4 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "sangfor",
+            pool_size: 4,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 50.0, 0.0),
@@ -576,7 +661,10 @@ pub fn registry() -> Vec<ModelSpec> {
             organization: "Schmid Telecom".into(),
             unit: "India".into(),
         }),
-        vulnerable_keys: KeySource::SharedPool { group: "schmid", pool_size: 2 },
+        vulnerable_keys: KeySource::SharedPool {
+            group: "schmid",
+            pool_size: 2,
+        },
         shaping: OpensslStyle,
         curve: Curve::from_points(&[
             (2010, 7, 8.0, 0.0),
@@ -662,10 +750,9 @@ mod tests {
             .find(|s| s.vendor == VendorId::Dell && s.model == Some("Imaging"))
             .unwrap();
         match (&xerox.vulnerable_keys, &dell_imaging.vulnerable_keys) {
-            (
-                KeySource::SharedPool { group: g1, .. },
-                KeySource::SharedPool { group: g2, .. },
-            ) => assert_eq!(g1, g2),
+            (KeySource::SharedPool { group: g1, .. }, KeySource::SharedPool { group: g2, .. }) => {
+                assert_eq!(g1, g2)
+            }
             other => panic!("expected shared pools, got {other:?}"),
         }
     }
@@ -696,11 +783,26 @@ mod tests {
                 .unwrap()
         };
         // "Do not satisfy" column.
-        for v in [VendorId::Juniper, VendorId::Fortinet, VendorId::Huawei, VendorId::Kronos, VendorId::Xerox, VendorId::Zyxel, VendorId::Siemens] {
+        for v in [
+            VendorId::Juniper,
+            VendorId::Fortinet,
+            VendorId::Huawei,
+            VendorId::Kronos,
+            VendorId::Xerox,
+            VendorId::Zyxel,
+            VendorId::Siemens,
+        ] {
             assert_eq!(shaping_of(v), PrimeShaping::Plain, "{v:?}");
         }
         // "Satisfy" column.
-        for v in [VendorId::Cisco, VendorId::Hp, VendorId::Ibm, VendorId::Innominate, VendorId::McAfee, VendorId::TpLink] {
+        for v in [
+            VendorId::Cisco,
+            VendorId::Hp,
+            VendorId::Ibm,
+            VendorId::Innominate,
+            VendorId::McAfee,
+            VendorId::TpLink,
+        ] {
             assert_eq!(shaping_of(v), PrimeShaping::OpensslStyle, "{v:?}");
         }
     }

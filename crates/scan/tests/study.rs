@@ -2,8 +2,8 @@
 
 use std::collections::HashSet;
 use wk_scan::{
-    run_study, Protocol, ScanSource, StudyConfig, StudyDataset, VendorId, HEARTBLEED,
-    STUDY_END, STUDY_START,
+    run_study, Protocol, ScanSource, StudyConfig, StudyDataset, VendorId, HEARTBLEED, STUDY_END,
+    STUDY_START,
 };
 
 fn dataset() -> StudyDataset {
@@ -65,12 +65,7 @@ fn https_scan_timeline_matches_sources() {
 #[test]
 fn weak_moduli_exist_and_are_labeled() {
     let ds = dataset();
-    let weak: Vec<_> = ds
-        .truth
-        .moduli
-        .values()
-        .filter(|t| t.weak)
-        .collect();
+    let weak: Vec<_> = ds.truth.moduli.values().filter(|t| t.weak).collect();
     assert!(weak.len() > 10, "weak moduli: {}", weak.len());
     // Weak moduli come from real vendors (except SSH pool keys).
     assert!(weak.iter().any(|t| t.vendor == Some(VendorId::Juniper)));

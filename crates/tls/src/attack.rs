@@ -29,7 +29,10 @@ impl std::fmt::Display for AttackError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AttackError::ForwardSecrecy => {
-                write!(f, "DHE session: forward secrecy holds even with the factored key")
+                write!(
+                    f,
+                    "DHE session: forward secrecy holds even with the factored key"
+                )
             }
             AttackError::WrongKey => write!(f, "private key does not match the certificate"),
             AttackError::NoSuchRecord => write!(f, "no such record in transcript"),
@@ -41,10 +44,7 @@ impl std::error::Error for AttackError {}
 
 /// Recover the session master seed from a recorded transcript using a
 /// factored certificate key.
-pub fn recover_master(
-    transcript: &Transcript,
-    key: &RsaPrivateKey,
-) -> Result<u64, AttackError> {
+pub fn recover_master(transcript: &Transcript, key: &RsaPrivateKey) -> Result<u64, AttackError> {
     if key.public.n != transcript.certificate.modulus {
         return Err(AttackError::WrongKey);
     }
@@ -111,7 +111,11 @@ mod tests {
             key.public.n.clone(),
             MonthDate::new(2012, 1),
         );
-        ServerConfig { key, certificate, supports }
+        ServerConfig {
+            key,
+            certificate,
+            supports,
+        }
     }
 
     #[test]

@@ -156,8 +156,7 @@ pub fn handshake<R: RngCore + ?Sized>(
     // Key exchange.
     let (premaster, client_kex, server_kex) = match suite {
         CipherSuite::RsaKex => {
-            let premaster =
-                Natural::random_below(rng, &server.certificate.modulus);
+            let premaster = Natural::random_below(rng, &server.certificate.modulus);
             let encrypted = premaster.mod_pow(
                 &Natural::from(wk_keygen::PUBLIC_EXPONENT),
                 &server.certificate.modulus,
@@ -208,8 +207,14 @@ pub fn handshake<R: RngCore + ?Sized>(
         records: Vec::new(),
     };
     Ok((
-        Connection { master, next_seq: 0 },
-        Connection { master, next_seq: 0 },
+        Connection {
+            master,
+            next_seq: 0,
+        },
+        Connection {
+            master,
+            next_seq: 0,
+        },
         transcript,
     ))
 }
@@ -230,7 +235,11 @@ mod tests {
             key.public.n.clone(),
             MonthDate::new(2012, 1),
         );
-        ServerConfig { key, certificate, supports }
+        ServerConfig {
+            key,
+            certificate,
+            supports,
+        }
     }
 
     #[test]
@@ -249,8 +258,12 @@ mod tests {
     fn dhe_session_round_trips_with_signature() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let server_cfg = server(11, vec![CipherSuite::Dhe]);
-        let (mut client, server_conn, transcript) =
-            handshake(&mut rng, &server_cfg, &[CipherSuite::Dhe, CipherSuite::RsaKex]).unwrap();
+        let (mut client, server_conn, transcript) = handshake(
+            &mut rng,
+            &server_cfg,
+            &[CipherSuite::Dhe, CipherSuite::RsaKex],
+        )
+        .unwrap();
         assert_eq!(transcript.suite, CipherSuite::Dhe);
         assert!(transcript.server_kex.is_some());
         let (seq, ct) = client.seal(b"secret");
@@ -271,8 +284,12 @@ mod tests {
     fn server_preference_order_wins() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let server_cfg = server(13, vec![CipherSuite::Dhe, CipherSuite::RsaKex]);
-        let (_, _, t) =
-            handshake(&mut rng, &server_cfg, &[CipherSuite::RsaKex, CipherSuite::Dhe]).unwrap();
+        let (_, _, t) = handshake(
+            &mut rng,
+            &server_cfg,
+            &[CipherSuite::RsaKex, CipherSuite::Dhe],
+        )
+        .unwrap();
         assert_eq!(t.suite, CipherSuite::Dhe);
     }
 
@@ -294,8 +311,7 @@ mod tests {
     fn distinct_sequences_distinct_ciphertexts() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let server_cfg = server(15, vec![CipherSuite::RsaKex]);
-        let (mut client, _, _) =
-            handshake(&mut rng, &server_cfg, &[CipherSuite::RsaKex]).unwrap();
+        let (mut client, _, _) = handshake(&mut rng, &server_cfg, &[CipherSuite::RsaKex]).unwrap();
         let (s1, c1) = client.seal(b"same");
         let (s2, c2) = client.seal(b"same");
         assert_ne!(s1, s2);

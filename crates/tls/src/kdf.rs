@@ -64,7 +64,10 @@ mod tests {
         let pm = Natural::from(0xdead_beefu64);
         assert_eq!(master_seed(&pm, 1, 2), master_seed(&pm, 1, 2));
         assert_ne!(master_seed(&pm, 1, 2), master_seed(&pm, 1, 3));
-        assert_ne!(master_seed(&pm, 1, 2), master_seed(&Natural::from(5u64), 1, 2));
+        assert_ne!(
+            master_seed(&pm, 1, 2),
+            master_seed(&Natural::from(5u64), 1, 2)
+        );
     }
 
     #[test]

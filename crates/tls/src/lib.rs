@@ -35,9 +35,7 @@ pub mod attack;
 pub mod handshake;
 pub mod kdf;
 
-pub use attack::{
-    forge_server_key_exchange, passive_decrypt_record, recover_master, AttackError,
-};
+pub use attack::{forge_server_key_exchange, passive_decrypt_record, recover_master, AttackError};
 pub use handshake::{
-    dh_group, handshake, CipherSuite, Connection, ServerConfig, Transcript, TlsError,
+    dh_group, handshake, CipherSuite, Connection, ServerConfig, TlsError, Transcript,
 };

@@ -17,7 +17,11 @@ fn server(seed: u64, supports: Vec<CipherSuite>) -> ServerConfig {
         key.public.n.clone(),
         MonthDate::new(2012, 1),
     );
-    ServerConfig { key, certificate, supports }
+    ServerConfig {
+        key,
+        certificate,
+        supports,
+    }
 }
 
 proptest! {

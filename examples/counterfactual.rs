@@ -10,8 +10,8 @@
 //! cargo run --release --example counterfactual
 //! ```
 
-use wk_analysis::aggregate_series;
 use weakkeys::{run_pipeline, BatchMode, StudyConfig};
+use wk_analysis::aggregate_series;
 use wk_scan::UniversalFix;
 
 fn main() {

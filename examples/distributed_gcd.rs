@@ -20,12 +20,17 @@ fn main() {
         .unwrap_or(2000);
     println!("generating {count} 512-bit moduli (1% over a shared pool)...");
     let mut flawed = ModelKeygen::new(
-        KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::OpensslStyle, pool_size: 5 },
+        KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::OpensslStyle,
+            pool_size: 5,
+        },
         512,
         1,
     );
     let mut healthy = ModelKeygen::new(
-        KeygenBehavior::Healthy { shaping: PrimeShaping::OpensslStyle },
+        KeygenBehavior::Healthy {
+            shaping: PrimeShaping::OpensslStyle,
+        },
         512,
         2,
     );
@@ -47,27 +52,43 @@ fn main() {
         println!("naive pairwise: skipped (quadratic; the paper's point exactly)");
     }
 
-    // Classic single tree.
-    let classic = batch_gcd(&moduli, 1);
+    // Classic single tree, on a 4-slot work-stealing pool. Results are
+    // bit-identical to single-threaded; only the executor metrics differ.
+    let classic = batch_gcd(&moduli, 4);
     println!(
         "classic batch GCD: {} vulnerable, {:?} (tree {} MiB)",
         classic.vulnerable_count(),
         classic.stats.total_time(),
         classic.stats.tree_bytes / (1 << 20)
     );
+    let exec = classic.stats.total_exec();
+    println!(
+        "  executor: {} tasks, {} steals, {:?} busy across {}/{} workers",
+        exec.tasks(),
+        exec.steals,
+        exec.busy_total(),
+        exec.active_workers(),
+        exec.workers()
+    );
 
     // k-subset distributed: the paper used k = 16.
-    println!("\n{:>4} {:>12} {:>12} {:>14} {:>16}", "k", "wall", "total CPU", "critical path", "peak node MiB");
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>14} {:>16} {:>12} {:>8}",
+        "k", "wall", "total CPU", "critical path", "peak node MiB", "exec tasks", "steals"
+    );
     for k in [1usize, 2, 4, 8, 16] {
         let result = distributed_batch_gcd(&moduli, ClusterConfig::sequential(k));
         assert_eq!(result.vulnerable_count(), classic.vulnerable_count());
+        let exec = result.report.total_exec();
         println!(
-            "{:>4} {:>12?} {:>12?} {:>14?} {:>16}",
+            "{:>4} {:>12?} {:>12?} {:>14?} {:>16} {:>12} {:>8}",
             k,
             result.report.wall_time,
             result.report.total_cpu_time(),
             result.report.critical_path(),
             result.report.peak_node_bytes() / (1 << 20),
+            exec.tasks(),
+            exec.steals
         );
     }
     println!(

@@ -20,13 +20,19 @@ fn main() {
     // device B's in 2 — the only difference between them.
     let a = device_generate_keypair(
         &profile,
-        KeygenTiming { boot_time: boot, first_prime_seconds: 1 },
+        KeygenTiming {
+            boot_time: boot,
+            first_prime_seconds: 1,
+        },
         1,
         128,
     );
     let b = device_generate_keypair(
         &profile,
-        KeygenTiming { boot_time: boot, first_prime_seconds: 2 },
+        KeygenTiming {
+            boot_time: boot,
+            first_prime_seconds: 2,
+        },
         2,
         128,
     );
@@ -40,7 +46,10 @@ fn main() {
     assert_eq!(g, a.p);
 
     println!("same timing on both devices repeats the ENTIRE key:");
-    let t = KeygenTiming { boot_time: boot, first_prime_seconds: 1 };
+    let t = KeygenTiming {
+        boot_time: boot,
+        first_prime_seconds: 1,
+    };
     let c = device_generate_keypair(&profile, t, 3, 128);
     let d = device_generate_keypair(&profile, t, 4, 128);
     println!("  identical moduli? {}\n", c.public.n == d.public.n);
@@ -53,7 +62,10 @@ fn main() {
         Ok(_) => unreachable!(),
     }
     g1.add_entropy(&0x1234_5678_9abc_def0u64.to_le_bytes(), 128);
-    println!("  after 128 bits of interrupt entropy: read ok = {}\n", g1.try_next_u64().is_ok());
+    println!(
+        "  after 128 bits of interrupt entropy: read ok = {}\n",
+        g1.try_next_u64().is_ok()
+    );
 
     println!("a healthy boot profile (serial + hardware entropy) never collides:");
     let healthy = DeviceBootProfile::healthy("fixed-fw-7.0");

@@ -8,9 +8,9 @@
 //! ```
 
 use std::collections::BTreeMap;
+use weakkeys::{run_pipeline, BatchMode, StudyConfig};
 use wk_analysis::{openssl_table, report::render_table5};
 use wk_fingerprint::detect_cliques;
-use weakkeys::{run_pipeline, BatchMode, StudyConfig};
 use wk_scan::VendorId;
 
 fn main() {

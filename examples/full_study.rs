@@ -7,11 +7,11 @@
 //! cargo run --release --example full_study -- 0.2    # smaller scale factor
 //! ```
 
+use weakkeys::{render_table2, run_pipeline, BatchMode, StudyConfig};
 use wk_analysis::report::{render_series, render_table1, render_transitions};
 use wk_analysis::{
     aggregate_series, dataset_totals, heartbleed_impact, vendor_series, vendor_transitions,
 };
-use weakkeys::{render_table2, run_pipeline, BatchMode, StudyConfig};
 use wk_scan::VendorId;
 
 fn main() {
@@ -23,7 +23,10 @@ fn main() {
     config.scale = scale;
     config.background_hosts = (config.background_hosts as f64 * scale) as usize;
 
-    println!("simulating 2010-07 .. 2016-04 at scale {scale} (seed {})...", config.seed);
+    println!(
+        "simulating 2010-07 .. 2016-04 at scale {scale} (seed {})...",
+        config.seed
+    );
     let results = run_pipeline(&config, BatchMode::Classic { threads: 1 });
     let stats = results.batch_stats.as_ref().unwrap();
     println!(
@@ -36,7 +39,10 @@ fn main() {
     );
 
     println!("== Table 1: dataset totals ==");
-    println!("{}", render_table1(&dataset_totals(&results.dataset, results.vulnerable_set())));
+    println!(
+        "{}",
+        render_table1(&dataset_totals(&results.dataset, results.vulnerable_set()))
+    );
 
     println!("== Table 2: 2012 disclosure responses ==");
     println!("{}", render_table2());

@@ -44,7 +44,10 @@ fn keystream_xor(seed: u64, data: &[u8]) -> Vec<u8> {
 fn main() {
     // 2012: a rack of firewalls with the entropy-hole flaw serves HTTPS.
     let mut flawed = ModelKeygen::new(
-        KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::OpensslStyle, pool_size: 2 },
+        KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::OpensslStyle,
+            pool_size: 2,
+        },
         512,
         2012,
     );
@@ -82,7 +85,10 @@ fn main() {
     let (p, _) = result.statuses[idx]
         .factors()
         .expect("server key shares a prime with its rack-mates");
-    println!("batch GCD factored the server key (shared prime, {} bits)", p.bit_len());
+    println!(
+        "batch GCD factored the server key (shared prime, {} bits)",
+        p.bit_len()
+    );
 
     // Rebuild the private key, decrypt the premaster, re-derive the
     // session key, read the traffic.

@@ -17,17 +17,20 @@ fn main() {
     // Ten devices whose firmware shares a 3-prime entropy-starved pool,
     // five healthy devices.
     let mut flawed = ModelKeygen::new(
-        KeygenBehavior::SharedPrimePool { shaping: PrimeShaping::OpensslStyle, pool_size: 3 },
+        KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::OpensslStyle,
+            pool_size: 3,
+        },
         512,
         42,
     );
     let mut healthy_rng = rand::rngs::StdRng::seed_from_u64(7);
     let mut moduli: Vec<Natural> = (0..10).map(|_| flawed.generate().public.n).collect();
-    moduli.extend(
-        (0..5).map(|_| {
-            RsaPrivateKey::generate(&mut healthy_rng, 512, PrimeShaping::OpensslStyle).public.n
-        }),
-    );
+    moduli.extend((0..5).map(|_| {
+        RsaPrivateKey::generate(&mut healthy_rng, 512, PrimeShaping::OpensslStyle)
+            .public
+            .n
+    }));
 
     println!("batch-GCD over {} RSA moduli (512-bit)...", moduli.len());
     let result = batch_gcd(&moduli, 1);
@@ -51,5 +54,8 @@ fn main() {
         p.bit_len(),
         recovered
     );
-    println!("healthy keys untouched: {}", moduli.len() - result.vulnerable_count());
+    println!(
+        "healthy keys untouched: {}",
+        moduli.len() - result.vulnerable_count()
+    );
 }

@@ -2,9 +2,9 @@
 //! with every vendor shipping fixed key generation in new devices from
 //! 2013-01 and compare vulnerable trajectories against the baseline.
 
+use weakkeys::{run_pipeline, BatchMode, StudyConfig};
 use wk_analysis::aggregate_series;
 use wk_cert::MonthDate;
-use weakkeys::{run_pipeline, BatchMode, StudyConfig};
 use wk_scan::UniversalFix;
 
 fn small_config() -> StudyConfig {

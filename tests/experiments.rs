@@ -6,9 +6,9 @@
 use std::sync::OnceLock;
 use weakkeys::{run_pipeline, table2, BatchMode, StudyConfig, StudyResults};
 use wk_analysis::{
-    aggregate_series, dataset_totals, eol_impact, first_last_scan_summary,
-    heartbleed_impact, model_series, openssl_table, passive_exposure, protocol_table,
-    rekey_vs_churn, vendor_series, vendor_transitions, Series,
+    aggregate_series, dataset_totals, eol_impact, first_last_scan_summary, heartbleed_impact,
+    model_series, openssl_table, passive_exposure, protocol_table, rekey_vs_churn, vendor_series,
+    vendor_transitions, Series,
 };
 use wk_cert::MonthDate;
 use wk_fingerprint::OpensslClass;
@@ -65,8 +65,16 @@ fn table1_shape() {
     // Paper: 0.37% of distinct moduli factored. Our fingerprinted-device
     // fraction is higher by construction (less background); the shape claim
     // is "a small but non-trivial fraction".
-    assert!(t.vulnerable_fraction() > 0.002, "{}", t.vulnerable_fraction());
-    assert!(t.vulnerable_fraction() < 0.30, "{}", t.vulnerable_fraction());
+    assert!(
+        t.vulnerable_fraction() > 0.002,
+        "{}",
+        t.vulnerable_fraction()
+    );
+    assert!(
+        t.vulnerable_fraction() < 0.30,
+        "{}",
+        t.vulnerable_fraction()
+    );
     // Host records >> distinct certs >= distinct moduli (many scans see the
     // same cert; some certs share keys — IBM).
     assert!(t.https_host_records > 3 * t.distinct_https_certificates);
@@ -114,7 +122,10 @@ fn table4_vulnerabilities_concentrate_on_https() {
     let https = get(Protocol::Https);
     let ssh = get(Protocol::Ssh);
     assert!(https.vulnerable_hosts > ssh.vulnerable_hosts);
-    assert!(ssh.vulnerable_hosts > 0, "a handful of vulnerable SSH hosts");
+    assert!(
+        ssh.vulnerable_hosts > 0,
+        "a handful of vulnerable SSH hosts"
+    );
     for p in [Protocol::Imaps, Protocol::Pop3s, Protocol::Smtps] {
         assert_eq!(get(p).vulnerable_hosts, 0, "{p:?} must be clean");
     }
@@ -126,11 +137,25 @@ fn table5_openssl_classification_matches_paper() {
     let table = openssl_table(&r.labeling, &r.factored);
     let class_of = |v: VendorId| table.get(&v).map(|verdict| verdict.class);
     // Satisfy column (paper Table 5).
-    for v in [VendorId::Cisco, VendorId::Hp, VendorId::Ibm, VendorId::Innominate, VendorId::FritzBox, VendorId::Thomson, VendorId::DLink, VendorId::TpLink] {
+    for v in [
+        VendorId::Cisco,
+        VendorId::Hp,
+        VendorId::Ibm,
+        VendorId::Innominate,
+        VendorId::FritzBox,
+        VendorId::Thomson,
+        VendorId::DLink,
+        VendorId::TpLink,
+    ] {
         assert_eq!(class_of(v), Some(OpensslClass::LikelyOpenssl), "{v:?}");
     }
     // Do-not-satisfy column.
-    for v in [VendorId::Juniper, VendorId::Zyxel, VendorId::Huawei, VendorId::Fortinet] {
+    for v in [
+        VendorId::Juniper,
+        VendorId::Zyxel,
+        VendorId::Huawei,
+        VendorId::Fortinet,
+    ] {
         assert_eq!(class_of(v), Some(OpensslClass::NotOpenssl), "{v:?}");
     }
     // No vendor's verdict rests on exclusively safe primes (§3.3.4 check).
@@ -161,10 +186,8 @@ fn fig2_distributed_batchgcd_identical_results() {
     // distributed mode on the full study's moduli.
     let r = results();
     let moduli = r.dataset.moduli.all();
-    let dist = wk_batchgcd::distributed_batch_gcd(
-        moduli,
-        wk_batchgcd::ClusterConfig::sequential(8),
-    );
+    let dist =
+        wk_batchgcd::distributed_batch_gcd(moduli, wk_batchgcd::ClusterConfig::sequential(8));
     let dist_vuln: std::collections::HashSet<_> = dist
         .statuses
         .iter()
@@ -179,7 +202,13 @@ fn fig2_distributed_batchgcd_identical_results() {
     }
     // Per-node memory must be below the single-tree footprint.
     let single_tree = r.batch_stats.as_ref().unwrap().tree_bytes;
-    let max_node = dist.report.nodes.iter().map(|n| n.tree_bytes).max().unwrap();
+    let max_node = dist
+        .report
+        .nodes
+        .iter()
+        .map(|n| n.tree_bytes)
+        .max()
+        .unwrap();
     assert!(max_node < single_tree);
 }
 
@@ -193,7 +222,10 @@ fn fig3_juniper_rises_after_advisory_then_heartbleed_cliff() {
     );
     // The single largest drop in both series is at the Heartbleed boundary.
     let hb = heartbleed_impact(&s);
-    assert!(hb.vulnerable_drop_at_heartbleed, "vulnerable cliff at 2014-04");
+    assert!(
+        hb.vulnerable_drop_at_heartbleed,
+        "vulnerable cliff at 2014-04"
+    );
     assert!(hb.total_drop_at_heartbleed, "total cliff at 2014-04");
     // No recovery to pre-Heartbleed levels afterwards.
     assert!(mean_vuln(&s, m(2015, 1), m(2016, 4)) < mean_vuln(&s, m(2013, 10), m(2014, 3)));
@@ -243,9 +275,15 @@ fn fig5_ibm_declines_with_heartbleed_drop() {
     let n = pts.len() as f64;
     let mean_x = pts.iter().map(|p| p.0).sum::<f64>() / n;
     let mean_y = pts.iter().map(|p| p.1).sum::<f64>() / n;
-    let slope = pts.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum::<f64>()
+    let slope = pts
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum::<f64>()
         / pts.iter().map(|p| (p.0 - mean_x).powi(2)).sum::<f64>();
-    assert!(slope < 0.0, "IBM vulnerable population declining pre-2014: slope {slope}");
+    assert!(
+        slope < 0.0,
+        "IBM vulnerable population declining pre-2014: slope {slope}"
+    );
     // Marked decrease at Heartbleed.
     let hb = heartbleed_impact(&s);
     assert!(hb.vulnerable_drop_at_heartbleed, "IBM drop at Heartbleed");
@@ -260,7 +298,10 @@ fn fig6_cisco_rises_through_2014_then_declines() {
     let v2014 = mean_vuln(&s, m(2014, 1), m(2014, 12));
     let v2016 = mean_vuln(&s, m(2015, 10), m(2016, 4));
     assert!(v2014 > v2012, "rise through 2014: {v2012} -> {v2014}");
-    assert!(v2016 < v2014, "decline in the final year: {v2014} -> {v2016}");
+    assert!(
+        v2016 < v2014,
+        "decline in the final year: {v2014} -> {v2016}"
+    );
 }
 
 #[test]
@@ -272,7 +313,9 @@ fn fig7_cisco_eol_announcements_mark_population_decline() {
         if spec.vendor != VendorId::Cisco {
             continue;
         }
-        let Some(eol) = spec.eol_announced else { continue };
+        let Some(eol) = spec.eol_announced else {
+            continue;
+        };
         let model = spec.model.unwrap();
         let s = model_series(&r.dataset, &r.vulnerable, VendorId::Cisco, model);
         if s.points.iter().all(|p| p.total == 0) {
@@ -307,7 +350,12 @@ fn fig8_hp_peaks_2012_then_steady_decline_and_heartbleed_total_drop() {
 fn fig9_no_response_vendors_decline_tracking_totals() {
     // Thomson, Linksys, ZyXEL, McAfee: vulnerable decline tracks the total
     // decline.
-    for v in [VendorId::Thomson, VendorId::Linksys, VendorId::Zyxel, VendorId::McAfee] {
+    for v in [
+        VendorId::Thomson,
+        VendorId::Linksys,
+        VendorId::Zyxel,
+        VendorId::McAfee,
+    ] {
         let s = vendor(v);
         let t_early = mean_total(&s, m(2010, 7), m(2011, 12));
         let t_late = mean_total(&s, m(2015, 6), m(2016, 4));
@@ -323,7 +371,9 @@ fn fig9_no_response_vendors_decline_tracking_totals() {
     assert!(mean_vuln(&fb, m(2015, 10), m(2016, 4)) < fb_peak);
     // Fortinet total rises while vulnerable stays small.
     let fo = vendor(VendorId::Fortinet);
-    assert!(mean_total(&fo, m(2015, 6), m(2016, 4)) > 2.0 * mean_total(&fo, m(2010, 7), m(2011, 12)));
+    assert!(
+        mean_total(&fo, m(2015, 6), m(2016, 4)) > 2.0 * mean_total(&fo, m(2010, 7), m(2011, 12))
+    );
 }
 
 #[test]
@@ -367,7 +417,11 @@ fn passive_decryption_exposure_near_paper_fraction() {
     // RSA key exchange.
     let r = results();
     let e = passive_exposure(&r.dataset, &r.vulnerable, None);
-    assert!(e.vulnerable_hosts > 50, "enough vulnerable hosts: {}", e.vulnerable_hosts);
+    assert!(
+        e.vulnerable_hosts > 50,
+        "enough vulnerable hosts: {}",
+        e.vulnerable_hosts
+    );
     let f = e.passive_fraction();
     assert!((0.6..0.88).contains(&f), "passive fraction {f}");
 }
@@ -409,5 +463,32 @@ fn heartbleed_is_the_single_largest_aggregate_vulnerable_drop() {
     assert!(
         hb.vulnerable_drop_at_heartbleed,
         "paper: the single largest drop in vulnerable keys is right after Heartbleed"
+    );
+}
+
+#[test]
+fn fig3_juniper_series_spans_study_and_drops_at_heartbleed() {
+    // Regression test for the Heartbleed correlation (§4.1, Figure 3): the
+    // Juniper/ScreenOS series must cover the full study window — a series
+    // truncated to post-2014 months can never straddle April 2014 — and
+    // both its largest vulnerable and largest total drops must land on the
+    // Heartbleed boundary.
+    let s = vendor(VendorId::Juniper);
+    let first = s.points.first().expect("non-empty series").date;
+    let last = s.points.last().expect("non-empty series").date;
+    assert_eq!(first, m(2010, 7), "series must start at the first EFF scan");
+    assert_eq!(last, m(2016, 4), "series must end at the last Censys scan");
+
+    let hb = heartbleed_impact(&s);
+    assert!(hb.largest_vulnerable_drop > 0, "{hb:?}");
+    assert!(
+        hb.vulnerable_drop_at_heartbleed,
+        "Juniper's largest vulnerable drop must straddle 2014-04: {:?}",
+        s.largest_vulnerable_drop()
+    );
+    assert!(
+        hb.total_drop_at_heartbleed,
+        "Juniper's largest total drop must straddle 2014-04: {:?}",
+        s.largest_total_drop()
     );
 }

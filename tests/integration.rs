@@ -62,11 +62,7 @@ fn vendor_labeling_accuracy() {
             // The documented deliberate exception: Siemens devices serving
             // IBM moduli may be labeled either way (the paper hand-resolves
             // this overlap).
-            Some(truth)
-                if *truth == VendorId::Siemens && *vendor == VendorId::Ibm =>
-            {
-                correct += 1
-            }
+            Some(truth) if *truth == VendorId::Siemens && *vendor == VendorId::Ibm => correct += 1,
             Some(truth) if truth == vendor => correct += 1,
             Some(_) => wrong += 1,
             None => {} // background device mislabel would count here
@@ -135,9 +131,10 @@ fn ibm_siemens_overlap_reported() {
         .values()
         .any(|v| *v == VendorId::Siemens);
     if has_siemens_certs {
-        let found = r.labeling.overlaps.iter().any(|o| {
-            o.vendors.contains(&VendorId::Ibm) && o.vendors.contains(&VendorId::Siemens)
-        });
+        let found =
+            r.labeling.overlaps.iter().any(|o| {
+                o.vendors.contains(&VendorId::Ibm) && o.vendors.contains(&VendorId::Siemens)
+            });
         // Overlap only manifests if a Siemens cert was subject-labeled and
         // shares a prime; tolerate absence at tiny scale but record it.
         if !found {
@@ -158,7 +155,10 @@ fn bit_errors_not_counted_vulnerable() {
     // And every truth-corrupted modulus that batch GCD hit was set aside.
     for (id, truth) in &r.dataset.truth.moduli {
         if truth.corrupted {
-            assert!(!r.vulnerable.contains(id), "corrupted modulus {id:?} flagged");
+            assert!(
+                !r.vulnerable.contains(id),
+                "corrupted modulus {id:?} flagged"
+            );
         }
     }
 }

@@ -3,8 +3,8 @@
 //! that makes snapshots usable as a data release.
 
 use std::collections::BTreeSet;
-use wk_analysis::{aggregate_series, dataset_totals};
 use weakkeys::{analyze_dataset, BatchMode, StudyConfig};
+use wk_analysis::{aggregate_series, dataset_totals};
 use wk_scan::{run_study, snapshot};
 
 #[test]

@@ -1,0 +1,677 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the exact surface its property tests use: the
+//! [`proptest!`] macro (including `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait with `prop_map`, [`strategy::Just`],
+//! [`strategy::any`], `prop_oneof!` (weighted and unweighted),
+//! [`collection::vec`], integer-range strategies, simple `"[a-z]{0,30}"`
+//! character-class string patterns, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its deterministic case seed
+//!   instead of a minimized input;
+//! * value generation is driven by a fixed per-test RNG (seeded from the
+//!   test name), so runs are reproducible without a persistence file.
+
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng};
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Deterministic RNG handed to strategies during generation.
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Build from a 64-bit seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Next 128 uniform bits.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.0.next_u64() as u128) << 64) | self.0.next_u64() as u128
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u128) -> u128 {
+            debug_assert!(n > 0);
+            // Modulo bias is ~2^-64 for the small spans used in tests.
+            self.next_u128() % n
+        }
+
+        /// Uniform `usize` in `[lo, hi]`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            lo + self.below((hi - lo) as u128 + 1) as usize
+        }
+    }
+
+    /// Runner configuration (`cases` is the number of accepted cases to run).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// How many generated cases must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Outcome of one generated case: hard failure or `prop_assume!` reject.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure — aborts the test.
+        Fail(String),
+        /// Precondition unmet — the case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn name_seed(name: &str) -> u64 {
+        // DefaultHasher::new() uses fixed keys, so this is stable run-to-run.
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        h.finish()
+    }
+
+    /// Drive one property: keep generating cases until `config.cases` have
+    /// passed, tolerating up to 10x rejections, panicking on the first
+    /// failure with the case seed for replay.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = name_seed(name);
+        let mut passed = 0u32;
+        let mut attempts = 0u32;
+        let max_attempts = config.cases.saturating_mul(10).max(1);
+        while passed < config.cases && attempts < max_attempts {
+            let case_seed = base ^ (attempts as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            attempts += 1;
+            let mut rng = TestRng::new(case_seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property `{name}` failed (case seed {case_seed:#x}): {msg}")
+                }
+            }
+        }
+        assert!(
+            passed >= config.cases,
+            "property `{name}`: too many rejected cases ({passed}/{} passed in {attempts} attempts)",
+            config.cases,
+        );
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A recipe producing values of `Value` from a [`TestRng`].
+    pub trait Strategy {
+        /// The value type this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "uniform over the whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one uniform value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types; construct with [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    match (hi - lo).checked_add(1) {
+                        Some(span) => lo + rng.below(span as u128) as $t,
+                        // Full-domain range: every draw is in bounds.
+                        None => rng.next_u128() as $t,
+                    }
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    match (<$t>::MAX - self.start).checked_add(1) {
+                        Some(span) => self.start + rng.below(span as u128) as $t,
+                        None => rng.next_u128() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_range_strategies!(u8, u16, u32, u64, usize);
+
+    // u128 spans overflow the sampler's u128 arithmetic at the extremes, so
+    // it gets a hand-written set.
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+    impl Strategy for RangeInclusive<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            match (hi - lo).checked_add(1) {
+                Some(span) => lo + rng.below(span),
+                None => rng.next_u128(),
+            }
+        }
+    }
+    impl Strategy for RangeFrom<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            match (u128::MAX - self.start).checked_add(1) {
+                Some(span) => self.start + rng.below(span),
+                None => rng.next_u128(),
+            }
+        }
+    }
+
+    /// Weighted choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms; total weight must be > 0.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "all-zero prop_oneof weights"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total as u128) as u64;
+            for (w, strat) in &self.arms {
+                if pick < *w as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Character-class string patterns like `"[a-z0-9|,. ]{0,30}"`.
+    ///
+    /// Supported grammar (the subset the workspace's fuzz tests use): a
+    /// sequence of atoms, each a literal char or a `[...]` class with
+    /// `a-z`-style ranges, optionally followed by `{n}` or `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let alphabet: Vec<char> = if c == '[' {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                while let Some(d) = chars.next() {
+                    if d == ']' {
+                        break;
+                    }
+                    if d == '-' {
+                        if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                            if hi != ']' {
+                                chars.next();
+                                set.extend(
+                                    ((lo as u32 + 1)..=hi as u32).filter_map(char::from_u32),
+                                );
+                                prev = None;
+                                continue;
+                            }
+                        }
+                    }
+                    set.push(d);
+                    prev = Some(d);
+                }
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                set
+            } else {
+                vec![c]
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&d| d != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} in pattern"),
+                        n.trim().parse().expect("bad {m,n} in pattern"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("bad {n} in pattern");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let count = rng.usize_in(min, max);
+            for _ in 0..count {
+                out.push(alphabet[rng.usize_in(0, alphabet.len() - 1)]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running [`test_runner::run_cases`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __wk_config = $cfg;
+            $crate::test_runner::run_cases(&__wk_config, stringify!($name), |__wk_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __wk_rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` flavor of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__wk_l, __wk_r) = (&$left, &$right);
+        if !(__wk_l == __wk_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __wk_l,
+                    __wk_r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__wk_l, __wk_r) = (&$left, &$right);
+        if !(__wk_l == __wk_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    __wk_l,
+                    __wk_r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` flavor of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__wk_l, __wk_r) = (&$left, &$right);
+        if __wk_l == __wk_r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __wk_l,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__wk_l, __wk_r) = (&$left, &$right);
+        if __wk_l == __wk_r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`: {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    __wk_l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skip (don't fail) the current case when a precondition is unmet.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            assert!((3..17u64).contains(&(3u64..17).generate(&mut rng)));
+            assert!((5..=5usize).contains(&(5usize..=5).generate(&mut rng)));
+            assert!((1u128..).generate(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn vec_and_pattern_shapes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = "[a-c]{0,4}x".generate(&mut rng);
+            assert!(s.len() <= 5 && s.ends_with('x'));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == 'x'));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_weight() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = prop_oneof![3 => Just(1u8), 0 => Just(2u8)].generate(&mut rng);
+            assert_eq!(v, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(a in 0u64..100, b in any::<u64>()) {
+            prop_assume!(a != 55);
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + (b / 2), (b / 2) + a);
+            prop_assert_ne!(a, 200);
+        }
+    }
+}
