@@ -15,6 +15,8 @@
 //! This crate never reads the simulator's ground truth; tests score its
 //! outputs against ground truth from outside.
 
+#![forbid(unsafe_code)]
+
 pub mod events;
 pub mod exposure;
 pub mod labeling;

@@ -25,13 +25,30 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How long an idle thread sleeps between deque re-scans. Wake-ups are
 /// notified eagerly; the timeout only bounds the cost of a lost race.
 const IDLE_WAIT: Duration = Duration::from_millis(1);
+
+/// Lock `m`, recovering the guard from a poisoned mutex instead of
+/// panicking. Task panics are already contained by `catch_unwind` in
+/// [`Shared::execute`] and re-raised on the submitting thread; a poisoned
+/// pool-internal lock must not take down unrelated worker threads, and
+/// every value guarded here (deques, the idle token, the panic slot) stays
+/// consistent across an unwind.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery as [`locked`].
+fn wait_on<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>, timeout: Duration) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
+}
 
 type Job = Box<dyn FnOnce() + Send>;
 
@@ -78,10 +95,13 @@ impl DomainCounters {
     }
 
     fn record(&self, slot: usize, busy: Duration, stolen: bool) {
-        self.worker_tasks[slot].fetch_add(1, Ordering::Relaxed);
-        self.worker_busy_ns[slot].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        // Reporting counters only: published to readers by the AcqRel
+        // batch-completion decrement in `Shared::execute`, never read to
+        // make scheduling decisions.
+        self.worker_tasks[slot].fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) per-slot task tally, reporting only
+        self.worker_busy_ns[slot].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed); // lint:atomics(metrics) busy-time tally, reporting only
         if stolen {
-            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.steals.fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) steal tally, reporting only
         }
     }
 }
@@ -102,15 +122,15 @@ impl ExecDomain {
                 .inner
                 .worker_tasks
                 .iter()
-                .map(|t| t.load(Ordering::Relaxed))
+                .map(|t| t.load(Ordering::Relaxed)) // lint:atomics(metrics) snapshot read; exact after map() returns (AcqRel handoff)
                 .collect(),
             worker_busy: self
                 .inner
                 .worker_busy_ns
                 .iter()
-                .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed)))
+                .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed))) // lint:atomics(metrics) snapshot read for reporting
                 .collect(),
-            steals: self.inner.steals.load(Ordering::Relaxed),
+            steals: self.inner.steals.load(Ordering::Relaxed), // lint:atomics(metrics) snapshot read for reporting
         }
     }
 }
@@ -178,14 +198,14 @@ impl Shared {
     fn find_task(&self, me: usize) -> Option<Task> {
         // Own deque newest-first: the freshest tasks are the ones whose
         // inputs are still cache-hot for this thread.
-        if let Some(task) = self.deques[me].lock().unwrap().pop_back() {
+        if let Some(task) = locked(&self.deques[me]).pop_back() {
             return Some(task);
         }
         // Steal oldest-first from the others.
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (me + offset) % n;
-            if let Some(task) = self.deques[victim].lock().unwrap().pop_front() {
+            if let Some(task) = locked(&self.deques[victim]).pop_front() {
                 return Some(task);
             }
         }
@@ -193,7 +213,7 @@ impl Shared {
     }
 
     fn has_queued(&self) -> bool {
-        self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+        self.deques.iter().any(|d| !locked(d).is_empty())
     }
 
     fn execute(&self, task: Task, me: usize) {
@@ -201,20 +221,22 @@ impl Shared {
         let outcome = catch_unwind(AssertUnwindSafe(task.job));
         let busy = start.elapsed();
         let stolen = task.home != me;
-        self.tasks_total.fetch_add(1, Ordering::Relaxed);
+        self.tasks_total.fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) lifetime task tally, reporting only
         if stolen {
-            self.steals_total.fetch_add(1, Ordering::Relaxed);
+            self.steals_total.fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) lifetime steal tally, reporting only
         }
         if let Some(domain) = &task.domain {
             domain.record(me, busy, stolen);
         }
         if let Err(payload) = outcome {
-            *task.batch.panic.lock().unwrap() = Some(payload);
+            *locked(&task.batch.panic) = Some(payload);
         }
         // Last task out wakes the submitter (notify under the lock so the
-        // submitter's check-then-wait cannot miss it).
+        // submitter's check-then-wait cannot miss it). The AcqRel decrement
+        // is also what publishes this task's metrics counters and result
+        // write to the submitter's Acquire load.
         if task.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = task.batch.lock.lock().unwrap();
+            let _guard = locked(&task.batch.lock);
             task.batch.done.notify_all();
         }
     }
@@ -236,12 +258,12 @@ fn worker_main(shared: Arc<Shared>, me: usize) {
             shared.execute(task, me);
             continue;
         }
-        let guard = shared.idle.lock().unwrap();
+        let guard = locked(&shared.idle);
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         if !shared.has_queued() {
-            let _ = shared.wake.wait_timeout(guard, IDLE_WAIT).unwrap();
+            drop(wait_on(&shared.wake, guard, IDLE_WAIT));
         }
     }
 }
@@ -286,12 +308,12 @@ impl WorkerPool {
 
     /// Tasks executed over the pool's lifetime.
     pub fn total_tasks(&self) -> u64 {
-        self.shared.tasks_total.load(Ordering::Relaxed)
+        self.shared.tasks_total.load(Ordering::Relaxed) // lint:atomics(metrics) reporting read, no decision made on it
     }
 
     /// Steals over the pool's lifetime.
     pub fn total_steals(&self) -> u64 {
-        self.shared.steals_total.load(Ordering::Relaxed)
+        self.shared.steals_total.load(Ordering::Relaxed) // lint:atomics(metrics) reporting read, no decision made on it
     }
 
     /// Create a metrics domain sized for this pool.
@@ -344,7 +366,7 @@ impl WorkerPool {
                 .map(|item| {
                     let start = Instant::now();
                     let out = f(item);
-                    self.shared.tasks_total.fetch_add(1, Ordering::Relaxed);
+                    self.shared.tasks_total.fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) lifetime task tally, reporting only
                     if let Some(d) = domain {
                         d.inner.record(me, start.elapsed(), false);
                     }
@@ -375,7 +397,7 @@ impl WorkerPool {
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
             let home = (me + i) % slots;
-            self.shared.deques[home].lock().unwrap().push_back(Task {
+            locked(&self.shared.deques[home]).push_back(Task {
                 job,
                 home,
                 batch: Arc::clone(&batch),
@@ -383,7 +405,7 @@ impl WorkerPool {
             });
         }
         {
-            let _guard = self.shared.idle.lock().unwrap();
+            let _guard = locked(&self.shared.idle);
             self.shared.wake.notify_all();
         }
 
@@ -392,19 +414,20 @@ impl WorkerPool {
             if let Some(task) = self.shared.find_task(me) {
                 self.shared.execute(task, me);
             } else {
-                let guard = batch.lock.lock().unwrap();
+                let guard = locked(&batch.lock);
                 if batch.remaining.load(Ordering::Acquire) == 0 {
                     break;
                 }
-                let _ = batch.done.wait_timeout(guard, IDLE_WAIT).unwrap();
+                drop(wait_on(&batch.done, guard, IDLE_WAIT));
             }
         }
 
-        if let Some(payload) = batch.panic.lock().unwrap().take() {
+        if let Some(payload) = locked(&batch.panic).take() {
             resume_unwind(payload);
         }
         results
             .into_iter()
+            // lint:allow(no-panic-in-lib) invariant: remaining hit zero, so every task wrote its slot exactly once
             .map(|slot| slot.expect("completed batch left an empty slot"))
             .collect()
     }
@@ -414,7 +437,7 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         {
-            let _guard = self.shared.idle.lock().unwrap();
+            let _guard = locked(&self.shared.idle);
             self.shared.wake.notify_all();
         }
         for handle in self.handles.drain(..) {
@@ -607,14 +630,14 @@ mod tests {
             for _ in 0..2 {
                 scope.spawn(|| {
                     let out = pool.exec().map((0..100u64).collect(), |x| {
-                        counter.fetch_add(1, Ordering::Relaxed);
+                        counter.fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) test tally
                         x
                     });
                     assert_eq!(out.len(), 100);
                 });
             }
         });
-        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert_eq!(counter.load(Ordering::Relaxed), 200); // lint:atomics(metrics) read after scope join
     }
 
     #[test]

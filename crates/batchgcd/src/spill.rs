@@ -62,7 +62,9 @@ fn read_level(path: &Path, count: usize) -> io::Result<Vec<Natural>> {
         r.read_exact(&mut payload)?;
         let limbs: Vec<u64> = payload
             .chunks_exact(8)
-            .map(|chunk| u64::from_le_bytes(chunk.try_into().unwrap()))
+            // chunks_exact(8) yields exactly-8-byte slices, so the
+            // conversion is infallible; the fallback is never taken.
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().unwrap_or([0; 8])))
             .collect();
         out.push(Natural::from_limbs(limbs));
     }
@@ -96,14 +98,10 @@ impl SpilledProductTree {
             if current.len() == 1 {
                 break;
             }
-            let pairs: Vec<(Natural, Option<Natural>)> = current
-                .chunks(2)
-                .map(|c| (c[0].clone(), c.get(1).cloned()))
-                .collect();
-            current = exec.map(pairs, |(a, b)| match b {
-                Some(b) => &a * &b,
-                None => a,
-            });
+            current = exec.map(
+                crate::tree::pair_level(&current),
+                crate::tree::multiply_pair,
+            );
             level_idx += 1;
         }
         Ok(SpilledProductTree {
@@ -116,7 +114,7 @@ impl SpilledProductTree {
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.level_sizes[0]
+        self.level_sizes.first().copied().unwrap_or(0)
     }
 
     /// Total bytes spilled to disk — the quantity the paper contrasts with

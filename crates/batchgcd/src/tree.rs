@@ -33,35 +33,33 @@ impl ProductTree {
             moduli.iter().all(|m| !m.is_zero()),
             "zero modulus in product tree"
         );
-        let mut levels = vec![moduli.to_vec()];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let pairs: Vec<(Natural, Option<Natural>)> = prev
-                .chunks(2)
-                .map(|c| (c[0].clone(), c.get(1).cloned()))
-                .collect();
-            let next = exec.map(pairs, |(a, b)| match b {
-                Some(b) => &a * &b,
-                None => a, // odd node promoted unchanged
-            });
-            levels.push(next);
+        let mut levels = Vec::new();
+        let mut current = moduli.to_vec();
+        while current.len() > 1 {
+            let next = exec.map(pair_level(&current), multiply_pair);
+            levels.push(core::mem::replace(&mut current, next));
         }
+        levels.push(current); // the single-node root level
         ProductTree { levels }
     }
 
     /// The root product `Π N_i`.
     pub fn root(&self) -> &Natural {
-        &self.levels.last().unwrap()[0]
+        self.levels
+            .last()
+            .and_then(|top| top.first())
+            // lint:allow(no-panic-in-lib) invariant: build() always ends by pushing a one-node root level
+            .expect("a built ProductTree has a one-node top level")
     }
 
     /// Number of leaves (inputs).
     pub fn leaf_count(&self) -> usize {
-        self.levels[0].len()
+        self.leaves().len()
     }
 
     /// The leaf level.
     pub fn leaves(&self) -> &[Natural] {
-        &self.levels[0]
+        self.levels.first().map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total size of all stored nodes in bytes (limb storage only) — the
@@ -82,10 +80,7 @@ impl ProductTree {
     pub fn remainder_tree(&self, value: &Natural, exec: Exec<'_>) -> Vec<Natural> {
         // Current values, one per node at the level being processed.
         let top_level = self.levels.len() - 1;
-        let mut current: Vec<Natural> = {
-            let root = &self.levels[top_level][0];
-            vec![value % &root.square()]
-        };
+        let mut current: Vec<Natural> = vec![value % &self.root().square()];
         // Descend from below the root to the leaves.
         for level_idx in (0..top_level).rev() {
             let level = &self.levels[level_idx];
@@ -105,10 +100,7 @@ impl ProductTree {
     /// quantity.
     pub fn remainder_tree_plain(&self, value: &Natural, exec: Exec<'_>) -> Vec<Natural> {
         let top_level = self.levels.len() - 1;
-        let mut current: Vec<Natural> = {
-            let root = &self.levels[top_level][0];
-            vec![value % root]
-        };
+        let mut current: Vec<Natural> = vec![value % self.root()];
         for level_idx in (0..top_level).rev() {
             let level = &self.levels[level_idx];
             let tasks: Vec<(Natural, &Natural)> = level
@@ -119,6 +111,27 @@ impl ProductTree {
             current = exec.map(tasks, |(parent_val, node)| &parent_val % node);
         }
         current
+    }
+}
+
+/// Pair up adjacent nodes of one level: `[a, b, c]` becomes
+/// `[(a, Some(b)), (c, None)]`. Shared by the in-RAM and disk-spilled
+/// product-tree builders.
+pub(crate) fn pair_level(level: &[Natural]) -> Vec<(Natural, Option<Natural>)> {
+    level
+        .chunks(2)
+        .filter_map(|pair| {
+            pair.split_first()
+                .map(|(a, rest)| (a.clone(), rest.first().cloned()))
+        })
+        .collect()
+}
+
+/// Combine one paired entry: multiply, or promote an unpaired odd node.
+pub(crate) fn multiply_pair((a, b): (Natural, Option<Natural>)) -> Natural {
+    match b {
+        Some(b) => &a * &b,
+        None => a,
     }
 }
 

@@ -2,6 +2,8 @@
 //! binary. Every bench in `benches/` regenerates one table or figure of the
 //! paper; see DESIGN.md §4 for the experiment index.
 
+#![forbid(unsafe_code)]
+
 use std::sync::OnceLock;
 use weakkeys::{run_pipeline, BatchMode, StudyConfig, StudyResults};
 use wk_bigint::Natural;

@@ -52,8 +52,8 @@ impl Natural {
         if self < rhs {
             return (Natural::zero(), self.clone());
         }
-        if rhs.limb_len() == 1 {
-            let (q, r) = self.div_rem_limb(rhs.limbs[0]);
+        if let [limb] = rhs.limbs[..] {
+            let (q, r) = self.div_rem_limb(limb);
             return (q, Natural::from(r));
         }
         if rhs.limb_len() <= BZ_THRESHOLD {
@@ -72,8 +72,8 @@ impl Natural {
         if self < rhs {
             return (Natural::zero(), self.clone());
         }
-        if rhs.limb_len() == 1 {
-            let (q, r) = self.div_rem_limb(rhs.limbs[0]);
+        if let [limb] = rhs.limbs[..] {
+            let (q, r) = self.div_rem_limb(limb);
             return (q, Natural::from(r));
         }
         knuth_div_rem(self, rhs)
@@ -85,7 +85,8 @@ impl Natural {
 fn knuth_div_rem(a: &Natural, b: &Natural) -> (Natural, Natural) {
     debug_assert!(b.limb_len() >= 2);
     debug_assert!(a >= b);
-    let shift = b.limbs.last().unwrap().leading_zeros() as u64;
+    // `top_limb()` is the true top limb here: callers assert `b` nonzero.
+    let shift = b.top_limb().leading_zeros() as u64;
     let u = a << shift;
     let v = b << shift;
     let mut u_limbs = u.limbs;
@@ -195,7 +196,7 @@ fn bz_div_rem(a: &Natural, b: &Natural) -> (Natural, Natural) {
     let j = s.div_ceil(1 << k);
     let n = j << k;
     // Normalize: limb-pad to n limbs and bit-shift so the top bit is set.
-    let sigma = 64 * (n - s) as u64 + b.limbs.last().unwrap().leading_zeros() as u64;
+    let sigma = 64 * (n - s) as u64 + b.top_limb().leading_zeros() as u64;
     let bn = b << sigma;
     let an = a << sigma;
     debug_assert_eq!(bn.limb_len(), n);

@@ -82,8 +82,11 @@ impl Natural {
             chunks.push(r);
             cur = q;
         }
-        let mut s = chunks.last().unwrap().to_string();
-        for c in chunks.iter().rev().skip(1) {
+        // The zero case returned early, so at least one chunk was pushed;
+        // the most significant chunk prints unpadded.
+        let mut high_to_low = chunks.iter().rev();
+        let mut s = high_to_low.next().map(u64::to_string).unwrap_or_default();
+        for c in high_to_low {
             s.push_str(&format!("{c:019}"));
         }
         s

@@ -28,8 +28,9 @@ impl Natural {
         if b.is_zero() {
             return a;
         }
-        let za = a.trailing_zeros().unwrap();
-        let zb = b.trailing_zeros().unwrap();
+        // Both nonzero (handled above), so both have a lowest set bit.
+        let za = a.trailing_zeros().unwrap_or(0);
+        let zb = b.trailing_zeros().unwrap_or(0);
         let common = za.min(zb);
         a >>= za;
         b >>= zb;
@@ -110,14 +111,16 @@ fn gcd_lehmer(mut a: Natural, mut b: Natural) -> Natural {
         if b.is_zero() {
             return a;
         }
-        if a.limb_len() <= 2 {
-            return Natural::from(gcd_u128(a.to_u128().unwrap(), b.to_u128().unwrap()));
+        // `b <= a`, so when `a` fits a u128 both do and the word-size
+        // algorithm finishes the job.
+        if let (Some(x), Some(y)) = (a.to_u128(), b.to_u128()) {
+            return Natural::from(gcd_u128(x, y));
         }
         // Take the top 64-bit window of `a` and the aligned bits of `b`.
         let k = a.bit_len();
         let shift = k - 64;
-        let x = (&a >> shift).to_u64().expect("window fits u64");
-        let y = (&b >> shift).to_u64().expect("window fits u64");
+        let x = (&a >> shift).to_u64().expect("window fits u64"); // lint:allow(no-panic-in-lib) invariant: shift = bit_len - 64 leaves exactly 64 bits
+        let y = (&b >> shift).to_u64().expect("window fits u64"); // lint:allow(no-panic-in-lib) invariant: b <= a, so b's window fits whenever a's does
 
         // Simulate Euclid on (x, y) tracking cofactors: at every step
         // a' = A*x0 + B*y0, b' = C*x0 + D*y0 for the original window values.

@@ -34,6 +34,8 @@
 //! assert_eq!(&n1 / &n1.gcd(&n2), q1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod limb;
 
 mod add;

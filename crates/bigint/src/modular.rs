@@ -41,7 +41,7 @@ impl MontgomeryContext {
             return None;
         }
         let len = modulus.limb_len();
-        let n0_inv = inv_limb_2_64(modulus.limbs()[0]).wrapping_neg();
+        let n0_inv = inv_limb_2_64(modulus.low_limb()).wrapping_neg();
         // R^2 mod n where R = 2^(64*len).
         let r_squared = &(&Natural::one() << (128 * len as u64)) % &modulus;
         Some(MontgomeryContext {

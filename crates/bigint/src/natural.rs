@@ -66,7 +66,18 @@ impl Natural {
 
     /// True iff the value is 1.
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        self.limbs == [1]
+    }
+
+    /// Lowest limb — the value reduced mod 2^64. 0 for the value 0.
+    pub fn low_limb(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Highest (nonzero, by the normalization invariant) limb. 0 for the
+    /// value 0.
+    pub fn top_limb(&self) -> u64 {
+        self.limbs.last().copied().unwrap_or(0)
     }
 
     /// True iff the value is even. Zero is even.
@@ -122,19 +133,19 @@ impl Natural {
 
     /// Convert to `u64` if the value fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
+        match self.limbs[..] {
+            [] => Some(0),
+            [lo] => Some(lo),
             _ => None,
         }
     }
 
     /// Convert to `u128` if the value fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+        match self.limbs[..] {
+            [] => Some(0),
+            [lo] => Some(lo as u128),
+            [lo, hi] => Some((hi as u128) << 64 | lo as u128),
             _ => None,
         }
     }

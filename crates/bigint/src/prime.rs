@@ -64,7 +64,7 @@ impl Natural {
         }
         // Decompose n-1 = d * 2^s.
         let n_minus_1 = self - &Natural::one();
-        let s = n_minus_1.trailing_zeros().expect("n > 2 is odd here");
+        let s = n_minus_1.trailing_zeros().expect("n > 2 is odd here"); // lint:allow(no-panic-in-lib) invariant: n odd and > 2, so n-1 >= 2 is nonzero
         let d = &n_minus_1 >> s;
 
         for &w in FIXED_WITNESSES.iter() {
@@ -90,16 +90,16 @@ impl Natural {
         struct NoRng;
         impl RngCore for NoRng {
             fn next_u32(&mut self) -> u32 {
-                unreachable!("no random rounds requested")
+                unreachable!("no random rounds requested") // lint:allow(no-panic-in-lib) invariant: passed with extra_rounds = 0; a call is a logic bug
             }
             fn next_u64(&mut self) -> u64 {
-                unreachable!("no random rounds requested")
+                unreachable!("no random rounds requested") // lint:allow(no-panic-in-lib) invariant: passed with extra_rounds = 0; a call is a logic bug
             }
             fn fill_bytes(&mut self, _dest: &mut [u8]) {
-                unreachable!("no random rounds requested")
+                unreachable!("no random rounds requested") // lint:allow(no-panic-in-lib) invariant: passed with extra_rounds = 0; a call is a logic bug
             }
             fn try_fill_bytes(&mut self, _dest: &mut [u8]) -> Result<(), rand::Error> {
-                unreachable!("no random rounds requested")
+                unreachable!("no random rounds requested") // lint:allow(no-panic-in-lib) invariant: passed with extra_rounds = 0; a call is a logic bug
             }
         }
         self.is_probable_prime(0, &mut NoRng)

@@ -42,9 +42,10 @@ impl Natural {
             let src = core::mem::take(&mut self.limbs);
             let mut dst = vec![0u64; n];
             limb::shr_limbs_small(&mut dst, &src, bit_shift);
-            self.limbs = dst;
+            *self = Natural::from_limbs(dst);
+        } else {
+            self.normalize();
         }
-        self.normalize();
     }
 
     /// `self <<= bits` in place.

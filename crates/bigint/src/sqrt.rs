@@ -29,7 +29,7 @@ impl Natural {
     pub fn is_perfect_square(&self) -> bool {
         // Cheap residue filter: squares mod 16 are in {0,1,4,9}.
         if !self.is_zero() {
-            let low = self.limbs()[0] & 0xf;
+            let low = self.low_limb() & 0xf;
             if !matches!(low, 0 | 1 | 4 | 9) {
                 return false;
             }

@@ -13,6 +13,8 @@
 //!   `Default Common Name`, Fritz!Box SANs, Cisco's model-in-OU, ...).
 //! * [`MonthDate`] — the study's month-granular time axis.
 
+#![forbid(unsafe_code)]
+
 mod certificate;
 mod template;
 mod time;

@@ -38,6 +38,8 @@
 //! | longitudinal analysis | `wk-analysis` | §4 |
 //! | pipeline + disclosure data | `weakkeys` (this crate) | §2.5, §3-§4 |
 
+#![forbid(unsafe_code)]
+
 pub mod disclosure;
 pub mod pipeline;
 

@@ -21,6 +21,8 @@
 //! recovered factors); the simulator's ground truth is used exclusively by
 //! tests to score these fingerprints.
 
+#![forbid(unsafe_code)]
+
 pub mod anomaly;
 pub mod clique;
 pub mod openssl;

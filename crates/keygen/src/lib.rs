@@ -24,6 +24,8 @@
 //! assert_eq!(key.decrypt_raw(&c), wk_bigint::Natural::from(42u64));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod flawed;
 pub mod mechanism;
 pub mod primes;

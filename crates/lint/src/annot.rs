@@ -1,0 +1,211 @@
+//! `lint:` annotation parsing and targeting.
+//!
+//! Two comment-borne annotation forms steer the rules:
+//!
+//! * `// lint:allow(<rule-id>) <justification>` — suppress one finding of
+//!   `<rule-id>` on the annotated line. The justification is mandatory: an
+//!   allow without one is itself a diagnostic, and so is an allow that
+//!   suppresses nothing (`unused-allow`), so stale annotations cannot
+//!   accumulate.
+//! * `// lint:atomics(metrics|control) <justification>` — classify an
+//!   atomic-ordering site for the `atomics-ordering-audit` rule. `metrics`
+//!   asserts the value never feeds control flow (so `Relaxed` is fine);
+//!   `control` asserts it does (so `Relaxed` is an error).
+//!
+//! Targeting is line-based: a trailing comment annotates its own line; a
+//! comment alone on its line annotates the next line that carries any
+//! token. This keeps the grammar trivially greppable and independent of
+//! statement structure.
+
+use crate::lexer::{Comment, Token};
+use std::collections::BTreeSet;
+
+/// Classification carried by a `lint:atomics(...)` annotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicsTag {
+    Metrics,
+    Control,
+}
+
+/// One parsed annotation, bound to the source line it targets.
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    pub kind: AnnotationKind,
+    /// Line the annotation comment appears on (for diagnostics).
+    pub comment_line: u32,
+    /// Line the annotation applies to.
+    pub target_line: u32,
+    pub justification: String,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnnotationKind {
+    Allow {
+        rule: String,
+    },
+    Atomics {
+        tag: AtomicsTag,
+    },
+    /// A `lint:` comment that did not parse; always reported.
+    Malformed {
+        reason: String,
+    },
+}
+
+/// Extract every `lint:` annotation from the file's comments.
+pub fn parse(comments: &[Comment], tokens: &[Token], src: &str) -> Vec<Annotation> {
+    let token_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+    let mut out = Vec::new();
+    for comment in comments {
+        let body = comment
+            .text(src)
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(directive) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let target_line = if comment.own_line {
+            // First line after the comment that carries a token.
+            token_lines
+                .range(comment.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(comment.line)
+        } else {
+            comment.line
+        };
+        let kind = parse_directive(directive);
+        let justification = justification_of(directive);
+        out.push(Annotation {
+            kind,
+            comment_line: comment.line,
+            target_line,
+            justification,
+        });
+    }
+    out
+}
+
+fn justification_of(directive: &str) -> String {
+    directive
+        .split_once(')')
+        .map(|(_, rest)| rest.trim().trim_end_matches("*/").trim())
+        .unwrap_or("")
+        .to_string()
+}
+
+fn parse_directive(directive: &str) -> AnnotationKind {
+    let malformed = |reason: &str| AnnotationKind::Malformed {
+        reason: reason.to_string(),
+    };
+    if let Some(rest) = directive.strip_prefix("allow(") {
+        let Some((rule, _)) = rest.split_once(')') else {
+            return malformed("missing `)` in `lint:allow(...)`");
+        };
+        let rule = rule.trim();
+        if rule.is_empty() {
+            return malformed("empty rule id in `lint:allow(...)`");
+        }
+        AnnotationKind::Allow {
+            rule: rule.to_string(),
+        }
+    } else if let Some(rest) = directive.strip_prefix("atomics(") {
+        let Some((tag, _)) = rest.split_once(')') else {
+            return malformed("missing `)` in `lint:atomics(...)`");
+        };
+        match tag.trim() {
+            "metrics" => AnnotationKind::Atomics {
+                tag: AtomicsTag::Metrics,
+            },
+            "control" => AnnotationKind::Atomics {
+                tag: AtomicsTag::Control,
+            },
+            other => malformed(&format!(
+                "unknown atomics tag `{other}` (expected `metrics` or `control`)"
+            )),
+        }
+    } else {
+        malformed("unknown directive (expected `lint:allow(...)` or `lint:atomics(...)`)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn annots(src: &str) -> Vec<Annotation> {
+        let lexed = lex(src);
+        parse(&lexed.comments, &lexed.tokens, src)
+    }
+
+    #[test]
+    fn trailing_allow_targets_own_line() {
+        let src = "let x = v.unwrap(); // lint:allow(no-panic-in-lib) checked above\n";
+        let a = annots(src);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].target_line, 1);
+        assert_eq!(
+            a[0].kind,
+            AnnotationKind::Allow {
+                rule: "no-panic-in-lib".into()
+            }
+        );
+        assert_eq!(a[0].justification, "checked above");
+    }
+
+    #[test]
+    fn own_line_allow_targets_next_token_line() {
+        let src = "// lint:allow(forbid-unsafe-creep) vetted below\n\nunsafe { x() }\n";
+        let a = annots(src);
+        assert_eq!(a[0].target_line, 3);
+    }
+
+    #[test]
+    fn atomics_tags_parse() {
+        let src = "x.load(O); // lint:atomics(metrics) display only\ny.store(O); // lint:atomics(control) gate\n";
+        let a = annots(src);
+        assert_eq!(
+            a[0].kind,
+            AnnotationKind::Atomics {
+                tag: AtomicsTag::Metrics
+            }
+        );
+        assert_eq!(
+            a[1].kind,
+            AnnotationKind::Atomics {
+                tag: AtomicsTag::Control
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_directives_reported() {
+        for src in [
+            "// lint:allow(no-close justification\n",
+            "// lint:atomics(maybe) hmm\n",
+            "// lint:frobnicate(x)\n",
+            "// lint:allow() empty\n",
+        ] {
+            let a = annots(src);
+            assert!(
+                matches!(a[0].kind, AnnotationKind::Malformed { .. }),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_lint_comments_ignored() {
+        assert!(annots("// plain comment about lint rules\n").is_empty());
+    }
+
+    #[test]
+    fn block_comment_annotation() {
+        let src = "do_it(); /* lint:allow(limb-normalization) builder */\n";
+        let a = annots(src);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].justification, "builder");
+    }
+}

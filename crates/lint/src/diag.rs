@@ -1,0 +1,109 @@
+//! Diagnostics: one finding per violated invariant, rendered rustc-style.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as given to the walker (workspace-relative in normal runs).
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Length in characters of the underlined span.
+    pub len: usize,
+    /// Stable rule id (`no-panic-in-lib`, ...).
+    pub rule: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (second caret line).
+    pub help: String,
+    /// The full source line, for the rendered span.
+    pub source_line: String,
+}
+
+impl Diagnostic {
+    /// Sort key: path, then position.
+    pub fn sort_key(&self) -> (String, u32, u32) {
+        (self.path.clone(), self.line, self.col)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let line_no = self.line.to_string();
+        let gutter = " ".repeat(line_no.len());
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "{gutter}--> {}:{}:{}", self.path, self.line, self.col)?;
+        writeln!(f, "{gutter} |")?;
+        writeln!(f, "{line_no} | {}", self.source_line)?;
+        let pad = " ".repeat(self.col.saturating_sub(1) as usize);
+        let carets = "^".repeat(self.len.max(1));
+        writeln!(f, "{gutter} | {pad}{carets} {}", self.help)
+    }
+}
+
+/// Render a batch of diagnostics plus a one-line summary, as the CLI
+/// prints them.
+pub fn render_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if diags.is_empty() {
+        out.push_str("wk-lint: no invariant violations\n");
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            diags.iter().map(|d| d.path.as_str()).collect();
+        out.push_str(&format!(
+            "wk-lint: {} violation{} in {} file{}\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            files.len(),
+            if files.len() == 1 { "" } else { "s" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            path: "crates/bigint/src/x.rs".into(),
+            line: 7,
+            col: 15,
+            len: 6,
+            rule: "no-panic-in-lib".into(),
+            message: "`.unwrap()` in library code".into(),
+            help: "propagate a Result instead".into(),
+            source_line: "    let v = x.unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn render_includes_location_rule_and_caret() {
+        let text = sample().to_string();
+        assert!(text.contains("error[no-panic-in-lib]"));
+        assert!(text.contains("crates/bigint/src/x.rs:7:15"));
+        assert!(text.contains("^^^^^^ propagate a Result instead"));
+        let caret_line = text.lines().last().expect("caret line");
+        let src_line = text.lines().nth(3).expect("source line");
+        // Carets align under column 15 of the source line.
+        assert_eq!(
+            caret_line.find('^').expect("caret") - caret_line.find('|').expect("bar"),
+            src_line.find("unwrap").expect("token") - src_line.find('|').expect("bar")
+        );
+    }
+
+    #[test]
+    fn report_summarizes() {
+        assert!(render_report(&[]).contains("no invariant violations"));
+        let two = vec![sample(), sample()];
+        assert!(render_report(&two).contains("2 violations in 1 file"));
+    }
+}

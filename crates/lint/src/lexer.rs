@@ -1,0 +1,516 @@
+//! A minimal hand-written Rust tokenizer.
+//!
+//! The workspace builds offline, so `wk-lint` cannot depend on `syn` or
+//! `proc-macro2`. The rules only need a *token-accurate* view of each source
+//! file — enough to never mistake the inside of a string literal or comment
+//! for code — not a parse tree. This lexer provides exactly that: it splits
+//! a file into identifiers, literals, lifetimes, and single-character
+//! punctuation, with precise line/column spans, and collects comments (the
+//! carrier of `lint:` annotations) on the side.
+//!
+//! Handled literal forms: line and (nested) block comments, string literals
+//! with escapes, raw strings with any `#` depth, byte and byte-raw strings,
+//! character literals vs. lifetimes, and numeric literals including hex and
+//! exponent forms. Anything the lexer does not recognize is emitted as a
+//! one-character [`TokenKind::Punct`], which is always safe for the rules:
+//! they match on identifier/punct sequences only.
+
+/// What a token is; rules match on kind plus the source text of the span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `Ordering`, ...).
+    Ident,
+    /// Numeric literal (`0`, `0xff_u64`, `1.5e3`).
+    Number,
+    /// String literal of any form (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `[`, `!`, `:`, ...).
+    Punct(char),
+}
+
+/// One token with its byte span and 1-based line/column position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Source text of the token.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// One comment (line or block), kept out of the token stream. `own_line` is
+/// true when nothing but whitespace precedes it on its starting line — the
+/// distinction `lint:` annotation targeting relies on.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub own_line: bool,
+}
+
+impl Comment {
+    /// Source text of the comment, including the `//` / `/*` sigils.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Token stream plus side tables for one source file.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// True until a non-whitespace char is seen on the current line.
+    line_blank_so_far: bool,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Cursor<'s> {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            line_blank_so_far: true,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_blank_so_far = true;
+        } else {
+            self.col += 1;
+            if !c.is_whitespace() {
+                self.line_blank_so_far = false;
+            }
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+/// Tokenize `src`. Never fails: malformed input degrades to `Punct` tokens,
+/// and an unterminated string or comment simply runs to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let start = cur.byte_offset();
+        let line = cur.line;
+        let col = cur.col;
+        let own_line = cur.line_blank_so_far;
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            cur.bump_while(|c| c != '\n');
+            comments.push(Comment {
+                start,
+                end: cur.byte_offset(),
+                line,
+                own_line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            comments.push(Comment {
+                start,
+                end: cur.byte_offset(),
+                line,
+                own_line,
+            });
+            continue;
+        }
+
+        // Raw / byte string prefixes: r"", r#""#, b"", br#""#, rb is not
+        // valid Rust but lexing it as a raw string is harmless.
+        if (c == 'r' || c == 'b') && raw_or_byte_string(&mut cur) {
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end: cur.byte_offset(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if is_ident_start(c) {
+            cur.bump_while(is_ident_continue);
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: cur.byte_offset(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                start,
+                end: cur.byte_offset(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '"' {
+            lex_string(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end: cur.byte_offset(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '\'' {
+            let kind = lex_quote(&mut cur);
+            tokens.push(Token {
+                kind,
+                start,
+                end: cur.byte_offset(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        cur.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            start,
+            end: cur.byte_offset(),
+            line,
+            col,
+        });
+    }
+
+    Lexed { tokens, comments }
+}
+
+/// If the cursor sits on a raw/byte string opener, consume it and return
+/// true; otherwise consume nothing and return false.
+fn raw_or_byte_string(cur: &mut Cursor) -> bool {
+    // Look ahead past an optional second prefix letter and `#` signs for
+    // the opening quote; bail (it's an identifier) otherwise.
+    let mut ahead = 1; // past the first prefix letter
+    if matches!(cur.peek_at(ahead), Some('r') | Some('b')) && cur.peek() != cur.peek_at(ahead) {
+        ahead += 1;
+    }
+    let mut hashes = 0usize;
+    while cur.peek_at(ahead + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek_at(ahead + hashes) != Some('"') {
+        return false;
+    }
+    // Raw strings (any `#`s present, or an `r` prefix) have no escapes;
+    // plain byte strings `b"…"` do.
+    let raw = hashes > 0 || cur.peek() == Some('r') || cur.peek_at(1) == Some('r');
+    for _ in 0..ahead + hashes + 1 {
+        cur.bump();
+    }
+    if raw {
+        loop {
+            match cur.bump() {
+                None => return true,
+                Some('"') => {
+                    let mut closing = 0usize;
+                    while closing < hashes && cur.peek() == Some('#') {
+                        cur.bump();
+                        closing += 1;
+                    }
+                    if closing == hashes {
+                        return true;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    } else {
+        lex_string_body(cur);
+        true
+    }
+}
+
+/// Consume a `"`-opened string starting at the quote.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    lex_string_body(cur);
+}
+
+/// Consume string body and closing quote, honoring backslash escapes.
+fn lex_string_body(cur: &mut Cursor) {
+    loop {
+        match cur.bump() {
+            None | Some('"') => return,
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consume a `'`-opened token: a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume escape then up to the closing
+            // quote (covers \n, \x41, \u{1F600}).
+            cur.bump();
+            cur.bump_while(|c| c != '\'');
+            cur.bump();
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            cur.bump_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokenKind::Char // 'a'
+            } else {
+                TokenKind::Lifetime // 'a as in &'a T
+            }
+        }
+        Some(_) => {
+            // Non-identifier char literal like '*' or '('.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Punct('\''),
+    }
+}
+
+/// Consume a numeric literal (integer, hex/octal/binary, float, suffixed).
+fn lex_number(cur: &mut Cursor) {
+    if cur.peek() == Some('0')
+        && matches!(
+            cur.peek_at(1),
+            Some('x') | Some('X') | Some('o') | Some('b')
+        )
+    {
+        cur.bump();
+        cur.bump();
+        cur.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return;
+    }
+    cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    // Fractional part — but `0..n` is a range, not a float.
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some('e') | Some('E'))
+        && (cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek_at(1), Some('+') | Some('-'))
+                && cur.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        cur.bump();
+        if matches!(cur.peek(), Some('+') | Some('-')) {
+            cur.bump();
+        }
+        cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    // Type suffix (u64, usize, f32, ...).
+    cur.bump_while(is_ident_continue);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("a.unwrap()");
+        assert_eq!(
+            ks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct('.'), ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::Punct('('), "(".into()),
+                (TokenKind::Punct(')'), ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ks = kinds(r#"let s = "unwrap() unsafe";"#);
+        assert!(ks.iter().all(|(_, t)| t != "unwrap" && t != "unsafe"));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"r#"quote " inside"# x"##;
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::Str);
+        assert_eq!(ks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let ks = kinds(r#"b"ab" br"cd" end"#);
+        assert_eq!(ks[0].0, TokenKind::Str);
+        assert_eq!(ks[1].0, TokenKind::Str);
+        assert_eq!(ks[2], (TokenKind::Ident, "end".into()));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let ks = kinds(r#""a\"b" tail"#);
+        assert_eq!(ks[0].0, TokenKind::Str);
+        assert_eq!(ks[1], (TokenKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("&'a T; 'x'; '\\n'; '*'");
+        assert!(ks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokenKind::Char, "'x'".into())));
+        assert!(ks.contains(&(TokenKind::Char, "'\\n'".into())));
+        assert!(ks.contains(&(TokenKind::Char, "'*'".into())));
+    }
+
+    #[test]
+    fn comments_collected_not_tokenized() {
+        let src = "code(); // trailing unwrap()\n/* block\nunsafe */ more();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+        let toks: Vec<_> = lexed.tokens.iter().map(|t| t.text(src)).collect();
+        assert!(!toks.contains(&"unwrap"));
+        assert!(!toks.contains(&"unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "/* outer /* inner */ still */ x";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text(src), "x");
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_suffixes() {
+        let ks = kinds("0..n 0xff_u64 1.5e-3 7usize");
+        let nums: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "0xff_u64", "1.5e-3", "7usize"]);
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let src = "ab\n  cd";
+        let lexed = lex(src);
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

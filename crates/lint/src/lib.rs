@@ -1,0 +1,298 @@
+//! # wk-lint — workspace invariant checker
+//!
+//! A standalone static-analysis pass over the workspace's `crates/*/src`
+//! files, enforcing invariants the compiler cannot express and this
+//! reproduction's correctness depends on:
+//!
+//! * **`no-panic-in-lib`** — the arithmetic core (`wk-bigint`,
+//!   `wk-batchgcd`) must not contain silent panic paths (`unwrap`,
+//!   `expect`, panic-family macros, fixed-index subscripts) outside test
+//!   code. A limb-level mistake must surface as an error value, not abort a
+//!   worker mid batch-GCD.
+//! * **`atomics-ordering-audit`** — every `Ordering::Relaxed` in the
+//!   work-stealing pool carries a `metrics` or `control` classification,
+//!   and `control` sites may never be `Relaxed`.
+//! * **`limb-normalization`** — `Natural` values are only built through the
+//!   normalizing constructors; raw `Natural { limbs: ... }` literals outside
+//!   `natural.rs` are errors.
+//! * **`forbid-unsafe-creep`** — `unsafe` stays confined to the reviewed
+//!   allowlist (currently `batchgcd/src/pool.rs`).
+//!
+//! The workspace builds offline, so there is no `syn`: files are read
+//! through a [hand-written minimal tokenizer](lexer) that is exact about
+//! comments, strings, char literals, and lifetimes — everything needed to
+//! never misread a literal as code. Violations are suppressed, one line at
+//! a time, with justified annotations (see [`annot`]); unused or
+//! unjustified annotations are themselves diagnostics, so the suppression
+//! layer cannot rot.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p wk-lint -- crates
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+pub mod annot;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod testmap;
+
+pub use diag::{render_report, Diagnostic};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one in-memory file. `rel_path` is the path diagnostics report
+/// (forward slashes); `crate_name` is the crate's directory name under
+/// `crates/` (`bigint`, not `wk-bigint`).
+pub fn check_source(rel_path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let testmap = testmap::build(&lexed.tokens, src, src.lines().count());
+    let annotations = annot::parse(&lexed.comments, &lexed.tokens, src);
+    let ctx = rules::FileContext {
+        rel_path,
+        crate_name,
+        src,
+        lexed: &lexed,
+        testmap: &testmap,
+        annotations: &annotations,
+    };
+    rules::check(&ctx)
+}
+
+/// Collect every `<root>/<crate>/src/**/*.rs` file, sorted for
+/// deterministic diagnostic order. Roots are crate-collection directories
+/// (normally just `crates`).
+pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    for root in roots {
+        if !root.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("`{}` is not a directory", root.display()),
+            ));
+        }
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(root)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            let crate_name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let mut sources = Vec::new();
+            walk_rs(&crate_dir.join("src"), &mut sources)?;
+            sources.sort();
+            files.extend(sources.into_iter().map(|p| (p, crate_name.clone())));
+        }
+    }
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every source file under the given roots; diagnostics come back
+/// sorted by path and position.
+pub fn run(roots: &[PathBuf]) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for (path, crate_name) in collect_files(roots)? {
+        let src = fs::read_to_string(&path)?;
+        let rel = path.to_string_lossy().replace('\\', "/");
+        diags.extend(check_source(&rel, &crate_name, &src));
+    }
+    diags.sort_by_key(|d| d.sort_key());
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_bigint_lib_is_flagged() {
+        let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::NO_PANIC);
+        assert_eq!((d[0].line, d[0].col), (2, 7));
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x().unwrap(); }\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_scoped_crates_is_fine() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        assert!(check_source("crates/scan/src/x.rs", "scan", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap_or(0) + v.unwrap_or_default() + v.unwrap_or_else(|| 1)\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // lint:allow(no-panic-in-lib) caller checked is_some\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_an_error() {
+        let src =
+            "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // lint:allow(no-panic-in-lib)\n}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::BAD_ANNOTATION);
+    }
+
+    #[test]
+    fn unused_allow_is_an_error() {
+        let src = "// lint:allow(no-panic-in-lib) nothing here\npub fn f() {}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::UNUSED_ALLOW);
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_asserts_exempt() {
+        let src = "pub fn f(x: bool) {\n    assert!(x, \"precondition\");\n    if !x { panic!(\"boom\") }\n    unreachable!()\n}\n";
+        let d = check_source("crates/batchgcd/src/x.rs", "batchgcd", src);
+        let rules_hit: Vec<_> = d.iter().map(|d| (d.line, d.message.clone())).collect();
+        assert_eq!(d.len(), 2, "{rules_hit:?}");
+        assert!(d[0].message.contains("panic!"));
+        assert!(d[1].message.contains("unreachable!"));
+    }
+
+    #[test]
+    fn fixed_index_subscript_flagged_variable_index_not() {
+        let src = "pub fn f(v: &[u32], i: usize) -> u32 {\n    v[0] + v[i]\n}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`[0]`"));
+    }
+
+    #[test]
+    fn array_literals_and_macros_not_flagged() {
+        let src = "pub fn f() -> [u8; 8] {\n    let _v = vec![1, 2];\n    let _s = &b\"xy\"[..];\n    [0u8; 8]\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_flagged() {
+        let src = "pub fn f() -> &'static str {\n    // calls unwrap() and panic! in prose\n    \"unsafe unwrap() panic!\"\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn raw_natural_literal_flagged_everywhere_but_natural_rs() {
+        let src = "fn f() -> Natural { Natural { limbs: vec![0] } }\n";
+        let d = check_source("crates/bigint/src/mul.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::LIMB_NORM);
+        assert!(check_source("crates/bigint/src/natural.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn impl_blocks_do_not_trip_limb_rule() {
+        let src = "impl Natural {\n    fn limbs(&self) -> &[u64] { &self.limbs }\n}\n";
+        assert!(check_source("crates/bigint/src/other.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn limbs_field_write_flagged_comparison_not() {
+        let src =
+            "fn f(n: &mut Natural) {\n    n.limbs = vec![];\n    let _e = n.limbs == vec![];\n}\n";
+        let d = check_source("crates/bigint/src/other.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("direct write"));
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_flagged() {
+        let src = "pub fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let d = check_source("crates/scan/src/x.rs", "scan", src);
+        assert!(d.iter().any(|d| d.rule == rules::UNSAFE_CREEP));
+        let pool = check_source("crates/batchgcd/src/pool.rs", "batchgcd", src);
+        assert!(pool.iter().all(|d| d.rule != rules::UNSAFE_CREEP));
+    }
+
+    #[test]
+    fn relaxed_in_pool_requires_annotation() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let d = check_source("crates/batchgcd/src/pool.rs", "batchgcd", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::ATOMICS);
+        assert!(d[0].message.contains("unannotated"));
+    }
+
+    #[test]
+    fn relaxed_metrics_annotation_accepted() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) reporting counter\n}\n";
+        assert!(check_source("crates/batchgcd/src/pool.rs", "batchgcd", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_control_annotation_is_an_error() {
+        let src = "fn f(c: &AtomicBool) {\n    c.store(true, Ordering::Relaxed); // lint:atomics(control) shutdown flag\n}\n";
+        let d = check_source("crates/batchgcd/src/pool.rs", "batchgcd", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("control-tagged"));
+    }
+
+    #[test]
+    fn relaxed_outside_pool_not_audited() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(
+            check_source("crates/batchgcd/src/spill.rs", "batchgcd", src)
+                .iter()
+                .all(|d| d.rule != rules::ATOMICS)
+        );
+    }
+
+    #[test]
+    fn acquire_release_need_no_annotation() {
+        let src = "fn f(c: &AtomicBool) {\n    c.store(true, Ordering::Release);\n    c.load(Ordering::Acquire);\n}\n";
+        assert!(check_source("crates/batchgcd/src/pool.rs", "batchgcd", src).is_empty());
+    }
+
+    #[test]
+    fn own_line_annotation_covers_next_line() {
+        let src = "pub fn f(v: Option<u32>) -> u32 {\n    // lint:allow(no-panic-in-lib) invariant: caller guarantees Some\n    v.unwrap()\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_sorted_and_rendered() {
+        let src = "pub fn f(v: Option<u32>, w: &[u32]) -> u32 {\n    v.unwrap() + w[0]\n}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", src);
+        assert_eq!(d.len(), 2);
+        let report = render_report(&d);
+        assert!(report.contains("crates/bigint/src/x.rs:2:7"));
+        assert!(report.contains("2 violations in 1 file"));
+    }
+}

@@ -1,0 +1,55 @@
+//! CLI driver: `wk-lint [--quiet] <crates-dir>...`
+//!
+//! Lints every `<crates-dir>/*/src/**/*.rs` file and prints rustc-style
+//! diagnostics. Exit status: 0 clean, 1 findings, 2 usage or I/O error —
+//! CI gates on it (see `.github/workflows/ci.yml`, job `lint-invariants`).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut roots = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: wk-lint [--quiet] <crates-dir>...");
+                println!("lints every <crates-dir>/*/src/**/*.rs for workspace invariants");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("wk-lint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        eprintln!("usage: wk-lint [--quiet] <crates-dir>...");
+        return ExitCode::from(2);
+    }
+    match wk_lint::run(&roots) {
+        Ok(diags) => {
+            if quiet {
+                let report = wk_lint::render_report(&diags);
+                if let Some(summary) = report.lines().last() {
+                    println!("{summary}");
+                }
+            } else {
+                print!("{}", wk_lint::render_report(&diags));
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("wk-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The four workspace invariants, as token-pattern rules.
+//!
+//! | rule id                  | scope                         | invariant |
+//! |--------------------------|-------------------------------|-----------|
+//! | `no-panic-in-lib`        | `bigint`, `batchgcd` lib code | no `unwrap`/`expect`/panic-macros/fixed-index subscripts |
+//! | `atomics-ordering-audit` | `batchgcd/src/pool.rs`        | every `Ordering::Relaxed` is tagged `metrics` or `control`; `control` + `Relaxed` is an error |
+//! | `limb-normalization`     | whole workspace               | no raw `Natural { limbs: ... }` construction outside `natural.rs` |
+//! | `forbid-unsafe-creep`    | whole workspace               | no `unsafe` outside the audited allowlist |
+//!
+//! Rules emit findings; [`resolve`] then applies `lint:allow` suppressions,
+//! demands justifications, and reports unused or malformed annotations so
+//! the annotation layer itself stays sound.
+
+use crate::annot::{Annotation, AnnotationKind, AtomicsTag};
+use crate::diag::Diagnostic;
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::testmap::TestMap;
+
+pub const NO_PANIC: &str = "no-panic-in-lib";
+pub const ATOMICS: &str = "atomics-ordering-audit";
+pub const LIMB_NORM: &str = "limb-normalization";
+pub const UNSAFE_CREEP: &str = "forbid-unsafe-creep";
+pub const UNUSED_ALLOW: &str = "unused-allow";
+pub const BAD_ANNOTATION: &str = "bad-annotation";
+
+/// Crates whose library code must not contain panic-capable calls.
+const NO_PANIC_CRATES: &[&str] = &["bigint", "batchgcd"];
+/// Files allowed to contain `unsafe` (each reviewed in DESIGN.md).
+const UNSAFE_ALLOWLIST: &[&str] = &["batchgcd/src/pool.rs"];
+/// The one file allowed to build `Natural` from raw limbs: it defines the
+/// normalizing constructors.
+const LIMB_CONSTRUCTOR_FILE: &str = "bigint/src/natural.rs";
+/// The file under the atomics-ordering audit.
+const ATOMICS_FILE: &str = "batchgcd/src/pool.rs";
+
+/// Everything the rules need to know about one source file.
+pub struct FileContext<'s> {
+    /// Workspace-relative path with `/` separators (as diagnosed).
+    pub rel_path: &'s str,
+    /// Crate directory name under `crates/` (`bigint`, not `wk-bigint`).
+    pub crate_name: &'s str,
+    pub src: &'s str,
+    pub lexed: &'s Lexed,
+    pub testmap: &'s TestMap,
+    pub annotations: &'s [Annotation],
+}
+
+impl<'s> FileContext<'s> {
+    fn line_text(&self, line: u32) -> String {
+        self.src
+            .lines()
+            .nth(line as usize - 1)
+            .unwrap_or("")
+            .to_string()
+    }
+
+    fn diag(&self, tok: &Token, rule: &str, message: String, help: String) -> Diagnostic {
+        Diagnostic {
+            path: self.rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            len: tok.text(self.src).chars().count(),
+            rule: rule.to_string(),
+            message,
+            help,
+            source_line: self.line_text(tok.line),
+        }
+    }
+
+    fn path_is(&self, suffix: &str) -> bool {
+        self.rel_path.ends_with(suffix)
+    }
+}
+
+/// Run every rule over one file and resolve annotations into the final
+/// diagnostic set.
+pub fn check(ctx: &FileContext) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    no_panic_in_lib(ctx, &mut findings);
+    limb_normalization(ctx, &mut findings);
+    forbid_unsafe_creep(ctx, &mut findings);
+    atomics_ordering_audit(ctx, &mut findings);
+    resolve(ctx, findings)
+}
+
+/// `no-panic-in-lib`: panic-capable constructs in arithmetic-core library
+/// code. A wrong answer should surface as an `Err` the caller can account
+/// for, not a worker-thread abort mid batch.
+fn no_panic_in_lib(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !NO_PANIC_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let allow_hint =
+        format!("return a Result, restructure, or annotate `// lint:allow({NO_PANIC}) <why>`");
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.testmap.is_test_line(tok.line) {
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Ident => {
+                let text = tok.text(ctx.src);
+                // `.unwrap(` / `.expect(` method calls.
+                if (text == "unwrap" || text == "expect")
+                    && i > 0
+                    && toks[i - 1].kind == TokenKind::Punct('.')
+                    && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+                {
+                    out.push(ctx.diag(
+                        tok,
+                        NO_PANIC,
+                        format!("`.{text}()` in library code"),
+                        allow_hint.clone(),
+                    ));
+                }
+                // Panic-family macros. `assert!`-style precondition checks
+                // are deliberately exempt: they are documented API contracts
+                // (`# Panics` sections), not silent failure paths.
+                if matches!(text, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('!'))
+                {
+                    out.push(ctx.diag(
+                        tok,
+                        NO_PANIC,
+                        format!("`{text}!` in library code"),
+                        allow_hint.clone(),
+                    ));
+                }
+            }
+            // Fixed-index subscript `expr[<literal>]`: panics unless the
+            // length is locally guaranteed. Array literals (`[0u8; 8]`) and
+            // macro brackets (`vec![...]`) don't match because `[` must
+            // follow an expression tail.
+            TokenKind::Punct('[') => {
+                let after_expr = i > 0
+                    && matches!(
+                        toks[i - 1].kind,
+                        TokenKind::Ident | TokenKind::Punct(')') | TokenKind::Punct(']')
+                    );
+                if after_expr
+                    && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Number)
+                    && toks.get(i + 2).map(|t| t.kind) == Some(TokenKind::Punct(']'))
+                {
+                    let idx = &toks[i + 1];
+                    out.push(Diagnostic {
+                        len: idx.text(ctx.src).chars().count() + 2,
+                        ..ctx.diag(
+                            tok,
+                            NO_PANIC,
+                            format!(
+                                "fixed-index subscript `[{}]` in library code",
+                                idx.text(ctx.src)
+                            ),
+                            format!(
+                                "use a slice pattern or `.get({})`, or annotate \
+                                 `// lint:allow({NO_PANIC}) <why>`",
+                                idx.text(ctx.src)
+                            ),
+                        )
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `limb-normalization`: `Natural`'s limb vector must keep its top limb
+/// nonzero; every construction goes through the normalizing constructors in
+/// `natural.rs`. A raw struct literal or direct field write elsewhere can
+/// produce a denormalized value that breaks `Ord`/`Eq`/`bit_len`.
+fn limb_normalization(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.path_is(LIMB_CONSTRUCTOR_FILE) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = tok.text(ctx.src);
+        // `Natural { limbs ... }` struct literal.
+        if text == "Natural"
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('{'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text(ctx.src) == "limbs")
+            && matches!(
+                toks.get(i + 3).map(|t| t.kind),
+                Some(TokenKind::Punct(':'))
+                    | Some(TokenKind::Punct('}'))
+                    | Some(TokenKind::Punct(','))
+            )
+        {
+            out.push(
+                ctx.diag(
+                    tok,
+                    LIMB_NORM,
+                    "raw `Natural { limbs: ... }` construction".to_string(),
+                    "use `Natural::from_limbs` / `from_limb_slice` so the top limb is normalized"
+                        .to_string(),
+                ),
+            );
+        }
+        // `.limbs = ...` direct field write (not `==`).
+        if text == "limbs"
+            && i > 0
+            && toks[i - 1].kind == TokenKind::Punct('.')
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('='))
+            && toks.get(i + 2).map(|t| t.kind) != Some(TokenKind::Punct('='))
+        {
+            out.push(ctx.diag(
+                tok,
+                LIMB_NORM,
+                "direct write to the `limbs` field".to_string(),
+                "construct a fresh value via `Natural::from_limbs` instead".to_string(),
+            ));
+        }
+    }
+}
+
+/// `forbid-unsafe-creep`: `unsafe` is confined to an explicit, reviewed
+/// allowlist; everywhere else it is an error even before the compiler sees
+/// a `#![forbid(unsafe_code)]`.
+fn forbid_unsafe_creep(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if UNSAFE_ALLOWLIST.iter().any(|f| ctx.path_is(f)) {
+        return;
+    }
+    for tok in &ctx.lexed.tokens {
+        if tok.kind == TokenKind::Ident && tok.text(ctx.src) == "unsafe" {
+            out.push(
+                ctx.diag(
+                    tok,
+                    UNSAFE_CREEP,
+                    "`unsafe` outside the audited allowlist".to_string(),
+                    "keep unsafe in the allowlisted files (see wk-lint's UNSAFE_ALLOWLIST) or \
+                 extend the allowlist in review"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// `atomics-ordering-audit`: in the work-stealing pool, every
+/// `Ordering::Relaxed` must be classified. `metrics` sites feed reporting
+/// only and tolerate reordering; a `control` site whose value gates
+/// execution (shutdown, batch-completion) must use an acquire/release
+/// ordering, so `control` + `Relaxed` is always an error.
+fn atomics_ordering_audit(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.path_is(ATOMICS_FILE) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let relaxed = tok.kind == TokenKind::Ident
+            && tok.text(ctx.src) == "Relaxed"
+            && i >= 3
+            && toks[i - 1].kind == TokenKind::Punct(':')
+            && toks[i - 2].kind == TokenKind::Punct(':')
+            && toks[i - 3].kind == TokenKind::Ident
+            && toks[i - 3].text(ctx.src) == "Ordering";
+        if !relaxed {
+            continue;
+        }
+        let tag = ctx.annotations.iter().find_map(|a| match &a.kind {
+            AnnotationKind::Atomics { tag } if a.target_line == tok.line => Some(*tag),
+            _ => None,
+        });
+        match tag {
+            None => out.push(
+                ctx.diag(
+                    tok,
+                    ATOMICS,
+                    "unannotated `Ordering::Relaxed`".to_string(),
+                    "classify the site: `// lint:atomics(metrics) <why>` if the value never \
+                 feeds control flow, otherwise use Acquire/Release and tag it `control`"
+                        .to_string(),
+                ),
+            ),
+            Some(AtomicsTag::Control) => out.push(
+                ctx.diag(
+                    tok,
+                    ATOMICS,
+                    "control-tagged atomic uses `Ordering::Relaxed`".to_string(),
+                    "a control-bearing site needs Acquire/Release/AcqRel (see pool.rs shutdown \
+                 and batch-completion protocol)"
+                        .to_string(),
+                ),
+            ),
+            Some(AtomicsTag::Metrics) => {}
+        }
+    }
+}
+
+/// Apply `lint:allow` suppressions and audit the annotation layer itself:
+/// justifications are mandatory, and annotations that suppress or classify
+/// nothing are reported so they cannot go stale silently.
+fn resolve(ctx: &FileContext, findings: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut used = vec![false; ctx.annotations.len()];
+    let mut out = Vec::new();
+
+    for finding in findings {
+        let matching = ctx.annotations.iter().enumerate().find(|(_, a)| {
+            matches!(&a.kind, AnnotationKind::Allow { rule } if *rule == finding.rule)
+                && a.target_line == finding.line
+        });
+        match matching {
+            Some((idx, annot)) => {
+                used[idx] = true;
+                if annot.justification.is_empty() {
+                    out.push(annotation_diag(
+                        ctx,
+                        annot,
+                        BAD_ANNOTATION,
+                        format!("`lint:allow({})` without a justification", finding.rule),
+                        "append the reason the invariant holds here".to_string(),
+                    ));
+                }
+            }
+            None => out.push(finding),
+        }
+    }
+
+    for (idx, annot) in ctx.annotations.iter().enumerate() {
+        match &annot.kind {
+            AnnotationKind::Malformed { reason } => out.push(annotation_diag(
+                ctx,
+                annot,
+                BAD_ANNOTATION,
+                format!("malformed `lint:` annotation: {reason}"),
+                "see DESIGN.md for the annotation grammar".to_string(),
+            )),
+            AnnotationKind::Allow { rule } if !used[idx] => out.push(annotation_diag(
+                ctx,
+                annot,
+                UNUSED_ALLOW,
+                format!("`lint:allow({rule})` suppresses nothing"),
+                "the annotated line has no such finding; remove the stale allow".to_string(),
+            )),
+            AnnotationKind::Atomics { .. } => {
+                let classifies = ctx.lexed.tokens.iter().any(|t| {
+                    t.line == annot.target_line
+                        && t.kind == TokenKind::Ident
+                        && t.text(ctx.src) == "Ordering"
+                });
+                if !classifies {
+                    out.push(annotation_diag(
+                        ctx,
+                        annot,
+                        UNUSED_ALLOW,
+                        "`lint:atomics(...)` targets a line with no `Ordering` use".to_string(),
+                        "move the tag onto the line containing the atomic op".to_string(),
+                    ));
+                } else if annot.justification.is_empty() {
+                    out.push(annotation_diag(
+                        ctx,
+                        annot,
+                        BAD_ANNOTATION,
+                        "`lint:atomics(...)` without a justification".to_string(),
+                        "say why the classification is correct".to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    out
+}
+
+fn annotation_diag(
+    ctx: &FileContext,
+    annot: &Annotation,
+    rule: &str,
+    message: String,
+    help: String,
+) -> Diagnostic {
+    let source_line = ctx.line_text(annot.comment_line);
+    let col = (source_line.find("lint:").map(|i| i + 1).unwrap_or(1)) as u32;
+    Diagnostic {
+        path: ctx.rel_path.to_string(),
+        line: annot.comment_line,
+        col,
+        len: 5,
+        rule: rule.to_string(),
+        message,
+        help,
+        source_line,
+    }
+}

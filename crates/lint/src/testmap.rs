@@ -1,0 +1,200 @@
+//! Marking `#[cfg(test)]` / `#[test]` regions so rules can skip test code.
+//!
+//! The panic rules deliberately apply only to library paths: a test that
+//! `unwrap()`s is asserting, not shipping. Without a parse tree, test
+//! regions are recovered from the token stream by brace matching: an
+//! attribute whose tokens mention `test` (`#[cfg(test)]`, `#[test]`,
+//! `#[cfg(any(test, fuzzing))]`, ...) marks the item that follows it, and
+//! the item's body is the brace-balanced block after its first `{`. The
+//! approach over-approximates (any `test`-mentioning cfg counts) which is
+//! the safe direction for a suppression: it can only relax rules inside
+//! code that does not ship in the library build.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-line flags: `true` when the line is inside test-only code.
+pub struct TestMap {
+    test_lines: Vec<bool>,
+}
+
+impl TestMap {
+    /// True when 1-based `line` is inside a test region.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+/// True if the token at `i` starts an attribute (`#[...]` or `#![...]`)
+/// whose tokens include the identifier `test`. Returns the token index just
+/// past the closing `]` when so.
+fn test_attribute(tokens: &[Token], src: &str, i: usize) -> Option<usize> {
+    if tokens[i].kind != TokenKind::Punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j).map(|t| t.kind) == Some(TokenKind::Punct('!')) {
+        j += 1;
+    }
+    if tokens.get(j).map(|t| t.kind) != Some(TokenKind::Punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut mentions_test = false;
+    for (k, tok) in tokens.iter().enumerate().skip(j) {
+        match tok.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return mentions_test.then_some(k + 1);
+                }
+            }
+            TokenKind::Ident if tok.text(src) == "test" => mentions_test = true,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Build the per-line test map for one lexed file.
+pub fn build(tokens: &[Token], src: &str, line_count: usize) -> TestMap {
+    let mut test_lines = vec![false; line_count + 2];
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some(mut after) = test_attribute(tokens, src, i) else {
+            i += 1;
+            continue;
+        };
+        // Skip any further attributes between the test attribute and the
+        // item (`#[cfg(test)] #[allow(dead_code)] mod tests`).
+        while let Some(t) = tokens.get(after) {
+            if t.kind == TokenKind::Punct('#') {
+                let mut j = after + 1;
+                if tokens.get(j).map(|t| t.kind) == Some(TokenKind::Punct('!')) {
+                    j += 1;
+                }
+                if tokens.get(j).map(|t| t.kind) == Some(TokenKind::Punct('[')) {
+                    let mut depth = 0usize;
+                    let mut k = j;
+                    while let Some(tok) = tokens.get(k) {
+                        match tok.kind {
+                            TokenKind::Punct('[') => depth += 1,
+                            TokenKind::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    after = k + 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        // The attributed item's body: brace-match from its first `{`. An
+        // item that ends at `;` before any `{` (a `use` or extern decl) has
+        // no body to mark.
+        let mut k = after;
+        let mut body_start = None;
+        while let Some(tok) = tokens.get(k) {
+            match tok.kind {
+                TokenKind::Punct('{') => {
+                    body_start = Some(k);
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                _ => k += 1,
+            }
+        }
+        let Some(open) = body_start else {
+            i = after;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        while let Some(tok) = tokens.get(close) {
+            match tok.kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close += 1;
+        }
+        let first = tokens[i].line as usize;
+        let last = tokens
+            .get(close)
+            .map(|t| t.line as usize)
+            .unwrap_or(line_count);
+        let last = last.min(line_count + 1);
+        test_lines[first..=last].fill(true);
+        i = close.max(after) + 1;
+    }
+    TestMap { test_lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map(src: &str) -> TestMap {
+        let lexed = lex(src);
+        build(&lexed.tokens, src, src.lines().count())
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let m = map(src);
+        assert!(!m.is_test_line(1));
+        assert!(m.is_test_line(2));
+        assert!(m.is_test_line(3));
+        assert!(m.is_test_line(4));
+        assert!(m.is_test_line(5));
+        assert!(!m.is_test_line(6));
+    }
+
+    #[test]
+    fn bare_test_fn_is_marked() {
+        let src = "#[test]\nfn check() {\n    body();\n}\nfn lib() {}\n";
+        let m = map(src);
+        assert!(m.is_test_line(2));
+        assert!(m.is_test_line(3));
+        assert!(!m.is_test_line(5));
+    }
+
+    #[test]
+    fn stacked_attributes_before_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    x();\n}\n";
+        assert!(map(src).is_test_line(4));
+    }
+
+    #[test]
+    fn non_test_attribute_not_marked() {
+        let src = "#[cfg(feature = \"x\")]\nmod real {\n    y();\n}\n";
+        assert!(!map(src).is_test_line(3));
+    }
+
+    #[test]
+    fn cfg_test_use_declaration_marks_nothing_after() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn lib() {}\n";
+        assert!(!map(src).is_test_line(3));
+    }
+
+    #[test]
+    fn nested_braces_in_body() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn a() { if x { y() } }\n}\nfn lib() {}\n";
+        let m = map(src);
+        assert!(m.is_test_line(3));
+        assert!(!m.is_test_line(5));
+    }
+}

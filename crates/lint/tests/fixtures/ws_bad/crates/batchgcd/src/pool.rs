@@ -1,0 +1,24 @@
+//! Atomics-audit fixture: this path ends in `batchgcd/src/pool.rs`, so it
+//! is the audited atomics file and the one unsafe-allowlist entry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn untagged(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn mislabeled(c: &AtomicU64) {
+    c.store(1, Ordering::Relaxed); // lint:atomics(control) gates shutdown
+}
+
+pub fn counted(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // lint:atomics(metrics) reporting counter only
+}
+
+pub fn mistagged(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // lint:atomics(sometimes) bogus tag
+}
+
+pub fn allowlisted_unsafe(p: *const u64) -> u64 {
+    unsafe { *p }
+}

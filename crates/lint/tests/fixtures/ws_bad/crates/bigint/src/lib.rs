@@ -1,0 +1,43 @@
+//! Seeded-violation fixture: `bigint` is a no-panic crate, so every
+//! panic-capable construct below must be flagged or annotated.
+
+pub fn head(v: &[u64]) -> u64 {
+    v[0]
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn named(v: Option<u64>) -> u64 {
+    v.expect("fixture")
+}
+
+pub fn boom() {
+    panic!("fixture");
+}
+
+pub fn allowed_without_reason(v: Option<u64>) -> u64 {
+    v.unwrap() // lint:allow(no-panic-in-lib)
+}
+
+pub fn properly_allowed(v: Option<u64>) -> u64 {
+    // lint:allow(no-panic-in-lib) invariant: fixture callers always pass Some
+    v.unwrap()
+}
+
+// lint:allow(no-panic-in-lib) stale: nothing below can panic
+pub fn calm() {}
+
+// lint:frobnicate(yes) not a directive wk-lint knows
+pub fn precondition(x: bool) {
+    assert!(x, "documented precondition, deliberately exempt");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1u64).unwrap(), 1);
+    }
+}

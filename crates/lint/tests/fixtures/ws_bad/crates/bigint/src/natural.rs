@@ -1,0 +1,10 @@
+//! Constructor-file fixture: this path ends in `bigint/src/natural.rs`,
+//! the one place raw limb construction is legal.
+
+pub struct Natural {
+    pub limbs: Vec<u64>,
+}
+
+pub fn from_limbs(limbs: Vec<u64>) -> Natural {
+    Natural { limbs }
+}

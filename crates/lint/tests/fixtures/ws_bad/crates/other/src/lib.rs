@@ -1,0 +1,22 @@
+//! Out-of-scope crate: panics are legal here, but limb hygiene and the
+//! unsafe allowlist apply workspace-wide.
+
+pub struct Natural {
+    pub limbs: Vec<u64>,
+}
+
+pub fn not_flagged(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn raw(limbs: Vec<u64>) -> Natural {
+    Natural { limbs }
+}
+
+pub fn denormalize(n: &mut Natural) {
+    n.limbs = Vec::new();
+}
+
+pub fn creep(p: *const u64) -> u64 {
+    unsafe { *p }
+}

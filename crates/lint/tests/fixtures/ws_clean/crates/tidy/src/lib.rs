@@ -1,0 +1,13 @@
+//! Clean fixture: nothing here for any rule to flag.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adds() {
+        assert_eq!(super::add(2, 2), 4);
+    }
+}

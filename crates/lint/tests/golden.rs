@@ -1,0 +1,97 @@
+//! Fixture-driven end-to-end tests for `wk-lint`.
+//!
+//! `tests/fixtures/ws_bad` is a mini-workspace with a violation seeded for
+//! every rule and every annotation error path; `ws_bad.expected` is the
+//! golden rendered report. `ws_clean` must produce no findings, and so must
+//! the real workspace this crate lives in.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint a fixture workspace and render the report with paths relative to
+/// the fixture root, matching how the golden file was generated.
+fn report_for(workspace: &str) -> String {
+    let root = fixtures().join(workspace);
+    let mut diags = wk_lint::run(&[root.join("crates")]).expect("fixture workspace lints");
+    let prefix = format!("{}/", root.display()).replace('\\', "/");
+    for d in &mut diags {
+        let stripped = d.path.strip_prefix(&prefix).unwrap_or(&d.path).to_string();
+        d.path = stripped;
+    }
+    diags.sort_by_key(|d| d.sort_key());
+    wk_lint::render_report(&diags)
+}
+
+#[test]
+fn seeded_workspace_matches_golden_report() {
+    let expected = fs::read_to_string(fixtures().join("ws_bad.expected")).expect("golden file");
+    assert_eq!(report_for("ws_bad"), expected);
+}
+
+#[test]
+fn clean_workspace_reports_nothing() {
+    let diags = wk_lint::run(&[fixtures().join("ws_clean/crates")]).expect("clean fixture lints");
+    assert!(diags.is_empty(), "unexpected findings: {diags:#?}");
+    assert!(report_for("ws_clean").contains("no invariant violations"));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The repo's own `crates/` tree must stay lint-clean: every violation is
+    // either fixed or carries a justified annotation.
+    let crates_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../crates");
+    let diags = wk_lint::run(&[crates_dir]).expect("workspace lints");
+    let report = wk_lint::render_report(&diags);
+    assert!(diags.is_empty(), "workspace has violations:\n{report}");
+}
+
+#[test]
+fn cli_reports_violations_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wk-lint"))
+        .current_dir(fixtures().join("ws_bad"))
+        .arg("crates")
+        .output()
+        .expect("run wk-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    let expected = fs::read_to_string(fixtures().join("ws_bad.expected")).expect("golden file");
+    assert_eq!(stdout, expected);
+}
+
+#[test]
+fn cli_quiet_prints_only_the_summary() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wk-lint"))
+        .current_dir(fixtures().join("ws_bad"))
+        .args(["--quiet", "crates"])
+        .output()
+        .expect("run wk-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert_eq!(stdout.trim_end(), "wk-lint: 14 violations in 3 files");
+}
+
+#[test]
+fn cli_clean_workspace_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wk-lint"))
+        .current_dir(fixtures().join("ws_clean"))
+        .arg("crates")
+        .output()
+        .expect("run wk-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(stdout.contains("no invariant violations"), "{stdout}");
+}
+
+#[test]
+fn cli_missing_directory_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wk-lint"))
+        .arg(fixtures().join("no_such_workspace"))
+        .output()
+        .expect("run wk-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -31,6 +31,8 @@
 //! assert_eq!(dev_a.next_u64(), dev_b.next_u64()); // two devices, one key stream
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod clock;
 mod openssl_rand;
 mod pool;

@@ -24,6 +24,8 @@
 //! assert!(dataset.moduli.len() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod counterfactual;
 pub mod curve;

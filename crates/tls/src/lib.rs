@@ -31,6 +31,8 @@
 //! assert_eq!(passive_decrypt_record(&transcript, &key, seq).unwrap(), b"admin login");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attack;
 pub mod handshake;
 pub mod kdf;
