@@ -1,10 +1,11 @@
-//! The classic single-tree batch GCD algorithm ([21] §3.2, after Bernstein).
+//! The classic single-tree batch GCD algorithm (\[21\] §3.2, after Bernstein).
 //!
 //! Quasilinear in the number of input moduli: one product tree up, one
 //! remainder tree down, one gcd per leaf. This is the algorithm the original
 //! study ran on a 16-core machine; the paper's contribution is the k-subset
 //! variant in [`crate::distributed`], benchmarked against this baseline.
 
+use crate::corpus::ShardMetrics;
 use crate::pool::{PhaseExec, WorkerPool};
 use crate::resolve::{resolve, KeyStatus};
 use crate::tree::ProductTree;
@@ -30,6 +31,9 @@ pub struct BatchStats {
     pub remainder_tree_exec: PhaseExec,
     /// Executor metrics for the division + gcd phase.
     pub gcd_exec: PhaseExec,
+    /// Shard-store I/O metrics; all-zero [`Default`] for in-memory runs,
+    /// populated by [`sharded_batch_gcd`](crate::corpus::sharded_batch_gcd).
+    pub shard: ShardMetrics,
 }
 
 impl BatchStats {
@@ -127,6 +131,7 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
             product_tree_exec: build_domain.phase(),
             remainder_tree_exec: remainder_domain.phase(),
             gcd_exec: gcd_domain.phase(),
+            shard: ShardMetrics::default(),
         },
     }
 }

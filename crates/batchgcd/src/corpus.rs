@@ -1,0 +1,1107 @@
+//! Persistent corpus sharding: the scan corpus on disk, feeding batch GCD.
+//!
+//! The paper batch-GCDs 81.2M distinct moduli — far more than fits in one
+//! machine's RAM — and its cluster design assumes the corpus streams from
+//! stable storage in chunks. [`SpilledProductTree`](crate::spill) already
+//! spills the *product tree*; this module spills the *input corpus* itself:
+//!
+//! * [`ShardStore`] writes the corpus as fixed-capacity, checksummed shard
+//!   files (format specified field-by-field in DESIGN.md §7) and re-opens
+//!   an existing store for later runs;
+//! * [`ShardReader`] streams one shard's moduli back with bounded RAM —
+//!   nothing is memory-mapped, corruption surfaces as a typed
+//!   [`CorpusError`], never a panic;
+//! * [`sharded_batch_gcd`] runs the classic algorithm with the
+//!   work-stealing pool pulling shards on demand: each worker claims a
+//!   shard, builds its partial products, and the leaf remainder phase
+//!   streams shard-by-shard, so peak resident moduli stay at one shard per
+//!   worker instead of the whole corpus.
+//!
+//! The per-modulus payload encoding is the exact limb codec
+//! [`SpilledProductTree`](crate::spill::SpilledProductTree) uses for tree
+//! levels (little-endian `u64` limb count, then the limbs), so tooling that
+//! understands one format understands both.
+//!
+//! # Examples
+//!
+//! ```
+//! use wk_batchgcd::{batch_gcd, scratch_dir, sharded_batch_gcd, ShardStore};
+//! use wk_bigint::Natural;
+//!
+//! // 33 = 3*11 and 39 = 3*13 share the prime 3; 323 = 17*19 is clean.
+//! let moduli: Vec<Natural> = [33u64, 39, 323].map(Natural::from).to_vec();
+//! let dir = scratch_dir("corpus-doc");
+//! let store = ShardStore::create(&dir, 2, &moduli).unwrap();
+//! assert_eq!(store.shard_count(), 2); // capacity 2 -> shards of 2 + 1
+//!
+//! let sharded = sharded_batch_gcd(&store, 1).unwrap();
+//! let classic = batch_gcd(&moduli, 1);
+//! assert_eq!(sharded.raw_divisors, classic.raw_divisors);
+//! assert_eq!(sharded.statuses, classic.statuses);
+//! store.remove().unwrap();
+//! ```
+
+use crate::classic::{BatchGcdResult, BatchStats};
+use crate::pool::WorkerPool;
+use crate::resolve::resolve_with_hits;
+use crate::spill::{decode_natural, encode_natural, PartialGuard};
+use crate::tree::ProductTree;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use wk_bigint::Natural;
+
+/// Magic bytes opening every shard file (`"WKSHARD1"`).
+pub const SHARD_MAGIC: [u8; 8] = *b"WKSHARD1";
+
+/// On-disk format version this build reads and writes.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed shard header in bytes (see DESIGN.md §7 for the
+/// field-by-field layout).
+pub const SHARD_HEADER_LEN: usize = 36;
+
+/// File name of shard `index` inside a store directory.
+fn shard_file_name(index: u32) -> String {
+    format!("shard-{index:06}.wks")
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected). No external dependency is available, so
+// the table is generated at compile time.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC-32 state.
+#[derive(Clone, Copy)]
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong reading or writing a shard store. Corrupt
+/// or mismatched files surface as typed variants — never a panic — so a
+/// long batch run can report exactly which shard failed and why.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// An underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with [`SHARD_MAGIC`].
+    BadMagic {
+        /// Offending file.
+        path: PathBuf,
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is not [`SHARD_FORMAT_VERSION`].
+    VersionSkew {
+        /// Offending file.
+        path: PathBuf,
+        /// Version recorded in the file.
+        found: u32,
+    },
+    /// The file ends before the header's payload length is reached.
+    Truncated {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// The payload's checksum does not match the header CRC.
+    CrcMismatch {
+        /// Offending file.
+        path: PathBuf,
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        actual: u32,
+    },
+    /// A structural inconsistency: header fields that contradict each other
+    /// or the file contents (e.g. a record overrunning the payload length,
+    /// or a shard index that does not match its position in the store).
+    FormatViolation {
+        /// Offending file.
+        path: PathBuf,
+        /// What was inconsistent.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "shard I/O error: {e}"),
+            CorpusError::BadMagic { path, found } => {
+                write!(f, "{}: bad magic {found:02x?}", path.display())
+            }
+            CorpusError::VersionSkew { path, found } => write!(
+                f,
+                "{}: format version {found} (this build supports {SHARD_FORMAT_VERSION})",
+                path.display()
+            ),
+            CorpusError::Truncated { path } => {
+                write!(f, "{}: truncated shard", path.display())
+            }
+            CorpusError::CrcMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{}: payload CRC {actual:08x} != header CRC {expected:08x}",
+                path.display()
+            ),
+            CorpusError::FormatViolation { path, detail } => {
+                write!(f, "{}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> CorpusError {
+        CorpusError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header + metadata
+// ---------------------------------------------------------------------------
+
+/// Parsed header of one shard file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Position of this shard in the store (0-based, contiguous).
+    pub index: u32,
+    /// Number of moduli in the shard.
+    pub count: u64,
+    /// Payload length in bytes (everything between header and EOF).
+    pub payload_len: u64,
+    /// CRC-32 (IEEE) of the payload.
+    pub crc: u32,
+}
+
+impl ShardMeta {
+    /// Total on-disk size of the shard file (header + payload).
+    pub fn file_len(&self) -> u64 {
+        SHARD_HEADER_LEN as u64 + self.payload_len
+    }
+
+    fn to_header_bytes(self) -> [u8; SHARD_HEADER_LEN] {
+        let mut h = [0u8; SHARD_HEADER_LEN];
+        h[0..8].copy_from_slice(&SHARD_MAGIC);
+        h[8..12].copy_from_slice(&SHARD_FORMAT_VERSION.to_le_bytes());
+        h[12..16].copy_from_slice(&self.index.to_le_bytes());
+        h[16..24].copy_from_slice(&self.count.to_le_bytes());
+        h[24..32].copy_from_slice(&self.payload_len.to_le_bytes());
+        h[32..36].copy_from_slice(&self.crc.to_le_bytes());
+        h
+    }
+
+    fn from_header_bytes(
+        path: &Path,
+        h: &[u8; SHARD_HEADER_LEN],
+    ) -> Result<ShardMeta, CorpusError> {
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&h[0..8]);
+        if magic != SHARD_MAGIC {
+            return Err(CorpusError::BadMagic {
+                path: path.to_path_buf(),
+                found: magic,
+            });
+        }
+        let le_u32 = |range: std::ops::Range<usize>| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&h[range]);
+            u32::from_le_bytes(b)
+        };
+        let le_u64 = |range: std::ops::Range<usize>| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&h[range]);
+            u64::from_le_bytes(b)
+        };
+        let version = le_u32(8..12);
+        if version != SHARD_FORMAT_VERSION {
+            return Err(CorpusError::VersionSkew {
+                path: path.to_path_buf(),
+                found: version,
+            });
+        }
+        Ok(ShardMeta {
+            index: le_u32(12..16),
+            count: le_u64(16..24),
+            payload_len: le_u64(24..32),
+            crc: le_u32(32..36),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardStore
+// ---------------------------------------------------------------------------
+
+/// A directory of fixed-capacity, checksummed shard files holding a modulus
+/// corpus. Unlike [`SpilledProductTree`](crate::spill::SpilledProductTree)
+/// scratch space, a store is *persistent*: nothing is deleted on drop, and
+/// [`ShardStore::open`] re-attaches to a directory written earlier (by this
+/// process or a previous one). Delete explicitly with
+/// [`ShardStore::remove`].
+#[derive(Clone, Debug)]
+pub struct ShardStore {
+    dir: PathBuf,
+    shards: Vec<ShardMeta>,
+    capacity: u64,
+}
+
+impl ShardStore {
+    /// Write `moduli` into `dir` (created if absent) as shards of at most
+    /// `capacity` moduli each, in iteration order. Returns the open store.
+    ///
+    /// Partially written output is removed if any write fails, so an
+    /// aborted export never leaves a half-valid store behind.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or any modulus is zero (zero moduli are
+    /// rejected by every batch-GCD algorithm in this crate).
+    pub fn create<'a, I>(dir: &Path, capacity: usize, moduli: I) -> Result<ShardStore, CorpusError>
+    where
+        I: IntoIterator<Item = &'a Natural>,
+    {
+        assert!(capacity > 0, "shard capacity must be nonzero");
+        fs::create_dir_all(dir)?;
+        let mut guard = PartialGuard::new(dir.to_path_buf());
+        let mut shards = Vec::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut pending: u64 = 0;
+
+        let flush = |payload: &mut Vec<u8>,
+                     pending: &mut u64,
+                     shards: &mut Vec<ShardMeta>,
+                     guard: &mut PartialGuard|
+         -> Result<(), CorpusError> {
+            if *pending == 0 {
+                return Ok(());
+            }
+            let index = shards.len() as u32;
+            let meta = ShardMeta {
+                index,
+                count: *pending,
+                payload_len: payload.len() as u64,
+                crc: crc32(payload),
+            };
+            let path = dir.join(shard_file_name(index));
+            guard.track(path.clone());
+            let mut file = File::create(&path)?;
+            file.write_all(&meta.to_header_bytes())?;
+            file.write_all(payload)?;
+            file.sync_all()?;
+            shards.push(meta);
+            payload.clear();
+            *pending = 0;
+            Ok(())
+        };
+
+        for m in moduli {
+            assert!(!m.is_zero(), "zero modulus in corpus export");
+            encode_natural(&mut payload, m)?;
+            pending += 1;
+            if pending == capacity as u64 {
+                flush(&mut payload, &mut pending, &mut shards, &mut guard)?;
+            }
+        }
+        flush(&mut payload, &mut pending, &mut shards, &mut guard)?;
+        guard.defuse();
+        Ok(ShardStore {
+            dir: dir.to_path_buf(),
+            shards,
+            capacity: capacity as u64,
+        })
+    }
+
+    /// Re-open a store directory written earlier. Validates every shard
+    /// header (magic, version, index contiguity, file length) without
+    /// reading payloads; payload checksums are verified on read.
+    pub fn open(dir: &Path) -> Result<ShardStore, CorpusError> {
+        let mut indexed: Vec<(u32, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix("shard-")
+                .and_then(|s| s.strip_suffix(".wks"))
+            else {
+                continue;
+            };
+            let Ok(index) = stem.parse::<u32>() else {
+                continue;
+            };
+            indexed.push((index, entry.path()));
+        }
+        indexed.sort();
+        let mut shards = Vec::with_capacity(indexed.len());
+        for (position, (index, path)) in indexed.iter().enumerate() {
+            let mut header = [0u8; SHARD_HEADER_LEN];
+            let mut file = File::open(path)?;
+            file.read_exact(&mut header).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    CorpusError::Truncated { path: path.clone() }
+                } else {
+                    CorpusError::Io(e)
+                }
+            })?;
+            let meta = ShardMeta::from_header_bytes(path, &header)?;
+            if meta.index != *index || *index != position as u32 {
+                return Err(CorpusError::FormatViolation {
+                    path: path.clone(),
+                    detail: format!(
+                        "shard index {} at store position {position} (file name says {index})",
+                        meta.index
+                    ),
+                });
+            }
+            let actual_len = file.metadata()?.len();
+            if actual_len < meta.file_len() {
+                return Err(CorpusError::Truncated { path: path.clone() });
+            }
+            shards.push(meta);
+        }
+        let capacity = shards.iter().map(|s| s.count).max().unwrap_or(0);
+        Ok(ShardStore {
+            dir: dir.to_path_buf(),
+            shards,
+            capacity,
+        })
+    }
+
+    /// Directory holding the shard files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shard files.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum moduli per shard (the `create` capacity, or the largest
+    /// observed shard for an opened store).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total moduli across all shards.
+    pub fn total_moduli(&self) -> u64 {
+        self.shards.iter().map(|s| s.count).sum()
+    }
+
+    /// Total bytes on disk (headers + payloads) — the corpus analog of
+    /// [`SpilledProductTree::bytes_written`](crate::spill::SpilledProductTree::bytes_written).
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.shards.iter().map(|s| s.file_len()).sum()
+    }
+
+    /// Header metadata of every shard, in index order.
+    pub fn shards(&self) -> &[ShardMeta] {
+        &self.shards
+    }
+
+    /// Path of shard `index` (whether or not it exists).
+    pub fn shard_path(&self, index: u32) -> PathBuf {
+        self.dir.join(shard_file_name(index))
+    }
+
+    /// Open a streaming reader over shard `index`.
+    pub fn reader(&self, index: u32) -> Result<ShardReader, CorpusError> {
+        ShardReader::open(&self.shard_path(index))
+    }
+
+    /// Read all of shard `index` into memory, verifying the checksum.
+    pub fn read_shard(&self, index: u32) -> Result<Vec<Natural>, CorpusError> {
+        let reader = self.reader(index)?;
+        let mut out = Vec::with_capacity(reader.meta().count as usize);
+        for modulus in reader {
+            out.push(modulus?);
+        }
+        Ok(out)
+    }
+
+    /// Delete the shard files (and the directory, if then empty). The
+    /// explicit destructor: dropping a store leaves its files in place.
+    pub fn remove(self) -> io::Result<()> {
+        for meta in &self.shards {
+            let path = self.dir.join(shard_file_name(meta.index));
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let _ = fs::remove_dir(&self.dir);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardReader
+// ---------------------------------------------------------------------------
+
+/// Streams one shard's moduli from disk with bounded memory: a buffered
+/// sequential read, one modulus resident at a time, a running CRC. The
+/// checksum and payload length are verified no later than the read that
+/// yields the final modulus, so corrupt data never escapes silently.
+///
+/// Iterate it directly; each item is a `Result<Natural, CorpusError>`.
+pub struct ShardReader {
+    path: PathBuf,
+    reader: BufReader<File>,
+    meta: ShardMeta,
+    yielded: u64,
+    consumed: u64,
+    crc: Crc32,
+    scratch: Vec<u8>,
+    /// Set after an error or final verification; further reads yield None.
+    finished: bool,
+}
+
+impl fmt::Debug for ShardReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardReader")
+            .field("path", &self.path)
+            .field("meta", &self.meta)
+            .field("yielded", &self.yielded)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardReader {
+    /// Open `path` and validate its header.
+    pub fn open(path: &Path) -> Result<ShardReader, CorpusError> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut header = [0u8; SHARD_HEADER_LEN];
+        reader.read_exact(&mut header).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                CorpusError::Truncated {
+                    path: path.to_path_buf(),
+                }
+            } else {
+                CorpusError::Io(e)
+            }
+        })?;
+        let meta = ShardMeta::from_header_bytes(path, &header)?;
+        Ok(ShardReader {
+            path: path.to_path_buf(),
+            reader,
+            meta,
+            yielded: 0,
+            consumed: 0,
+            crc: Crc32::new(),
+            scratch: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// The shard's parsed header.
+    pub fn meta(&self) -> &ShardMeta {
+        &self.meta
+    }
+
+    fn fail(&mut self, err: CorpusError) -> CorpusError {
+        self.finished = true;
+        err
+    }
+
+    /// Read the next modulus, or `Ok(None)` after the last one. The call
+    /// returning the final modulus also verifies the payload length and
+    /// CRC, turning corruption into an error before the caller can use a
+    /// bad value.
+    pub fn next_modulus(&mut self) -> Result<Option<Natural>, CorpusError> {
+        if self.finished || self.yielded == self.meta.count {
+            return Ok(None);
+        }
+        let budget = self.meta.payload_len.saturating_sub(self.consumed);
+        let max_limbs = budget.saturating_sub(8) / 8;
+        let (n, bytes) = match decode_natural(&mut self.reader, &mut self.scratch, max_limbs) {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                let path = self.path.clone();
+                return Err(self.fail(CorpusError::Truncated { path }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let path = self.path.clone();
+                return Err(self.fail(CorpusError::FormatViolation {
+                    path,
+                    detail: "record overruns the header payload length".to_string(),
+                }));
+            }
+            Err(e) => return Err(self.fail(CorpusError::Io(e))),
+        };
+        self.crc.update(&self.scratch);
+        self.consumed += bytes;
+        self.yielded += 1;
+        if self.yielded == self.meta.count {
+            self.finished = true;
+            if self.consumed != self.meta.payload_len {
+                return Err(CorpusError::FormatViolation {
+                    path: self.path.clone(),
+                    detail: format!(
+                        "payload is {} bytes but header says {}",
+                        self.consumed, self.meta.payload_len
+                    ),
+                });
+            }
+            let actual = self.crc.finish();
+            if actual != self.meta.crc {
+                return Err(CorpusError::CrcMismatch {
+                    path: self.path.clone(),
+                    expected: self.meta.crc,
+                    actual,
+                });
+            }
+        }
+        Ok(Some(n))
+    }
+}
+
+impl Iterator for ShardReader {
+    type Item = Result<Natural, CorpusError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_modulus().transpose()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-level run metrics
+// ---------------------------------------------------------------------------
+
+/// Shard-level I/O and scheduling metrics for one batch-GCD run, surfaced
+/// on [`BatchStats`] and
+/// [`ClusterReport`](crate::distributed::ClusterReport). In-memory runs
+/// leave it all-zero (the `Default`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Shards persisted in the store feeding the run.
+    pub shards_written: u64,
+    /// Shard-file reads performed ([`sharded_batch_gcd`] streams each shard
+    /// twice: once for partial products, once for the leaf remainders).
+    pub shards_read: u64,
+    /// Bytes spilled to disk across the feeding store's shards.
+    pub bytes_written: u64,
+    /// Bytes read back from shard files during the run.
+    pub bytes_read: u64,
+    /// Busy (wall) time spent inside each shard's claimed tasks, indexed by
+    /// shard.
+    pub shard_busy: Vec<Duration>,
+}
+
+impl ShardMetrics {
+    /// Summed per-shard busy time.
+    pub fn total_busy(&self) -> Duration {
+        self.shard_busy.iter().sum()
+    }
+
+    /// True when no shard I/O happened (an in-memory run).
+    pub fn is_empty(&self) -> bool {
+        self.shards_read == 0 && self.shards_written == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sharded_batch_gcd
+// ---------------------------------------------------------------------------
+
+/// Classic batch GCD over a disk-resident corpus, with the work-stealing
+/// pool pulling shards on demand.
+///
+/// The computation is restructured so no phase ever needs the whole corpus
+/// in memory:
+///
+/// 1. **Shard products** — workers claim shards from the pool's deques;
+///    each claim streams the shard from disk, builds its product tree, and
+///    keeps only the shard product (one [`Natural`] per shard).
+/// 2. **Top tree** — an in-memory product tree over the shard products
+///    yields the global product `P`.
+/// 3. **Leaf remainders** — a remainder descent over the top tree gives
+///    `P mod prod_s^2` per shard; workers then claim shards again, re-read
+///    each one, rebuild its (shard-local) tree, descend to `P mod N_i^2`,
+///    and compute the final divisions and gcds for that shard's leaves.
+///
+/// Peak resident moduli are one shard per active worker (plus the shard
+/// products and top tree), not the corpus — the property that lets the
+/// paper-scale 81.2M-modulus corpus run on fixed RAM. Raw divisors and
+/// statuses are byte-identical to [`batch_gcd`](crate::classic::batch_gcd)
+/// on the same moduli in the same order: every remainder is an exact
+/// modular reduction, so tree shape cannot change values.
+///
+/// Timing note: shard claims interleave remainder descent and gcd work, so
+/// `remainder_tree_time` covers the whole leaf phase wall-clock while
+/// `gcd_time` reports the gcd tasks' summed busy time from the executor.
+///
+/// # Errors
+/// Any shard that fails to read back (truncation, checksum, version skew)
+/// aborts the run with the corresponding [`CorpusError`].
+pub fn sharded_batch_gcd(
+    store: &ShardStore,
+    threads: usize,
+) -> Result<BatchGcdResult, CorpusError> {
+    let total = store.total_moduli() as usize;
+    let shard_count = store.shard_count();
+    if shard_count == 0 {
+        return Ok(BatchGcdResult {
+            raw_divisors: Vec::new(),
+            statuses: Vec::new(),
+            stats: BatchStats::default(),
+        });
+    }
+
+    let pool = WorkerPool::new(threads);
+    let build_domain = pool.domain();
+    let remainder_domain = pool.domain();
+    let gcd_domain = pool.domain();
+
+    // Phase 1: one pool task per shard; the deques deal and steal them, so
+    // a free worker always claims the next unprocessed shard.
+    let t0 = Instant::now();
+    let product_tasks: Vec<_> = (0..shard_count as u32)
+        .map(|index| {
+            let pool = &pool;
+            let build_domain = &build_domain;
+            move || -> Result<(Natural, usize, Duration), CorpusError> {
+                let start = Instant::now();
+                let moduli = store.read_shard(index)?;
+                let tree = ProductTree::build(&moduli, pool.exec_in(build_domain));
+                Ok((tree.root().clone(), tree.total_bytes(), start.elapsed()))
+            }
+        })
+        .collect();
+    let mut shard_products = Vec::with_capacity(shard_count);
+    let mut max_shard_tree_bytes = 0usize;
+    let mut shard_busy = vec![Duration::ZERO; shard_count];
+    for (i, outcome) in pool.exec().run_tasks(product_tasks).into_iter().enumerate() {
+        let (root, tree_bytes, busy) = outcome?;
+        shard_products.push(root);
+        max_shard_tree_bytes = max_shard_tree_bytes.max(tree_bytes);
+        shard_busy[i] += busy;
+    }
+
+    // Phase 2: the top tree over shard products fits in memory by
+    // construction (one node per shard).
+    let top = ProductTree::build(&shard_products, pool.exec_in(&build_domain));
+    let product_tree_time = t0.elapsed();
+    let top_bytes = top.total_bytes();
+    drop(shard_products);
+
+    // Phase 3: descend P to per-shard residues, then per-shard leaf work.
+    let t1 = Instant::now();
+    let shard_residues = top.remainder_tree(top.root(), pool.exec_in(&remainder_domain));
+    drop(top);
+
+    struct ShardLeaves {
+        divisors: Vec<Option<Natural>>,
+        /// (index within shard, modulus) for each nontrivial divisor.
+        hits: Vec<(usize, Natural)>,
+        tree_bytes: usize,
+        busy: Duration,
+    }
+
+    let leaf_tasks: Vec<_> = shard_residues
+        .into_iter()
+        .enumerate()
+        .map(|(index, residue)| {
+            let pool = &pool;
+            let remainder_domain = &remainder_domain;
+            let gcd_domain = &gcd_domain;
+            move || -> Result<ShardLeaves, CorpusError> {
+                let start = Instant::now();
+                let moduli = store.read_shard(index as u32)?;
+                let tree = ProductTree::build(&moduli, pool.exec_in(remainder_domain));
+                let tree_bytes = tree.total_bytes();
+                let rems = tree.remainder_tree(&residue, pool.exec_in(remainder_domain));
+                drop(tree);
+                let divisors: Vec<Option<Natural>> = pool.exec_in(gcd_domain).map(
+                    moduli.iter().zip(rems).collect(),
+                    |(n, z): (&Natural, Natural)| {
+                        // Same leaf computation as the classic pass:
+                        // z = P mod N^2, N | P, so z/N = (P/N) mod N exactly.
+                        let (zn, r) = z.div_rem(n);
+                        debug_assert!(r.is_zero(), "N must divide P mod N^2");
+                        let g = n.gcd(&zn);
+                        if g.is_one() {
+                            None
+                        } else {
+                            Some(g)
+                        }
+                    },
+                );
+                let hits: Vec<(usize, Natural)> = divisors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.is_some())
+                    .map(|(i, _)| (i, moduli[i].clone()))
+                    .collect();
+                Ok(ShardLeaves {
+                    divisors,
+                    hits,
+                    tree_bytes,
+                    busy: start.elapsed(),
+                })
+            }
+        })
+        .collect();
+
+    let mut raw_divisors: Vec<Option<Natural>> = Vec::with_capacity(total);
+    let mut hits: Vec<(usize, Natural)> = Vec::new();
+    let mut base = 0usize;
+    for (i, outcome) in pool.exec().run_tasks(leaf_tasks).into_iter().enumerate() {
+        let leaves = outcome?;
+        hits.extend(leaves.hits.into_iter().map(|(local, n)| (base + local, n)));
+        base += leaves.divisors.len();
+        raw_divisors.extend(leaves.divisors);
+        max_shard_tree_bytes = max_shard_tree_bytes.max(leaves.tree_bytes);
+        shard_busy[i] += leaves.busy;
+    }
+    let remainder_tree_time = t1.elapsed();
+
+    let statuses = resolve_with_hits(total, &hits, &raw_divisors);
+    let gcd_exec = gcd_domain.phase();
+    Ok(BatchGcdResult {
+        raw_divisors,
+        statuses,
+        stats: BatchStats {
+            product_tree_time,
+            remainder_tree_time,
+            gcd_time: gcd_exec.busy_total(),
+            tree_bytes: top_bytes + max_shard_tree_bytes,
+            input_count: total,
+            product_tree_exec: build_domain.phase(),
+            remainder_tree_exec: remainder_domain.phase(),
+            gcd_exec,
+            shard: ShardMetrics {
+                shards_written: shard_count as u64,
+                shards_read: 2 * shard_count as u64,
+                bytes_written: store.bytes_on_disk(),
+                bytes_read: 2 * store.bytes_on_disk(),
+                shard_busy,
+            },
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::batch_gcd;
+    use crate::spill::scratch_dir;
+
+    fn nat(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    fn pseudo_moduli(count: usize, seed: u64) -> Vec<Natural> {
+        let mut state = seed | 1;
+        (0..count)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                nat((state | 1) as u128)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_and_values() {
+        let moduli = pseudo_moduli(23, 5);
+        let dir = scratch_dir("corpus-roundtrip");
+        let store = ShardStore::create(&dir, 7, &moduli).unwrap();
+        assert_eq!(store.shard_count(), 4); // 7+7+7+2
+        assert_eq!(store.total_moduli(), 23);
+        assert!(store.bytes_on_disk() > 0);
+        let mut back = Vec::new();
+        for i in 0..store.shard_count() as u32 {
+            back.extend(store.read_shard(i).unwrap());
+        }
+        assert_eq!(back, moduli);
+        store.remove().unwrap();
+    }
+
+    #[test]
+    fn open_reattaches_to_existing_store() {
+        let moduli = pseudo_moduli(10, 9);
+        let dir = scratch_dir("corpus-reopen");
+        let created = ShardStore::create(&dir, 4, &moduli).unwrap();
+        let reopened = ShardStore::open(&dir).unwrap();
+        assert_eq!(reopened.shards(), created.shards());
+        assert_eq!(reopened.total_moduli(), 10);
+        assert_eq!(reopened.capacity(), 4);
+        let back: Vec<Natural> = (0..reopened.shard_count() as u32)
+            .flat_map(|i| reopened.read_shard(i).unwrap())
+            .collect();
+        assert_eq!(back, moduli);
+        created.remove().unwrap();
+    }
+
+    #[test]
+    fn reader_streams_with_meta() {
+        let moduli = pseudo_moduli(5, 21);
+        let dir = scratch_dir("corpus-stream");
+        let store = ShardStore::create(&dir, 16, &moduli).unwrap();
+        let mut reader = store.reader(0).unwrap();
+        assert_eq!(reader.meta().count, 5);
+        assert_eq!(reader.meta().index, 0);
+        let mut n = 0;
+        while let Some(m) = reader.next_modulus().unwrap() {
+            assert_eq!(m, moduli[n]);
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        // Exhausted reader keeps returning None.
+        assert!(reader.next_modulus().unwrap().is_none());
+        store.remove().unwrap();
+    }
+
+    #[test]
+    fn sharded_matches_classic_exactly() {
+        let moduli = vec![
+            nat(33),
+            nat(39),
+            nat(323),
+            nat(15),
+            nat(35),
+            nat(21),
+            nat(437),
+            nat(667),
+            nat(6),
+        ];
+        let classic = batch_gcd(&moduli, 1);
+        for capacity in [1usize, 2, 3, 4, 9, 16] {
+            let dir = scratch_dir(&format!("corpus-gcd-{capacity}"));
+            let store = ShardStore::create(&dir, capacity, &moduli).unwrap();
+            let sharded = sharded_batch_gcd(&store, 1).unwrap();
+            assert_eq!(sharded.raw_divisors, classic.raw_divisors, "cap={capacity}");
+            assert_eq!(sharded.statuses, classic.statuses, "cap={capacity}");
+            assert_eq!(sharded.stats.input_count, moduli.len());
+            store.remove().unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_parallel_matches_sequential() {
+        let moduli = pseudo_moduli(40, 33);
+        let dir = scratch_dir("corpus-par");
+        let store = ShardStore::create(&dir, 8, &moduli).unwrap();
+        let seq = sharded_batch_gcd(&store, 1).unwrap();
+        let par = sharded_batch_gcd(&store, 4).unwrap();
+        assert_eq!(seq.raw_divisors, par.raw_divisors);
+        assert_eq!(seq.statuses, par.statuses);
+        store.remove().unwrap();
+    }
+
+    #[test]
+    fn shard_metrics_populated() {
+        let moduli = vec![nat(33), nat(39), nat(323), nat(437)];
+        let dir = scratch_dir("corpus-metrics");
+        let store = ShardStore::create(&dir, 2, &moduli).unwrap();
+        let result = sharded_batch_gcd(&store, 1).unwrap();
+        let shard = &result.stats.shard;
+        assert_eq!(shard.shards_written, 2);
+        assert_eq!(shard.shards_read, 4); // two passes over two shards
+        assert_eq!(shard.bytes_written, store.bytes_on_disk());
+        assert_eq!(shard.bytes_read, 2 * store.bytes_on_disk());
+        assert_eq!(shard.shard_busy.len(), 2);
+        assert!(shard.total_busy() > Duration::ZERO);
+        assert!(!shard.is_empty());
+        // Classic runs leave the metrics empty.
+        assert!(batch_gcd(&moduli, 1).stats.shard.is_empty());
+        store.remove().unwrap();
+    }
+
+    #[test]
+    fn empty_store_yields_empty_result() {
+        let dir = scratch_dir("corpus-empty");
+        let store = ShardStore::create(&dir, 4, std::iter::empty()).unwrap();
+        assert_eq!(store.shard_count(), 0);
+        let result = sharded_batch_gcd(&store, 1).unwrap();
+        assert!(result.raw_divisors.is_empty());
+        assert!(result.statuses.is_empty());
+        store.remove().unwrap();
+    }
+
+    // --- corruption paths -------------------------------------------------
+
+    /// Write a store with one shard and return (dir, shard path).
+    fn one_shard() -> (PathBuf, PathBuf) {
+        let moduli = pseudo_moduli(6, 77);
+        let dir = scratch_dir("corpus-corrupt");
+        let store = ShardStore::create(&dir, 16, &moduli).unwrap();
+        let path = store.shard_path(0);
+        (dir, path)
+    }
+
+    fn cleanup(dir: &Path) {
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncated_shard_is_typed_error() {
+        let (dir, path) = one_shard();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let reader = ShardReader::open(&path).unwrap();
+        let err = reader
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("truncated shard must fail");
+        assert!(matches!(err, CorpusError::Truncated { .. }), "{err}");
+        // Header-level truncation (file shorter than the header) also
+        // surfaces as Truncated, from open() and from ShardStore::open().
+        fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(
+            ShardReader::open(&path),
+            Err(CorpusError::Truncated { .. })
+        ));
+        assert!(matches!(
+            ShardStore::open(&dir),
+            Err(CorpusError::Truncated { .. })
+        ));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_typed_error() {
+        let (dir, path) = one_shard();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        let err = ShardReader::open(&path).expect_err("bad magic must fail");
+        assert!(matches!(err, CorpusError::BadMagic { .. }), "{err}");
+        assert!(err.to_string().contains("bad magic"));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn crc_mismatch_is_typed_error() {
+        let (dir, path) = one_shard();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload bit; header (incl. stored CRC) untouched.
+        let flip = SHARD_HEADER_LEN + 9;
+        bytes[flip] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let reader = ShardReader::open(&path).unwrap();
+        let err = reader
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("corrupt payload must fail");
+        assert!(matches!(err, CorpusError::CrcMismatch { .. }), "{err}");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn version_skew_is_typed_error() {
+        let (dir, path) = one_shard();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = ShardReader::open(&path).expect_err("version skew must fail");
+        match err {
+            CorpusError::VersionSkew { found, .. } => assert_eq!(found, 99),
+            other => panic!("expected VersionSkew, got {other}"),
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn oversized_record_is_typed_error() {
+        let (dir, path) = one_shard();
+        let mut bytes = fs::read(&path).unwrap();
+        // First record's limb count claims more limbs than the payload has.
+        bytes[SHARD_HEADER_LEN..SHARD_HEADER_LEN + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let reader = ShardReader::open(&path).unwrap();
+        let err = reader
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("oversized record must fail");
+        assert!(matches!(err, CorpusError::FormatViolation { .. }), "{err}");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn create_failure_removes_partial_output() {
+        let moduli = pseudo_moduli(8, 3);
+        let dir = scratch_dir("corpus-partial");
+        fs::create_dir_all(&dir).unwrap();
+        // Pre-plant a directory where shard 1 must go: shard 0 writes fine,
+        // shard 1's File::create fails, and the guard must remove shard 0.
+        fs::create_dir_all(dir.join(shard_file_name(1))).unwrap();
+        let err = ShardStore::create(&dir, 4, &moduli);
+        assert!(err.is_err(), "colliding shard path must fail");
+        assert!(
+            !dir.join(shard_file_name(0)).exists(),
+            "partial shard 0 must be cleaned up"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,7 @@
 //! residues (`P_j mod N_i`) and takes `gcd(N_i, P_j mod N_i)`, which is the
 //! correct pair-coverage quantity.
 
+use crate::corpus::{CorpusError, ShardMetrics, ShardStore};
 use crate::pool::{ExecDomain, PhaseExec, WorkerPool};
 use crate::resolve::{resolve, KeyStatus};
 use crate::tree::ProductTree;
@@ -98,6 +99,9 @@ pub struct ClusterReport {
     pub build_exec: PhaseExec,
     /// Executor metrics for phase 2 (all descents + gcd sweeps).
     pub descent_exec: PhaseExec,
+    /// Shard-store I/O metrics; all-zero [`Default`] for in-memory runs,
+    /// populated by [`distributed_batch_gcd_sharded`].
+    pub shard: ShardMetrics,
 }
 
 impl ClusterReport {
@@ -151,6 +155,21 @@ impl DistributedResult {
     }
 }
 
+/// Partition `0..total` into `k` contiguous near-equal ranges (first
+/// `total % k` ranges get the extra element) — the paper's subset split.
+fn partition_ranges(total: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let base = total / k;
+    let extra = total % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 /// Run the k-subset distributed batch GCD.
 ///
 /// # Panics
@@ -160,6 +179,101 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
     assert!(config.subsets > 0, "need at least one subset");
     let k = config.subsets.min(moduli.len());
     let wall_start = Instant::now();
+    let subsets: Vec<&[Natural]> = partition_ranges(moduli.len(), k)
+        .into_iter()
+        .map(|r| &moduli[r])
+        .collect();
+    let (raw_divisors, report) = run_cluster(&subsets, config, wall_start, ShardMetrics::default());
+    let statuses = resolve(moduli, &raw_divisors);
+    DistributedResult {
+        raw_divisors,
+        statuses,
+        report,
+    }
+}
+
+/// Run the k-subset distributed batch GCD over a disk-resident corpus.
+///
+/// Node subsets are streamed out of `store` shard by shard (the same
+/// contiguous near-equal partition [`distributed_batch_gcd`] uses, so raw
+/// divisors and statuses are byte-identical to the in-memory run — and,
+/// by the pair-coverage argument, to [`batch_gcd`]). The k-subset
+/// algorithm itself keeps every node's subset and tree resident for the
+/// all-pairs descent phase; the bounded-memory streaming entry point is
+/// [`sharded_batch_gcd`](crate::corpus::sharded_batch_gcd). Shard I/O is
+/// reported in [`ClusterReport::shard`]. An empty store yields an empty
+/// result.
+///
+/// [`batch_gcd`]: crate::classic::batch_gcd
+///
+/// # Errors
+/// Fails with a [`CorpusError`] if any shard cannot be read back intact.
+///
+/// # Panics
+/// Panics if `config.subsets == 0`.
+pub fn distributed_batch_gcd_sharded(
+    store: &ShardStore,
+    config: ClusterConfig,
+) -> Result<DistributedResult, CorpusError> {
+    assert!(config.subsets > 0, "need at least one subset");
+    let total = store.total_moduli() as usize;
+    let wall_start = Instant::now();
+    if total == 0 {
+        return Ok(DistributedResult {
+            raw_divisors: Vec::new(),
+            statuses: Vec::new(),
+            report: ClusterReport {
+                nodes: Vec::new(),
+                wall_time: wall_start.elapsed(),
+                k: 0,
+                build_exec: PhaseExec::default(),
+                descent_exec: PhaseExec::default(),
+                shard: ShardMetrics::default(),
+            },
+        });
+    }
+    let k = config.subsets.min(total);
+
+    // Stream the corpus in shard order; per-shard read time is the busy
+    // metric for this entry point.
+    let mut moduli = Vec::with_capacity(total);
+    let mut shard_busy = Vec::with_capacity(store.shard_count());
+    for index in 0..store.shard_count() as u32 {
+        let t0 = Instant::now();
+        moduli.extend(store.read_shard(index)?);
+        shard_busy.push(t0.elapsed());
+    }
+    let shard = ShardMetrics {
+        shards_written: store.shard_count() as u64,
+        shards_read: store.shard_count() as u64,
+        bytes_written: store.bytes_on_disk(),
+        bytes_read: store.bytes_on_disk(),
+        shard_busy,
+    };
+
+    let subsets: Vec<&[Natural]> = partition_ranges(total, k)
+        .into_iter()
+        .map(|r| &moduli[r])
+        .collect();
+    let (raw_divisors, report) = run_cluster(&subsets, config, wall_start, shard);
+    let statuses = resolve(&moduli, &raw_divisors);
+    Ok(DistributedResult {
+        raw_divisors,
+        statuses,
+        report,
+    })
+}
+
+/// The cluster simulation core shared by the in-memory and sharded entry
+/// points: phase 1 builds per-node trees, phase 2 descends every subset
+/// product through every tree. `shard` is threaded into the report.
+fn run_cluster(
+    subsets: &[&[Natural]],
+    config: ClusterConfig,
+    wall_start: Instant,
+    shard: ShardMetrics,
+) -> (Vec<Option<Natural>>, ClusterReport) {
+    let k = subsets.len();
 
     // One work-stealing pool for the whole cluster run: node tasks and the
     // tree work inside them share the same execution slots, so a node that
@@ -169,23 +283,12 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
     let build_domains: Vec<ExecDomain> = (0..k).map(|_| pool.domain()).collect();
     let descent_domains: Vec<ExecDomain> = (0..k).map(|_| pool.domain()).collect();
 
-    // Partition into k contiguous subsets of near-equal size.
-    let base = moduli.len() / k;
-    let extra = moduli.len() % k;
-    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(k);
-    let mut start = 0;
-    for i in 0..k {
-        let len = base + usize::from(i < extra);
-        ranges.push(start..start + len);
-        start += len;
-    }
-
     // Phase 1: each node builds its own product tree.
-    let tree_tasks: Vec<_> = ranges
+    let tree_tasks: Vec<_> = subsets
         .iter()
         .enumerate()
-        .map(|(i, r)| {
-            let subset = &moduli[r.clone()];
+        .map(|(i, subset)| {
+            let subset: &[Natural] = subset;
             let pool = &pool;
             let domain = &build_domains[i];
             move || {
@@ -207,7 +310,7 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
         .enumerate()
         .map(|(i, (tree, build_time))| {
             let products = &products;
-            let subset = &moduli[ranges[i].clone()];
+            let subset: &[Natural] = subsets[i];
             let build_time = *build_time;
             let pool = &pool;
             let build_domain = &build_domains[i];
@@ -260,7 +363,8 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
     let node_outputs: Vec<(Vec<Option<Natural>>, NodeReport)> = pool.exec().run_tasks(node_tasks);
 
     // Stitch the per-node divisor vectors back into input order.
-    let mut raw_divisors: Vec<Option<Natural>> = Vec::with_capacity(moduli.len());
+    let total: usize = subsets.iter().map(|s| s.len()).sum();
+    let mut raw_divisors: Vec<Option<Natural>> = Vec::with_capacity(total);
     let mut reports = Vec::with_capacity(k);
     for (divs, report) in node_outputs {
         raw_divisors.extend(divs);
@@ -276,18 +380,17 @@ pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> Distr
         descent_exec.merge(&domain.phase());
     }
 
-    let statuses = resolve(moduli, &raw_divisors);
-    DistributedResult {
+    (
         raw_divisors,
-        statuses,
-        report: ClusterReport {
+        ClusterReport {
             nodes: reports,
             wall_time: wall_start.elapsed(),
             k,
             build_exec,
             descent_exec,
+            shard,
         },
-    }
+    )
 }
 
 /// Merge a new candidate divisor for `leaf` into the accumulator slot:
@@ -374,6 +477,24 @@ mod tests {
         let dist = distributed_batch_gcd(&moduli, ClusterConfig::sequential(64));
         assert_eq!(dist.report.k, 2);
         assert_eq!(dist.vulnerable_count(), 2);
+    }
+
+    #[test]
+    fn sharded_distributed_matches_in_memory() {
+        let moduli = mixed_moduli();
+        let dir = crate::spill::scratch_dir("dist-shard");
+        let store = ShardStore::create(&dir, 4, &moduli).unwrap();
+        for k in [1usize, 2, 3, 5] {
+            let mem = distributed_batch_gcd(&moduli, ClusterConfig::sequential(k));
+            let disk = distributed_batch_gcd_sharded(&store, ClusterConfig::sequential(k)).unwrap();
+            assert_eq!(disk.raw_divisors, mem.raw_divisors, "k={k}");
+            assert_eq!(disk.statuses, mem.statuses, "k={k}");
+            assert_eq!(disk.report.shard.shards_read, store.shard_count() as u64);
+            assert_eq!(disk.report.shard.bytes_read, store.bytes_on_disk());
+            // In-memory runs report no shard I/O.
+            assert!(mem.report.shard.is_empty());
+        }
+        store.remove().unwrap();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   [`classic::BatchStats`] and [`distributed::ClusterReport`]);
 //! * [`tree`] — product and remainder trees with per-level parallelism on
 //!   the pool;
-//! * [`classic`] — the single-tree algorithm of [21];
+//! * [`classic`] — the single-tree algorithm of \[21\];
 //! * [`distributed`] — the paper's k-subset variant (Figure 2): more total
 //!   work, no single-huge-integer bottleneck, cluster-parallelizable, with
 //!   per-node accounting matching what the paper reports. Simulated node
@@ -21,12 +21,17 @@
 //!   `node_threads * threads_per_node`;
 //! * [`naive`] — the `O(n^2)` pairwise baseline the feasibility argument is
 //!   made against;
-//! * [`resolve`] — turning raw divisors into factorizations, including the
+//! * [`mod@resolve`] — turning raw divisors into factorizations, including the
 //!   full-gcd clique case (IBM nine-prime) via a pairwise sweep;
 //! * [`spill`] — the paper's original disk-backed mode: tree levels spill
-//!   to scratch files (removed on drop) so peak memory stays at two levels.
+//!   to scratch files (removed on drop) so peak memory stays at two levels;
+//! * [`corpus`] — persistent corpus sharding: the input moduli themselves
+//!   live on disk as fixed-capacity checksummed shards (format in DESIGN.md
+//!   §7), and [`corpus::sharded_batch_gcd`] runs the classic algorithm with
+//!   workers pulling shards on demand, holding one shard per worker
+//!   resident instead of the whole corpus.
 //!
-//! All three algorithms produce identical raw divisors and statuses for the
+//! All the algorithms produce identical raw divisors and statuses for the
 //! same input — a cross-checked invariant in the test suites.
 //!
 //! ```
@@ -43,7 +48,10 @@
 //! assert!(result.stats.total_exec().tasks() > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod classic;
+pub mod corpus;
 pub mod distributed;
 pub mod naive;
 pub mod pool;
@@ -52,11 +60,15 @@ pub mod spill;
 pub mod tree;
 
 pub use classic::{batch_gcd, BatchGcdResult, BatchStats};
+pub use corpus::{
+    sharded_batch_gcd, CorpusError, ShardMeta, ShardMetrics, ShardReader, ShardStore,
+};
 pub use distributed::{
-    distributed_batch_gcd, ClusterConfig, ClusterReport, DistributedResult, NodeReport,
+    distributed_batch_gcd, distributed_batch_gcd_sharded, ClusterConfig, ClusterReport,
+    DistributedResult, NodeReport,
 };
 pub use naive::{naive_pairwise_gcd, NaiveResult};
 pub use pool::{Exec, ExecDomain, PhaseExec, WorkerPool};
-pub use resolve::{resolve, KeyStatus};
+pub use resolve::{resolve, resolve_with_hits, KeyStatus};
 pub use spill::{scratch_dir, SpilledProductTree};
 pub use tree::ProductTree;

@@ -20,6 +20,33 @@
 //!
 //! Results always come back in submission order, and execution order never
 //! affects values, so pooled runs are bit-identical to sequential ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use wk_batchgcd::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! // Results come back in submission order regardless of which worker
+//! // ran each task.
+//! let squares = pool.exec().map((0u64..8).collect(), |n| n * n);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! assert_eq!(pool.total_tasks(), 8);
+//! ```
+//!
+//! Per-phase accounting via domains:
+//!
+//! ```
+//! use wk_batchgcd::WorkerPool;
+//!
+//! let pool = WorkerPool::new(2);
+//! let phase_a = pool.domain();
+//! let phase_b = pool.domain();
+//! pool.exec_in(&phase_a).map(vec![1u32, 2, 3], |n| n + 1);
+//! pool.exec_in(&phase_b).map(vec![4u32], |n| n + 1);
+//! assert_eq!(phase_a.phase().tasks(), 3);
+//! assert_eq!(phase_b.phase().tasks(), 1);
+//! ```
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -471,6 +498,21 @@ impl<'a> Exec<'a> {
     }
 
     /// Run independent closures on the pool, results in task order.
+    ///
+    /// This is how [`sharded_batch_gcd`](crate::corpus::sharded_batch_gcd)
+    /// dispatches shard claims: one closure per shard, dealt across the
+    /// worker deques, so a free worker always steals the next unprocessed
+    /// shard.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wk_batchgcd::WorkerPool;
+    ///
+    /// let pool = WorkerPool::new(2);
+    /// let tasks: Vec<_> = (0u64..4).map(|n| move || n * 10).collect();
+    /// assert_eq!(pool.exec().run_tasks(tasks), vec![0, 10, 20, 30]);
+    /// ```
     pub fn run_tasks<U, F>(&self, tasks: Vec<F>) -> Vec<U>
     where
         U: Send,

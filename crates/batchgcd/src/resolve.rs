@@ -20,7 +20,12 @@ pub enum KeyStatus {
     /// No shared factor with any other input.
     NotVulnerable,
     /// Factored: `p <= q`, `p * q == N`.
-    Factored { p: Natural, q: Natural },
+    Factored {
+        /// The smaller recovered prime factor.
+        p: Natural,
+        /// The larger recovered prime factor.
+        q: Natural,
+    },
     /// Shares all factors with other inputs but could not be split (only
     /// possible when the input contains duplicate moduli).
     SharedUnresolved,
@@ -46,28 +51,61 @@ impl KeyStatus {
 /// `raw[i]` is `None` for no hit, or `Some(g)` with `1 < g <= N_i`.
 pub fn resolve(moduli: &[Natural], raw: &[Option<Natural>]) -> Vec<KeyStatus> {
     assert_eq!(moduli.len(), raw.len());
-    let hit_indices: Vec<usize> = raw
+    let hits: Vec<(usize, Natural)> = raw
         .iter()
         .enumerate()
-        .filter_map(|(i, g)| g.as_ref().map(|_| i))
+        .filter_map(|(i, g)| g.as_ref().map(|_| (i, moduli[i].clone())))
         .collect();
+    resolve_with_hits(moduli.len(), &hits, raw)
+}
 
-    raw.iter()
-        .enumerate()
-        .map(|(i, g)| match g {
-            None => KeyStatus::NotVulnerable,
-            Some(g) => {
-                debug_assert!(!g.is_one(), "trivial divisor reported");
-                if g < &moduli[i] {
-                    order(g.clone(), &moduli[i] / g)
-                } else {
-                    // Full-gcd hit: split via pairwise gcd inside the
-                    // vulnerable set.
-                    split_pairwise(i, moduli, &hit_indices)
-                }
-            }
-        })
-        .collect()
+/// Sparse-input form of [`resolve`]: only the *hit* moduli need to be
+/// resident, not the whole corpus. This is the resolution core the
+/// disk-backed [`sharded_batch_gcd`](crate::corpus::sharded_batch_gcd)
+/// path uses — it keeps just the (typically tiny) vulnerable set in memory
+/// and still produces statuses byte-identical to [`resolve`] because both
+/// run this same code over the same hit set in the same index order.
+///
+/// `hits` holds `(index, modulus)` for every index where `raw` is `Some`,
+/// in ascending index order; `raw` has length `total`.
+///
+/// # Panics
+/// Panics if `raw.len() != total`, if a hit index is out of range or out of
+/// order, or if a hit's `raw` entry is `None`.
+pub fn resolve_with_hits(
+    total: usize,
+    hits: &[(usize, Natural)],
+    raw: &[Option<Natural>],
+) -> Vec<KeyStatus> {
+    assert_eq!(total, raw.len());
+    assert!(
+        hits.windows(2).all(|w| match w {
+            [(a, _), (b, _)] => a < b,
+            _ => true,
+        }),
+        "hit indices must be strictly ascending"
+    );
+    let mut statuses = vec![KeyStatus::NotVulnerable; total];
+    for (pos, (i, n)) in hits.iter().enumerate() {
+        let entry = raw.get(*i).and_then(|g| g.as_ref());
+        assert!(entry.is_some(), "hit index without a raw divisor");
+        let g = match entry {
+            Some(g) => g,
+            None => continue,
+        };
+        debug_assert!(!g.is_one(), "trivial divisor reported");
+        let status = if g < n {
+            order(g.clone(), n / g)
+        } else {
+            // Full-gcd hit: split via pairwise gcd inside the vulnerable
+            // set.
+            split_pairwise(pos, hits)
+        };
+        if let Some(slot) = statuses.get_mut(*i) {
+            *slot = status;
+        }
+    }
+    statuses
 }
 
 /// Canonical ordering `p <= q`.
@@ -79,13 +117,16 @@ fn order(a: Natural, b: Natural) -> KeyStatus {
     }
 }
 
-fn split_pairwise(i: usize, moduli: &[Natural], hits: &[usize]) -> KeyStatus {
-    let n = &moduli[i];
-    for &j in hits {
-        if j == i || moduli[j] == *n {
+fn split_pairwise(pos: usize, hits: &[(usize, Natural)]) -> KeyStatus {
+    let n = match hits.get(pos) {
+        Some((_, n)) => n,
+        None => return KeyStatus::SharedUnresolved,
+    };
+    for (j, (_, m)) in hits.iter().enumerate() {
+        if j == pos || m == n {
             continue; // duplicates cannot split each other
         }
-        let g = n.gcd(&moduli[j]);
+        let g = n.gcd(m);
         if !g.is_one() && &g < n {
             return order(g.clone(), n / &g);
         }

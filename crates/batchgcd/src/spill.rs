@@ -11,7 +11,31 @@
 //! against [`crate::tree::ProductTree`].
 //!
 //! Scratch files are removed when the tree is dropped (best-effort), or
-//! eagerly and error-checked via [`SpilledProductTree::cleanup`].
+//! eagerly and error-checked via [`SpilledProductTree::cleanup`]. Builds
+//! that fail partway (disk full, permission error) remove their partial
+//! level files before the error propagates, via the same guard the shard
+//! store uses (`PartialGuard`, crate-internal).
+//!
+//! The per-value record format — little-endian `u64` limb count followed
+//! by the limbs, little-endian — is shared with the persistent shard store
+//! ([`crate::corpus`]); see DESIGN.md §7 for the byte-level specification.
+//!
+//! # Examples
+//!
+//! ```
+//! use wk_batchgcd::{scratch_dir, SpilledProductTree, WorkerPool};
+//! use wk_bigint::Natural;
+//!
+//! let pool = WorkerPool::new(2);
+//! let moduli: Vec<Natural> = [33u64, 39, 323].map(Natural::from).to_vec();
+//! let dir = scratch_dir("spill-doc");
+//! let tree = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
+//! let root = tree.root().unwrap(); // 33 * 39 * 323
+//! assert_eq!(root, Natural::from(33u64 * 39 * 323));
+//! let remainders = tree.remainder_tree(&root, pool.exec()).unwrap();
+//! assert_eq!(remainders.len(), 3); // root mod N_i^2 for each modulus
+//! tree.cleanup().unwrap();
+//! ```
 
 use crate::pool::Exec;
 use std::fs::{self, File};
@@ -30,19 +54,59 @@ pub struct SpilledProductTree {
     cleaned: bool,
 }
 
+/// Append one value's record to `w`: `u64` limb count (LE) followed by the
+/// limbs (LE). Returns the record's byte length. This codec is shared
+/// verbatim between spilled tree levels and shard-store payloads.
+pub(crate) fn encode_natural<W: Write>(w: &mut W, n: &Natural) -> io::Result<u64> {
+    let limbs = n.limbs();
+    w.write_all(&(limbs.len() as u64).to_le_bytes())?;
+    for &l in limbs {
+        w.write_all(&l.to_le_bytes())?;
+    }
+    Ok(8 + limbs.len() as u64 * 8)
+}
+
+/// Read one record back. `scratch` is left holding the record's raw bytes
+/// (limb-count prefix included) so callers can checksum exactly what was
+/// read; the return value is the decoded natural plus the record length.
+///
+/// A limb count above `max_limbs` fails with [`io::ErrorKind::InvalidData`]
+/// before any allocation, so a corrupt length prefix cannot trigger a huge
+/// buffer request; reads past EOF fail with `UnexpectedEof`.
+pub(crate) fn decode_natural<R: Read>(
+    r: &mut R,
+    scratch: &mut Vec<u8>,
+    max_limbs: u64,
+) -> io::Result<(Natural, u64)> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u64::from_le_bytes(header);
+    if len > max_limbs {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "record limb count exceeds bound",
+        ));
+    }
+    scratch.clear();
+    scratch.extend_from_slice(&header);
+    scratch.resize(8 + len as usize * 8, 0);
+    r.read_exact(&mut scratch[8..])?;
+    let limbs: Vec<u64> = scratch[8..]
+        .chunks_exact(8)
+        // chunks_exact(8) yields exactly-8-byte slices, so the
+        // conversion is infallible; the fallback is never taken.
+        .map(|chunk| u64::from_le_bytes(chunk.try_into().unwrap_or([0; 8])))
+        .collect();
+    Ok((Natural::from_limbs(limbs), 8 + len * 8))
+}
+
 /// Write one level of naturals to `path` (u64 limb-count + limbs, LE).
 fn write_level(path: &Path, nodes: &[Natural]) -> io::Result<u64> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     let mut bytes = 0u64;
     for n in nodes {
-        let limbs = n.limbs();
-        w.write_all(&(limbs.len() as u64).to_le_bytes())?;
-        bytes += 8;
-        for &l in limbs {
-            w.write_all(&l.to_le_bytes())?;
-            bytes += 8;
-        }
+        bytes += encode_natural(&mut w, n)?;
     }
     w.flush()?;
     Ok(bytes)
@@ -53,22 +117,62 @@ fn read_level(path: &Path, count: usize) -> io::Result<Vec<Natural>> {
     let file = File::open(path)?;
     let mut r = BufReader::new(file);
     let mut out = Vec::with_capacity(count);
-    let mut header = [0u8; 8];
-    let mut payload = Vec::new();
+    let mut scratch = Vec::new();
     for _ in 0..count {
-        r.read_exact(&mut header)?;
-        let len = u64::from_le_bytes(header) as usize;
-        payload.resize(len * 8, 0);
-        r.read_exact(&mut payload)?;
-        let limbs: Vec<u64> = payload
-            .chunks_exact(8)
-            // chunks_exact(8) yields exactly-8-byte slices, so the
-            // conversion is infallible; the fallback is never taken.
-            .map(|chunk| u64::from_le_bytes(chunk.try_into().unwrap_or([0; 8])))
-            .collect();
-        out.push(Natural::from_limbs(limbs));
+        let (n, _) = decode_natural(&mut r, &mut scratch, u64::MAX)?;
+        out.push(n);
     }
     Ok(out)
+}
+
+/// Removes tracked files (and the directory, when left empty) on drop
+/// unless defused: arm it before writing a multi-file artifact, [`track`]
+/// each path before creating it, and [`defuse`] once every write has
+/// succeeded. An early `?` return then leaves no partial output behind.
+/// Used by both [`SpilledProductTree::build`] and
+/// [`ShardStore::create`](crate::corpus::ShardStore::create).
+///
+/// [`track`]: PartialGuard::track
+/// [`defuse`]: PartialGuard::defuse
+pub(crate) struct PartialGuard {
+    dir: PathBuf,
+    paths: Vec<PathBuf>,
+    armed: bool,
+}
+
+impl PartialGuard {
+    /// An armed guard for output under `dir`.
+    pub(crate) fn new(dir: PathBuf) -> PartialGuard {
+        PartialGuard {
+            dir,
+            paths: Vec::new(),
+            armed: true,
+        }
+    }
+
+    /// Register `path` for removal if the guard fires. Call *before*
+    /// creating the file, so a write that fails halfway is still covered.
+    pub(crate) fn track(&mut self, path: PathBuf) {
+        self.paths.push(path);
+    }
+
+    /// The artifact is complete; keep the files.
+    pub(crate) fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PartialGuard {
+    /// Best-effort removal of every tracked path, then of the directory if
+    /// nothing else lives in it.
+    fn drop(&mut self) {
+        if self.armed {
+            for p in &self.paths {
+                let _ = fs::remove_file(p);
+            }
+            let _ = fs::remove_dir(&self.dir);
+        }
+    }
 }
 
 impl SpilledProductTree {
@@ -77,8 +181,9 @@ impl SpilledProductTree {
     /// two adjacent levels.
     ///
     /// # Errors
-    /// Propagates filesystem errors; panics (like [`ProductTree::build`])
-    /// on empty input or zero moduli.
+    /// Propagates filesystem errors; a failed build removes the level files
+    /// it already wrote before returning the error. Panics (like
+    /// [`ProductTree::build`]) on empty input or zero moduli.
     ///
     /// [`ProductTree::build`]: crate::tree::ProductTree::build
     pub fn build(moduli: &[Natural], dir: &Path, exec: Exec<'_>) -> io::Result<SpilledProductTree> {
@@ -88,12 +193,15 @@ impl SpilledProductTree {
             "zero modulus in product tree"
         );
         fs::create_dir_all(dir)?;
+        let mut guard = PartialGuard::new(dir.to_path_buf());
         let mut level_sizes = Vec::new();
         let mut bytes_written = 0u64;
         let mut current: Vec<Natural> = moduli.to_vec();
         let mut level_idx = 0usize;
         loop {
-            bytes_written += write_level(&dir.join(format!("level{level_idx}.bin")), &current)?;
+            let path = dir.join(format!("level{level_idx}.bin"));
+            guard.track(path.clone());
+            bytes_written += write_level(&path, &current)?;
             level_sizes.push(current.len());
             if current.len() == 1 {
                 break;
@@ -104,6 +212,7 @@ impl SpilledProductTree {
             );
             level_idx += 1;
         }
+        guard.defuse();
         Ok(SpilledProductTree {
             dir: dir.to_path_buf(),
             level_sizes,
@@ -316,6 +425,24 @@ mod tests {
         });
         assert!(result.is_err());
         assert!(!level0.exists(), "unwinding must clear scratch files");
+    }
+
+    #[test]
+    fn failed_build_removes_partial_levels() {
+        let pool = WorkerPool::new(1);
+        let moduli = pseudo_moduli(4, 15);
+        let dir = scratch_dir("partial");
+        fs::create_dir_all(&dir).unwrap();
+        // Plant a directory where level1.bin must go: level 0 writes fine,
+        // level 1's File::create fails, and the guard must remove level 0.
+        fs::create_dir_all(dir.join("level1.bin")).unwrap();
+        let err = SpilledProductTree::build(&moduli, &dir, pool.exec());
+        assert!(err.is_err(), "colliding level path must fail the build");
+        assert!(
+            !dir.join("level0.bin").exists(),
+            "partial level 0 must be cleaned up on build failure"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 
 use proptest::prelude::*;
 use rand::SeedableRng;
-use wk_batchgcd::{batch_gcd, distributed_batch_gcd, naive_pairwise_gcd, ClusterConfig};
+use wk_batchgcd::{
+    batch_gcd, distributed_batch_gcd, distributed_batch_gcd_sharded, naive_pairwise_gcd,
+    scratch_dir, sharded_batch_gcd, ClusterConfig, ShardStore,
+};
 use wk_bigint::Natural;
 use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
 
@@ -83,6 +86,36 @@ fn three_algorithms_agree_on_rsa_population() {
         let dist = distributed_batch_gcd(&moduli, ClusterConfig::sequential(k));
         assert_eq!(dist.raw_divisors, classic.raw_divisors, "k={k}");
         assert_eq!(dist.statuses, classic.statuses, "k={k}");
+    }
+}
+
+#[test]
+fn sharded_runs_byte_identical_on_rsa_population() {
+    // The acceptance-criteria invariant: disk-backed sharded batch GCD
+    // produces byte-identical factored-key output to the classic in-memory
+    // pass on a realistic population, across shard capacities and thread
+    // counts, through a persisted-and-reopened store.
+    let (moduli, _) = population(14, 9, 77);
+    let classic = batch_gcd(&moduli, 1);
+    for capacity in [1usize, 4, 7, 64] {
+        let dir = scratch_dir(&format!("realistic-shards-{capacity}"));
+        ShardStore::create(&dir, capacity, &moduli).unwrap();
+        let store = ShardStore::open(&dir).unwrap();
+        for threads in [1usize, 4] {
+            let sharded = sharded_batch_gcd(&store, threads).unwrap();
+            assert_eq!(
+                sharded.raw_divisors, classic.raw_divisors,
+                "capacity={capacity} threads={threads}"
+            );
+            assert_eq!(
+                sharded.statuses, classic.statuses,
+                "capacity={capacity} threads={threads}"
+            );
+        }
+        let dist = distributed_batch_gcd_sharded(&store, ClusterConfig::sequential(3)).unwrap();
+        assert_eq!(dist.raw_divisors, classic.raw_divisors, "cap={capacity}");
+        assert_eq!(dist.statuses, classic.statuses, "cap={capacity}");
+        store.remove().unwrap();
     }
 }
 

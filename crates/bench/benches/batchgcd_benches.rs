@@ -10,12 +10,16 @@
 //! * `exec_skewed_sizes` — the work-stealing case: a population whose
 //!   bigint sizes are pathologically uneven, where static chunking would
 //!   serialize on whichever chunk drew the large moduli.
+//! * `ablation_corpus_shards` — in-memory classic batch GCD vs the
+//!   disk-backed shard store feeding the same pool (DESIGN.md §7): what the
+//!   bounded-memory streaming mode costs in shard re-reads and per-shard
+//!   tree rebuilds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wk_batchgcd::{
-    batch_gcd, distributed_batch_gcd, naive_pairwise_gcd, scratch_dir, ClusterConfig, ProductTree,
-    SpilledProductTree, WorkerPool,
+    batch_gcd, distributed_batch_gcd, naive_pairwise_gcd, scratch_dir, sharded_batch_gcd,
+    ClusterConfig, ProductTree, ShardStore, SpilledProductTree, WorkerPool,
 };
 use wk_bench::key_population;
 
@@ -118,6 +122,48 @@ fn ablation_disk_spill(c: &mut Criterion) {
     group.finish();
 }
 
+/// In-memory vs disk-sharded runs of the same classic algorithm: the
+/// sharded mode re-reads every shard twice and rebuilds per-shard trees,
+/// buying O(shard + top tree) peak memory instead of O(corpus).
+fn ablation_corpus_shards(c: &mut Criterion) {
+    let moduli = key_population(400, 512, 0.05, 47);
+    let mut group = c.benchmark_group("ablation_corpus_shards");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("in_memory", threads), &threads, |b, &t| {
+            b.iter(|| batch_gcd(black_box(&moduli), t))
+        });
+        for capacity in [50usize, 200] {
+            let dir = scratch_dir(&format!("bench-shards-{threads}-{capacity}"));
+            let store = ShardStore::create(&dir, capacity, &moduli).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded_cap{capacity}"), threads),
+                &threads,
+                |b, &t| b.iter(|| sharded_batch_gcd(black_box(&store), t).unwrap()),
+            );
+            store.remove().unwrap();
+        }
+    }
+    group.finish();
+
+    // Print the equivalence + I/O evidence once.
+    let dir = scratch_dir("bench-shards-check");
+    let store = ShardStore::create(&dir, 50, &moduli).unwrap();
+    let sharded = sharded_batch_gcd(&store, 4).unwrap();
+    let classic = batch_gcd(&moduli, 4);
+    assert_eq!(sharded.raw_divisors, classic.raw_divisors);
+    assert_eq!(sharded.statuses, classic.statuses);
+    println!(
+        "ablation_corpus_shards: shards={} reads={} bytes_read={} busy={:?} \
+         (identical output to in-memory)",
+        sharded.stats.shard.shards_written,
+        sharded.stats.shard.shards_read,
+        sharded.stats.shard.bytes_read,
+        sharded.stats.shard.total_busy()
+    );
+    store.remove().unwrap();
+}
+
 /// Work-stealing stress: mix 512-bit moduli with a sprinkle of much larger
 /// ones so per-task costs are wildly uneven. With static chunking, whole
 /// chunks of cheap tasks queue behind a chunk that drew the expensive
@@ -158,6 +204,6 @@ criterion_group! {
     name = batchgcd;
     config = Criterion::default().sample_size(10);
     targets = fig2_distributed_batchgcd, ablation_naive_vs_batch, ablation_remainder_tree,
-              ablation_disk_spill, exec_skewed_sizes
+              ablation_disk_spill, ablation_corpus_shards, exec_skewed_sizes
 }
 criterion_main!(batchgcd);

@@ -174,7 +174,7 @@ fn from_coefficients(coeffs: &[u64]) -> Natural {
 }
 
 /// NTT multiplication. Exposed for the ablation bench; the dispatcher in
-/// [`crate::mul`] calls it automatically above [`NTT_THRESHOLD`].
+/// `crate::mul` calls it automatically above [`NTT_THRESHOLD`].
 ///
 /// # Panics
 /// Panics if the required transform size exceeds `2^32` (operands beyond

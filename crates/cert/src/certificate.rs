@@ -72,7 +72,7 @@ pub struct Certificate {
     /// CA certificate (intermediates in Rapid7 scan data).
     pub is_ca: bool,
     /// Whether the certificate chains to a browser-trusted root. Almost
-    /// never true for the vulnerable population ([21]; §2.4).
+    /// never true for the vulnerable population (\[21\]; §2.4).
     pub browser_trusted: bool,
 }
 

@@ -7,7 +7,9 @@
 
 use std::collections::HashSet;
 use wk_analysis::{labeling::label_dataset_with_cliques, Labeling};
-use wk_batchgcd::{batch_gcd, distributed_batch_gcd, BatchStats, ClusterConfig, KeyStatus};
+use wk_batchgcd::{
+    batch_gcd, distributed_batch_gcd, sharded_batch_gcd, BatchStats, ClusterConfig, KeyStatus,
+};
 use wk_fingerprint::{
     classify_divisor, detect_cliques, detect_key_substitution, DivisorKind, FactoredModulus,
     KeyObservation, MitmSuspect, PrimeClique,
@@ -21,6 +23,16 @@ pub enum BatchMode {
     Classic { threads: usize },
     /// The paper's k-subset distributed variant.
     Distributed(ClusterConfig),
+    /// Classic algorithm over a disk-backed shard store (DESIGN.md §7):
+    /// the corpus is exported to scratch shards of `shard_capacity` moduli
+    /// and workers stream them on demand, bounding resident moduli to one
+    /// shard per worker. Output is identical to `Classic`.
+    Sharded {
+        /// Worker threads for the batch-GCD pool.
+        threads: usize,
+        /// Maximum moduli per shard file.
+        shard_capacity: usize,
+    },
 }
 
 impl Default for BatchMode {
@@ -47,8 +59,9 @@ pub struct StudyResults {
     pub labeling: Labeling,
     /// Detected fixed-pool prime cliques (the IBM nine-prime signature).
     pub cliques: Vec<PrimeClique>,
-    /// Timing/memory stats from the classic batch pass (None when the
-    /// distributed mode ran).
+    /// Timing/memory stats from the classic or sharded batch pass (None
+    /// when the distributed mode ran); sharded runs also populate
+    /// `stats.shard` with shard-store I/O metrics.
     pub batch_stats: Option<BatchStats>,
 }
 
@@ -77,6 +90,22 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
         BatchMode::Distributed(cfg) => {
             let r = distributed_batch_gcd(moduli, cfg);
             (r.raw_divisors, r.statuses, None)
+        }
+        BatchMode::Sharded {
+            threads,
+            shard_capacity,
+        } => {
+            // Scratch export: the persistent-store workflow (export once,
+            // analyze many times) goes through `ModulusStore::export_shards`
+            // directly; here the store is transient.
+            let dir = wk_batchgcd::scratch_dir("pipeline-shards");
+            let store = dataset
+                .moduli
+                .export_shards(&dir, shard_capacity)
+                .expect("shard export to scratch space");
+            let r = sharded_batch_gcd(&store, threads).expect("sharded batch GCD over fresh store");
+            store.remove().expect("shard store cleanup");
+            (r.raw_divisors, r.statuses, Some(r.stats))
         }
     };
 
@@ -216,6 +245,31 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_mode_agrees_with_classic_and_reports_shard_io() {
+        let cfg = tiny_config();
+        let dataset_a = run_study(&cfg);
+        let dataset_b = run_study(&cfg);
+        let classic = analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 });
+        let sharded = analyze_dataset(
+            dataset_b,
+            BatchMode::Sharded {
+                threads: 2,
+                shard_capacity: 64,
+            },
+        );
+        let mut a: Vec<_> = classic.vulnerable.iter().collect();
+        let mut b: Vec<_> = sharded.vulnerable.iter().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        let stats = sharded.batch_stats.expect("sharded mode records stats");
+        assert!(stats.shard.shards_written > 0);
+        assert_eq!(stats.shard.shards_read, 2 * stats.shard.shards_written);
+        assert!(stats.shard.bytes_written > 0);
+        assert!(classic.batch_stats.unwrap().shard.is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! | `limb-normalization`     | whole workspace               | no raw `Natural { limbs: ... }` construction outside `natural.rs` |
 //! | `forbid-unsafe-creep`    | whole workspace               | no `unsafe` outside the audited allowlist |
 //!
-//! Rules emit findings; [`resolve`] then applies `lint:allow` suppressions,
+//! Rules emit findings; `resolve` (crate-internal) then applies `lint:allow` suppressions,
 //! demands justifications, and reports unused or malformed annotations so
 //! the annotation layer itself stays sound.
 

@@ -1,7 +1,7 @@
 //! # wk-rng — executable models of the RNG failures behind weak keys
 //!
 //! The IMC 2016 paper traces factorable RSA moduli to random-number
-//! generation failures on headless network devices ([21] §2.4). This crate
+//! generation failures on headless network devices (\[21\] §2.4). This crate
 //! models the failing stack layer by layer so the rest of the reproduction
 //! can *generate* populations of keys with exactly the statistical defects
 //! the paper measures:

@@ -1,6 +1,6 @@
 //! Modeled OpenSSL `RAND_bytes` as used during RSA key generation.
 //!
-//! The divergence mechanism from [21] §2.4: OpenSSL seeds its internal pool
+//! The divergence mechanism from \[21\] §2.4: OpenSSL seeds its internal pool
 //! from `/dev/urandom` and additionally mixes the current time into the pool
 //! on extraction. Two devices whose urandom streams are identical (boot-time
 //! entropy hole) therefore generate an *identical first prime* — and if the

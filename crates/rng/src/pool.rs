@@ -10,7 +10,7 @@
 /// Modeled entropy pool with explicit, deterministic mixing.
 ///
 /// Mixing and extraction are deterministic functions of the byte history, so
-/// the boot-time entropy hole of [21] can be reproduced exactly: devices that
+/// the boot-time entropy hole of \[21\] can be reproduced exactly: devices that
 /// mix identical firmware state at boot share a pool state until some input
 /// distinguishes them.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,6 +1,6 @@
 //! Modeled `/dev/urandom` with the boot-time entropy hole.
 //!
-//! [21] traced factorable keys to a Linux behaviour: on headless devices,
+//! \[21\] traced factorable keys to a Linux behaviour: on headless devices,
 //! `/dev/urandom` could return deterministic output early at boot, before
 //! any external entropy had been mixed in. A device whose first-boot
 //! initialization script generates its TLS key right then gets a key that is

@@ -98,6 +98,20 @@ impl ModulusStore {
     pub fn all(&self) -> &[Natural] {
         &self.values
     }
+
+    /// Export the corpus to a persistent on-disk shard store (DESIGN.md
+    /// §7) under `dir`, at most `capacity` moduli per shard, in id order —
+    /// so shard-streamed batch GCD sees the same input order as
+    /// [`ModulusStore::all`] and produces identical output. The store
+    /// outlives this process; reopen it with
+    /// [`ShardStore::open`](wk_batchgcd::ShardStore::open).
+    pub fn export_shards(
+        &self,
+        dir: &std::path::Path,
+        capacity: usize,
+    ) -> Result<wk_batchgcd::ShardStore, wk_batchgcd::CorpusError> {
+        wk_batchgcd::ShardStore::create(dir, capacity, &self.values)
+    }
 }
 
 /// Deduplicating store of certificates (distinctness by full content).
@@ -250,6 +264,24 @@ mod tests {
         assert_eq!(store.get(a), &Natural::from(35u64));
         assert_eq!(store.lookup(&Natural::from(77u64)), Some(c));
         assert_eq!(store.lookup(&Natural::from(1u64)), None);
+    }
+
+    #[test]
+    fn export_shards_roundtrips_in_id_order() {
+        let mut store = ModulusStore::default();
+        for v in [33u64, 39, 323, 437, 667] {
+            store.intern(&Natural::from(v));
+        }
+        let dir = wk_batchgcd::scratch_dir("scan-export");
+        let shards = store.export_shards(&dir, 2).unwrap();
+        assert_eq!(shards.total_moduli(), 5);
+        assert_eq!(shards.shard_count(), 3);
+        let mut back = Vec::new();
+        for i in 0..shards.shard_count() as u32 {
+            back.extend(shards.read_shard(i).unwrap());
+        }
+        assert_eq!(back, store.all());
+        shards.remove().unwrap();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Just enough of TLS to make the paper's threat model (§2.1) executable:
 //!
-//! * [`handshake`] — hellos, certificate, RSA or signed-DHE key exchange,
+//! * [`mod@handshake`] — hellos, certificate, RSA or signed-DHE key exchange,
 //!   Finished verification, and the [`Transcript`] a passive network
 //!   observer records;
 //! * [`kdf`] — the toy PRF and record keystream (the key-recovery *data
