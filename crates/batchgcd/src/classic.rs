@@ -6,6 +6,7 @@
 //! variant in [`crate::distributed`], benchmarked against this baseline.
 
 use crate::corpus::ShardMetrics;
+use crate::incremental::DeltaMetrics;
 use crate::pool::{PhaseExec, WorkerPool};
 use crate::resolve::{resolve, KeyStatus};
 use crate::tree::ProductTree;
@@ -34,6 +35,10 @@ pub struct BatchStats {
     /// Shard-store I/O metrics; all-zero [`Default`] for in-memory runs,
     /// populated by [`sharded_batch_gcd`](crate::corpus::sharded_batch_gcd).
     pub shard: ShardMetrics,
+    /// Delta-phase metrics; all-zero [`Default`] for from-scratch runs,
+    /// populated by
+    /// [`incremental_batch_gcd`](crate::incremental::incremental_batch_gcd).
+    pub delta: DeltaMetrics,
 }
 
 impl BatchStats {
@@ -84,8 +89,24 @@ impl BatchGcdResult {
 ///
 /// Inputs should be distinct moduli (the paper deduplicates first);
 /// duplicates are tolerated but reported as
-/// [`KeyStatus::SharedUnresolved`].
+/// [`KeyStatus::SharedUnresolved`]. An empty input yields an empty result.
+///
+/// # Panics
+/// Panics if any modulus is zero (zero moduli are rejected by every
+/// batch-GCD algorithm in this crate; disk-backed entry points surface the
+/// same condition as a typed error instead).
 pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
+    if moduli.is_empty() {
+        return BatchGcdResult {
+            raw_divisors: Vec::new(),
+            statuses: Vec::new(),
+            stats: BatchStats::default(),
+        };
+    }
+    assert!(
+        moduli.iter().all(|m| !m.is_zero()),
+        "zero modulus in batch GCD input"
+    );
     // One work-stealing pool serves every phase of the run; per-phase
     // domains separate the executor accounting.
     let pool = WorkerPool::new(threads);
@@ -94,7 +115,9 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
     let gcd_domain = pool.domain();
 
     let t0 = Instant::now();
-    let tree = ProductTree::build(moduli, pool.exec_in(&build_domain));
+    let tree = ProductTree::build(moduli, pool.exec_in(&build_domain))
+        // lint:allow(no-panic-in-lib) invariant: nonempty nonzero input checked above
+        .expect("validated batch GCD input");
     let product_tree_time = t0.elapsed();
     let tree_bytes = tree.total_bytes();
 
@@ -132,6 +155,7 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
             remainder_tree_exec: remainder_domain.phase(),
             gcd_exec: gcd_domain.phase(),
             shard: ShardMetrics::default(),
+            delta: DeltaMetrics::default(),
         },
     }
 }
@@ -193,6 +217,14 @@ mod tests {
     fn single_input_finds_nothing() {
         let res = batch_gcd(&[nat(35)], 1);
         assert_eq!(res.vulnerable_count(), 0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let res = batch_gcd(&[], 1);
+        assert!(res.raw_divisors.is_empty());
+        assert!(res.statuses.is_empty());
+        assert_eq!(res.stats.input_count, 0);
     }
 
     #[test]

@@ -95,16 +95,18 @@ const fn crc32_table() -> [u32; 256] {
 
 static CRC_TABLE: [u32; 256] = crc32_table();
 
-/// Incremental CRC-32 state.
+/// Incremental CRC-32 state. Shared with the persisted tree cache
+/// ([`crate::incremental`]), which checksums its section payloads with the
+/// same polynomial so one toolchain validates both artifact kinds.
 #[derive(Clone, Copy)]
-struct Crc32(u32);
+pub(crate) struct Crc32(u32);
 
 impl Crc32 {
-    fn new() -> Crc32 {
+    pub(crate) fn new() -> Crc32 {
         Crc32(0xFFFF_FFFF)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         let mut crc = self.0;
         for &b in bytes {
             crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
@@ -112,12 +114,12 @@ impl Crc32 {
         self.0 = crc;
     }
 
-    fn finish(self) -> u32 {
+    pub(crate) fn finish(self) -> u32 {
         self.0 ^ 0xFFFF_FFFF
     }
 }
 
-fn crc32(bytes: &[u8]) -> u32 {
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = Crc32::new();
     crc.update(bytes);
     crc.finish()
@@ -171,6 +173,17 @@ pub enum CorpusError {
         /// What was inconsistent.
         detail: String,
     },
+    /// [`ShardStore::append`] was asked to write shards of a different
+    /// capacity than the store already uses. Mixing capacities would break
+    /// the positional index arithmetic incremental runs rely on.
+    CapacityMismatch {
+        /// The store directory.
+        dir: PathBuf,
+        /// The store's existing shard capacity.
+        expected: u64,
+        /// The capacity the caller asked for.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -200,6 +213,15 @@ impl fmt::Display for CorpusError {
             CorpusError::FormatViolation { path, detail } => {
                 write!(f, "{}: {detail}", path.display())
             }
+            CorpusError::CapacityMismatch {
+                dir,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{}: append with capacity {found}, but the store uses {expected}",
+                dir.display()
+            ),
         }
     }
 }
@@ -324,53 +346,59 @@ impl ShardStore {
     {
         assert!(capacity > 0, "shard capacity must be nonzero");
         fs::create_dir_all(dir)?;
-        let mut guard = PartialGuard::new(dir.to_path_buf());
-        let mut shards = Vec::new();
-        let mut payload: Vec<u8> = Vec::new();
-        let mut pending: u64 = 0;
-
-        let flush = |payload: &mut Vec<u8>,
-                     pending: &mut u64,
-                     shards: &mut Vec<ShardMeta>,
-                     guard: &mut PartialGuard|
-         -> Result<(), CorpusError> {
-            if *pending == 0 {
-                return Ok(());
-            }
-            let index = shards.len() as u32;
-            let meta = ShardMeta {
-                index,
-                count: *pending,
-                payload_len: payload.len() as u64,
-                crc: crc32(payload),
-            };
-            let path = dir.join(shard_file_name(index));
-            guard.track(path.clone());
-            let mut file = File::create(&path)?;
-            file.write_all(&meta.to_header_bytes())?;
-            file.write_all(payload)?;
-            file.sync_all()?;
-            shards.push(meta);
-            payload.clear();
-            *pending = 0;
-            Ok(())
-        };
-
-        for m in moduli {
-            assert!(!m.is_zero(), "zero modulus in corpus export");
-            encode_natural(&mut payload, m)?;
-            pending += 1;
-            if pending == capacity as u64 {
-                flush(&mut payload, &mut pending, &mut shards, &mut guard)?;
-            }
-        }
-        flush(&mut payload, &mut pending, &mut shards, &mut guard)?;
-        guard.defuse();
+        let shards = write_shards(dir, 0, capacity as u64, moduli)?;
         Ok(ShardStore {
             dir: dir.to_path_buf(),
             shards,
             capacity: capacity as u64,
         })
+    }
+
+    /// Append `moduli` to an already-open store as *new* shards of at most
+    /// `capacity` moduli each, never rewriting an existing shard file (a
+    /// ragged final shard from the previous batch stays as-is — batch
+    /// boundaries remain visible in the shard layout). Returns the index
+    /// range of the shards written, empty if `moduli` was empty.
+    ///
+    /// This is the store half of an incremental month ingest: open the
+    /// store, `append` the month's moduli, then run
+    /// [`incremental_batch_gcd`](crate::incremental::incremental_batch_gcd)
+    /// over the delta.
+    ///
+    /// # Errors
+    /// [`CorpusError::CapacityMismatch`] if `capacity` differs from the
+    /// store's existing shard capacity (a store that still has zero shards
+    /// accepts any nonzero capacity and adopts it); filesystem errors as
+    /// [`CorpusError::Io`]. A failed append removes the shards it wrote, so
+    /// the store is never left half-extended. Version skew in existing
+    /// shards surfaces earlier, from [`ShardStore::open`].
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or any modulus is zero, matching
+    /// [`ShardStore::create`].
+    pub fn append<'a, I>(
+        &mut self,
+        capacity: usize,
+        moduli: I,
+    ) -> Result<std::ops::Range<u32>, CorpusError>
+    where
+        I: IntoIterator<Item = &'a Natural>,
+    {
+        assert!(capacity > 0, "shard capacity must be nonzero");
+        if self.capacity != 0 && self.capacity != capacity as u64 {
+            return Err(CorpusError::CapacityMismatch {
+                dir: self.dir.clone(),
+                expected: self.capacity,
+                found: capacity as u64,
+            });
+        }
+        fs::create_dir_all(&self.dir)?;
+        let start = self.shards.len() as u32;
+        let new_shards = write_shards(&self.dir, start, capacity as u64, moduli)?;
+        let end = start + new_shards.len() as u32;
+        self.shards.extend(new_shards);
+        self.capacity = capacity as u64;
+        Ok(start..end)
     }
 
     /// Re-open a store directory written earlier. Validates every shard
@@ -495,6 +523,64 @@ impl ShardStore {
         let _ = fs::remove_dir(&self.dir);
         Ok(())
     }
+}
+
+/// Write `moduli` as shard files `start_index..` under `dir`, at most
+/// `capacity` per shard. Shared by [`ShardStore::create`] and
+/// [`ShardStore::append`]; a failed write removes every shard this call
+/// created (and only those) before the error propagates.
+fn write_shards<'a, I>(
+    dir: &Path,
+    start_index: u32,
+    capacity: u64,
+    moduli: I,
+) -> Result<Vec<ShardMeta>, CorpusError>
+where
+    I: IntoIterator<Item = &'a Natural>,
+{
+    let mut guard = PartialGuard::new(dir.to_path_buf());
+    let mut shards = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut pending: u64 = 0;
+
+    let flush = |payload: &mut Vec<u8>,
+                 pending: &mut u64,
+                 shards: &mut Vec<ShardMeta>,
+                 guard: &mut PartialGuard|
+     -> Result<(), CorpusError> {
+        if *pending == 0 {
+            return Ok(());
+        }
+        let index = start_index + shards.len() as u32;
+        let meta = ShardMeta {
+            index,
+            count: *pending,
+            payload_len: payload.len() as u64,
+            crc: crc32(payload),
+        };
+        let path = dir.join(shard_file_name(index));
+        guard.track(path.clone());
+        let mut file = File::create(&path)?;
+        file.write_all(&meta.to_header_bytes())?;
+        file.write_all(payload)?;
+        file.sync_all()?;
+        shards.push(meta);
+        payload.clear();
+        *pending = 0;
+        Ok(())
+    };
+
+    for m in moduli {
+        assert!(!m.is_zero(), "zero modulus in corpus export");
+        encode_natural(&mut payload, m)?;
+        pending += 1;
+        if pending == capacity {
+            flush(&mut payload, &mut pending, &mut shards, &mut guard)?;
+        }
+    }
+    flush(&mut payload, &mut pending, &mut shards, &mut guard)?;
+    guard.defuse();
+    Ok(shards)
 }
 
 // ---------------------------------------------------------------------------
@@ -702,14 +788,39 @@ pub fn sharded_batch_gcd(
     store: &ShardStore,
     threads: usize,
 ) -> Result<BatchGcdResult, CorpusError> {
+    Ok(sharded_impl(store, threads, false)?.0)
+}
+
+/// Like [`sharded_batch_gcd`], but additionally returns the per-shard
+/// products and the top product — the raw material for a persisted
+/// [`TreeCache`](crate::incremental::TreeCache). Keeping them costs one
+/// extra corpus-sized set of naturals over the streaming run's footprint,
+/// which is why the public entry point drops them. An empty store yields
+/// `(empty result, [], 1)`.
+pub(crate) fn sharded_batch_gcd_keeping_tree(
+    store: &ShardStore,
+    threads: usize,
+) -> Result<(BatchGcdResult, Vec<Natural>, Natural), CorpusError> {
+    sharded_impl(store, threads, true)
+}
+
+fn sharded_impl(
+    store: &ShardStore,
+    threads: usize,
+    keep_tree: bool,
+) -> Result<(BatchGcdResult, Vec<Natural>, Natural), CorpusError> {
     let total = store.total_moduli() as usize;
     let shard_count = store.shard_count();
     if shard_count == 0 {
-        return Ok(BatchGcdResult {
-            raw_divisors: Vec::new(),
-            statuses: Vec::new(),
-            stats: BatchStats::default(),
-        });
+        return Ok((
+            BatchGcdResult {
+                raw_divisors: Vec::new(),
+                statuses: Vec::new(),
+                stats: BatchStats::default(),
+            },
+            Vec::new(),
+            Natural::one(),
+        ));
     }
 
     let pool = WorkerPool::new(threads);
@@ -727,7 +838,13 @@ pub fn sharded_batch_gcd(
             move || -> Result<(Natural, usize, Duration), CorpusError> {
                 let start = Instant::now();
                 let moduli = store.read_shard(index)?;
-                let tree = ProductTree::build(&moduli, pool.exec_in(build_domain));
+                let tree =
+                    ProductTree::build(&moduli, pool.exec_in(build_domain)).map_err(|e| {
+                        CorpusError::FormatViolation {
+                            path: store.shard_path(index),
+                            detail: e.to_string(),
+                        }
+                    })?;
                 Ok((tree.root().clone(), tree.total_bytes(), start.elapsed()))
             }
         })
@@ -744,14 +861,28 @@ pub fn sharded_batch_gcd(
 
     // Phase 2: the top tree over shard products fits in memory by
     // construction (one node per shard).
-    let top = ProductTree::build(&shard_products, pool.exec_in(&build_domain));
+    let top = ProductTree::build(&shard_products, pool.exec_in(&build_domain))
+        // lint:allow(no-panic-in-lib) invariant: shard_count > 0 and every shard product is a product of nonzero moduli
+        .expect("shard products are nonempty and nonzero");
     let product_tree_time = t0.elapsed();
     let top_bytes = top.total_bytes();
-    drop(shard_products);
+    let kept_products = if keep_tree {
+        shard_products
+    } else {
+        // Streamed mode: release the corpus-sized product list before the
+        // leaf phase, preserving the bounded-memory property.
+        drop(shard_products);
+        Vec::new()
+    };
 
     // Phase 3: descend P to per-shard residues, then per-shard leaf work.
     let t1 = Instant::now();
     let shard_residues = top.remainder_tree(top.root(), pool.exec_in(&remainder_domain));
+    let kept_top = if keep_tree {
+        top.root().clone()
+    } else {
+        Natural::one()
+    };
     drop(top);
 
     struct ShardLeaves {
@@ -762,50 +893,55 @@ pub fn sharded_batch_gcd(
         busy: Duration,
     }
 
-    let leaf_tasks: Vec<_> = shard_residues
-        .into_iter()
-        .enumerate()
-        .map(|(index, residue)| {
-            let pool = &pool;
-            let remainder_domain = &remainder_domain;
-            let gcd_domain = &gcd_domain;
-            move || -> Result<ShardLeaves, CorpusError> {
-                let start = Instant::now();
-                let moduli = store.read_shard(index as u32)?;
-                let tree = ProductTree::build(&moduli, pool.exec_in(remainder_domain));
-                let tree_bytes = tree.total_bytes();
-                let rems = tree.remainder_tree(&residue, pool.exec_in(remainder_domain));
-                drop(tree);
-                let divisors: Vec<Option<Natural>> = pool.exec_in(gcd_domain).map(
-                    moduli.iter().zip(rems).collect(),
-                    |(n, z): (&Natural, Natural)| {
-                        // Same leaf computation as the classic pass:
-                        // z = P mod N^2, N | P, so z/N = (P/N) mod N exactly.
-                        let (zn, r) = z.div_rem(n);
-                        debug_assert!(r.is_zero(), "N must divide P mod N^2");
-                        let g = n.gcd(&zn);
-                        if g.is_one() {
-                            None
-                        } else {
-                            Some(g)
-                        }
-                    },
-                );
-                let hits: Vec<(usize, Natural)> = divisors
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, g)| g.is_some())
-                    .map(|(i, _)| (i, moduli[i].clone()))
-                    .collect();
-                Ok(ShardLeaves {
-                    divisors,
-                    hits,
-                    tree_bytes,
-                    busy: start.elapsed(),
-                })
-            }
-        })
-        .collect();
+    let leaf_tasks: Vec<_> =
+        shard_residues
+            .into_iter()
+            .enumerate()
+            .map(|(index, residue)| {
+                let pool = &pool;
+                let remainder_domain = &remainder_domain;
+                let gcd_domain = &gcd_domain;
+                move || -> Result<ShardLeaves, CorpusError> {
+                    let start = Instant::now();
+                    let moduli = store.read_shard(index as u32)?;
+                    let tree = ProductTree::build(&moduli, pool.exec_in(remainder_domain))
+                        .map_err(|e| CorpusError::FormatViolation {
+                            path: store.shard_path(index as u32),
+                            detail: e.to_string(),
+                        })?;
+                    let tree_bytes = tree.total_bytes();
+                    let rems = tree.remainder_tree(&residue, pool.exec_in(remainder_domain));
+                    drop(tree);
+                    let divisors: Vec<Option<Natural>> = pool.exec_in(gcd_domain).map(
+                        moduli.iter().zip(rems).collect(),
+                        |(n, z): (&Natural, Natural)| {
+                            // Same leaf computation as the classic pass:
+                            // z = P mod N^2, N | P, so z/N = (P/N) mod N exactly.
+                            let (zn, r) = z.div_rem(n);
+                            debug_assert!(r.is_zero(), "N must divide P mod N^2");
+                            let g = n.gcd(&zn);
+                            if g.is_one() {
+                                None
+                            } else {
+                                Some(g)
+                            }
+                        },
+                    );
+                    let hits: Vec<(usize, Natural)> = divisors
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| g.is_some())
+                        .map(|(i, _)| (i, moduli[i].clone()))
+                        .collect();
+                    Ok(ShardLeaves {
+                        divisors,
+                        hits,
+                        tree_bytes,
+                        busy: start.elapsed(),
+                    })
+                }
+            })
+            .collect();
 
     let mut raw_divisors: Vec<Option<Natural>> = Vec::with_capacity(total);
     let mut hits: Vec<(usize, Natural)> = Vec::new();
@@ -822,27 +958,32 @@ pub fn sharded_batch_gcd(
 
     let statuses = resolve_with_hits(total, &hits, &raw_divisors);
     let gcd_exec = gcd_domain.phase();
-    Ok(BatchGcdResult {
-        raw_divisors,
-        statuses,
-        stats: BatchStats {
-            product_tree_time,
-            remainder_tree_time,
-            gcd_time: gcd_exec.busy_total(),
-            tree_bytes: top_bytes + max_shard_tree_bytes,
-            input_count: total,
-            product_tree_exec: build_domain.phase(),
-            remainder_tree_exec: remainder_domain.phase(),
-            gcd_exec,
-            shard: ShardMetrics {
-                shards_written: shard_count as u64,
-                shards_read: 2 * shard_count as u64,
-                bytes_written: store.bytes_on_disk(),
-                bytes_read: 2 * store.bytes_on_disk(),
-                shard_busy,
+    Ok((
+        BatchGcdResult {
+            raw_divisors,
+            statuses,
+            stats: BatchStats {
+                product_tree_time,
+                remainder_tree_time,
+                gcd_time: gcd_exec.busy_total(),
+                tree_bytes: top_bytes + max_shard_tree_bytes,
+                input_count: total,
+                product_tree_exec: build_domain.phase(),
+                remainder_tree_exec: remainder_domain.phase(),
+                gcd_exec,
+                shard: ShardMetrics {
+                    shards_written: shard_count as u64,
+                    shards_read: 2 * shard_count as u64,
+                    bytes_written: store.bytes_on_disk(),
+                    bytes_read: 2 * store.bytes_on_disk(),
+                    shard_busy,
+                },
+                delta: crate::incremental::DeltaMetrics::default(),
             },
         },
-    })
+        kept_products,
+        kept_top,
+    ))
 }
 
 #[cfg(test)]
@@ -904,6 +1045,99 @@ mod tests {
             .collect();
         assert_eq!(back, moduli);
         created.remove().unwrap();
+    }
+
+    #[test]
+    fn append_adds_new_shards_without_rewriting() {
+        let first = pseudo_moduli(10, 41);
+        let second = pseudo_moduli(5, 43);
+        let dir = scratch_dir("corpus-append");
+        let mut store = ShardStore::create(&dir, 4, &first).unwrap();
+        assert_eq!(store.shard_count(), 3); // 4+4+2, ragged last shard
+        let old_bytes: Vec<Vec<u8>> = (0..3u32)
+            .map(|i| fs::read(store.shard_path(i)).unwrap())
+            .collect();
+
+        let range = store.append(4, &second).unwrap();
+        assert_eq!(range, 3..5); // 4+1 — the ragged shard 2 is untouched
+        assert_eq!(store.shard_count(), 5);
+        assert_eq!(store.total_moduli(), 15);
+        for (i, bytes) in old_bytes.iter().enumerate() {
+            assert_eq!(
+                &fs::read(store.shard_path(i as u32)).unwrap(),
+                bytes,
+                "existing shard {i} must not be rewritten"
+            );
+        }
+
+        // A reopen sees the union in order: first batch, then second.
+        let reopened = ShardStore::open(&dir).unwrap();
+        assert_eq!(reopened.shards(), store.shards());
+        let back: Vec<Natural> = (0..reopened.shard_count() as u32)
+            .flat_map(|i| reopened.read_shard(i).unwrap())
+            .collect();
+        let mut union = first.clone();
+        union.extend(second);
+        assert_eq!(back, union);
+        store.remove().unwrap();
+    }
+
+    #[test]
+    fn append_capacity_mismatch_is_typed_error() {
+        let moduli = pseudo_moduli(6, 45);
+        let dir = scratch_dir("corpus-append-cap");
+        let mut store = ShardStore::create(&dir, 3, &moduli).unwrap();
+        let err = store.append(5, &moduli).unwrap_err();
+        match err {
+            CorpusError::CapacityMismatch {
+                expected, found, ..
+            } => {
+                assert_eq!(expected, 3);
+                assert_eq!(found, 5);
+            }
+            other => panic!("expected CapacityMismatch, got {other}"),
+        }
+        assert!(err.to_string().contains("capacity 5"));
+        // The rejected append must not have touched the store.
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.total_moduli(), 6);
+        store.remove().unwrap();
+    }
+
+    #[test]
+    fn append_to_empty_store_adopts_capacity() {
+        let dir = scratch_dir("corpus-append-empty");
+        let mut store = ShardStore::open({
+            fs::create_dir_all(&dir).unwrap();
+            &dir
+        })
+        .unwrap();
+        assert_eq!(store.shard_count(), 0);
+        let moduli = pseudo_moduli(7, 47);
+        let range = store.append(3, &moduli).unwrap();
+        assert_eq!(range, 0..3);
+        assert_eq!(store.capacity(), 3);
+        let back: Vec<Natural> = (0..3u32)
+            .flat_map(|i| store.read_shard(i).unwrap())
+            .collect();
+        assert_eq!(back, moduli);
+        store.remove().unwrap();
+    }
+
+    #[test]
+    fn failed_append_removes_only_its_own_shards() {
+        let moduli = pseudo_moduli(4, 49);
+        let dir = scratch_dir("corpus-append-fail");
+        let mut store = ShardStore::create(&dir, 4, &moduli).unwrap();
+        // Plant a directory where the appended shard must go.
+        fs::create_dir_all(dir.join(shard_file_name(1))).unwrap();
+        assert!(store.append(4, &moduli).is_err());
+        assert!(
+            dir.join(shard_file_name(0)).exists(),
+            "pre-existing shard must survive a failed append"
+        );
+        assert_eq!(store.shard_count(), 1, "failed append must not register");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! correct pair-coverage quantity.
 
 use crate::corpus::{CorpusError, ShardMetrics, ShardStore};
+use crate::incremental::DeltaMetrics;
 use crate::pool::{ExecDomain, PhaseExec, WorkerPool};
 use crate::resolve::{resolve, KeyStatus};
 use crate::tree::ProductTree;
@@ -102,6 +103,11 @@ pub struct ClusterReport {
     /// Shard-store I/O metrics; all-zero [`Default`] for in-memory runs,
     /// populated by [`distributed_batch_gcd_sharded`].
     pub shard: ShardMetrics,
+    /// Delta-phase metrics; all-zero [`Default`] for cluster runs (the
+    /// incremental path is single-corpus — see
+    /// [`incremental_batch_gcd`](crate::incremental::incremental_batch_gcd)
+    /// — but the field keeps report schemas aligned across entry points).
+    pub delta: DeltaMetrics,
 }
 
 impl ClusterReport {
@@ -173,9 +179,14 @@ fn partition_ranges(total: usize, k: usize) -> Vec<std::ops::Range<usize>> {
 /// Run the k-subset distributed batch GCD.
 ///
 /// # Panics
-/// Panics if `moduli` is empty or `config.subsets == 0`.
+/// Panics if `moduli` is empty, any modulus is zero, or
+/// `config.subsets == 0`.
 pub fn distributed_batch_gcd(moduli: &[Natural], config: ClusterConfig) -> DistributedResult {
     assert!(!moduli.is_empty(), "empty input");
+    assert!(
+        moduli.iter().all(|m| !m.is_zero()),
+        "zero modulus in distributed batch GCD input"
+    );
     assert!(config.subsets > 0, "need at least one subset");
     let k = config.subsets.min(moduli.len());
     let wall_start = Instant::now();
@@ -229,6 +240,7 @@ pub fn distributed_batch_gcd_sharded(
                 build_exec: PhaseExec::default(),
                 descent_exec: PhaseExec::default(),
                 shard: ShardMetrics::default(),
+                delta: DeltaMetrics::default(),
             },
         });
     }
@@ -240,7 +252,16 @@ pub fn distributed_batch_gcd_sharded(
     let mut shard_busy = Vec::with_capacity(store.shard_count());
     for index in 0..store.shard_count() as u32 {
         let t0 = Instant::now();
-        moduli.extend(store.read_shard(index)?);
+        let shard_moduli = store.read_shard(index)?;
+        // A checksum-valid shard can still encode a zero (stores are plain
+        // files); reject it here so the tree build below cannot fail.
+        if shard_moduli.iter().any(Natural::is_zero) {
+            return Err(CorpusError::FormatViolation {
+                path: store.shard_path(index),
+                detail: "zero modulus in shard payload".to_string(),
+            });
+        }
+        moduli.extend(shard_moduli);
         shard_busy.push(t0.elapsed());
     }
     let shard = ShardMetrics {
@@ -293,7 +314,9 @@ fn run_cluster(
             let domain = &build_domains[i];
             move || {
                 let t0 = Instant::now();
-                let tree = ProductTree::build(subset, pool.exec_in(domain));
+                let tree = ProductTree::build(subset, pool.exec_in(domain))
+                    // lint:allow(no-panic-in-lib) invariant: both entry points reject empty/zero inputs before partitioning
+                    .expect("validated cluster subset");
                 (tree, t0.elapsed())
             }
         })
@@ -389,6 +412,7 @@ fn run_cluster(
             build_exec,
             descent_exec,
             shard,
+            delta: DeltaMetrics::default(),
         },
     )
 }

@@ -29,7 +29,14 @@
 //!   live on disk as fixed-capacity checksummed shards (format in DESIGN.md
 //!   §7), and [`corpus::sharded_batch_gcd`] runs the classic algorithm with
 //!   workers pulling shards on demand, holding one shard per worker
-//!   resident instead of the whole corpus.
+//!   resident instead of the whole corpus;
+//! * [`incremental`] — the delta-update path for new scan months: a
+//!   persisted [`incremental::TreeCache`] (per-shard roots, cached top
+//!   product, previous hits; format in DESIGN.md §8) lets
+//!   [`incremental::incremental_batch_gcd`] resolve `M` new moduli against
+//!   `N` cached ones byte-identically to a from-scratch run over the union,
+//!   paying only delta-proportional multiplies plus one pass of cheap
+//!   small-modulus reductions.
 //!
 //! All the algorithms produce identical raw divisors and statuses for the
 //! same input — a cross-checked invariant in the test suites.
@@ -53,6 +60,7 @@
 pub mod classic;
 pub mod corpus;
 pub mod distributed;
+pub mod incremental;
 pub mod naive;
 pub mod pool;
 pub mod resolve;
@@ -67,8 +75,9 @@ pub use distributed::{
     distributed_batch_gcd, distributed_batch_gcd_sharded, ClusterConfig, ClusterReport,
     DistributedResult, NodeReport,
 };
+pub use incremental::{incremental_batch_gcd, DeltaMetrics, IncrementalError, TreeCache};
 pub use naive::{naive_pairwise_gcd, NaiveResult};
 pub use pool::{Exec, ExecDomain, PhaseExec, WorkerPool};
 pub use resolve::{resolve, resolve_with_hits, KeyStatus};
 pub use spill::{scratch_dir, SpilledProductTree};
-pub use tree::ProductTree;
+pub use tree::{ProductTree, TreeError};

@@ -182,16 +182,25 @@ impl SpilledProductTree {
     ///
     /// # Errors
     /// Propagates filesystem errors; a failed build removes the level files
-    /// it already wrote before returning the error. Panics (like
-    /// [`ProductTree::build`]) on empty input or zero moduli.
+    /// it already wrote before returning the error. Empty input or a zero
+    /// modulus fail with [`io::ErrorKind::InvalidInput`] — the same
+    /// conditions [`ProductTree::build`] reports as a typed
+    /// [`TreeError`](crate::tree::TreeError).
     ///
     /// [`ProductTree::build`]: crate::tree::ProductTree::build
     pub fn build(moduli: &[Natural], dir: &Path, exec: Exec<'_>) -> io::Result<SpilledProductTree> {
-        assert!(!moduli.is_empty(), "product tree over empty input");
-        assert!(
-            moduli.iter().all(|m| !m.is_zero()),
-            "zero modulus in product tree"
-        );
+        if moduli.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                crate::tree::TreeError::EmptyInput.to_string(),
+            ));
+        }
+        if let Some(index) = moduli.iter().position(Natural::is_zero) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                crate::tree::TreeError::ZeroModulus { index }.to_string(),
+            ));
+        }
         fs::create_dir_all(dir)?;
         let mut guard = PartialGuard::new(dir.to_path_buf());
         let mut level_sizes = Vec::new();
@@ -333,7 +342,7 @@ mod tests {
         let moduli = pseudo_moduli(13, 42);
         let dir = scratch_dir("match");
         let spilled = SpilledProductTree::build(&moduli, &dir, pool.exec()).unwrap();
-        let in_ram = ProductTree::build(&moduli, pool.exec());
+        let in_ram = ProductTree::build(&moduli, pool.exec()).unwrap();
         assert_eq!(&spilled.root().unwrap(), in_ram.root());
         let rs = spilled.remainder_tree(in_ram.root(), pool.exec()).unwrap();
         let rr = in_ram.remainder_tree(in_ram.root(), pool.exec());
@@ -425,6 +434,22 @@ mod tests {
         });
         assert!(result.is_err());
         assert!(!level0.exists(), "unwinding must clear scratch files");
+    }
+
+    #[test]
+    fn invalid_input_is_io_error_not_panic() {
+        let pool = WorkerPool::new(1);
+        let dir = scratch_dir("invalid");
+        let err = SpilledProductTree::build(&[], &dir, pool.exec())
+            .err()
+            .expect("empty input must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = SpilledProductTree::build(&[nat(5), Natural::zero()], &dir, pool.exec())
+            .err()
+            .expect("zero modulus must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("index 1"));
+        assert!(!dir.exists(), "rejected builds leave no scratch behind");
     }
 
     #[test]

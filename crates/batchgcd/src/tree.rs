@@ -12,7 +12,37 @@
 //! `z_i / N_i` — exact division precisely because `N_i | P`.
 
 use crate::pool::Exec;
+use std::fmt;
 use wk_bigint::Natural;
+
+/// Why a product tree could not be built. Both conditions are caller bugs
+/// in an in-memory run, but become reachable data errors once moduli stream
+/// in from disk (a corrupt shard record can decode to zero), so they are
+/// typed rather than panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// The input slice was empty; a product tree needs at least one leaf.
+    EmptyInput,
+    /// A modulus was zero — it would absorb the whole product and every
+    /// leaf's `gcd(N_i, P/N_i)` with it.
+    ZeroModulus {
+        /// Position of the offending modulus in the input slice.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::EmptyInput => write!(f, "product tree over empty input"),
+            TreeError::ZeroModulus { index } => {
+                write!(f, "zero modulus at index {index} in product tree input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
 
 /// A materialized product tree. `levels[0]` is the leaf level (the inputs);
 /// the last level holds the single root.
@@ -25,14 +55,16 @@ impl ProductTree {
     /// Build the product tree over `moduli`, running each level's pair
     /// multiplies on `exec`'s work-stealing pool.
     ///
-    /// # Panics
-    /// Panics if `moduli` is empty or any modulus is zero.
-    pub fn build(moduli: &[Natural], exec: Exec<'_>) -> ProductTree {
-        assert!(!moduli.is_empty(), "product tree over empty input");
-        assert!(
-            moduli.iter().all(|m| !m.is_zero()),
-            "zero modulus in product tree"
-        );
+    /// # Errors
+    /// [`TreeError::EmptyInput`] if `moduli` is empty,
+    /// [`TreeError::ZeroModulus`] if any modulus is zero.
+    pub fn build(moduli: &[Natural], exec: Exec<'_>) -> Result<ProductTree, TreeError> {
+        if moduli.is_empty() {
+            return Err(TreeError::EmptyInput);
+        }
+        if let Some(index) = moduli.iter().position(Natural::is_zero) {
+            return Err(TreeError::ZeroModulus { index });
+        }
         let mut levels = Vec::new();
         let mut current = moduli.to_vec();
         while current.len() > 1 {
@@ -40,7 +72,7 @@ impl ProductTree {
             levels.push(core::mem::replace(&mut current, next));
         }
         levels.push(current); // the single-node root level
-        ProductTree { levels }
+        Ok(ProductTree { levels })
     }
 
     /// The root product `Π N_i`.
@@ -164,7 +196,7 @@ mod tests {
     #[test]
     fn root_is_product() {
         let moduli = vec![nat(3), nat(5), nat(7), nat(11)];
-        let tree = ProductTree::build(&moduli, seq().exec());
+        let tree = ProductTree::build(&moduli, seq().exec()).unwrap();
         assert_eq!(tree.root(), &nat(3 * 5 * 7 * 11));
         assert_eq!(tree.leaf_count(), 4);
     }
@@ -172,13 +204,13 @@ mod tests {
     #[test]
     fn odd_leaf_count_promotes() {
         let moduli = vec![nat(2), nat(3), nat(5)];
-        let tree = ProductTree::build(&moduli, seq().exec());
+        let tree = ProductTree::build(&moduli, seq().exec()).unwrap();
         assert_eq!(tree.root(), &nat(30));
     }
 
     #[test]
     fn single_leaf() {
-        let tree = ProductTree::build(&[nat(42)], seq().exec());
+        let tree = ProductTree::build(&[nat(42)], seq().exec()).unwrap();
         assert_eq!(tree.root(), &nat(42));
         let r = tree.remainder_tree(&nat(100), seq().exec());
         assert_eq!(r, vec![nat(100)]);
@@ -187,7 +219,7 @@ mod tests {
     #[test]
     fn remainder_tree_matches_direct() {
         let moduli = pseudo_moduli(13, 99);
-        let tree = ProductTree::build(&moduli, seq().exec());
+        let tree = ProductTree::build(&moduli, seq().exec()).unwrap();
         let root = tree.root().clone();
         let rems = tree.remainder_tree(&root, seq().exec());
         for (m, z) in moduli.iter().zip(rems.iter()) {
@@ -200,7 +232,7 @@ mod tests {
     #[test]
     fn remainder_tree_plain_matches_direct() {
         let moduli = pseudo_moduli(9, 1234);
-        let tree = ProductTree::build(&moduli, seq().exec());
+        let tree = ProductTree::build(&moduli, seq().exec()).unwrap();
         let external = nat(0xdead_beef_cafe_f00d_1234u128);
         let rems = tree.remainder_tree_plain(&external, seq().exec());
         for (m, r) in moduli.iter().zip(rems.iter()) {
@@ -213,8 +245,8 @@ mod tests {
         let moduli = pseudo_moduli(31, 5);
         let pool1 = seq();
         let pool4 = WorkerPool::new(4);
-        let t1 = ProductTree::build(&moduli, pool1.exec());
-        let t4 = ProductTree::build(&moduli, pool4.exec());
+        let t1 = ProductTree::build(&moduli, pool1.exec()).unwrap();
+        let t4 = ProductTree::build(&moduli, pool4.exec()).unwrap();
         assert_eq!(t1.root(), t4.root());
         let r1 = t1.remainder_tree(t1.root(), pool1.exec());
         let r4 = t4.remainder_tree(t4.root(), pool4.exec());
@@ -224,7 +256,7 @@ mod tests {
     #[test]
     fn total_bytes_positive_and_superlinear_in_input() {
         let moduli = pseudo_moduli(16, 77);
-        let tree = ProductTree::build(&moduli, seq().exec());
+        let tree = ProductTree::build(&moduli, seq().exec()).unwrap();
         let leaf_bytes: usize = moduli.iter().map(|m| m.limb_len() * 8).sum();
         assert!(
             tree.total_bytes() > leaf_bytes,
@@ -233,14 +265,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty input")]
-    fn empty_input_panics() {
-        let _ = ProductTree::build(&[], seq().exec());
+    fn empty_input_is_typed_error() {
+        let err = ProductTree::build(&[], seq().exec()).unwrap_err();
+        assert_eq!(err, TreeError::EmptyInput);
+        assert!(err.to_string().contains("empty input"));
     }
 
     #[test]
-    #[should_panic(expected = "zero modulus")]
-    fn zero_modulus_panics() {
-        let _ = ProductTree::build(&[nat(5), Natural::zero()], seq().exec());
+    fn zero_modulus_is_typed_error() {
+        let err = ProductTree::build(&[nat(5), Natural::zero()], seq().exec()).unwrap_err();
+        assert_eq!(err, TreeError::ZeroModulus { index: 1 });
+        assert!(err.to_string().contains("index 1"));
     }
 }

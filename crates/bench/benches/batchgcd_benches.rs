@@ -78,7 +78,7 @@ fn ablation_naive_vs_batch(c: &mut Criterion) {
 fn ablation_remainder_tree(c: &mut Criterion) {
     let moduli = key_population(600, 512, 0.05, 31);
     let pool = WorkerPool::new(1);
-    let tree = ProductTree::build(&moduli, pool.exec());
+    let tree = ProductTree::build(&moduli, pool.exec()).unwrap();
     let root = tree.root().clone();
     let mut group = c.benchmark_group("ablation_remainder_tree");
     group.sample_size(10);
@@ -105,7 +105,7 @@ fn ablation_disk_spill(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("in_ram", |b| {
         b.iter(|| {
-            let tree = ProductTree::build(black_box(&moduli), pool.exec());
+            let tree = ProductTree::build(black_box(&moduli), pool.exec()).unwrap();
             tree.remainder_tree(tree.root(), pool.exec())
         })
     });

@@ -1,0 +1,202 @@
+//! `ablation_incremental` — full tree rebuild vs the delta-update path
+//! (DESIGN.md §8, A6): at several corpus/delta (`N`/`M`) ratios, compare a
+//! from-scratch `TreeCache::build` over the union against one
+//! `incremental_batch_gcd` call landing the delta on a warm cache, and
+//! write the evidence (per-phase wall times, executor task/steal counts)
+//! to `BENCH_batchgcd.json` at the workspace root.
+//!
+//! The vendored criterion stand-in does not parse CLI flags, so this bench
+//! is a plain `main` that honors `-- --test` itself: smoke mode shrinks
+//! the workload to seconds and skips the wall-clock assertion (timing on
+//! a loaded CI box is noise), while the structural assertion — the delta
+//! run schedules strictly fewer product-tree tasks — holds in both modes.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use wk_batchgcd::{incremental_batch_gcd, scratch_dir, BatchGcdResult, ShardStore, TreeCache};
+use wk_bench::key_population;
+
+const THREADS: usize = 4;
+
+struct FullRun {
+    wall: Duration,
+    result: BatchGcdResult,
+}
+
+struct DeltaRun {
+    wall: Duration,
+    result: BatchGcdResult,
+}
+
+/// Best-of-`samples` from-scratch run over the union corpus.
+fn measure_full(union: &[wk_bigint::Natural], capacity: usize, samples: usize) -> FullRun {
+    let mut best: Option<FullRun> = None;
+    for s in 0..samples {
+        let store_dir = scratch_dir(&format!("bench-incr-full-store-{s}"));
+        let cache_dir = scratch_dir(&format!("bench-incr-full-cache-{s}"));
+        let store = ShardStore::create(&store_dir, capacity, union).unwrap();
+        let start = Instant::now();
+        let (cache, result) = TreeCache::build(&cache_dir, &store, THREADS).unwrap();
+        let wall = start.elapsed();
+        cache.remove().unwrap();
+        store.remove().unwrap();
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(FullRun { wall, result });
+        }
+    }
+    best.unwrap()
+}
+
+/// Best-of-`samples` delta run: the old corpus is cached (untimed setup);
+/// only the `incremental_batch_gcd` call is measured.
+fn measure_delta(
+    old: &[wk_bigint::Natural],
+    delta: &[wk_bigint::Natural],
+    capacity: usize,
+    samples: usize,
+) -> DeltaRun {
+    let mut best: Option<DeltaRun> = None;
+    for s in 0..samples {
+        let store_dir = scratch_dir(&format!("bench-incr-delta-store-{s}"));
+        let cache_dir = scratch_dir(&format!("bench-incr-delta-cache-{s}"));
+        let mut store = ShardStore::create(&store_dir, capacity, old).unwrap();
+        let (mut cache, _) = TreeCache::build(&cache_dir, &store, THREADS).unwrap();
+        let start = Instant::now();
+        let result =
+            incremental_batch_gcd(&mut store, &mut cache, delta, capacity, THREADS).unwrap();
+        let wall = start.elapsed();
+        cache.remove().unwrap();
+        store.remove().unwrap();
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(DeltaRun { wall, result });
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    // N old moduli, several delta sizes M, fixed shard capacity.
+    let (n_old, deltas, bits, capacity, samples) = if smoke {
+        (48usize, vec![4usize, 12], 128u64, 16usize, 2usize)
+    } else {
+        (600, vec![30, 100, 300], 256, 64, 3)
+    };
+    let max_delta = *deltas.iter().max().unwrap();
+    let union = key_population(n_old + max_delta, bits, 0.04, 1601);
+    let old = &union[..n_old];
+
+    let mut cases = String::new();
+    for (i, &m) in deltas.iter().enumerate() {
+        let union_m = &union[..n_old + m];
+        let delta = &union_m[n_old..];
+        let full = measure_full(union_m, capacity, samples);
+        let inc = measure_delta(old, delta, capacity, samples);
+
+        // Correctness first: the delta run must reproduce the rebuild.
+        assert_eq!(inc.result.raw_divisors, full.result.raw_divisors);
+        assert_eq!(inc.result.statuses, full.result.statuses);
+
+        // The ablation's structural claim, deterministic and noise-free:
+        // the rebuild schedules ~3(N+M) tasks (tree, remainder tree, gcd
+        // over the union), the delta run ~4M + N (a full pass over M plus
+        // one cheap small-modulus reduction per cached modulus), so for
+        // M < 2N the executor must show strictly fewer tasks end to end.
+        let full_tree_tasks = full.result.stats.product_tree_exec.tasks();
+        let inc_tree_tasks = inc.result.stats.product_tree_exec.tasks();
+        let full_tasks = full.result.stats.total_exec().tasks();
+        let inc_tasks = inc.result.stats.total_exec().tasks();
+        assert!(
+            inc_tasks < full_tasks,
+            "delta run scheduled {inc_tasks} tasks, rebuild {full_tasks} — \
+             the delta path must do less work at N={n_old} M={m}"
+        );
+        if !smoke {
+            assert!(
+                inc.wall < full.wall,
+                "delta run ({:?}) must beat the full rebuild ({:?}) at N={n_old} M={m}",
+                inc.wall,
+                full.wall
+            );
+        }
+
+        let d = &inc.result.stats.delta;
+        let fs = &full.result.stats;
+        println!(
+            "ablation_incremental N={n_old} M={m}: rebuild {:?} vs delta {:?} \
+             (tree tasks {full_tree_tasks} -> {inc_tree_tasks}, \
+             total tasks {full_tasks} -> {inc_tasks})",
+            full.wall, inc.wall
+        );
+        if i > 0 {
+            cases.push(',');
+        }
+        write!(
+            cases,
+            r#"
+    {{
+      "old_count": {n_old},
+      "delta_count": {m},
+      "full_rebuild": {{
+        "wall_ns": {},
+        "product_tree_ns": {},
+        "remainder_tree_ns": {},
+        "gcd_ns": {},
+        "tree_tasks": {full_tree_tasks},
+        "tree_steals": {},
+        "total_tasks": {},
+        "total_steals": {}
+      }},
+      "incremental": {{
+        "wall_ns": {},
+        "delta_tree_ns": {},
+        "delta_sweep_ns": {},
+        "delta_cross_ns": {},
+        "delta_cache_update_ns": {},
+        "tree_tasks": {inc_tree_tasks},
+        "sweep_tasks": {},
+        "cross_tasks": {},
+        "total_steals": {},
+        "shards_read": {}
+      }},
+      "speedup": {:.3}
+    }}"#,
+            full.wall.as_nanos(),
+            fs.product_tree_time.as_nanos(),
+            fs.remainder_tree_time.as_nanos(),
+            fs.gcd_time.as_nanos(),
+            fs.product_tree_exec.steals,
+            fs.total_exec().tasks(),
+            fs.total_exec().steals,
+            inc.wall.as_nanos(),
+            d.delta_tree_time.as_nanos(),
+            d.delta_sweep_time.as_nanos(),
+            d.delta_cross_time.as_nanos(),
+            d.delta_cache_update_time.as_nanos(),
+            d.delta_sweep_exec.tasks(),
+            d.delta_cross_exec.tasks(),
+            inc.result.stats.total_exec().steals,
+            inc.result.stats.shard.shards_read,
+            full.wall.as_secs_f64() / inc.wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "ablation_incremental",
+  "smoke": {smoke},
+  "threads": {THREADS},
+  "modulus_bits": {bits},
+  "shard_capacity": {capacity},
+  "cases": [{cases}
+  ]
+}}
+"#
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_batchgcd.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -8,7 +8,8 @@
 use std::collections::HashSet;
 use wk_analysis::{labeling::label_dataset_with_cliques, Labeling};
 use wk_batchgcd::{
-    batch_gcd, distributed_batch_gcd, sharded_batch_gcd, BatchStats, ClusterConfig, KeyStatus,
+    batch_gcd, distributed_batch_gcd, incremental_batch_gcd, sharded_batch_gcd, BatchStats,
+    ClusterConfig, KeyStatus, ShardStore, TreeCache,
 };
 use wk_fingerprint::{
     classify_divisor, detect_cliques, detect_key_substitution, DivisorKind, FactoredModulus,
@@ -32,6 +33,22 @@ pub enum BatchMode {
         threads: usize,
         /// Maximum moduli per shard file.
         shard_capacity: usize,
+    },
+    /// The delta-update path (DESIGN.md §8): the corpus is split into
+    /// `batches` contiguous id-order chunks simulating successive scan
+    /// months, and each chunk lands on a scratch shard store + persisted
+    /// [`TreeCache`] via [`incremental_batch_gcd`], so every month after
+    /// the first pays only delta-proportional tree work. The final chunk's
+    /// result covers the whole corpus and is identical to `Classic`;
+    /// `batch_stats.delta` carries the last month's per-phase delta
+    /// metrics.
+    Incremental {
+        /// Worker threads for the batch-GCD pool.
+        threads: usize,
+        /// Maximum moduli per shard file.
+        shard_capacity: usize,
+        /// Number of simulated scan months (clamped to at least 1).
+        batches: usize,
     },
 }
 
@@ -59,9 +76,11 @@ pub struct StudyResults {
     pub labeling: Labeling,
     /// Detected fixed-pool prime cliques (the IBM nine-prime signature).
     pub cliques: Vec<PrimeClique>,
-    /// Timing/memory stats from the classic or sharded batch pass (None
-    /// when the distributed mode ran); sharded runs also populate
-    /// `stats.shard` with shard-store I/O metrics.
+    /// Timing/memory stats from the classic, sharded, or incremental batch
+    /// pass (None when the distributed mode ran); sharded and incremental
+    /// runs also populate `stats.shard` with shard-store I/O metrics, and
+    /// incremental runs populate `stats.delta` with the last month's
+    /// per-phase delta metrics.
     pub batch_stats: Option<BatchStats>,
 }
 
@@ -104,6 +123,31 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
                 .export_shards(&dir, shard_capacity)
                 .expect("shard export to scratch space");
             let r = sharded_batch_gcd(&store, threads).expect("sharded batch GCD over fresh store");
+            store.remove().expect("shard store cleanup");
+            (r.raw_divisors, r.statuses, Some(r.stats))
+        }
+        BatchMode::Incremental {
+            threads,
+            shard_capacity,
+            batches,
+        } => {
+            // Replay the corpus as `batches` successive scan months: an
+            // empty store + cache bootstraps on the first chunk, and every
+            // later chunk rides the delta path. Persistent-store workflows
+            // keep the store/cache directories across processes; here both
+            // are transient.
+            let store_dir = wk_batchgcd::scratch_dir("pipeline-incr-store");
+            let cache_dir = wk_batchgcd::scratch_dir("pipeline-incr-cache");
+            let mut store = ShardStore::create(&store_dir, shard_capacity, std::iter::empty())
+                .expect("scratch shard store for incremental mode");
+            let (mut cache, mut r) = TreeCache::build(&cache_dir, &store, threads)
+                .expect("tree cache bootstrap over empty store");
+            let chunk = moduli.len().div_ceil(batches.max(1)).max(1);
+            for month in moduli.chunks(chunk) {
+                r = incremental_batch_gcd(&mut store, &mut cache, month, shard_capacity, threads)
+                    .expect("incremental batch GCD over scratch store");
+            }
+            cache.remove().expect("tree cache cleanup");
             store.remove().expect("shard store cleanup");
             (r.raw_divisors, r.statuses, Some(r.stats))
         }
@@ -270,6 +314,36 @@ mod tests {
         assert_eq!(stats.shard.shards_read, 2 * stats.shard.shards_written);
         assert!(stats.shard.bytes_written > 0);
         assert!(classic.batch_stats.unwrap().shard.is_empty());
+    }
+
+    #[test]
+    fn incremental_mode_agrees_with_classic_and_reports_delta_metrics() {
+        let cfg = tiny_config();
+        let dataset_a = run_study(&cfg);
+        let dataset_b = run_study(&cfg);
+        let classic = analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 });
+        let incremental = analyze_dataset(
+            dataset_b,
+            BatchMode::Incremental {
+                threads: 2,
+                shard_capacity: 64,
+                batches: 3,
+            },
+        );
+        let mut a: Vec<_> = classic.vulnerable.iter().collect();
+        let mut b: Vec<_> = incremental.vulnerable.iter().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(classic.factored.len(), incremental.factored.len());
+        let stats = incremental
+            .batch_stats
+            .expect("incremental mode records stats");
+        // The last chunk ran as a delta against the two cached months.
+        assert!(!stats.delta.is_empty());
+        assert!(stats.delta.delta_count > 0);
+        assert!(stats.delta.cached_count >= stats.delta.delta_count);
+        assert!(stats.shard.shards_read > 0);
     }
 
     #[test]

@@ -99,6 +99,18 @@ impl ModulusStore {
         &self.values
     }
 
+    /// The moduli interned at or after id `start`, in id order — the delta
+    /// a new scan month contributes on top of a corpus already exported and
+    /// analyzed through id `start - 1`. Ids are assigned monotonically by
+    /// [`ModulusStore::intern`], so recording [`ModulusStore::len`] before
+    /// ingesting a month and calling `moduli_since(snapshot)` afterwards
+    /// yields exactly the new distinct moduli, ready for
+    /// [`incremental_batch_gcd`](wk_batchgcd::incremental_batch_gcd).
+    /// A `start` at or past the current length yields an empty slice.
+    pub fn moduli_since(&self, start: usize) -> &[Natural] {
+        self.values.get(start..).unwrap_or(&[])
+    }
+
     /// Export the corpus to a persistent on-disk shard store (DESIGN.md
     /// §7) under `dir`, at most `capacity` moduli per shard, in id order —
     /// so shard-streamed batch GCD sees the same input order as
@@ -264,6 +276,24 @@ mod tests {
         assert_eq!(store.get(a), &Natural::from(35u64));
         assert_eq!(store.lookup(&Natural::from(77u64)), Some(c));
         assert_eq!(store.lookup(&Natural::from(1u64)), None);
+    }
+
+    #[test]
+    fn moduli_since_returns_the_delta_after_a_snapshot() {
+        let mut store = ModulusStore::default();
+        store.intern(&Natural::from(33u64));
+        store.intern(&Natural::from(323u64));
+        let snapshot = store.len();
+        store.intern(&Natural::from(33u64)); // duplicate: no new id
+        store.intern(&Natural::from(39u64));
+        store.intern(&Natural::from(437u64));
+        assert_eq!(
+            store.moduli_since(snapshot),
+            &[Natural::from(39u64), Natural::from(437u64)]
+        );
+        assert_eq!(store.moduli_since(0), store.all());
+        assert!(store.moduli_since(store.len()).is_empty());
+        assert!(store.moduli_since(store.len() + 7).is_empty());
     }
 
     #[test]
