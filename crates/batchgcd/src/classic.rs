@@ -18,6 +18,14 @@ use wk_bigint::Natural;
 pub struct BatchStats {
     /// Wall-clock time building the product tree.
     pub product_tree_time: Duration,
+    /// Wall-clock time precomputing per-node squares and Barrett
+    /// reciprocals ([`ProductTree::attach_recips`]); zero on pure
+    /// division-path runs.
+    pub recip_build_time: Duration,
+    /// Summed in-task time spent inside Barrett reductions during the
+    /// remainder descents (a busy total across workers, not wall clock);
+    /// zero on the division path.
+    pub barrett_rem_time: Duration,
     /// Wall-clock time descending the remainder tree.
     pub remainder_tree_time: Duration,
     /// Wall-clock time for the final per-leaf division + gcd.
@@ -42,9 +50,10 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    /// Total wall-clock time across phases.
+    /// Total wall-clock time across phases (reciprocal precompute
+    /// included).
     pub fn total_time(&self) -> Duration {
-        self.product_tree_time + self.remainder_tree_time + self.gcd_time
+        self.product_tree_time + self.recip_build_time + self.remainder_tree_time + self.gcd_time
     }
 
     /// Executor metrics summed over all three phases.
@@ -115,30 +124,34 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
     let gcd_domain = pool.domain();
 
     let t0 = Instant::now();
-    let tree = ProductTree::build(moduli, pool.exec_in(&build_domain))
+    let mut tree = ProductTree::build(moduli, pool.exec_in(&build_domain))
         // lint:allow(no-panic-in-lib) invariant: nonempty nonzero input checked above
         .expect("validated batch GCD input");
     let product_tree_time = t0.elapsed();
-    let tree_bytes = tree.total_bytes();
+    // Build-time Barrett caches: one plain reciprocal per paired node, the
+    // whole precompute the cofactor descent needs (no squares).
+    let recip_build_time = tree.attach_cofactor_recips(pool.exec_in(&build_domain));
+    let tree_bytes = tree.total_bytes() + tree.cache_bytes();
 
     let t1 = Instant::now();
-    let remainders = tree.remainder_tree(tree.root(), pool.exec_in(&remainder_domain));
+    // Cofactor descent of V = P (seed (P/root) mod root = 1): the leaves
+    // are (P/N) mod N directly, so no trailing exact division is needed.
+    let (remainders, barrett_rem_time) =
+        tree.remainder_tree_cofactor_timed(&Natural::one(), pool.exec_in(&remainder_domain));
     let remainder_tree_time = t1.elapsed();
 
     let t2 = Instant::now();
-    let raw_divisors: Vec<Option<Natural>> =
-        pool.exec_in(&gcd_domain)
-            .map(moduli.iter().zip(remainders).collect(), |(n, z)| {
-                // z = P mod N^2; N | P, so z/N = (P/N) mod N exactly.
-                let (zn, r) = z.div_rem(n);
-                debug_assert!(r.is_zero(), "N must divide P mod N^2");
-                let g = n.gcd(&zn);
-                if g.is_one() {
-                    None
-                } else {
-                    Some(g)
-                }
-            });
+    let raw_divisors: Vec<Option<Natural>> = pool.exec_in(&gcd_domain).map_chunked(
+        moduli.iter().zip(remainders).collect(),
+        |(n, zn)| {
+            let g = n.gcd(&zn);
+            if g.is_one() {
+                None
+            } else {
+                Some(g)
+            }
+        },
+    );
     let gcd_time = t2.elapsed();
 
     let statuses = resolve(moduli, &raw_divisors);
@@ -147,6 +160,8 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
         statuses,
         stats: BatchStats {
             product_tree_time,
+            recip_build_time,
+            barrett_rem_time,
             remainder_tree_time,
             gcd_time,
             tree_bytes,
@@ -233,12 +248,15 @@ mod tests {
         let res = batch_gcd(&moduli, 1);
         assert_eq!(res.stats.input_count, 4);
         assert!(res.stats.tree_bytes > 0);
-        // Executor accounting: 4 leaves pair into 2 then 1 (3 build tasks),
-        // the descent reduces 2 + 4 nodes below the root, 4 gcd tasks.
-        assert_eq!(res.stats.product_tree_exec.tasks(), 3);
+        // Executor accounting: 4 leaves pair into 2 then 1 (3 build tasks)
+        // plus 5 reciprocal-cache jobs (4 leaves + the one interior node
+        // whose seed-1 reductions the bound chain cannot prove trivial);
+        // the cofactor descent runs 2 + 4 level reductions, then 4 gcd
+        // tasks.
+        assert_eq!(res.stats.product_tree_exec.tasks(), 8);
         assert_eq!(res.stats.remainder_tree_exec.tasks(), 6);
         assert_eq!(res.stats.gcd_exec.tasks(), 4);
-        assert_eq!(res.stats.total_exec().tasks(), 13);
+        assert_eq!(res.stats.total_exec().tasks(), 18);
     }
 
     #[test]

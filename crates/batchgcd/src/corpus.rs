@@ -833,18 +833,18 @@ fn sharded_impl(
     let t0 = Instant::now();
     let product_tasks: Vec<_> = (0..shard_count as u32)
         .map(|index| {
-            let pool = &pool;
-            let build_domain = &build_domain;
             move || -> Result<(Natural, usize, Duration), CorpusError> {
                 let start = Instant::now();
                 let moduli = store.read_shard(index)?;
-                let tree =
-                    ProductTree::build(&moduli, pool.exec_in(build_domain)).map_err(|e| {
-                        CorpusError::FormatViolation {
-                            path: store.shard_path(index),
-                            detail: e.to_string(),
-                        }
-                    })?;
+                // The shard's own tree is built on the claiming worker: at
+                // shard scale the pair multiplies are far smaller than the
+                // dispatch they'd otherwise schedule.
+                let tree = ProductTree::build_local(&moduli).map_err(|e| {
+                    CorpusError::FormatViolation {
+                        path: store.shard_path(index),
+                        detail: e.to_string(),
+                    }
+                })?;
                 Ok((tree.root().clone(), tree.total_bytes(), start.elapsed()))
             }
         })
@@ -852,7 +852,12 @@ fn sharded_impl(
     let mut shard_products = Vec::with_capacity(shard_count);
     let mut max_shard_tree_bytes = 0usize;
     let mut shard_busy = vec![Duration::ZERO; shard_count];
-    for (i, outcome) in pool.exec().run_tasks(product_tasks).into_iter().enumerate() {
+    for (i, outcome) in pool
+        .exec_in(&build_domain)
+        .run_tasks(product_tasks)
+        .into_iter()
+        .enumerate()
+    {
         let (root, tree_bytes, busy) = outcome?;
         shard_products.push(root);
         max_shard_tree_bytes = max_shard_tree_bytes.max(tree_bytes);
@@ -861,11 +866,15 @@ fn sharded_impl(
 
     // Phase 2: the top tree over shard products fits in memory by
     // construction (one node per shard).
-    let top = ProductTree::build(&shard_products, pool.exec_in(&build_domain))
+    let mut top = ProductTree::build(&shard_products, pool.exec_in(&build_domain))
         // lint:allow(no-panic-in-lib) invariant: shard_count > 0 and every shard product is a product of nonzero moduli
         .expect("shard products are nonempty and nonzero");
     let product_tree_time = t0.elapsed();
-    let top_bytes = top.total_bytes();
+    // Barrett caches for the top cofactor descent (one plain reciprocal
+    // per paired node, no squares), built in parallel while the descent
+    // itself is width-limited near the root.
+    let recip_build_time = top.attach_cofactor_recips(pool.exec_in(&build_domain));
+    let top_bytes = top.total_bytes() + top.cache_bytes();
     let kept_products = if keep_tree {
         shard_products
     } else {
@@ -875,9 +884,12 @@ fn sharded_impl(
         Vec::new()
     };
 
-    // Phase 3: descend P to per-shard residues, then per-shard leaf work.
+    // Phase 3: descend P in cofactor form to per-shard seeds
+    // (P/R_s) mod R_s — half the width of the squared residues this
+    // handoff used to move — then per-shard leaf work.
     let t1 = Instant::now();
-    let shard_residues = top.remainder_tree(top.root(), pool.exec_in(&remainder_domain));
+    let (shard_residues, barrett_rem_time) =
+        top.remainder_tree_cofactor_timed(&Natural::one(), pool.exec_in(&remainder_domain));
     let kept_top = if keep_tree {
         top.root().clone()
     } else {
@@ -893,60 +905,80 @@ fn sharded_impl(
         busy: Duration,
     }
 
-    let leaf_tasks: Vec<_> =
-        shard_residues
-            .into_iter()
-            .enumerate()
-            .map(|(index, residue)| {
-                let pool = &pool;
-                let remainder_domain = &remainder_domain;
-                let gcd_domain = &gcd_domain;
-                move || -> Result<ShardLeaves, CorpusError> {
-                    let start = Instant::now();
-                    let moduli = store.read_shard(index as u32)?;
-                    let tree = ProductTree::build(&moduli, pool.exec_in(remainder_domain))
-                        .map_err(|e| CorpusError::FormatViolation {
-                            path: store.shard_path(index as u32),
-                            detail: e.to_string(),
-                        })?;
-                    let tree_bytes = tree.total_bytes();
-                    let rems = tree.remainder_tree(&residue, pool.exec_in(remainder_domain));
-                    drop(tree);
-                    let divisors: Vec<Option<Natural>> = pool.exec_in(gcd_domain).map(
-                        moduli.iter().zip(rems).collect(),
-                        |(n, z): (&Natural, Natural)| {
-                            // Same leaf computation as the classic pass:
-                            // z = P mod N^2, N | P, so z/N = (P/N) mod N exactly.
-                            let (zn, r) = z.div_rem(n);
-                            debug_assert!(r.is_zero(), "N must divide P mod N^2");
-                            let g = n.gcd(&zn);
-                            if g.is_one() {
-                                None
-                            } else {
-                                Some(g)
-                            }
-                        },
-                    );
-                    let hits: Vec<(usize, Natural)> = divisors
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, g)| g.is_some())
-                        .map(|(i, _)| (i, moduli[i].clone()))
-                        .collect();
-                    Ok(ShardLeaves {
-                        divisors,
-                        hits,
-                        tree_bytes,
-                        busy: start.elapsed(),
-                    })
-                }
-            })
-            .collect();
+    let leaf_tasks: Vec<_> = shard_residues
+        .into_iter()
+        .enumerate()
+        .map(|(index, residue)| {
+            let pool = &pool;
+            let gcd_domain = &gcd_domain;
+            move || -> Result<ShardLeaves, CorpusError> {
+                let start = Instant::now();
+                let moduli = store.read_shard(index as u32)?;
+                // Shard tree and descent stay on the claiming worker
+                // (shards are the parallel unit; their node sizes are
+                // too small to pay per-node dispatch), division path —
+                // single-use reciprocals cost more than they save at
+                // shard scale.
+                let tree = ProductTree::build_local(&moduli).map_err(|e| {
+                    CorpusError::FormatViolation {
+                        path: store.shard_path(index as u32),
+                        detail: e.to_string(),
+                    }
+                })?;
+                let tree_bytes = tree.total_bytes();
+                // The residue is (P/root) mod root from the top
+                // descent — exactly this tree's cofactor seed.
+                let rems = tree.remainder_tree_cofactor_local(&residue);
+                drop(tree);
+                // One metered task (the single-closure fast path runs it
+                // inline) keeps the gcd work attributed to its domain.
+                let moduli_ref = &moduli;
+                let divisors: Vec<Option<Natural>> = pool
+                    .exec_in(gcd_domain)
+                    .run_tasks(vec![move || {
+                        moduli_ref
+                            .iter()
+                            .zip(rems)
+                            .map(|(n, zn)| {
+                                // Same leaf value as the classic pass:
+                                // the cofactor descent delivers
+                                // (P/N) mod N directly.
+                                let g = n.gcd(&zn);
+                                if g.is_one() {
+                                    None
+                                } else {
+                                    Some(g)
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    }])
+                    .pop()
+                    .unwrap_or_default();
+                let hits: Vec<(usize, Natural)> = divisors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.is_some())
+                    .map(|(i, _)| (i, moduli[i].clone()))
+                    .collect();
+                Ok(ShardLeaves {
+                    divisors,
+                    hits,
+                    tree_bytes,
+                    busy: start.elapsed(),
+                })
+            }
+        })
+        .collect();
 
     let mut raw_divisors: Vec<Option<Natural>> = Vec::with_capacity(total);
     let mut hits: Vec<(usize, Natural)> = Vec::new();
     let mut base = 0usize;
-    for (i, outcome) in pool.exec().run_tasks(leaf_tasks).into_iter().enumerate() {
+    for (i, outcome) in pool
+        .exec_in(&remainder_domain)
+        .run_tasks(leaf_tasks)
+        .into_iter()
+        .enumerate()
+    {
         let leaves = outcome?;
         hits.extend(leaves.hits.into_iter().map(|(local, n)| (base + local, n)));
         base += leaves.divisors.len();
@@ -964,6 +996,8 @@ fn sharded_impl(
             statuses,
             stats: BatchStats {
                 product_tree_time,
+                recip_build_time,
+                barrett_rem_time,
                 remainder_tree_time,
                 gcd_time: gcd_exec.busy_total(),
                 tree_bytes: top_bytes + max_shard_tree_bytes,

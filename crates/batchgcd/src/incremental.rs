@@ -61,7 +61,7 @@ use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
-use wk_bigint::Natural;
+use wk_bigint::{Natural, Reciprocal};
 
 /// Magic bytes opening every tree-cache section file (`"WKTREEC1"`).
 pub const CACHE_MAGIC: [u8; 8] = *b"WKTREEC1";
@@ -77,10 +77,16 @@ pub const CACHE_HEADER_LEN: usize = 36;
 const SECTION_ROOTS: u32 = 1;
 const SECTION_TOP: u32 = 2;
 const SECTION_HITS: u32 = 3;
+const SECTION_RECIPS: u32 = 4;
 
 const ROOTS_FILE: &str = "roots.wkc";
 const TOP_FILE: &str = "top.wkc";
 const HITS_FILE: &str = "hits.wkc";
+/// Optional fourth section: one Barrett reciprocal per cached shard root
+/// (capacity `2m`), so monthly sweeps reduce `P_new` by each root without
+/// recomputing the reciprocal. Caches written before this section existed
+/// open fine — the reciprocals are recomputed from the roots.
+const RECIPS_FILE: &str = "recips.wkc";
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -337,9 +343,10 @@ fn take_natural(rest: &mut &[u8], scratch: &mut Vec<u8>) -> io::Result<Natural> 
 // ---------------------------------------------------------------------------
 
 /// The persisted product-tree state of one [`ShardStore`]: per-shard
-/// subtree roots, the cached top product `P_old`, and the previous
-/// cumulative run's raw-divisor hits. Three checksummed section files live
-/// in the cache directory (`roots.wkc`, `top.wkc`, `hits.wkc`; format in
+/// subtree roots, their Barrett reciprocals, the cached top product
+/// `P_old`, and the previous cumulative run's raw-divisor hits. The
+/// checksummed section files live in the cache directory (`roots.wkc`,
+/// `top.wkc`, `hits.wkc`, plus the optional `recips.wkc`; format in
 /// DESIGN.md §8), each carrying a state tag binding it to the exact shard
 /// CRCs of the store it was computed from — any divergence surfaces as
 /// [`IncrementalError::Stale`] rather than a silently wrong answer.
@@ -348,6 +355,10 @@ pub struct TreeCache {
     dir: PathBuf,
     /// Product of each shard's moduli, index-aligned with the store.
     shard_products: Vec<Natural>,
+    /// Barrett reciprocal of each shard product (capacity `2m`), used by
+    /// the monthly sweep and persisted so it is computed once per shard,
+    /// ever — not once per month.
+    shard_recips: Vec<Reciprocal>,
     /// CRC of each source shard's payload at cache time.
     source_crcs: Vec<u32>,
     /// `P_old`, the product of every cached modulus (`1` when empty).
@@ -355,6 +366,18 @@ pub struct TreeCache {
     /// `(global index, raw divisor)` per vulnerable modulus, ascending.
     hits: Vec<(u64, Natural)>,
     total_moduli: u64,
+}
+
+/// Barrett reciprocals for a slice of shard products, capacity `2m` each
+/// (the [`Reciprocal::new`] default — the sweep folds arbitrarily large
+/// `P_new` values chunk-wise, so the capacity is shape-independent).
+fn shard_recips_for(dir: &Path, products: &[Natural]) -> Result<Vec<Reciprocal>, IncrementalError> {
+    products
+        .iter()
+        .map(|p| {
+            Reciprocal::new(p).map_err(|e| corrupt(dir, format!("shard root reciprocal: {e}")))
+        })
+        .collect()
 }
 
 impl TreeCache {
@@ -368,7 +391,11 @@ impl TreeCache {
         store: &ShardStore,
         threads: usize,
     ) -> Result<(TreeCache, BatchGcdResult), IncrementalError> {
-        let (result, shard_products, top_product) = sharded_batch_gcd_keeping_tree(store, threads)?;
+        let (mut result, shard_products, top_product) =
+            sharded_batch_gcd_keeping_tree(store, threads)?;
+        let recip_start = Instant::now();
+        let shard_recips = shard_recips_for(dir, &shard_products)?;
+        result.stats.recip_build_time += recip_start.elapsed();
         let hits = result
             .raw_divisors
             .iter()
@@ -378,6 +405,7 @@ impl TreeCache {
         let cache = TreeCache {
             dir: dir.to_path_buf(),
             shard_products,
+            shard_recips,
             source_crcs: store.shards().iter().map(|m| m.crc).collect(),
             top_product,
             hits,
@@ -491,9 +519,64 @@ impl TreeCache {
             });
         }
 
+        // The reciprocal section is optional: caches written before it
+        // existed (or with the file deleted) recompute from the roots.
+        // When present it binds like the others — tag first (Stale beats
+        // CacheCorrupt for a transplanted file), then structural checks.
+        let recips_path = dir.join(RECIPS_FILE);
+        let shard_recips = if recips_path.is_file() {
+            let (recip_count, recips_payload) = read_section(&recips_path, SECTION_RECIPS)?;
+            let mut rest: &[u8] = &recips_payload;
+            let recips_tag = take_u64(&mut rest).ok_or_else(|| {
+                corrupt(
+                    &recips_path,
+                    "reciprocal payload shorter than its state tag",
+                )
+            })?;
+            if recips_tag != roots_tag {
+                return Err(IncrementalError::Stale {
+                    path: dir.to_path_buf(),
+                    detail: "cache sections were written by different runs".to_string(),
+                });
+            }
+            if recip_count != shard_count {
+                return Err(corrupt(
+                    &recips_path,
+                    format!("{recip_count} reciprocals for {shard_count} shard roots"),
+                ));
+            }
+            let mut recips = Vec::with_capacity(recip_count as usize);
+            for (i, product) in shard_products.iter().enumerate() {
+                let cap = take_u64(&mut rest).ok_or_else(|| {
+                    corrupt(&recips_path, format!("reciprocal {i} missing its capacity"))
+                })?;
+                if cap > u64::from(u32::MAX) {
+                    return Err(corrupt(
+                        &recips_path,
+                        format!("reciprocal {i} capacity {cap} limbs is implausible"),
+                    ));
+                }
+                let mu = take_natural(&mut rest, &mut scratch)
+                    .map_err(|e| corrupt(&recips_path, format!("reciprocal {i}: {e}")))?;
+                let recip = Reciprocal::from_parts(mu, cap as usize, product)
+                    .map_err(|e| corrupt(&recips_path, format!("reciprocal {i}: {e}")))?;
+                recips.push(recip);
+            }
+            if !rest.is_empty() {
+                return Err(corrupt(
+                    &recips_path,
+                    format!("{} trailing bytes after the last reciprocal", rest.len()),
+                ));
+            }
+            recips
+        } else {
+            shard_recips_for(dir, &shard_products)?
+        };
+
         let cache = TreeCache {
             dir: dir.to_path_buf(),
             shard_products,
+            shard_recips,
             source_crcs,
             top_product,
             hits,
@@ -574,11 +657,11 @@ impl TreeCache {
         self.hits.len()
     }
 
-    /// Delete the three section files (and the directory, if then empty).
+    /// Delete the section files (and the directory, if then empty).
     /// Like [`ShardStore::remove`], the explicit destructor: dropping a
     /// cache leaves its files in place.
     pub fn remove(self) -> io::Result<()> {
-        for name in [ROOTS_FILE, TOP_FILE, HITS_FILE] {
+        for name in [ROOTS_FILE, TOP_FILE, HITS_FILE, RECIPS_FILE] {
             match fs::remove_file(self.dir.join(name)) {
                 Ok(()) => {}
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -641,6 +724,20 @@ impl TreeCache {
             self.hits.len() as u64,
             &payload,
         )?;
+
+        payload.clear();
+        payload.extend_from_slice(&tag.to_le_bytes());
+        for recip in &self.shard_recips {
+            payload.extend_from_slice(&(recip.cap_limbs() as u64).to_le_bytes());
+            encode_natural(&mut payload, recip.mu())?;
+        }
+        write_section(
+            &self.dir,
+            RECIPS_FILE,
+            SECTION_RECIPS,
+            self.shard_recips.len() as u64,
+            &payload,
+        )?;
         Ok(())
     }
 }
@@ -657,6 +754,9 @@ struct SweepOut {
     /// `(global index, modulus)` for every cached-hit index in this shard.
     cached: Vec<(u64, Natural)>,
     busy: Duration,
+    /// Time spent inside the Barrett reduction of `P_new` by this shard's
+    /// cached root (zero when the reciprocal path was unusable).
+    barrett: Duration,
 }
 
 /// Resolve the union of `store`'s cached corpus and the `delta` moduli,
@@ -671,7 +771,8 @@ struct SweepOut {
 /// 1. **delta tree** — classic batch GCD over the delta alone, in memory:
 ///    product tree (root `P_new`), squared remainder descent, per-leaf gcd.
 /// 2. **sweep** — for each *old* shard, reduce `P_new` by the cached shard
-///    root (a no-op short-circuit while `P_new` is smaller) and take one
+///    root (through its persisted Barrett reciprocal; a no-op
+///    short-circuit while `P_new` is smaller) and take one
 ///    small-modulus reduction + gcd per old modulus:
 ///    `d = gcd(N, P_new mod N)`. The union divisor for an old modulus is
 ///    `gcd(N, g_old * d)`, which collapses to the cached `g_old` whenever
@@ -724,20 +825,22 @@ pub fn incremental_batch_gcd(
     let sweep_domain = pool.domain();
     let cross_domain = pool.domain();
 
-    // Phase 1: classic batch GCD over the delta alone.
+    // Phase 1: classic batch GCD over the delta alone, on the cofactor
+    // descent. The attached plain reciprocals serve double duty: phase 3
+    // reuses them to push P_old down this same tree.
     let t0 = Instant::now();
-    let t_new = ProductTree::build(delta, pool.exec_in(&tree_domain))
+    let mut t_new = ProductTree::build(delta, pool.exec_in(&tree_domain))
         // lint:allow(no-panic-in-lib) invariant: delta is nonempty and zero-free, checked above
         .expect("validated delta");
     let p_new = t_new.root().clone();
-    let tree_bytes = t_new.total_bytes();
-    let rems_sq = t_new.remainder_tree(&p_new, pool.exec_in(&tree_domain));
+    let delta_recip_time = t_new.attach_cofactor_recips(pool.exec_in(&tree_domain));
+    let tree_bytes = t_new.total_bytes() + t_new.cache_bytes();
+    let (rems, barrett_delta) =
+        t_new.remainder_tree_cofactor_timed(&Natural::one(), pool.exec_in(&tree_domain));
     let delta_raw: Vec<Option<Natural>> = pool.exec_in(&tree_domain).map(
-        delta.iter().zip(rems_sq).collect(),
-        |(n, z): (&Natural, Natural)| {
-            // z = P_new mod N^2; N | P_new, so z/N = (P_new/N) mod N exactly.
-            let (zn, r) = z.div_rem(n);
-            debug_assert!(r.is_zero(), "N must divide P_new mod N^2");
+        delta.iter().zip(rems).collect(),
+        |(n, zn): (&Natural, Natural)| {
+            // zn = (P_new/N) mod N straight off the cofactor descent.
             let g = n.gcd(&zn);
             if g.is_one() {
                 None
@@ -771,9 +874,12 @@ pub fn incremental_batch_gcd(
     // Phase 2: sweep P_new across the old corpus. Reducing by the cached
     // shard root first keeps every per-leaf division at shard scale; while
     // P_new is smaller than the shard product the reduction short-circuits
-    // to a comparison.
+    // to a comparison. The reduction itself runs through the shard root's
+    // persisted Barrett reciprocal — the precompute was paid once, at the
+    // month the shard was sealed — with plain division as the fallback.
     let t1 = Instant::now();
     let shard_products = &cache.shard_products;
+    let shard_recips = &cache.shard_recips;
     let sweep_tasks: Vec<_> = (0..old_shards)
         .map(|s| {
             let pool = &pool;
@@ -785,7 +891,12 @@ pub fn incremental_batch_gcd(
             move || -> Result<SweepOut, CorpusError> {
                 let start = Instant::now();
                 let moduli = store.read_shard(s as u32)?;
-                let reduced = p_new % &shard_products[s];
+                let reduce_start = Instant::now();
+                let (reduced, barrett) =
+                    match p_new.barrett_rem(&shard_products[s], &shard_recips[s]) {
+                        Ok(r) => (r, reduce_start.elapsed()),
+                        Err(_) => (p_new % &shard_products[s], Duration::ZERO),
+                    };
                 let ds: Vec<Option<Natural>> =
                     pool.exec_in(sweep_domain)
                         .map(moduli.iter().collect(), |n: &Natural| {
@@ -811,22 +922,28 @@ pub fn incremental_batch_gcd(
                     fresh,
                     cached,
                     busy: start.elapsed(),
+                    barrett,
                 })
             }
         })
         .collect();
     let mut shard_busy = vec![Duration::ZERO; old_shards];
+    let mut barrett_sweep = Duration::ZERO;
     let mut sweep_outs = Vec::with_capacity(old_shards);
     for (s, outcome) in pool.exec().run_tasks(sweep_tasks).into_iter().enumerate() {
         let out = outcome?;
         shard_busy[s] = out.busy;
+        barrett_sweep += out.barrett;
         sweep_outs.push(out);
     }
     let delta_sweep_time = t1.elapsed();
 
-    // Phase 3: resolve the delta against the cached old product.
+    // Phase 3: resolve the delta against the cached old product. The plain
+    // descent of P_old rides the reciprocals phase 1 attached (only the
+    // root step falls back to one division).
     let t2 = Instant::now();
-    let rems_old = t_new.remainder_tree_plain(&cache.top_product, pool.exec_in(&cross_domain));
+    let (rems_old, barrett_cross) =
+        t_new.remainder_tree_plain_timed(&cache.top_product, pool.exec_in(&cross_domain));
     drop(t_new);
     let cross_items: Vec<(&Natural, Natural, Option<Natural>)> = delta
         .iter()
@@ -909,6 +1026,12 @@ pub fn incremental_batch_gcd(
         }
         level.pop().unwrap_or_else(Natural::one)
     });
+    // Reciprocals only for the shards this delta created — the cached
+    // shards' reciprocals ride forward untouched.
+    let recip_start = Instant::now();
+    let new_recips = shard_recips_for(&cache.dir, &new_products)?;
+    let recip_build_time = delta_recip_time + recip_start.elapsed();
+    cache.shard_recips.extend(new_recips);
     cache.shard_products.extend(new_products);
     cache.source_crcs.extend(
         store
@@ -936,6 +1059,8 @@ pub fn incremental_batch_gcd(
         statuses,
         stats: BatchStats {
             product_tree_time: delta_tree_time,
+            recip_build_time,
+            barrett_rem_time: barrett_delta + barrett_sweep + barrett_cross,
             remainder_tree_time: delta_sweep_time + delta_cross_time,
             gcd_time: Duration::ZERO,
             tree_bytes,
@@ -1075,8 +1200,85 @@ mod tests {
         assert_eq!(reopened.hits(), cache.hits());
         // Shard products match the actual shard contents.
         assert_eq!(reopened.shard_products, vec![nat(33 * 323), nat(15)]);
+        // The persisted reciprocals round-trip limb-for-limb.
+        assert!(cache.dir().join(RECIPS_FILE).is_file());
+        assert_eq!(reopened.shard_recips, cache.shard_recips);
         teardown(store, reopened);
         cache.remove().unwrap();
+    }
+
+    #[test]
+    fn missing_recips_file_recomputes_on_open() {
+        let (store, cache) = setup("incr-norecips", 2, &month1());
+        fs::remove_file(cache.dir().join(RECIPS_FILE)).unwrap();
+        // A pre-reciprocal cache opens fine and rebuilds the same values.
+        let reopened = TreeCache::open(cache.dir(), &store).unwrap();
+        assert_eq!(reopened.shard_recips, cache.shard_recips);
+        // A delta run over the recomputed cache still matches classic.
+        let mut store = store;
+        let mut reopened = reopened;
+        let res = incremental_batch_gcd(&mut store, &mut reopened, &month2(), 2, 1).unwrap();
+        let mut union = month1();
+        union.extend(month2());
+        let classic = batch_gcd(&union, 1);
+        assert_eq!(res.raw_divisors, classic.raw_divisors);
+        // Persisting the union rewrote the reciprocal section.
+        assert!(reopened.dir().join(RECIPS_FILE).is_file());
+        teardown(store, reopened);
+    }
+
+    #[test]
+    fn corrupt_recips_section_is_typed_error() {
+        let (store, cache) = setup("incr-badrecips", 2, &month1());
+        let path = cache.dir().join(RECIPS_FILE);
+        let pristine = fs::read(&path).unwrap();
+
+        // Payload bit flip without fixing the CRC.
+        let mut bytes = pristine.clone();
+        bytes[CACHE_HEADER_LEN + 10] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = TreeCache::open(cache.dir(), &store).unwrap_err();
+        assert!(
+            matches!(err, IncrementalError::CacheCorrupt { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("CRC"));
+
+        // Structurally impossible parts behind a valid CRC: zero the first
+        // entry's capacity (payload = tag, then cap + mu per entry) and
+        // re-checksum, so the damage reaches the from_parts validation.
+        let mut bytes = pristine.clone();
+        bytes[CACHE_HEADER_LEN + 8..CACHE_HEADER_LEN + 16].copy_from_slice(&0u64.to_le_bytes());
+        let crc = crc32(&bytes[CACHE_HEADER_LEN..]);
+        bytes[32..36].copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = TreeCache::open(cache.dir(), &store).unwrap_err();
+        assert!(
+            matches!(err, IncrementalError::CacheCorrupt { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("reciprocal 0"), "{err}");
+        teardown(store, cache);
+    }
+
+    #[test]
+    fn transplanted_recips_section_is_stale() {
+        let (store_a, cache_a) = setup("incr-swaprecips-a", 2, &month1());
+        let (store_b, cache_b) = setup("incr-swaprecips-b", 2, &month2());
+        fs::copy(
+            cache_b.dir().join(RECIPS_FILE),
+            cache_a.dir().join(RECIPS_FILE),
+        )
+        .unwrap();
+        let err = TreeCache::open(cache_a.dir(), &store_a).unwrap_err();
+        match &err {
+            IncrementalError::Stale { detail, .. } => {
+                assert!(detail.contains("different runs"), "{detail}")
+            }
+            other => panic!("expected Stale, got {other}"),
+        }
+        teardown(store_a, cache_a);
+        teardown(store_b, cache_b);
     }
 
     #[test]
@@ -1303,6 +1505,7 @@ mod tests {
         cache.remove().unwrap();
         assert!(!TreeCache::exists(&dir));
         assert!(!dir.join(ROOTS_FILE).exists());
+        assert!(!dir.join(RECIPS_FILE).exists());
         store.remove().unwrap();
     }
 }

@@ -13,7 +13,8 @@
 
 use crate::pool::Exec;
 use std::fmt;
-use wk_bigint::Natural;
+use std::time::{Duration, Instant};
+use wk_bigint::{Natural, Reciprocal};
 
 /// Why a product tree could not be built. Both conditions are caller bugs
 /// in an in-memory run, but become reachable data errors once moduli stream
@@ -44,11 +45,37 @@ impl fmt::Display for TreeError {
 
 impl std::error::Error for TreeError {}
 
+/// Per-node cache for the squared descent: the node's square (the descent
+/// modulus) plus a Barrett reciprocal of it, sized to the incoming-value
+/// bound established at attach time.
+#[derive(Clone, Debug)]
+struct SquaredCache {
+    square: Natural,
+    recip: Reciprocal,
+}
+
+/// Per-node cache for the plain (unsquared) descent.
+#[derive(Clone, Debug)]
+struct PlainCache {
+    recip: Reciprocal,
+}
+
 /// A materialized product tree. `levels[0]` is the leaf level (the inputs);
 /// the last level holds the single root.
+///
+/// Optionally carries per-node reciprocal caches (see
+/// [`attach_recips`](ProductTree::attach_recips)) so the remainder descents
+/// replace each Burnikel-Ziegler division with a Barrett reduction — two
+/// multiplies plus at most two correction subtractions per node.
 #[derive(Clone, Debug)]
 pub struct ProductTree {
     levels: Vec<Vec<Natural>>,
+    /// Squared-descent caches, level-aligned with `levels`; empty until
+    /// [`attach_recips`](ProductTree::attach_recips) populates it.
+    sq_caches: Vec<Vec<Option<SquaredCache>>>,
+    /// Plain-descent caches, level-aligned with `levels`; empty until
+    /// [`attach_plain_recips`](ProductTree::attach_plain_recips).
+    plain_caches: Vec<Vec<Option<PlainCache>>>,
 }
 
 impl ProductTree {
@@ -59,20 +86,55 @@ impl ProductTree {
     /// [`TreeError::EmptyInput`] if `moduli` is empty,
     /// [`TreeError::ZeroModulus`] if any modulus is zero.
     pub fn build(moduli: &[Natural], exec: Exec<'_>) -> Result<ProductTree, TreeError> {
+        Self::check_input(moduli)?;
+        let mut levels = Vec::new();
+        let mut current = moduli.to_vec();
+        while current.len() > 1 {
+            let next = exec.map_chunked(pair_level(&current), multiply_pair);
+            levels.push(core::mem::replace(&mut current, next));
+        }
+        levels.push(current); // the single-node root level
+        Ok(ProductTree::from_levels(levels))
+    }
+
+    /// Build the tree on the calling thread, no pool dispatch. The shard
+    /// leaf phase uses this from inside an already-parallel shard task,
+    /// where per-pair task dispatch would cost more than the small multiplies
+    /// it schedules.
+    ///
+    /// # Errors
+    /// Same conditions as [`build`](ProductTree::build).
+    pub fn build_local(moduli: &[Natural]) -> Result<ProductTree, TreeError> {
+        Self::check_input(moduli)?;
+        let mut levels = Vec::new();
+        let mut current = moduli.to_vec();
+        while current.len() > 1 {
+            let next = pair_level(&current)
+                .into_iter()
+                .map(multiply_pair)
+                .collect();
+            levels.push(core::mem::replace(&mut current, next));
+        }
+        levels.push(current);
+        Ok(ProductTree::from_levels(levels))
+    }
+
+    fn check_input(moduli: &[Natural]) -> Result<(), TreeError> {
         if moduli.is_empty() {
             return Err(TreeError::EmptyInput);
         }
         if let Some(index) = moduli.iter().position(Natural::is_zero) {
             return Err(TreeError::ZeroModulus { index });
         }
-        let mut levels = Vec::new();
-        let mut current = moduli.to_vec();
-        while current.len() > 1 {
-            let next = exec.map(pair_level(&current), multiply_pair);
-            levels.push(core::mem::replace(&mut current, next));
+        Ok(())
+    }
+
+    fn from_levels(levels: Vec<Vec<Natural>>) -> ProductTree {
+        ProductTree {
+            levels,
+            sq_caches: Vec::new(),
+            plain_caches: Vec::new(),
         }
-        levels.push(current); // the single-node root level
-        Ok(ProductTree { levels })
     }
 
     /// The root product `Π N_i`.
@@ -104,24 +166,410 @@ impl ProductTree {
             .sum()
     }
 
+    /// Precompute squared-descent caches (per-node square + Barrett
+    /// reciprocal) on `exec`, for descents whose initial value has at most
+    /// `value_bits` bits. Returns the wall-clock build time (the
+    /// `recip_build_ns` metric).
+    ///
+    /// The bound is propagated down the tree — a node whose incoming value
+    /// is provably below its square gets no cache (the descent's trivial
+    /// guard skips it), which is what keeps the always-trivial reductions
+    /// near the root (including the root's own `P mod P^2`) from ever
+    /// computing their giant squares. Descending a *larger* value than the
+    /// hint stays correct: uncached nodes fall back to plain division.
+    pub fn attach_recips(&mut self, value_bits: u64, exec: Exec<'_>) -> Duration {
+        let start = Instant::now();
+        let top_level = self.levels.len() - 1;
+        let bounds = self.descent_bounds(value_bits, true);
+        let mut jobs: Vec<(usize, usize, u64)> = Vec::new();
+        for (level_idx, level) in self.levels.iter().enumerate().take(top_level) {
+            // The level directly below the root never reduces through its
+            // cache on a conventional descent: the root-product split (see
+            // `root_split_squared`) derives its residues from the exact
+            // quotient structure instead, so the two largest squares and
+            // reciprocals of the tree are never needed. Foreign-value
+            // descents through these nodes fall back to plain division.
+            if level_idx + 1 == top_level {
+                continue;
+            }
+            for (i, node) in level.iter().enumerate() {
+                let incoming = bounds[level_idx + 1][i / 2];
+                // Mirror of the descent guard: incoming values of up to
+                // `incoming` bits never reach node^2 >= 2^(2t-2).
+                if incoming + 2 <= 2 * node.bit_len() {
+                    continue;
+                }
+                jobs.push((level_idx, i, incoming));
+            }
+        }
+        let levels = &self.levels;
+        let computed = exec.map_chunked(jobs, |(level_idx, i, incoming)| {
+            let node = &levels[level_idx][i];
+            let square = node.square();
+            let cap = (incoming.div_ceil(64) as usize).min(2 * square.limb_len());
+            Reciprocal::with_capacity(&square, cap)
+                .ok()
+                .map(|recip| (level_idx, i, SquaredCache { square, recip }))
+        });
+        let mut caches: Vec<Vec<Option<SquaredCache>>> =
+            self.levels.iter().map(|l| vec![None; l.len()]).collect();
+        for (level_idx, i, cache) in computed.into_iter().flatten() {
+            caches[level_idx][i] = Some(cache);
+        }
+        self.sq_caches = caches;
+        start.elapsed()
+    }
+
+    /// Precompute plain-descent caches (Barrett reciprocal of each node
+    /// itself, root included) for descents of values up to `value_bits`
+    /// bits. Returns the wall-clock build time.
+    pub fn attach_plain_recips(&mut self, value_bits: u64, exec: Exec<'_>) -> Duration {
+        let start = Instant::now();
+        let top_level = self.levels.len() - 1;
+        let bounds = self.descent_bounds(value_bits, false);
+        let mut jobs: Vec<(usize, usize, u64)> = Vec::new();
+        for (level_idx, level) in self.levels.iter().enumerate() {
+            for (i, node) in level.iter().enumerate() {
+                let incoming = if level_idx == top_level {
+                    value_bits
+                } else {
+                    bounds[level_idx + 1][i / 2]
+                };
+                // Values of fewer bits than the node are below it already.
+                if incoming < node.bit_len() {
+                    continue;
+                }
+                jobs.push((level_idx, i, incoming));
+            }
+        }
+        let levels = &self.levels;
+        let computed = exec.map_chunked(jobs, |(level_idx, i, incoming)| {
+            let node = &levels[level_idx][i];
+            let cap = (incoming.div_ceil(64) as usize).min(2 * node.limb_len());
+            Reciprocal::with_capacity(node, cap)
+                .ok()
+                .map(|recip| (level_idx, i, PlainCache { recip }))
+        });
+        let mut caches: Vec<Vec<Option<PlainCache>>> =
+            self.levels.iter().map(|l| vec![None; l.len()]).collect();
+        for (level_idx, i, cache) in computed.into_iter().flatten() {
+            caches[level_idx][i] = Some(cache);
+        }
+        self.plain_caches = caches;
+        start.elapsed()
+    }
+
+    /// Precompute the plain per-node reciprocals driving the cofactor
+    /// descent
+    /// ([`remainder_tree_cofactor`](ProductTree::remainder_tree_cofactor)),
+    /// sized by the canonical `V = root` (seed `1`) descent's value bounds:
+    /// near the root the residues stay sibling-sized, so nodes whose
+    /// reductions the bound chain proves trivial get no cache at all, and
+    /// the rest get `mu` at exactly the precision their incoming values
+    /// need (clamped to the `2m` fold capacity). Promoted odd nodes pass
+    /// their residue through unreduced and the root only ever sees the
+    /// seed, so neither is cached. Descents from larger foreign seeds stay
+    /// correct — oversized values chunk-fold through the same reciprocals
+    /// or fall back to division. Returns the wall-clock build time (the
+    /// `recip_build_ns` metric).
+    ///
+    /// The caches land in the same slots
+    /// [`attach_plain_recips`](ProductTree::attach_plain_recips) fills, so a
+    /// subsequent [`remainder_tree_plain`](ProductTree::remainder_tree_plain)
+    /// descent over the same tree reuses them (the incremental cross phase
+    /// does exactly that).
+    pub fn attach_cofactor_recips(&mut self, exec: Exec<'_>) -> Duration {
+        let start = Instant::now();
+        let top_level = self.levels.len() - 1;
+        // Bound chain for the seed-1 descent, in bits: at node `u` with
+        // sibling `s`, the first reduction sees the parent residue
+        // (`b_v` bits) and the second sees `s * (first reduction)`.
+        let mut bounds: Vec<Vec<u64>> = self.levels.iter().map(|l| vec![0; l.len()]).collect();
+        if let Some(slot) = bounds[top_level].first_mut() {
+            *slot = 1;
+        }
+        let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+        for level_idx in (0..top_level).rev() {
+            let width = self.levels[level_idx].len();
+            for i in 0..width {
+                let u_bits = self.levels[level_idx][i].bit_len();
+                let b_v = bounds[level_idx + 1][i / 2];
+                let sib = i ^ 1;
+                if sib >= width {
+                    bounds[level_idx][i] = b_v.min(u_bits);
+                    continue;
+                }
+                let t_bound = b_v.min(u_bits);
+                let prod_bound = self.levels[level_idx][sib].bit_len() + t_bound;
+                bounds[level_idx][i] = prod_bound.min(u_bits);
+                let needed_bits = match (b_v > u_bits, prod_bound > u_bits) {
+                    (true, _) => b_v.max(prod_bound),
+                    (false, true) => prod_bound,
+                    (false, false) => continue,
+                };
+                let m = self.levels[level_idx][i].limb_len();
+                let cap = (needed_bits.div_ceil(64) as usize).min(2 * m);
+                jobs.push((level_idx, i, cap));
+            }
+        }
+        let levels = &self.levels;
+        let computed = exec.map_chunked(jobs, |(level_idx, i, cap)| {
+            Reciprocal::with_capacity(&levels[level_idx][i], cap)
+                .ok()
+                .map(|recip| (level_idx, i, PlainCache { recip }))
+        });
+        let mut caches: Vec<Vec<Option<PlainCache>>> =
+            self.levels.iter().map(|l| vec![None; l.len()]).collect();
+        for (level_idx, i, cache) in computed.into_iter().flatten() {
+            caches[level_idx][i] = Some(cache);
+        }
+        self.plain_caches = caches;
+        start.elapsed()
+    }
+
+    /// True when squared-descent reciprocal caches are attached.
+    pub fn has_recips(&self) -> bool {
+        !self.sq_caches.is_empty()
+    }
+
+    /// True when plain-descent reciprocal caches are attached.
+    pub fn has_plain_recips(&self) -> bool {
+        !self.plain_caches.is_empty()
+    }
+
+    /// Bytes held by the attached reciprocal caches (squares + reciprocals),
+    /// on top of [`total_bytes`](ProductTree::total_bytes).
+    pub fn cache_bytes(&self) -> usize {
+        let sq: usize = self
+            .sq_caches
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|c| c.square.limb_len() * 8 + c.recip.bytes())
+            .sum();
+        let plain: usize = self
+            .plain_caches
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|c| c.recip.bytes())
+            .sum();
+        sq + plain
+    }
+
+    /// Per-node out-bound (bits) of the value leaving each node's reduction,
+    /// for an initial descent value of at most `value_bits` bits. `squared`
+    /// selects the `mod node^2` bound chain vs the `mod node` one.
+    fn descent_bounds(&self, value_bits: u64, squared: bool) -> Vec<Vec<u64>> {
+        let top_level = self.levels.len() - 1;
+        let mut bounds: Vec<Vec<u64>> = self.levels.iter().map(|l| vec![0; l.len()]).collect();
+        let root_bits = self.root().bit_len();
+        let top_bound = if squared {
+            value_bits.min(2 * root_bits)
+        } else {
+            value_bits.min(root_bits)
+        };
+        if let Some(slot) = bounds[top_level].first_mut() {
+            *slot = top_bound;
+        }
+        for level_idx in (0..top_level).rev() {
+            for i in 0..self.levels[level_idx].len() {
+                let incoming = bounds[level_idx + 1][i / 2];
+                let node_bits = self.levels[level_idx][i].bit_len();
+                let cap = if squared { 2 * node_bits } else { node_bits };
+                bounds[level_idx][i] = incoming.min(cap);
+            }
+        }
+        bounds
+    }
+
+    /// One squared-descent reduction: `pv mod node^2`, via (in order) the
+    /// trivial-value guard, a cached-square comparison, Barrett reduction
+    /// against the cached reciprocal, or plain division. Returns the reduced
+    /// value and the time spent inside Barrett reduction (zero otherwise).
+    fn reduce_squared(&self, pv: &Natural, level_idx: usize, i: usize) -> (Natural, Duration) {
+        let node = &self.levels[level_idx][i];
+        // node^2 >= 2^(2t-2), so a value of at most 2t-2 bits is already
+        // reduced — in particular the root step of a conventional descent
+        // (value = P < P^2) never squares the root.
+        if pv.bit_len() + 2 <= 2 * node.bit_len() {
+            return (pv.clone(), Duration::ZERO);
+        }
+        if let Some(cache) = self
+            .sq_caches
+            .get(level_idx)
+            .and_then(|l| l.get(i))
+            .and_then(Option::as_ref)
+        {
+            if pv < &cache.square {
+                return (pv.clone(), Duration::ZERO);
+            }
+            let start = Instant::now();
+            if let Ok(r) = pv.barrett_rem(&cache.square, &cache.recip) {
+                return (r, start.elapsed());
+            }
+            return (pv % &cache.square, Duration::ZERO);
+        }
+        (pv % &node.square(), Duration::ZERO)
+    }
+
+    /// One plain reduction: `pv mod node`, via comparison, Barrett, or
+    /// division.
+    fn reduce_plain(&self, pv: &Natural, level_idx: usize, i: usize) -> (Natural, Duration) {
+        let node = &self.levels[level_idx][i];
+        if pv < node {
+            return (pv.clone(), Duration::ZERO);
+        }
+        if let Some(cache) = self
+            .plain_caches
+            .get(level_idx)
+            .and_then(|l| l.get(i))
+            .and_then(Option::as_ref)
+        {
+            let start = Instant::now();
+            if let Ok(r) = pv.barrett_rem(node, &cache.recip) {
+                return (r, start.elapsed());
+            }
+        }
+        (pv % node, Duration::ZERO)
+    }
+
+    /// Shared descent driver: reduce at the root, then level by level down
+    /// to the leaves. Parent buffers move into their last child's task (only
+    /// first children clone), and wide levels dispatch in contiguous chunks.
+    fn descend<R>(&self, value: &Natural, exec: Exec<'_>, reduce: &R) -> (Vec<Natural>, Duration)
+    where
+        R: Fn(&Natural, usize, usize) -> (Natural, Duration) + Sync,
+    {
+        let top_level = self.levels.len() - 1;
+        let (root_val, barrett) = reduce(value, top_level, 0);
+        let (leaves, below) = self.descend_levels(vec![root_val], top_level, exec, reduce);
+        (leaves, barrett + below)
+    }
+
+    /// The level loop of [`descend`](ProductTree::descend): `current` holds
+    /// the residues at level `top`, reduced level by level down to the
+    /// leaves.
+    fn descend_levels<R>(
+        &self,
+        mut current: Vec<Natural>,
+        top: usize,
+        exec: Exec<'_>,
+        reduce: &R,
+    ) -> (Vec<Natural>, Duration)
+    where
+        R: Fn(&Natural, usize, usize) -> (Natural, Duration) + Sync,
+    {
+        let mut barrett = Duration::ZERO;
+        for level_idx in (0..top).rev() {
+            let width = self.levels[level_idx].len();
+            let mut tasks: Vec<(Natural, usize)> = Vec::with_capacity(width);
+            for i in 0..width {
+                let p = i / 2;
+                let pv = if i % 2 == 0 && i + 1 < width {
+                    current[p].clone()
+                } else {
+                    core::mem::replace(&mut current[p], Natural::zero())
+                };
+                tasks.push((pv, i));
+            }
+            let reduced = exec.map_chunked(tasks, |(pv, i)| reduce(&pv, level_idx, i));
+            current = Vec::with_capacity(width);
+            for (v, d) in reduced {
+                barrett += d;
+                current.push(v);
+            }
+        }
+        (current, barrett)
+    }
+
+    /// Scaled-remainder-tree shortcut for the first squared-descent step.
+    ///
+    /// When the descent value is exactly the root product `P = c0 * c1`,
+    /// the children's residues follow from the quotient structure:
+    /// `P mod c_i^2 = c_i * (sibling mod c_i)`, one sibling-size reduction
+    /// and one half-size multiply — instead of reducing the corpus-sized
+    /// `P` by each child's square, the single largest reduction of a
+    /// conventional descent. Returns `None` (fall back to the generic
+    /// driver) for foreign values or a single-level tree.
+    fn root_split_squared(&self, value: &Natural, exec: Exec<'_>) -> Option<Vec<Natural>> {
+        let top_level = self.levels.len().checked_sub(1)?;
+        if top_level == 0 || value != self.root() {
+            return None;
+        }
+        let children = self.levels.get(top_level - 1)?;
+        if children.len() != 2 {
+            return None;
+        }
+        Some(exec.map(vec![0usize, 1], |i| {
+            let c = &children[i];
+            let sibling = &children[i ^ 1];
+            if sibling < c {
+                // P = c * sibling < c^2 already: the residue is P itself,
+                // and multiplying back out would just recompute it.
+                value.clone()
+            } else {
+                c * &(sibling % c)
+            }
+        }))
+    }
+
     /// Compute `value mod leaf_i^2` for every leaf by descending the tree.
     ///
     /// The conventional use sets `value = self.root()` (so `N_i | value`),
     /// but any value works: the k-subset distributed variant pushes *other*
-    /// subsets' products down this tree.
+    /// subsets' products down this tree. With reciprocal caches attached
+    /// (see [`attach_recips`](ProductTree::attach_recips)) each non-trivial
+    /// reduction is a Barrett step; results are byte-identical either way.
     pub fn remainder_tree(&self, value: &Natural, exec: Exec<'_>) -> Vec<Natural> {
-        // Current values, one per node at the level being processed.
+        self.remainder_tree_timed(value, exec).0
+    }
+
+    /// [`remainder_tree`](ProductTree::remainder_tree), also returning the
+    /// summed in-task time spent in Barrett reductions (the
+    /// `barrett_rem_ns` metric; zero on the division path).
+    pub fn remainder_tree_timed(
+        &self,
+        value: &Natural,
+        exec: Exec<'_>,
+    ) -> (Vec<Natural>, Duration) {
+        let reduce = |pv: &Natural, l: usize, i: usize| self.reduce_squared(pv, l, i);
+        if let Some(split) = self.root_split_squared(value, exec) {
+            return self.descend_levels(split, self.levels.len() - 2, exec, &reduce);
+        }
+        self.descend(value, exec, &reduce)
+    }
+
+    /// Squared descent on the calling thread, no pool dispatch — the
+    /// shard-leaf counterpart of [`build_local`](ProductTree::build_local).
+    ///
+    /// `value_below_root_square` asserts the caller's knowledge that
+    /// `value < root^2` already — true by construction for a residue
+    /// received from an enclosing tree's descent (`P mod root^2`). The
+    /// root reduction is then skipped entirely: the bit-length guard alone
+    /// cannot prove triviality for values within two bits of `root^2`, and
+    /// proving it by comparison would compute the very root square the
+    /// skip avoids (the largest multiply of the whole local descent).
+    pub fn remainder_tree_local(
+        &self,
+        value: &Natural,
+        value_below_root_square: bool,
+    ) -> Vec<Natural> {
         let top_level = self.levels.len() - 1;
-        let mut current: Vec<Natural> = vec![value % &self.root().square()];
-        // Descend from below the root to the leaves.
+        let root_val = if value_below_root_square {
+            debug_assert!(*value < self.root().square());
+            value.clone()
+        } else {
+            self.reduce_squared(value, top_level, 0).0
+        };
+        let mut current = vec![root_val];
         for level_idx in (0..top_level).rev() {
-            let level = &self.levels[level_idx];
-            let tasks: Vec<(Natural, &Natural)> = level
-                .iter()
-                .enumerate()
-                .map(|(i, node)| (current[i / 2].clone(), node))
-                .collect();
-            current = exec.map(tasks, |(parent_val, node)| &parent_val % &node.square());
+            let width = self.levels[level_idx].len();
+            let mut next = Vec::with_capacity(width);
+            for i in 0..width {
+                next.push(self.reduce_squared(&current[i / 2], level_idx, i).0);
+            }
+            current = next;
         }
         current
     }
@@ -131,16 +579,84 @@ impl ProductTree {
     /// exact divisibility is not available and plain residues are the right
     /// quantity.
     pub fn remainder_tree_plain(&self, value: &Natural, exec: Exec<'_>) -> Vec<Natural> {
+        self.remainder_tree_plain_timed(value, exec).0
+    }
+
+    /// [`remainder_tree_plain`](ProductTree::remainder_tree_plain) with the
+    /// summed Barrett-reduction time.
+    pub fn remainder_tree_plain_timed(
+        &self,
+        value: &Natural,
+        exec: Exec<'_>,
+    ) -> (Vec<Natural>, Duration) {
+        self.descend(value, exec, &|pv, l, i| self.reduce_plain(pv, l, i))
+    }
+
+    /// One step of the cofactor recurrence. For a node `u` with sibling `s`
+    /// under parent `v = u * s`, the parent's cofactor residue
+    /// `r_v = (V/v) mod v` maps to `r_u = (s * (r_v mod u)) mod u`, because
+    /// `V/u = (V/v) * s`. A promoted odd node is its own parent, so its
+    /// residue passes through unchanged (the comparison in
+    /// [`reduce_plain`](ProductTree::reduce_plain) short-circuits it).
+    fn reduce_cofactor(&self, pv: &Natural, level_idx: usize, i: usize) -> (Natural, Duration) {
+        let (t, d1) = self.reduce_plain(pv, level_idx, i);
+        let sib = i ^ 1;
+        if sib >= self.levels[level_idx].len() {
+            return (t, d1);
+        }
+        let (r, d2) = self.reduce_plain(&(&self.levels[level_idx][sib] * &t), level_idx, i);
+        (r, d1 + d2)
+    }
+
+    /// Compute `(V/leaf_i) mod leaf_i` for every leaf, for any `V` the root
+    /// product divides, given only `cofactor_rem = (V/root) mod root` — the
+    /// cofactor form of the remainder tree (after Bernstein's scaled
+    /// remainder tree). The conventional `V = root` descent passes
+    /// `cofactor_rem = 1`.
+    ///
+    /// Every intermediate residue is bounded by its *node* rather than the
+    /// node's square, so each reduction is half the width of the squared
+    /// descent's, no per-node squares are ever formed, and the leaf values
+    /// are exactly the `(V/N) mod N` the gcd stage consumes — the trailing
+    /// exact division of the squared form disappears. Attach
+    /// [`attach_cofactor_recips`](ProductTree::attach_cofactor_recips) first
+    /// to run every non-trivial reduction as a Barrett step; results are
+    /// byte-identical either way.
+    pub fn remainder_tree_cofactor(&self, cofactor_rem: &Natural, exec: Exec<'_>) -> Vec<Natural> {
+        self.remainder_tree_cofactor_timed(cofactor_rem, exec).0
+    }
+
+    /// [`remainder_tree_cofactor`](ProductTree::remainder_tree_cofactor)
+    /// with the summed Barrett-reduction time.
+    pub fn remainder_tree_cofactor_timed(
+        &self,
+        cofactor_rem: &Natural,
+        exec: Exec<'_>,
+    ) -> (Vec<Natural>, Duration) {
         let top_level = self.levels.len() - 1;
-        let mut current: Vec<Natural> = vec![value % self.root()];
+        let (seed, d0) = self.reduce_plain(cofactor_rem, top_level, 0);
+        let (leaves, below) = self.descend_levels(vec![seed], top_level, exec, &|pv, l, i| {
+            self.reduce_cofactor(pv, l, i)
+        });
+        (leaves, d0 + below)
+    }
+
+    /// Cofactor descent on the calling thread, no pool dispatch — the
+    /// shard-leaf counterpart of
+    /// [`remainder_tree_cofactor`](ProductTree::remainder_tree_cofactor).
+    /// The enclosing tree's cofactor descent hands each shard exactly the
+    /// `(P/root) mod root` seed this wants, at half the width of the squared
+    /// residue the old handoff moved.
+    pub fn remainder_tree_cofactor_local(&self, cofactor_rem: &Natural) -> Vec<Natural> {
+        let top_level = self.levels.len() - 1;
+        let mut current = vec![self.reduce_plain(cofactor_rem, top_level, 0).0];
         for level_idx in (0..top_level).rev() {
-            let level = &self.levels[level_idx];
-            let tasks: Vec<(Natural, &Natural)> = level
-                .iter()
-                .enumerate()
-                .map(|(i, node)| (current[i / 2].clone(), node))
-                .collect();
-            current = exec.map(tasks, |(parent_val, node)| &parent_val % node);
+            let width = self.levels[level_idx].len();
+            let mut next = Vec::with_capacity(width);
+            for i in 0..width {
+                next.push(self.reduce_cofactor(&current[i / 2], level_idx, i).0);
+            }
+            current = next;
         }
         current
     }
@@ -237,6 +753,61 @@ mod tests {
         let rems = tree.remainder_tree_plain(&external, seq().exec());
         for (m, r) in moduli.iter().zip(rems.iter()) {
             assert_eq!(r, &(&external % m));
+        }
+    }
+
+    #[test]
+    fn root_split_descent_matches_direct_with_recips() {
+        // 2 leaves: the split lands directly on the leaf level. 3 leaves:
+        // one top child is smaller than its sibling (the residue-is-P
+        // branch). 13/16: balanced and ragged interior shapes.
+        for n in [2usize, 3, 13, 16] {
+            let moduli = pseudo_moduli(n, 4242);
+            let mut tree = ProductTree::build(&moduli, seq().exec()).unwrap();
+            tree.attach_recips(tree.root().bit_len(), seq().exec());
+            let root = tree.root().clone();
+            let rems = tree.remainder_tree(&root, seq().exec());
+            for (m, z) in moduli.iter().zip(rems.iter()) {
+                assert_eq!(z, &(&root % &m.square()));
+            }
+            // A foreign value (here larger than the attach hint) takes the
+            // generic driver, with plain division at the cache-free level
+            // below the root.
+            let foreign = &root * &nat(3);
+            let rems = tree.remainder_tree(&foreign, seq().exec());
+            for (m, z) in moduli.iter().zip(rems.iter()) {
+                assert_eq!(z, &(&foreign % &m.square()));
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor_descent_matches_direct() {
+        // 1 leaf: degenerate pass-through. 2/3: split shapes incl. the
+        // promoted odd node. 13/16: balanced and ragged interior shapes.
+        for n in [1usize, 2, 3, 13, 16] {
+            let moduli = pseudo_moduli(n, 4242);
+            let mut tree = ProductTree::build(&moduli, seq().exec()).unwrap();
+            tree.attach_cofactor_recips(seq().exec());
+            let root = tree.root().clone();
+            // V = root: r_i = (P/N_i) mod N_i.
+            let rems = tree.remainder_tree_cofactor(&Natural::one(), seq().exec());
+            let local = tree.remainder_tree_cofactor_local(&Natural::one());
+            assert_eq!(rems, local);
+            for (m, r) in moduli.iter().zip(rems.iter()) {
+                let (cof, rem) = root.div_rem(m);
+                assert!(rem.is_zero());
+                assert_eq!(r, &(&cof % m));
+            }
+            // V = 7 * root: seed is the foreign cofactor 7 mod root.
+            let v = &root * &nat(7);
+            let seed = &nat(7) % &root;
+            let rems = tree.remainder_tree_cofactor(&seed, seq().exec());
+            for (m, r) in moduli.iter().zip(rems.iter()) {
+                let (cof, rem) = v.div_rem(m);
+                assert!(rem.is_zero());
+                assert_eq!(r, &(&cof % m));
+            }
         }
     }
 

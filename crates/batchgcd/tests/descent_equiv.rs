@@ -1,0 +1,174 @@
+//! Equivalence of the division-free cofactor descent (DESIGN.md §9)
+//! against the classic formulation, across every production entry point.
+//!
+//! The invariant: replacing per-node `div_rem` with Barrett reduction
+//! against cached reciprocals — and replacing the squared descent
+//! `P mod N^2` with the cofactor recurrence `r_u = (s * (r_v mod u)) mod u`
+//! — changes timings only. Raw divisors and statuses stay byte-identical
+//! across thread counts and shard capacities, and the cofactor leaves
+//! relate to the squared leaves by exactly `leaf_sq = r_N * N`.
+
+use proptest::prelude::*;
+use wk_batchgcd::{batch_gcd, scratch_dir, sharded_batch_gcd, ProductTree, ShardStore, WorkerPool};
+use wk_bigint::Natural;
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
+
+/// A mixed population: `vulnerable` keys over a small shared-prime pool,
+/// `healthy` keys with fresh primes, interleaved. 128-bit moduli keep the
+/// suite fast while still exercising multi-limb reductions at every level.
+fn population(vulnerable: usize, healthy: usize, seed: u64) -> Vec<Natural> {
+    let pool_size = (vulnerable / 3).max(1);
+    let mut vuln_gen = ModelKeygen::new(
+        KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::OpensslStyle,
+            pool_size,
+        },
+        128,
+        seed,
+    );
+    let mut healthy_gen = ModelKeygen::new(
+        KeygenBehavior::Healthy {
+            shaping: PrimeShaping::OpensslStyle,
+        },
+        128,
+        seed + 1,
+    );
+    let mut moduli: Vec<Natural> = (0..vulnerable)
+        .map(|_| vuln_gen.generate().public.n)
+        .collect();
+    for (i, n) in (0..healthy)
+        .map(|_| healthy_gen.generate().public.n)
+        .enumerate()
+    {
+        moduli.insert((i * 2 + 1).min(moduli.len()), n);
+    }
+    moduli
+}
+
+fn sharded_over(
+    moduli: &[Natural],
+    capacity: usize,
+    threads: usize,
+    tag: &str,
+) -> (Vec<Option<Natural>>, Vec<wk_batchgcd::KeyStatus>) {
+    let dir = scratch_dir(&format!("descent-equiv-{tag}"));
+    let store = ShardStore::create(&dir, capacity, moduli).unwrap();
+    let res = sharded_batch_gcd(&store, threads).unwrap();
+    store.remove().unwrap();
+    (res.raw_divisors, res.statuses)
+}
+
+#[test]
+fn classic_identical_across_thread_counts() {
+    // The cofactor descent parallelizes over subtree nodes; the executor's
+    // chunking must never leak into the arithmetic.
+    let moduli = population(12, 9, 31337);
+    let reference = batch_gcd(&moduli, 1);
+    assert!(
+        reference.vulnerable_count() >= 2,
+        "population must be interesting"
+    );
+    for threads in [2usize, 3, 4, 8] {
+        let run = batch_gcd(&moduli, threads);
+        assert_eq!(
+            run.raw_divisors, reference.raw_divisors,
+            "threads={threads}"
+        );
+        assert_eq!(run.statuses, reference.statuses, "threads={threads}");
+    }
+}
+
+#[test]
+fn sharded_identical_across_capacities_and_threads() {
+    // Shard capacity moves the handoff boundary between the top tree's
+    // cofactor descent and the per-shard local descents; the seam must be
+    // invisible in the output.
+    let moduli = population(13, 8, 2026);
+    let classic = batch_gcd(&moduli, 1);
+    for capacity in [1usize, 2, 3, 5, 8, 64] {
+        for threads in [1usize, 4] {
+            let tag = format!("c{capacity}-t{threads}");
+            let (divs, statuses) = sharded_over(&moduli, capacity, threads, &tag);
+            assert_eq!(
+                divs, classic.raw_divisors,
+                "capacity={capacity} threads={threads}"
+            );
+            assert_eq!(
+                statuses, classic.statuses,
+                "capacity={capacity} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cofactor_leaves_factor_the_squared_leaves() {
+    // The algebraic bridge between the two descents: with V = P (the
+    // root), `P mod N^2 = N * ((P/N) mod N)` for every leaf N dividing P.
+    // So the old squared-descent leaf must equal the new cofactor leaf
+    // times the modulus — exactly, not just modulo N.
+    let moduli = population(9, 6, 777);
+    let pool = WorkerPool::new(2);
+    let domain = pool.domain();
+    let mut tree = ProductTree::build(&moduli, pool.exec_in(&domain)).unwrap();
+    tree.attach_cofactor_recips(pool.exec_in(&domain));
+
+    let cofactor = tree.remainder_tree_cofactor(&Natural::one(), pool.exec_in(&domain));
+    let cofactor_local = tree.remainder_tree_cofactor_local(&Natural::one());
+    assert_eq!(
+        cofactor, cofactor_local,
+        "parallel vs serial cofactor descent"
+    );
+
+    let root = tree.root().clone();
+    let squared = tree.remainder_tree_local(&root, true);
+    assert_eq!(squared.len(), cofactor.len());
+    for ((n, r), zn) in moduli.iter().zip(&cofactor).zip(&squared) {
+        assert_eq!(&(n * r), zn, "leaf_sq != r_N * N for modulus {n:?}");
+        assert!(r < n, "cofactor leaf not fully reduced");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random populations swept over shard capacity and thread count: the
+    /// sharded cofactor pipeline always matches the classic union run.
+    #[test]
+    fn random_sharded_matches_classic(
+        vulnerable in 3usize..10,
+        healthy in 0usize..8,
+        seed in 0u64..1000,
+        capacity in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        let moduli = population(vulnerable, healthy, seed);
+        let classic = batch_gcd(&moduli, 1);
+        let tag = format!("prop-{vulnerable}-{healthy}-{seed}-{capacity}-{threads}");
+        let (divs, statuses) = sharded_over(&moduli, capacity, threads, &tag);
+        prop_assert_eq!(divs, classic.raw_divisors);
+        prop_assert_eq!(statuses, classic.statuses);
+    }
+
+    /// Random trees: the cofactor descent with seed 1 yields exactly
+    /// `(P/N) mod N` at every leaf, matching the plain-division answer.
+    #[test]
+    fn random_cofactor_leaves_are_exact(
+        vulnerable in 2usize..8,
+        healthy in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let moduli = population(vulnerable, healthy, seed);
+        let pool = WorkerPool::new(2);
+        let domain = pool.domain();
+        let mut tree = ProductTree::build(&moduli, pool.exec_in(&domain)).unwrap();
+        tree.attach_cofactor_recips(pool.exec_in(&domain));
+        let leaves = tree.remainder_tree_cofactor(&Natural::one(), pool.exec_in(&domain));
+        let root = tree.root().clone();
+        for (n, r) in moduli.iter().zip(&leaves) {
+            let (q, rem) = root.div_rem(n);
+            prop_assert!(rem.is_zero());
+            prop_assert_eq!(&q.div_rem(n).1, r);
+        }
+    }
+}

@@ -145,8 +145,9 @@ fn incremental_agrees_with_sharded_over_same_store() {
 #[test]
 fn delta_metrics_shrink_with_the_delta() {
     // Perf shape check (bench `ablation_incremental` measures wall time;
-    // here the executor's own task accounting must show the delta run
-    // doing less tree work than the bootstrap month it sits on).
+    // here the executor's own busy accounting must show the delta run
+    // doing less work than the bootstrap month it sits on — task counts
+    // are not comparable across the two paths, which chunk differently).
     let moduli = population(20, 20, 777);
     let (bulk, delta) = moduli.split_at(moduli.len() - 4);
 
@@ -154,15 +155,15 @@ fn delta_metrics_shrink_with_the_delta() {
     let mut store = ShardStore::create(&store_dir, 8, bulk).unwrap();
     let (mut cache, full) =
         TreeCache::build(&scratch_dir("incr-equiv-metrics-cache"), &store, 1).unwrap();
-    let full_tree_tasks = full.stats.product_tree_exec.tasks();
+    let full_busy = full.stats.total_exec().busy_total();
 
     let incr = incremental_batch_gcd(&mut store, &mut cache, delta, 8, 1).unwrap();
     assert_eq!(incr.stats.delta.delta_count, delta.len() as u64);
     assert_eq!(incr.stats.delta.cached_count, bulk.len() as u64);
+    let inc_busy = incr.stats.total_exec().busy_total();
     assert!(
-        incr.stats.product_tree_exec.tasks() < full_tree_tasks,
-        "delta tree tasks {} must undercut full-build tasks {full_tree_tasks}",
-        incr.stats.product_tree_exec.tasks()
+        inc_busy < full_busy,
+        "delta run burned {inc_busy:?} of executor busy time, bootstrap {full_busy:?}"
     );
     assert!(incr.stats.delta.total_time() > std::time::Duration::ZERO);
     cache.remove().unwrap();

@@ -8,8 +8,11 @@
 //! The vendored criterion stand-in does not parse CLI flags, so this bench
 //! is a plain `main` that honors `-- --test` itself: smoke mode shrinks
 //! the workload to seconds and skips the wall-clock assertion (timing on
-//! a loaded CI box is noise), while the structural assertion — the delta
-//! run schedules strictly fewer product-tree tasks — holds in both modes.
+//! a loaded CI box is noise), while the work assertion — the delta run
+//! burns strictly less executor busy time than the rebuild — holds in
+//! both modes. (Task counts stopped being comparable once the executor
+//! started chunking leaf maps: the two paths chunk differently, so busy
+//! time is the honest "does less work" measure.)
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -80,7 +83,9 @@ fn main() {
     let (n_old, deltas, bits, capacity, samples) = if smoke {
         (48usize, vec![4usize, 12], 128u64, 16usize, 2usize)
     } else {
-        (600, vec![30, 100, 300], 256, 64, 3)
+        // Best-of-5: the container's single CPU makes individual samples
+        // noisy; more samples keep the committed baseline honest.
+        (600, vec![30, 100, 300], 256, 64, 5)
     };
     let max_delta = *deltas.iter().max().unwrap();
     let union = key_population(n_old + max_delta, bits, 0.04, 1601);
@@ -97,18 +102,19 @@ fn main() {
         assert_eq!(inc.result.raw_divisors, full.result.raw_divisors);
         assert_eq!(inc.result.statuses, full.result.statuses);
 
-        // The ablation's structural claim, deterministic and noise-free:
-        // the rebuild schedules ~3(N+M) tasks (tree, remainder tree, gcd
-        // over the union), the delta run ~4M + N (a full pass over M plus
-        // one cheap small-modulus reduction per cached modulus), so for
-        // M < 2N the executor must show strictly fewer tasks end to end.
+        // The ablation's work claim: the rebuild multiplies and descends
+        // over the whole union, the delta run over M new moduli plus one
+        // cheap reduction per cached modulus, so for M < N the executors
+        // must show strictly less summed busy time end to end.
         let full_tree_tasks = full.result.stats.product_tree_exec.tasks();
         let inc_tree_tasks = inc.result.stats.product_tree_exec.tasks();
         let full_tasks = full.result.stats.total_exec().tasks();
         let inc_tasks = inc.result.stats.total_exec().tasks();
+        let full_busy = full.result.stats.total_exec().busy_total();
+        let inc_busy = inc.result.stats.total_exec().busy_total();
         assert!(
-            inc_tasks < full_tasks,
-            "delta run scheduled {inc_tasks} tasks, rebuild {full_tasks} — \
+            inc_busy < full_busy,
+            "delta run burned {inc_busy:?} of executor busy time, rebuild {full_busy:?} — \
              the delta path must do less work at N={n_old} M={m}"
         );
         if !smoke {
@@ -140,12 +146,15 @@ fn main() {
       "full_rebuild": {{
         "wall_ns": {},
         "product_tree_ns": {},
+        "recip_build_ns": {},
         "remainder_tree_ns": {},
+        "barrett_rem_ns": {},
         "gcd_ns": {},
         "tree_tasks": {full_tree_tasks},
         "tree_steals": {},
         "total_tasks": {},
-        "total_steals": {}
+        "total_steals": {},
+        "busy_ns": {}
       }},
       "incremental": {{
         "wall_ns": {},
@@ -153,29 +162,38 @@ fn main() {
         "delta_sweep_ns": {},
         "delta_cross_ns": {},
         "delta_cache_update_ns": {},
+        "recip_build_ns": {},
+        "barrett_rem_ns": {},
         "tree_tasks": {inc_tree_tasks},
         "sweep_tasks": {},
         "cross_tasks": {},
         "total_steals": {},
+        "busy_ns": {},
         "shards_read": {}
       }},
       "speedup": {:.3}
     }}"#,
             full.wall.as_nanos(),
             fs.product_tree_time.as_nanos(),
+            fs.recip_build_time.as_nanos(),
             fs.remainder_tree_time.as_nanos(),
+            fs.barrett_rem_time.as_nanos(),
             fs.gcd_time.as_nanos(),
             fs.product_tree_exec.steals,
             fs.total_exec().tasks(),
             fs.total_exec().steals,
+            full_busy.as_nanos(),
             inc.wall.as_nanos(),
             d.delta_tree_time.as_nanos(),
             d.delta_sweep_time.as_nanos(),
             d.delta_cross_time.as_nanos(),
             d.delta_cache_update_time.as_nanos(),
+            inc.result.stats.recip_build_time.as_nanos(),
+            inc.result.stats.barrett_rem_time.as_nanos(),
             d.delta_sweep_exec.tasks(),
             d.delta_cross_exec.tasks(),
             inc.result.stats.total_exec().steals,
+            inc_busy.as_nanos(),
             inc.result.stats.shard.shards_read,
             full.wall.as_secs_f64() / inc.wall.as_secs_f64().max(f64::MIN_POSITIVE),
         )

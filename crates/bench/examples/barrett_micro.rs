@@ -1,0 +1,79 @@
+//! Ad-hoc microbenchmark: Barrett reduction vs `div_rem` at the operand
+//! shapes the remainder descent actually sees, plus Newton reciprocal
+//! build cost. Run with
+//! `cargo run --release -p wk-bench --example barrett_micro`.
+
+use std::time::Instant;
+use wk_bigint::{Natural, Reciprocal};
+
+fn pseudo(len: usize, seed: u64) -> Natural {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let limbs: Vec<u64> = (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        })
+        .collect();
+    Natural::from_limbs(limbs)
+}
+
+fn main() {
+    // (x limbs, n limbs): top-descent and shard-descent shapes.
+    let shapes = [
+        (16usize, 8usize),
+        (32, 16),
+        (64, 32),
+        (128, 64),
+        (256, 128),
+        (512, 256),
+        (1008, 504),
+        (2016, 1008),
+        (2512, 992),
+        (2512, 2016),
+    ];
+    println!(
+        "{:>6} {:>6} | {:>12} {:>12} {:>8} | {:>12} {:>10}",
+        "x", "n", "div_ns", "barrett_ns", "speedup", "recip_ns", "recip/div"
+    );
+    for &(xl, nl) in &shapes {
+        let x = pseudo(xl, xl as u64);
+        let n = pseudo(nl, nl as u64 + 7);
+        let iters = (200_000 / (xl + 1)).max(3);
+
+        let t = Instant::now();
+        let mut sink = Natural::zero();
+        for _ in 0..iters {
+            sink = &x % &n;
+        }
+        let div_ns = t.elapsed().as_nanos() / iters as u128;
+
+        let recip_iters = iters.clamp(3, 50);
+        let t = Instant::now();
+        let mut r = Reciprocal::with_capacity(&n, xl).unwrap();
+        for _ in 1..recip_iters {
+            r = Reciprocal::with_capacity(&n, xl).unwrap();
+        }
+        let recip_ns = t.elapsed().as_nanos() / recip_iters as u128;
+
+        let t = Instant::now();
+        let mut bsink = Natural::zero();
+        for _ in 0..iters {
+            bsink = x.barrett_rem(&n, &r).unwrap();
+        }
+        let bar_ns = t.elapsed().as_nanos() / iters as u128;
+        assert_eq!(sink, bsink);
+
+        println!(
+            "{:>6} {:>6} | {:>12} {:>12} {:>8.2} | {:>12} {:>10.2}",
+            xl,
+            nl,
+            div_ns,
+            bar_ns,
+            div_ns as f64 / bar_ns as f64,
+            recip_ns,
+            recip_ns as f64 / div_ns as f64
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Threshold-tuning probe for the multiplication dispatcher
+//! (DESIGN.md §9): times each algorithm *at the top level* (recursion
+//! below still dispatches through the tuned thresholds, which is the
+//! question the dispatcher actually answers) on balanced operands at a
+//! ladder of corpus-realistic sizes, and prints the per-size winner.
+//!
+//! Run with `cargo run --release -p wk-bench --example mul_tuning`.
+//! Single-threaded by construction: the container's one CPU makes
+//! multi-threaded timing attribution meaningless.
+
+use std::time::{Duration, Instant};
+use wk_bigint::{mul_ntt, Natural, KARATSUBA_THRESHOLD, NTT_THRESHOLD, TOOM3_THRESHOLD};
+
+/// Deterministic limb filler (splitmix64): tuning must not depend on RNG
+/// state or the run's wall clock.
+fn random_natural(limbs: usize, seed: u64) -> Natural {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut v = Vec::with_capacity(limbs);
+    for _ in 0..limbs {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        v.push(z ^ (z >> 31));
+    }
+    // Keep the top limb nonzero so the operand really has `limbs` limbs.
+    if let Some(top) = v.last_mut() {
+        *top |= 1 << 63;
+    }
+    Natural::from_limbs(v)
+}
+
+/// Best-of-`reps` timing of `f`, with enough inner iterations at small
+/// sizes to rise above timer noise.
+fn time_best<F: Fn() -> Natural>(f: F, reps: usize, iters: usize) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed() / iters as u32);
+    }
+    best
+}
+
+fn main() {
+    println!(
+        "current thresholds: karatsuba {KARATSUBA_THRESHOLD}, toom3 {TOOM3_THRESHOLD}, ntt {NTT_THRESHOLD}"
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}  winner",
+        "limbs", "schoolbook", "karatsuba", "toom3", "ntt"
+    );
+    let sizes = [
+        8usize, 16, 24, 32, 40, 48, 64, 96, 128, 144, 160, 192, 256, 384, 512, 768, 1024, 1536,
+        2048, 3072, 4096, 6144, 8192, 12288, 16384,
+    ];
+    for &n in &sizes {
+        let a = random_natural(n, 0xA11CE ^ n as u64);
+        let b = random_natural(n, 0xB0B ^ (n as u64) << 8);
+        let iters = (2048 / n).max(1);
+        // Schoolbook is quadratic; probing it far past its useful range
+        // just burns minutes.
+        let school = (n <= 192).then(|| time_best(|| a.mul_schoolbook(&b), 3, iters));
+        let kara = time_best(|| a.mul_karatsuba(&b), 3, iters);
+        let toom = (n >= 16).then(|| time_best(|| a.mul_toom3(&b), 3, iters));
+        let ntt = (n >= 128).then(|| time_best(|| mul_ntt(&a, &b), 3, iters));
+
+        let mut results: Vec<(&str, Duration)> = vec![("karatsuba", kara)];
+        if let Some(t) = school {
+            results.push(("schoolbook", t));
+        }
+        if let Some(t) = toom {
+            results.push(("toom3", t));
+        }
+        if let Some(t) = ntt {
+            results.push(("ntt", t));
+        }
+        let winner = results
+            .iter()
+            .min_by_key(|(_, t)| *t)
+            .map(|(name, _)| *name)
+            .unwrap_or("-");
+        let cell = |t: Option<Duration>| match t {
+            Some(t) => format!("{:>10.1}us", t.as_secs_f64() * 1e6),
+            None => format!("{:>12}", "-"),
+        };
+        println!(
+            "{n:>6} {} {} {} {}  {winner}",
+            cell(school),
+            cell(Some(kara)),
+            cell(toom),
+            cell(ntt)
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! `wk-bench-gate` — CI perf gate over `BENCH_batchgcd.json`.
+//!
+//! Compares a freshly generated `ablation_incremental` result against the
+//! committed baseline and fails (exit 1) when `remainder_tree_ns` or
+//! `wall_ns` of any matched full-rebuild case regresses by more than the
+//! allowed percentage (default 25%). Smoke-mode files are rejected: their
+//! workloads are too small to carry timing meaning.
+//!
+//! ```text
+//! wk-bench-gate <baseline.json> <current.json> [--max-regression-pct N]
+//! ```
+//!
+//! The JSON is parsed by a purpose-built minimal reader (the workspace
+//! vendors no serde); it understands exactly the value grammar the bench
+//! emits.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal JSON value tree — just enough for the bench's output grammar.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The bench never emits escapes; pass them through
+                    // verbatim rather than decoding.
+                    out.push('\\');
+                    self.pos += 1;
+                    if let Some(&c) = self.bytes.get(self.pos) {
+                        out.push(c as char);
+                        self.pos += 1;
+                    }
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.eat(b':')?;
+            map.insert(key, self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing content"));
+    }
+    Ok(v)
+}
+
+/// The gated metrics of one full-rebuild case, keyed by (N, M).
+struct Case {
+    old_count: u64,
+    delta_count: u64,
+    remainder_tree_ns: f64,
+    wall_ns: f64,
+}
+
+fn load_cases(path: &str) -> Result<Vec<Case>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if root.get("smoke") != Some(&Json::Bool(false)) {
+        return Err(format!(
+            "{path}: smoke-mode (or malformed) bench output carries no timing meaning; \
+             regenerate with `cargo bench -p wk-bench --bench incremental_benches`"
+        ));
+    }
+    let cases = match root.get("cases") {
+        Some(Json::Arr(cases)) if !cases.is_empty() => cases,
+        _ => return Err(format!("{path}: no cases array")),
+    };
+    cases
+        .iter()
+        .map(|c| {
+            let full = c
+                .get("full_rebuild")
+                .ok_or_else(|| format!("{path}: case without full_rebuild"))?;
+            Ok(Case {
+                old_count: c.num("old_count").unwrap_or(0.0) as u64,
+                delta_count: c.num("delta_count").unwrap_or(0.0) as u64,
+                remainder_tree_ns: full
+                    .num("remainder_tree_ns")
+                    .ok_or_else(|| format!("{path}: case without remainder_tree_ns"))?,
+                wall_ns: full
+                    .num("wall_ns")
+                    .ok_or_else(|| format!("{path}: case without wall_ns"))?,
+            })
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, current_path: &str, max_regression_pct: f64) -> Result<(), String> {
+    let baseline = load_cases(baseline_path)?;
+    let current = load_cases(current_path)?;
+    let allowed = 1.0 + max_regression_pct / 100.0;
+
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for base in &baseline {
+        let Some(cur) = current
+            .iter()
+            .find(|c| c.old_count == base.old_count && c.delta_count == base.delta_count)
+        else {
+            failures.push(format!(
+                "case N={} M={} present in baseline but missing from {current_path}",
+                base.old_count, base.delta_count
+            ));
+            continue;
+        };
+        compared += 1;
+        for (metric, base_v, cur_v) in [
+            (
+                "remainder_tree_ns",
+                base.remainder_tree_ns,
+                cur.remainder_tree_ns,
+            ),
+            ("wall_ns", base.wall_ns, cur.wall_ns),
+        ] {
+            let ratio = cur_v / base_v.max(1.0);
+            let verdict = if ratio > allowed { "REGRESSION" } else { "ok" };
+            println!(
+                "N={} M={} {metric}: baseline {:.3}ms -> current {:.3}ms ({:+.1}%) {verdict}",
+                base.old_count,
+                base.delta_count,
+                base_v / 1e6,
+                cur_v / 1e6,
+                (ratio - 1.0) * 100.0,
+            );
+            if ratio > allowed {
+                failures.push(format!(
+                    "N={} M={} {metric} regressed {:.1}% (> {max_regression_pct}% allowed)",
+                    base.old_count,
+                    base.delta_count,
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        failures.push("no cases matched between baseline and current".to_string());
+    }
+    if failures.is_empty() {
+        println!("bench gate passed: {compared} cases within {max_regression_pct}%");
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression_pct = 25.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-regression-pct" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => max_regression_pct = v,
+                _ => {
+                    eprintln!("--max-regression-pct needs a non-negative number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!("usage: wk-bench-gate <baseline.json> <current.json> [--max-regression-pct N]");
+        return ExitCode::FAILURE;
+    };
+    match run(baseline, current, max_regression_pct) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench gate FAILED:\n{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(smoke: bool, remainder: f64, wall: f64) -> String {
+        format!(
+            r#"{{"bench":"ablation_incremental","smoke":{smoke},"cases":[
+                {{"old_count":600,"delta_count":30,
+                  "full_rebuild":{{"wall_ns":{wall},"remainder_tree_ns":{remainder}}},
+                  "incremental":{{"wall_ns":1.0}}}}]}}"#
+        )
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("wk-bench-gate-test-{name}.json"));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parses_the_bench_shape() {
+        let v = parse_json(&sample(false, 2.0e7, 5.0e7)).unwrap();
+        assert_eq!(v.get("smoke"), Some(&Json::Bool(false)));
+        let Some(Json::Arr(cases)) = v.get("cases") else {
+            panic!("cases array")
+        };
+        assert_eq!(
+            cases[0].get("full_rebuild").unwrap().num("wall_ns"),
+            Some(5.0e7)
+        );
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = write_temp("base-ok", &sample(false, 2.0e7, 5.0e7));
+        let cur = write_temp("cur-ok", &sample(false, 2.4e7, 5.5e7));
+        assert!(run(&base, &cur, 25.0).is_ok());
+    }
+
+    #[test]
+    fn regression_fails_and_names_the_metric() {
+        let base = write_temp("base-reg", &sample(false, 2.0e7, 5.0e7));
+        let cur = write_temp("cur-reg", &sample(false, 2.6e7, 5.0e7));
+        let err = run(&base, &cur, 25.0).unwrap_err();
+        assert!(err.contains("remainder_tree_ns"), "{err}");
+        assert!(err.contains("30.0%"), "{err}");
+    }
+
+    #[test]
+    fn smoke_files_are_rejected() {
+        let base = write_temp("base-smoke", &sample(true, 2.0e7, 5.0e7));
+        let cur = write_temp("cur-smoke", &sample(false, 2.0e7, 5.0e7));
+        let err = run(&base, &cur, 25.0).unwrap_err();
+        assert!(err.contains("smoke"), "{err}");
+    }
+}

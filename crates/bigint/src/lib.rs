@@ -49,6 +49,7 @@ mod natural;
 mod ntt;
 mod prime;
 mod random;
+mod recip;
 mod shift;
 mod sqrt;
 
@@ -60,3 +61,4 @@ pub use mul::{KARATSUBA_THRESHOLD, TOOM3_THRESHOLD};
 pub use natural::Natural;
 pub use ntt::{mul_ntt, NTT_THRESHOLD};
 pub use prime::first_primes;
+pub use recip::{RecipError, Reciprocal};

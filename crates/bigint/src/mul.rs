@@ -12,11 +12,11 @@ use core::ops::{Mul, MulAssign};
 
 /// Operand size (in limbs, of the smaller operand) at which Karatsuba takes
 /// over from schoolbook multiplication.
-pub const KARATSUBA_THRESHOLD: usize = 32;
+pub const KARATSUBA_THRESHOLD: usize = 64;
 
 /// Operand size (in limbs, of the smaller operand) at which Toom-3 takes over
 /// from Karatsuba.
-pub const TOOM3_THRESHOLD: usize = 144;
+pub const TOOM3_THRESHOLD: usize = 352;
 
 /// Schoolbook `O(n*m)` multiplication on limb slices.
 pub(crate) fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
@@ -183,6 +183,20 @@ impl Natural {
     /// for the sub-quadratic algorithms (bench `ablation_mul_algorithms`).
     pub fn mul_schoolbook(&self, rhs: &Natural) -> Natural {
         Natural::from_limbs(schoolbook(self.limbs(), rhs.limbs()))
+    }
+
+    /// Karatsuba at the top level regardless of [`KARATSUBA_THRESHOLD`]
+    /// (recursive calls still dispatch normally) — the threshold-tuning
+    /// probe for bench example `mul_tuning`.
+    pub fn mul_karatsuba(&self, rhs: &Natural) -> Natural {
+        karatsuba(self, rhs)
+    }
+
+    /// Toom-3 at the top level regardless of [`TOOM3_THRESHOLD`]
+    /// (recursive calls still dispatch normally) — the threshold-tuning
+    /// probe for bench example `mul_tuning`.
+    pub fn mul_toom3(&self, rhs: &Natural) -> Natural {
+        toom3(self, rhs)
     }
 
     /// Multiply by a single limb.

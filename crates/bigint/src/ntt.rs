@@ -20,7 +20,7 @@ pub const P: u64 = 0xFFFF_FFFF_0000_0001;
 
 /// Operand size (limbs, smaller operand) at which NTT takes over from
 /// Toom-3 in the multiplication dispatcher.
-pub const NTT_THRESHOLD: usize = 2048;
+pub const NTT_THRESHOLD: usize = 16384;
 
 /// Reduce a 128-bit value modulo `P` using `2^64 ≡ 2^32 - 1` and
 /// `2^96 ≡ -1 (mod P)`.

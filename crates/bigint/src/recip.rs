@@ -1,0 +1,728 @@
+//! Barrett reduction against precomputed reciprocals.
+//!
+//! The batch-GCD remainder tree reduces one huge value modulo every node of
+//! a product tree. Each node's modulus is fixed across the whole descent
+//! (and, in the incremental path, across *runs*), so the division can be
+//! split into a per-modulus precomputation — a fixed-point reciprocal
+//! `mu = floor(beta^cap / n)` with `beta = 2^64` — and a per-value
+//! reduction of two multiplies plus at most two correction subtractions
+//! (HAC Algorithm 14.42, generalized to a configurable dividend capacity).
+//!
+//! The reciprocal itself is computed by Newton's method on truncated
+//! operands (precision roughly doubles per iteration, so the total cost is
+//! a small constant number of full-size multiplies). The iteration is
+//! *deliberately left approximate*: it maintains `mu <= floor(beta^cap/n)`
+//! throughout (every truncation under-estimates) and lands within
+//! [`MU_MAX_SLACK_ULPS`] of the exact value. Making it exact would need a
+//! full `mu * n` verification product — empirically the single most
+//! expensive operation of the whole precomputation, and the only thing it
+//! buys is shrinking the Barrett correction loop from "a few" subtractions
+//! to two. The correction loop is O(m) per pass; the verification product
+//! is a full multiply. So the slack is kept and the loop bound widened.
+//!
+//! # Correctness bound
+//!
+//! For `x < beta^cap` and normalized `n` (`beta^(m-1) <= n < beta^m`,
+//! `m >= 2`), with `mu = floor(beta^cap / n) - delta` for `0 <= delta`,
+//! the estimate
+//! `q_hat = floor(floor(x / beta^(m-1)) * mu / beta^(cap-m+1))` satisfies
+//! `q - 2 - delta <= q_hat <= q` where `q = floor(x / n)`:
+//!
+//! * upper: `mu <= beta^cap/n` and both inner floors only shrink their
+//!   operands, so `q_hat <= x/n`. This direction is what makes the
+//!   mod-`beta^(m+1)` remainder arithmetic sound — `x - q_hat*n` is never
+//!   negative — and is why the iteration must *never* over-estimate;
+//! * lower: writing `a = floor(x / beta^(m-1)) > x/beta^(m-1) - 1` and
+//!   `mu > beta^cap/n - 1 - delta`, expanding `a*mu / beta^(cap-m+1)`
+//!   gives `q_hat > x/n - x/beta^cap - beta^(m-1)/n - 1 - delta*a/beta^(cap-m+1)
+//!   > x/n - 3 - delta`, using `x < beta^cap`, `n >= beta^(m-1)` and
+//!   `a < beta^(cap-m+1)`.
+//!
+//! Hence `x - q_hat*n` lands in `[x mod n, x mod n + (2 + delta) n)`,
+//! which stays below `beta^(m+1)` for any `delta < 2^64 - 3`: the low
+//! `m + 1` limbs still determine the remainder, and at most `2 + delta`
+//! subtractions of `n` finish the reduction. The correction loop is
+//! bounded by [`MAX_BARRETT_CORRECTIONS`]; exceeding it (impossible for a
+//! reciprocal built here, conceivable only for a damaged persisted one)
+//! falls back to one exact division, so the result is the true remainder
+//! unconditionally. Larger values are folded in `(cap - m)`-limb chunks
+//! from the top, each step staying under the capacity — the division-free
+//! analog of short division.
+
+use crate::natural::Natural;
+use std::fmt;
+
+/// Modulus size (limbs) at or below which the reciprocal is computed by one
+/// direct division instead of Newton iteration — at these sizes Knuth
+/// division is cheaper than the iteration bookkeeping.
+const NEWTON_DIRECT_LIMBS: usize = 8;
+
+/// Guard bits carried through each Newton step over the bits the step is
+/// expected to get right; generous so the finished reciprocal sits within
+/// [`MU_MAX_SLACK_ULPS`] of exact.
+const NEWTON_GUARD_BITS: u64 = 32;
+
+/// How far below the exact `floor(beta^cap / n)` a Newton-built reciprocal
+/// may land, in ulps. The iteration only ever under-estimates (seed and
+/// every truncation round toward zero; the subtracted term's operand
+/// rounds up), and the 32 guard bits leave at most a few ulps unresolved —
+/// 4 was the observed worst case across the adversarial test shapes, 16 is
+/// that with headroom. Each ulp of slack costs one O(m) subtraction in the
+/// Barrett correction loop, which is far cheaper than the full `mu * n`
+/// product an exactness pass would need.
+const MU_MAX_SLACK_ULPS: u32 = 16;
+
+/// Upper bound on Barrett correction subtractions: the two the exact-`mu`
+/// analysis allows plus one per ulp of reciprocal slack. Exceeding it is
+/// impossible for reciprocals built by [`Reciprocal::with_capacity`];
+/// reaching it (a damaged persisted reciprocal that slipped past the
+/// structural checks) falls back to one exact division instead of looping
+/// or returning a wrong remainder.
+const MAX_BARRETT_CORRECTIONS: u32 = 2 + MU_MAX_SLACK_ULPS;
+
+/// Why a reciprocal could not be built or applied. Misuse (a zero modulus,
+/// or pairing a reciprocal with a different modulus than it was built for)
+/// is a typed error, not a panic: reciprocals flow through persisted tree
+/// caches where a confused pairing must surface as a recoverable condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecipError {
+    /// The modulus was zero — no reciprocal exists.
+    ZeroModulus,
+    /// The reciprocal was built for a different modulus than the one it
+    /// was applied to (sizes bound at construction time disagree).
+    ModulusMismatch {
+        /// Bit length of the modulus the reciprocal was built for.
+        expected_bits: u64,
+        /// Bit length of the modulus it was applied to.
+        found_bits: u64,
+    },
+    /// A deserialized `(mu, capacity)` pair is structurally impossible for
+    /// the claimed modulus (wrong magnitude or undersized capacity).
+    MalformedParts {
+        /// Which structural check failed.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for RecipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipError::ZeroModulus => write!(f, "reciprocal of zero modulus"),
+            RecipError::ModulusMismatch {
+                expected_bits,
+                found_bits,
+            } => write!(
+                f,
+                "reciprocal built for a {expected_bits}-bit modulus applied to a \
+                 {found_bits}-bit one"
+            ),
+            RecipError::MalformedParts { detail } => {
+                write!(f, "malformed reciprocal parts: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecipError {}
+
+/// A precomputed fixed-point reciprocal `mu` of one modulus `n` — equal to
+/// `floor(beta^cap / n)` up to `MU_MAX_SLACK_ULPS` of one-sided
+/// under-estimate — sized to reduce dividends below `beta^cap` in a single
+/// Barrett step. The modulus itself is not stored (tree nodes already own
+/// it); its limb and bit lengths are, so a mismatched pairing is caught as
+/// [`RecipError::ModulusMismatch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reciprocal {
+    /// `floor(beta^cap / n)`, up to the permitted one-sided under-estimate.
+    mu: Natural,
+    /// `limb_len(n)`.
+    m: usize,
+    /// Dividend capacity in limbs: one Barrett step handles `x < beta^cap`.
+    cap: usize,
+    /// `bit_len(n)` — binds the reciprocal to its modulus.
+    n_bits: u64,
+}
+
+/// `2^bits` as a [`Natural`].
+fn pow2(bits: u64) -> Natural {
+    let mut p = Natural::zero();
+    p.set_bit(bits, true);
+    p
+}
+
+/// Low `k` limbs of `a` (i.e. `a mod beta^k`).
+fn low_limbs(a: &Natural, k: usize) -> Natural {
+    let limbs = a.limbs();
+    if limbs.len() <= k {
+        a.clone()
+    } else {
+        Natural::from_limb_slice(&limbs[..k])
+    }
+}
+
+/// `a >> (64*k)` — the limbs above the low `k`.
+fn high_limbs(a: &Natural, k: usize) -> Natural {
+    let limbs = a.limbs();
+    if limbs.len() <= k {
+        Natural::zero()
+    } else {
+        Natural::from_limb_slice(&limbs[k..])
+    }
+}
+
+/// `floor(beta^cap / n)`, possibly under-estimated by at most
+/// [`MU_MAX_SLACK_ULPS`], by Newton iteration on truncated operands. The
+/// under-estimate is one-sided by construction — see the module docs for
+/// why over-estimating would be unsound and why the slack is kept rather
+/// than corrected away. Falls back to one exact direct division for small
+/// moduli or near-unit quotients, where the iteration's bookkeeping costs
+/// more than Knuth division.
+fn invert_newton(n: &Natural, cap: usize) -> Natural {
+    let m = n.limb_len();
+    let e = 64 * cap as u64; // mu = floor(2^e / n)
+    let t = n.bit_len();
+    if m <= NEWTON_DIRECT_LIMBS || e - t < 128 {
+        return &pow2(e) / n;
+    }
+
+    // Seed from the top 64 bits of n (top bit set, by normalization):
+    // z0 = floor(2^128 / (n1 + 1)) approximates 2^(t+64)/n from below with
+    // absolute error <= 5 ulps (n1 >= 2^63 bounds the bracket width), i.e.
+    // ~61 correct bits.
+    let n1 = (n >> (t - 64)).low_limb();
+    let mut z = if n1 == u64::MAX {
+        pow2(64)
+    } else {
+        Natural::from(u128::MAX / (n1 as u128 + 1))
+    };
+    let mut g = t + 64; // z ~ 2^g / n
+    let mut correct: u64 = 60;
+    let needed = e - t + 2; // significant bits of mu, plus slack
+
+    while correct < needed {
+        // Each step squares the relative error; budget 4 bits of it for
+        // the truncations below. The working exponent saturates at the
+        // target `e` (near-unit quotients get there with bits still to
+        // earn); steps then continue at constant exponent — the classical
+        // fixed-precision Newton iteration — until `correct` catches up.
+        let c_next = (2 * correct - 4).min(needed);
+        let g_next = (t - 1 + c_next + NEWTON_GUARD_BITS).min(e);
+        // Truncate n to the precision this step can use, rounding up so
+        // the subtracted term over-estimates (keeps z' from overshooting).
+        let h = t.min(c_next + NEWTON_GUARD_BITS);
+        let sigma = t - h;
+        let n_hat = if sigma == 0 {
+            n.clone()
+        } else {
+            &(n >> sigma) + &Natural::one()
+        };
+        // z' = 2^(g_next-g+1)*z - floor(z^2 * n_hat / 2^(2g - g_next - sigma))
+        // approximates 2^g_next/n with the relative error squared.
+        debug_assert!(g_next >= g && 2 * g >= g_next + sigma);
+        let down = 2 * g - g_next - sigma;
+        let sub = &(&(&z * &z) * &n_hat) >> down;
+        let up = &z << (g_next - g + 1);
+        z = match up.checked_sub(&sub) {
+            Some(v) => v,
+            // Unreachable for in-range errors; exact fallback keeps the
+            // routine total without a panic path.
+            None => return &pow2(e) / n,
+        };
+        g = g_next;
+        correct = c_next;
+    }
+
+    // z is now within a few ulps of floor(2^e/n) and is left approximate
+    // (the exactness product `z * n` would dominate the whole build) — but
+    // it must first be made one-sided. Each step computes a concave
+    // function of the previous z whose maximum over all inputs is the true
+    // 2^g/n (the Newton map touches its fixed point at its critical
+    // point); the floored shift adds less than one, so every step ends at
+    // most one ulp above the true value, however far off its input was.
+    // Subtracting that ulp yields z <= floor(2^e/n) unconditionally —
+    // the direction the Barrett remainder arithmetic depends on.
+    z = match z.checked_sub(&Natural::one()) {
+        Some(v) => v,
+        // Unreachable (z is astronomically large here); exact fallback
+        // keeps the routine total without a panic path.
+        None => return &pow2(e) / n,
+    };
+    // One shape needs patching: when floor(2^e/n) is exactly the minimal
+    // 2^(e-t) (n just below a power of two), the slack can drop z below
+    // mu's guaranteed magnitude window, which the structural checks in
+    // `from_parts` and the capacity maths both rely on. Clamping up to
+    // 2^(e-t) is always sound: floor(2^e/n) >= 2^(e-t) for t-bit n.
+    let floor_min = pow2(e - t);
+    if z < floor_min {
+        z = floor_min;
+    }
+    debug_assert!(
+        (&pow2(e) / n)
+            .checked_sub(&z)
+            .and_then(|slack| slack.to_u64())
+            .is_some_and(|slack| slack <= u64::from(MU_MAX_SLACK_ULPS)),
+        "Newton over-estimated or left more than MU_MAX_SLACK_ULPS of error"
+    );
+    z
+}
+
+impl Reciprocal {
+    /// Reciprocal with the default capacity `2m` (the classic HAC 14.42
+    /// shape): one Barrett step reduces any `x < beta^(2m)`, larger values
+    /// fold in `m`-limb chunks.
+    ///
+    /// # Errors
+    /// [`RecipError::ZeroModulus`] if `n` is zero.
+    pub fn new(n: &Natural) -> Result<Reciprocal, RecipError> {
+        Reciprocal::with_capacity(n, 2 * n.limb_len())
+    }
+
+    /// Reciprocal sized for dividends below `beta^cap_limbs`. Remainder
+    /// trees know each node's incoming-value bound (the parent's modulus),
+    /// so they size `mu` once and take the single-step path on every
+    /// descent. The capacity is clamped to at least `m + 1` so `mu` always
+    /// has at least one full limb of precision.
+    ///
+    /// # Errors
+    /// [`RecipError::ZeroModulus`] if `n` is zero.
+    pub fn with_capacity(n: &Natural, cap_limbs: usize) -> Result<Reciprocal, RecipError> {
+        if n.is_zero() {
+            return Err(RecipError::ZeroModulus);
+        }
+        let m = n.limb_len();
+        let cap = cap_limbs.max(m + 1);
+        Ok(Reciprocal {
+            mu: invert_newton(n, cap),
+            m,
+            cap,
+            n_bits: n.bit_len(),
+        })
+    }
+
+    /// Reassemble a reciprocal from persisted parts, validating them
+    /// against the modulus they claim to invert. The checks are
+    /// structural (capacity and magnitude), not a full recomputation —
+    /// persisted reciprocals are integrity-protected by their container's
+    /// checksums, the same trust model as the cached products themselves.
+    ///
+    /// # Errors
+    /// [`RecipError::ZeroModulus`] for a zero modulus;
+    /// [`RecipError::MalformedParts`] when `(mu, cap_limbs)` cannot be a
+    /// reciprocal of this `n` (wrong magnitude window or capacity).
+    pub fn from_parts(
+        mu: Natural,
+        cap_limbs: usize,
+        n: &Natural,
+    ) -> Result<Reciprocal, RecipError> {
+        if n.is_zero() {
+            return Err(RecipError::ZeroModulus);
+        }
+        let m = n.limb_len();
+        if cap_limbs < m + 1 {
+            return Err(RecipError::MalformedParts {
+                detail: "capacity smaller than the modulus",
+            });
+        }
+        // floor(2^e/n) has e - t + 1 bits, except one more when n is a
+        // power of two.
+        let e = 64 * cap_limbs as u64;
+        let t = n.bit_len();
+        let bits = mu.bit_len();
+        if bits < e - t + 1 || bits > e - t + 2 {
+            return Err(RecipError::MalformedParts {
+                detail: "mu magnitude impossible for this modulus",
+            });
+        }
+        Ok(Reciprocal {
+            mu,
+            m,
+            cap: cap_limbs,
+            n_bits: t,
+        })
+    }
+
+    /// The stored fixed-point reciprocal (`floor(beta^cap / n)` up to the
+    /// permitted under-estimate), for serialization.
+    pub fn mu(&self) -> &Natural {
+        &self.mu
+    }
+
+    /// Dividend capacity in limbs.
+    pub fn cap_limbs(&self) -> usize {
+        self.cap
+    }
+
+    /// Limb length of the modulus this reciprocal inverts.
+    pub fn modulus_limbs(&self) -> usize {
+        self.m
+    }
+
+    /// Stored size in bytes (limb storage of `mu`).
+    pub fn bytes(&self) -> usize {
+        self.mu.limb_len() * 8
+    }
+
+    /// One generalized-Barrett step for `x < beta^cap`: two multiplies and
+    /// at most `2 + MU_MAX_SLACK_ULPS` correction subtractions (see the
+    /// module-level bound). A reciprocal so damaged that the bound is
+    /// exceeded — impossible for ones built here — degrades to one exact
+    /// division rather than a wrong remainder.
+    fn step(&self, x: &Natural, n: &Natural) -> Natural {
+        debug_assert!(x.limb_len() <= self.cap);
+        if x < n {
+            return x.clone();
+        }
+        let m = self.m;
+        // q_hat = floor(floor(x / beta^(m-1)) * mu / beta^(cap-m+1)).
+        let q1 = high_limbs(x, m - 1);
+        let q3 = high_limbs(&(&q1 * &self.mu), self.cap - m + 1);
+        // r = x - q_hat*n, computed mod beta^(m+1): the true value lies in
+        // [0, (3 + slack) n) which is far below beta^(m+1), so the low
+        // limbs determine it.
+        let k = m + 1;
+        let r1 = low_limbs(x, k);
+        let r2 = low_limbs(&(&q3 * n), k);
+        let mut r = match r1.checked_sub(&r2) {
+            Some(d) => d,
+            None => &(&r1 + &pow2(64 * k as u64)) - &r2,
+        };
+        let mut corrections = 0u32;
+        while &r >= n {
+            if corrections == MAX_BARRETT_CORRECTIONS {
+                return x.div_rem(n).1;
+            }
+            r.sub_assign_ref(n);
+            corrections += 1;
+        }
+        r
+    }
+}
+
+impl Natural {
+    /// `self mod n` by Barrett reduction against a precomputed
+    /// [`Reciprocal`] of `n`. The result is the exact remainder —
+    /// byte-identical to [`Natural::div_rem`]'s — for any operand sizes:
+    /// values at or below the reciprocal's capacity reduce in one step
+    /// (two multiplies + at most two subtractions), larger values fold
+    /// top-down in capacity-sized chunks.
+    ///
+    /// # Errors
+    /// [`RecipError::ZeroModulus`] if `n` is zero;
+    /// [`RecipError::ModulusMismatch`] if `recip` was built for a
+    /// different modulus.
+    pub fn barrett_rem(&self, n: &Natural, recip: &Reciprocal) -> Result<Natural, RecipError> {
+        if n.is_zero() {
+            return Err(RecipError::ZeroModulus);
+        }
+        if recip.m != n.limb_len() || recip.n_bits != n.bit_len() {
+            return Err(RecipError::ModulusMismatch {
+                expected_bits: recip.n_bits,
+                found_bits: n.bit_len(),
+            });
+        }
+        if self < n {
+            return Ok(self.clone());
+        }
+        if recip.m == 1 {
+            return Ok(Natural::from(self.rem_limb(n.low_limb())));
+        }
+        if self.limb_len() <= recip.cap {
+            return Ok(recip.step(self, n));
+        }
+        // Fold from the top in chunks sized so every step stays under the
+        // capacity: r < n < beta^m, so r * beta^take + chunk has at most
+        // m + take <= cap limbs.
+        let limbs = self.limbs();
+        let take_per_step = recip.cap - recip.m;
+        let mut pos = limbs.len() - recip.cap;
+        let mut r = recip.step(&Natural::from_limb_slice(&limbs[pos..]), n);
+        let mut window: Vec<u64> = Vec::with_capacity(recip.cap);
+        while pos > 0 {
+            let take = take_per_step.min(pos);
+            pos -= take;
+            // window = r * beta^take + limbs[pos..pos+take], assembled
+            // without shifts: low limbs from the value, high from r.
+            window.clear();
+            window.extend_from_slice(&limbs[pos..pos + take]);
+            window.extend_from_slice(r.limbs());
+            r = recip.step(&Natural::from_limb_slice(&window), n);
+        }
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Natural {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let limbs: Vec<u64> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        Natural::from_limbs(limbs)
+    }
+
+    /// mu must be exactly floor(beta^cap / n) — the direct-division path.
+    fn check_mu_exact(n: &Natural, cap: usize) {
+        let r = Reciprocal::with_capacity(n, cap).unwrap();
+        let expect = &pow2(64 * r.cap_limbs() as u64) / n;
+        assert_eq!(
+            r.mu(),
+            &expect,
+            "mu not exact for n={} limbs cap={cap}",
+            n.limb_len()
+        );
+    }
+
+    /// mu must never exceed floor(beta^cap / n) — the soundness direction —
+    /// and must sit within MU_MAX_SLACK_ULPS below it.
+    fn check_mu_slack(n: &Natural, cap: usize) {
+        let r = Reciprocal::with_capacity(n, cap).unwrap();
+        let exact = &pow2(64 * r.cap_limbs() as u64) / n;
+        let slack = exact.checked_sub(r.mu()).unwrap_or_else(|| {
+            panic!(
+                "mu over-estimates the reciprocal for n={} limbs cap={cap}",
+                n.limb_len()
+            )
+        });
+        assert!(
+            slack
+                .to_u64()
+                .is_some_and(|s| s <= u64::from(MU_MAX_SLACK_ULPS)),
+            "mu slack beyond bound for n={} limbs cap={cap}",
+            n.limb_len()
+        );
+    }
+
+    #[test]
+    fn mu_exact_small_and_direct_path() {
+        for (len, seed) in [(1, 1), (2, 2), (4, 3), (8, 4)] {
+            check_mu_exact(&pseudo(len, seed), 2 * len);
+        }
+    }
+
+    #[test]
+    fn mu_bounded_newton_path() {
+        for (len, seed) in [(9, 1), (16, 2), (33, 3), (64, 4), (150, 5), (300, 6)] {
+            check_mu_slack(&pseudo(len, seed), 2 * len);
+        }
+    }
+
+    #[test]
+    fn mu_bounded_asymmetric_capacities() {
+        let n = pseudo(40, 9);
+        for cap in [41, 50, 80, 120, 200] {
+            check_mu_slack(&n, cap);
+        }
+    }
+
+    #[test]
+    fn mu_bounded_adversarial_shapes() {
+        // Powers of two (2^e divides evenly), all-ones, just below/above a
+        // power of two: the shapes where floor corrections bite and where
+        // the magnitude-window clamp (n just below a power of two) matters.
+        let p = pow2(64 * 20);
+        check_mu_slack(&p, 40);
+        let ones = &pow2(64 * 20) - &Natural::one();
+        check_mu_slack(&ones, 40);
+        let above = &pow2(64 * 20 + 1) + &Natural::one();
+        check_mu_slack(&above, 42);
+        // Top limb minimal (1): worst normalization case.
+        let mut low_top = pseudo(20, 7);
+        let mut limbs = low_top.limbs().to_vec();
+        limbs[19] = 1;
+        low_top = Natural::from_limbs(limbs);
+        check_mu_slack(&low_top, 40);
+    }
+
+    #[test]
+    fn mu_bounded_saturated_exponent() {
+        // Capacities barely past the direct-division cutoff (e - t just
+        // over 128): the Newton exponent saturates at the target while
+        // correct bits are still accruing, forcing constant-exponent
+        // steps. Regression shape: a 16-limb modulus with a short top limb
+        // and cap 18 once tripped the step-scheduling invariant.
+        for (len, top_bits, cap, seed) in [
+            (16usize, 59u64, 18usize, 1u64),
+            (16, 1, 18, 2),
+            (32, 33, 35, 3),
+            (9, 64, 11, 4),
+        ] {
+            let mut limbs = pseudo(len, seed).limbs().to_vec();
+            let keep = top_bits.clamp(1, 64);
+            limbs[len - 1] = (limbs[len - 1] | (1 << (keep - 1))) & (u64::MAX >> (64 - keep));
+            let n = Natural::from_limbs(limbs);
+            check_mu_slack(&n, cap);
+        }
+    }
+
+    #[test]
+    fn mu_magnitude_window_holds_under_slack() {
+        // from_parts requires bit_len(mu) in [e-t+1, e-t+2]; the clamp in
+        // invert_newton must keep approximate reciprocals inside it even
+        // for moduli just below a power of two (exact mu minimal).
+        for (len, seed) in [(9, 3), (20, 5), (64, 8)] {
+            let ones = &pow2(64 * len) - &Natural::one();
+            let r = Reciprocal::with_capacity(&ones, 2 * len as usize).unwrap();
+            let back = Reciprocal::from_parts(r.mu().clone(), r.cap_limbs(), &ones).unwrap();
+            let x = pseudo(2 * len as usize, seed);
+            assert_eq!(x.barrett_rem(&ones, &back).unwrap(), x.div_rem(&ones).1);
+        }
+    }
+
+    #[test]
+    fn barrett_matches_div_rem() {
+        for (xl, nl, seed) in [
+            (8, 4, 1),
+            (20, 10, 2),
+            (64, 32, 3),
+            (100, 60, 4),
+            (120, 49, 5), // divisor just above BZ_THRESHOLD
+            (200, 100, 6),
+        ] {
+            let x = pseudo(xl, seed);
+            let n = pseudo(nl, seed + 50);
+            let r = Reciprocal::new(&n).unwrap();
+            assert_eq!(
+                x.barrett_rem(&n, &r).unwrap(),
+                x.div_rem(&n).1,
+                "xl={xl} nl={nl}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrett_chunked_fold_matches_div_rem() {
+        // Values far above the capacity exercise the folding loop.
+        for (xl, nl, seed) in [(50, 5, 1), (200, 12, 2), (500, 32, 3), (333, 10, 4)] {
+            let x = pseudo(xl, seed);
+            let n = pseudo(nl, seed + 9);
+            let r = Reciprocal::new(&n).unwrap();
+            assert_eq!(
+                x.barrett_rem(&n, &r).unwrap(),
+                x.div_rem(&n).1,
+                "xl={xl} nl={nl}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrett_single_limb_modulus() {
+        let x = pseudo(30, 3);
+        let n = Natural::from(0xdead_beef_u64);
+        let r = Reciprocal::new(&n).unwrap();
+        assert_eq!(x.barrett_rem(&n, &r).unwrap(), x.div_rem(&n).1);
+    }
+
+    #[test]
+    fn barrett_knuth_add_back_shape() {
+        // The dividend/divisor pair exercising Knuth's rare D6 add-back;
+        // Barrett must agree with the division path on it.
+        let x = &pow2(512) - &Natural::one();
+        let n = &pow2(192) - &pow2(64);
+        let r = Reciprocal::new(&n).unwrap();
+        assert_eq!(x.barrett_rem(&n, &r).unwrap(), x.div_rem(&n).1);
+    }
+
+    #[test]
+    fn barrett_boundary_values() {
+        let n = pseudo(10, 42);
+        let r = Reciprocal::new(&n).unwrap();
+        // x < n, x == n, x == n+1, x just below beta^cap, multiples of n.
+        let cases = [
+            Natural::zero(),
+            Natural::one(),
+            &n - &Natural::one(),
+            n.clone(),
+            &n + &Natural::one(),
+            &pow2(64 * 20) - &Natural::one(),
+            &n * &pseudo(10, 7),
+            &(&n * &pseudo(10, 8)) + &Natural::one(),
+        ];
+        for x in &cases {
+            assert_eq!(x.barrett_rem(&n, &r).unwrap(), x.div_rem(&n).1);
+        }
+    }
+
+    #[test]
+    fn sized_capacity_single_step_matches() {
+        // A tree-shaped use: modulus m limbs, values up to 4m limbs, one
+        // reciprocal sized for the whole range.
+        let n = pseudo(30, 11);
+        let r = Reciprocal::with_capacity(&n, 120).unwrap();
+        for (xl, seed) in [(31, 1), (60, 2), (90, 3), (120, 4)] {
+            let x = pseudo(xl, seed);
+            assert_eq!(x.barrett_rem(&n, &r).unwrap(), x.div_rem(&n).1, "xl={xl}");
+        }
+    }
+
+    #[test]
+    fn zero_modulus_is_typed_error() {
+        assert_eq!(
+            Reciprocal::new(&Natural::zero()).unwrap_err(),
+            RecipError::ZeroModulus
+        );
+        let n = pseudo(4, 1);
+        let r = Reciprocal::new(&n).unwrap();
+        assert_eq!(
+            Natural::one()
+                .barrett_rem(&Natural::zero(), &r)
+                .unwrap_err(),
+            RecipError::ZeroModulus
+        );
+    }
+
+    #[test]
+    fn modulus_mismatch_is_typed_error() {
+        let n = pseudo(6, 1);
+        let other = pseudo(6, 2);
+        let r = Reciprocal::new(&n).unwrap();
+        let err = pseudo(12, 3).barrett_rem(&other, &r).unwrap_err();
+        match err {
+            RecipError::ModulusMismatch { .. } => {}
+            e => panic!("expected ModulusMismatch, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrip_and_validation() {
+        let n = pseudo(12, 5);
+        let r = Reciprocal::new(&n).unwrap();
+        let back = Reciprocal::from_parts(r.mu().clone(), r.cap_limbs(), &n).unwrap();
+        assert_eq!(back, r);
+        let x = pseudo(24, 6);
+        assert_eq!(x.barrett_rem(&n, &back).unwrap(), x.div_rem(&n).1);
+
+        // Undersized capacity and wrong-magnitude mu are rejected.
+        assert!(matches!(
+            Reciprocal::from_parts(r.mu().clone(), 11, &n),
+            Err(RecipError::MalformedParts { .. })
+        ));
+        assert!(matches!(
+            Reciprocal::from_parts(Natural::one(), r.cap_limbs(), &n),
+            Err(RecipError::MalformedParts { .. })
+        ));
+        assert!(matches!(
+            Reciprocal::from_parts(r.mu().clone(), r.cap_limbs(), &Natural::zero()),
+            Err(RecipError::ZeroModulus)
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RecipError::ZeroModulus.to_string().contains("zero"));
+        let e = RecipError::ModulusMismatch {
+            expected_bits: 100,
+            found_bits: 99,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = RecipError::MalformedParts { detail: "x" };
+        assert!(e.to_string().contains("malformed"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based equivalence of Barrett reduction against plain division.
+//!
+//! `x.barrett_rem(n, recip)` must agree with `x.div_rem(n).1` for every
+//! `(x, n)` and every reciprocal capacity — single-step or chunk-folded,
+//! exact or deliberately undersized `mu` never changes the value, only the
+//! correction count. Includes the Knuth-division add-back shape as a
+//! pinned regression: moduli of the form `2^a - 2^b` drive the schoolbook
+//! quotient-digit estimate to its maximum overshoot.
+
+use proptest::prelude::*;
+use wk_bigint::{Natural, Reciprocal};
+
+/// Strategy: an arbitrary Natural up to `max_limbs` limbs, biased toward
+/// carry-heavy shapes (all-ones limbs, single bits).
+fn natural(max_limbs: usize) -> impl Strategy<Value = Natural> {
+    prop_oneof![
+        8 => proptest::collection::vec(any::<u64>(), 0..=max_limbs)
+            .prop_map(Natural::from_limbs),
+        2 => proptest::collection::vec(
+            prop_oneof![Just(0u64), Just(u64::MAX), Just(1u64)], 0..=max_limbs)
+            .prop_map(Natural::from_limbs),
+        1 => (0u64..(64 * max_limbs as u64)).prop_map(|b| {
+            let mut n = Natural::zero();
+            n.set_bit(b, true);
+            n
+        }),
+    ]
+}
+
+fn nonzero_natural(max_limbs: usize) -> impl Strategy<Value = Natural> {
+    natural(max_limbs).prop_map(|n| if n.is_zero() { Natural::one() } else { n })
+}
+
+/// `2^a - 2^b` (`a > b`): long runs of set limbs that force quotient-digit
+/// overshoot in schoolbook division and maximal correction pressure in
+/// Barrett reduction.
+fn pow2_minus_pow2(a: u64, b: u64) -> Natural {
+    let mut hi = Natural::zero();
+    hi.set_bit(a, true);
+    let mut lo = Natural::zero();
+    lo.set_bit(b, true);
+    &hi - &lo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Default-capacity reciprocal: one-step path for values below
+    /// `beta^2m`, fold path above.
+    #[test]
+    fn barrett_matches_div_rem(x in natural(40), n in nonzero_natural(12)) {
+        let recip = Reciprocal::new(&n).unwrap();
+        let got = x.barrett_rem(&n, &recip).unwrap();
+        prop_assert_eq!(got, x.div_rem(&n).1);
+    }
+
+    /// Capacity sweep: undersized caps force chunk folding, oversized caps
+    /// raise `mu` precision — the remainder must not move.
+    #[test]
+    fn barrett_matches_div_rem_across_capacities(
+        x in natural(24),
+        n in nonzero_natural(8),
+        cap in 1usize..40,
+    ) {
+        let recip = Reciprocal::with_capacity(&n, cap).unwrap();
+        let got = x.barrett_rem(&n, &recip).unwrap();
+        prop_assert_eq!(got, x.div_rem(&n).1);
+    }
+
+    /// Sparse power-of-two-difference moduli (the add-back family) against
+    /// dense dividends.
+    #[test]
+    fn barrett_matches_div_rem_on_addback_family(
+        x in natural(20),
+        a in 2u64..512,
+        b_off in 1u64..511,
+    ) {
+        let b = b_off.min(a - 1);
+        let n = pow2_minus_pow2(a, a - b);
+        let recip = Reciprocal::new(&n).unwrap();
+        let got = x.barrett_rem(&n, &recip).unwrap();
+        prop_assert_eq!(got, x.div_rem(&n).1);
+    }
+}
+
+/// The classic Knuth add-back witness: `a = 2^512 - 1` against
+/// `b = 2^192 - 2^64`. The all-ones dividend over the
+/// `[0xFFFF.., 0xFFFF.., 0][..]`-shaped divisor maximizes the trial-digit
+/// overshoot that the add-back branch corrects.
+#[test]
+fn knuth_addback_shape_is_exact() {
+    let mut pow512 = Natural::zero();
+    pow512.set_bit(512, true);
+    let a = &pow512 - &Natural::one(); // 2^512 - 1
+    let b = pow2_minus_pow2(192, 64);
+    let (q, r) = a.div_rem(&b);
+    // Division identity, checked independently of Barrett.
+    assert_eq!(&(&(&q * &b) + &r), &a);
+    assert!(r < b);
+
+    let recip = Reciprocal::new(&b).unwrap();
+    assert_eq!(a.barrett_rem(&b, &recip).unwrap(), r);
+
+    // The same pair through every interesting capacity, including ones
+    // that force multi-chunk folds of the 8-limb dividend.
+    for cap in [1usize, 3, 4, 5, 6, 8, 11, 16, 40] {
+        let recip = Reciprocal::with_capacity(&b, cap).unwrap();
+        assert_eq!(
+            a.barrett_rem(&b, &recip).unwrap(),
+            r,
+            "capacity {cap} changed the remainder"
+        );
+    }
+}
