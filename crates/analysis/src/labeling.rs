@@ -113,6 +113,27 @@ pub fn label_dataset_with_cliques(
     }
 }
 
+/// Dataset-free vendor attribution over a live corpus.
+///
+/// The long-running audit daemon (`wk-service`) has no [`StudyDataset`] —
+/// only per-modulus subject-derived labels accumulated from the feed and the
+/// factorizations from each incremental batch-GCD pass. This helper applies
+/// the same §3.3 extrapolation step as [`label_dataset`]: moduli sharing a
+/// pool prime with a subject-labeled modulus inherit its vendor. Returns the
+/// merged per-modulus labeling (subject labels win where both exist) and any
+/// cross-vendor overlaps the extrapolation surfaced.
+pub fn attribute_moduli(
+    factored: &[FactoredModulus],
+    subject_labels: &HashMap<ModulusId, VendorId>,
+) -> (HashMap<ModulusId, VendorId>, Vec<VendorOverlap>) {
+    let result = extrapolate(factored, subject_labels);
+    let mut merged = subject_labels.clone();
+    for (mid, vendor) in &result.extrapolated {
+        merged.entry(*mid).or_insert(*vendor);
+    }
+    (merged, result.overlaps)
+}
+
 #[cfg(test)]
 mod tests {
     // Labeling is exercised end-to-end (simulated study -> batch GCD ->

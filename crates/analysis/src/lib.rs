@@ -29,7 +29,7 @@ pub use events::{
     eol_impact, heartbleed_impact, source_artifacts, EolImpact, HeartbleedImpact, SourceArtifact,
 };
 pub use exposure::{passive_exposure, ExposureReport};
-pub use labeling::{label_dataset, Labeling};
+pub use labeling::{attribute_moduli, label_dataset, Labeling};
 pub use tables::{
     dataset_totals, first_last_scan_summary, openssl_table, protocol_table, DatasetTotals,
     ProtocolRow, ScanSummary,

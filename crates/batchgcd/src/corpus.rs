@@ -68,6 +68,19 @@ fn shard_file_name(index: u32) -> String {
     format!("shard-{index:06}.wks")
 }
 
+/// Fsync a directory, making previously renamed/created entries durable.
+///
+/// `File::sync_all` on a freshly written file persists its *contents*, but
+/// the directory entry created by the `rename` that published it lives in
+/// the directory's own metadata — on a power loss the file can simply not
+/// be there after reboot unless the directory is fsynced too. Every
+/// tmp-write/rename commit in this workspace (shard files, tree-cache
+/// sections, the service watermark) follows the rename with a call to this
+/// function; DESIGN.md §8.2 states the resulting guarantee.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, reflected). No external dependency is available, so
 // the table is generated at compile time.
@@ -489,6 +502,23 @@ impl ShardStore {
         &self.shards
     }
 
+    /// The corpus state tag: a CRC-32 (zero-extended to `u64`) over every
+    /// shard's payload CRC followed by the total modulus count. This is the
+    /// same binding value a [`TreeCache`](crate::incremental::TreeCache)
+    /// embeds in its section files ([`TreeCache::state_tag`]), so a
+    /// provenance record carrying both tags proves which corpus state an
+    /// answer was computed from.
+    ///
+    /// [`TreeCache::state_tag`]: crate::incremental::TreeCache::state_tag
+    pub fn state_tag(&self) -> u64 {
+        let mut crc = Crc32::new();
+        for meta in &self.shards {
+            crc.update(&meta.crc.to_le_bytes());
+        }
+        crc.update(&self.total_moduli().to_le_bytes());
+        u64::from(crc.finish())
+    }
+
     /// Path of shard `index` (whether or not it exists).
     pub fn shard_path(&self, index: u32) -> PathBuf {
         self.dir.join(shard_file_name(index))
@@ -513,12 +543,13 @@ impl ShardStore {
     /// explicit destructor: dropping a store leaves its files in place.
     pub fn remove(self) -> io::Result<()> {
         for meta in &self.shards {
-            let path = self.dir.join(shard_file_name(meta.index));
-            match fs::remove_file(&path) {
+            let name = shard_file_name(meta.index);
+            match fs::remove_file(self.dir.join(&name)) {
                 Ok(()) => {}
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
                 Err(e) => return Err(e),
             }
+            let _ = fs::remove_file(self.dir.join(format!("{name}.tmp")));
         }
         let _ = fs::remove_dir(&self.dir);
         Ok(())
@@ -558,12 +589,22 @@ where
             payload_len: payload.len() as u64,
             crc: crc32(payload),
         };
+        // Tmp-write, rename, then fsync the directory: a crash at any point
+        // leaves either no `shard-NNNNNN.wks` entry or a complete durable
+        // one — `ShardStore::open` ignores `.tmp` leftovers by name, so a
+        // torn write can never be mistaken for a shard.
         let path = dir.join(shard_file_name(index));
+        let tmp = dir.join(format!("{}.tmp", shard_file_name(index)));
+        guard.track(tmp.clone());
         guard.track(path.clone());
-        let mut file = File::create(&path)?;
-        file.write_all(&meta.to_header_bytes())?;
-        file.write_all(payload)?;
-        file.sync_all()?;
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&meta.to_header_bytes())?;
+            file.write_all(payload)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        fsync_dir(dir)?;
         shards.push(meta);
         payload.clear();
         *pending = 0;

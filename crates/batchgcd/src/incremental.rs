@@ -215,9 +215,12 @@ impl DeltaMetrics {
 // ---------------------------------------------------------------------------
 
 /// Write one section file atomically: header + payload to `<name>.tmp`,
-/// fsync, rename over `<name>`. A crash mid-update leaves the previous
-/// section in place; mixed old/new sections are caught by the per-section
-/// state tag at open time.
+/// fsync, rename over `<name>`, fsync the directory (the rename itself is
+/// a directory-metadata update — without the final
+/// [`fsync_dir`](crate::corpus::fsync_dir), a power loss can revert a
+/// "committed" section to its previous bytes, or to nothing). A crash
+/// mid-update leaves the previous section in place; mixed old/new sections
+/// are caught by the per-section state tag at open time.
 fn write_section(
     dir: &Path,
     name: &str,
@@ -239,7 +242,8 @@ fn write_section(
         file.write_all(payload)?;
         file.sync_all()?;
     }
-    fs::rename(&tmp, dir.join(name))
+    fs::rename(&tmp, dir.join(name))?;
+    crate::corpus::fsync_dir(dir)
 }
 
 fn corrupt(path: &Path, detail: impl Into<String>) -> IncrementalError {
@@ -674,8 +678,11 @@ impl TreeCache {
     }
 
     /// The tag binding every section to one corpus state: a CRC over the
-    /// source shards' payload CRCs plus the total modulus count.
-    fn state_tag(&self) -> u64 {
+    /// source shards' payload CRCs plus the total modulus count. Equals
+    /// [`ShardStore::state_tag`] of the store the cache was computed from —
+    /// provenance records bind an answer to a (corpus, cache) pair by
+    /// carrying both values.
+    pub fn state_tag(&self) -> u64 {
         let mut crc = Crc32::new();
         for c in &self.source_crcs {
             crc.update(&c.to_le_bytes());

@@ -69,7 +69,7 @@ pub mod tree;
 
 pub use classic::{batch_gcd, BatchGcdResult, BatchStats};
 pub use corpus::{
-    sharded_batch_gcd, CorpusError, ShardMeta, ShardMetrics, ShardReader, ShardStore,
+    fsync_dir, sharded_batch_gcd, CorpusError, ShardMeta, ShardMetrics, ShardReader, ShardStore,
 };
 pub use distributed::{
     distributed_batch_gcd, distributed_batch_gcd_sharded, ClusterConfig, ClusterReport,

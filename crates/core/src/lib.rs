@@ -46,6 +46,8 @@ pub mod pipeline;
 pub use disclosure::{
     render_table2, table2, NotifiedVendor, RSA_NOTIFIED_2012, TLS_AFFECTED, TOTAL_NOTIFIED_2012,
 };
-pub use pipeline::{analyze_dataset, run_pipeline, BatchMode, StudyResults};
+pub use pipeline::{
+    analyze_dataset, partition_statuses, run_pipeline, BatchMode, StatusPartition, StudyResults,
+};
 pub use wk_batchgcd::ClusterConfig;
 pub use wk_scan::StudyConfig;

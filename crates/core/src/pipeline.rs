@@ -91,6 +91,64 @@ impl StudyResults {
     }
 }
 
+/// Batch-GCD hits partitioned into the paper's §3.3.5 categories: genuine
+/// shared-prime factorizations vs. smooth-divisor bit-error artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct StatusPartition {
+    /// Moduli with genuinely shared primes (bit-error hits excluded).
+    pub vulnerable: HashSet<ModulusId>,
+    /// Full factorizations for the vulnerable moduli.
+    pub factored: Vec<FactoredModulus>,
+    /// Hits whose divisors were smooth — corruption artifacts set aside,
+    /// not counted as vulnerable.
+    pub bit_error_hits: Vec<ModulusId>,
+}
+
+/// Partition raw batch-GCD output into vulnerable / factored / bit-error
+/// sets.
+///
+/// `raw` and `statuses` are the parallel per-modulus outputs of any
+/// batch-GCD mode (`raw_divisors` and `statuses`); index `i` corresponds to
+/// `ModulusId(i)`. This is the status partition `analyze_dataset` applies,
+/// exposed so long-running consumers (the `wk-service` audit daemon) can
+/// classify each month's incremental result with the same rules.
+pub fn partition_statuses(
+    raw: &[Option<wk_bigint::Natural>],
+    statuses: &[KeyStatus],
+) -> StatusPartition {
+    let mut partition = StatusPartition::default();
+    for (idx, status) in statuses.iter().enumerate() {
+        let id = ModulusId(idx as u32);
+        match status {
+            KeyStatus::NotVulnerable => {}
+            KeyStatus::Factored { p, q } => {
+                let divisor_kind = raw
+                    .get(idx)
+                    .and_then(|d| d.as_ref())
+                    .map(classify_divisor)
+                    .unwrap_or(DivisorKind::SharedPrime);
+                // A genuine shared-prime hit always has a (large-)prime
+                // divisor; smooth or mixed divisors are corruption
+                // artifacts and are set aside (§3.3.5).
+                if divisor_kind == DivisorKind::SharedPrime {
+                    partition.vulnerable.insert(id);
+                    partition.factored.push(FactoredModulus {
+                        id,
+                        p: p.clone(),
+                        q: q.clone(),
+                    });
+                } else {
+                    partition.bit_error_hits.push(id);
+                }
+            }
+            KeyStatus::SharedUnresolved => {
+                partition.vulnerable.insert(id);
+            }
+        }
+    }
+    partition
+}
+
 /// Run the complete pipeline.
 pub fn run_pipeline(study: &StudyConfig, mode: BatchMode) -> StudyResults {
     let dataset = run_study(study);
@@ -155,37 +213,11 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
 
     // Partition hits: genuine shared-prime factorizations vs. smooth
     // divisors (bit errors).
-    let mut vulnerable = HashSet::new();
-    let mut factored = Vec::new();
-    let mut bit_error_hits = Vec::new();
-    for (idx, status) in statuses.iter().enumerate() {
-        let id = ModulusId(idx as u32);
-        match status {
-            KeyStatus::NotVulnerable => {}
-            KeyStatus::Factored { p, q } => {
-                let divisor_kind = raw[idx]
-                    .as_ref()
-                    .map(classify_divisor)
-                    .unwrap_or(DivisorKind::SharedPrime);
-                // A genuine shared-prime hit always has a (large-)prime
-                // divisor; smooth or mixed divisors are corruption
-                // artifacts and are set aside (§3.3.5).
-                if divisor_kind == DivisorKind::SharedPrime {
-                    vulnerable.insert(id);
-                    factored.push(FactoredModulus {
-                        id,
-                        p: p.clone(),
-                        q: q.clone(),
-                    });
-                } else {
-                    bit_error_hits.push(id);
-                }
-            }
-            KeyStatus::SharedUnresolved => {
-                vulnerable.insert(id);
-            }
-        }
-    }
+    let StatusPartition {
+        vulnerable,
+        factored,
+        bit_error_hits,
+    } = partition_statuses(&raw, &statuses);
 
     // MITM detection over all HTTPS observations.
     let mut observations = Vec::new();

@@ -146,7 +146,18 @@ mod tests {
     #[test]
     fn unwrap_outside_scoped_crates_is_fine() {
         let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
-        assert!(check_source("crates/scan/src/x.rs", "scan", src).is_empty());
+        assert!(check_source("crates/analysis/src/x.rs", "analysis", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_scan_and_service_libs_is_flagged() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        for crate_name in ["scan", "service"] {
+            let path = format!("crates/{crate_name}/src/x.rs");
+            let d = check_source(&path, crate_name, src);
+            assert_eq!(d.len(), 1, "{crate_name} is in the no-panic scope");
+            assert_eq!(d[0].rule, rules::NO_PANIC);
+        }
     }
 
     #[test]

@@ -43,9 +43,13 @@ impl UniversalFix {
     pub fn apply(&self, curve: &Curve) -> Curve {
         let (_, stock_at_fix) = curve.at(self.from);
         // Resample on a monthly grid covering the original anchor span so
-        // the exponential decay is represented piecewise-linearly.
-        let first = curve.anchors().first().unwrap().month;
-        let last = curve.anchors().last().unwrap().month;
+        // the exponential decay is represented piecewise-linearly. An empty
+        // anchor list is impossible per the Curve constructor invariant; pass
+        // the curve through unchanged rather than panicking in library code.
+        let (Some(first), Some(last)) = (curve.anchors().first(), curve.anchors().last()) else {
+            return curve.clone();
+        };
+        let (first, last) = (first.month, last.month);
         let mut anchors = Vec::new();
         for month in first.through(last) {
             let (total, vulnerable) = curve.at(month);

@@ -35,7 +35,8 @@ impl Curve {
     pub fn new(anchors: Vec<Anchor>) -> Curve {
         assert!(!anchors.is_empty(), "curve needs at least one anchor");
         for w in anchors.windows(2) {
-            assert!(w[0].month < w[1].month, "anchors must be increasing");
+            let [a, b] = w else { continue };
+            assert!(a.month < b.month, "anchors must be increasing");
         }
         for a in &anchors {
             assert!(
@@ -64,27 +65,35 @@ impl Curve {
 
     /// Interpolated `(total, vulnerable)` at `month`, clamped to the first/
     /// last anchor outside the anchored range.
+    ///
+    /// This method never panics: [`Curve::new`] guarantees a non-empty,
+    /// strictly increasing anchor list, and out-of-range months clamp to the
+    /// nearest anchor (the documented behavior, not an error).
     pub fn at(&self, month: MonthDate) -> (f64, f64) {
-        let first = self.anchors.first().unwrap();
+        let (Some(first), Some(last)) = (self.anchors.first(), self.anchors.last()) else {
+            // Unreachable given the constructor invariant; clamp to zero
+            // rather than panicking in library code.
+            return (0.0, 0.0);
+        };
         if month <= first.month {
             return (first.total, first.vulnerable);
         }
-        let last = self.anchors.last().unwrap();
         if month >= last.month {
             return (last.total, last.vulnerable);
         }
-        let hi = self
-            .anchors
-            .iter()
-            .position(|a| a.month > month)
-            .expect("month inside anchored range");
-        let (a, b) = (&self.anchors[hi - 1], &self.anchors[hi]);
-        let span = b.month.months_since(a.month) as f64;
-        let t = month.months_since(a.month) as f64 / span;
-        (
-            a.total + (b.total - a.total) * t,
-            a.vulnerable + (b.vulnerable - a.vulnerable) * t,
-        )
+        for w in self.anchors.windows(2) {
+            let [a, b] = w else { continue };
+            if month < b.month {
+                let span = b.month.months_since(a.month) as f64;
+                let t = month.months_since(a.month) as f64 / span;
+                return (
+                    a.total + (b.total - a.total) * t,
+                    a.vulnerable + (b.vulnerable - a.vulnerable) * t,
+                );
+            }
+        }
+        // `month < last.month` guarantees the loop returned; clamp anyway.
+        (last.total, last.vulnerable)
     }
 
     /// Scaled integer targets at `month`.

@@ -367,44 +367,46 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     for _ in 0..count {
         let (n, l) = next("certificate")?;
         let fields: Vec<&str> = l.split('|').collect();
-        if fields.len() != 15 {
+        let [f_serial, s_cn, s_o, s_ou, s_c, i_cn, i_o, i_ou, i_c, f_sans, f_modulus, f_not_before, f_validity, f_ca, f_trusted] =
+            fields.as_slice()
+        else {
             return err(n, format!("expected 15 cert fields, got {}", fields.len()));
-        }
-        let serial: u64 = fields[0].parse().map_err(|_| SnapshotError {
+        };
+        let serial: u64 = f_serial.parse().map_err(|_| SnapshotError {
             line: n,
             message: "bad serial".into(),
         })?;
         let subject = DistinguishedName {
-            common_name: parse_opt(fields[1], n)?,
-            organization: parse_opt(fields[2], n)?,
-            organizational_unit: parse_opt(fields[3], n)?,
-            country: parse_opt(fields[4], n)?,
+            common_name: parse_opt(s_cn, n)?,
+            organization: parse_opt(s_o, n)?,
+            organizational_unit: parse_opt(s_ou, n)?,
+            country: parse_opt(s_c, n)?,
         };
         let issuer = DistinguishedName {
-            common_name: parse_opt(fields[5], n)?,
-            organization: parse_opt(fields[6], n)?,
-            organizational_unit: parse_opt(fields[7], n)?,
-            country: parse_opt(fields[8], n)?,
+            common_name: parse_opt(i_cn, n)?,
+            organization: parse_opt(i_o, n)?,
+            organizational_unit: parse_opt(i_ou, n)?,
+            country: parse_opt(i_c, n)?,
         };
-        let sans: Vec<String> = if fields[9].is_empty() {
+        let sans: Vec<String> = if f_sans.is_empty() {
             Vec::new()
         } else {
-            fields[9]
+            f_sans
                 .split(',')
                 .map(|s| unescape(s, n))
                 .collect::<Result<_, _>>()?
         };
-        let modulus = Natural::from_hex(fields[10]).map_err(|e| SnapshotError {
+        let modulus = Natural::from_hex(f_modulus).map_err(|e| SnapshotError {
             line: n,
             message: format!("bad cert modulus: {e}"),
         })?;
-        let not_before = parse_date(fields[11], n)?;
-        let validity_months: u32 = fields[12].parse().map_err(|_| SnapshotError {
+        let not_before = parse_date(f_not_before, n)?;
+        let validity_months: u32 = f_validity.parse().map_err(|_| SnapshotError {
             line: n,
             message: "bad validity".into(),
         })?;
-        let is_ca = fields[13] == "1";
-        let browser_trusted = fields[14] == "1";
+        let is_ca = *f_ca == "1";
+        let browser_trusted = *f_trusted == "1";
         let mut cert = Certificate::self_signed(serial, subject, sans, modulus, not_before);
         cert.issuer = issuer;
         cert.validity_months = validity_months;
@@ -429,13 +431,13 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     for _ in 0..scan_count {
         let (n, l) = next("SCAN header")?;
         let parts: Vec<&str> = l.split(' ').collect();
-        if parts.len() != 5 || parts[0] != "SCAN" {
+        let ["SCAN", p_date, p_source, p_protocol, p_nrec] = parts.as_slice() else {
             return err(n, format!("expected SCAN header, got {l:?}"));
-        }
-        let date = parse_date(parts[1], n)?;
-        let source = parse_source(parts[2], n)?;
-        let protocol = parse_protocol(parts[3], n)?;
-        let nrec: usize = parts[4].parse().map_err(|_| SnapshotError {
+        };
+        let date = parse_date(p_date, n)?;
+        let source = parse_source(p_source, n)?;
+        let protocol = parse_protocol(p_protocol, n)?;
+        let nrec: usize = p_nrec.parse().map_err(|_| SnapshotError {
             line: n,
             message: "bad record count".into(),
         })?;
@@ -443,17 +445,17 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
         for _ in 0..nrec {
             let (n, l) = next("record")?;
             let parts: Vec<&str> = l.split(' ').collect();
-            if parts.len() != 4 {
+            let [p_ip, p_certs, p_modulus, p_kex] = parts.as_slice() else {
                 return err(n, format!("expected record, got {l:?}"));
-            }
-            let ip: u32 = parts[0].parse().map_err(|_| SnapshotError {
+            };
+            let ip: u32 = p_ip.parse().map_err(|_| SnapshotError {
                 line: n,
                 message: "bad ip".into(),
             })?;
-            let certs_field: Vec<CertId> = if parts[1] == "-" {
+            let certs_field: Vec<CertId> = if *p_certs == "-" {
                 Vec::new()
             } else {
-                parts[1]
+                p_certs
                     .split(',')
                     .map(|c| {
                         c.parse::<u32>().map(CertId).map_err(|_| SnapshotError {
@@ -468,7 +470,7 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
                     return err(n, format!("cert id {} out of range", c.0));
                 }
             }
-            let modulus: u32 = parts[2].parse().map_err(|_| SnapshotError {
+            let modulus: u32 = p_modulus.parse().map_err(|_| SnapshotError {
                 line: n,
                 message: "bad modulus id".into(),
             })?;
@@ -479,7 +481,7 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
                 ip,
                 certs: certs_field,
                 modulus: ModulusId(modulus),
-                rsa_kex_only: parts[3] == "1",
+                rsa_kex_only: *p_kex == "1",
             });
         }
         scans.push(Scan {
@@ -503,25 +505,25 @@ pub fn load(text: &str) -> Result<StudyDataset, SnapshotError> {
     for _ in 0..count {
         let (n, l) = next("truth")?;
         let fields: Vec<&str> = l.split('|').collect();
-        if fields.len() != 5 {
+        let [f_id, f_vendor, f_weak, f_corrupted, f_mitm] = fields.as_slice() else {
             return err(n, "expected 5 truth fields");
-        }
-        let id: u32 = fields[0].parse().map_err(|_| SnapshotError {
+        };
+        let id: u32 = f_id.parse().map_err(|_| SnapshotError {
             line: n,
             message: "bad truth id".into(),
         })?;
-        let vendor = if fields[1] == "-" {
+        let vendor = if *f_vendor == "-" {
             None
         } else {
-            Some(parse_vendor(fields[1], n)?)
+            Some(parse_vendor(f_vendor, n)?)
         };
         truth.moduli.insert(
             ModulusId(id),
             ModulusTruth {
                 vendor,
-                weak: fields[2] == "1",
-                corrupted: fields[3] == "1",
-                mitm: fields[4] == "1",
+                weak: *f_weak == "1",
+                corrupted: *f_corrupted == "1",
+                mitm: *f_mitm == "1",
             },
         );
     }

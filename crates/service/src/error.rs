@@ -1,0 +1,100 @@
+//! Typed errors for the audit daemon.
+//!
+//! A long-running service cannot afford library panics (the wk-lint
+//! no-panic-in-lib rule covers this crate), so every failure the feed or
+//! persistence layer can produce surfaces here as a variant.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use wk_batchgcd::{CorpusError, IncrementalError};
+use wk_cert::MonthDate;
+
+/// Everything that can go wrong inside the audit daemon.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Filesystem failure outside the shard store / tree cache layers.
+    Io(io::Error),
+    /// Shard-store failure (open, append, read).
+    Corpus(CorpusError),
+    /// Tree-cache failure (open, build, delta run).
+    Incremental(IncrementalError),
+    /// `run_metadata.json` or `labels.tsv` exists but cannot be parsed.
+    Metadata {
+        /// The unreadable file.
+        path: PathBuf,
+        /// What failed.
+        message: String,
+    },
+    /// On-disk state that no crash window can produce — e.g. the committed
+    /// watermark claims more moduli than the shard store holds, or the
+    /// watermark count does not land on a shard boundary.
+    CorruptState {
+        /// What invariant is violated.
+        message: String,
+    },
+    /// A `MonthClose` event arrived out of order.
+    MonthMismatch {
+        /// The month the daemon expected to close next.
+        expected: MonthDate,
+        /// The month the event carried.
+        got: MonthDate,
+    },
+    /// A feed observation carried a zero modulus, which batch GCD rejects.
+    InvalidModulus,
+    /// The feed channel disconnected before a `Shutdown` event.
+    FeedClosed,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
+            ServiceError::Corpus(e) => write!(f, "shard store error: {e}"),
+            ServiceError::Incremental(e) => write!(f, "tree cache error: {e}"),
+            ServiceError::Metadata { path, message } => {
+                write!(f, "bad metadata file {}: {message}", path.display())
+            }
+            ServiceError::CorruptState { message } => {
+                write!(f, "unrecoverable on-disk state: {message}")
+            }
+            ServiceError::MonthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "month-close out of order: expected {expected}, got {got}"
+                )
+            }
+            ServiceError::InvalidModulus => write!(f, "feed observation carried a zero modulus"),
+            ServiceError::FeedClosed => write!(f, "feed channel closed before shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Corpus(e) => Some(e),
+            ServiceError::Incremental(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<CorpusError> for ServiceError {
+    fn from(e: CorpusError) -> Self {
+        ServiceError::Corpus(e)
+    }
+}
+
+impl From<IncrementalError> for ServiceError {
+    fn from(e: IncrementalError) -> Self {
+        ServiceError::Incremental(e)
+    }
+}

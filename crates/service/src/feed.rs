@@ -1,0 +1,275 @@
+//! The live scan feed: bounded channel, events, and a simulated producer.
+//!
+//! The daemon consumes [`FeedEvent`]s from a [`FeedReceiver`]; producers
+//! push through the matching [`FeedSender`]. The channel is *bounded*
+//! ([`feed_channel`] wraps [`std::sync::mpsc::sync_channel`]), so a
+//! producer that outruns the daemon blocks instead of growing an unbounded
+//! queue — the backpressure policy of DESIGN.md §10. The sender counts the
+//! sends that hit a full channel, making backpressure observable.
+//!
+//! [`SimulatedFeed`] generates a deterministic multi-month workload from
+//! the same entropy-failure key generators the study simulator uses: a
+//! shared-prime device line (whose keys batch GCD will factor) mixed with
+//! healthy hosts, some repeat observations, and subject-derived vendor
+//! labels on a subset of the flawed hosts so prime-pool extrapolation has
+//! anchors to spread from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use wk_bigint::Natural;
+use wk_cert::MonthDate;
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
+use wk_scan::VendorId;
+
+use crate::error::ServiceError;
+
+/// One host sighting pushed by the live feed.
+#[derive(Clone, Debug)]
+pub struct HostObservation {
+    /// Host address (opaque to the daemon; provenance only).
+    pub ip: u32,
+    /// The RSA modulus the host served.
+    pub modulus: Natural,
+    /// Vendor named by the certificate subject, where it carried a marker.
+    pub vendor: Option<VendorId>,
+}
+
+/// Events flowing from the scan feed into the daemon.
+#[derive(Clone, Debug)]
+pub enum FeedEvent {
+    /// A host sighting within the current month.
+    Host(HostObservation),
+    /// The named month is complete: export the delta, run the incremental
+    /// batch-GCD pass, refresh the query index, commit the watermark.
+    MonthClose(MonthDate),
+    /// Drain and stop.
+    Shutdown,
+}
+
+/// Producer half of the bounded feed channel.
+#[derive(Clone)]
+pub struct FeedSender {
+    tx: SyncSender<FeedEvent>,
+    backpressure_hits: Arc<AtomicU64>,
+}
+
+impl FeedSender {
+    /// Push an event, blocking while the channel is full.
+    ///
+    /// # Errors
+    /// [`ServiceError::FeedClosed`] if the daemon hung up.
+    pub fn send(&self, event: FeedEvent) -> Result<(), ServiceError> {
+        // try_send first so a full channel is counted before blocking.
+        match self.tx.try_send(event) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::FeedClosed),
+            Err(TrySendError::Full(event)) => {
+                self.backpressure_hits.fetch_add(1, Ordering::Relaxed);
+                self.tx.send(event).map_err(|_| ServiceError::FeedClosed)
+            }
+        }
+    }
+
+    /// How many sends found the channel full and had to block.
+    pub fn backpressure_hits(&self) -> u64 {
+        self.backpressure_hits.load(Ordering::Relaxed)
+    }
+}
+
+/// Consumer half of the bounded feed channel.
+pub struct FeedReceiver {
+    rx: Receiver<FeedEvent>,
+}
+
+impl FeedReceiver {
+    /// Next event; `None` once every sender has hung up.
+    pub fn recv(&self) -> Option<FeedEvent> {
+        self.rx.recv().ok()
+    }
+}
+
+/// A bounded feed channel holding at most `bound` in-flight events.
+pub fn feed_channel(bound: usize) -> (FeedSender, FeedReceiver) {
+    let (tx, rx) = sync_channel(bound);
+    (
+        FeedSender {
+            tx,
+            backpressure_hits: Arc::new(AtomicU64::new(0)),
+        },
+        FeedReceiver { rx },
+    )
+}
+
+/// Configuration for the simulated live feed.
+#[derive(Clone, Copy, Debug)]
+pub struct FeedConfig {
+    /// First month the feed covers.
+    pub start_month: MonthDate,
+    /// How many months to produce.
+    pub months: u32,
+    /// Entropy-starved (shared prime pool) hosts per month.
+    pub flawed_per_month: usize,
+    /// Healthy hosts per month.
+    pub healthy_per_month: usize,
+    /// RSA modulus size in bits.
+    pub bits: u64,
+    /// Shared prime pool size (smaller = more collisions).
+    pub pool_size: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl FeedConfig {
+    /// A small deterministic workload: three months, heavy prime sharing.
+    pub fn test_small() -> FeedConfig {
+        FeedConfig {
+            start_month: MonthDate::new(2012, 1),
+            months: 3,
+            flawed_per_month: 8,
+            healthy_per_month: 5,
+            bits: 512,
+            pool_size: 5,
+            seed: 2016,
+        }
+    }
+}
+
+/// Deterministic generator of a multi-month [`FeedEvent`] stream.
+pub struct SimulatedFeed {
+    config: FeedConfig,
+    flawed: ModelKeygen,
+    healthy: ModelKeygen,
+    next_ip: u32,
+    last_flawed: Option<Natural>,
+}
+
+impl SimulatedFeed {
+    /// Build the feed from a config.
+    pub fn new(config: FeedConfig) -> SimulatedFeed {
+        SimulatedFeed {
+            config,
+            flawed: ModelKeygen::new(
+                KeygenBehavior::SharedPrimePool {
+                    shaping: PrimeShaping::OpensslStyle,
+                    pool_size: config.pool_size,
+                },
+                config.bits,
+                config.seed,
+            ),
+            healthy: ModelKeygen::new(
+                KeygenBehavior::Healthy {
+                    shaping: PrimeShaping::OpensslStyle,
+                },
+                config.bits,
+                config.seed ^ 0x5eed,
+            ),
+            next_ip: 0x0a00_0001,
+            last_flawed: None,
+        }
+    }
+
+    fn ip(&mut self) -> u32 {
+        let ip = self.next_ip;
+        self.next_ip = self.next_ip.wrapping_add(1);
+        ip
+    }
+
+    /// Events for one month: host sightings followed by the month close.
+    pub fn month_events(&mut self, month: MonthDate) -> Vec<FeedEvent> {
+        let mut events = Vec::new();
+        for i in 0..self.config.flawed_per_month {
+            let n = self.flawed.generate().public.n;
+            // Subject markers on alternate flawed hosts only: the rest must
+            // be attributed by shared-prime extrapolation, as in §3.3.
+            let vendor = (i % 2 == 0).then_some(VendorId::Juniper);
+            events.push(FeedEvent::Host(HostObservation {
+                ip: self.ip(),
+                modulus: n.clone(),
+                vendor,
+            }));
+            self.last_flawed = Some(n);
+        }
+        // One repeat sighting per month: the same device observed at a new
+        // address — the store must deduplicate, not double-ingest.
+        if let Some(n) = self.last_flawed.clone() {
+            events.push(FeedEvent::Host(HostObservation {
+                ip: self.ip(),
+                modulus: n,
+                vendor: None,
+            }));
+        }
+        for _ in 0..self.config.healthy_per_month {
+            events.push(FeedEvent::Host(HostObservation {
+                ip: self.ip(),
+                modulus: self.healthy.generate().public.n,
+                vendor: None,
+            }));
+        }
+        events.push(FeedEvent::MonthClose(month));
+        events
+    }
+
+    /// The full event stream: every month's sightings and closes, then
+    /// [`FeedEvent::Shutdown`].
+    pub fn events(mut self) -> Vec<FeedEvent> {
+        let mut events = Vec::new();
+        let start = self.config.start_month;
+        for offset in 0..self.config.months {
+            events.extend(self.month_events(start.plus(offset)));
+        }
+        events.push(FeedEvent::Shutdown);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_is_deterministic_and_shaped() {
+        let a = SimulatedFeed::new(FeedConfig::test_small()).events();
+        let b = SimulatedFeed::new(FeedConfig::test_small()).events();
+        assert_eq!(a.len(), b.len());
+        let closes = a
+            .iter()
+            .filter(|e| matches!(e, FeedEvent::MonthClose(_)))
+            .count();
+        assert_eq!(closes, 3);
+        assert!(matches!(a.last(), Some(FeedEvent::Shutdown)));
+        // Determinism: same moduli in the same order.
+        for (x, y) in a.iter().zip(&b) {
+            if let (FeedEvent::Host(hx), FeedEvent::Host(hy)) = (x, y) {
+                assert_eq!(hx.modulus, hy.modulus);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = feed_channel(1);
+        tx.send(FeedEvent::Shutdown).unwrap();
+        // Channel full: a second send from another thread blocks until the
+        // consumer drains one slot.
+        let tx2 = tx.clone();
+        let producer = std::thread::spawn(move || tx2.send(FeedEvent::Shutdown));
+        while tx.backpressure_hits() == 0 {
+            std::thread::yield_now();
+        }
+        assert!(rx.recv().is_some());
+        producer.join().unwrap().unwrap();
+        assert!(rx.recv().is_some());
+        assert!(tx.backpressure_hits() >= 1);
+    }
+
+    #[test]
+    fn send_after_hangup_is_a_typed_error() {
+        let (tx, rx) = feed_channel(4);
+        drop(rx);
+        assert!(matches!(
+            tx.send(FeedEvent::Shutdown),
+            Err(ServiceError::FeedClosed)
+        ));
+    }
+}

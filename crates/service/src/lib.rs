@@ -1,0 +1,62 @@
+//! # wk-service — the live key-audit daemon
+//!
+//! The paper's measurement is a continuous workload: monthly scan
+//! snapshots feeding an ever-growing factorization corpus. This crate
+//! recasts the one-shot pipeline as a long-running service:
+//!
+//! * [`feed`] — a bounded, backpressured event channel
+//!   ([`feed_channel`]) plus a deterministic simulated scan feed
+//!   ([`SimulatedFeed`]) pushing host sightings and month-close events;
+//! * [`daemon`] — [`AuditDaemon`]: host sightings intern into a
+//!   [`wk_scan::ModulusStore`]; each [`FeedEvent::MonthClose`] exports the
+//!   month's delta to the persistent
+//!   [`ShardStore`](wk_batchgcd::ShardStore) and resolves it against the
+//!   cached corpus with
+//!   [`incremental_batch_gcd`](wk_batchgcd::incremental_batch_gcd), then
+//!   refreshes a hot query index and commits a durable watermark;
+//! * [`provenance`] — every query answer carries a [`Provenance`] record
+//!   binding it to the exact corpus state tag, cache state tag, and
+//!   ingestion watermark it was computed from (the same
+//!   `run_metadata.json` record committed on disk).
+//!
+//! The daemon crash-restarts cleanly from the on-disk shard store + tree
+//! cache, including mid-persist crashes: recovery rolls the corpus forward
+//! or back to a *committed* state — never a hybrid (protocol in
+//! DESIGN.md §10, durability guarantees in §8.2).
+//!
+//! ```no_run
+//! use wk_cert::MonthDate;
+//! use wk_service::{AuditConfig, AuditDaemon, FeedConfig, SimulatedFeed};
+//!
+//! let start = MonthDate::new(2012, 1);
+//! let mut daemon = AuditDaemon::open(AuditConfig::new("/tmp/wk-audit", start))?;
+//! let mut feed = SimulatedFeed::new(FeedConfig::test_small());
+//! for event in feed.month_events(start) {
+//!     match event {
+//!         wk_service::FeedEvent::Host(obs) => {
+//!             daemon.ingest(&obs)?;
+//!         }
+//!         wk_service::FeedEvent::MonthClose(month) => {
+//!             let report = daemon.close_month(month)?;
+//!             println!("{}: {} factorable", report.month, report.vulnerable);
+//!         }
+//!         wk_service::FeedEvent::Shutdown => break,
+//!     }
+//! }
+//! # Ok::<(), wk_service::ServiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod daemon;
+pub mod error;
+pub mod feed;
+pub mod provenance;
+
+pub use daemon::{AuditConfig, AuditDaemon, MonthReport, QueryAnswer, Recovery, ServeSummary};
+pub use error::ServiceError;
+pub use feed::{
+    feed_channel, FeedConfig, FeedEvent, FeedReceiver, FeedSender, HostObservation, SimulatedFeed,
+};
+pub use provenance::{Provenance, Watermark};

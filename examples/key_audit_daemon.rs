@@ -1,0 +1,115 @@
+//! The live key-audit daemon, end to end: a simulated scan feed pushes
+//! host sightings through a bounded channel into a long-running
+//! [`wk_service::AuditDaemon`]; each month close exports the delta to the
+//! persistent shard store, runs the incremental batch-GCD pass against the
+//! tree cache, and commits a durable watermark. Afterwards the example
+//! queries a factored modulus, prints its provenance record, restarts the
+//! daemon from disk, and shows the answer is stable across the restart.
+//!
+//! ```sh
+//! cargo run --release --example key_audit_daemon
+//! ```
+
+use wk_cert::MonthDate;
+use wk_service::{feed_channel, AuditConfig, AuditDaemon, FeedConfig, FeedEvent, SimulatedFeed};
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("key-audit-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let start = MonthDate::new(2012, 1);
+    let mut config = AuditConfig::new(&base, start);
+    config.shard_capacity = 4;
+    config.threads = 2;
+
+    let feed_config = FeedConfig {
+        months: 4,
+        ..FeedConfig::test_small()
+    };
+
+    // Producer thread: the simulated scan feed pushes through a tightly
+    // bounded channel, so it blocks whenever the daemon falls behind.
+    let (tx, rx) = feed_channel(8);
+    let backpressure = tx.clone();
+    let producer = std::thread::spawn(move || {
+        for event in SimulatedFeed::new(feed_config).events() {
+            tx.send(event).expect("daemon hung up");
+        }
+    });
+
+    let mut daemon = AuditDaemon::open(config.clone()).expect("initialise service dir");
+    let summary = daemon.run(&rx).expect("drain the feed");
+    producer.join().expect("producer thread");
+    println!(
+        "ingested {} host sightings across {} committed months ({} sends hit backpressure)",
+        summary.hosts_ingested,
+        summary.months_closed,
+        backpressure.backpressure_hits(),
+    );
+    let w = daemon.watermark();
+    println!(
+        "watermark: {} distinct moduli through {}, corpus tag {:#018x}, cache tag {:#018x}",
+        w.corpus_moduli,
+        w.last_month.map(|m| m.to_string()).unwrap_or_default(),
+        w.corpus_tag,
+        w.cache_tag,
+    );
+
+    // Query every modulus the (deterministic) feed served; show a factored
+    // one with its provenance record.
+    let moduli: Vec<_> = SimulatedFeed::new(feed_config)
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            FeedEvent::Host(obs) => Some(obs.modulus),
+            _ => None,
+        })
+        .collect();
+    let factored_total = moduli.iter().filter(|n| daemon.query(n).factored).count();
+    println!("factored {factored_total} of {} served keys", moduli.len());
+
+    let subject = moduli
+        .iter()
+        .find(|n| daemon.query(n).factored)
+        .expect("the shared prime pool guarantees factorable keys");
+    let answer = daemon.query(subject);
+    let (p, q) = answer
+        .factors
+        .clone()
+        .expect("factored answers carry factors");
+    assert_eq!(&(&p * &q), subject);
+    println!(
+        "query: modulus of {} bits -> FACTORED (p: {} bits, q: {} bits)",
+        subject.bit_len(),
+        p.bit_len(),
+        q.bit_len(),
+    );
+    println!(
+        "  vendor: {}, first seen {}, factored since {}",
+        answer.vendor.map(|v| v.name()).unwrap_or("unknown"),
+        answer.first_seen.map(|m| m.to_string()).unwrap_or_default(),
+        answer
+            .factored_since
+            .map(|m| m.to_string())
+            .unwrap_or_default(),
+    );
+    println!("  provenance: {}", answer.provenance.to_json());
+
+    // The provenance record binds the answer to the on-disk state tags.
+    daemon.verify_provenance().expect("state tags match disk");
+    println!("provenance verified against on-disk store + cache");
+
+    // Crash-restart: reopen from disk and show the answer is unchanged.
+    drop(daemon);
+    let daemon = AuditDaemon::open(config).expect("restart from disk");
+    let again = daemon.query(subject);
+    assert_eq!(again.factored, answer.factored);
+    assert_eq!(again.factors, answer.factors);
+    assert_eq!(again.provenance, answer.provenance);
+    println!(
+        "restart: {:?} recovery, answer and provenance stable",
+        daemon.recovery()
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}
