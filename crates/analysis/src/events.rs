@@ -63,12 +63,12 @@ impl EolImpact {
 pub fn eol_impact(series: &Series, announced: MonthDate) -> EolImpact {
     let mut before = Vec::new();
     let mut after = Vec::new();
-    for w in series.points.windows(2) {
-        let span = w[1].date.months_since(w[0].date).max(1) as f64;
-        let slope = (w[1].total as f64 - w[0].total as f64) / span;
-        if w[1].date <= announced {
+    for (a, b) in series.pairs() {
+        let span = b.date.months_since(a.date).max(1) as f64;
+        let slope = (b.total as f64 - a.total as f64) / span;
+        if b.date <= announced {
             before.push(slope);
-        } else if w[0].date >= announced {
+        } else if a.date >= announced {
             after.push(slope);
         }
     }
@@ -106,9 +106,9 @@ pub struct SourceArtifact {
 pub fn source_artifacts(series: &Series, threshold: f64) -> Vec<SourceArtifact> {
     // Typical within-source month-over-month ratio deviation.
     let mut within: Vec<f64> = Vec::new();
-    for w in series.points.windows(2) {
-        if w[0].source == w[1].source && w[0].total > 0 {
-            within.push((w[1].total as f64 / w[0].total as f64 - 1.0).abs());
+    for (a, b) in series.pairs() {
+        if a.source == b.source && a.total > 0 {
+            within.push((b.total as f64 / a.total as f64 - 1.0).abs());
         }
     }
     let typical = if within.is_empty() {
@@ -118,14 +118,13 @@ pub fn source_artifacts(series: &Series, threshold: f64) -> Vec<SourceArtifact> 
     };
 
     series
-        .points
-        .windows(2)
-        .filter(|w| w[0].source != w[1].source && w[0].total > 0)
-        .filter_map(|w| {
-            let ratio = w[1].total as f64 / w[0].total as f64;
-            ((ratio - 1.0).abs() > typical + threshold).then(|| SourceArtifact {
-                from: w[0].date,
-                to: w[1].date,
+        .pairs()
+        .filter(|(a, b)| a.source != b.source && a.total > 0)
+        .filter_map(|(a, b)| {
+            let ratio = b.total as f64 / a.total as f64;
+            ((ratio - 1.0).abs() > typical + threshold).then_some(SourceArtifact {
+                from: a.date,
+                to: b.date,
                 total_ratio: ratio,
             })
         })

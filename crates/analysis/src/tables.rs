@@ -92,8 +92,9 @@ pub struct ScanSummary {
     pub distinct_keys: usize,
 }
 
-/// Build Table 3: summaries of the earliest and latest HTTPS scans.
-pub fn first_last_scan_summary(dataset: &StudyDataset) -> (ScanSummary, ScanSummary) {
+/// Build Table 3: summaries of the earliest and latest HTTPS scans, or
+/// `None` when the dataset contains no HTTPS scan at all.
+pub fn first_last_scan_summary(dataset: &StudyDataset) -> Option<(ScanSummary, ScanSummary)> {
     let summarize = |scan: &wk_scan::Scan| {
         let mut certs = HashSet::new();
         let mut keys = HashSet::new();
@@ -110,9 +111,9 @@ pub fn first_last_scan_summary(dataset: &StudyDataset) -> (ScanSummary, ScanSumm
             distinct_keys: keys.len(),
         }
     };
-    let first = dataset.https_scans().next().expect("at least one scan");
-    let last = dataset.https_scans().last().expect("at least one scan");
-    (summarize(first), summarize(last))
+    let first = dataset.https_scans().next()?;
+    let last = dataset.https_scans().last()?;
+    Some((summarize(first), summarize(last)))
 }
 
 /// One row of Table 4 (a protocol snapshot).
@@ -273,7 +274,7 @@ mod tests {
     #[test]
     fn table3_first_and_last() {
         let (ds, _) = mini_dataset();
-        let (first, last) = first_last_scan_summary(&ds);
+        let (first, last) = first_last_scan_summary(&ds).expect("dataset has HTTPS scans");
         assert!(first.label.contains("2010-07"));
         assert!(first.label.contains("EFF"));
         assert_eq!(first.handshakes, 2);

@@ -38,6 +38,15 @@ impl Series {
         self.points.iter().map(|p| p.vulnerable).max().unwrap_or(0)
     }
 
+    /// Consecutive scan-over-scan point pairs `(earlier, later)`. The slice
+    /// pattern destructures each window, so callers never index into it.
+    pub fn pairs(&self) -> impl Iterator<Item = (&SeriesPoint, &SeriesPoint)> {
+        self.points.windows(2).filter_map(|w| match w {
+            [a, b] => Some((a, b)),
+            _ => None,
+        })
+    }
+
     /// Point at a given month, if scanned.
     pub fn at(&self, date: MonthDate) -> Option<&SeriesPoint> {
         self.points.iter().find(|p| p.date == date)
@@ -53,13 +62,10 @@ impl Series {
     /// exists elsewhere the answer is still yes — otherwise the earliest
     /// window is returned.
     pub fn largest_vulnerable_drop(&self) -> Option<(MonthDate, MonthDate, i64)> {
-        Self::largest_drop(self.points.windows(2).map(|w| {
-            (
-                w[0].date,
-                w[1].date,
-                w[0].vulnerable as i64 - w[1].vulnerable as i64,
-            )
-        }))
+        Self::largest_drop(
+            self.pairs()
+                .map(|(a, b)| (a.date, b.date, a.vulnerable as i64 - b.vulnerable as i64)),
+        )
     }
 
     /// Largest month-over-month drop in the total count. Ties resolve as in
@@ -67,9 +73,8 @@ impl Series {
     /// first, then earliest.
     pub fn largest_total_drop(&self) -> Option<(MonthDate, MonthDate, i64)> {
         Self::largest_drop(
-            self.points
-                .windows(2)
-                .map(|w| (w[0].date, w[1].date, w[0].total as i64 - w[1].total as i64)),
+            self.pairs()
+                .map(|(a, b)| (a.date, b.date, a.total as i64 - b.total as i64)),
         )
     }
 
@@ -90,15 +95,15 @@ impl Series {
 /// The leaf certificate of a host record (handles Rapid7's unchained
 /// intermediates via [`select_leaf`]).
 pub fn record_leaf(dataset: &StudyDataset, certs: &[CertId]) -> Option<CertId> {
-    match certs.len() {
-        0 => None,
-        1 => Some(certs[0]),
+    match certs {
+        [] => None,
+        &[only] => Some(only),
         _ => {
             let materialized: Vec<_> = certs
                 .iter()
                 .map(|&id| dataset.certs.get(id).clone())
                 .collect();
-            select_leaf(&materialized).map(|i| certs[i])
+            select_leaf(&materialized).and_then(|i| certs.get(i).copied())
         }
     }
 }

@@ -61,9 +61,11 @@ pub fn vendor_transitions(
         }
         // Collapse consecutive repeats into the transition sequence.
         let mut changes = Vec::new();
-        for w in statuses.windows(2) {
-            if w[0] != w[1] {
-                changes.push((w[0], w[1]));
+        for pair in statuses.windows(2) {
+            if let &[was, is] = pair {
+                if was != is {
+                    changes.push((was, is));
+                }
             }
         }
         match changes.as_slice() {
@@ -135,8 +137,10 @@ pub fn rekey_vs_churn(
     }
     let mut report = RekeyReport::default();
     for statuses in history.values() {
-        for w in statuses.windows(2) {
-            let ((was_vuln, old_subject), (is_vuln, new_subject)) = (&w[0], &w[1]);
+        for pair in statuses.windows(2) {
+            let [(was_vuln, old_subject), (is_vuln, new_subject)] = pair else {
+                continue;
+            };
             if *was_vuln && !*is_vuln {
                 if old_subject == new_subject {
                     report.rekeyed_same_subject += 1;

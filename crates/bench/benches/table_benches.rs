@@ -24,7 +24,8 @@ fn table3_first_last_scan(c: &mut Criterion) {
     let r = shared_results();
     c.bench_function("table3_first_last_scan", |b| {
         b.iter(|| {
-            let (first, last) = first_last_scan_summary(black_box(&r.dataset));
+            let (first, last) =
+                first_last_scan_summary(black_box(&r.dataset)).expect("bench dataset has scans");
             assert!(last.handshakes > first.handshakes);
             (first, last)
         })

@@ -84,7 +84,8 @@ fn main() {
         "simulating 2010-07..2016-04 at scale {} (seed {})...",
         cfg.scale, cfg.seed
     );
-    let results = run_pipeline(&cfg, BatchMode::Classic { threads: 1 });
+    let results =
+        run_pipeline(&cfg, BatchMode::Classic { threads: 1 }).expect("repro pipeline run");
     eprintln!(
         "{} distinct moduli, {} factored, {} bit-error hits set aside, {} MITM suspects",
         results.dataset.moduli.len(),
@@ -161,7 +162,7 @@ fn print_table(n: u32, r: &StudyResults) {
                 "Table 3: earliest vs latest scan",
                 "EFF 07/2010: 11.3M handshakes / 5.5M certs; Censys 04/2016: 38.0M / 10.7M",
             );
-            let (first, last) = first_last_scan_summary(&r.dataset);
+            let (first, last) = first_last_scan_summary(&r.dataset).expect("dataset has scans");
             println!("{}", render_table3(&first, &last));
         }
         4 => {

@@ -24,7 +24,10 @@ pub fn bench_study_config() -> StudyConfig {
 /// the *analysis* that regenerates each artifact, not the simulation).
 pub fn shared_results() -> &'static StudyResults {
     static RESULTS: OnceLock<StudyResults> = OnceLock::new();
-    RESULTS.get_or_init(|| run_pipeline(&bench_study_config(), BatchMode::Classic { threads: 1 }))
+    RESULTS.get_or_init(|| {
+        run_pipeline(&bench_study_config(), BatchMode::Classic { threads: 1 })
+            .expect("bench pipeline run")
+    })
 }
 
 /// A key population for the batch-GCD benches: `count` moduli of

@@ -103,10 +103,10 @@ impl SubjectStyle {
                 },
                 vec![],
             ),
-            SubjectStyle::IpOctetsOnly { ip } => (
-                DistinguishedName::cn(&format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3])),
-                vec![],
-            ),
+            SubjectStyle::IpOctetsOnly { ip } => {
+                let [a, b, c, d] = ip;
+                (DistinguishedName::cn(&format!("{a}.{b}.{c}.{d}")), vec![])
+            }
             SubjectStyle::IbmCustomerNamed { customer_org } => (
                 DistinguishedName {
                     common_name: Some(format!("mgmt-{device_tag:06x}")),

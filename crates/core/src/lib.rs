@@ -14,7 +14,8 @@
 //! use weakkeys::{run_pipeline, BatchMode, StudyConfig};
 //! use wk_analysis::{aggregate_series, dataset_totals};
 //!
-//! let results = run_pipeline(&StudyConfig::test_small(), BatchMode::default());
+//! let results = run_pipeline(&StudyConfig::test_small(), BatchMode::default())
+//!     .expect("scratch-space batch modes can fail on I/O");
 //! let table1 = dataset_totals(&results.dataset, results.vulnerable_set());
 //! println!("factored {} of {} distinct moduli ({:.2}%)",
 //!     table1.vulnerable_moduli,
@@ -47,7 +48,8 @@ pub use disclosure::{
     render_table2, table2, NotifiedVendor, RSA_NOTIFIED_2012, TLS_AFFECTED, TOTAL_NOTIFIED_2012,
 };
 pub use pipeline::{
-    analyze_dataset, partition_statuses, run_pipeline, BatchMode, StatusPartition, StudyResults,
+    analyze_dataset, partition_statuses, run_pipeline, BatchMode, PipelineError, StatusPartition,
+    StudyResults,
 };
 pub use wk_batchgcd::ClusterConfig;
 pub use wk_scan::StudyConfig;

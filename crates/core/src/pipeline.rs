@@ -6,10 +6,11 @@
 //! hand the result to the analysis layer.
 
 use std::collections::HashSet;
+use std::fmt;
 use wk_analysis::{labeling::label_dataset_with_cliques, Labeling};
 use wk_batchgcd::{
     batch_gcd, distributed_batch_gcd, incremental_batch_gcd, sharded_batch_gcd, BatchStats,
-    ClusterConfig, KeyStatus, ShardStore, TreeCache,
+    ClusterConfig, CorpusError, IncrementalError, KeyStatus, ShardStore, TreeCache,
 };
 use wk_fingerprint::{
     classify_divisor, detect_cliques, detect_key_substitution, DivisorKind, FactoredModulus,
@@ -149,15 +150,71 @@ pub fn partition_statuses(
     partition
 }
 
+/// Why a pipeline run failed. The disk-backed batch modes (`Sharded`,
+/// `Incremental`) stage the corpus through scratch shard stores and tree
+/// caches; any of that I/O can fail, and the pipeline propagates the cause
+/// instead of panicking so library consumers (the audit daemon, benches)
+/// choose their own recovery.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Shard-store export, validation, or streaming failed.
+    Corpus(CorpusError),
+    /// The incremental tree cache could not be built or updated.
+    Incremental(IncrementalError),
+    /// Scratch-space cleanup failed after an otherwise complete run.
+    Cleanup(std::io::Error),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Corpus(e) => write!(f, "shard store failure: {e}"),
+            PipelineError::Incremental(e) => write!(f, "tree cache failure: {e}"),
+            PipelineError::Cleanup(e) => write!(f, "scratch cleanup failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Corpus(e) => Some(e),
+            PipelineError::Incremental(e) => Some(e),
+            PipelineError::Cleanup(e) => Some(e),
+        }
+    }
+}
+
+impl From<CorpusError> for PipelineError {
+    fn from(e: CorpusError) -> Self {
+        PipelineError::Corpus(e)
+    }
+}
+
+impl From<IncrementalError> for PipelineError {
+    fn from(e: IncrementalError) -> Self {
+        PipelineError::Incremental(e)
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Cleanup(e)
+    }
+}
+
 /// Run the complete pipeline.
-pub fn run_pipeline(study: &StudyConfig, mode: BatchMode) -> StudyResults {
+pub fn run_pipeline(study: &StudyConfig, mode: BatchMode) -> Result<StudyResults, PipelineError> {
     let dataset = run_study(study);
     analyze_dataset(dataset, mode)
 }
 
 /// Run batch GCD + fingerprinting over an existing dataset (lets callers
 /// reuse one simulated corpus across analyses).
-pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
+pub fn analyze_dataset(
+    dataset: StudyDataset,
+    mode: BatchMode,
+) -> Result<StudyResults, PipelineError> {
     let moduli = dataset.moduli.all();
     let (raw, statuses, batch_stats) = match mode {
         BatchMode::Classic { threads } => {
@@ -176,12 +233,9 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
             // analyze many times) goes through `ModulusStore::export_shards`
             // directly; here the store is transient.
             let dir = wk_batchgcd::scratch_dir("pipeline-shards");
-            let store = dataset
-                .moduli
-                .export_shards(&dir, shard_capacity)
-                .expect("shard export to scratch space");
-            let r = sharded_batch_gcd(&store, threads).expect("sharded batch GCD over fresh store");
-            store.remove().expect("shard store cleanup");
+            let store = dataset.moduli.export_shards(&dir, shard_capacity)?;
+            let r = sharded_batch_gcd(&store, threads)?;
+            store.remove()?;
             (r.raw_divisors, r.statuses, Some(r.stats))
         }
         BatchMode::Incremental {
@@ -196,17 +250,14 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
             // are transient.
             let store_dir = wk_batchgcd::scratch_dir("pipeline-incr-store");
             let cache_dir = wk_batchgcd::scratch_dir("pipeline-incr-cache");
-            let mut store = ShardStore::create(&store_dir, shard_capacity, std::iter::empty())
-                .expect("scratch shard store for incremental mode");
-            let (mut cache, mut r) = TreeCache::build(&cache_dir, &store, threads)
-                .expect("tree cache bootstrap over empty store");
+            let mut store = ShardStore::create(&store_dir, shard_capacity, std::iter::empty())?;
+            let (mut cache, mut r) = TreeCache::build(&cache_dir, &store, threads)?;
             let chunk = moduli.len().div_ceil(batches.max(1)).max(1);
             for month in moduli.chunks(chunk) {
-                r = incremental_batch_gcd(&mut store, &mut cache, month, shard_capacity, threads)
-                    .expect("incremental batch GCD over scratch store");
+                r = incremental_batch_gcd(&mut store, &mut cache, month, shard_capacity, threads)?;
             }
-            cache.remove().expect("tree cache cleanup");
-            store.remove().expect("shard store cleanup");
+            cache.remove()?;
+            store.remove()?;
             (r.raw_divisors, r.statuses, Some(r.stats))
         }
     };
@@ -255,7 +306,7 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
 
     let labeling = label_dataset_with_cliques(&dataset, &factored, &clique_labels);
 
-    StudyResults {
+    Ok(StudyResults {
         dataset,
         vulnerable,
         factored,
@@ -264,7 +315,7 @@ pub fn analyze_dataset(dataset: StudyDataset, mode: BatchMode) -> StudyResults {
         labeling,
         cliques,
         batch_stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -284,7 +335,7 @@ mod tests {
 
     #[test]
     fn pipeline_runs_and_finds_vulnerable_keys() {
-        let results = run_pipeline(&tiny_config(), BatchMode::default());
+        let results = run_pipeline(&tiny_config(), BatchMode::default()).expect("pipeline");
         assert!(
             !results.vulnerable.is_empty(),
             "simulated study must contain factorable keys"
@@ -311,11 +362,13 @@ mod tests {
         let cfg = tiny_config();
         let dataset_a = run_study(&cfg);
         let dataset_b = run_study(&cfg);
-        let classic = analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 });
+        let classic =
+            analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 }).expect("classic");
         let dist = analyze_dataset(
             dataset_b,
             BatchMode::Distributed(ClusterConfig::sequential(4)),
-        );
+        )
+        .expect("distributed");
         let mut a: Vec<_> = classic.vulnerable.iter().collect();
         let mut b: Vec<_> = dist.vulnerable.iter().collect();
         a.sort();
@@ -328,14 +381,16 @@ mod tests {
         let cfg = tiny_config();
         let dataset_a = run_study(&cfg);
         let dataset_b = run_study(&cfg);
-        let classic = analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 });
+        let classic =
+            analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 }).expect("classic");
         let sharded = analyze_dataset(
             dataset_b,
             BatchMode::Sharded {
                 threads: 2,
                 shard_capacity: 64,
             },
-        );
+        )
+        .expect("sharded");
         let mut a: Vec<_> = classic.vulnerable.iter().collect();
         let mut b: Vec<_> = sharded.vulnerable.iter().collect();
         a.sort();
@@ -353,7 +408,8 @@ mod tests {
         let cfg = tiny_config();
         let dataset_a = run_study(&cfg);
         let dataset_b = run_study(&cfg);
-        let classic = analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 });
+        let classic =
+            analyze_dataset(dataset_a, BatchMode::Classic { threads: 1 }).expect("classic");
         let incremental = analyze_dataset(
             dataset_b,
             BatchMode::Incremental {
@@ -361,7 +417,8 @@ mod tests {
                 shard_capacity: 64,
                 batches: 3,
             },
-        );
+        )
+        .expect("incremental");
         let mut a: Vec<_> = classic.vulnerable.iter().collect();
         let mut b: Vec<_> = incremental.vulnerable.iter().collect();
         a.sort();
@@ -380,7 +437,7 @@ mod tests {
 
     #[test]
     fn pipeline_matches_ground_truth() {
-        let results = run_pipeline(&tiny_config(), BatchMode::default());
+        let results = run_pipeline(&tiny_config(), BatchMode::default()).expect("pipeline");
         // No false positives: everything we factored is truly weak (or a
         // duplicate-modulus artifact, which the simulator doesn't produce).
         for id in &results.vulnerable {
@@ -405,7 +462,7 @@ mod tests {
 
     #[test]
     fn mitm_detected_and_not_counted_vulnerable() {
-        let results = run_pipeline(&tiny_config(), BatchMode::default());
+        let results = run_pipeline(&tiny_config(), BatchMode::default()).expect("pipeline");
         assert!(
             !results.mitm_suspects.is_empty(),
             "Rimon-style substitution must be detected"
@@ -422,7 +479,7 @@ mod tests {
 
     #[test]
     fn labeling_covers_major_vendors() {
-        let results = run_pipeline(&tiny_config(), BatchMode::default());
+        let results = run_pipeline(&tiny_config(), BatchMode::default()).expect("pipeline");
         let labeled: HashSet<VendorId> = results.labeling.cert_vendor.values().copied().collect();
         for vendor in [VendorId::Juniper, VendorId::Hp, VendorId::FritzBox] {
             assert!(labeled.contains(&vendor), "missing {vendor:?}");

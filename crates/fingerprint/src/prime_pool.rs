@@ -84,8 +84,8 @@ pub fn extrapolate(
         }
         for prime in [&f.p, &f.q] {
             if let Some((_, vendors)) = pool.get(&prime.to_bytes_be()) {
-                if vendors.len() == 1 {
-                    extrapolated.insert(f.id, vendors[0]);
+                if let [vendor] = vendors.as_slice() {
+                    extrapolated.insert(f.id, *vendor);
                     break;
                 }
             }

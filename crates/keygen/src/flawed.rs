@@ -175,6 +175,7 @@ impl ModelKeygen {
                 RsaPrivateKey::generate(&mut self.rng, self.bits, *shaping)
             }
             KeygenBehavior::SharedPrimePool { shaping, .. } => {
+                // lint:allow(no-panic-in-lib) invariant: new() materializes the pool for every pool-backed behavior
                 let pool = self.pool.as_ref().expect("pool materialized");
                 loop {
                     let p = pool.sample(&mut self.rng).clone();
@@ -185,6 +186,7 @@ impl ModelKeygen {
                 }
             }
             KeygenBehavior::NinePrime { .. } => {
+                // lint:allow(no-panic-in-lib) invariant: new() materializes the pool for every pool-backed behavior
                 let pool = self.pool.as_ref().expect("pool materialized");
                 loop {
                     let (p, q) = pool.sample_pair(&mut self.rng);

@@ -142,6 +142,7 @@ impl RsaPrivateKey {
         let q_inv = self
             .q
             .mod_inverse(&self.p)
+            // lint:allow(no-panic-in-lib) invariant: from_primes rejects p == q, so q is invertible mod p
             .expect("p, q distinct primes: q invertible mod p");
         let diff = if mp >= mq {
             &mp - &mq

@@ -1,0 +1,511 @@
+//! Cross-crate call graph over the [`crate::items`] table.
+//!
+//! Nodes are the workspace's non-test functions; an edge `A → B` means a
+//! call site inside `A`'s body *may* invoke `B`. Resolution is name-based
+//! (no type inference), with the approximations the rules tolerate:
+//!
+//! * **Bare calls** `foo(...)` resolve to every fn named `foo` in the
+//!   caller's crate, falling back to `pub` fns named `foo` in the crates it
+//!   depends on (covering `use wk_x::foo;` imports).
+//! * **Qualified calls** `Qual::foo(...)` resolve through the qualifier:
+//!   a dependency's lib name (`wk_bigint::foo`) restricts to that crate; a
+//!   known impl self type (`Natural::foo`) restricts to that owner's
+//!   associated fns. Unknown qualifiers (`String::from`) resolve to nothing
+//!   — an under-approximation for std and external types.
+//! * **Method calls** `.foo(...)` resolve to *every* method named `foo` in
+//!   the caller's crate and its dependencies. With no receiver types this
+//!   over-approximates trait and inherent dispatch alike; the
+//!   panic-reachability rule inherits that conservatism (a flagged path may
+//!   name a method the receiver could not actually be). The reverse
+//!   under-approximation also holds: dispatch through a trait object whose
+//!   impl lives in a crate the caller does not (textually) depend on is
+//!   missed. Both limits are stated in DESIGN.md §11 and pinned by tests.
+//! * **Macros** (`ident!`) are opaque: no edges in or out.
+//!
+//! Crate dependencies are recovered textually: crate A depends on crate B
+//! when any token of A's sources equals B's lib identifier (`wk_bigint`,
+//! `weakkeys`) — covering `use` declarations and fully qualified paths.
+//!
+//! Construction is deterministic for a fixed file set regardless of input
+//! file order: nodes are keyed by `(crate, file path, span)` and edges are
+//! sorted — `canonical_edges` is the order-independent witness used by the
+//! determinism proptest.
+
+use crate::items::ItemTable;
+use crate::lexer::{Lexed, TokenKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "in", "as", "move", "fn", "let", "else",
+];
+
+/// One resolved call site, for diagnostics.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Caller fn index.
+    pub caller: usize,
+    /// Callee fn index.
+    pub callee: usize,
+    /// 1-based position of the call token.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The workspace call graph. Indices are into [`ItemTable::fns`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Adjacency: `edges[f]` is the sorted, deduplicated callee set of `f`.
+    pub edges: Vec<Vec<usize>>,
+    /// One representative call site per edge, in the same order as `edges`.
+    pub sites: Vec<Vec<CallSite>>,
+}
+
+/// Per-file inputs the builder needs beyond the item table.
+pub struct FileTokens<'a> {
+    pub crate_name: &'a str,
+    /// The crate's lib identifier (`wk_bigint`; fixture fallback is the
+    /// directory name).
+    pub lib_name: &'a str,
+    pub src: &'a str,
+    pub lexed: &'a Lexed,
+}
+
+impl CallGraph {
+    /// Order-independent rendering: sorted `caller → callee` display-name
+    /// pairs. Two graphs over the same file *set* compare equal through
+    /// this regardless of the order files were presented in.
+    pub fn canonical_edges(&self, table: &ItemTable) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for (caller, callees) in self.edges.iter().enumerate() {
+            for &callee in callees {
+                out.push((table.display_name(caller), table.display_name(callee)));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Callees of `f`.
+    pub fn callees(&self, f: usize) -> &[usize] {
+        &self.edges[f]
+    }
+}
+
+/// Textual crate-dependency map: `crate_name → set of crate_names it
+/// mentions by lib identifier`.
+fn crate_deps(files: &[FileTokens]) -> HashMap<String, BTreeSet<String>> {
+    // lib ident -> crate dir name
+    let lib_to_crate: HashMap<&str, &str> =
+        files.iter().map(|f| (f.lib_name, f.crate_name)).collect();
+    let mut deps: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for file in files {
+        let entry = deps.entry(file.crate_name.to_string()).or_default();
+        for tok in &file.lexed.tokens {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = tok.text(file.src);
+            if let Some(&target) = lib_to_crate.get(text) {
+                if target != file.crate_name {
+                    entry.insert(target.to_string());
+                }
+            }
+        }
+    }
+    deps
+}
+
+/// Build the call graph. `files[i]` must correspond to `FnItem::file == i`.
+pub fn build(table: &ItemTable, files: &[FileTokens]) -> CallGraph {
+    let deps = crate_deps(files);
+
+    // Name indices. BTreeMap values stay sorted by fn index, which is
+    // file-order stable; canonicalization handles permutation.
+    let mut bare: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new(); // (crate, name)
+    let mut methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new(); // (crate, name), owner set
+    let mut owned: BTreeMap<(&str, &str, &str), Vec<usize>> = BTreeMap::new(); // (crate, owner, name)
+    for (idx, f) in table.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        bare.entry((f.crate_name.as_str(), f.name.as_str()))
+            .or_default()
+            .push(idx);
+        if let Some(owner) = &f.owner {
+            methods
+                .entry((f.crate_name.as_str(), f.name.as_str()))
+                .or_default()
+                .push(idx);
+            owned
+                .entry((f.crate_name.as_str(), owner.as_str(), f.name.as_str()))
+                .or_default()
+                .push(idx);
+        }
+    }
+
+    // crate -> [itself, deps...] lookup order.
+    let empty = BTreeSet::new();
+    fn scope_of<'a>(
+        crate_name: &'a str,
+        deps: &'a HashMap<String, BTreeSet<String>>,
+        empty: &'a BTreeSet<String>,
+    ) -> Vec<&'a str> {
+        let mut scope = vec![crate_name];
+        for d in deps.get(crate_name).unwrap_or(empty) {
+            scope.push(d.as_str());
+        }
+        scope
+    }
+
+    let lib_to_crate: HashMap<&str, &str> =
+        files.iter().map(|f| (f.lib_name, f.crate_name)).collect();
+
+    let mut edges = vec![Vec::new(); table.fns.len()];
+    let mut sites = vec![Vec::new(); table.fns.len()];
+
+    for (caller, f) in table.fns.iter().enumerate() {
+        let (Some(body), false) = (&f.body, f.in_test) else {
+            continue;
+        };
+        let file = &files[f.file];
+        let toks = &file.lexed.tokens;
+        let scope = scope_of(&f.crate_name, &deps, &empty);
+        let mut seen: HashSet<usize> = HashSet::new();
+
+        for i in body.clone() {
+            let tok = &toks[i];
+            if tok.kind != TokenKind::Ident
+                || toks.get(i + 1).map(|t| t.kind) != Some(TokenKind::Punct('('))
+            {
+                continue;
+            }
+            let name = tok.text(file.src);
+            if NON_CALL_IDENTS.contains(&name) {
+                continue;
+            }
+            // `name!` macro bang is lexed *after* the ident only for
+            // `name!(`-style macros; `name !(` can't occur. A macro call is
+            // `ident !` — but here `ident (` matched, so only `try!`-style
+            // legacy macros could slip in; none exist in the workspace.
+            let prev = i
+                .checked_sub(1)
+                .filter(|&p| p >= body.start)
+                .map(|p| &toks[p]);
+
+            let mut resolved: Vec<usize> = Vec::new();
+            match prev.map(|t| (t.kind, t.text(file.src))) {
+                // `recv.foo(` — method call.
+                Some((TokenKind::Punct('.'), _)) => {
+                    for c in &scope {
+                        if let Some(v) = methods.get(&(*c, name)) {
+                            resolved.extend_from_slice(v);
+                        }
+                    }
+                }
+                // `Qual::foo(` — path-qualified call.
+                Some((TokenKind::Punct(':'), _)) => {
+                    if let Some(qual) = path_qualifier(file.src, toks, i, body.start) {
+                        if let Some(&target) = lib_to_crate.get(qual) {
+                            // Crate-qualified: any fn of that crate.
+                            if let Some(v) = bare.get(&(target, name)) {
+                                resolved.extend_from_slice(v);
+                            }
+                        } else if qual == "self" || qual == "crate" || qual == "super" {
+                            if let Some(v) = bare.get(&(f.crate_name.as_str(), name)) {
+                                resolved.extend_from_slice(v);
+                            }
+                        } else {
+                            // Type- or module-qualified: fns owned by the
+                            // qualifier in scope. Unknown qualifiers (std
+                            // types) resolve to nothing.
+                            for c in &scope {
+                                if let Some(v) = owned.get(&(*c, qual, name)) {
+                                    resolved.extend_from_slice(v);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Bare call: own crate first, then dependency pub fns.
+                _ => {
+                    if let Some(v) = bare.get(&(f.crate_name.as_str(), name)) {
+                        resolved.extend_from_slice(v);
+                    }
+                    if resolved.is_empty() {
+                        for c in scope.iter().skip(1) {
+                            if let Some(v) = bare.get(&(*c, name)) {
+                                resolved.extend(v.iter().filter(|&&i| table.fns[i].is_pub));
+                            }
+                        }
+                    }
+                }
+            }
+
+            for callee in resolved {
+                if callee != caller && seen.insert(callee) {
+                    edges[caller].push(callee);
+                    sites[caller].push(CallSite {
+                        caller,
+                        callee,
+                        line: tok.line,
+                        col: tok.col,
+                    });
+                }
+            }
+        }
+        // Sort callee lists (with their sites) for deterministic iteration.
+        let mut order: Vec<usize> = (0..edges[caller].len()).collect();
+        order.sort_by_key(|&k| edges[caller][k]);
+        edges[caller] = order.iter().map(|&k| edges[caller][k]).collect();
+        sites[caller] = order.iter().map(|&k| sites[caller][k].clone()).collect();
+    }
+
+    CallGraph { edges, sites }
+}
+
+/// For a call token at `i` preceded by `::`, the qualifying ident
+/// (`Qual::foo` → `Qual`), bounded by the body start.
+fn path_qualifier<'s>(
+    src: &'s str,
+    toks: &[crate::lexer::Token],
+    i: usize,
+    lo: usize,
+) -> Option<&'s str> {
+    // toks[i-1] and toks[i-2] must be the two `:` of `::`.
+    if i < 3 || i - 3 < lo {
+        return None;
+    }
+    if toks[i - 1].kind != TokenKind::Punct(':') || toks[i - 2].kind != TokenKind::Punct(':') {
+        return None;
+    }
+    let q = &toks[i - 3];
+    (q.kind == TokenKind::Ident).then(|| q.text(src))
+}
+
+/// Reverse-reachability from a set of target fns: for every fn that can
+/// reach a target through the graph, the first hop of one shortest path.
+/// Used by panic-reachability to produce witness chains.
+pub struct Reachability {
+    /// `next_hop[f]` is `Some(g)` when `f` reaches a target via callee `g`;
+    /// targets themselves have `next_hop = None` but `reaches = true`.
+    pub next_hop: Vec<Option<usize>>,
+    pub reaches: Vec<bool>,
+}
+
+impl Reachability {
+    /// BFS over reversed edges from `targets`.
+    pub fn compute(graph: &CallGraph, targets: &[usize]) -> Reachability {
+        let n = graph.edges.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (caller, callees) in graph.edges.iter().enumerate() {
+            for &callee in callees {
+                rev[callee].push(caller);
+            }
+        }
+        let mut reaches = vec![false; n];
+        let mut next_hop = vec![None; n];
+        let mut queue: std::collections::VecDeque<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&t| {
+                let fresh = !reaches[t];
+                reaches[t] = true;
+                fresh
+            })
+            .collect();
+        while let Some(g) = queue.pop_front() {
+            // rev[g] iterated in insertion order; edges were sorted, so the
+            // traversal order — and thus the witness hop — is deterministic.
+            for &caller in &rev[g] {
+                if !reaches[caller] {
+                    reaches[caller] = true;
+                    next_hop[caller] = Some(g);
+                    queue.push_back(caller);
+                }
+            }
+        }
+        Reachability { next_hop, reaches }
+    }
+
+    /// The witness chain from `f` to a target, inclusive of both ends.
+    pub fn path_from(&self, f: usize) -> Vec<usize> {
+        let mut path = vec![f];
+        let mut cur = f;
+        while let Some(next) = self.next_hop[cur] {
+            path.push(next);
+            cur = next;
+            if path.len() > self.next_hop.len() {
+                break; // cycle guard; unreachable with BFS-built hops
+            }
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::lexer::lex;
+    use crate::testmap;
+
+    /// Build a table + graph from `(crate, lib, path, src)` tuples.
+    fn workspace(files: &[(&str, &str, &str, &str)]) -> (ItemTable, CallGraph, Vec<String>) {
+        let lexed: Vec<_> = files.iter().map(|(_, _, _, src)| lex(src)).collect();
+        let mut table = ItemTable::default();
+        for (i, ((crate_name, _, _, src), lx)) in files.iter().zip(&lexed).enumerate() {
+            let tm = testmap::build(&lx.tokens, src, src.lines().count());
+            items::parse_file(i, crate_name, src, lx, &tm, &mut table);
+        }
+        let fts: Vec<FileTokens> = files
+            .iter()
+            .zip(&lexed)
+            .map(|((crate_name, lib, _, src), lx)| FileTokens {
+                crate_name,
+                lib_name: lib,
+                src,
+                lexed: lx,
+            })
+            .collect();
+        let graph = build(&table, &fts);
+        let names = (0..table.fns.len())
+            .map(|i| table.display_name(i))
+            .collect();
+        (table, graph, names)
+    }
+
+    fn edge(names: &[String], graph: &CallGraph, from: &str, to: &str) -> bool {
+        let f = names.iter().position(|n| n == from).expect("caller");
+        let t = names.iter().position(|n| n == to).expect("callee");
+        graph.edges[f].contains(&t)
+    }
+
+    #[test]
+    fn bare_same_crate_call() {
+        let (_, g, n) = workspace(&[(
+            "a",
+            "wk_a",
+            "crates/a/src/lib.rs",
+            "pub fn f() { helper() }\nfn helper() {}\n",
+        )]);
+        assert!(edge(&n, &g, "a::f", "a::helper"));
+    }
+
+    #[test]
+    fn cross_crate_call_requires_textual_dependency() {
+        let dep = ("b", "wk_b", "crates/b/src/lib.rs", "pub fn shared() {}\n");
+        // With a `use`, the bare call resolves into the dependency…
+        let (_, g, n) = workspace(&[
+            (
+                "a",
+                "wk_a",
+                "crates/a/src/lib.rs",
+                "use wk_b::shared;\npub fn f() { shared() }\n",
+            ),
+            dep,
+        ]);
+        assert!(edge(&n, &g, "a::f", "b::shared"));
+        // …without one, the crate is not in scope and the call is opaque.
+        let (_, g, n) = workspace(&[
+            (
+                "a",
+                "wk_a",
+                "crates/a/src/lib.rs",
+                "pub fn f() { shared() }\n",
+            ),
+            dep,
+        ]);
+        assert!(!edge(&n, &g, "a::f", "b::shared"));
+    }
+
+    #[test]
+    fn qualified_call_through_lib_name() {
+        let (_, g, n) = workspace(&[
+            (
+                "a",
+                "wk_a",
+                "crates/a/src/lib.rs",
+                "pub fn f() { wk_b::shared() }\n",
+            ),
+            ("b", "wk_b", "crates/b/src/lib.rs", "pub fn shared() {}\n"),
+        ]);
+        assert!(edge(&n, &g, "a::f", "b::shared"));
+    }
+
+    #[test]
+    fn type_qualified_associated_fn() {
+        let (_, g, n) = workspace(&[
+            (
+                "a",
+                "wk_a",
+                "crates/a/src/lib.rs",
+                "use wk_b::Store;\npub fn f() { Store::open() }\n",
+            ),
+            (
+                "b",
+                "wk_b",
+                "crates/b/src/lib.rs",
+                "pub struct Store;\nimpl Store {\n    pub fn open() {}\n}\n",
+            ),
+        ]);
+        assert!(edge(&n, &g, "a::f", "b::Store::open"));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_scope() {
+        let (_, g, n) = workspace(&[
+            ("a", "wk_a", "crates/a/src/lib.rs", "use wk_b::Store;\npub fn f(s: Store) { s.close() }\n"),
+            (
+                "b",
+                "wk_b",
+                "crates/b/src/lib.rs",
+                "pub struct Store;\nimpl Store {\n    pub fn close(&self) {}\n}\npub struct Other;\nimpl Other {\n    pub fn close(&self) {}\n}\n",
+            ),
+        ]);
+        // No receiver types: `.close()` links to *both* impls — the
+        // documented over-approximation.
+        assert!(edge(&n, &g, "a::f", "b::Store::close"));
+        assert!(edge(&n, &g, "a::f", "b::Other::close"));
+    }
+
+    #[test]
+    fn unknown_qualifiers_and_keywords_resolve_to_nothing() {
+        let (_, g, n) = workspace(&[(
+            "a",
+            "wk_a",
+            "crates/a/src/lib.rs",
+            "pub fn f(v: Vec<u8>) { String::from(\"x\"); if (v.len() > 0) { return; } }\n",
+        )]);
+        let f = n.iter().position(|x| x == "a::f").expect("f");
+        assert!(g.edges[f].is_empty());
+    }
+
+    #[test]
+    fn test_fns_are_outside_the_graph() {
+        let (_, g, n) = workspace(&[(
+            "a",
+            "wk_a",
+            "crates/a/src/lib.rs",
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { super::f() }\n}\n",
+        )]);
+        assert_eq!(n.len(), 2);
+        assert!(g.edges.iter().all(|e| e.is_empty()));
+    }
+
+    #[test]
+    fn reachability_produces_shortest_witness() {
+        let (_, g, n) = workspace(&[(
+            "a",
+            "wk_a",
+            "crates/a/src/lib.rs",
+            "pub fn entry() { mid() }\nfn mid() { deep() }\nfn deep() {}\n",
+        )]);
+        let deep = n.iter().position(|x| x == "a::deep").expect("deep");
+        let entry = n.iter().position(|x| x == "a::entry").expect("entry");
+        let r = Reachability::compute(&g, &[deep]);
+        assert!(r.reaches[entry]);
+        let path: Vec<_> = r.path_from(entry).iter().map(|&i| n[i].clone()).collect();
+        assert_eq!(path, vec!["a::entry", "a::mid", "a::deep"]);
+    }
+}

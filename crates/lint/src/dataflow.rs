@@ -1,0 +1,293 @@
+//! Intra-function dataflow helpers over token streams.
+//!
+//! The semantic rules ([`crate::semantic`]) reason about *statement
+//! sequences inside one function body*: where a `let` binding's value came
+//! from, how long a lock guard stays live, which locals a function
+//! increments. None of that needs an AST — a token walk with group-depth
+//! bookkeeping recovers it, and this module centralizes those walks so
+//! each rule stays a readable scan.
+//!
+//! Approximations, shared by every consumer:
+//!
+//! * Binding recovery handles `let [mut] name [: Ty] = init;` with a plain
+//!   identifier pattern. Tuple/struct patterns are skipped — their
+//!   components are treated as opaque (no expansion), which under-reports
+//!   but never misattributes.
+//! * Shadowing keeps the *last* initializer per name. Rules that expand
+//!   bindings bound the recursion depth, so a self-referential
+//!   `let x = x + 1;` cannot loop.
+//! * Guard liveness is lexical: from the binding statement to the end of
+//!   the enclosing block, shortened by an explicit `drop(name)`. NLL's
+//!   earlier drops are invisible at token level — lexical scope is exactly
+//!   the conservative approximation the lock-discipline rule wants.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// Token index of the `}` closing the innermost block that encloses `i`,
+/// or `body.end` when `i` sits at body depth (the fn's own braces are
+/// outside the range).
+pub fn enclosing_block_end(toks: &[Token], body: &Range<usize>, i: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, tok) in toks.iter().enumerate().take(body.end).skip(i) {
+        match tok.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    body.end
+}
+
+/// `let` bindings of one fn body: name → token range of the initializer
+/// expression (exclusive of the `=` and the closing `;`).
+#[derive(Debug, Default)]
+pub struct LetBindings {
+    map: HashMap<String, Range<usize>>,
+}
+
+impl LetBindings {
+    /// The initializer range of `name`, if a simple binding exists.
+    pub fn init_of(&self, name: &str) -> Option<&Range<usize>> {
+        self.map.get(name)
+    }
+}
+
+/// One recovered `let` statement, for rules that need positions too.
+#[derive(Debug)]
+pub struct LetStmt {
+    pub name: String,
+    /// Index of the `let` token.
+    pub let_idx: usize,
+    /// Initializer tokens (after `=`, before the terminating `;`).
+    pub init: Range<usize>,
+    /// Index of the terminating `;` (liveness of the binding starts after
+    /// it), or of the last initializer token on a malformed tail.
+    pub end: usize,
+}
+
+/// Scan a body for simple `let` statements. See module docs for the
+/// pattern subset.
+pub fn let_statements(src: &str, toks: &[Token], body: &Range<usize>) -> Vec<LetStmt> {
+    let mut out = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        let tok = &toks[i];
+        if !(tok.kind == TokenKind::Ident && tok.text(src) == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < body.end && toks[j].kind == TokenKind::Ident && toks[j].text(src) == "mut" {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1; // tuple/struct pattern — opaque
+            continue;
+        };
+        let name = name_tok.text(src).to_string();
+        // Find the `=` introducing the initializer, at group depth 0 so a
+        // default generic (`Option<Foo<T = U>>`) or array length in the
+        // type annotation cannot fool us. `==`/`>=`-style composites never
+        // appear before the initializer of a well-formed `let`.
+        let mut depth = 0i64;
+        let mut eq = None;
+        let mut k = j + 1;
+        while k < body.end {
+            match toks[k].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('>') => depth -= 1,
+                TokenKind::Punct('=') if depth == 0 => {
+                    // `let x;` has no `=`; `else` blocks of let-else start
+                    // with `{` — both end the search harmlessly via `;`.
+                    eq = Some(k);
+                    break;
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else {
+            i = k.max(i + 1);
+            continue;
+        };
+        // Initializer runs to the `;` at group depth 0 (counting braces
+        // too: `match`/`if` initializers contain `;` inside their blocks).
+        let mut depth = 0i64;
+        let mut end = body.end.saturating_sub(1);
+        let mut m = eq + 1;
+        while m < body.end {
+            match toks[m].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct(';') if depth == 0 => {
+                    end = m;
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        out.push(LetStmt {
+            name,
+            let_idx: i,
+            init: eq + 1..end,
+            end,
+        });
+        i = end.max(i + 1);
+    }
+    out
+}
+
+/// The binding map (last initializer wins under shadowing).
+pub fn let_bindings(src: &str, toks: &[Token], body: &Range<usize>) -> LetBindings {
+    let mut map = HashMap::new();
+    for stmt in let_statements(src, toks, body) {
+        map.insert(stmt.name, stmt.init);
+    }
+    LetBindings { map }
+}
+
+/// Plain locals the body increments in place (`name += ...`). Field
+/// increments (`self.count += 1`) are excluded: fields may legitimately
+/// mirror on-disk state, and the watermark rule catches suspicious fields
+/// by name instead.
+pub fn incremented_locals(src: &str, toks: &[Token], body: &Range<usize>) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for i in body.clone() {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let after_dot = i > body.start && toks[i - 1].kind == TokenKind::Punct('.');
+        if after_dot {
+            continue;
+        }
+        let plus = toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('+'));
+        let eq = toks.get(i + 2).map(|t| t.kind) == Some(TokenKind::Punct('='));
+        if plus && eq {
+            out.insert(toks[i].text(src).to_string());
+        }
+    }
+    out
+}
+
+/// First `drop(name)` call inside `range`, as the index of the `drop`
+/// token.
+pub fn drop_of(src: &str, toks: &[Token], range: &Range<usize>, name: &str) -> Option<usize> {
+    range.clone().find(|&i| {
+        toks[i].kind == TokenKind::Ident
+            && toks[i].text(src) == "drop"
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text(src) == name)
+            && toks.get(i + 3).map(|t| t.kind) == Some(TokenKind::Punct(')'))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn body_of(src: &str) -> (crate::lexer::Lexed, Range<usize>) {
+        let lexed = lex(src);
+        let open = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Punct('{'))
+            .expect("open brace");
+        let body = open + 1..lexed.tokens.len() - 1;
+        (lexed, body)
+    }
+
+    #[test]
+    fn simple_let_bindings_recovered() {
+        let src = "fn f() { let a = g(1); let mut b: usize = a + 2; }";
+        let (lexed, body) = body_of(src);
+        let b = let_bindings(src, &lexed.tokens, &body);
+        assert!(b.init_of("a").is_some());
+        assert!(b.init_of("b").is_some());
+        let init = b.init_of("b").expect("b");
+        let text: Vec<_> = lexed.tokens[init.clone()]
+            .iter()
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(text, vec!["a", "+", "2"]);
+    }
+
+    #[test]
+    fn generic_defaults_in_type_annotations_do_not_split_the_binding() {
+        let src = "fn f() { let x: Foo<T = U> = mk(); use_it(x); }";
+        let (lexed, body) = body_of(src);
+        let b = let_bindings(src, &lexed.tokens, &body);
+        let init = b.init_of("x").expect("x binding");
+        assert_eq!(lexed.tokens[init.start].text(src), "mk");
+    }
+
+    #[test]
+    fn match_initializers_swallow_inner_semicolons() {
+        let src = "fn f(c: bool) { let x = match c { true => { g(); 1 } false => 2 }; after(x); }";
+        let (lexed, body) = body_of(src);
+        let stmts = let_statements(src, &lexed.tokens, &body);
+        assert_eq!(stmts.len(), 1);
+        // The statement's `;` is the one after the match, so `after(x)` is
+        // outside the initializer.
+        assert!(lexed.tokens[stmts[0].init.clone()]
+            .iter()
+            .all(|t| t.text(src) != "after"));
+    }
+
+    #[test]
+    fn tuple_patterns_are_opaque() {
+        let src = "fn f() { let (a, b) = pair(); let c = a; }";
+        let (lexed, body) = body_of(src);
+        let b = let_bindings(src, &lexed.tokens, &body);
+        assert!(b.init_of("a").is_none());
+        assert!(b.init_of("c").is_some());
+    }
+
+    #[test]
+    fn incremented_locals_exclude_fields() {
+        let src = "fn f(&mut self) { let mut n = 0; n += 1; self.count += 1; }";
+        let (lexed, body) = body_of(src);
+        let inc = incremented_locals(src, &lexed.tokens, &body);
+        assert!(inc.contains("n"));
+        assert!(!inc.contains("count"));
+    }
+
+    #[test]
+    fn block_end_and_drop_bound_guard_liveness() {
+        let src = "fn f() { let g = m.lock(); use_it(&g); drop(g); tail(); }";
+        let (lexed, body) = body_of(src);
+        let toks = &lexed.tokens;
+        let let_idx = toks.iter().position(|t| t.text(src) == "let").expect("let");
+        assert_eq!(enclosing_block_end(toks, &body, let_idx), body.end);
+        let live = let_idx..body.end;
+        let d = drop_of(src, toks, &live, "g").expect("drop site");
+        assert_eq!(toks[d].text(src), "drop");
+    }
+
+    #[test]
+    fn inner_block_scopes_end_early() {
+        let src = "fn f() { { let g = m.lock(); use_it(&g); } tail(); }";
+        let (lexed, body) = body_of(src);
+        let toks = &lexed.tokens;
+        let let_idx = toks.iter().position(|t| t.text(src) == "let").expect("let");
+        let end = enclosing_block_end(toks, &body, let_idx);
+        assert_eq!(toks[end].kind, TokenKind::Punct('}'));
+        // `tail` lies past the block end.
+        let tail = toks
+            .iter()
+            .position(|t| t.text(src) == "tail")
+            .expect("tail");
+        assert!(tail > end);
+    }
+}

@@ -68,6 +68,56 @@ pub fn render_report(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Render diagnostics as machine-readable JSON for CI annotation. The
+/// schema is stable: `{"version": 1, "count": N, "violations": [...]}`
+/// with each violation carrying `rule`, `path`, `line`, `col`, `len`,
+/// `message`, `help` — exactly the fields a finding is keyed by, one
+/// violation per line so goldens diff cleanly.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"count\": {},\n", diags.len()));
+    out.push_str("  \"violations\": [");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"len\": {}, \
+             \"message\": {}, \"help\": {}}}",
+            json_str(&d.rule),
+            json_str(&d.path),
+            d.line,
+            d.col,
+            d.len,
+            json_str(&d.message),
+            json_str(&d.help),
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +155,25 @@ mod tests {
         assert!(render_report(&[]).contains("no invariant violations"));
         let two = vec![sample(), sample()];
         assert!(render_report(&two).contains("2 violations in 1 file"));
+    }
+
+    #[test]
+    fn json_renders_stable_schema() {
+        let mut d = sample();
+        d.message = "a \"quoted\"\tmessage".into();
+        let text = render_json(&[d]);
+        assert!(text.contains("\"version\": 1"));
+        assert!(text.contains("\"count\": 1"));
+        assert!(text.contains("\"rule\": \"no-panic-in-lib\""));
+        assert!(text.contains("\"path\": \"crates/bigint/src/x.rs\""));
+        assert!(text.contains("\"line\": 7"));
+        assert!(text.contains("\\\"quoted\\\"\\t"));
+    }
+
+    #[test]
+    fn json_empty_set_is_well_formed() {
+        let text = render_json(&[]);
+        assert!(text.contains("\"count\": 0"));
+        assert!(text.contains("\"violations\": []"));
     }
 }

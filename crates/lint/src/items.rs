@@ -1,0 +1,453 @@
+//! A lightweight item parser: `fn` / `impl` / `mod` / `trait` extraction
+//! over the token stream.
+//!
+//! The semantic rules ([`crate::callgraph`], [`crate::semantic`]) need to
+//! know *which function a token belongs to* and *what that function is
+//! called* — not a full AST. This pass recovers exactly that by walking the
+//! token stream with a scope stack: `mod name {` / `impl Type {` /
+//! `trait Name {` push named scopes, every other `{` pushes an anonymous
+//! block, and a `fn name` header registers a [`FnItem`] whose body is the
+//! brace-balanced block after its signature.
+//!
+//! Deliberate approximations (documented here and in DESIGN.md §11):
+//!
+//! * Module paths come from *in-file* `mod` nesting only. Rust makes each
+//!   file a module, so cross-file name resolution works by `(crate, name)`
+//!   rather than full paths; the qualified name is for display and
+//!   disambiguation.
+//! * The impl self type is the first type identifier of the impl header
+//!   (after `for` in `impl Trait for Type`), with generics skipped. Blanket
+//!   impls over type parameters resolve to the parameter's name, which
+//!   never matches a call qualifier — an under-approximation.
+//! * Functions inside `#[cfg(test)]` regions are parsed but flagged
+//!   [`FnItem::in_test`]; the call graph excludes them entirely.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::testmap::TestMap;
+use std::ops::Range;
+
+/// One `fn` item recovered from a source file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Index of the file (into the workspace's file list) defining it.
+    pub file: usize,
+    /// Crate directory name (`bigint`, not `wk-bigint`).
+    pub crate_name: String,
+    /// Bare function name (`from_limbs`).
+    pub name: String,
+    /// Display path: `mod::Type::name`, without the crate prefix.
+    pub qualified: String,
+    /// Enclosing `impl` self type or `trait` name, when the fn is a method
+    /// or associated function.
+    pub owner: Option<String>,
+    /// `pub` without a `pub(...)` restriction.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Token-index range of the body, *excluding* the outer braces. Trait
+    /// method signatures (`fn f(&self);`) have none.
+    pub body: Option<Range<usize>>,
+    /// Inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+}
+
+/// Every function of every file in the workspace, in file order.
+#[derive(Debug, Default)]
+pub struct ItemTable {
+    pub fns: Vec<FnItem>,
+}
+
+impl ItemTable {
+    /// Functions defined in file `file`, in source order.
+    pub fn fns_in_file(&self, file: usize) -> impl Iterator<Item = (usize, &FnItem)> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.file == file)
+    }
+
+    /// `crate::qualified` display name for diagnostics.
+    pub fn display_name(&self, idx: usize) -> String {
+        let f = &self.fns[idx];
+        format!("{}::{}", f.crate_name, f.qualified)
+    }
+}
+
+/// What opened the current brace scope.
+#[derive(Clone, Debug)]
+enum Scope {
+    /// `mod name {`
+    Mod(String),
+    /// `impl [Trait for] Type {` — carries the self type when recovered.
+    Impl(Option<String>),
+    /// `trait Name {`
+    Trait(String),
+    /// A fn body or any non-item block (`if`, match arm, struct literal…).
+    Block,
+}
+
+/// A parsed-but-not-yet-attached item header, waiting for its `{` or `;`.
+enum Pending {
+    Mod(String),
+    Impl(Option<String>),
+    Trait(String),
+    /// Index into `ItemTable::fns` of the fn whose body comes next.
+    Fn(usize),
+}
+
+/// Keywords that can appear between `pub`/attributes and `fn`.
+const FN_QUALIFIERS: &[&str] = &["const", "async", "unsafe", "extern"];
+
+/// Parse one lexed file into `out.fns`. `file` is the workspace file index
+/// recorded on each item.
+pub fn parse_file(
+    file: usize,
+    crate_name: &str,
+    src: &str,
+    lexed: &Lexed,
+    testmap: &TestMap,
+    out: &mut ItemTable,
+) {
+    let toks = &lexed.tokens;
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // Paren/bracket nesting, so the `;` inside `fn f(x: [u8; 4])` is not
+    // mistaken for the end of the item header.
+    let mut group_depth = 0i64;
+    let mut i = 0usize;
+
+    while i < toks.len() {
+        let tok = &toks[i];
+        match tok.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                group_depth += 1;
+                i += 1;
+            }
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                group_depth -= 1;
+                i += 1;
+            }
+            TokenKind::Punct('{') => {
+                let scope = match pending.take() {
+                    Some(Pending::Mod(name)) => Scope::Mod(name),
+                    Some(Pending::Impl(ty)) => Scope::Impl(ty),
+                    Some(Pending::Trait(name)) => Scope::Trait(name),
+                    Some(Pending::Fn(idx)) => {
+                        out.fns[idx].body = Some(i + 1..close_of(toks, i));
+                        Scope::Block
+                    }
+                    None => Scope::Block,
+                };
+                stack.push(scope);
+                i += 1;
+            }
+            TokenKind::Punct('}') => {
+                stack.pop();
+                i += 1;
+            }
+            TokenKind::Punct(';') => {
+                // `mod name;`, `fn f(...);` (trait signature), `use ...;`:
+                // the pending header has no body here. A `;` nested in
+                // `[u8; 4]`-style groups is part of the signature.
+                if group_depth == 0 {
+                    pending = None;
+                }
+                i += 1;
+            }
+            TokenKind::Ident if pending.is_none() => {
+                let text = tok.text(src);
+                match text {
+                    "fn" => {
+                        if let Some(name_tok) = toks.get(i + 1) {
+                            if name_tok.kind == TokenKind::Ident {
+                                let idx = register_fn(
+                                    file, crate_name, src, toks, testmap, &stack, i, out,
+                                );
+                                pending = Some(Pending::Fn(idx));
+                                i += 2;
+                                continue;
+                            }
+                        }
+                        // `fn(` — a fn-pointer type, not an item.
+                        i += 1;
+                    }
+                    "mod" => {
+                        if let Some(name_tok) = toks.get(i + 1) {
+                            if name_tok.kind == TokenKind::Ident {
+                                pending = Some(Pending::Mod(name_tok.text(src).to_string()));
+                                i += 2;
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                    "trait" => {
+                        if let Some(name_tok) = toks.get(i + 1) {
+                            if name_tok.kind == TokenKind::Ident {
+                                pending = Some(Pending::Trait(name_tok.text(src).to_string()));
+                                i += 2;
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                    "impl" => {
+                        pending = Some(Pending::Impl(impl_self_type(src, toks, i)));
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Token index of the `}` matching the `{` at `open` (or the last token on
+/// an unbalanced file — the lexer guarantees nothing about brace balance).
+fn close_of(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, tok) in toks.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Recover the self type of an `impl` header starting at token `i`
+/// (`impl`). Handles `impl Type`, `impl<T> Type<T>`, `impl Trait for Type`
+/// with `&`/`mut`/`dyn` prefixes skipped; gives up (None) at `{`.
+fn impl_self_type(src: &str, toks: &[Token], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    // Skip the generic parameter list `<...>` if present.
+    if toks.get(j).map(|t| t.kind) == Some(TokenKind::Punct('<')) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(j) {
+            match t.kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                TokenKind::Punct('{') => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // `impl Trait for Type`: prefer the ident after `for`. Otherwise the
+    // first type ident after the generics.
+    let mut first: Option<String> = None;
+    let mut after_for = false;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokenKind::Punct('{') | TokenKind::Punct(';') => break,
+            TokenKind::Ident => {
+                let text = t.text(src);
+                match text {
+                    "for" => after_for = true,
+                    "where" => break,
+                    "dyn" | "mut" => {}
+                    _ => {
+                        if after_for {
+                            return Some(text.to_string());
+                        }
+                        if first.is_none() {
+                            first = Some(text.to_string());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    first
+}
+
+/// `pub` visibility of the item whose keyword sits at token `kw`: scan back
+/// over qualifiers (`const unsafe extern "C"`) for a `pub` not restricted
+/// by `pub(...)`. Stops at any token that ends a previous item.
+fn is_pub_at(src: &str, toks: &[Token], kw: usize) -> bool {
+    let mut j = kw;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            TokenKind::Ident => {
+                let text = t.text(src);
+                if text == "pub" {
+                    return toks.get(j + 1).map(|t| t.kind) != Some(TokenKind::Punct('('));
+                }
+                if !FN_QUALIFIERS.contains(&text) {
+                    return false;
+                }
+            }
+            // `pub(crate)` restriction tokens and the `extern "C"` ABI
+            // string sit between `pub` and the keyword.
+            TokenKind::Str | TokenKind::Punct(')') | TokenKind::Punct('(') => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn register_fn(
+    file: usize,
+    crate_name: &str,
+    src: &str,
+    toks: &[Token],
+    testmap: &TestMap,
+    stack: &[Scope],
+    fn_kw: usize,
+    out: &mut ItemTable,
+) -> usize {
+    let name_tok = &toks[fn_kw + 1];
+    let name = name_tok.text(src).to_string();
+    let mut path_parts: Vec<&str> = Vec::new();
+    let mut owner = None;
+    for scope in stack {
+        match scope {
+            Scope::Mod(m) => path_parts.push(m),
+            Scope::Impl(Some(ty)) => {
+                path_parts.push(ty);
+                owner = Some(ty.clone());
+            }
+            Scope::Impl(None) => owner = None,
+            Scope::Trait(name) => {
+                path_parts.push(name);
+                owner = Some(name.clone());
+            }
+            Scope::Block => {}
+        }
+    }
+    path_parts.push(&name);
+    let qualified = path_parts.join("::");
+    let item = FnItem {
+        file,
+        crate_name: crate_name.to_string(),
+        name,
+        qualified,
+        owner,
+        is_pub: is_pub_at(src, toks, fn_kw),
+        line: toks[fn_kw].line,
+        col: name_tok.col,
+        body: None,
+        in_test: testmap.is_test_line(toks[fn_kw].line),
+    };
+    out.fns.push(item);
+    out.fns.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::testmap;
+
+    fn table(src: &str) -> ItemTable {
+        let lexed = lex(src);
+        let tm = testmap::build(&lexed.tokens, src, src.lines().count());
+        let mut t = ItemTable::default();
+        parse_file(0, "demo", src, &lexed, &tm, &mut t);
+        t
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let t =
+            table("pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\npub const unsafe fn d() {}\n");
+        let names: Vec<_> = t.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            names,
+            vec![("a", true), ("b", false), ("c", false), ("d", true)]
+        );
+    }
+
+    #[test]
+    fn impl_methods_get_owner_and_qualified_name() {
+        let t =
+            table("impl Natural {\n    pub fn from_limbs(v: Vec<u64>) -> Natural { body() }\n}\n");
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].owner.as_deref(), Some("Natural"));
+        assert_eq!(t.fns[0].qualified, "Natural::from_limbs");
+        assert!(t.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn trait_impls_resolve_the_self_type_after_for() {
+        let t =
+            table("impl<T: Clone> Display for Shard<T> where T: Copy {\n    fn fmt(&self) {}\n}\n");
+        assert_eq!(t.fns[0].owner.as_deref(), Some("Shard"));
+    }
+
+    #[test]
+    fn mod_nesting_builds_paths() {
+        let t = table("mod outer {\n    mod inner {\n        fn deep() {}\n    }\n}\n");
+        assert_eq!(t.fns[0].qualified, "outer::inner::deep");
+    }
+
+    #[test]
+    fn mod_decl_and_fn_pointer_types_are_not_items() {
+        let t = table("mod elsewhere;\npub fn f(cb: fn(u32) -> u32) -> u32 { cb(1) }\n");
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "f");
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let t =
+            table("trait T {\n    fn required(&self);\n    fn provided(&self) { default() }\n}\n");
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns[0].body.is_none());
+        assert!(t.fns[1].body.is_some());
+        assert_eq!(t.fns[1].qualified, "T::provided");
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_impl_block() {
+        let t = table(
+            "pub fn iter() -> impl Iterator<Item = u32> {\n    helper()\n}\nfn helper() {}\n",
+        );
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].owner, None);
+        // The body of `iter` covers `helper()`.
+        assert!(t.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn array_type_semicolons_do_not_end_the_signature() {
+        let t = table("pub fn header(h: [u8; 36]) -> [u8; 4] {\n    encode(h)\n}\n");
+        assert_eq!(t.fns.len(), 1);
+        assert!(t.fns[0].body.is_some(), "body must attach past `[u8; 36]`");
+    }
+
+    #[test]
+    fn test_region_fns_are_flagged() {
+        let t = table("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n");
+        assert!(!t.fns[0].in_test);
+        assert!(t.fns[1].in_test);
+    }
+
+    #[test]
+    fn struct_literals_do_not_corrupt_scoping() {
+        let src = "impl Store {\n    fn make(&self) -> Meta {\n        Meta { count: 0 }\n    }\n    fn next(&self) {}\n}\n";
+        let t = table(src);
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[1].qualified, "Store::next");
+    }
+}

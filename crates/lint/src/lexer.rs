@@ -215,6 +215,36 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
+        // Raw identifiers: `r#match` is one identifier, not `r` + `#` +
+        // `match` (the `r#"` raw-string case was ruled out above).
+        if c == 'r' && cur.peek_at(1) == Some('#') && cur.peek_at(2).is_some_and(is_ident_start) {
+            cur.bump();
+            cur.bump();
+            cur.bump_while(is_ident_continue);
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: cur.byte_offset(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Byte char literals: `b'x'`, `b'\n'`.
+        if c == 'b' && cur.peek_at(1) == Some('\'') {
+            cur.bump();
+            let kind = lex_quote(&mut cur);
+            tokens.push(Token {
+                kind,
+                start,
+                end: cur.byte_offset(),
+                line,
+                col,
+            });
+            continue;
+        }
+
         if is_ident_start(c) {
             cur.bump_while(is_ident_continue);
             tokens.push(Token {
@@ -345,8 +375,12 @@ fn lex_quote(cur: &mut Cursor) -> TokenKind {
     cur.bump(); // the quote
     match cur.peek() {
         Some('\\') => {
-            // Escaped char literal: consume escape then up to the closing
-            // quote (covers \n, \x41, \u{1F600}).
+            // Escaped char literal: consume the backslash and the escaped
+            // character itself — crucially `'\''` ends at the *third* quote,
+            // so the escaped `'` must be consumed unconditionally before
+            // scanning for the closing quote — then any multi-char escape
+            // tail (covers \n, \', \\, \x41, \u{1F600}).
+            cur.bump();
             cur.bump();
             cur.bump_while(|c| c != '\'');
             cur.bump();
@@ -504,6 +538,85 @@ mod tests {
             .map(|(_, t)| t.as_str())
             .collect();
         assert_eq!(nums, vec!["0", "0xff_u64", "1.5e-3", "7usize"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_cascade() {
+        // `'\''` ends at the third quote; the old lexer stopped one short
+        // and the stray closing quote re-opened as a bogus char literal,
+        // swallowing following code. The `unwrap` after it must survive.
+        let ks = kinds(r"let c = '\''; x.unwrap()");
+        assert!(ks.contains(&(TokenKind::Char, r"'\''".into())));
+        assert!(ks.contains(&(TokenKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn escaped_backslash_and_numeric_escapes() {
+        let ks = kinds(r"'\\' '\n' '\x41' '\u{1F600}' tail");
+        let chars: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec![r"'\\'", r"'\n'", r"'\x41'", r"'\u{1F600}'"]);
+        assert!(ks.contains(&(TokenKind::Ident, "tail".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        // `r#match` is one identifier; the old lexer split it into `r`,
+        // `#`, `match`, which corrupted attribute and item parsing.
+        let ks = kinds("let r#match = r#try; r#\"still a raw string\"#");
+        assert!(ks.contains(&(TokenKind::Ident, "r#match".into())));
+        assert!(ks.contains(&(TokenKind::Ident, "r#try".into())));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn byte_char_literals_are_chars_not_idents() {
+        let ks = kinds(r#"b'x' b'\n' b"str" ident"#);
+        assert_eq!(ks[0], (TokenKind::Char, "b'x'".into()));
+        assert_eq!(ks[1], (TokenKind::Char, r"b'\n'".into()));
+        assert_eq!(ks[2].0, TokenKind::Str);
+        assert_eq!(ks[3], (TokenKind::Ident, "ident".into()));
+    }
+
+    #[test]
+    fn raw_string_hash_depths_and_inner_terminators() {
+        // A `"#` inside an `r##"..."##` string must not close it.
+        let src = r####"r##"has "# inside"## after"####;
+        let ks = kinds(src);
+        assert_eq!(
+            ks[0],
+            (TokenKind::Str, r####"r##"has "# inside"##"####.into())
+        );
+        assert_eq!(ks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn block_comment_star_slash_edges() {
+        // `/*/` does not self-close; `/**/` is empty; depth counts pairs.
+        let lexed = lex("/*/ still comment */ a /**/ b /* x /*/ y */ z */ c");
+        let toks: Vec<_> = lexed
+            .tokens
+            .iter()
+            .map(|t| t.text("/*/ still comment */ a /**/ b /* x /*/ y */ z */ c"))
+            .collect();
+        assert_eq!(toks, vec!["a", "b", "c"]);
+        assert_eq!(lexed.comments.len(), 3);
+    }
+
+    #[test]
+    fn lifetime_label_and_char_disambiguation() {
+        let ks = kinds("'outer: loop { break 'outer; } let c = 'c'; &'_ T");
+        assert!(
+            ks.iter()
+                .filter(|(k, t)| *k == TokenKind::Lifetime && t == "'outer")
+                .count()
+                == 2
+        );
+        assert!(ks.contains(&(TokenKind::Char, "'c'".into())));
+        assert!(ks.contains(&(TokenKind::Lifetime, "'_".into())));
     }
 
     #[test]

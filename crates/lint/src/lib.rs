@@ -37,39 +37,180 @@
 #![forbid(unsafe_code)]
 
 pub mod annot;
+pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod semantic;
 pub mod testmap;
 
-pub use diag::{render_report, Diagnostic};
+pub use diag::{render_json, render_report, Diagnostic};
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lint one in-memory file. `rel_path` is the path diagnostics report
-/// (forward slashes); `crate_name` is the crate's directory name under
-/// `crates/` (`bigint`, not `wk-bigint`).
+/// One source file of the workspace under analysis, as the pipeline's
+/// owned input.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path diagnostics report (forward slashes).
+    pub rel_path: String,
+    /// Crate directory name under `crates/` (`bigint`, not `wk-bigint`).
+    pub crate_name: String,
+    /// The crate's lib identifier as other crates reference it
+    /// (`wk_bigint`; the core crate is `weakkeys`). Drives the call
+    /// graph's textual dependency inference.
+    pub lib_name: String,
+    pub src: String,
+}
+
+/// One fully lexed and annotated file, shared by the token rules and the
+/// semantic pass.
+pub struct FileUnit<'s> {
+    pub rel_path: &'s str,
+    pub crate_name: &'s str,
+    pub lib_name: &'s str,
+    pub src: &'s str,
+    pub lexed: lexer::Lexed,
+    pub testmap: testmap::TestMap,
+    pub annotations: Vec<annot::Annotation>,
+}
+
+/// Lint a whole workspace of in-memory files: per-file token rules, then
+/// the workspace-level semantic rules over the item table and call graph,
+/// then per-file annotation resolution over the combined findings.
+/// Diagnostics come back sorted by path and position.
+pub fn check_workspace(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let units: Vec<FileUnit> = files
+        .iter()
+        .map(|f| {
+            let lexed = lexer::lex(&f.src);
+            let testmap = testmap::build(&lexed.tokens, &f.src, f.src.lines().count());
+            let annotations = annot::parse(&lexed.comments, &lexed.tokens, &f.src);
+            FileUnit {
+                rel_path: &f.rel_path,
+                crate_name: &f.crate_name,
+                lib_name: &f.lib_name,
+                src: &f.src,
+                lexed,
+                testmap,
+                annotations,
+            }
+        })
+        .collect();
+
+    let mut table = items::ItemTable::default();
+    for (i, u) in units.iter().enumerate() {
+        items::parse_file(i, u.crate_name, u.src, &u.lexed, &u.testmap, &mut table);
+    }
+    let file_tokens: Vec<callgraph::FileTokens> = units
+        .iter()
+        .map(|u| callgraph::FileTokens {
+            crate_name: u.crate_name,
+            lib_name: u.lib_name,
+            src: u.src,
+            lexed: &u.lexed,
+        })
+        .collect();
+    let graph = callgraph::build(&table, &file_tokens);
+
+    let mut per_file: Vec<Vec<Diagnostic>> = units
+        .iter()
+        .map(|u| {
+            rules::file_findings(&rules::FileContext {
+                rel_path: u.rel_path,
+                crate_name: u.crate_name,
+                src: u.src,
+                lexed: &u.lexed,
+                testmap: &u.testmap,
+                annotations: &u.annotations,
+            })
+        })
+        .collect();
+    for (file, diag) in semantic::check(&units, &table, &graph) {
+        per_file[file].push(diag);
+    }
+
+    let mut diags = Vec::new();
+    for (u, findings) in units.iter().zip(per_file) {
+        let ctx = rules::FileContext {
+            rel_path: u.rel_path,
+            crate_name: u.crate_name,
+            src: u.src,
+            lexed: &u.lexed,
+            testmap: &u.testmap,
+            annotations: &u.annotations,
+        };
+        diags.extend(rules::resolve(&ctx, findings));
+    }
+    diags.sort_by_key(|d| d.sort_key());
+    diags
+}
+
+/// Lint one in-memory file (a one-file workspace). Cross-file rules see
+/// only this file; the token rules behave exactly as before the semantic
+/// upgrade.
 pub fn check_source(rel_path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let testmap = testmap::build(&lexed.tokens, src, src.lines().count());
-    let annotations = annot::parse(&lexed.comments, &lexed.tokens, src);
-    let ctx = rules::FileContext {
-        rel_path,
-        crate_name,
-        src,
-        lexed: &lexed,
-        testmap: &testmap,
-        annotations: &annotations,
+    check_workspace(&[SourceFile {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        lib_name: default_lib_name(crate_name),
+        src: src.to_string(),
+    }])
+}
+
+/// The lib identifier a crate directory maps to when no manifest says
+/// otherwise: `wk_<dir>`, except the core crate which is `weakkeys`.
+fn default_lib_name(crate_name: &str) -> String {
+    if crate_name == "core" {
+        "weakkeys".to_string()
+    } else {
+        format!("wk_{}", crate_name.replace('-', "_"))
+    }
+}
+
+/// The lib identifier of a crate directory, from its `Cargo.toml`
+/// (`[lib] name` override, else the `[package]` name with dashes
+/// underscored). Fixture crates without a manifest get the default.
+fn lib_name_of(crate_dir: &Path, crate_name: &str) -> String {
+    let Ok(manifest) = fs::read_to_string(crate_dir.join("Cargo.toml")) else {
+        return default_lib_name(crate_name);
     };
-    rules::check(&ctx)
+    let (mut in_package, mut in_lib) = (false, false);
+    let (mut package_name, mut lib_name) = (None, None);
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            in_lib = line == "[lib]";
+            continue;
+        }
+        if let Some(value) = line
+            .strip_prefix("name")
+            .map(str::trim_start)
+            .and_then(|rest| rest.strip_prefix('='))
+        {
+            let value = value.trim().trim_matches('"').to_string();
+            if in_lib {
+                lib_name = Some(value);
+            } else if in_package {
+                package_name = Some(value);
+            }
+        }
+    }
+    lib_name
+        .or(package_name)
+        .map(|n| n.replace('-', "_"))
+        .unwrap_or_else(|| default_lib_name(crate_name))
 }
 
 /// Collect every `<root>/<crate>/src/**/*.rs` file, sorted for
 /// deterministic diagnostic order. Roots are crate-collection directories
 /// (normally just `crates`).
-pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<(PathBuf, String)>> {
+pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     for root in roots {
         if !root.is_dir() {
@@ -90,10 +231,19 @@ pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<(PathBuf, String)>> {
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
+            let lib_name = lib_name_of(&crate_dir, &crate_name);
             let mut sources = Vec::new();
             walk_rs(&crate_dir.join("src"), &mut sources)?;
             sources.sort();
-            files.extend(sources.into_iter().map(|p| (p, crate_name.clone())));
+            for path in sources {
+                let src = fs::read_to_string(&path)?;
+                files.push(SourceFile {
+                    rel_path: path.to_string_lossy().replace('\\', "/"),
+                    crate_name: crate_name.clone(),
+                    lib_name: lib_name.clone(),
+                    src,
+                });
+            }
         }
     }
     Ok(files)
@@ -114,14 +264,7 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// Lint every source file under the given roots; diagnostics come back
 /// sorted by path and position.
 pub fn run(roots: &[PathBuf]) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-    for (path, crate_name) in collect_files(roots)? {
-        let src = fs::read_to_string(&path)?;
-        let rel = path.to_string_lossy().replace('\\', "/");
-        diags.extend(check_source(&rel, &crate_name, &src));
-    }
-    diags.sort_by_key(|d| d.sort_key());
-    Ok(diags)
+    Ok(check_workspace(&collect_files(roots)?))
 }
 
 #[cfg(test)]
@@ -145,8 +288,9 @@ mod tests {
 
     #[test]
     fn unwrap_outside_scoped_crates_is_fine() {
+        // `lint` and `bench` are tooling crates, outside the no-panic scope.
         let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
-        assert!(check_source("crates/analysis/src/x.rs", "analysis", src).is_empty());
+        assert!(check_source("crates/lint/src/x.rs", "lint", src).is_empty());
     }
 
     #[test]

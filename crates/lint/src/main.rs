@@ -1,7 +1,8 @@
-//! CLI driver: `wk-lint [--quiet] <crates-dir>...`
+//! CLI driver: `wk-lint [--quiet] [--format=text|json] <crates-dir>...`
 //!
 //! Lints every `<crates-dir>/*/src/**/*.rs` file and prints rustc-style
-//! diagnostics. Exit status: 0 clean, 1 findings, 2 usage or I/O error —
+//! diagnostics (or a stable JSON report with `--format=json`, for CI
+//! annotation). Exit status: 0 clean, 1 findings, 2 usage or I/O error —
 //! CI gates on it (see `.github/workflows/ci.yml`, job `lint-invariants`).
 
 #![forbid(unsafe_code)]
@@ -9,14 +10,23 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut quiet = false;
+    let mut format = Format::Text;
     let mut roots = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quiet" | "-q" => quiet = true,
+            "--format=text" => format = Format::Text,
+            "--format=json" => format = Format::Json,
             "--help" | "-h" => {
-                println!("usage: wk-lint [--quiet] <crates-dir>...");
+                println!("usage: wk-lint [--quiet] [--format=text|json] <crates-dir>...");
                 println!("lints every <crates-dir>/*/src/**/*.rs for workspace invariants");
                 return ExitCode::SUCCESS;
             }
@@ -28,18 +38,20 @@ fn main() -> ExitCode {
         }
     }
     if roots.is_empty() {
-        eprintln!("usage: wk-lint [--quiet] <crates-dir>...");
+        eprintln!("usage: wk-lint [--quiet] [--format=text|json] <crates-dir>...");
         return ExitCode::from(2);
     }
     match wk_lint::run(&roots) {
         Ok(diags) => {
-            if quiet {
-                let report = wk_lint::render_report(&diags);
-                if let Some(summary) = report.lines().last() {
-                    println!("{summary}");
+            match format {
+                Format::Json => print!("{}", wk_lint::render_json(&diags)),
+                Format::Text if quiet => {
+                    let report = wk_lint::render_report(&diags);
+                    if let Some(summary) = report.lines().last() {
+                        println!("{summary}");
+                    }
                 }
-            } else {
-                print!("{}", wk_lint::render_report(&diags));
+                Format::Text => print!("{}", wk_lint::render_report(&diags)),
             }
             if diags.is_empty() {
                 ExitCode::SUCCESS

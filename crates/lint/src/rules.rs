@@ -1,15 +1,21 @@
-//! The four workspace invariants, as token-pattern rules.
+//! The token-pattern rules (per-file invariants) and the annotation
+//! resolver shared with the semantic pass.
 //!
 //! | rule id                  | scope                         | invariant |
 //! |--------------------------|-------------------------------|-----------|
-//! | `no-panic-in-lib`        | `bigint`, `batchgcd`, `scan`, `service` lib code | no `unwrap`/`expect`/panic-macros/fixed-index subscripts |
+//! | `no-panic-in-lib`        | every lib crate               | no `unwrap`/`expect`/panic-macros/fixed-index subscripts |
 //! | `atomics-ordering-audit` | `batchgcd/src/pool.rs`        | every `Ordering::Relaxed` is tagged `metrics` or `control`; `control` + `Relaxed` is an error |
 //! | `limb-normalization`     | whole workspace               | no raw `Natural { limbs: ... }` construction outside `natural.rs` |
 //! | `forbid-unsafe-creep`    | whole workspace               | no `unsafe` outside the audited allowlist |
 //!
-//! Rules emit findings; `resolve` (crate-internal) then applies `lint:allow` suppressions,
-//! demands justifications, and reports unused or malformed annotations so
-//! the annotation layer itself stays sound.
+//! The workspace-level rules (`durability-publish`, `panic-reachability`,
+//! `lock-discipline`, `watermark-provenance`) live in [`crate::semantic`];
+//! their ids are declared here so the annotation grammar can validate
+//! every `lint:allow(...)` against one [`KNOWN_RULES`] list.
+//!
+//! Rules emit findings; [`resolve`] then applies `lint:allow`
+//! suppressions, demands justifications, and reports unused, malformed, or
+//! unknown-rule annotations so the annotation layer itself stays sound.
 
 use crate::annot::{Annotation, AnnotationKind, AtomicsTag};
 use crate::diag::Diagnostic;
@@ -22,13 +28,45 @@ pub const LIMB_NORM: &str = "limb-normalization";
 pub const UNSAFE_CREEP: &str = "forbid-unsafe-creep";
 pub const UNUSED_ALLOW: &str = "unused-allow";
 pub const BAD_ANNOTATION: &str = "bad-annotation";
+pub const DURABILITY: &str = "durability-publish";
+pub const PANIC_REACH: &str = "panic-reachability";
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+pub const WATERMARK: &str = "watermark-provenance";
+
+/// Every rule id a `lint:allow(...)` may name. The meta rules
+/// (`unused-allow`, `bad-annotation`) are deliberately absent: the
+/// annotation layer cannot suppress its own audit.
+pub const KNOWN_RULES: &[&str] = &[
+    ATOMICS,
+    DURABILITY,
+    UNSAFE_CREEP,
+    LIMB_NORM,
+    LOCK_DISCIPLINE,
+    NO_PANIC,
+    PANIC_REACH,
+    WATERMARK,
+];
 
 /// Crates whose library code must not contain panic-capable calls. The
 /// arithmetic core (`bigint`, `batchgcd`) earned the rule first; `scan` and
-/// `service` joined when the key-audit daemon made them long-running — a
-/// malformed feed record must surface as an `Err` on one query, not abort
-/// a process holding months of warmed-up corpus state.
-const NO_PANIC_CRATES: &[&str] = &["bigint", "batchgcd", "scan", "service"];
+/// `service` joined when the key-audit daemon made them long-running; the
+/// semantic upgrade extended it to every lib crate — a malformed input
+/// must surface as an `Err` on one call, not abort a process holding
+/// months of warmed-up corpus state. (`lint` and `bench` are tooling, not
+/// library surface.)
+pub(crate) const NO_PANIC_CRATES: &[&str] = &[
+    "analysis",
+    "batchgcd",
+    "bigint",
+    "cert",
+    "core",
+    "fingerprint",
+    "keygen",
+    "rng",
+    "scan",
+    "service",
+    "tls",
+];
 /// Files allowed to contain `unsafe` (each reviewed in DESIGN.md).
 const UNSAFE_ALLOWLIST: &[&str] = &["batchgcd/src/pool.rs"];
 /// The one file allowed to build `Natural` from raw limbs: it defines the
@@ -76,15 +114,16 @@ impl<'s> FileContext<'s> {
     }
 }
 
-/// Run every rule over one file and resolve annotations into the final
-/// diagnostic set.
-pub fn check(ctx: &FileContext) -> Vec<Diagnostic> {
+/// Run every token-pattern rule over one file, returning raw findings.
+/// The caller appends any workspace-level findings for this file and then
+/// feeds the combined set through [`resolve`].
+pub fn file_findings(ctx: &FileContext) -> Vec<Diagnostic> {
     let mut findings = Vec::new();
     no_panic_in_lib(ctx, &mut findings);
     limb_normalization(ctx, &mut findings);
     forbid_unsafe_creep(ctx, &mut findings);
     atomics_ordering_audit(ctx, &mut findings);
-    resolve(ctx, findings)
+    findings
 }
 
 /// `no-panic-in-lib`: panic-capable constructs in arithmetic-core library
@@ -298,9 +337,10 @@ fn atomics_ordering_audit(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
 }
 
 /// Apply `lint:allow` suppressions and audit the annotation layer itself:
-/// justifications are mandatory, and annotations that suppress or classify
-/// nothing are reported so they cannot go stale silently.
-fn resolve(ctx: &FileContext, findings: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// justifications are mandatory, rule ids must come from [`KNOWN_RULES`],
+/// and annotations that suppress or classify nothing are reported so they
+/// cannot go stale silently.
+pub fn resolve(ctx: &FileContext, findings: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let mut used = vec![false; ctx.annotations.len()];
     let mut out = Vec::new();
 
@@ -335,6 +375,15 @@ fn resolve(ctx: &FileContext, findings: Vec<Diagnostic>) -> Vec<Diagnostic> {
                 format!("malformed `lint:` annotation: {reason}"),
                 "see DESIGN.md for the annotation grammar".to_string(),
             )),
+            AnnotationKind::Allow { rule } if !KNOWN_RULES.contains(&rule.as_str()) => {
+                out.push(annotation_diag(
+                    ctx,
+                    annot,
+                    BAD_ANNOTATION,
+                    format!("unknown rule id `{rule}` in `lint:allow(...)`"),
+                    format!("known rules: {}", KNOWN_RULES.join(", ")),
+                ))
+            }
             AnnotationKind::Allow { rule } if !used[idx] => out.push(annotation_diag(
                 ctx,
                 annot,

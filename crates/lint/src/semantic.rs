@@ -1,0 +1,746 @@
+//! The workspace-level semantic rules, built on [`crate::items`],
+//! [`crate::callgraph`] and [`crate::dataflow`].
+//!
+//! | rule id                | scope                    | invariant |
+//! |------------------------|--------------------------|-----------|
+//! | `durability-publish`   | `batchgcd`, `service`    | every `fs::rename` publish is followed by a parent-directory `fsync_dir` with no early return between |
+//! | `panic-reachability`   | public fns of the no-panic crates | no *transitive* path through the call graph to an unjustified panic site |
+//! | `lock-discipline`      | whole workspace          | no `Mutex`/`RwLock` guard held across a channel send/recv or a blocking file write |
+//! | `watermark-provenance` | `service`                | persisted watermarks/state tags derive only from on-disk state, never wall-clock or process-local counters |
+//!
+//! Unlike the token rules in [`crate::rules`], these see the whole
+//! workspace at once: findings in one file can be caused by code in
+//! another (a panic three crates away), and each rule documents the
+//! approximation that keeps it tractable without type information.
+
+use crate::callgraph::{CallGraph, Reachability};
+use crate::dataflow;
+use crate::diag::Diagnostic;
+use crate::items::ItemTable;
+use crate::lexer::{Token, TokenKind};
+use crate::rules;
+use crate::FileUnit;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// Crates whose publish paths (rename-into-place) must be crash-durable.
+const DURABILITY_CRATES: &[&str] = &["batchgcd", "service"];
+/// The crate whose persistence metadata is provenance-audited.
+const WATERMARK_CRATE: &str = "service";
+/// Receivers whose `.len()` reflects on-disk state and may feed a
+/// watermark (the store and cache expose persisted counts; `committed` and
+/// `shards` are their internals; `watermark` is already-persisted state).
+const DISK_BACKED_RECEIVERS: &[&str] = &["store", "cache", "watermark", "committed", "shards"];
+/// Calls that block (channel rendezvous or synchronous I/O) and must not
+/// run under a lock guard.
+const BLOCKING_METHODS: &[&str] = &[
+    "send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "write_all",
+    "sync_all",
+    "sync_data",
+    "fsync_dir",
+    "write_atomic",
+];
+/// Path-qualified blocking calls (`fs::rename`, `File::create`).
+const BLOCKING_QUALIFIED: &[&str] = &["rename", "create"];
+/// Guard-producing method names, and the adapters that merely unwrap the
+/// poison result without releasing the guard.
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Run every semantic rule. Returns `(file index, finding)` pairs so the
+/// caller can resolve each file's annotations against them.
+pub fn check(units: &[FileUnit], table: &ItemTable, graph: &CallGraph) -> Vec<(usize, Diagnostic)> {
+    let mut out = Vec::new();
+    durability_publish(units, table, &mut out);
+    lock_discipline(units, table, &mut out);
+    watermark_provenance(units, table, &mut out);
+    panic_reachability(units, table, graph, &mut out);
+    out
+}
+
+fn line_text(src: &str, line: u32) -> String {
+    src.lines().nth(line as usize - 1).unwrap_or("").to_string()
+}
+
+fn diag_at(unit: &FileUnit, tok: &Token, rule: &str, message: String, help: String) -> Diagnostic {
+    Diagnostic {
+        path: unit.rel_path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        len: tok.text(unit.src).chars().count(),
+        rule: rule.to_string(),
+        message,
+        help,
+        source_line: line_text(unit.src, tok.line),
+    }
+}
+
+/// Token index of the close matching the opener at `open` (same kind
+/// nesting), clamped to the end of `body`.
+fn matching_close(toks: &[Token], body: &Range<usize>, open: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0i64;
+    for (k, tok) in toks.iter().enumerate().take(body.end).skip(open) {
+        if tok.kind == TokenKind::Punct(oc) {
+            depth += 1;
+        } else if tok.kind == TokenKind::Punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    body.end
+}
+
+fn is_call(src: &str, toks: &[Token], i: usize, name: &str) -> bool {
+    toks[i].kind == TokenKind::Ident
+        && toks[i].text(src) == name
+        && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+}
+
+fn qualified_by_path(toks: &[Token], i: usize, lo: usize) -> bool {
+    i >= lo + 2
+        && toks[i - 1].kind == TokenKind::Punct(':')
+        && toks[i - 2].kind == TokenKind::Punct(':')
+}
+
+/// `durability-publish`: inside the publish-path crates, a
+/// `fs::rename(tmp, dst)` makes an artifact *visible*; until the
+/// destination's parent directory is fsynced the new directory entry can
+/// vanish in a crash (the PR-7 §8.2 bug class). The rule demands a
+/// `fsync_dir(..)` call later in the same function, with no `return`
+/// between the two — a linear-sequence approximation of "on all paths"
+/// that matches how every real publish site is written (rename directly
+/// followed by the directory fsync).
+fn durability_publish(units: &[FileUnit], table: &ItemTable, out: &mut Vec<(usize, Diagnostic)>) {
+    for f in &table.fns {
+        if f.in_test || !DURABILITY_CRATES.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let unit = &units[f.file];
+        let toks = &unit.lexed.tokens;
+        for i in body.clone() {
+            if !(is_call(unit.src, toks, i, "rename") && qualified_by_path(toks, i, body.start)) {
+                continue;
+            }
+            let mut early_return = None;
+            let mut fsynced = false;
+            for k in i + 1..body.end {
+                if toks[k].kind == TokenKind::Ident {
+                    let text = toks[k].text(unit.src);
+                    if text == "return" && early_return.is_none() {
+                        early_return = Some(k);
+                    }
+                    if is_call(unit.src, toks, k, "fsync_dir") {
+                        fsynced = true;
+                        break;
+                    }
+                }
+            }
+            let (message, help) = if !fsynced {
+                (
+                    "publish via `rename` without a following `fsync_dir`".to_string(),
+                    "fsync the destination's parent directory after the rename so the new \
+                     entry survives a crash, or annotate `// lint:allow(durability-publish) <why>`"
+                        .to_string(),
+                )
+            } else if let Some(r) = early_return {
+                (
+                    format!(
+                        "`return` on line {} between `rename` and its `fsync_dir`",
+                        toks[r].line
+                    ),
+                    "every path from the rename must reach the parent-directory fsync; \
+                     restructure so the fsync happens first, or annotate \
+                     `// lint:allow(durability-publish) <why>`"
+                        .to_string(),
+                )
+            } else {
+                continue;
+            };
+            out.push((
+                f.file,
+                diag_at(unit, &toks[i], rules::DURABILITY, message, help),
+            ));
+        }
+    }
+}
+
+/// `lock-discipline`: a `Mutex`/`RwLock` guard bound to a local must not
+/// stay live across a channel `send`/`recv` or a blocking file write —
+/// channel rendezvous under a lock is a deadlock waiting for a second
+/// lock site, and fsync-class I/O under a lock serializes every other
+/// thread behind a disk flush. Liveness is lexical (binding to enclosing
+/// block end, shortened by `drop(guard)`); guards consumed within one
+/// statement (`m.lock().unwrap().push(x)`) never bind and are exempt.
+fn lock_discipline(units: &[FileUnit], table: &ItemTable, out: &mut Vec<(usize, Diagnostic)>) {
+    for f in &table.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let unit = &units[f.file];
+        let toks = &unit.lexed.tokens;
+        for stmt in dataflow::let_statements(unit.src, toks, body) {
+            if !binds_guard(unit.src, toks, &stmt.init) {
+                continue;
+            }
+            let live_end = dataflow::enclosing_block_end(toks, body, stmt.let_idx);
+            let live = stmt.end + 1..live_end;
+            let live = match dataflow::drop_of(unit.src, toks, &live, &stmt.name) {
+                Some(d) => live.start..d,
+                None => live,
+            };
+            for k in live {
+                let blocking = (toks[k].kind == TokenKind::Ident)
+                    && ((BLOCKING_METHODS.contains(&toks[k].text(unit.src))
+                        && is_call(unit.src, toks, k, toks[k].text(unit.src)))
+                        || (BLOCKING_QUALIFIED.contains(&toks[k].text(unit.src))
+                            && is_call(unit.src, toks, k, toks[k].text(unit.src))
+                            && qualified_by_path(toks, k, body.start)));
+                if blocking {
+                    let op = toks[k].text(unit.src);
+                    out.push((
+                        f.file,
+                        diag_at(
+                            unit,
+                            &toks[k],
+                            rules::LOCK_DISCIPLINE,
+                            format!("`{}` called while lock guard `{}` is live", op, stmt.name),
+                            format!(
+                                "release the guard first (`drop({})`) or move the blocking \
+                                 call out of the locked region, or annotate \
+                                 `// lint:allow(lock-discipline) <why>`",
+                                stmt.name
+                            ),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Does this initializer *bind a lock guard*? True when the call chain
+/// ends at `.lock()` / zero-arg `.read()` / zero-arg `.write()` / a bare
+/// `lock(...)` helper, followed only by poison adapters
+/// (`unwrap`/`expect`/`unwrap_or_else`). A chain that continues into any
+/// other method (`.clone()`, `.pop()`) extracts data and drops the guard
+/// at statement end.
+fn binds_guard(src: &str, toks: &[Token], init: &Range<usize>) -> bool {
+    for i in init.clone() {
+        let text = if toks[i].kind == TokenKind::Ident {
+            toks[i].text(src)
+        } else {
+            continue;
+        };
+        let acquires = match text {
+            "lock" => is_call(src, toks, i, "lock"),
+            // Zero-arg `.read()` / `.write()` is the RwLock API; the io
+            // traits' methods of the same name always take a buffer.
+            "read" | "write" => {
+                i > init.start
+                    && toks[i - 1].kind == TokenKind::Punct('.')
+                    && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+                    && toks.get(i + 2).map(|t| t.kind) == Some(TokenKind::Punct(')'))
+            }
+            _ => false,
+        };
+        if !acquires {
+            continue;
+        }
+        // Walk past the acquisition call's argument list, then require the
+        // rest of the chain to be poison adapters only.
+        let mut j = matching_close(toks, init, i + 1, '(', ')') + 1;
+        loop {
+            if j >= init.end {
+                return true;
+            }
+            if toks[j].kind == TokenKind::Punct('?') {
+                j += 1;
+                continue;
+            }
+            if toks[j].kind == TokenKind::Punct('.')
+                && toks.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                && GUARD_ADAPTERS.contains(&toks[j + 1].text(src))
+                && toks.get(j + 2).map(|t| t.kind) == Some(TokenKind::Punct('('))
+            {
+                j = matching_close(toks, init, j + 2, '(', ')') + 1;
+                continue;
+            }
+            break; // chain continues into a data-extracting call
+        }
+    }
+    false
+}
+
+/// `watermark-provenance`: values persisted as `Watermark`/`Provenance`
+/// fields or passed to `moduli_since(..)` in `wk-service` must derive
+/// from on-disk state. Wall-clock reads (`now()`/`elapsed()`),
+/// counter-named values, locally-incremented locals, and `.len()` of
+/// in-memory collections all reset or drift across a restart — the PR-7
+/// daemon bug class. `let`-bound locals are expanded one level so
+/// `let persisted = store.total_moduli(); moduli_since(persisted)` stays
+/// clean while `let n = self.seen_counter; moduli_since(n)` is flagged.
+fn watermark_provenance(units: &[FileUnit], table: &ItemTable, out: &mut Vec<(usize, Diagnostic)>) {
+    let mut seen: HashSet<(usize, u32, u32)> = HashSet::new();
+    for f in &table.fns {
+        if f.in_test || f.crate_name != WATERMARK_CRATE {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let unit = &units[f.file];
+        let toks = &unit.lexed.tokens;
+        let bindings = dataflow::let_bindings(unit.src, toks, body);
+        let incremented = dataflow::incremented_locals(unit.src, toks, body);
+        let mut sinks: Vec<Range<usize>> = Vec::new();
+        for i in body.clone() {
+            if toks[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let text = toks[i].text(unit.src);
+            if (text == "Watermark" || text == "Provenance")
+                && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('{'))
+            {
+                sinks.push(i + 2..matching_close(toks, body, i + 1, '{', '}'));
+            }
+            if is_call(unit.src, toks, i, "moduli_since") {
+                sinks.push(i + 2..matching_close(toks, body, i + 1, '(', ')'));
+            }
+        }
+        for sink in sinks {
+            audit_expr(
+                unit,
+                f.file,
+                toks,
+                &sink,
+                &bindings,
+                &incremented,
+                0,
+                &mut seen,
+                out,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn audit_expr(
+    unit: &FileUnit,
+    file: usize,
+    toks: &[Token],
+    range: &Range<usize>,
+    bindings: &dataflow::LetBindings,
+    incremented: &HashSet<String>,
+    depth: usize,
+    seen: &mut HashSet<(usize, u32, u32)>,
+    out: &mut Vec<(usize, Diagnostic)>,
+) {
+    fn flag(
+        unit: &FileUnit,
+        file: usize,
+        tok: &Token,
+        message: String,
+        seen: &mut HashSet<(usize, u32, u32)>,
+        out: &mut Vec<(usize, Diagnostic)>,
+    ) {
+        let help = "derive persisted watermarks from on-disk state (store/cache tags and \
+                    counts), or annotate `// lint:allow(watermark-provenance) <why>`";
+        if seen.insert((file, tok.line, tok.col)) {
+            out.push((
+                file,
+                diag_at(unit, tok, rules::WATERMARK, message, help.to_string()),
+            ));
+        }
+    }
+    for k in range.clone() {
+        let tok = &toks[k];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = tok.text(unit.src);
+        let after_dot = k > range.start && toks[k - 1].kind == TokenKind::Punct('.');
+        if (text == "now" || text == "elapsed") && is_call(unit.src, toks, k, text) {
+            flag(
+                unit,
+                file,
+                tok,
+                format!("wall-clock `{text}()` feeding persisted state"),
+                seen,
+                out,
+            );
+        } else if text.contains("counter") {
+            flag(
+                unit,
+                file,
+                tok,
+                format!("counter-named value `{text}` feeding persisted state"),
+                seen,
+                out,
+            );
+        } else if !after_dot && incremented.contains(text) {
+            flag(
+                unit,
+                file,
+                tok,
+                format!("locally-incremented `{text}` feeding persisted state"),
+                seen,
+                out,
+            );
+        } else if text == "len" && after_dot && is_call(unit.src, toks, k, "len") {
+            let receiver = (k >= 2)
+                .then(|| &toks[k - 2])
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text(unit.src));
+            if let Some(recv) = receiver {
+                if !DISK_BACKED_RECEIVERS.contains(&recv) {
+                    flag(
+                        unit,
+                        file,
+                        tok,
+                        format!("in-memory `{recv}.len()` feeding persisted state"),
+                        seen,
+                        out,
+                    );
+                }
+            }
+        } else if !after_dot && depth < 2 {
+            if let Some(init) = bindings.init_of(text) {
+                // One level of `let` expansion (depth-bounded so a
+                // shadowing self-reference cannot recurse forever).
+                audit_expr(
+                    unit,
+                    file,
+                    toks,
+                    &init.clone(),
+                    bindings,
+                    incremented,
+                    depth + 1,
+                    seen,
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// `panic-reachability`: lifts `no-panic-in-lib` from syntactic occurrence
+/// to transitive reachability. An *entry* is a public fn of a no-panic
+/// crate; a *target* is any non-test fn, in any crate, whose body contains
+/// an unjustified panic site (same detectors as the token rule; sites
+/// carrying a `lint:allow(no-panic-in-lib)` justification are trusted).
+/// An entry that reaches a target *through at least one call edge* is
+/// flagged with the witness chain — same-function sites are already the
+/// token rule's report, so the two rules never double-fire.
+fn panic_reachability(
+    units: &[FileUnit],
+    table: &ItemTable,
+    graph: &CallGraph,
+    out: &mut Vec<(usize, Diagnostic)>,
+) {
+    // Per-fn first unjustified panic site.
+    let mut sites: Vec<Option<(u32, String)>> = vec![None; table.fns.len()];
+    let mut targets = Vec::new();
+    for (idx, f) in table.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let unit = &units[f.file];
+        if let Some(site) = first_panic_site(unit, body) {
+            sites[idx] = Some(site);
+            targets.push(idx);
+        }
+    }
+    let reach = Reachability::compute(graph, &targets);
+
+    for (idx, f) in table.fns.iter().enumerate() {
+        let is_entry = f.is_pub
+            && !f.in_test
+            && rules::NO_PANIC_CRATES.contains(&f.crate_name.as_str())
+            && reach.reaches[idx]
+            && reach.next_hop[idx].is_some();
+        if !is_entry {
+            continue;
+        }
+        let path = reach.path_from(idx);
+        let terminal = *path.last().unwrap_or(&idx);
+        let Some((site_line, site_what)) = &sites[terminal] else {
+            continue;
+        };
+        let chain: Vec<String> = path.iter().map(|&i| table.display_name(i)).collect();
+        let unit = &units[f.file];
+        let terminal_path = units[table.fns[terminal].file].rel_path;
+        out.push((
+            f.file,
+            Diagnostic {
+                path: unit.rel_path.to_string(),
+                line: f.line,
+                col: f.col,
+                len: f.name.chars().count(),
+                rule: rules::PANIC_REACH.to_string(),
+                message: format!(
+                    "public API can reach a panic site: {} ({site_what} at {terminal_path}:{site_line})",
+                    chain.join(" -> "),
+                ),
+                help: "make the callee fallible along this chain, justify the site with \
+                       `lint:allow(no-panic-in-lib)`, or annotate this entry \
+                       `// lint:allow(panic-reachability) <why>`"
+                    .to_string(),
+                source_line: line_text(unit.src, f.line),
+            },
+        ));
+    }
+}
+
+/// The first panic-capable construct in `body` with no justifying
+/// annotation, as `(line, description)`.
+fn first_panic_site(unit: &FileUnit, body: &Range<usize>) -> Option<(u32, String)> {
+    let toks = &unit.lexed.tokens;
+    let justified = |line: u32| {
+        unit.annotations.iter().any(|a| {
+            a.target_line == line
+                && matches!(
+                    &a.kind,
+                    crate::annot::AnnotationKind::Allow { rule }
+                        if rule == rules::NO_PANIC || rule == rules::PANIC_REACH
+                )
+        })
+    };
+    for i in body.clone() {
+        let tok = &toks[i];
+        let what = match tok.kind {
+            TokenKind::Ident => {
+                let text = tok.text(unit.src);
+                if (text == "unwrap" || text == "expect")
+                    && i > body.start
+                    && toks[i - 1].kind == TokenKind::Punct('.')
+                    && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+                {
+                    Some(format!("`.{text}()`"))
+                } else if matches!(text, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('!'))
+                {
+                    Some(format!("`{text}!`"))
+                } else {
+                    None
+                }
+            }
+            TokenKind::Punct('[') => {
+                let after_expr = i > body.start
+                    && matches!(
+                        toks[i - 1].kind,
+                        TokenKind::Ident | TokenKind::Punct(')') | TokenKind::Punct(']')
+                    );
+                (after_expr
+                    && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Number)
+                    && toks.get(i + 2).map(|t| t.kind) == Some(TokenKind::Punct(']')))
+                .then(|| format!("fixed-index `[{}]`", toks[i + 1].text(unit.src)))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            if !justified(tok.line) {
+                return Some((tok.line, what));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{check_workspace, SourceFile};
+
+    /// Run the full workspace pipeline over in-memory files.
+    fn lint(files: &[(&str, &str, &str, &str)]) -> Vec<crate::Diagnostic> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(crate_name, lib, path, src)| SourceFile {
+                rel_path: path.to_string(),
+                crate_name: crate_name.to_string(),
+                lib_name: lib.to_string(),
+                src: src.to_string(),
+            })
+            .collect();
+        check_workspace(&sources)
+    }
+
+    fn rules_of(diags: &[crate::Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn rename_without_dir_fsync_is_flagged() {
+        let src = "use std::fs;\npub fn publish(tmp: &Path, dst: &Path) -> io::Result<()> {\n    fs::rename(tmp, dst)?;\n    Ok(())\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", src)]);
+        assert!(rules_of(&d).contains(&"durability-publish"), "{d:#?}");
+    }
+
+    #[test]
+    fn rename_followed_by_fsync_dir_is_clean() {
+        let src = "use std::fs;\npub fn publish(tmp: &Path, dst: &Path, dir: &Path) -> io::Result<()> {\n    fs::rename(tmp, dst)?;\n    fsync_dir(dir)?;\n    Ok(())\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn early_return_between_rename_and_fsync_is_flagged() {
+        let src = "use std::fs;\npub fn publish(tmp: &Path, dst: &Path, dir: &Path, quick: bool) -> io::Result<()> {\n    fs::rename(tmp, dst)?;\n    if quick {\n        return Ok(());\n    }\n    fsync_dir(dir)?;\n    Ok(())\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", src)]);
+        assert_eq!(rules_of(&d), vec!["durability-publish"], "{d:#?}");
+        assert!(d[0].message.contains("`return` on line 5"));
+    }
+
+    #[test]
+    fn rename_outside_durability_crates_is_not_audited() {
+        let src = "use std::fs;\npub fn shuffle(a: &Path, b: &Path) {\n    let _ = fs::rename(a, b);\n}\n";
+        let d = lint(&[("scan", "wk_scan", "crates/scan/src/x.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn guard_held_across_send_is_flagged() {
+        let src = "pub fn feed(m: &Mutex<Vec<u8>>, tx: &Sender<u8>) {\n    let queue = m.lock().unwrap_or_else(PoisonError::into_inner);\n    tx.send(queue[0]).ok();\n}\n";
+        let d = lint(&[("batchgcd", "wk_batchgcd", "crates/batchgcd/src/x.rs", src)]);
+        assert!(d.iter().any(|d| d.rule == "lock-discipline"), "{d:#?}");
+    }
+
+    #[test]
+    fn dropping_the_guard_before_send_is_clean() {
+        let src = "pub fn feed(m: &Mutex<Vec<u8>>, tx: &Sender<u8>) -> Option<u8> {\n    let queue = m.lock().unwrap_or_else(PoisonError::into_inner);\n    let head = queue.first().copied();\n    drop(queue);\n    if let Some(h) = head {\n        tx.send(h).ok();\n    }\n    head\n}\n";
+        let d = lint(&[("batchgcd", "wk_batchgcd", "crates/batchgcd/src/x.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn inner_scope_releases_the_guard() {
+        let src = "pub fn feed(m: &Mutex<Vec<u8>>, tx: &Sender<u8>) {\n    let head = {\n        let queue = m.lock().unwrap_or_else(PoisonError::into_inner);\n        queue.first().copied()\n    };\n    if let Some(h) = head {\n        tx.send(h).ok();\n    }\n}\n";
+        let d = lint(&[("batchgcd", "wk_batchgcd", "crates/batchgcd/src/x.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn single_statement_lock_use_is_exempt() {
+        let src = "pub fn push(m: &Mutex<Vec<u8>>, tx: &Sender<u8>, v: u8) {\n    let n = m.lock().unwrap_or_else(PoisonError::into_inner).len();\n    tx.send(v).ok();\n    let _ = n;\n}\n";
+        let d = lint(&[("batchgcd", "wk_batchgcd", "crates/batchgcd/src/x.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn rwlock_write_guard_across_file_write_is_flagged() {
+        let src = "pub fn persist(l: &RwLock<State>, f: &mut File, b: &[u8]) {\n    let state = l.write().unwrap_or_else(PoisonError::into_inner);\n    f.write_all(b).ok();\n    state.touch();\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", src)]);
+        assert!(d.iter().any(|d| d.rule == "lock-discipline"), "{d:#?}");
+    }
+
+    #[test]
+    fn io_read_with_buffer_is_not_a_guard() {
+        let src = "pub fn load(f: &mut File, buf: &mut [u8], tx: &Sender<u8>) {\n    let n = f.read(buf).unwrap_or(0);\n    tx.send(n as u8).ok();\n}\n";
+        let d = lint(&[("scan", "wk_scan", "crates/scan/src/x.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn watermark_from_wall_clock_and_counter_is_flagged() {
+        let src = "pub fn commit(&mut self) -> Watermark {\n    self.publish_counter += 1;\n    Watermark {\n        stamp: SystemTime::now(),\n        tag: self.publish_counter,\n        moduli: self.store.total_moduli(),\n    }\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", src)]);
+        let watermark: Vec<_> = d
+            .iter()
+            .filter(|d| d.rule == "watermark-provenance")
+            .collect();
+        assert_eq!(watermark.len(), 2, "{d:#?}");
+        assert!(watermark[0].message.contains("wall-clock"));
+        assert!(watermark[1].message.contains("counter-named"));
+    }
+
+    #[test]
+    fn watermark_from_store_state_is_clean() {
+        let src = "pub fn commit(&self) -> Watermark {\n    Watermark {\n        moduli: self.store.total_moduli(),\n        tag: self.store.state_tag(),\n        cached: self.cache.len(),\n    }\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn let_expansion_traces_watermark_provenance() {
+        let bad = "pub fn resume(&mut self) {\n    let mut fed = 0usize;\n    fed += 1;\n    let start = fed;\n    self.moduli.moduli_since(start);\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", bad)]);
+        assert!(d.iter().any(|d| d.rule == "watermark-provenance"), "{d:#?}");
+        let good = "pub fn resume(&self) {\n    let start = self.store.total_moduli();\n    self.moduli.moduli_since(start);\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", good)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn in_memory_len_in_watermark_is_flagged() {
+        let src =
+            "pub fn commit(&self) -> Watermark {\n    Watermark { moduli: self.moduli.len() }\n}\n";
+        let d = lint(&[("service", "wk_service", "crates/service/src/x.rs", src)]);
+        assert_eq!(rules_of(&d), vec!["watermark-provenance"], "{d:#?}");
+        assert!(d[0].message.contains("`moduli.len()`"));
+    }
+
+    #[test]
+    fn transitive_panic_path_is_flagged_with_witness_chain() {
+        let entry = "use wk_mid::step;\npub fn entry(v: &[u32]) -> u32 {\n    step(v)\n}\n";
+        let mid = "use wk_util::first;\npub fn step(v: &[u32]) -> u32 {\n    first(v)\n}\n";
+        let util = "pub fn first(v: &[u32]) -> u32 {\n    v[0]\n}\n";
+        let d = lint(&[
+            ("bigint", "wk_bigint", "crates/bigint/src/lib.rs", entry),
+            ("mid", "wk_mid", "crates/mid/src/lib.rs", mid),
+            ("util", "wk_util", "crates/util/src/lib.rs", util),
+        ]);
+        let reach: Vec<_> = d
+            .iter()
+            .filter(|d| d.rule == "panic-reachability")
+            .collect();
+        assert_eq!(reach.len(), 1, "{d:#?}");
+        assert!(reach[0]
+            .message
+            .contains("bigint::entry -> mid::step -> util::first"));
+        assert!(reach[0].message.contains("crates/util/src/lib.rs:2"));
+    }
+
+    #[test]
+    fn justified_site_does_not_taint_callers() {
+        // The site lives in a no-panic crate, so the allow both suppresses
+        // the token finding and marks the site trusted for reachability.
+        let entry = "use wk_rng::first;\npub fn entry(v: &[u32]) -> u32 {\n    first(v)\n}\n";
+        let util = "pub fn first(v: &[u32]) -> u32 {\n    v[0] // lint:allow(no-panic-in-lib) callers guarantee non-empty input\n}\n";
+        let d = lint(&[
+            ("bigint", "wk_bigint", "crates/bigint/src/lib.rs", entry),
+            ("rng", "wk_rng", "crates/rng/src/lib.rs", util),
+        ]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn same_function_site_is_the_token_rules_report_not_ours() {
+        let src = "pub fn f(v: &[u32]) -> u32 {\n    v[0]\n}\n";
+        let d = lint(&[("bigint", "wk_bigint", "crates/bigint/src/lib.rs", src)]);
+        assert_eq!(rules_of(&d), vec!["no-panic-in-lib"], "{d:#?}");
+    }
+
+    #[test]
+    fn panic_reachability_allow_suppresses_the_entry() {
+        let entry = "use wk_util::first;\n// lint:allow(panic-reachability) input validated at construction\npub fn entry(v: &[u32]) -> u32 {\n    first(v)\n}\n";
+        let util = "pub fn first(v: &[u32]) -> u32 {\n    v[0]\n}\n";
+        let d = lint(&[
+            ("bigint", "wk_bigint", "crates/bigint/src/lib.rs", entry),
+            ("util", "wk_util", "crates/util/src/lib.rs", util),
+        ]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn unknown_rule_id_in_allow_is_reported() {
+        let src = "pub fn f() {} // lint:allow(no-such-rule) bogus\n";
+        let d = lint(&[("bigint", "wk_bigint", "crates/bigint/src/lib.rs", src)]);
+        assert_eq!(rules_of(&d), vec!["bad-annotation"], "{d:#?}");
+        assert!(d[0].message.contains("unknown rule id"));
+    }
+}

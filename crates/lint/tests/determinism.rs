@@ -1,0 +1,71 @@
+//! Order-independence properties: the workspace pipeline must produce the
+//! same call graph and the same findings whatever order the walker hands
+//! files in (directory iteration order is OS-dependent).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use wk_lint::{callgraph, check_workspace, collect_files, items, lexer, testmap, SourceFile};
+
+fn fixture_files() -> Vec<SourceFile> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws_bad/crates");
+    collect_files(&[root]).expect("fixture workspace reads")
+}
+
+/// Reorder `files` by the random sort keys (stable: equal keys keep the
+/// incoming order, which random u64 keys essentially never produce).
+fn permute(files: Vec<SourceFile>, keys: &[u64]) -> Vec<SourceFile> {
+    let mut keyed: Vec<(u64, SourceFile)> = files
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            (
+                keys.get(i % keys.len().max(1)).copied().unwrap_or(0) ^ i as u64,
+                f,
+            )
+        })
+        .collect();
+    keyed.sort_by_key(|&(k, _)| k);
+    keyed.into_iter().map(|(_, f)| f).collect()
+}
+
+/// The canonical call-graph edge list for a file set, built exactly as
+/// `check_workspace` builds it.
+fn edges(files: &[SourceFile]) -> Vec<(String, String)> {
+    let lexed: Vec<_> = files.iter().map(|f| lexer::lex(&f.src)).collect();
+    let mut table = items::ItemTable::default();
+    for (i, f) in files.iter().enumerate() {
+        let tm = testmap::build(&lexed[i].tokens, &f.src, f.src.lines().count());
+        items::parse_file(i, &f.crate_name, &f.src, &lexed[i], &tm, &mut table);
+    }
+    let toks: Vec<callgraph::FileTokens> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| callgraph::FileTokens {
+            crate_name: &f.crate_name,
+            lib_name: &f.lib_name,
+            src: &f.src,
+            lexed: &lexed[i],
+        })
+        .collect();
+    callgraph::build(&table, &toks).canonical_edges(&table)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same findings (down to rendered text) for every file ordering.
+    #[test]
+    fn findings_are_order_independent(keys in proptest::collection::vec(any::<u64>(), 16)) {
+        let baseline = check_workspace(&fixture_files());
+        let shuffled = permute(fixture_files(), &keys);
+        prop_assert_eq!(check_workspace(&shuffled), baseline);
+    }
+
+    /// Same canonical call-graph edges for every file ordering.
+    #[test]
+    fn call_graph_is_order_independent(keys in proptest::collection::vec(any::<u64>(), 16)) {
+        let baseline = edges(&fixture_files());
+        let shuffled = permute(fixture_files(), &keys);
+        prop_assert_eq!(edges(&shuffled), baseline);
+    }
+}

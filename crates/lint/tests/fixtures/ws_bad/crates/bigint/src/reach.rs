@@ -1,0 +1,9 @@
+//! Call-graph fixture: the panic site lives two hops away in an
+//! out-of-scope crate, so only `panic-reachability` (not the token rule)
+//! fires — at this public entry point, with the witness chain.
+
+use wk_other::unchecked_head;
+
+pub fn head_via_other(v: &[u32]) -> u32 {
+    unchecked_head(v)
+}

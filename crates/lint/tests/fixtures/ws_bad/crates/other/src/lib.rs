@@ -20,3 +20,7 @@ pub fn denormalize(n: &mut Natural) {
 pub fn creep(p: *const u64) -> u64 {
     unsafe { *p }
 }
+
+pub fn unchecked_head(v: &[u32]) -> u32 {
+    v[0]
+}

@@ -1,0 +1,30 @@
+//! Semantic-rule fixture: `service` is both a durability crate and the
+//! watermark-provenance crate, and lock discipline applies everywhere.
+
+use std::fs;
+
+/// durability-publish: the rename publishes a shard but nothing fsyncs the
+/// destination's parent directory afterwards.
+pub fn publish_shard(tmp: &Path, dst: &Path) -> io::Result<()> {
+    fs::rename(tmp, dst)?;
+    Ok(())
+}
+
+/// lock-discipline: the queue guard stays live across the channel send.
+pub fn drain(m: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let queue = m.lock().unwrap_or_else(PoisonError::into_inner);
+    for v in queue.iter() {
+        tx.send(*v).ok();
+    }
+}
+
+/// watermark-provenance: wall-clock stamp and a process-local counter both
+/// feed the persisted watermark.
+pub fn checkpoint(&mut self) -> Watermark {
+    self.flush_counter += 1;
+    Watermark {
+        stamp: SystemTime::now(),
+        tag: self.flush_counter,
+        moduli: self.store.total_moduli(),
+    }
+}

@@ -1,9 +1,11 @@
 //! Fixture-driven end-to-end tests for `wk-lint`.
 //!
 //! `tests/fixtures/ws_bad` is a mini-workspace with a violation seeded for
-//! every rule and every annotation error path; `ws_bad.expected` is the
-//! golden rendered report. `ws_clean` must produce no findings, and so must
-//! the real workspace this crate lives in.
+//! every rule (token and semantic) and every annotation error path;
+//! `ws_bad.expected` is the golden rendered report and
+//! `ws_bad.expected.json` the golden `--format=json` output. `ws_clean`
+//! must produce no findings, and so must the real workspace this crate
+//! lives in.
 
 use std::fs;
 use std::path::PathBuf;
@@ -22,6 +24,8 @@ fn report_for(workspace: &str) -> String {
     for d in &mut diags {
         let stripped = d.path.strip_prefix(&prefix).unwrap_or(&d.path).to_string();
         d.path = stripped;
+        // panic-reachability embeds the terminal site's path in its message.
+        d.message = d.message.replace(&prefix, "");
     }
     diags.sort_by_key(|d| d.sort_key());
     wk_lint::render_report(&diags)
@@ -72,7 +76,21 @@ fn cli_quiet_prints_only_the_summary() {
         .expect("run wk-lint");
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
-    assert_eq!(stdout.trim_end(), "wk-lint: 14 violations in 3 files");
+    assert_eq!(stdout.trim_end(), "wk-lint: 19 violations in 5 files");
+}
+
+#[test]
+fn cli_json_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wk-lint"))
+        .current_dir(fixtures().join("ws_bad"))
+        .args(["--format=json", "crates"])
+        .output()
+        .expect("run wk-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 json");
+    let expected =
+        fs::read_to_string(fixtures().join("ws_bad.expected.json")).expect("json golden file");
+    assert_eq!(stdout, expected);
 }
 
 #[test]

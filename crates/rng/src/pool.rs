@@ -69,7 +69,8 @@ impl EntropyPool {
         }
         // Feed back so consecutive extractions see different state, like the
         // kernel's backtrack-protection feedback.
-        self.state[0] = splitmix(self.state[0] ^ acc);
+        let [s0, ..] = &mut self.state;
+        *s0 = splitmix(*s0 ^ acc);
         acc
     }
 

@@ -22,9 +22,9 @@ fn main() {
     fixed_cfg.universal_fix = Some(UniversalFix::kernel_patch_2012());
 
     eprintln!("running baseline study...");
-    let baseline = run_pipeline(&baseline_cfg, BatchMode::default());
+    let baseline = run_pipeline(&baseline_cfg, BatchMode::default()).expect("baseline run");
     eprintln!("running counterfactual (all vendors fix new devices from 2013-01)...");
-    let fixed = run_pipeline(&fixed_cfg, BatchMode::default());
+    let fixed = run_pipeline(&fixed_cfg, BatchMode::default()).expect("counterfactual run");
 
     let base_series = aggregate_series(&baseline.dataset, baseline.vulnerable_set());
     let fix_series = aggregate_series(&fixed.dataset, fixed.vulnerable_set());

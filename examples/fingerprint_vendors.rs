@@ -14,7 +14,7 @@ use wk_fingerprint::detect_cliques;
 use wk_scan::VendorId;
 
 fn main() {
-    let results = run_pipeline(&StudyConfig::test_small(), BatchMode::default());
+    let results = run_pipeline(&StudyConfig::test_small(), BatchMode::default()).expect("pipeline");
 
     // 1. Subject-rule + extrapolation coverage.
     let mut per_vendor: BTreeMap<VendorId, usize> = BTreeMap::new();

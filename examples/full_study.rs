@@ -27,7 +27,7 @@ fn main() {
         "simulating 2010-07 .. 2016-04 at scale {scale} (seed {})...",
         config.seed
     );
-    let results = run_pipeline(&config, BatchMode::Classic { threads: 1 });
+    let results = run_pipeline(&config, BatchMode::Classic { threads: 1 }).expect("pipeline");
     let stats = results.batch_stats.as_ref().unwrap();
     println!(
         "batch GCD: {} moduli in {:?} (product tree {:?}, remainder tree {:?}), trees {} MiB\n",

@@ -22,8 +22,8 @@ fn universal_fix_collapses_post_2012_vulnerable_growth() {
     let mut fixed_cfg = baseline_cfg.clone();
     fixed_cfg.universal_fix = Some(UniversalFix::kernel_patch_2012());
 
-    let baseline = run_pipeline(&baseline_cfg, BatchMode::default());
-    let fixed = run_pipeline(&fixed_cfg, BatchMode::default());
+    let baseline = run_pipeline(&baseline_cfg, BatchMode::default()).expect("pipeline");
+    let fixed = run_pipeline(&fixed_cfg, BatchMode::default()).expect("pipeline");
 
     let base = aggregate_series(&baseline.dataset, baseline.vulnerable_set());
     let cf = aggregate_series(&fixed.dataset, fixed.vulnerable_set());
@@ -66,7 +66,7 @@ fn universal_fix_collapses_post_2012_vulnerable_growth() {
 fn newly_vulnerable_vendors_never_appear_under_the_fix() {
     let mut cfg = small_config();
     cfg.universal_fix = Some(UniversalFix::kernel_patch_2012());
-    let fixed = run_pipeline(&cfg, BatchMode::default());
+    let fixed = run_pipeline(&cfg, BatchMode::default()).expect("pipeline");
     // Huawei's flaw was introduced in 2015 — under the counterfactual no
     // Huawei device ever generates a weak key.
     let huawei_weak = fixed

@@ -22,7 +22,7 @@ fn results() -> &'static StudyResults {
         cfg.background_hosts = 600;
         cfg.ssh_hosts = 400;
         cfg.mail_hosts = 150;
-        run_pipeline(&cfg, BatchMode::Classic { threads: 1 })
+        run_pipeline(&cfg, BatchMode::Classic { threads: 1 }).expect("pipeline")
     })
 }
 
@@ -100,7 +100,7 @@ fn table2_response_structure() {
 #[test]
 fn table3_growth_between_first_and_last_scan() {
     let r = results();
-    let (first, last) = first_last_scan_summary(&r.dataset);
+    let (first, last) = first_last_scan_summary(&r.dataset).expect("dataset has scans");
     // Paper: 11.3M handshakes (EFF 2010) vs 38.0M (Censys 2016) — the
     // HTTPS universe roughly tripled. Shape: significant growth.
     assert!(first.label.contains("EFF"));
@@ -446,7 +446,7 @@ fn table3_default_certs_make_handshakes_exceed_distinct_certs() {
     // one scan — shared default certificates. Shape: distinct certs
     // noticeably below handshakes.
     let r = results();
-    let (_, last) = first_last_scan_summary(&r.dataset);
+    let (_, last) = first_last_scan_summary(&r.dataset).expect("dataset has scans");
     assert!(
         (last.distinct_certificates as f64) < 0.95 * last.handshakes as f64,
         "{} certs vs {} handshakes",

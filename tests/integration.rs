@@ -12,7 +12,7 @@ fn results() -> &'static StudyResults {
         let mut cfg = StudyConfig::test_small();
         cfg.scale = 0.15;
         cfg.background_hosts = 250;
-        run_pipeline(&cfg, BatchMode::Classic { threads: 1 })
+        run_pipeline(&cfg, BatchMode::Classic { threads: 1 }).expect("pipeline")
     })
 }
 

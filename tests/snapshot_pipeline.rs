@@ -18,8 +18,8 @@ fn reloaded_snapshot_analyzes_identically() {
     let text = snapshot::save(&original);
     let reloaded = snapshot::load(&text).expect("snapshot parses");
 
-    let a = analyze_dataset(original, BatchMode::Classic { threads: 1 });
-    let b = analyze_dataset(reloaded, BatchMode::Classic { threads: 1 });
+    let a = analyze_dataset(original, BatchMode::Classic { threads: 1 }).expect("pipeline");
+    let b = analyze_dataset(reloaded, BatchMode::Classic { threads: 1 }).expect("pipeline");
 
     // Identical vulnerable sets.
     let va: BTreeSet<_> = a.vulnerable.iter().map(|m| m.0).collect();
