@@ -42,7 +42,7 @@
 //! ```
 
 use crate::classic::{BatchGcdResult, BatchStats};
-use crate::pool::WorkerPool;
+use crate::pool::{ExecDomain, WorkerPool};
 use crate::resolve::resolve_with_hits;
 use crate::spill::{decode_natural, encode_natural, PartialGuard};
 use crate::tree::ProductTree;
@@ -132,7 +132,12 @@ impl Crc32 {
     }
 }
 
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// One-shot CRC-32 (IEEE 802.3, reflected) of `bytes` — the checksum every
+/// on-disk artifact in this workspace carries (shard payloads, tree-cache
+/// sections, cluster exchange files). Public so out-of-crate writers of the
+/// `WKTREEC1` section format (the `wk-cluster` exchange directory) produce
+/// headers this crate's readers validate.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = Crc32::new();
     crc.update(bytes);
     crc.finish()
@@ -845,12 +850,129 @@ pub(crate) fn sharded_batch_gcd_keeping_tree(
     sharded_impl(store, threads, true)
 }
 
+/// Build one shard's local product tree and return its root — the unit of
+/// work a cluster node performs per claimed shard. This streams exactly the
+/// same bytes and builds exactly the same tree as phase 1 of
+/// [`sharded_batch_gcd`] on the claiming worker, so a root computed on any
+/// process is bit-identical to the one the single-process run would have
+/// produced for that shard.
+///
+/// # Errors
+/// Propagates the shard's read-back failure ([`CorpusError`]) or a
+/// structurally empty/zero shard as [`CorpusError::FormatViolation`].
+pub fn shard_subtree_root(store: &ShardStore, index: u32) -> Result<Natural, CorpusError> {
+    let moduli = store.read_shard(index)?;
+    let tree = ProductTree::build_local(&moduli).map_err(|e| CorpusError::FormatViolation {
+        path: store.shard_path(index),
+        detail: e.to_string(),
+    })?;
+    Ok(tree.root().clone())
+}
+
+/// Output of [`assemble_from_shard_roots`]: the batch result plus the tree
+/// material a caller needs to persist a
+/// [`TreeCache`](crate::incremental::TreeCache) without recomputing
+/// anything (see [`TreeCache::from_parts`](crate::incremental::TreeCache::from_parts)).
+#[derive(Debug)]
+pub struct ShardAssembly {
+    /// Divisors and statuses, byte-identical to [`sharded_batch_gcd`] over
+    /// the same store.
+    pub result: BatchGcdResult,
+    /// The per-shard products that were passed in, returned unchanged and
+    /// in shard order.
+    pub shard_products: Vec<Natural>,
+    /// The top product `P` (product of every shard product; `1` when the
+    /// store is empty).
+    pub top_product: Natural,
+}
+
+/// Phases 2–3 of the sharded run, given per-shard products computed
+/// elsewhere — the assembly step a cluster coordinator performs after
+/// worker processes have published every shard's subtree root. The top
+/// tree, cofactor descent, and per-shard leaf work are the *same code*
+/// phases 2–3 of [`sharded_batch_gcd`] run, so for correct inputs the
+/// divisors and statuses are byte-identical to the single-process run by
+/// construction.
+///
+/// `shard_products` must be index-aligned with the store's shards. The
+/// products are trusted (recomputing them would defeat the point); callers
+/// that receive them over a cluster exchange are expected to have bound
+/// each file to the store's state tag (DESIGN.md §12). Shape errors —
+/// wrong count, or a zero product that no well-formed shard can produce —
+/// are rejected as [`CorpusError::FormatViolation`].
+pub fn assemble_from_shard_roots(
+    store: &ShardStore,
+    shard_products: Vec<Natural>,
+    threads: usize,
+) -> Result<ShardAssembly, CorpusError> {
+    if shard_products.len() != store.shard_count() {
+        return Err(CorpusError::FormatViolation {
+            path: store.dir().to_path_buf(),
+            detail: format!(
+                "assembly was handed {} shard roots for a {}-shard store",
+                shard_products.len(),
+                store.shard_count()
+            ),
+        });
+    }
+    if let Some(i) = shard_products.iter().position(Natural::is_zero) {
+        return Err(CorpusError::FormatViolation {
+            path: store.shard_path(i as u32),
+            detail: "shard root is zero; no well-formed shard produces a zero product".to_string(),
+        });
+    }
+    if store.shard_count() == 0 {
+        return Ok(ShardAssembly {
+            result: BatchGcdResult {
+                raw_divisors: Vec::new(),
+                statuses: Vec::new(),
+                stats: BatchStats::default(),
+            },
+            shard_products: Vec::new(),
+            top_product: Natural::one(),
+        });
+    }
+    let pool = WorkerPool::new(threads);
+    let build_domain = pool.domain();
+    let pre = PhaseOne {
+        start: Instant::now(),
+        max_shard_tree_bytes: 0,
+        shard_busy: vec![Duration::ZERO; store.shard_count()],
+        shards_read: 0,
+        bytes_read: 0,
+    };
+    let (result, shard_products, top_product) =
+        assemble_impl(store, shard_products, &pool, build_domain, true, pre)?;
+    Ok(ShardAssembly {
+        result,
+        shard_products,
+        top_product,
+    })
+}
+
+/// Phase-1 accounting carried into [`assemble_impl`] so the streamed
+/// single-process path and the cluster assembly path share one
+/// implementation of phases 2–3: where the shard products came from (and
+/// what reading them cost) differs, but everything after them must not.
+struct PhaseOne {
+    /// When the run's product phase began; `product_tree_time` spans from
+    /// here through the top-tree build.
+    start: Instant,
+    /// Largest shard tree seen so far (bytes).
+    max_shard_tree_bytes: usize,
+    /// Per-shard busy time accumulated so far, index-aligned.
+    shard_busy: Vec<Duration>,
+    /// Shard reads already performed on this store.
+    shards_read: u64,
+    /// Bytes already read from this store.
+    bytes_read: u64,
+}
+
 fn sharded_impl(
     store: &ShardStore,
     threads: usize,
     keep_tree: bool,
 ) -> Result<(BatchGcdResult, Vec<Natural>, Natural), CorpusError> {
-    let total = store.total_moduli() as usize;
     let shard_count = store.shard_count();
     if shard_count == 0 {
         return Ok((
@@ -866,8 +988,6 @@ fn sharded_impl(
 
     let pool = WorkerPool::new(threads);
     let build_domain = pool.domain();
-    let remainder_domain = pool.domain();
-    let gcd_domain = pool.domain();
 
     // Phase 1: one pool task per shard; the deques deal and steal them, so
     // a free worker always claims the next unprocessed shard.
@@ -905,12 +1025,40 @@ fn sharded_impl(
         shard_busy[i] += busy;
     }
 
+    let pre = PhaseOne {
+        start: t0,
+        max_shard_tree_bytes,
+        shard_busy,
+        shards_read: shard_count as u64,
+        bytes_read: store.bytes_on_disk(),
+    };
+    assemble_impl(store, shard_products, &pool, build_domain, keep_tree, pre)
+}
+
+/// Phases 2–3, shared between [`sharded_impl`] and
+/// [`assemble_from_shard_roots`]: top tree over the shard products,
+/// cofactor descent to per-shard seeds, then per-shard leaf work.
+fn assemble_impl(
+    store: &ShardStore,
+    shard_products: Vec<Natural>,
+    pool: &WorkerPool,
+    build_domain: ExecDomain,
+    keep_tree: bool,
+    pre: PhaseOne,
+) -> Result<(BatchGcdResult, Vec<Natural>, Natural), CorpusError> {
+    let total = store.total_moduli() as usize;
+    let shard_count = store.shard_count();
+    let remainder_domain = pool.domain();
+    let gcd_domain = pool.domain();
+    let mut max_shard_tree_bytes = pre.max_shard_tree_bytes;
+    let mut shard_busy = pre.shard_busy;
+
     // Phase 2: the top tree over shard products fits in memory by
     // construction (one node per shard).
     let mut top = ProductTree::build(&shard_products, pool.exec_in(&build_domain))
         // lint:allow(no-panic-in-lib) invariant: shard_count > 0 and every shard product is a product of nonzero moduli
         .expect("shard products are nonempty and nonzero");
-    let product_tree_time = t0.elapsed();
+    let product_tree_time = pre.start.elapsed();
     // Barrett caches for the top cofactor descent (one plain reciprocal
     // per paired node, no squares), built in parallel while the descent
     // itself is width-limited near the root.
@@ -1048,9 +1196,9 @@ fn sharded_impl(
                 gcd_exec,
                 shard: ShardMetrics {
                     shards_written: shard_count as u64,
-                    shards_read: 2 * shard_count as u64,
+                    shards_read: pre.shards_read + shard_count as u64,
                     bytes_written: store.bytes_on_disk(),
-                    bytes_read: 2 * store.bytes_on_disk(),
+                    bytes_read: pre.bytes_read + store.bytes_on_disk(),
                     shard_busy,
                 },
                 delta: crate::incremental::DeltaMetrics::default(),

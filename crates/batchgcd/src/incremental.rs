@@ -221,7 +221,14 @@ impl DeltaMetrics {
 /// "committed" section to its previous bytes, or to nothing). A crash
 /// mid-update leaves the previous section in place; mixed old/new sections
 /// are caught by the per-section state tag at open time.
-fn write_section(
+///
+/// Public because the `WKTREEC1` section format is also the cluster
+/// exchange format (DESIGN.md §12): out-of-crate writers produce section
+/// files this crate's [`read_section`] validates. Note the rename makes
+/// this last-writer-wins; publishers that need first-wins semantics (the
+/// cluster exchange) build the same header/payload bytes but link the tmp
+/// file into place instead.
+pub fn write_section(
     dir: &Path,
     name: &str,
     section: u32,
@@ -253,8 +260,12 @@ fn corrupt(path: &Path, detail: impl Into<String>) -> IncrementalError {
     }
 }
 
-/// Read and validate one section file; returns `(count, payload)`.
-fn read_section(path: &Path, section: u32) -> Result<(u64, Vec<u8>), IncrementalError> {
+/// Read and validate one `WKTREEC1` section file; returns `(count,
+/// payload)` after checking magic, format version, the expected section
+/// id, the header's payload length, and the payload CRC. Shared with the
+/// cluster exchange reader — any torn or corrupt section surfaces as a
+/// typed [`IncrementalError::CacheCorrupt`], never a wrong answer.
+pub fn read_section(path: &Path, section: u32) -> Result<(u64, Vec<u8>), IncrementalError> {
     let mut file = File::open(path).map_err(|e| {
         if e.kind() == io::ErrorKind::NotFound {
             corrupt(path, "cache section file missing")
@@ -323,8 +334,11 @@ fn read_section(path: &Path, section: u32) -> Result<(u64, Vec<u8>), Incremental
     Ok((count, payload))
 }
 
-/// Consume a little-endian `u64` from the front of `rest`.
-fn take_u64(rest: &mut &[u8]) -> Option<u64> {
+/// Consume a little-endian `u64` from the front of `rest`; `None` when
+/// fewer than eight bytes remain. Public alongside [`read_section`] so
+/// exchange-payload parsers consume fields exactly as the cache reader
+/// does.
+pub fn take_u64(rest: &mut &[u8]) -> Option<u64> {
     if rest.len() < 8 {
         return None;
     }
@@ -335,8 +349,10 @@ fn take_u64(rest: &mut &[u8]) -> Option<u64> {
     Some(u64::from_le_bytes(b))
 }
 
-/// Consume one natural record (the shared limb codec) from `rest`.
-fn take_natural(rest: &mut &[u8], scratch: &mut Vec<u8>) -> io::Result<Natural> {
+/// Consume one natural record (the shared limb codec,
+/// [`encode_natural`]) from `rest`. Public
+/// alongside [`read_section`] for exchange-payload parsers.
+pub fn take_natural(rest: &mut &[u8], scratch: &mut Vec<u8>) -> io::Result<Natural> {
     let max_limbs = (rest.len() as u64).saturating_sub(8) / 8;
     let (n, _len) = decode_natural(rest, scratch, max_limbs)?;
     Ok(n)
@@ -417,6 +433,68 @@ impl TreeCache {
         };
         cache.persist()?;
         Ok((cache, result))
+    }
+
+    /// Persist a cache from tree state computed elsewhere — the cluster
+    /// hand-off: a coordinator that already ran
+    /// [`assemble_from_shard_roots`](crate::corpus::assemble_from_shard_roots)
+    /// holds the per-shard products, the top product, and the result, so
+    /// rebuilding the cache must not redo the batch GCD the way
+    /// [`TreeCache::build`] does. The persisted sections are identical to
+    /// what `build` would have written for the same store (same codec, same
+    /// state tags), so a cache written here opens, validates, and
+    /// delta-updates exactly like a locally built one.
+    ///
+    /// # Errors
+    /// [`IncrementalError::CacheCorrupt`] when the parts do not fit the
+    /// store (wrong shard-product count, result length != store moduli) —
+    /// shape checks only; the values themselves are trusted exactly as
+    /// `assemble_from_shard_roots` trusts its inputs.
+    pub fn from_parts(
+        dir: &Path,
+        store: &ShardStore,
+        shard_products: Vec<Natural>,
+        top_product: Natural,
+        result: &BatchGcdResult,
+    ) -> Result<TreeCache, IncrementalError> {
+        if shard_products.len() != store.shard_count() {
+            return Err(corrupt(
+                dir,
+                format!(
+                    "from_parts got {} shard products for a {}-shard store",
+                    shard_products.len(),
+                    store.shard_count()
+                ),
+            ));
+        }
+        if result.raw_divisors.len() as u64 != store.total_moduli() {
+            return Err(corrupt(
+                dir,
+                format!(
+                    "from_parts got a result over {} moduli for a {}-modulus store",
+                    result.raw_divisors.len(),
+                    store.total_moduli()
+                ),
+            ));
+        }
+        let shard_recips = shard_recips_for(dir, &shard_products)?;
+        let hits = result
+            .raw_divisors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (i as u64, g.clone())))
+            .collect();
+        let cache = TreeCache {
+            dir: dir.to_path_buf(),
+            shard_products,
+            shard_recips,
+            source_crcs: store.shards().iter().map(|m| m.crc).collect(),
+            top_product,
+            hits,
+            total_moduli: store.total_moduli(),
+        };
+        cache.persist()?;
+        Ok(cache)
     }
 
     /// True when all three section files exist under `dir` — the cheap

@@ -69,15 +69,19 @@ pub mod tree;
 
 pub use classic::{batch_gcd, BatchGcdResult, BatchStats};
 pub use corpus::{
-    fsync_dir, sharded_batch_gcd, CorpusError, ShardMeta, ShardMetrics, ShardReader, ShardStore,
+    assemble_from_shard_roots, crc32, fsync_dir, shard_subtree_root, sharded_batch_gcd,
+    CorpusError, ShardAssembly, ShardMeta, ShardMetrics, ShardReader, ShardStore,
 };
 pub use distributed::{
     distributed_batch_gcd, distributed_batch_gcd_sharded, ClusterConfig, ClusterReport,
     DistributedResult, NodeReport,
 };
-pub use incremental::{incremental_batch_gcd, DeltaMetrics, IncrementalError, TreeCache};
+pub use incremental::{
+    incremental_batch_gcd, read_section, take_natural, take_u64, write_section, DeltaMetrics,
+    IncrementalError, TreeCache, CACHE_FORMAT_VERSION, CACHE_HEADER_LEN, CACHE_MAGIC,
+};
 pub use naive::{naive_pairwise_gcd, NaiveResult};
 pub use pool::{Exec, ExecDomain, PhaseExec, WorkerPool};
 pub use resolve::{resolve, resolve_with_hits, KeyStatus};
-pub use spill::{scratch_dir, SpilledProductTree};
+pub use spill::{decode_natural, encode_natural, scratch_dir, SpilledProductTree};
 pub use tree::{ProductTree, TreeError};

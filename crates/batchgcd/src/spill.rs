@@ -56,8 +56,11 @@ pub struct SpilledProductTree {
 
 /// Append one value's record to `w`: `u64` limb count (LE) followed by the
 /// limbs (LE). Returns the record's byte length. This codec is shared
-/// verbatim between spilled tree levels and shard-store payloads.
-pub(crate) fn encode_natural<W: Write>(w: &mut W, n: &Natural) -> io::Result<u64> {
+/// verbatim between spilled tree levels, shard-store payloads, tree-cache
+/// sections, and the cluster exchange format — public so out-of-crate
+/// consumers (the `wk-cluster` exchange files) serialize naturals
+/// bit-compatibly with every other on-disk artifact.
+pub fn encode_natural<W: Write>(w: &mut W, n: &Natural) -> io::Result<u64> {
     let limbs = n.limbs();
     w.write_all(&(limbs.len() as u64).to_le_bytes())?;
     for &l in limbs {
@@ -73,7 +76,7 @@ pub(crate) fn encode_natural<W: Write>(w: &mut W, n: &Natural) -> io::Result<u64
 /// A limb count above `max_limbs` fails with [`io::ErrorKind::InvalidData`]
 /// before any allocation, so a corrupt length prefix cannot trigger a huge
 /// buffer request; reads past EOF fail with `UnexpectedEof`.
-pub(crate) fn decode_natural<R: Read>(
+pub fn decode_natural<R: Read>(
     r: &mut R,
     scratch: &mut Vec<u8>,
     max_limbs: u64,

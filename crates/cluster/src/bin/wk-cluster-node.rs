@@ -1,0 +1,106 @@
+//! `wk-cluster-node` — one worker process of the batch-GCD cluster.
+//!
+//! ```text
+//! wk-cluster-node --store DIR --cluster DIR [--owner ID]
+//!                 [--stale-after-ms N] [--heartbeat-ms N] [--poll-ms N]
+//! ```
+//!
+//! Sweeps the store's shards through the lease/exchange protocol
+//! (DESIGN.md §12) until every shard has a published root, then exits 0.
+//! Exit codes: 0 success, 1 protocol/I/O error, 2 usage error, 43 an
+//! injected fault fired (`WK_CLUSTER_FAILPOINT`, test harnesses only).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use wk_cluster::{run_node, FailurePlan, NodeConfig};
+
+const USAGE: &str = "usage: wk-cluster-node --store DIR --cluster DIR [--owner ID] \
+                     [--stale-after-ms N] [--heartbeat-ms N] [--poll-ms N]";
+
+struct Args {
+    store: PathBuf,
+    cluster: PathBuf,
+    owner: String,
+    stale_after_ms: u64,
+    heartbeat_ms: u64,
+    poll_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut store = None;
+    let mut cluster = None;
+    let mut owner = None;
+    let mut stale_after_ms = 30_000u64;
+    let mut heartbeat_ms = 5_000u64;
+    let mut poll_ms = 250u64;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--store" => store = Some(PathBuf::from(value()?)),
+            "--cluster" => cluster = Some(PathBuf::from(value()?)),
+            "--owner" => owner = Some(value()?),
+            "--stale-after-ms" => stale_after_ms = parse_ms(&flag, &value()?)?,
+            "--heartbeat-ms" => heartbeat_ms = parse_ms(&flag, &value()?)?,
+            "--poll-ms" => poll_ms = parse_ms(&flag, &value()?)?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        store: store.ok_or_else(|| format!("--store is required\n{USAGE}"))?,
+        cluster: cluster.ok_or_else(|| format!("--cluster is required\n{USAGE}"))?,
+        owner: owner.unwrap_or_else(|| format!("node-{}", std::process::id())),
+        stale_after_ms,
+        heartbeat_ms,
+        poll_ms,
+    })
+}
+
+fn parse_ms(flag: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("{flag} takes a millisecond count, got {value:?}\n{USAGE}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let failure = match FailurePlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("wk-cluster-node: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = NodeConfig::new(args.store, args.cluster, args.owner.clone());
+    cfg.stale_after = Duration::from_millis(args.stale_after_ms);
+    cfg.heartbeat_every = Duration::from_millis(args.heartbeat_ms);
+    cfg.poll_every = Duration::from_millis(args.poll_ms);
+    cfg.skew_tolerance = Duration::from_millis(args.stale_after_ms);
+    cfg.failure = failure;
+
+    match run_node(&cfg) {
+        Ok(summary) => {
+            println!(
+                "wk-cluster-node {}: published={} reclaimed={} yielded={}",
+                args.owner, summary.published, summary.reclaimed, summary.yielded
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("wk-cluster-node {}: {e}", args.owner);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The cluster's error type: every protocol failure is a typed, printable
+//! condition — a worker process exits nonzero with a reason an operator
+//! can act on, never a panic backtrace.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use wk_batchgcd::{CorpusError, IncrementalError};
+
+/// Everything that can go wrong claiming leases, exchanging roots, or
+/// assembling a cluster run.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An underlying filesystem error outside any more specific protocol
+    /// condition.
+    Io(io::Error),
+    /// The shard store itself failed to open or read back.
+    Corpus(CorpusError),
+    /// A `WKTREEC1` exchange section failed structural validation
+    /// (truncation, bad magic, CRC mismatch — the reader is shared with
+    /// the tree cache).
+    Cache(IncrementalError),
+    /// A lease file exists but does not parse as a lease record.
+    LeaseCorrupt {
+        /// Offending lease file.
+        path: PathBuf,
+        /// What was malformed.
+        detail: String,
+    },
+    /// A published root does not bind to the store being processed:
+    /// state-tag mismatch, wrong shard index, or an impossible payload.
+    /// The runbook (README) covers when the exchange directory is safe to
+    /// clear.
+    ExchangeMismatch {
+        /// Offending exchange file.
+        path: PathBuf,
+        /// What did not match.
+        detail: String,
+    },
+    /// A failure-injection spec (the `WK_CLUSTER_FAILPOINT` environment
+    /// variable) did not parse.
+    BadFailureSpec {
+        /// The spec as given.
+        spec: String,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// An owner id that cannot safely appear in lease/exchange file names.
+    BadOwner {
+        /// The id as given.
+        owner: String,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// A spawned worker process could not be started or waited on.
+    NodeSpawn {
+        /// The worker's owner id.
+        owner: String,
+        /// The spawn/wait failure.
+        source: io::Error,
+    },
+    /// The sweep finished but some shards still have no published root —
+    /// only possible when the coordinator was told not to participate.
+    Incomplete {
+        /// Shards with no root in the exchange directory.
+        missing: Vec<u32>,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster I/O error: {e}"),
+            ClusterError::Corpus(e) => write!(f, "shard store error: {e}"),
+            ClusterError::Cache(e) => write!(f, "exchange section error: {e}"),
+            ClusterError::LeaseCorrupt { path, detail } => {
+                write!(f, "corrupt lease {}: {detail}", path.display())
+            }
+            ClusterError::ExchangeMismatch { path, detail } => {
+                write!(
+                    f,
+                    "exchange file {} does not bind: {detail}",
+                    path.display()
+                )
+            }
+            ClusterError::BadFailureSpec { spec, detail } => {
+                write!(f, "bad failure spec {spec:?}: {detail}")
+            }
+            ClusterError::BadOwner { owner, detail } => {
+                write!(f, "bad owner id {owner:?}: {detail}")
+            }
+            ClusterError::NodeSpawn { owner, source } => {
+                write!(f, "worker {owner} failed to spawn: {source}")
+            }
+            ClusterError::Incomplete { missing } => {
+                write!(f, "sweep ended with unpublished shards {missing:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            ClusterError::Corpus(e) => Some(e),
+            ClusterError::Cache(e) => Some(e),
+            ClusterError::NodeSpawn { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> ClusterError {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<CorpusError> for ClusterError {
+    fn from(e: CorpusError) -> ClusterError {
+        ClusterError::Corpus(e)
+    }
+}
+
+impl From<IncrementalError> for ClusterError {
+    fn from(e: IncrementalError) -> ClusterError {
+        ClusterError::Cache(e)
+    }
+}

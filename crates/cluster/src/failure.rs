@@ -1,0 +1,126 @@
+//! Fault injection for the multi-process e2e suite (DESIGN.md §12.5).
+//!
+//! A [`FailurePlan`] is parsed from the `WK_CLUSTER_FAILPOINT` environment
+//! variable, so the test harness arms faults in *real spawned worker
+//! processes* without any test-only code path in the worker loop — the
+//! worker consults the plan at the same protocol points a real crash
+//! would hit. Grammar:
+//!
+//! ```text
+//! kill-after-lease[@SHARD]      exit right after claiming a lease
+//! kill-before-publish[@SHARD]   exit after computing, before publishing
+//! torn-tmp[@SHARD]              write half an exchange temp file, then exit
+//! skew-heartbeat=MS             add MS (may be negative) to every
+//!                               heartbeat timestamp this process writes
+//! ```
+//!
+//! `@SHARD` restricts a kill to one shard (default: the first shard the
+//! worker acquires). Injected exits use [`INJECTED_EXIT`] so the harness
+//! can tell a planned crash from a real failure.
+
+use crate::error::ClusterError;
+use std::process;
+
+/// Exit code of a planned (injected) worker crash.
+pub const INJECTED_EXIT: i32 = 43;
+
+/// Protocol points a fault can fire at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailPoint {
+    /// Right after a lease claim succeeds: the shard is claimed but no
+    /// work will ever be published for it. Contained by stale-lease
+    /// reclamation.
+    KillAfterLease,
+    /// After the subtree root is computed, before it is published: the
+    /// worst-timed crash. Contained the same way — the lease goes stale
+    /// and the next owner recomputes (roots are deterministic).
+    KillBeforePublish,
+    /// Mid-publish: a half-written exchange temp file is left behind.
+    /// Contained by the link-into-place discipline — the torn file was
+    /// never visible under a final name — plus temp sweeping.
+    TornTmp,
+}
+
+/// A process's armed fault, if any, plus heartbeat clock skew.
+#[derive(Clone, Debug, Default)]
+pub struct FailurePlan {
+    kill: Option<(FailPoint, Option<u32>)>,
+    /// Milliseconds added to every heartbeat timestamp this process
+    /// writes (the clock-skew fault; `0` normally).
+    pub skew_ms: i64,
+}
+
+impl FailurePlan {
+    /// Environment variable the worker binary reads its plan from.
+    pub const ENV_VAR: &'static str = "WK_CLUSTER_FAILPOINT";
+
+    /// No faults.
+    pub fn none() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    /// Parse a plan from [`FailurePlan::ENV_VAR`]; absent means no faults.
+    pub fn from_env() -> Result<FailurePlan, ClusterError> {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Ok(FailurePlan::none()),
+        }
+    }
+
+    /// Parse a plan from its spec string (the grammar in the module docs).
+    pub fn parse(spec: &str) -> Result<FailurePlan, ClusterError> {
+        let bad = |detail: &str| ClusterError::BadFailureSpec {
+            spec: spec.to_string(),
+            detail: detail.to_string(),
+        };
+        let (head, shard) = match spec.split_once('@') {
+            Some((head, shard_str)) => {
+                let shard = shard_str
+                    .parse::<u32>()
+                    .map_err(|_| bad("shard qualifier is not a u32"))?;
+                (head, Some(shard))
+            }
+            None => (spec, None),
+        };
+        if let Some(ms) = head.strip_prefix("skew-heartbeat=") {
+            if shard.is_some() {
+                return Err(bad(
+                    "skew-heartbeat applies to the whole process; no @SHARD",
+                ));
+            }
+            let skew_ms = ms
+                .parse::<i64>()
+                .map_err(|_| bad("skew is not an i64 millisecond count"))?;
+            return Ok(FailurePlan {
+                kill: None,
+                skew_ms,
+            });
+        }
+        let point = match head {
+            "kill-after-lease" => FailPoint::KillAfterLease,
+            "kill-before-publish" => FailPoint::KillBeforePublish,
+            "torn-tmp" => FailPoint::TornTmp,
+            _ => return Err(bad("unknown failure point")),
+        };
+        Ok(FailurePlan {
+            kill: Some((point, shard)),
+            skew_ms: 0,
+        })
+    }
+
+    /// Is `point` armed for `shard`?
+    pub fn armed(&self, point: FailPoint, shard: u32) -> bool {
+        match self.kill {
+            Some((p, at)) => p == point && at.map(|s| s == shard).unwrap_or(true),
+            None => false,
+        }
+    }
+
+    /// Exit the process with [`INJECTED_EXIT`] if `point` is armed for
+    /// `shard`; otherwise a no-op.
+    pub fn exit_if_armed(&self, point: FailPoint, shard: u32) {
+        if self.armed(point, shard) {
+            process::exit(INJECTED_EXIT);
+        }
+    }
+}

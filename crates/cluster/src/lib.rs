@@ -1,0 +1,83 @@
+//! # wk-cluster — multi-process batch GCD over the shard store
+//!
+//! The paper ran its batch GCD on a 22-machine cluster; this crate is
+//! that shape in miniature: independent **processes** (not simulated
+//! thread-nodes — [`wk_batchgcd::distributed`] already does that) share
+//! one [`ShardStore`](wk_batchgcd::ShardStore) and coordinate exclusively
+//! through the filesystem, the only medium whose crash semantics the rest
+//! of this workspace already pins down (DESIGN.md §8.2).
+//!
+//! * [`lease`] — shard ownership: atomically linked lease files carrying
+//!   an owner id, a fencing token, and an in-file heartbeat; stale-lease
+//!   reclamation is arbitrated by `rename` so exactly one reclaimer wins;
+//! * [`exchange`] — published per-shard subtree roots in the `WKTREEC1`
+//!   section format, linked into place first-wins so a shard's root file
+//!   either doesn't exist or is complete, exactly once;
+//! * [`worker`] — the node loop (`wk-cluster-node` is a thin wrapper):
+//!   claim → compute → fence-check → publish → release, leaderless;
+//! * [`coordinate`] — [`coordinate::run_cluster`] spawns N real worker
+//!   processes, sweeps leftovers itself, and assembles the final result
+//!   with [`wk_batchgcd::assemble_from_shard_roots`] — the same phases
+//!   2–3 the single-process run executes, so divisors and statuses are
+//!   **byte-identical by construction**;
+//! * [`failure`] — fault injection (`WK_CLUSTER_FAILPOINT`) for the
+//!   multi-process e2e suite: kill-after-lease, kill-before-publish,
+//!   torn-tmp, clock-skewed heartbeats.
+//!
+//! The protocol, field-by-field file formats, and the failure-mode table
+//! live in DESIGN.md §12; the README has the quick-start and the
+//! operator runbook.
+//!
+//! # Examples
+//!
+//! One process, same protocol (the multi-process path only adds `spawn`):
+//!
+//! ```
+//! use wk_batchgcd::{assemble_from_shard_roots, scratch_dir, sharded_batch_gcd, ShardStore};
+//! use wk_bigint::Natural;
+//! use wk_cluster::{run_node, ExchangeDir, NodeConfig};
+//!
+//! // 33 = 3*11 and 39 = 3*13 share the prime 3; 323 = 17*19 is clean.
+//! let moduli: Vec<Natural> = [33u64, 39, 323].map(Natural::from).to_vec();
+//! let store_dir = scratch_dir("cluster-doc-store");
+//! let cluster_dir = scratch_dir("cluster-doc-run");
+//! let store = ShardStore::create(&store_dir, 2, &moduli).unwrap();
+//!
+//! // A lone node sweeps every shard and publishes each root.
+//! let cfg = NodeConfig::new(store_dir.clone(), cluster_dir.clone(), "solo".into());
+//! let summary = run_node(&cfg).unwrap();
+//! assert_eq!(summary.published, 2);
+//!
+//! // Collect the published roots and run the shared assembly.
+//! let exchange = ExchangeDir::init(&cluster_dir).unwrap();
+//! let roots: Vec<Natural> = exchange
+//!     .collect(&store)
+//!     .unwrap()
+//!     .into_iter()
+//!     .map(|r| r.unwrap().root)
+//!     .collect();
+//! let assembly = assemble_from_shard_roots(&store, roots, 1).unwrap();
+//! let single = sharded_batch_gcd(&store, 1).unwrap();
+//! assert_eq!(assembly.result.raw_divisors, single.raw_divisors);
+//! assert_eq!(assembly.result.statuses, single.statuses);
+//!
+//! std::fs::remove_dir_all(&cluster_dir).unwrap();
+//! store.remove().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coordinate;
+pub mod error;
+pub mod exchange;
+pub mod failure;
+pub mod lease;
+pub mod worker;
+
+pub use coordinate::{run_cluster, sibling_node_bin, ClusterOutcome, ClusterSpec, NodeExit};
+pub use error::ClusterError;
+pub use exchange::{ExchangeDir, Publish, PublishedRoot, SECTION_CLUSTER_ROOT};
+pub use failure::{FailPoint, FailurePlan, INJECTED_EXIT};
+pub use lease::{Freshness, Lease, LeaseDir, LeaseRecord, LeaseView};
+pub use worker::{run_node, validate_owner, NodeConfig, NodeSummary};

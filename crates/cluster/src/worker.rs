@@ -1,0 +1,241 @@
+//! The worker loop a `wk-cluster-node` process runs (DESIGN.md §12.4).
+//!
+//! A node sweeps the store's shards round-robin: skip published shards,
+//! try to claim (or reclaim a stale lease on) unpublished ones, compute
+//! the claimed shard's subtree root with
+//! [`shard_subtree_root`] — heartbeating the lease from a side thread the
+//! whole time — then fence-check, publish, release. The loop exits when
+//! every shard's root is visible in the exchange directory, so any number
+//! of nodes can run the same loop with no designated roles; whichever
+//! process is alive makes progress.
+
+use crate::error::ClusterError;
+use crate::exchange::ExchangeDir;
+use crate::failure::{FailPoint, FailurePlan, INJECTED_EXIT};
+use crate::lease::{apply_skew, unix_millis, Lease, LeaseDir, LeaseView};
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use wk_batchgcd::{shard_subtree_root, ShardStore};
+
+/// Configuration of one worker node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// The shard store to sweep (opened read-only).
+    pub store_dir: PathBuf,
+    /// The shared cluster directory (`leases/` and `exchange/` live here).
+    pub cluster_dir: PathBuf,
+    /// This node's identity; appears in lease records, exchange payloads,
+    /// and temp-file names. Must match `[A-Za-z0-9._-]+`.
+    pub owner: String,
+    /// How long without a heartbeat before other nodes may reclaim a
+    /// lease this node holds.
+    pub stale_after: Duration,
+    /// How often the heartbeat thread refreshes a held lease.
+    pub heartbeat_every: Duration,
+    /// How long to sleep between sweeps when no progress was possible
+    /// (all unpublished shards are freshly leased by someone else).
+    pub poll_every: Duration,
+    /// How far in the observer's future a heartbeat may claim to be
+    /// before the lease is judged bogus ([`Freshness::Bogus`]).
+    ///
+    /// [`Freshness::Bogus`]: crate::lease::Freshness::Bogus
+    pub skew_tolerance: Duration,
+    /// Fault injection (parsed from `WK_CLUSTER_FAILPOINT` by the binary;
+    /// [`FailurePlan::none`] for library callers).
+    pub failure: FailurePlan,
+}
+
+impl NodeConfig {
+    /// A config with production-shaped defaults: 30 s staleness window,
+    /// heartbeat every 5 s, 250 ms poll, skew tolerance equal to the
+    /// staleness window.
+    pub fn new(store_dir: PathBuf, cluster_dir: PathBuf, owner: String) -> NodeConfig {
+        NodeConfig {
+            store_dir,
+            cluster_dir,
+            owner,
+            stale_after: Duration::from_secs(30),
+            heartbeat_every: Duration::from_secs(5),
+            poll_every: Duration::from_millis(250),
+            skew_tolerance: Duration::from_secs(30),
+            failure: FailurePlan::none(),
+        }
+    }
+}
+
+/// What one node did during its sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// Roots this node published.
+    pub published: u32,
+    /// Stale/bogus/corrupt leases this node retired.
+    pub reclaimed: u32,
+    /// Shards this node claimed or computed but ceded to another owner
+    /// (lost lease at the fence check, or lost the publish race).
+    pub yielded: u32,
+}
+
+/// Check an owner id is safe to embed in file names.
+pub fn validate_owner(owner: &str) -> Result<(), ClusterError> {
+    let ok = !owner.is_empty()
+        && owner
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ClusterError::BadOwner {
+            owner: owner.to_string(),
+            detail: "must be nonempty and match [A-Za-z0-9._-]+".to_string(),
+        })
+    }
+}
+
+/// The heartbeat side-thread for one held lease: refreshes the lease
+/// every `every` until stopped, the lease is lost, or an I/O error —
+/// in the latter two cases it just stops beating, which at worst makes
+/// the lease reclaimable (the safe direction).
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn spawn(lease: Lease, every: Duration, skew_ms: i64) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&stop);
+        let handle = thread::spawn(move || {
+            let tick = Duration::from_millis(10).min(every);
+            let mut since_beat = Duration::ZERO;
+            while !seen.load(Ordering::Acquire) {
+                thread::sleep(tick);
+                since_beat += tick;
+                if since_beat < every {
+                    continue;
+                }
+                since_beat = Duration::ZERO;
+                if !lease.heartbeat(skew_ms).unwrap_or(false) {
+                    break;
+                }
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Try to acquire shard `index`: claim it if unclaimed, reclaim first if
+/// its lease is stale, bogus, or corrupt. `Ok(None)` when the shard is
+/// freshly leased by someone else or a concurrent reclaimer won.
+fn acquire(
+    leases: &LeaseDir,
+    index: u32,
+    cfg: &NodeConfig,
+    reclaimed: &mut u32,
+) -> Result<Option<Lease>, ClusterError> {
+    use crate::lease::Freshness;
+    match leases.view(index)? {
+        LeaseView::Absent => {}
+        view @ LeaseView::Corrupt(_) => {
+            if !leases.retire(index, &view, &cfg.owner)? {
+                return Ok(None);
+            }
+            *reclaimed += 1;
+        }
+        LeaseView::Held(record) => {
+            match record.staleness(unix_millis(), cfg.stale_after, cfg.skew_tolerance) {
+                Freshness::Fresh => return Ok(None),
+                Freshness::Stale | Freshness::Bogus => {
+                    if !leases.retire(index, &LeaseView::Held(record), &cfg.owner)? {
+                        return Ok(None);
+                    }
+                    *reclaimed += 1;
+                }
+            }
+        }
+    }
+    let token = leases.next_token(index)?;
+    let heartbeat = apply_skew(unix_millis(), cfg.failure.skew_ms);
+    leases.claim(index, &cfg.owner, token, heartbeat)
+}
+
+/// Run one node's sweep to completion: returns once every shard of the
+/// store has a published root in the exchange directory (not necessarily
+/// published by this node).
+///
+/// # Errors
+/// Typed [`ClusterError`]s for a store that fails to open or read back, a
+/// lease/exchange I/O failure, or an exchange file that does not bind to
+/// this store (see the operator runbook in the README).
+pub fn run_node(cfg: &NodeConfig) -> Result<NodeSummary, ClusterError> {
+    validate_owner(&cfg.owner)?;
+    let store = ShardStore::open(&cfg.store_dir)?;
+    let state_tag = store.state_tag();
+    let leases = LeaseDir::init(&cfg.cluster_dir)?;
+    let exchange = ExchangeDir::init(&cfg.cluster_dir)?;
+    // Crash recovery for *this identity*: temps from a previous life were
+    // never visible (nothing links a temp until it is complete) and are
+    // safe to drop.
+    leases.remove_own_tmps(&cfg.owner)?;
+    exchange.remove_own_tmps(&cfg.owner)?;
+
+    let mut summary = NodeSummary::default();
+    loop {
+        let mut all_published = true;
+        let mut progressed = false;
+        for index in 0..store.shard_count() as u32 {
+            if exchange.is_published(index) {
+                continue;
+            }
+            all_published = false;
+            let Some(lease) = acquire(&leases, index, cfg, &mut summary.reclaimed)? else {
+                continue;
+            };
+            cfg.failure.exit_if_armed(FailPoint::KillAfterLease, index);
+            let beat = Heartbeat::spawn(lease.clone(), cfg.heartbeat_every, cfg.failure.skew_ms);
+            let root = shard_subtree_root(&store, index);
+            beat.finish();
+            let root = root?;
+            cfg.failure
+                .exit_if_armed(FailPoint::KillBeforePublish, index);
+            if cfg.failure.armed(FailPoint::TornTmp, index) {
+                // Crash mid-publish: leave exactly the artifact a real
+                // power loss would — a partial temp, never linked.
+                let mut torn = File::create(exchange.tmp_path(&cfg.owner, index))?;
+                torn.write_all(&[0x57, 0x4b])?;
+                process::exit(INJECTED_EXIT);
+            }
+            if lease.still_owned()? {
+                exchange.publish(state_tag, index, lease.token(), &cfg.owner, &root)?;
+                lease.release()?;
+                summary.published += 1;
+                progressed = true;
+            } else {
+                // Fenced out: a reclaimer owns the shard now; let it (or
+                // whoever) publish. The computed root is simply dropped.
+                summary.yielded += 1;
+            }
+        }
+        if all_published {
+            return Ok(summary);
+        }
+        if !progressed {
+            thread::sleep(cfg.poll_every);
+        }
+    }
+}

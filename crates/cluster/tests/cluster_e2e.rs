@@ -1,0 +1,301 @@
+//! Multi-process end-to-end suite: real `wk-cluster-node` processes over
+//! one shard store, with every `FailurePlan` fault injected, asserting
+//! the ISSUE-9 acceptance invariants — cluster output byte-identical to
+//! `sharded_batch_gcd` on the same store, and no fault leaves a shard
+//! unowned, double-published, or half-published.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+use wk_batchgcd::{scratch_dir, sharded_batch_gcd, BatchGcdResult, ShardStore};
+use wk_bigint::Natural;
+use wk_cluster::{
+    run_cluster, ClusterSpec, ExchangeDir, FailurePlan, LeaseDir, LeaseView, INJECTED_EXIT,
+};
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_wk-cluster-node");
+
+/// Deterministic odd pseudo-moduli (the corpus tests' generator): plenty
+/// of shared small factors, so runs produce real hits.
+fn pseudo_moduli(count: usize, seed: u64) -> Vec<Natural> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..count)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Natural::from(state | 1)
+        })
+        .collect()
+}
+
+fn make_store(tag: &str, count: usize, capacity: usize) -> (PathBuf, ShardStore) {
+    let dir = scratch_dir(tag);
+    let store = ShardStore::create(&dir, capacity, &pseudo_moduli(count, 0xC1)).unwrap();
+    (dir, store)
+}
+
+fn quick_spec(cluster_dir: PathBuf, nodes: u32) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(cluster_dir, PathBuf::from(NODE_BIN), nodes);
+    // Short lease timing so injected crashes reclaim within the test run.
+    spec.stale_after = Duration::from_millis(1200);
+    spec.heartbeat_every = Duration::from_millis(150);
+    spec.poll_every = Duration::from_millis(40);
+    spec
+}
+
+fn assert_byte_identical(store: &ShardStore, got: &BatchGcdResult) {
+    let single = sharded_batch_gcd(store, 2).unwrap();
+    assert_eq!(got.raw_divisors, single.raw_divisors);
+    assert_eq!(got.statuses, single.statuses);
+}
+
+/// Post-run directory hygiene: exactly one complete root per shard, no
+/// temps, no leases left.
+fn assert_clean_dirs(cluster_dir: &Path, store: &ShardStore) {
+    let exchange = ExchangeDir::init(cluster_dir).unwrap();
+    for index in 0..store.shard_count() as u32 {
+        let root = exchange.read_root(index, store.state_tag()).unwrap();
+        assert!(root.is_some(), "shard {index} has no published root");
+    }
+    let mut names: Vec<String> = fs::read_dir(exchange.path())
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names.len(),
+        store.shard_count(),
+        "exchange dir should hold exactly one file per shard: {names:?}"
+    );
+    assert!(names.iter().all(|n| n.ends_with(".wkr")), "{names:?}");
+    let leases = LeaseDir::init(cluster_dir).unwrap();
+    let leftovers: Vec<_> = fs::read_dir(leases.path()).unwrap().collect();
+    assert!(leftovers.is_empty(), "lease dir not cleared");
+}
+
+fn cleanup(dir: &Path) {
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn three_process_cluster_matches_single_process() {
+    let (store_dir, store) = make_store("cluster-e2e-clean", 40, 5);
+    let cluster_dir = scratch_dir("cluster-e2e-clean-run");
+    let spec = quick_spec(cluster_dir.clone(), 3);
+
+    let outcome = run_cluster(&store_dir, &spec, 2).unwrap();
+    assert_eq!(outcome.node_exits.len(), 3);
+    for exit in &outcome.node_exits {
+        assert!(exit.clean, "node {} exited {:?}", exit.owner, exit.code);
+    }
+    assert_byte_identical(&store, &outcome.assembly.result);
+    assert_clean_dirs(&cluster_dir, &store);
+    // The workers did the publishing; the coordinator's sweep found
+    // nothing left to do.
+    assert_eq!(outcome.coordinator.published, 0);
+
+    cleanup(&cluster_dir);
+    store.remove().unwrap();
+}
+
+/// The three crash faults, each run deterministically: one armed node
+/// sweeps alone until its failpoint fires (so the fault *always* fires —
+/// in a racing fleet a shard-qualified failpoint can go untriggered when a
+/// peer wins that shard), then a clean two-node cluster must recover from
+/// exactly the wreckage it left: a held lease, unpublished roots, a torn
+/// temp file.
+#[test]
+fn every_injected_crash_fault_is_contained() {
+    let faults = ["kill-after-lease@0", "kill-before-publish@1", "torn-tmp@2"];
+    for (i, fault) in faults.iter().enumerate() {
+        let (store_dir, store) = make_store(&format!("cluster-e2e-fault-{i}"), 24, 4);
+        let cluster_dir = scratch_dir(&format!("cluster-e2e-fault-{i}-run"));
+
+        let status = Command::new(NODE_BIN)
+            .arg("--store")
+            .arg(&store_dir)
+            .arg("--cluster")
+            .arg(&cluster_dir)
+            .args([
+                "--owner",
+                "victim",
+                "--stale-after-ms",
+                "1200",
+                "--heartbeat-ms",
+                "150",
+                "--poll-ms",
+                "40",
+            ])
+            .env("WK_CLUSTER_FAILPOINT", fault)
+            .status()
+            .unwrap();
+        assert_eq!(
+            status.code(),
+            Some(INJECTED_EXIT),
+            "fault {fault}: the armed solo node must die at its failpoint"
+        );
+
+        // The dead node left a claimed-but-unpublished shard behind (and,
+        // for torn-tmp, a garbage temp file in the exchange directory).
+        let leases = LeaseDir::init(&cluster_dir).unwrap();
+        let victim_shard = fault.rsplit('@').next().unwrap().parse::<u32>().unwrap();
+        assert!(
+            matches!(leases.view(victim_shard).unwrap(), LeaseView::Held(_)),
+            "fault {fault}: victim should have died holding shard {victim_shard}"
+        );
+
+        let spec = quick_spec(cluster_dir.clone(), 2);
+        let outcome = run_cluster(&store_dir, &spec, 2)
+            .unwrap_or_else(|e| panic!("fault {fault}: recovery cluster failed: {e}"));
+        for exit in &outcome.node_exits {
+            assert!(exit.clean, "node {} exited {:?}", exit.owner, exit.code);
+        }
+        assert_byte_identical(&store, &outcome.assembly.result);
+        assert_clean_dirs(&cluster_dir, &store);
+
+        cleanup(&cluster_dir);
+        store.remove().unwrap();
+    }
+}
+
+/// The clock-skew fault runs inside a racing fleet: the armed node writes
+/// heartbeats an hour in the future, which peers judge `Bogus` (hence
+/// reclaimable) rather than eternally fresh. Nobody dies; the sweep
+/// completes and the result is unchanged.
+#[test]
+fn skewed_heartbeats_cannot_wedge_the_cluster() {
+    let (store_dir, store) = make_store("cluster-e2e-skew", 24, 4);
+    let cluster_dir = scratch_dir("cluster-e2e-skew-run");
+    let mut spec = quick_spec(cluster_dir.clone(), 3);
+    spec.failpoints = vec![Some("skew-heartbeat=3600000".to_string()), None, None];
+
+    let outcome = run_cluster(&store_dir, &spec, 2).unwrap();
+    for exit in &outcome.node_exits {
+        assert!(exit.clean, "node {} exited {:?}", exit.owner, exit.code);
+    }
+    assert_byte_identical(&store, &outcome.assembly.result);
+    assert_clean_dirs(&cluster_dir, &store);
+
+    cleanup(&cluster_dir);
+    store.remove().unwrap();
+}
+
+#[test]
+fn node_killed_mid_run_is_absorbed() {
+    let (store_dir, store) = make_store("cluster-e2e-kill", 60, 3);
+    let cluster_dir = scratch_dir("cluster-e2e-kill-run");
+    let exchange = ExchangeDir::init(&cluster_dir).unwrap();
+
+    // One lone node starts sweeping all 20 shards...
+    let mut victim = Command::new(NODE_BIN)
+        .args(["--store"])
+        .arg(&store_dir)
+        .arg("--cluster")
+        .arg(&cluster_dir)
+        .args([
+            "--owner",
+            "victim",
+            "--stale-after-ms",
+            "1200",
+            "--heartbeat-ms",
+            "150",
+            "--poll-ms",
+            "40",
+        ])
+        .spawn()
+        .unwrap();
+    // ...and is SIGKILLed as soon as it has visibly made progress (no
+    // graceful shutdown, exactly like a powered-off machine).
+    let mut published_before_kill = 0;
+    for _ in 0..2000 {
+        published_before_kill = (0..store.shard_count() as u32)
+            .filter(|&i| exchange.is_published(i))
+            .count();
+        if published_before_kill >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    victim.kill().unwrap();
+    victim.wait().unwrap();
+
+    // The remaining fleet absorbs the dead node's shards (including any
+    // lease it died holding) and the result is still byte-identical.
+    let spec = quick_spec(cluster_dir.clone(), 2);
+    let outcome = run_cluster(&store_dir, &spec, 2).unwrap();
+    assert_byte_identical(&store, &outcome.assembly.result);
+    assert_clean_dirs(&cluster_dir, &store);
+    assert!(
+        published_before_kill < store.shard_count(),
+        "victim finished everything before the kill; nothing was tested"
+    );
+
+    cleanup(&cluster_dir);
+    store.remove().unwrap();
+}
+
+#[test]
+fn stale_exchange_directory_is_a_typed_error() {
+    let (store_dir, store) = make_store("cluster-e2e-stale", 12, 4);
+    let cluster_dir = scratch_dir("cluster-e2e-stale-run");
+    let spec = quick_spec(cluster_dir.clone(), 2);
+    run_cluster(&store_dir, &spec, 1).unwrap();
+
+    // The store moves on (a new month lands); the old exchange directory
+    // no longer binds to it.
+    let mut store = store;
+    store.append(4, &pseudo_moduli(4, 0xBEEF)).unwrap();
+    let exchange = ExchangeDir::init(&cluster_dir).unwrap();
+    let err = exchange.read_root(0, store.state_tag()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("does not bind"), "unexpected error: {msg}");
+
+    cleanup(&cluster_dir);
+    store.remove().unwrap();
+}
+
+#[test]
+fn revived_worker_is_fenced_out() {
+    let cluster_dir = scratch_dir("cluster-e2e-fence");
+    let leases = LeaseDir::init(&cluster_dir).unwrap();
+
+    // Zombie claims shard 7 with token 1, then stalls (no heartbeats).
+    let zombie = leases.claim(7, "zombie", 1, 0).unwrap().unwrap();
+    // A reclaimer finds the lease stale and takes over with token 2.
+    let view = leases.view(7).unwrap();
+    assert!(matches!(view, LeaseView::Held(_)));
+    assert!(leases.retire(7, &view, "reclaimer").unwrap());
+    assert_eq!(leases.next_token(7).unwrap(), 2);
+    let fresh = leases
+        .claim(7, "reclaimer", 2, u64::MAX / 2)
+        .unwrap()
+        .unwrap();
+
+    // The revived zombie cannot re-validate its ownership: the fence
+    // check fails, so it never reaches the publish step, and its
+    // heartbeats refuse to touch the reclaimer's lease.
+    assert!(!zombie.still_owned().unwrap());
+    assert!(!zombie.heartbeat(0).unwrap());
+    assert!(fresh.still_owned().unwrap());
+
+    // A second concurrent reclaimer of the same stale lease loses the
+    // rename race cleanly.
+    assert!(!leases.retire(7, &view, "late-reclaimer").unwrap());
+
+    cleanup(&cluster_dir);
+}
+
+#[test]
+fn failure_specs_parse_and_reject() {
+    assert!(FailurePlan::parse("kill-after-lease").is_ok());
+    assert!(FailurePlan::parse("kill-before-publish@3").is_ok());
+    assert!(FailurePlan::parse("torn-tmp@0").is_ok());
+    let skew = FailurePlan::parse("skew-heartbeat=-500").unwrap();
+    assert_eq!(skew.skew_ms, -500);
+    assert!(FailurePlan::parse("skew-heartbeat=oops").is_err());
+    assert!(FailurePlan::parse("skew-heartbeat=5@1").is_err());
+    assert!(FailurePlan::parse("explode").is_err());
+    assert!(FailurePlan::parse("kill-after-lease@notashard").is_err());
+}

@@ -1,0 +1,190 @@
+//! Property tests over interleaved claim/heartbeat/reclaim sequences on a
+//! real lease directory, with a *simulated* observer clock driving the
+//! pure [`LeaseRecord::staleness`] arbiter (DESIGN.md §12.2).
+//!
+//! Invariants checked on every generated interleaving:
+//! * at most one live owner per shard — a lease whose holder still
+//!   validates (`still_owned`) is never co-owned, and a **fresh** lease is
+//!   never displaced by a reclaimer;
+//! * fencing tokens strictly increase across a shard's ownership
+//!   generations;
+//! * no lost shards — after arbitrary worker deaths (handles dropped with
+//!   no cleanup, files left behind), a late sweeper can still acquire
+//!   every shard once the staleness window passes.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+use wk_batchgcd::scratch_dir;
+use wk_cluster::{Freshness, Lease, LeaseDir, LeaseView};
+
+/// Simulated staleness window (sim-clock milliseconds).
+const STALE_AFTER: Duration = Duration::from_secs(120);
+/// Simulated forward-skew tolerance.
+const SKEW_TOL: Duration = Duration::from_secs(20);
+
+struct Model {
+    leases: LeaseDir,
+    /// Sim clock, ms since the model's epoch (0); only ever advances.
+    now: u64,
+    /// Per-worker held lease handles (`None` slot = worker holds nothing
+    /// or is dead — death just drops the handle, files stay behind).
+    held: Vec<Option<Lease>>,
+    /// Highest fencing token ever granted per shard.
+    max_token: HashMap<u32, u64>,
+}
+
+impl Model {
+    fn new(tag: &str, workers: usize) -> Model {
+        let dir = scratch_dir(tag);
+        Model {
+            leases: LeaseDir::init(&dir).unwrap(),
+            now: STALE_AFTER.as_millis() as u64, // start past 0 so age math never saturates
+            held: vec![None; workers],
+            max_token: HashMap::new(),
+        }
+    }
+
+    /// The `worker::acquire` policy replayed against the public API with
+    /// the sim clock: reclaim only Stale/Bogus/Corrupt, never Fresh.
+    fn acquire(&mut self, worker: usize, shard: u32) -> Result<(), TestCaseError> {
+        let owner = format!("w{worker}");
+        let view = self.leases.view(shard).unwrap();
+        let reclaimable = match &view {
+            LeaseView::Absent => false,
+            LeaseView::Corrupt(_) => true,
+            LeaseView::Held(record) => {
+                match record.staleness(self.now, STALE_AFTER, SKEW_TOL) {
+                    Freshness::Fresh => {
+                        // INVARIANT: a fresh lease is never displaced.
+                        return Ok(());
+                    }
+                    Freshness::Stale | Freshness::Bogus => true,
+                }
+            }
+        };
+        if reclaimable && !self.leases.retire(shard, &view, &owner).unwrap() {
+            return Ok(()); // lost the rename race (can't happen single-threaded)
+        }
+        let token = self.leases.next_token(shard).unwrap();
+        let prev = self.max_token.get(&shard).copied().unwrap_or(0);
+        if let Some(lease) = self.leases.claim(shard, &owner, token, self.now).unwrap() {
+            // INVARIANT: fencing tokens strictly increase per shard.
+            prop_assert!(
+                token > prev,
+                "shard {shard}: granted token {token} after {prev}"
+            );
+            self.max_token.insert(shard, token);
+            self.held[worker] = Some(lease);
+        }
+        Ok(())
+    }
+
+    /// INVARIANT: at most one held handle per shard still validates.
+    fn check_single_owner(&self, shards: u32) -> Result<(), TestCaseError> {
+        for shard in 0..shards {
+            let live: Vec<usize> = self
+                .held
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| {
+                    h.as_ref()
+                        .is_some_and(|l| l.shard() == shard && l.still_owned().unwrap())
+                })
+                .map(|(w, _)| w)
+                .collect();
+            prop_assert!(
+                live.len() <= 1,
+                "shard {shard} has {} live owners: workers {live:?}",
+                live.len()
+            );
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_claims_keep_lease_invariants(
+        seed in 0u64..u64::MAX / 2,
+        shards in 1u32..5,
+        workers in 2usize..5,
+    ) {
+        let mut model = Model::new(&format!("lease-prop-{seed}-{shards}-{workers}"), workers);
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        for _ in 0..48 {
+            let worker = (rand() % workers as u64) as usize;
+            let shard = (rand() % shards as u64) as u32;
+            match rand() % 6 {
+                // Acquire attempts dominate the schedule.
+                0 | 1 => model.acquire(worker, shard)?,
+                // Heartbeat at sim-now; a lost lease drops the handle.
+                2 => {
+                    if let Some(lease) = &model.held[worker] {
+                        // The real heartbeat writes wall-clock time; stamp
+                        // the sim clock instead by re-deriving freshness
+                        // from a still_owned probe + model bookkeeping.
+                        if !lease.heartbeat(0).unwrap() {
+                            model.held[worker] = None;
+                        } else {
+                            // Keep the on-disk record on the sim clock:
+                            // rewrite via a sim-time heartbeat by direct
+                            // re-claim semantics is not possible, so model
+                            // freshness through record age only. Wall-clock
+                            // heartbeats are far in the sim future => the
+                            // record reads Bogus to sim observers, which is
+                            // still a *reclaimable* state — exercised below.
+                        }
+                    }
+                }
+                // Sudden death: drop the handle, leave the file.
+                3 => model.held[worker] = None,
+                // Time passes (0..=90 s of sim time).
+                4 => model.now += rand() % 90_001,
+                // Audit the single-owner invariant.
+                _ => model.check_single_owner(shards)?,
+            }
+        }
+
+        model.check_single_owner(shards)?;
+
+        // No lost shards: everyone dies, a full staleness window passes,
+        // and a fresh sweeper acquires every shard regardless of what the
+        // dead left behind (live leases, tombstones, heartbeat litter).
+        for slot in model.held.iter_mut() {
+            *slot = None;
+        }
+        // Jump far enough that even wall-clock heartbeats written above
+        // (unix epoch ms ≫ sim ms, i.e. Bogus to a sim observer) stay
+        // reclaimable, and sim-time heartbeats all read Stale.
+        model.now += 100 * STALE_AFTER.as_millis() as u64;
+        let sweeper = model.held.len() - 1;
+        for shard in 0..shards {
+            for _ in 0..3 {
+                model.acquire(sweeper, shard)?;
+                if model.held[sweeper].as_ref().is_some_and(|l| l.shard() == shard) {
+                    break;
+                }
+            }
+            let got = model.held[sweeper].take();
+            prop_assert!(
+                got.as_ref().is_some_and(|l| l.still_owned().unwrap()),
+                "shard {shard} was lost: sweeper could not acquire it"
+            );
+            if let Some(lease) = got {
+                lease.release().unwrap();
+            }
+        }
+
+        std::fs::remove_dir_all(model.leases.path().parent().unwrap()).unwrap();
+    }
+}

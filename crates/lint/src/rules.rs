@@ -59,6 +59,7 @@ pub(crate) const NO_PANIC_CRATES: &[&str] = &[
     "batchgcd",
     "bigint",
     "cert",
+    "cluster",
     "core",
     "fingerprint",
     "keygen",

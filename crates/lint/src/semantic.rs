@@ -3,10 +3,10 @@
 //!
 //! | rule id                | scope                    | invariant |
 //! |------------------------|--------------------------|-----------|
-//! | `durability-publish`   | `batchgcd`, `service`    | every `fs::rename` publish is followed by a parent-directory `fsync_dir` with no early return between |
+//! | `durability-publish`   | `batchgcd`, `cluster`, `service` | every `fs::rename` publish is followed by a parent-directory `fsync_dir` with no early return between |
 //! | `panic-reachability`   | public fns of the no-panic crates | no *transitive* path through the call graph to an unjustified panic site |
 //! | `lock-discipline`      | whole workspace          | no `Mutex`/`RwLock` guard held across a channel send/recv or a blocking file write |
-//! | `watermark-provenance` | `service`                | persisted watermarks/state tags derive only from on-disk state, never wall-clock or process-local counters |
+//! | `watermark-provenance` | `cluster`, `service`     | persisted watermarks/state tags/fencing tokens derive only from on-disk state, never wall-clock or process-local counters |
 //!
 //! Unlike the token rules in [`crate::rules`], these see the whole
 //! workspace at once: findings in one file can be caused by code in
@@ -24,13 +24,25 @@ use std::collections::HashSet;
 use std::ops::Range;
 
 /// Crates whose publish paths (rename-into-place) must be crash-durable.
-const DURABILITY_CRATES: &[&str] = &["batchgcd", "service"];
-/// The crate whose persistence metadata is provenance-audited.
-const WATERMARK_CRATE: &str = "service";
+const DURABILITY_CRATES: &[&str] = &["batchgcd", "cluster", "service"];
+/// Crates whose persistence metadata is provenance-audited: the daemon's
+/// watermarks, and the cluster's lease/exchange records (fencing tokens
+/// come from tombstones on disk, state tags from the store — never from
+/// process-local counters).
+const WATERMARK_CRATES: &[&str] = &["cluster", "service"];
 /// Receivers whose `.len()` reflects on-disk state and may feed a
 /// watermark (the store and cache expose persisted counts; `committed` and
-/// `shards` are their internals; `watermark` is already-persisted state).
-const DISK_BACKED_RECEIVERS: &[&str] = &["store", "cache", "watermark", "committed", "shards"];
+/// `shards` are their internals; `watermark` is already-persisted state;
+/// `leases`/`exchange` are the cluster's on-disk coordination dirs).
+const DISK_BACKED_RECEIVERS: &[&str] = &[
+    "store",
+    "cache",
+    "watermark",
+    "committed",
+    "shards",
+    "leases",
+    "exchange",
+];
 /// Calls that block (channel rendezvous or synchronous I/O) and must not
 /// run under a lock guard.
 const BLOCKING_METHODS: &[&str] = &[
@@ -289,7 +301,7 @@ fn binds_guard(src: &str, toks: &[Token], init: &Range<usize>) -> bool {
 fn watermark_provenance(units: &[FileUnit], table: &ItemTable, out: &mut Vec<(usize, Diagnostic)>) {
     let mut seen: HashSet<(usize, u32, u32)> = HashSet::new();
     for f in &table.fns {
-        if f.in_test || f.crate_name != WATERMARK_CRATE {
+        if f.in_test || !WATERMARK_CRATES.contains(&f.crate_name.as_str()) {
             continue;
         }
         let Some(body) = &f.body else { continue };

@@ -30,11 +30,13 @@
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use weakkeys::partition_statuses;
 use wk_analysis::attribute_moduli;
 use wk_batchgcd::{incremental_batch_gcd, BatchGcdResult, IncrementalError, ShardStore, TreeCache};
 use wk_bigint::Natural;
 use wk_cert::MonthDate;
+use wk_cluster::{run_cluster, ClusterSpec};
 use wk_scan::{ModulusId, ModulusStore, VendorId};
 
 use crate::error::ServiceError;
@@ -57,6 +59,42 @@ pub struct AuditConfig {
     /// First month the feed covers; months are sequential from here, so
     /// month identity survives restarts as `start_month + months_closed`.
     pub start_month: MonthDate,
+    /// When set, month-close phase 1 is delegated to a real multi-process
+    /// cluster of `wk-cluster-node` workers instead of running in this
+    /// process (DESIGN.md §12.7). Phases 2–3 and every commit/crash-window
+    /// property of the close protocol are unchanged.
+    pub cluster: Option<ClusterClose>,
+}
+
+/// How a cluster-delegated month close runs its worker fleet.
+#[derive(Clone, Debug)]
+pub struct ClusterClose {
+    /// Path to the `wk-cluster-node` binary
+    /// ([`wk_cluster::sibling_node_bin`] finds it next to the current
+    /// executable).
+    pub node_bin: PathBuf,
+    /// Worker processes to spawn per close.
+    pub nodes: u32,
+    /// Lease staleness window shared by the fleet.
+    pub stale_after: Duration,
+    /// Heartbeat interval shared by the fleet.
+    pub heartbeat_every: Duration,
+    /// Idle-sweep poll interval shared by the fleet.
+    pub poll_every: Duration,
+}
+
+impl ClusterClose {
+    /// A fleet of `nodes` workers with production-shaped lease timing
+    /// (mirrors [`wk_cluster::ClusterSpec::new`]).
+    pub fn new(node_bin: PathBuf, nodes: u32) -> ClusterClose {
+        ClusterClose {
+            node_bin,
+            nodes,
+            stale_after: Duration::from_secs(30),
+            heartbeat_every: Duration::from_secs(5),
+            poll_every: Duration::from_millis(250),
+        }
+    }
 }
 
 impl AuditConfig {
@@ -67,11 +105,16 @@ impl AuditConfig {
             shard_capacity: 8,
             threads: 2,
             start_month,
+            cluster: None,
         }
     }
 
     fn store_dir(&self) -> PathBuf {
         self.dir.join("store")
+    }
+
+    fn cluster_dir(&self) -> PathBuf {
+        self.dir.join("cluster")
     }
 
     fn cache_dir(&self) -> PathBuf {
@@ -480,13 +523,16 @@ impl AuditDaemon {
         let delta = self.moduli.moduli_since(persisted).to_vec();
         let before_factored: HashSet<ModulusId> = self.index.factors.keys().copied().collect();
 
-        let result = incremental_batch_gcd(
-            &mut self.store,
-            &mut self.cache,
-            &delta,
-            self.config.shard_capacity.max(1),
-            self.config.threads,
-        )?;
+        let result = match self.config.cluster.clone() {
+            Some(cluster) => self.close_on_cluster(&delta, &cluster)?,
+            None => incremental_batch_gcd(
+                &mut self.store,
+                &mut self.cache,
+                &delta,
+                self.config.shard_capacity.max(1),
+                self.config.threads,
+            )?,
+        };
         self.refresh_index(&result);
         let mut newly_factored = 0;
         for id in self.index.factors.keys() {
@@ -503,6 +549,47 @@ impl AuditDaemon {
             vulnerable: self.index.vulnerable.len(),
             newly_factored,
         })
+    }
+
+    /// Month-close phase 1 on a real multi-process cluster: append the
+    /// delta shards, run the worker fleet over the whole store, then
+    /// persist a tree cache from the assembly so subsequent opens,
+    /// recoveries, and queries see exactly what an in-process close would
+    /// have produced (the result is byte-identical by construction).
+    ///
+    /// Crash windows match the in-process path: the committed watermark
+    /// still lands last, an interrupted close leaves either trailing
+    /// uncommitted shards (rolled back on reopen) or a fully persisted
+    /// cache (rolled forward). Leftover cluster state from an interrupted
+    /// close is swept by the next run — stale exchange roots no longer
+    /// bind to the store's state tag.
+    fn close_on_cluster(
+        &mut self,
+        delta: &[Natural],
+        cluster: &ClusterClose,
+    ) -> Result<BatchGcdResult, ServiceError> {
+        if !delta.is_empty() {
+            self.store
+                .append(self.config.shard_capacity.max(1), delta)?;
+        }
+        let mut spec = ClusterSpec::new(
+            self.config.cluster_dir(),
+            cluster.node_bin.clone(),
+            cluster.nodes,
+        );
+        spec.stale_after = cluster.stale_after;
+        spec.heartbeat_every = cluster.heartbeat_every;
+        spec.poll_every = cluster.poll_every;
+        let outcome = run_cluster(&self.config.store_dir(), &spec, self.config.threads)?;
+        let assembly = outcome.assembly;
+        self.cache = TreeCache::from_parts(
+            &self.config.cache_dir(),
+            &self.store,
+            assembly.shard_products,
+            assembly.top_product,
+            &assembly.result,
+        )?;
+        Ok(assembly.result)
     }
 
     /// Drain a feed until `Shutdown` (or every sender hangs up).

@@ -9,6 +9,7 @@ use std::io;
 use std::path::PathBuf;
 use wk_batchgcd::{CorpusError, IncrementalError};
 use wk_cert::MonthDate;
+use wk_cluster::ClusterError;
 
 /// Everything that can go wrong inside the audit daemon.
 #[derive(Debug)]
@@ -19,6 +20,8 @@ pub enum ServiceError {
     Corpus(CorpusError),
     /// Tree-cache failure (open, build, delta run).
     Incremental(IncrementalError),
+    /// Multi-process cluster failure during a delegated month close.
+    Cluster(ClusterError),
     /// `run_metadata.json` or `labels.tsv` exists but cannot be parsed.
     Metadata {
         /// The unreadable file.
@@ -52,6 +55,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
             ServiceError::Corpus(e) => write!(f, "shard store error: {e}"),
             ServiceError::Incremental(e) => write!(f, "tree cache error: {e}"),
+            ServiceError::Cluster(e) => write!(f, "cluster month-close error: {e}"),
             ServiceError::Metadata { path, message } => {
                 write!(f, "bad metadata file {}: {message}", path.display())
             }
@@ -76,6 +80,7 @@ impl std::error::Error for ServiceError {
             ServiceError::Io(e) => Some(e),
             ServiceError::Corpus(e) => Some(e),
             ServiceError::Incremental(e) => Some(e),
+            ServiceError::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -96,5 +101,11 @@ impl From<CorpusError> for ServiceError {
 impl From<IncrementalError> for ServiceError {
     fn from(e: IncrementalError) -> Self {
         ServiceError::Incremental(e)
+    }
+}
+
+impl From<ClusterError> for ServiceError {
+    fn from(e: ClusterError) -> Self {
+        ServiceError::Cluster(e)
     }
 }

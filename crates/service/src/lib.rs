@@ -54,7 +54,9 @@ pub mod error;
 pub mod feed;
 pub mod provenance;
 
-pub use daemon::{AuditConfig, AuditDaemon, MonthReport, QueryAnswer, Recovery, ServeSummary};
+pub use daemon::{
+    AuditConfig, AuditDaemon, ClusterClose, MonthReport, QueryAnswer, Recovery, ServeSummary,
+};
 pub use error::ServiceError;
 pub use feed::{
     feed_channel, FeedConfig, FeedEvent, FeedReceiver, FeedSender, HostObservation, SimulatedFeed,

@@ -1,0 +1,109 @@
+//! A real multi-process batch-GCD cluster run, end to end: build a shard
+//! store of model-generated RSA moduli, spawn N `wk-cluster-node` worker
+//! processes over it (optionally killing one mid-run to watch the others
+//! absorb its shards), and check the assembled result byte-for-byte
+//! against the single-process `sharded_batch_gcd`.
+//!
+//! ```sh
+//! cargo run --release --example cluster_gcd                # 600 keys, 3 nodes
+//! cargo run --release --example cluster_gcd -- 2000 4      # more of both
+//! cargo run --release --example cluster_gcd -- 600 3 kill  # SIGKILL node-0 mid-run
+//! ```
+
+use std::time::{Duration, Instant};
+use wk_batchgcd::{scratch_dir, sharded_batch_gcd, ShardStore};
+use wk_bigint::Natural;
+use wk_cluster::{run_cluster, sibling_node_bin, ClusterSpec};
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let count: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(600);
+    let nodes: u32 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let kill_one = argv.next().as_deref() == Some("kill");
+
+    let Some(node_bin) = sibling_node_bin() else {
+        eprintln!("wk-cluster-node binary not found next to this example;");
+        eprintln!("build it first: cargo build --release -p wk-cluster");
+        std::process::exit(2);
+    };
+
+    println!("generating {count} 512-bit moduli (2% over a shared pool)...");
+    let mut flawed = ModelKeygen::new(
+        KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::OpensslStyle,
+            pool_size: 5,
+        },
+        512,
+        1,
+    );
+    let mut healthy = ModelKeygen::new(
+        KeygenBehavior::Healthy {
+            shaping: PrimeShaping::OpensslStyle,
+        },
+        512,
+        2,
+    );
+    let weak = (count / 50).max(2);
+    let mut moduli: Vec<Natural> = (0..weak).map(|_| flawed.generate().public.n).collect();
+    moduli.extend((0..count - weak).map(|_| healthy.generate().public.n));
+
+    let store_dir = scratch_dir("cluster-example-store");
+    let cluster_dir = scratch_dir("cluster-example-run");
+    let store = ShardStore::create(&store_dir, (count / 8).max(8), &moduli).unwrap();
+    println!(
+        "store: {} shards x {} capacity, {} bytes on disk",
+        store.shard_count(),
+        (count / 8).max(8),
+        store.bytes_on_disk()
+    );
+
+    // Fault injection is opt-in: `kill` arms an injected SIGKILL-shaped
+    // exit in node-0 right before it would publish its first root.
+    let mut spec = ClusterSpec::new(cluster_dir.clone(), node_bin, nodes);
+    spec.stale_after = Duration::from_secs(2);
+    spec.heartbeat_every = Duration::from_millis(300);
+    spec.poll_every = Duration::from_millis(50);
+    if kill_one {
+        spec.failpoints = vec![Some("kill-before-publish".to_string())];
+        println!("node-0 is armed to die before its first publish");
+    }
+
+    let t = Instant::now();
+    let outcome = run_cluster(&store_dir, &spec, 4).unwrap();
+    let cluster_time = t.elapsed();
+    for exit in &outcome.node_exits {
+        println!(
+            "  {}: {}",
+            exit.owner,
+            if exit.clean {
+                "clean exit".to_string()
+            } else {
+                format!("died with code {:?} (shards redistributed)", exit.code)
+            }
+        );
+    }
+    println!(
+        "  coordinator sweep: published={} reclaimed={}",
+        outcome.coordinator.published, outcome.coordinator.reclaimed
+    );
+    println!(
+        "cluster ({nodes} processes): {} vulnerable of {count}, {cluster_time:?}",
+        outcome.assembly.result.vulnerable_count()
+    );
+
+    // The acceptance bar: byte-identical to the single-process sharded run.
+    let t = Instant::now();
+    let single = sharded_batch_gcd(&store, 4).unwrap();
+    println!(
+        "single process:   {} vulnerable of {count}, {:?}",
+        single.vulnerable_count(),
+        t.elapsed()
+    );
+    assert_eq!(outcome.assembly.result.raw_divisors, single.raw_divisors);
+    assert_eq!(outcome.assembly.result.statuses, single.statuses);
+    println!("divisors and statuses are byte-identical ✓");
+
+    std::fs::remove_dir_all(&cluster_dir).unwrap();
+    store.remove().unwrap();
+}

@@ -181,3 +181,73 @@ fn feed_errors_are_typed_not_panics() {
     assert!(matches!(err, ServiceError::MonthMismatch { .. }));
     fs::remove_dir_all(&cfg.dir).unwrap();
 }
+
+/// Close the same three months twice — once in-process, once delegated to
+/// a real multi-process cluster — and require identical committed state:
+/// same corpus/cache tags, same query answers, and a clean restart that
+/// validates the cluster-built cache exactly like an in-process one.
+#[test]
+fn cluster_delegated_close_commits_identical_state() {
+    let Some(node_bin) = wk_cluster::sibling_node_bin() else {
+        // `cargo test` on the workspace builds wk-cluster-node; a filtered
+        // single-package run may not have. Nothing to assert without it.
+        eprintln!("skipping: wk-cluster-node not built");
+        return;
+    };
+
+    let run = |tag: &str, cluster: Option<wk_service::ClusterClose>| {
+        let mut cfg = config(tag);
+        cfg.cluster = cluster;
+        let mut daemon = AuditDaemon::open(cfg.clone()).unwrap();
+        let mut feed = SimulatedFeed::new(FeedConfig::test_small());
+        for month in 0..3u32 {
+            let m = MonthDate::new(2012, 1).plus(month);
+            for event in feed.month_events(m) {
+                match event {
+                    FeedEvent::Host(obs) => {
+                        daemon.ingest(&obs).unwrap();
+                    }
+                    FeedEvent::MonthClose(month) => {
+                        daemon.close_month(month).unwrap();
+                    }
+                    FeedEvent::Shutdown => {}
+                }
+            }
+        }
+        (cfg, daemon)
+    };
+
+    let mut fleet = wk_service::ClusterClose::new(node_bin, 2);
+    fleet.stale_after = std::time::Duration::from_millis(1500);
+    fleet.heartbeat_every = std::time::Duration::from_millis(200);
+    fleet.poll_every = std::time::Duration::from_millis(40);
+    let (cluster_cfg, cluster_daemon) = run("cluster-close", Some(fleet));
+    let (local_cfg, local_daemon) = run("local-close", None);
+
+    // Same committed corpus and cache, bit for bit (the tags hash content).
+    let cw = cluster_daemon.watermark().clone();
+    let lw = local_daemon.watermark().clone();
+    assert_eq!(cw.corpus_tag, lw.corpus_tag);
+    assert_eq!(cw.cache_tag, lw.cache_tag);
+    assert_eq!(cw.corpus_moduli, lw.corpus_moduli);
+    for n in feed_moduli() {
+        let c = cluster_daemon.query(&n);
+        let l = local_daemon.query(&n);
+        assert_eq!(c.factored, l.factored);
+        assert_eq!(c.factors, l.factors);
+        assert_eq!(c.vendor, l.vendor);
+    }
+    drop(cluster_daemon);
+
+    // The cluster-built cache validates on a clean restart with no
+    // cluster configured — on-disk state carries no trace of *how* the
+    // close was computed.
+    let mut plain_cfg = cluster_cfg.clone();
+    plain_cfg.cluster = None;
+    let reopened = AuditDaemon::open(plain_cfg).unwrap();
+    assert_eq!(reopened.recovery(), Recovery::Clean);
+    assert_eq!(reopened.watermark(), &cw);
+
+    fs::remove_dir_all(&cluster_cfg.dir).unwrap();
+    fs::remove_dir_all(&local_cfg.dir).unwrap();
+}
