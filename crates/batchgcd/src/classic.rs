@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use wk_bigint::Natural;
 
 /// Timing and memory accounting for one batch-GCD run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct BatchStats {
     /// Wall-clock time building the product tree.
     pub product_tree_time: Duration,
@@ -47,6 +47,38 @@ pub struct BatchStats {
     /// populated by
     /// [`incremental_batch_gcd`](crate::incremental::incremental_batch_gcd).
     pub delta: DeltaMetrics,
+    /// Limb-arena buffer requests the thread pools could not serve over the
+    /// run (fresh heap allocations); the steady-state target is near zero.
+    pub alloc_events: u64,
+    /// Fraction of limb-arena checkouts served from pooled buffers over the
+    /// run (1.0 when no checkouts happened).
+    pub arena_hit_ratio: f64,
+    /// Levels driven by the scaled remainder tree across the run's plain
+    /// descents; 0 when every descent ran exact or through Barrett caches.
+    pub scaled_levels: u64,
+}
+
+impl Default for BatchStats {
+    fn default() -> Self {
+        BatchStats {
+            product_tree_time: Duration::ZERO,
+            recip_build_time: Duration::ZERO,
+            barrett_rem_time: Duration::ZERO,
+            remainder_tree_time: Duration::ZERO,
+            gcd_time: Duration::ZERO,
+            tree_bytes: 0,
+            input_count: 0,
+            product_tree_exec: PhaseExec::default(),
+            remainder_tree_exec: PhaseExec::default(),
+            gcd_exec: PhaseExec::default(),
+            shard: ShardMetrics::default(),
+            delta: DeltaMetrics::default(),
+            alloc_events: 0,
+            // An idle arena served every (zero) checkout.
+            arena_hit_ratio: 1.0,
+            scaled_levels: 0,
+        }
+    }
 }
 
 impl BatchStats {
@@ -118,19 +150,25 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
     );
     // One work-stealing pool serves every phase of the run; per-phase
     // domains separate the executor accounting.
+    let arena0 = wk_bigint::arena::stats();
     let pool = WorkerPool::new(threads);
     let build_domain = pool.domain();
     let remainder_domain = pool.domain();
     let gcd_domain = pool.domain();
 
     let t0 = Instant::now();
-    let mut tree = ProductTree::build(moduli, pool.exec_in(&build_domain))
+    let tree = ProductTree::build(moduli, pool.exec_in(&build_domain))
         // lint:allow(no-panic-in-lib) invariant: nonempty nonzero input checked above
         .expect("validated batch GCD input");
     let product_tree_time = t0.elapsed();
-    // Build-time Barrett caches: one plain reciprocal per paired node, the
-    // whole precompute the cofactor descent needs (no squares).
-    let recip_build_time = tree.attach_cofactor_recips(pool.exec_in(&build_domain));
+    // No build-time Barrett caches: the cofactor descent reads each node's
+    // reciprocal exactly twice, and at that reuse count a Newton build
+    // (~2 node-sized multiplies) plus two Barrett steps costs more than
+    // two Burnikel-Ziegler divisions outright. `reduce_plain` falls back
+    // to exact division when no cache is attached, byte-identically.
+    // Reciprocals are attached only where they amortize: the incremental
+    // delta tree (three reductions per node) and the persisted shard set.
+    let recip_build_time = Duration::ZERO;
     let tree_bytes = tree.total_bytes() + tree.cache_bytes();
 
     let t1 = Instant::now();
@@ -155,6 +193,7 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
     let gcd_time = t2.elapsed();
 
     let statuses = resolve(moduli, &raw_divisors);
+    let arena = wk_bigint::arena::stats().delta_since(&arena0);
     BatchGcdResult {
         raw_divisors,
         statuses,
@@ -171,6 +210,11 @@ pub fn batch_gcd(moduli: &[Natural], threads: usize) -> BatchGcdResult {
             gcd_exec: gcd_domain.phase(),
             shard: ShardMetrics::default(),
             delta: DeltaMetrics::default(),
+            alloc_events: arena.alloc_events,
+            arena_hit_ratio: arena.hit_ratio(),
+            // The cofactor descent always runs exact/Barrett: the scaled
+            // form cannot carry the sibling re-multiplication soundly.
+            scaled_levels: 0,
         },
     }
 }
@@ -248,15 +292,13 @@ mod tests {
         let res = batch_gcd(&moduli, 1);
         assert_eq!(res.stats.input_count, 4);
         assert!(res.stats.tree_bytes > 0);
-        // Executor accounting: 4 leaves pair into 2 then 1 (3 build tasks)
-        // plus 5 reciprocal-cache jobs (4 leaves + the one interior node
-        // whose seed-1 reductions the bound chain cannot prove trivial);
-        // the cofactor descent runs 2 + 4 level reductions, then 4 gcd
-        // tasks.
-        assert_eq!(res.stats.product_tree_exec.tasks(), 8);
+        // Executor accounting: 4 leaves pair into 2 then 1 (3 build tasks,
+        // no reciprocal-cache jobs — the descent uses exact division); the
+        // cofactor descent runs 2 + 4 level reductions, then 4 gcd tasks.
+        assert_eq!(res.stats.product_tree_exec.tasks(), 3);
         assert_eq!(res.stats.remainder_tree_exec.tasks(), 6);
         assert_eq!(res.stats.gcd_exec.tasks(), 4);
-        assert_eq!(res.stats.total_exec().tasks(), 18);
+        assert_eq!(res.stats.total_exec().tasks(), 13);
     }
 
     #[test]

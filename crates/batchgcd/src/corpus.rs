@@ -45,7 +45,7 @@ use crate::classic::{BatchGcdResult, BatchStats};
 use crate::pool::{ExecDomain, WorkerPool};
 use crate::resolve::resolve_with_hits;
 use crate::spill::{decode_natural, encode_natural, PartialGuard};
-use crate::tree::ProductTree;
+use crate::tree::{DescentScratch, ProductTree};
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufReader, Read, Write};
@@ -936,6 +936,7 @@ pub fn assemble_from_shard_roots(
     let build_domain = pool.domain();
     let pre = PhaseOne {
         start: Instant::now(),
+        arena0: wk_bigint::arena::stats(),
         max_shard_tree_bytes: 0,
         shard_busy: vec![Duration::ZERO; store.shard_count()],
         shards_read: 0,
@@ -958,6 +959,9 @@ struct PhaseOne {
     /// When the run's product phase began; `product_tree_time` spans from
     /// here through the top-tree build.
     start: Instant,
+    /// Arena counters at the start of the run, for the per-run
+    /// `alloc_events` / `arena_hit_ratio` deltas.
+    arena0: wk_bigint::arena::ArenaStats,
     /// Largest shard tree seen so far (bytes).
     max_shard_tree_bytes: usize,
     /// Per-shard busy time accumulated so far, index-aligned.
@@ -992,6 +996,7 @@ fn sharded_impl(
     // Phase 1: one pool task per shard; the deques deal and steal them, so
     // a free worker always claims the next unprocessed shard.
     let t0 = Instant::now();
+    let arena0 = wk_bigint::arena::stats();
     let product_tasks: Vec<_> = (0..shard_count as u32)
         .map(|index| {
             move || -> Result<(Natural, usize, Duration), CorpusError> {
@@ -1006,7 +1011,15 @@ fn sharded_impl(
                         detail: e.to_string(),
                     }
                 })?;
-                Ok((tree.root().clone(), tree.total_bytes(), start.elapsed()))
+                let root = tree.root().clone();
+                let tree_bytes = tree.total_bytes();
+                // Worker-local recycling: the next shard this worker claims
+                // rebuilds a same-shaped tree straight from the arena.
+                tree.recycle();
+                for m in moduli {
+                    wk_bigint::arena::recycle(m);
+                }
+                Ok((root, tree_bytes, start.elapsed()))
             }
         })
         .collect();
@@ -1027,6 +1040,7 @@ fn sharded_impl(
 
     let pre = PhaseOne {
         start: t0,
+        arena0,
         max_shard_tree_bytes,
         shard_busy,
         shards_read: shard_count as u64,
@@ -1055,14 +1069,19 @@ fn assemble_impl(
 
     // Phase 2: the top tree over shard products fits in memory by
     // construction (one node per shard).
-    let mut top = ProductTree::build(&shard_products, pool.exec_in(&build_domain))
+    let top = ProductTree::build(&shard_products, pool.exec_in(&build_domain))
         // lint:allow(no-panic-in-lib) invariant: shard_count > 0 and every shard product is a product of nonzero moduli
         .expect("shard products are nonempty and nonzero");
     let product_tree_time = pre.start.elapsed();
-    // Barrett caches for the top cofactor descent (one plain reciprocal
-    // per paired node, no squares), built in parallel while the descent
-    // itself is width-limited near the root.
-    let recip_build_time = top.attach_cofactor_recips(pool.exec_in(&build_domain));
+    // No reciprocal caches for the top descent: each node's `mu` would be
+    // used exactly twice (the two reductions of its own cofactor step), and
+    // a Newton build costs ~2 node-sized multiplies while Burnikel-Ziegler
+    // division matches a Barrett step almost exactly — so single-use
+    // reciprocals are pure overhead here. Barrett pays only where `mu` is
+    // reused across runs (the persisted shard reciprocals of the
+    // incremental sweep); the rebuild's `recip_build_ns` is exactly that
+    // persisted set, charged by `TreeCache::build`.
+    let recip_build_time = Duration::ZERO;
     let top_bytes = top.total_bytes() + top.cache_bytes();
     let kept_products = if keep_tree {
         shard_products
@@ -1116,9 +1135,14 @@ fn assemble_impl(
                 })?;
                 let tree_bytes = tree.total_bytes();
                 // The residue is (P/root) mod root from the top
-                // descent — exactly this tree's cofactor seed.
-                let rems = tree.remainder_tree_cofactor_local(&residue);
-                drop(tree);
+                // descent — exactly this tree's cofactor seed. The
+                // scratch-based descent reuses arena buffers level to
+                // level; the seed and the tree recycle after it.
+                let mut scratch = DescentScratch::default();
+                let mut rems = Vec::new();
+                tree.remainder_tree_cofactor_local_into(&residue, &mut scratch, &mut rems);
+                wk_bigint::arena::recycle(residue);
+                tree.recycle();
                 // One metered task (the single-closure fast path runs it
                 // inline) keeps the gcd work attributed to its domain.
                 let moduli_ref = &moduli;
@@ -1133,6 +1157,7 @@ fn assemble_impl(
                                 // the cofactor descent delivers
                                 // (P/N) mod N directly.
                                 let g = n.gcd(&zn);
+                                wk_bigint::arena::recycle(zn);
                                 if g.is_one() {
                                     None
                                 } else {
@@ -1149,6 +1174,9 @@ fn assemble_impl(
                     .filter(|(_, g)| g.is_some())
                     .map(|(i, _)| (i, moduli[i].clone()))
                     .collect();
+                for m in moduli {
+                    wk_bigint::arena::recycle(m);
+                }
                 Ok(ShardLeaves {
                     divisors,
                     hits,
@@ -1179,6 +1207,7 @@ fn assemble_impl(
 
     let statuses = resolve_with_hits(total, &hits, &raw_divisors);
     let gcd_exec = gcd_domain.phase();
+    let arena = wk_bigint::arena::stats().delta_since(&pre.arena0);
     Ok((
         BatchGcdResult {
             raw_divisors,
@@ -1202,6 +1231,11 @@ fn assemble_impl(
                     shard_busy,
                 },
                 delta: crate::incremental::DeltaMetrics::default(),
+                alloc_events: arena.alloc_events,
+                arena_hit_ratio: arena.hit_ratio(),
+                // Sharded runs descend in cofactor form throughout; the
+                // scaled driver never engages.
+                scaled_levels: 0,
             },
         },
         kept_products,

@@ -192,6 +192,9 @@ pub struct DeltaMetrics {
     pub delta_sweep_exec: PhaseExec,
     /// Executor metrics for the cross (new-vs-`P_old`) phase.
     pub delta_cross_exec: PhaseExec,
+    /// Levels the scaled remainder tree drove during the cross-phase plain
+    /// descent; 0 when that descent rode attached Barrett caches instead.
+    pub cross_scaled_levels: u64,
 }
 
 impl DeltaMetrics {
@@ -905,6 +908,7 @@ pub fn incremental_batch_gcd(
     let old_bytes_on_disk = store.bytes_on_disk();
     let total = old_total + delta.len();
 
+    let arena0 = wk_bigint::arena::stats();
     let pool = WorkerPool::new(threads);
     let tree_domain = pool.domain();
     let sweep_domain = pool.domain();
@@ -1027,8 +1031,8 @@ pub fn incremental_batch_gcd(
     // descent of P_old rides the reciprocals phase 1 attached (only the
     // root step falls back to one division).
     let t2 = Instant::now();
-    let (rems_old, barrett_cross) =
-        t_new.remainder_tree_plain_timed(&cache.top_product, pool.exec_in(&cross_domain));
+    let (rems_old, barrett_cross, cross_scaled_levels) =
+        t_new.remainder_tree_plain_metered(&cache.top_product, pool.exec_in(&cross_domain));
     drop(t_new);
     let cross_items: Vec<(&Natural, Natural, Option<Natural>)> = delta
         .iter()
@@ -1139,6 +1143,7 @@ pub fn incremental_batch_gcd(
     let mut remainder_exec = sweep_domain.phase();
     remainder_exec.merge(&cross_domain.phase());
     let new_shards = (appended.end - appended.start) as u64;
+    let arena = wk_bigint::arena::stats().delta_since(&arena0);
     Ok(BatchGcdResult {
         raw_divisors,
         statuses,
@@ -1170,7 +1175,11 @@ pub fn incremental_batch_gcd(
                 delta_tree_exec: tree_domain.phase(),
                 delta_sweep_exec: sweep_domain.phase(),
                 delta_cross_exec: cross_domain.phase(),
+                cross_scaled_levels: cross_scaled_levels as u64,
             },
+            alloc_events: arena.alloc_events,
+            arena_hit_ratio: arena.hit_ratio(),
+            scaled_levels: cross_scaled_levels as u64,
         },
     })
 }

@@ -14,7 +14,25 @@
 use crate::pool::Exec;
 use std::fmt;
 use std::time::{Duration, Instant};
-use wk_bigint::{Natural, Reciprocal};
+use wk_bigint::{arena, Natural, Reciprocal};
+
+/// Guard bits carried by every fixed-point residue of the scaled remainder
+/// tree: a node `u`'s scaled image approximates `frac(V/u) * 2^F` with
+/// `F = bit_len(u) + SCALED_GUARD_BITS`. Recovery needs the accumulated
+/// truncation error below `2^SCALED_GUARD_BITS`; the per-level recurrence
+/// `e_child <= 2*e_parent + 1` (sibling multiply plus rescale truncation)
+/// keeps 64 guard bits sound through [`SCALED_MAX_LEVELS`] levels.
+pub const SCALED_GUARD_BITS: u64 = 64;
+
+/// Deepest scaled descent the guard bits provably cover: after `d` levels
+/// the error is at most `3 * 2^d`, which must stay below `2^64`.
+const SCALED_MAX_LEVELS: usize = 58;
+
+/// Node size (limbs) below which the scaled driver hands over to the exact
+/// descent: at small widths the per-node shift/mask bookkeeping costs more
+/// than the plain division it replaces, and recovery at the handover level
+/// amortizes over the whole subtree below it.
+pub const SCALED_CUTOFF_LIMBS: usize = 8;
 
 /// Why a product tree could not be built. Both conditions are caller bugs
 /// in an in-memory run, but become reachable data errors once moduli stream
@@ -393,7 +411,7 @@ impl ProductTree {
         // reduced — in particular the root step of a conventional descent
         // (value = P < P^2) never squares the root.
         if pv.bit_len() + 2 <= 2 * node.bit_len() {
-            return (pv.clone(), Duration::ZERO);
+            return (arena::clone_natural(pv), Duration::ZERO);
         }
         if let Some(cache) = self
             .sq_caches
@@ -402,7 +420,7 @@ impl ProductTree {
             .and_then(Option::as_ref)
         {
             if pv < &cache.square {
-                return (pv.clone(), Duration::ZERO);
+                return (arena::clone_natural(pv), Duration::ZERO);
             }
             let start = Instant::now();
             if let Ok(r) = pv.barrett_rem(&cache.square, &cache.recip) {
@@ -418,7 +436,7 @@ impl ProductTree {
     fn reduce_plain(&self, pv: &Natural, level_idx: usize, i: usize) -> (Natural, Duration) {
         let node = &self.levels[level_idx][i];
         if pv < node {
-            return (pv.clone(), Duration::ZERO);
+            return (arena::clone_natural(pv), Duration::ZERO);
         }
         if let Some(cache) = self
             .plain_caches
@@ -467,13 +485,20 @@ impl ProductTree {
             for i in 0..width {
                 let p = i / 2;
                 let pv = if i % 2 == 0 && i + 1 < width {
-                    current[p].clone()
+                    arena::clone_natural(&current[p])
                 } else {
                     core::mem::replace(&mut current[p], Natural::zero())
                 };
                 tasks.push((pv, i));
             }
-            let reduced = exec.map_chunked(tasks, |(pv, i)| reduce(&pv, level_idx, i));
+            let reduced = exec.map_chunked(tasks, |(pv, i)| {
+                let out = reduce(&pv, level_idx, i);
+                // The consumed parent residue goes back to the arena of the
+                // worker that just reduced it — the next level's reductions
+                // on this thread draw from it.
+                arena::recycle(pv);
+                out
+            });
             current = Vec::with_capacity(width);
             for (v, d) in reduced {
                 barrett += d;
@@ -558,7 +583,7 @@ impl ProductTree {
         let top_level = self.levels.len() - 1;
         let root_val = if value_below_root_square {
             debug_assert!(*value < self.root().square());
-            value.clone()
+            arena::clone_natural(value)
         } else {
             self.reduce_squared(value, top_level, 0).0
         };
@@ -569,7 +594,9 @@ impl ProductTree {
             for i in 0..width {
                 next.push(self.reduce_squared(&current[i / 2], level_idx, i).0);
             }
-            current = next;
+            for dead in core::mem::replace(&mut current, next) {
+                arena::recycle(dead);
+            }
         }
         current
     }
@@ -589,7 +616,151 @@ impl ProductTree {
         value: &Natural,
         exec: Exec<'_>,
     ) -> (Vec<Natural>, Duration) {
-        self.descend(value, exec, &|pv, l, i| self.reduce_plain(pv, l, i))
+        let (r, d, _) = self.remainder_tree_plain_metered(value, exec);
+        (r, d)
+    }
+
+    /// [`remainder_tree_plain`](ProductTree::remainder_tree_plain), choosing
+    /// between the exact driver and the **scaled remainder tree** (Bernstein,
+    /// *Scaled remainder trees*): with no reciprocal caches attached, each
+    /// interior node would cost a full division, so instead the descent
+    /// carries a fixed-point image of `frac(V/node)` — one truncated
+    /// sibling multiply per child, no divisions and no reciprocal
+    /// precomputation — and recovers exact residues once nodes shrink below
+    /// [`SCALED_CUTOFF_LIMBS`]. Leaf output is byte-identical to the exact
+    /// driver (test `scaled_descent_equiv`). The third return is the number
+    /// of levels the scaled driver ran (the `scaled_levels` metric; 0 on the
+    /// exact path).
+    pub fn remainder_tree_plain_metered(
+        &self,
+        value: &Natural,
+        exec: Exec<'_>,
+    ) -> (Vec<Natural>, Duration, usize) {
+        let scaled_levels = if self.has_plain_recips() {
+            // Attached reciprocals already make every reduction a Barrett
+            // step; the scaled form would only re-derive what `mu` caches.
+            0
+        } else {
+            self.scaled_level_count()
+        };
+        if scaled_levels == 0 {
+            let (r, d) = self.descend(value, exec, &|pv, l, i| self.reduce_plain(pv, l, i));
+            return (r, d, 0);
+        }
+        self.remainder_tree_plain_scaled(value, exec, scaled_levels)
+    }
+
+    /// Number of levels (starting just below the root) the scaled driver
+    /// covers: consecutive levels whose widest node still has at least
+    /// [`SCALED_CUTOFF_LIMBS`] limbs, capped by the guard-bit error budget.
+    fn scaled_level_count(&self) -> usize {
+        let top_level = self.levels.len() - 1;
+        let mut count = 0;
+        for level_idx in (0..top_level).rev() {
+            let max_limbs = self.levels[level_idx]
+                .iter()
+                .map(Natural::limb_len)
+                .max()
+                .unwrap_or(0);
+            if max_limbs < SCALED_CUTOFF_LIMBS || count == SCALED_MAX_LEVELS {
+                break;
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// The scaled driver: seed the root's fixed-point image with one exact
+    /// division, push it down `scaled_levels` levels with truncated sibling
+    /// multiplies, recover exact residues at the handover level, and finish
+    /// with the exact descent.
+    fn remainder_tree_plain_scaled(
+        &self,
+        value: &Natural,
+        exec: Exec<'_>,
+        scaled_levels: usize,
+    ) -> (Vec<Natural>, Duration, usize) {
+        let top_level = self.levels.len() - 1;
+        // Exact residue at the root (`V mod P`), then its scaled image
+        // `floor((V mod P) * 2^F / P)` — a floor, so the error starts
+        // one-sided below 1 ulp.
+        let (v0, d0) = self.reduce_plain(value, top_level, 0);
+        let f_root = self.root().bit_len() + SCALED_GUARD_BITS;
+        let shifted = v0.shl_bits(f_root);
+        arena::recycle(v0);
+        let (xhat, seed_rem) = shifted.div_rem(self.root());
+        arena::recycle(shifted);
+        arena::recycle(seed_rem);
+
+        let mut current = vec![xhat];
+        let mut level_idx = top_level;
+        for _ in 0..scaled_levels {
+            level_idx -= 1;
+            let width = self.levels[level_idx].len();
+            let mut tasks: Vec<(Natural, usize)> = Vec::with_capacity(width);
+            for i in 0..width {
+                let p = i / 2;
+                let xv = if i % 2 == 0 && i + 1 < width {
+                    arena::clone_natural(&current[p])
+                } else {
+                    core::mem::replace(&mut current[p], Natural::zero())
+                };
+                tasks.push((xv, i));
+            }
+            current = exec.map_chunked(tasks, |(xv, i)| self.scale_child(xv, level_idx, i));
+        }
+
+        let handover: Vec<(Natural, usize)> = current
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, i))
+            .collect();
+        let recovered = exec.map_chunked(handover, |(x, i)| self.recover_scaled(x, level_idx, i));
+        let (leaves, d_below) = self.descend_levels(recovered, level_idx, exec, &|pv, l, i| {
+            self.reduce_plain(pv, l, i)
+        });
+        (leaves, d0 + d_below, scaled_levels)
+    }
+
+    /// One scaled child step. For node `c` with sibling `s` under parent
+    /// `u = c * s`: `frac(V/c) = frac(frac(V/u) * s)`, so the fixed-point
+    /// image maps as `x_c = (x_u * s mod 2^{F_u}) >> (F_u - F_c)` — the mod
+    /// is limb truncation, the shift realigns to the child's scale. A
+    /// promoted odd node is its own parent: image and scale pass through.
+    fn scale_child(&self, xu: Natural, level_idx: usize, i: usize) -> Natural {
+        let sib = i ^ 1;
+        if sib >= self.levels[level_idx].len() {
+            return xu;
+        }
+        let f_u = self.levels[level_idx + 1][i / 2].bit_len() + SCALED_GUARD_BITS;
+        let f_c = self.levels[level_idx][i].bit_len() + SCALED_GUARD_BITS;
+        let mut t = &xu * &self.levels[level_idx][sib];
+        arena::recycle(xu);
+        t.keep_low_bits(f_u);
+        t.shr_assign_bits(f_u - f_c);
+        t
+    }
+
+    /// Recover the exact residue from a node's scaled image:
+    /// `r = ceil(node * x / 2^F)`. The image under-estimates in the circle
+    /// `R/Z` by less than `2^-SCALED_GUARD_BITS` of a node, so the ceiling
+    /// is exact except when the true residue is 0 — there the fixed-point
+    /// wraps to just below `2^F` and the ceiling lands on `node` itself,
+    /// which the conditional subtraction folds back to 0.
+    fn recover_scaled(&self, x: Natural, level_idx: usize, i: usize) -> Natural {
+        let node = &self.levels[level_idx][i];
+        let f = node.bit_len() + SCALED_GUARD_BITS;
+        let mut t = &x * node;
+        arena::recycle(x);
+        let round_up = t.trailing_zeros().is_some_and(|z| z < f);
+        t.shr_assign_bits(f);
+        if round_up {
+            t.add_assign_ref(&Natural::one());
+        }
+        if t >= *node {
+            t.sub_assign_ref(node);
+        }
+        t
     }
 
     /// One step of the cofactor recurrence. For a node `u` with sibling `s`
@@ -604,7 +775,10 @@ impl ProductTree {
         if sib >= self.levels[level_idx].len() {
             return (t, d1);
         }
-        let (r, d2) = self.reduce_plain(&(&self.levels[level_idx][sib] * &t), level_idx, i);
+        let prod = &self.levels[level_idx][sib] * &t;
+        arena::recycle(t);
+        let (r, d2) = self.reduce_plain(&prod, level_idx, i);
+        arena::recycle(prod);
         (r, d1 + d2)
     }
 
@@ -641,6 +815,20 @@ impl ProductTree {
         (leaves, d0 + below)
     }
 
+    /// Consume the tree and return every node's limb buffer to the thread
+    /// arena. For passes that build many same-shaped trees in sequence —
+    /// the shard leaf phase builds one per shard on the claiming worker —
+    /// the next tree's nodes then come out of the pool instead of the heap.
+    /// Attached reciprocal caches are dropped normally (their buffers are
+    /// reciprocal-sized, not node-shaped).
+    pub fn recycle(self) {
+        for level in self.levels {
+            for node in level {
+                arena::recycle(node);
+            }
+        }
+    }
+
     /// Cofactor descent on the calling thread, no pool dispatch — the
     /// shard-leaf counterpart of
     /// [`remainder_tree_cofactor`](ProductTree::remainder_tree_cofactor).
@@ -648,17 +836,69 @@ impl ProductTree {
     /// `(P/root) mod root` seed this wants, at half the width of the squared
     /// residue the old handoff moved.
     pub fn remainder_tree_cofactor_local(&self, cofactor_rem: &Natural) -> Vec<Natural> {
+        let mut scratch = DescentScratch::default();
+        let mut out = Vec::new();
+        self.remainder_tree_cofactor_local_into(cofactor_rem, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`remainder_tree_cofactor_local`](ProductTree::remainder_tree_cofactor_local)
+    /// writing into caller-owned buffers. `scratch` holds the per-level
+    /// residue containers and `out` receives the leaf residues; both keep
+    /// their capacity across calls, and every `Natural` they held from a
+    /// previous pass is recycled through the arena on entry. A warmed
+    /// (second and later) pass over same-shaped shards therefore performs
+    /// no heap allocation — the property the `zero_alloc` test pins.
+    pub fn remainder_tree_cofactor_local_into(
+        &self,
+        cofactor_rem: &Natural,
+        scratch: &mut DescentScratch,
+        out: &mut Vec<Natural>,
+    ) {
         let top_level = self.levels.len() - 1;
-        let mut current = vec![self.reduce_plain(cofactor_rem, top_level, 0).0];
+        scratch.reset();
+        for dead in out.drain(..) {
+            arena::recycle(dead);
+        }
+        scratch
+            .cur
+            .push(self.reduce_plain(cofactor_rem, top_level, 0).0);
         for level_idx in (0..top_level).rev() {
             let width = self.levels[level_idx].len();
-            let mut next = Vec::with_capacity(width);
             for i in 0..width {
-                next.push(self.reduce_cofactor(&current[i / 2], level_idx, i).0);
+                let r = self.reduce_cofactor(&scratch.cur[i / 2], level_idx, i).0;
+                scratch.next.push(r);
             }
-            current = next;
+            for dead in scratch.cur.drain(..) {
+                arena::recycle(dead);
+            }
+            core::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
-        current
+        out.append(&mut scratch.cur);
+    }
+}
+
+/// Reusable level buffers for the local (in-task) descents. Holding one of
+/// these across shards lets
+/// [`remainder_tree_cofactor_local_into`](ProductTree::remainder_tree_cofactor_local_into)
+/// run without container allocation once warmed; the `Natural`s inside are
+/// recycled through the limb arena between passes, never stored beyond one
+/// descent (the `arena-discipline` lint's struct rule).
+#[derive(Default)]
+pub struct DescentScratch {
+    cur: Vec<Natural>,
+    next: Vec<Natural>,
+}
+
+impl DescentScratch {
+    /// Recycle any held residues and empty both buffers, keeping capacity.
+    fn reset(&mut self) {
+        for dead in self.cur.drain(..) {
+            arena::recycle(dead);
+        }
+        for dead in self.next.drain(..) {
+            arena::recycle(dead);
+        }
     }
 }
 

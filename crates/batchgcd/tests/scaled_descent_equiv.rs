@@ -1,0 +1,213 @@
+//! Equivalence of the **scaled remainder tree** (Bernstein) against the
+//! exact plain descent (DESIGN.md §13).
+//!
+//! The scaled driver replaces per-node divisions with truncated
+//! fixed-point sibling multiplies whenever no plain reciprocals are
+//! attached and the nodes are at least `SCALED_CUTOFF_LIMBS` wide. The
+//! invariant: the truncation never reaches the integer part, so leaf
+//! residues — and therefore hits and statuses of every pipeline that
+//! rides a plain descent (the incremental cross phase, the distributed
+//! disjoint-subset descents) — are byte-identical to the exact form.
+
+use proptest::prelude::*;
+use wk_batchgcd::{
+    batch_gcd, distributed_batch_gcd, incremental_batch_gcd, scratch_dir, sharded_batch_gcd,
+    ClusterConfig, ProductTree, ShardStore, TreeCache, WorkerPool,
+};
+use wk_bigint::Natural;
+use wk_keygen::{KeygenBehavior, ModelKeygen, PrimeShaping};
+
+/// Mixed population of 512-bit moduli — 8 limbs each, exactly the
+/// `SCALED_CUTOFF_LIMBS` floor, so every interior level of a product tree
+/// over them engages the scaled driver.
+fn population(vulnerable: usize, healthy: usize, seed: u64) -> Vec<Natural> {
+    let pool_size = (vulnerable / 3).max(1);
+    let mut vuln_gen = ModelKeygen::new(
+        KeygenBehavior::SharedPrimePool {
+            shaping: PrimeShaping::OpensslStyle,
+            pool_size,
+        },
+        512,
+        seed,
+    );
+    let mut healthy_gen = ModelKeygen::new(
+        KeygenBehavior::Healthy {
+            shaping: PrimeShaping::OpensslStyle,
+        },
+        512,
+        seed + 1,
+    );
+    let mut moduli: Vec<Natural> = (0..vulnerable)
+        .map(|_| vuln_gen.generate().public.n)
+        .collect();
+    for (i, n) in (0..healthy)
+        .map(|_| healthy_gen.generate().public.n)
+        .enumerate()
+    {
+        moduli.insert((i * 2 + 1).min(moduli.len()), n);
+    }
+    moduli
+}
+
+/// An external value wide enough to exercise every level of the descent:
+/// the product of a disjoint healthy population.
+fn external_value(width: usize, seed: u64) -> Natural {
+    let mut g = ModelKeygen::new(
+        KeygenBehavior::Healthy {
+            shaping: PrimeShaping::OpensslStyle,
+        },
+        512,
+        seed,
+    );
+    (0..width).fold(Natural::one(), |acc, _| &acc * &g.generate().public.n)
+}
+
+#[test]
+fn scaled_leaves_match_exact_descent() {
+    // Same tree, same value, both drivers: the metered descent picks the
+    // scaled form while no plain reciprocals exist, the exact form after
+    // they are attached. Leaves must agree bit for bit, and both must
+    // equal the direct per-leaf remainder.
+    let moduli = population(6, 5, 90210);
+    let value = external_value(5, 90211);
+    let pool = WorkerPool::new(2);
+    let domain = pool.domain();
+    let mut tree = ProductTree::build(&moduli, pool.exec_in(&domain)).unwrap();
+
+    let (scaled, _, scaled_levels) =
+        tree.remainder_tree_plain_metered(&value, pool.exec_in(&domain));
+    assert!(
+        scaled_levels > 0,
+        "512-bit moduli must engage the scaled driver"
+    );
+
+    tree.attach_plain_recips(value.bit_len(), pool.exec_in(&domain));
+    let (exact, _, exact_levels) = tree.remainder_tree_plain_metered(&value, pool.exec_in(&domain));
+    assert_eq!(
+        exact_levels, 0,
+        "attached reciprocals must force the exact driver"
+    );
+
+    assert_eq!(scaled, exact, "scaled and exact descents diverged");
+    for (m, r) in moduli.iter().zip(&scaled) {
+        assert_eq!(r, &(&value % m));
+    }
+}
+
+#[test]
+fn zero_residues_survive_the_fixed_point_wrap() {
+    // The one delicate recovery case: a true residue of 0 puts the scaled
+    // image just below 2^F, and the ceiling must fold back to 0 rather
+    // than land on the node. Use a value the root divides.
+    let moduli = population(5, 4, 1693);
+    let pool = WorkerPool::new(2);
+    let domain = pool.domain();
+    let tree = ProductTree::build(&moduli, pool.exec_in(&domain)).unwrap();
+    let value = tree.root() * tree.root();
+    let (leaves, _, scaled_levels) =
+        tree.remainder_tree_plain_metered(&value, pool.exec_in(&domain));
+    assert!(scaled_levels > 0);
+    for r in &leaves {
+        assert!(
+            r.is_zero(),
+            "root-divisible value must reduce to 0 everywhere"
+        );
+    }
+}
+
+#[test]
+fn pipelines_agree_on_scaled_width_population() {
+    // Hits and statuses across classic, sharded, incremental, and
+    // distributed entry points over a population wide enough that every
+    // recip-free plain descent (the distributed foreign-subset descents)
+    // runs through the scaled driver.
+    let moduli = population(9, 7, 555);
+    let classic = batch_gcd(&moduli, 1);
+    assert!(
+        classic.vulnerable_count() >= 2,
+        "population must be interesting"
+    );
+
+    let dir = scratch_dir("scaled-equiv-sharded");
+    let store = ShardStore::create(&dir, 4, &moduli).unwrap();
+    let sharded = sharded_batch_gcd(&store, 2).unwrap();
+    store.remove().unwrap();
+    assert_eq!(sharded.raw_divisors, classic.raw_divisors);
+    assert_eq!(sharded.statuses, classic.statuses);
+
+    let (old, delta) = moduli.split_at(moduli.len() - 4);
+    let store_dir = scratch_dir("scaled-equiv-incr-store");
+    let mut store = ShardStore::create(&store_dir, 4, old).unwrap();
+    let (mut cache, _) =
+        TreeCache::build(&scratch_dir("scaled-equiv-incr-cache"), &store, 2).unwrap();
+    let incr = incremental_batch_gcd(&mut store, &mut cache, delta, 4, 2).unwrap();
+    // The delta tree carries cofactor reciprocals (three reductions per
+    // node make them pay), and those land in the plain-cache slots — so
+    // the cross descent rides Barrett steps and the scaled driver must
+    // stand down there.
+    assert_eq!(
+        incr.stats.delta.cross_scaled_levels, 0,
+        "cofactor reciprocals must preempt the scaled driver on the cross phase"
+    );
+    assert_eq!(incr.raw_divisors, classic.raw_divisors);
+    assert_eq!(incr.statuses, classic.statuses);
+    cache.remove().unwrap();
+    store.remove().unwrap();
+
+    // Distributed foreign-subset descents are recip-free plain descents:
+    // the scaled driver engages, and hits/statuses still match.
+    let dist = distributed_batch_gcd(&moduli, ClusterConfig::sequential(3));
+    assert_eq!(dist.raw_divisors, classic.raw_divisors);
+    assert_eq!(dist.statuses, classic.statuses);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random trees and external values: the scaled descent always equals
+    /// the direct per-leaf remainder.
+    #[test]
+    fn random_scaled_descent_is_exact(
+        vulnerable in 2usize..6,
+        healthy in 1usize..5,
+        width in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let moduli = population(vulnerable, healthy, seed);
+        let value = external_value(width, seed + 5000);
+        let pool = WorkerPool::new(2);
+        let domain = pool.domain();
+        let tree = ProductTree::build(&moduli, pool.exec_in(&domain)).unwrap();
+        let (leaves, _, levels) =
+            tree.remainder_tree_plain_metered(&value, pool.exec_in(&domain));
+        prop_assert!(levels > 0);
+        for (m, r) in moduli.iter().zip(&leaves) {
+            prop_assert_eq!(r, &(&value % m));
+        }
+    }
+
+    /// Random incremental chains over scaled-width moduli stay
+    /// byte-identical to the classic union run.
+    #[test]
+    fn random_incremental_matches_classic_at_scaled_width(
+        vulnerable in 3usize..7,
+        healthy in 1usize..5,
+        seed in 0u64..1000,
+        capacity in 2usize..6,
+    ) {
+        let moduli = population(vulnerable, healthy, seed);
+        let classic = batch_gcd(&moduli, 1);
+        let split = moduli.len() - (moduli.len() / 3).max(2);
+        let (old, delta) = moduli.split_at(split);
+        let tag = format!("scaled-prop-{vulnerable}-{healthy}-{seed}-{capacity}");
+        let store_dir = scratch_dir(&format!("{tag}-store"));
+        let mut store = ShardStore::create(&store_dir, capacity, old).unwrap();
+        let (mut cache, _) =
+            TreeCache::build(&scratch_dir(&format!("{tag}-cache")), &store, 1).unwrap();
+        let incr = incremental_batch_gcd(&mut store, &mut cache, delta, capacity, 1).unwrap();
+        prop_assert_eq!(&incr.raw_divisors, &classic.raw_divisors);
+        prop_assert_eq!(&incr.statuses, &classic.statuses);
+        cache.remove().unwrap();
+        store.remove().unwrap();
+    }
+}

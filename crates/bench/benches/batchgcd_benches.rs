@@ -164,6 +164,151 @@ fn ablation_corpus_shards(c: &mut Criterion) {
     store.remove().unwrap();
 }
 
+/// Peak-RSS bookkeeping for the low-memory ablation: `VmHWM` from
+/// `/proc/self/status`, reset per-arm by writing `5` to
+/// `/proc/self/clear_refs` (Linux >= 4.0). Returns KiB.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn reset_peak_rss() {
+    // Best-effort: unsupported kernels just report a shared watermark.
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Fold one nontrivial pairwise gcd into a per-modulus divisor accumulator,
+/// mirroring `naive_pairwise_gcd`: the running value is the product of
+/// distinct shared primes (lcm, clamped to a divisor of `n`).
+fn merge_divisor(
+    acc: &mut Option<wk_bigint::Natural>,
+    g: &wk_bigint::Natural,
+    n: &wk_bigint::Natural,
+) {
+    *acc = Some(match acc.take() {
+        None => g.clone(),
+        Some(prev) => {
+            let l = &(&prev * g) / &prev.gcd(g);
+            n.gcd(&l)
+        }
+    });
+}
+
+/// Pelofske-style all-to-all GCD over a shard store: every shard pair is
+/// brought in as a tile, all cross-tile (and intra-tile) gcds are taken
+/// directly, and at most two shards are resident at any moment. Quadratic
+/// work, O(2 x shard) memory — the low-entropy-corpus trade from "An
+/// Efficient All-to-All GCD Algorithm for Low Entropy RSA Key
+/// Factorization" (PAPERS.md), as opposed to the quasilinear,
+/// tree-resident batch descent.
+fn all_to_all_blocked(store: &ShardStore) -> (Vec<Option<wk_bigint::Natural>>, u64) {
+    let shards = store.shard_count() as u32;
+    let capacity = store.capacity().max(1) as usize;
+    let mut divisors: Vec<Option<wk_bigint::Natural>> = vec![None; store.total_moduli() as usize];
+    let mut ops = 0u64;
+    for i in 0..shards {
+        let tile_a = store.read_shard(i).unwrap();
+        let base_a = i as usize * capacity;
+        // Intra-tile pairs.
+        for x in 0..tile_a.len() {
+            for y in (x + 1)..tile_a.len() {
+                ops += 1;
+                let g = tile_a[x].gcd(&tile_a[y]);
+                if !g.is_one() {
+                    merge_divisor(&mut divisors[base_a + x], &g, &tile_a[x]);
+                    merge_divisor(&mut divisors[base_a + y], &g, &tile_a[y]);
+                }
+            }
+        }
+        // Cross-tile pairs against every later shard.
+        for j in (i + 1)..shards {
+            let tile_b = store.read_shard(j).unwrap();
+            let base_b = j as usize * capacity;
+            for (x, a) in tile_a.iter().enumerate() {
+                for (y, b) in tile_b.iter().enumerate() {
+                    ops += 1;
+                    let g = a.gcd(b);
+                    if !g.is_one() {
+                        merge_divisor(&mut divisors[base_a + x], &g, a);
+                        merge_divisor(&mut divisors[base_b + y], &g, b);
+                    }
+                }
+            }
+        }
+    }
+    (divisors, ops)
+}
+
+/// A8 — the low-memory baseline: all-to-all gcd over shard tiles vs the
+/// tree-based descents, timing and peak-RSS per arm (EXPERIMENTS.md).
+fn ablation_all_to_all_lowmem(c: &mut Criterion) {
+    // Large enough that the classic tree (~2.4 MB at 1500 x 512-bit)
+    // dominates the process baseline, so the peak-RSS contrast is real;
+    // the quadratic arm runs ~1.1M pairwise gcds, which is exactly the
+    // trade being measured.
+    let n = 1500usize;
+    let moduli = key_population(n, 512, 0.02, 53);
+    let dir = scratch_dir("bench-a2a");
+    let store = ShardStore::create(&dir, 64, &moduli).unwrap();
+
+    let mut group = c.benchmark_group("ablation_all_to_all_lowmem");
+    group.sample_size(3);
+    group.bench_function("tree_in_memory", |b| {
+        b.iter(|| batch_gcd(black_box(&moduli), 1))
+    });
+    group.bench_function("tree_sharded", |b| {
+        b.iter(|| sharded_batch_gcd(black_box(&store), 1).unwrap())
+    });
+    group.bench_function("all_to_all_blocked", |b| {
+        b.iter(|| all_to_all_blocked(black_box(&store)))
+    });
+    group.finish();
+
+    // One measured pass per arm with a reset RSS watermark, low-memory arm
+    // first so allocator page retention from the tree arms cannot mask its
+    // floor: the headline numbers for the EXPERIMENTS.md table.
+    let mut rss_rows = Vec::new();
+    for (name, run) in [
+        (
+            "all_to_all_blocked",
+            Box::new(|| {
+                black_box(all_to_all_blocked(&store));
+            }) as Box<dyn Fn()>,
+        ),
+        (
+            "tree_sharded",
+            Box::new(|| {
+                black_box(sharded_batch_gcd(&store, 1).unwrap());
+            }),
+        ),
+        (
+            "tree_in_memory",
+            Box::new(|| {
+                black_box(batch_gcd(&moduli, 1));
+            }),
+        ),
+    ] {
+        reset_peak_rss();
+        let start = std::time::Instant::now();
+        run();
+        let wall = start.elapsed();
+        let hwm = peak_rss_kib().unwrap_or(0);
+        rss_rows.push((name, wall, hwm));
+    }
+    for (name, wall, hwm) in &rss_rows {
+        println!("ablation_all_to_all_lowmem: {name} wall={wall:?} peak_rss={hwm} KiB");
+    }
+
+    // Correctness: the quadratic tile sweep must agree with the tree.
+    let classic = batch_gcd(&moduli, 1);
+    let (divisors, ops) = all_to_all_blocked(&store);
+    assert_eq!(divisors, classic.raw_divisors);
+    assert_eq!(ops, (n * (n - 1) / 2) as u64);
+    println!("ablation_all_to_all_lowmem: {ops} pairwise gcds, divisors identical to tree descent");
+    store.remove().unwrap();
+}
+
 /// Work-stealing stress: mix 512-bit moduli with a sprinkle of much larger
 /// ones so per-task costs are wildly uneven. With static chunking, whole
 /// chunks of cheap tasks queue behind a chunk that drew the expensive
@@ -204,6 +349,7 @@ criterion_group! {
     name = batchgcd;
     config = Criterion::default().sample_size(10);
     targets = fig2_distributed_batchgcd, ablation_naive_vs_batch, ablation_remainder_tree,
-              ablation_disk_spill, ablation_corpus_shards, exec_skewed_sizes
+              ablation_disk_spill, ablation_corpus_shards, ablation_all_to_all_lowmem,
+              exec_skewed_sizes
 }
 criterion_main!(batchgcd);

@@ -92,6 +92,7 @@ fn main() {
     let old = &union[..n_old];
 
     let mut cases = String::new();
+    let mut hist_cases = String::new();
     for (i, &m) in deltas.iter().enumerate() {
         let union_m = &union[..n_old + m];
         let delta = &union_m[n_old..];
@@ -154,7 +155,10 @@ fn main() {
         "tree_steals": {},
         "total_tasks": {},
         "total_steals": {},
-        "busy_ns": {}
+        "busy_ns": {},
+        "alloc_events": {},
+        "arena_hit_ratio": {:.4},
+        "scaled_levels": {}
       }},
       "incremental": {{
         "wall_ns": {},
@@ -169,7 +173,10 @@ fn main() {
         "cross_tasks": {},
         "total_steals": {},
         "busy_ns": {},
-        "shards_read": {}
+        "shards_read": {},
+        "alloc_events": {},
+        "arena_hit_ratio": {:.4},
+        "cross_scaled_levels": {}
       }},
       "speedup": {:.3}
     }}"#,
@@ -183,6 +190,9 @@ fn main() {
             fs.total_exec().tasks(),
             fs.total_exec().steals,
             full_busy.as_nanos(),
+            fs.alloc_events,
+            fs.arena_hit_ratio,
+            fs.scaled_levels,
             inc.wall.as_nanos(),
             d.delta_tree_time.as_nanos(),
             d.delta_sweep_time.as_nanos(),
@@ -195,7 +205,23 @@ fn main() {
             inc.result.stats.total_exec().steals,
             inc_busy.as_nanos(),
             inc.result.stats.shard.shards_read,
+            inc.result.stats.alloc_events,
+            inc.result.stats.arena_hit_ratio,
+            d.cross_scaled_levels,
             full.wall.as_secs_f64() / inc.wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        )
+        .unwrap();
+        if i > 0 {
+            hist_cases.push(',');
+        }
+        // Compact per-case summary for the dated history line: the two
+        // headline walls plus the hot-path total the perf gate tracks.
+        write!(
+            hist_cases,
+            r#"{{"old":{n_old},"delta":{m},"full_wall_ns":{},"full_descent_ns":{},"inc_wall_ns":{}}}"#,
+            full.wall.as_nanos(),
+            (fs.remainder_tree_time + fs.recip_build_time).as_nanos(),
+            inc.wall.as_nanos(),
         )
         .unwrap();
     }
@@ -212,9 +238,21 @@ fn main() {
 }}
 "#
     );
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_batchgcd.json");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = root.join("BENCH_batchgcd.json");
     std::fs::write(&out, json).unwrap();
     println!("wrote {}", out.display());
+
+    // Dated history line for trend tracking (capped; committed alongside
+    // the snapshot). Smoke runs are sized for CI boxes, not comparison, so
+    // they stay out of the record.
+    if !smoke {
+        let entry = format!(
+            r#"{{"date":"{}","bench":"ablation_incremental","threads":{THREADS},"modulus_bits":{bits},"cases":[{hist_cases}]}}"#,
+            wk_bench::utc_date_string(),
+        );
+        let hist = root.join("BENCH_history.jsonl");
+        wk_bench::append_history_line(&hist, &entry, 50).unwrap();
+        println!("appended {}", hist.display());
+    }
 }

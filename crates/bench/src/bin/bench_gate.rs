@@ -206,7 +206,23 @@ struct Case {
     delta_count: u64,
     remainder_tree_ns: f64,
     wall_ns: f64,
+    /// Reciprocal-cache build time. Optional: baselines written before the
+    /// arena/descent rework do not carry it.
+    recip_build_ns: Option<f64>,
+    /// Heap allocations observed by the limb arena (misses + frees).
+    alloc_events: Option<f64>,
+    /// Fraction of limb-buffer requests served from the thread arena.
+    arena_hit_ratio: Option<f64>,
 }
+
+/// Timing metrics below these floors are noise on a contended CI box, not
+/// signal: both sides under the floor passes without a ratio check.
+const RECIP_NOISE_FLOOR_NS: f64 = 5.0e6;
+/// Allocation counts are work-derived rather than timing-derived, but tiny
+/// absolute counts still swing hard in percentage terms.
+const ALLOC_EVENTS_FLOOR: f64 = 1000.0;
+/// Largest tolerated absolute drop in the arena hit ratio.
+const HIT_RATIO_MAX_DROP: f64 = 0.10;
 
 fn load_cases(path: &str) -> Result<Vec<Case>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -236,6 +252,9 @@ fn load_cases(path: &str) -> Result<Vec<Case>, String> {
                 wall_ns: full
                     .num("wall_ns")
                     .ok_or_else(|| format!("{path}: case without wall_ns"))?,
+                recip_build_ns: full.num("recip_build_ns"),
+                alloc_events: full.num("alloc_events"),
+                arena_hit_ratio: full.num("arena_hit_ratio"),
             })
         })
         .collect()
@@ -287,6 +306,77 @@ fn run(baseline_path: &str, current_path: &str, max_regression_pct: f64) -> Resu
                 ));
             }
         }
+        // Floored ratio metrics: gated only when both files carry them
+        // (pre-rework baselines do not) and either side clears the noise
+        // floor.
+        for (metric, base_v, cur_v, floor, unit) in [
+            (
+                "recip_build_ns",
+                base.recip_build_ns,
+                cur.recip_build_ns,
+                RECIP_NOISE_FLOOR_NS,
+                1e6,
+            ),
+            (
+                "alloc_events",
+                base.alloc_events,
+                cur.alloc_events,
+                ALLOC_EVENTS_FLOOR,
+                1.0,
+            ),
+        ] {
+            let (Some(base_v), Some(cur_v)) = (base_v, cur_v) else {
+                continue;
+            };
+            if base_v < floor && cur_v < floor {
+                println!(
+                    "N={} M={} {metric}: baseline {:.3} -> current {:.3} ok (below noise floor)",
+                    base.old_count,
+                    base.delta_count,
+                    base_v / unit,
+                    cur_v / unit,
+                );
+                continue;
+            }
+            let ratio = cur_v / base_v.max(1.0);
+            let verdict = if ratio > allowed { "REGRESSION" } else { "ok" };
+            println!(
+                "N={} M={} {metric}: baseline {:.3} -> current {:.3} ({:+.1}%) {verdict}",
+                base.old_count,
+                base.delta_count,
+                base_v / unit,
+                cur_v / unit,
+                (ratio - 1.0) * 100.0,
+            );
+            if ratio > allowed {
+                failures.push(format!(
+                    "N={} M={} {metric} regressed {:.1}% (> {max_regression_pct}% allowed)",
+                    base.old_count,
+                    base.delta_count,
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+        // Arena hit ratio is a quality floor, not a timing: an absolute
+        // drop means buffers stopped round-tripping through the arena.
+        if let (Some(base_v), Some(cur_v)) = (base.arena_hit_ratio, cur.arena_hit_ratio) {
+            let drop = base_v - cur_v;
+            let verdict = if drop > HIT_RATIO_MAX_DROP {
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "N={} M={} arena_hit_ratio: baseline {base_v:.3} -> current {cur_v:.3} {verdict}",
+                base.old_count, base.delta_count,
+            );
+            if drop > HIT_RATIO_MAX_DROP {
+                failures.push(format!(
+                    "N={} M={} arena_hit_ratio dropped {drop:.3} (> {HIT_RATIO_MAX_DROP} allowed)",
+                    base.old_count, base.delta_count,
+                ));
+            }
+        }
     }
     if compared == 0 {
         failures.push("no cases matched between baseline and current".to_string());
@@ -335,10 +425,23 @@ mod tests {
     use super::*;
 
     fn sample(smoke: bool, remainder: f64, wall: f64) -> String {
+        sample_full(smoke, remainder, wall, 1.0e6, 500.0, 0.95)
+    }
+
+    fn sample_full(
+        smoke: bool,
+        remainder: f64,
+        wall: f64,
+        recip: f64,
+        allocs: f64,
+        hit_ratio: f64,
+    ) -> String {
         format!(
             r#"{{"bench":"ablation_incremental","smoke":{smoke},"cases":[
                 {{"old_count":600,"delta_count":30,
-                  "full_rebuild":{{"wall_ns":{wall},"remainder_tree_ns":{remainder}}},
+                  "full_rebuild":{{"wall_ns":{wall},"remainder_tree_ns":{remainder},
+                    "recip_build_ns":{recip},"alloc_events":{allocs},
+                    "arena_hit_ratio":{hit_ratio}}},
                   "incremental":{{"wall_ns":1.0}}}}]}}"#
         )
     }
@@ -376,6 +479,84 @@ mod tests {
         let err = run(&base, &cur, 25.0).unwrap_err();
         assert!(err.contains("remainder_tree_ns"), "{err}");
         assert!(err.contains("30.0%"), "{err}");
+    }
+
+    #[test]
+    fn recip_regression_above_floor_fails() {
+        let base = write_temp(
+            "base-recip",
+            &sample_full(false, 2.0e7, 5.0e7, 8.0e6, 500.0, 0.95),
+        );
+        let cur = write_temp(
+            "cur-recip",
+            &sample_full(false, 2.0e7, 5.0e7, 1.6e7, 500.0, 0.95),
+        );
+        let err = run(&base, &cur, 25.0).unwrap_err();
+        assert!(err.contains("recip_build_ns"), "{err}");
+    }
+
+    #[test]
+    fn recip_noise_floor_passes_tiny_values() {
+        // 1ms -> 3ms is a 200% swing but both sides are under the 5ms
+        // floor, where single-CPU scheduling jitter dominates.
+        let base = write_temp(
+            "base-recip-floor",
+            &sample_full(false, 2.0e7, 5.0e7, 1.0e6, 500.0, 0.95),
+        );
+        let cur = write_temp(
+            "cur-recip-floor",
+            &sample_full(false, 2.0e7, 5.0e7, 3.0e6, 500.0, 0.95),
+        );
+        assert!(run(&base, &cur, 25.0).is_ok());
+    }
+
+    #[test]
+    fn alloc_event_blowup_fails() {
+        let base = write_temp(
+            "base-alloc",
+            &sample_full(false, 2.0e7, 5.0e7, 1.0e6, 2000.0, 0.95),
+        );
+        let cur = write_temp(
+            "cur-alloc",
+            &sample_full(false, 2.0e7, 5.0e7, 1.0e6, 9000.0, 0.95),
+        );
+        let err = run(&base, &cur, 25.0).unwrap_err();
+        assert!(err.contains("alloc_events"), "{err}");
+    }
+
+    #[test]
+    fn hit_ratio_drop_fails() {
+        let base = write_temp(
+            "base-hit",
+            &sample_full(false, 2.0e7, 5.0e7, 1.0e6, 500.0, 0.95),
+        );
+        let cur = write_temp(
+            "cur-hit",
+            &sample_full(false, 2.0e7, 5.0e7, 1.0e6, 500.0, 0.70),
+        );
+        let err = run(&base, &cur, 25.0).unwrap_err();
+        assert!(err.contains("arena_hit_ratio"), "{err}");
+    }
+
+    #[test]
+    fn missing_new_metrics_in_baseline_is_tolerated() {
+        // A baseline written before the metrics existed gates only on the
+        // classic pair.
+        let base = write_temp("base-legacy", &sample_legacy(2.0e7, 5.0e7));
+        let cur = write_temp(
+            "cur-modern",
+            &sample_full(false, 2.0e7, 5.0e7, 1.0e6, 500.0, 0.95),
+        );
+        assert!(run(&base, &cur, 25.0).is_ok());
+    }
+
+    fn sample_legacy(remainder: f64, wall: f64) -> String {
+        format!(
+            r#"{{"bench":"ablation_incremental","smoke":false,"cases":[
+                {{"old_count":600,"delta_count":30,
+                  "full_rebuild":{{"wall_ns":{wall},"remainder_tree_ns":{remainder}}},
+                  "incremental":{{"wall_ns":1.0}}}}]}}"#
+        )
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Per-thread limb-buffer arenas: recycled `Vec<u64>` storage for the hot
+//! multiply / reduce / divide kernels.
+//!
+//! The batch-GCD descent performs millions of small-to-medium bignum
+//! operations whose intermediate buffers live for exactly one tree node.
+//! Allocating each from the global heap makes the descent an allocator
+//! benchmark; this module gives every thread a pool of reusable limb
+//! buffers with checkout/return semantics:
+//!
+//! * [`take`] — check a cleared buffer out of the calling thread's pool
+//!   (or allocate fresh on a miss);
+//! * [`put`] — return a buffer to the pool for the next checkout;
+//! * [`recycle`] — return a [`Natural`]'s backing storage once the value
+//!   is dead.
+//!
+//! The kernels in `mul`, `div`, `recip`, and `gcd` route their scratch and
+//! result buffers through the arena, so a warmed pool runs the whole
+//! remainder descent without touching the heap (pinned by the
+//! counting-allocator test in `wk-batchgcd`). Ownership discipline — every
+//! checkout returned on all paths, no arena buffer parked in a long-lived
+//! struct — is enforced by the `arena-discipline` lint rule.
+//!
+//! The pool is deliberately bounded ([`POOL_SLOTS`] buffers per thread):
+//! returning to a full pool drops the buffer, so the arena can never hold
+//! more memory than one descent's working set. The free list itself is
+//! pre-sized at thread init and never grows, keeping [`put`] itself
+//! allocation-free.
+//!
+//! Counters are process-global atomics so callers in other crates can
+//! report `alloc_events` / `arena_hit_ratio` without threading state
+//! through every kernel; see [`stats`] and [`ArenaStats::delta_since`].
+
+use crate::natural::Natural;
+use core::cell::RefCell;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum buffers a thread's pool retains; returns beyond this drop the
+/// buffer. Sized for the deepest kernel recursion in play (Karatsuba over
+/// multi-thousand-limb operands holds ~5 scratch buffers per level) with
+/// generous headroom.
+pub const POOL_SLOTS: usize = 128;
+
+/// Checkouts served from the pool with adequate capacity.
+static HITS: AtomicU64 = AtomicU64::new(0);
+/// Checkouts that had to touch the heap (empty pool, or every pooled
+/// buffer under the requested capacity — the buffer will grow on resize).
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The calling thread's free list, pre-sized so `put` never allocates.
+    static POOL: RefCell<Vec<Vec<u64>>> = RefCell::new(Vec::with_capacity(POOL_SLOTS));
+}
+
+/// Snapshot of the process-wide arena counters (monotonic; diff two
+/// snapshots with [`delta_since`](ArenaStats::delta_since) to meter one
+/// phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Checkouts served from a pooled buffer of adequate capacity.
+    pub hits: u64,
+    /// Checkouts that allocated (or will grow) heap storage.
+    pub alloc_events: u64,
+}
+
+impl ArenaStats {
+    /// Total checkouts.
+    pub fn checkouts(&self) -> u64 {
+        self.hits + self.alloc_events
+    }
+
+    /// Fraction of checkouts served without touching the heap; 1.0 for an
+    /// idle arena (no checkouts yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.checkouts();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter movement since an earlier snapshot (saturating, so a
+    /// snapshot from a different process epoch degrades to zeros rather
+    /// than nonsense).
+    pub fn delta_since(&self, earlier: &ArenaStats) -> ArenaStats {
+        ArenaStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            alloc_events: self.alloc_events.saturating_sub(earlier.alloc_events),
+        }
+    }
+}
+
+/// Current process-wide arena counters.
+pub fn stats() -> ArenaStats {
+    ArenaStats {
+        hits: HITS.load(Ordering::Relaxed),
+        alloc_events: ALLOC_EVENTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Check a limb buffer out of the calling thread's pool. The returned
+/// buffer is empty (`len == 0`); on a pool hit its capacity is at least
+/// `min_limbs`, on a miss it is freshly allocated at that capacity.
+///
+/// Pair every `take` with a [`put`] (directly, or via [`recycle`] once the
+/// buffer has become a [`Natural`]) — the `arena-discipline` lint rule
+/// checks this pairing in the hot crates.
+pub fn take(min_limbs: usize) -> Vec<u64> {
+    let reused = POOL.with(|pool| {
+        // A panic can never be in flight here (no reentrancy: the pool
+        // borrow spans only this closure, which calls nothing that takes
+        // it again), but try_borrow keeps the failure mode "allocate
+        // fresh" rather than a poisoned-RefCell panic.
+        let mut pool = match pool.try_borrow_mut() {
+            Ok(p) => p,
+            Err(_) => return None,
+        };
+        // Prefer the most recently returned buffer with enough capacity
+        // (cache-warm); fall back to the last buffer regardless — reusing
+        // an undersized buffer still saves the free() even though resize
+        // will reallocate.
+        let found = pool.iter().rposition(|b| b.capacity() >= min_limbs);
+        match found {
+            Some(i) => Some((pool.swap_remove(i), true)),
+            None => pool.pop().map(|b| (b, false)),
+        }
+    });
+    match reused {
+        Some((buf, true)) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            buf
+        }
+        Some((buf, false)) => {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            buf
+        }
+        None => {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(min_limbs)
+        }
+    }
+}
+
+/// Return a buffer to the calling thread's pool. Contents are cleared;
+/// zero-capacity buffers and returns to a full pool are dropped. Never
+/// allocates.
+pub fn put(mut buf: Vec<u64>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    buf.clear();
+    POOL.with(|pool| {
+        if let Ok(mut pool) = pool.try_borrow_mut() {
+            if pool.len() < POOL_SLOTS {
+                pool.push(buf);
+            }
+        }
+    });
+}
+
+/// Return a dead [`Natural`]'s backing buffer to the pool. The idiomatic
+/// way for callers outside this crate (the remainder descent recycles each
+/// parent residue once both children are reduced).
+pub fn recycle(n: Natural) {
+    put(n.into_limbs());
+}
+
+/// Check out a buffer and wrap `src`'s limbs in it — an allocation-free
+/// `clone` when the pool is warm. The copy is normalized by construction
+/// (`src` is).
+pub fn clone_natural(src: &Natural) -> Natural {
+    let mut buf = take(src.limb_len());
+    buf.extend_from_slice(src.limbs());
+    Natural::from_limbs(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip_hits() {
+        let before = stats();
+        let mut b = take(32);
+        assert!(b.is_empty());
+        b.resize(32, 7);
+        put(b);
+        let b2 = take(16);
+        assert!(b2.is_empty(), "returned buffers are cleared");
+        assert!(b2.capacity() >= 32);
+        put(b2);
+        let after = stats();
+        assert!(after.checkouts() >= before.checkouts() + 2);
+        assert!(after.hits > before.hits, "second take must hit the pool");
+    }
+
+    #[test]
+    fn undersized_pool_counts_alloc_event() {
+        // Drain this thread's pool of large buffers first.
+        let mut drained = Vec::new();
+        for _ in 0..POOL_SLOTS {
+            drained.push(take(1));
+        }
+        let before = stats();
+        let b = take(1 << 20);
+        assert!(b.capacity() >= 1 << 20);
+        let after = stats();
+        assert!(after.alloc_events > before.alloc_events);
+        put(b);
+        for d in drained {
+            put(d);
+        }
+    }
+
+    #[test]
+    fn recycle_then_clone_natural_reuses() {
+        let n = Natural::from(0xdead_beef_u64);
+        let c = clone_natural(&n);
+        assert_eq!(c, n);
+        recycle(c);
+        let before = stats();
+        let c2 = clone_natural(&n);
+        assert_eq!(c2, n);
+        assert!(stats().hits > before.hits);
+        recycle(c2);
+    }
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let s = ArenaStats {
+            hits: 3,
+            alloc_events: 1,
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(ArenaStats::default().hit_ratio(), 1.0);
+        let earlier = ArenaStats {
+            hits: 1,
+            alloc_events: 1,
+        };
+        let d = s.delta_since(&earlier);
+        assert_eq!(
+            d,
+            ArenaStats {
+                hits: 2,
+                alloc_events: 0
+            }
+        );
+    }
+}

@@ -81,17 +81,30 @@ impl Natural {
 }
 
 /// Knuth Algorithm D (TAOCP 4.3.1) after bit-normalizing the divisor so its
-/// top limb has its high bit set.
+/// top limb has its high bit set. The normalized dividend/divisor copies and
+/// the quotient buffer all come from the thread arena, so a warmed pool runs
+/// the division without heap allocation.
 fn knuth_div_rem(a: &Natural, b: &Natural) -> (Natural, Natural) {
     debug_assert!(b.limb_len() >= 2);
     debug_assert!(a >= b);
     // `top_limb()` is the true top limb here: callers assert `b` nonzero.
-    let shift = b.top_limb().leading_zeros() as u64;
-    let u = a << shift;
-    let v = b << shift;
-    let mut u_limbs = u.limbs;
-    let (q, r) = knuth_normalized(&mut u_limbs, &v.limbs);
-    (Natural::from_limbs(q), &Natural::from_limbs(r) >> shift)
+    let shift = b.top_limb().leading_zeros();
+    // lint:allow(arena-discipline) ownership moves into knuth_normalized, which hands the storage back as the remainder limbs the caller wraps
+    let mut u_limbs = crate::arena::take(a.limb_len() + 2);
+    u_limbs.resize(a.limb_len(), 0);
+    let carry = limb::shl_limbs_small(&mut u_limbs, a.limbs(), shift);
+    if carry != 0 {
+        u_limbs.push(carry);
+    }
+    let mut v_limbs = crate::arena::take(b.limb_len());
+    v_limbs.resize(b.limb_len(), 0);
+    let v_carry = limb::shl_limbs_small(&mut v_limbs, b.limbs(), shift);
+    debug_assert_eq!(v_carry, 0, "normalizing shift cannot overflow the divisor");
+    let (q, r) = knuth_normalized(&mut u_limbs, &v_limbs);
+    crate::arena::put(v_limbs);
+    let mut rem = Natural::from_limbs(r);
+    rem.shr_assign_bits(shift as u64);
+    (Natural::from_limbs(q), rem)
 }
 
 /// Core of Algorithm D. `v` must have its top bit set and `len >= 2`;
@@ -104,7 +117,9 @@ fn knuth_normalized(u: &mut Vec<u64>, v: &[u64]) -> (Vec<u64>, Vec<u64>) {
     }
     let m = u.len() - n;
     u.push(0);
-    let mut q = vec![0u64; m + 1];
+    // lint:allow(arena-discipline) returned as the quotient limbs; the caller wraps them in Natural::from_limbs
+    let mut q = crate::arena::take(m + 1);
+    q.resize(m + 1, 0);
     let v1 = v[n - 1];
     let v0 = v[n - 2];
     for j in (0..=m).rev() {

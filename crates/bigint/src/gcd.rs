@@ -13,8 +13,23 @@ use crate::natural::Natural;
 
 impl Natural {
     /// Greatest common divisor. `gcd(0, b) == b`.
+    ///
+    /// Working copies of both operands come from the thread arena
+    /// ([`crate::arena`]), so repeated GCDs over same-sized operands — the
+    /// batch-GCD per-modulus test — reuse the same limb buffers.
     pub fn gcd(&self, other: &Natural) -> Natural {
-        gcd_lehmer(self.clone(), other.clone())
+        gcd_lehmer(
+            crate::arena::clone_natural(self),
+            crate::arena::clone_natural(other),
+        )
+    }
+
+    /// Arena-disciplined [`gcd`](Natural::gcd) variant: writes the result
+    /// into `out`, recycling `out`'s previous buffer through the arena.
+    pub fn gcd_into(&self, other: &Natural, out: &mut Natural) {
+        let g = self.gcd(other);
+        let old = core::mem::replace(out, g);
+        crate::arena::recycle(old);
     }
 
     /// Binary (Stein's) GCD. Exposed for tests and the ablation bench;
@@ -98,11 +113,19 @@ impl Natural {
     }
 }
 
-/// Lehmer's GCD: repeatedly simulate Euclid's algorithm on the top 64 bits
+/// Lehmer's GCD: repeatedly simulate Euclid's algorithm on the top 63 bits
 /// of both operands with single-precision cofactors, then apply the
 /// accumulated 2x2 matrix to the full operands. Falls back to one full
 /// division step when the simulation makes no progress, and to a `u128`
 /// binary GCD once operands fit in two limbs.
+///
+/// Three things keep the per-round cost down to two single-pass limb scans:
+/// windows are read straight out of the limb slices (no shifted copies),
+/// the simulated quotients come from hardware `u64` division (63-bit
+/// windows guarantee the cofactor-adjusted sums fit a word; `i128`
+/// division compiles to a libcall an order of magnitude slower), and the
+/// matrix application is a fused two-scalar linear combination instead of
+/// four scalar products glued together with signed bigint adds.
 fn gcd_lehmer(mut a: Natural, mut b: Natural) -> Natural {
     if a < b {
         core::mem::swap(&mut a, &mut b);
@@ -116,57 +139,64 @@ fn gcd_lehmer(mut a: Natural, mut b: Natural) -> Natural {
         if let (Some(x), Some(y)) = (a.to_u128(), b.to_u128()) {
             return Natural::from(gcd_u128(x, y));
         }
-        // Take the top 64-bit window of `a` and the aligned bits of `b`.
+        // Top 63-bit window of `a` and the aligned bits of `b`. 63 rather
+        // than 64 so that window + cofactor (capped at 2^62) stays below
+        // 2^64 and the simulated quotients divide in one word.
         let k = a.bit_len();
-        let shift = k - 64;
-        let x = (&a >> shift).to_u64().expect("window fits u64"); // lint:allow(no-panic-in-lib) invariant: shift = bit_len - 64 leaves exactly 64 bits
-        let y = (&b >> shift).to_u64().expect("window fits u64"); // lint:allow(no-panic-in-lib) invariant: b <= a, so b's window fits whenever a's does
+        let shift = k - 63;
+        let x = window_at(a.limbs(), shift);
+        let y = window_at(b.limbs(), shift);
 
         // Simulate Euclid on (x, y) tracking cofactors: at every step
         // a' = A*x0 + B*y0, b' = C*x0 + D*y0 for the original window values.
-        let (mut xa, mut ya) = (x as i128, y as i128);
+        // Quotients are trusted only while both cofactor-adjusted ratios
+        // agree (Collins' condition).
+        let (mut xa, mut ya) = (x, y);
         let (mut ma, mut mb, mut mc, mut md) = (1i128, 0i128, 0i128, 1i128);
         loop {
-            if ya + mc == 0 || ya + md == 0 {
+            let n1 = xa as i128 + ma;
+            let d1 = ya as i128 + mc;
+            let n2 = xa as i128 + mb;
+            let d2 = ya as i128 + md;
+            if n1 < 0 || n2 < 0 || d1 <= 0 || d2 <= 0 {
                 break;
             }
-            let q = (xa + ma) / (ya + mc);
-            let q2 = (xa + mb) / (ya + md);
-            if q != q2 {
+            // Windows < 2^63 and cofactors <= 2^62, so the sums fit u64;
+            // the checks above are sign guards, the divisions are hardware.
+            let q = (n1 as u64) / (d1 as u64);
+            if q != (n2 as u64) / (d2 as u64) {
                 break;
             }
             // (x, y) <- (y, x - q*y), matrix update alike.
-            let (nxa, nya) = (ya, xa - q * ya);
-            let (nma, nmb) = (mc, md);
-            let (nmc, nmd) = (ma - q * mc, mb - q * md);
+            let qi = q as i128;
+            let nya = xa as i128 - qi * ya as i128;
+            let (nmc, nmd) = (ma - qi * mc, mb - qi * md);
             if nya < 0 || nmc.abs() > (1 << 62) || nmd.abs() > (1 << 62) {
                 break;
             }
-            xa = nxa;
-            ya = nya;
-            ma = nma;
-            mb = nmb;
-            mc = nmc;
-            md = nmd;
+            xa = ya;
+            ya = nya as u64;
+            (ma, mb) = (mc, md);
+            (mc, md) = (nmc, nmd);
         }
 
         if mb == 0 {
             // No progress possible in single precision: one full Euclid step.
             let r = &a % &b;
-            a = b;
+            crate::arena::recycle(core::mem::replace(&mut a, b));
             b = r;
         } else {
-            // Apply the matrix: (a, b) <- (|A*a + B*b|, |C*a + D*b|).
-            let apply = |p: i128, q: i128, a: &Natural, b: &Natural| -> Natural {
-                let pa = &int_mul(a, p);
-                let qb = &int_mul(b, q);
-                (pa + qb).into_natural_checked("lehmer matrix application")
-            };
-            let na = apply(ma, mb, &a, &b);
-            let nb = apply(mc, md, &a, &b);
+            // Apply the matrix: (a, b) <- (|A*a + B*b|, |C*a + D*b|). Each
+            // row always carries one nonnegative and one nonpositive entry
+            // (rows swap and subtract a positive multiple every step), so
+            // the row value is a plain difference of two scalar products.
+            let na = apply_row(ma, mb, &a, &b);
+            let nb = apply_row(mc, md, &a, &b);
             debug_assert!(nb < b, "Lehmer step must make progress");
-            a = na;
-            b = nb;
+            // The outgoing operands' buffers feed the next iteration's
+            // products through the arena.
+            crate::arena::recycle(core::mem::replace(&mut a, na));
+            crate::arena::recycle(core::mem::replace(&mut b, nb));
             if a < b {
                 core::mem::swap(&mut a, &mut b);
             }
@@ -174,10 +204,53 @@ fn gcd_lehmer(mut a: Natural, mut b: Natural) -> Natural {
     }
 }
 
-/// Multiply a Natural by a signed 128-bit cofactor.
-fn int_mul(n: &Natural, c: i128) -> Integer {
-    let mag = n * &Natural::from(c.unsigned_abs());
-    Integer::from_sign_magnitude(c < 0, mag)
+/// Bits `[shift, shift+64)` of a limb slice, read without materializing a
+/// shifted copy. Bits past the top limb read as zero.
+#[inline]
+fn window_at(limbs: &[u64], shift: u64) -> u64 {
+    let idx = (shift / 64) as usize;
+    let off = (shift % 64) as u32;
+    let lo = limbs.get(idx).map_or(0, |&w| w) >> off;
+    if off == 0 {
+        lo
+    } else {
+        lo | limbs.get(idx + 1).map_or(0, |&w| w) << (64 - off)
+    }
+}
+
+/// One Lehmer matrix row `|p*a + q*b|` where `p` and `q` have opposite
+/// signs and magnitudes below `2^63` — dispatched to the positive-result
+/// orientation of [`lincomb_sub`].
+fn apply_row(p: i128, q: i128, a: &Natural, b: &Natural) -> Natural {
+    if q <= 0 {
+        debug_assert!(p >= 0, "Lehmer row signs must oppose");
+        lincomb_sub(p.unsigned_abs() as u64, a, q.unsigned_abs() as u64, b)
+    } else {
+        debug_assert!(p <= 0, "Lehmer row signs must oppose");
+        lincomb_sub(q.unsigned_abs() as u64, b, p.unsigned_abs() as u64, a)
+    }
+}
+
+/// `p*a - q*b` for a result the caller guarantees nonnegative, in one pass
+/// over the limbs with a signed 128-bit carry: each position accumulates
+/// `p*a_i - q*b_i + carry` and emits the low word. With `p, q < 2^63` the
+/// partial products stay below `2^126`, so the accumulator never wraps.
+/// The output buffer comes from the thread arena.
+fn lincomb_sub(p: u64, a: &Natural, q: u64, b: &Natural) -> Natural {
+    let la = a.limbs();
+    let lb = b.limbs();
+    let len = la.len().max(lb.len()) + 1;
+    let mut out = crate::arena::take(len);
+    let mut carry: i128 = 0;
+    for i in 0..len {
+        let av = la.get(i).map_or(0, |&w| w) as u128;
+        let bv = lb.get(i).map_or(0, |&w| w) as u128;
+        let acc = carry + (p as u128 * av) as i128 - (q as u128 * bv) as i128;
+        out.push(acc as u64);
+        carry = acc >> 64;
+    }
+    debug_assert_eq!(carry, 0, "negative Lehmer row combination");
+    Natural::from_limbs(out)
 }
 
 /// u128 binary GCD base case.

@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod limb;
 
 mod add;

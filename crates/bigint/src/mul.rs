@@ -20,10 +20,20 @@ pub const TOOM3_THRESHOLD: usize = 352;
 
 /// Schoolbook `O(n*m)` multiplication on limb slices.
 pub(crate) fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    // lint:allow(arena-discipline) returned to the caller, which wraps the buffer or puts it back
+    let mut out = crate::arena::take(a.len() + b.len());
+    schoolbook_into(a, b, &mut out);
+    out
+}
+
+/// Schoolbook multiplication writing into a caller-provided buffer (cleared
+/// and resized here; no allocation when its capacity suffices).
+pub(crate) fn schoolbook_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    out.clear();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut out = vec![0u64; a.len() + b.len()];
+    out.resize(a.len() + b.len(), 0);
     for (i, &ai) in a.iter().enumerate() {
         if ai == 0 {
             continue;
@@ -36,7 +46,122 @@ pub(crate) fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
         }
         out[i + b.len()] = carry;
     }
-    out
+}
+
+/// Strip high zero limbs from a slice view.
+#[inline]
+pub(crate) fn trim(a: &[u64]) -> &[u64] {
+    &a[..crate::limb::effective_len(a)]
+}
+
+/// `acc[offset..] += add` with the carry rippled through the rest of `acc`.
+/// The caller guarantees the sum fits (true for every polynomial assembly
+/// here); the final carry is debug-asserted away.
+fn add_at(acc: &mut [u64], offset: usize, add: &[u64]) {
+    if add.is_empty() {
+        return;
+    }
+    let carry = crate::limb::add_assign_slice(&mut acc[offset..], add);
+    debug_assert_eq!(carry, 0, "add_at overflowed its accumulator");
+}
+
+/// `out = a + b` over slices, into a caller-provided buffer.
+fn add_slices_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    out.clear();
+    out.extend_from_slice(long);
+    out.push(0);
+    let carry = crate::limb::add_assign_slice(out, short);
+    debug_assert_eq!(carry, 0);
+}
+
+/// Slice-level multiply dispatch into a caller-provided buffer, with every
+/// scratch intermediate checked out of the thread's
+/// [`arena`](crate::arena). This is the single kernel all multiplication
+/// entry points funnel through; a warmed arena runs the schoolbook,
+/// Karatsuba, and unbalanced-block paths without heap allocation. The
+/// Toom-3 and NTT tiers (operands of hundreds to thousands of limbs, a
+/// handful of nodes near a tree root) still build their evaluation
+/// polynomials on the heap: their signed interpolation works over
+/// [`Integer`]s, and at those sizes the multiply dwarfs its allocations.
+pub(crate) fn mul_slices_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    let a = trim(a);
+    let b = trim(b);
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let sn = small.len();
+    if sn == 0 {
+        out.clear();
+        return;
+    }
+    if sn < KARATSUBA_THRESHOLD {
+        return schoolbook_into(small, large, out);
+    }
+    // Highly unbalanced operands: multiply block-by-block so the recursive
+    // algorithms always see roughly balanced halves.
+    if large.len() > 2 * sn {
+        out.clear();
+        out.resize(small.len() + large.len(), 0);
+        let mut part = crate::arena::take(2 * sn);
+        let mut offset = 0usize;
+        for chunk in large.chunks(sn) {
+            mul_slices_into(small, chunk, &mut part);
+            add_at(out, offset, trim(&part));
+            offset += sn;
+        }
+        crate::arena::put(part);
+        return;
+    }
+    if sn < TOOM3_THRESHOLD {
+        return karatsuba_into(a, b, out);
+    }
+    let an = Natural::from_limb_slice(a);
+    let bn = Natural::from_limb_slice(b);
+    let r = if sn < crate::ntt::NTT_THRESHOLD {
+        toom3(&an, &bn)
+    } else {
+        crate::ntt::mul_ntt(&an, &bn)
+    };
+    let old = core::mem::replace(out, r.into_limbs());
+    crate::arena::put(old);
+}
+
+/// Karatsuba over slices: 3 recursive multiplications of half-size operands,
+/// all scratch from the arena.
+fn karatsuba_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    let m = a.len().max(b.len()).div_ceil(2);
+    let (a0, a1) = a.split_at(m.min(a.len()));
+    let (b0, b1) = b.split_at(m.min(b.len()));
+    let (a0, a1, b0, b1) = (trim(a0), trim(a1), trim(b0), trim(b1));
+
+    let mut z0 = crate::arena::take(a0.len() + b0.len());
+    mul_slices_into(a0, b0, &mut z0);
+    let mut z2 = crate::arena::take(a1.len() + b1.len());
+    mul_slices_into(a1, b1, &mut z2);
+
+    let mut sa = crate::arena::take(m + 1);
+    add_slices_into(a0, a1, &mut sa);
+    let mut sb = crate::arena::take(m + 1);
+    add_slices_into(b0, b1, &mut sb);
+    let mut z1 = crate::arena::take(sa.len() + sb.len());
+    mul_slices_into(trim(&sa), trim(&sb), &mut z1);
+    crate::arena::put(sa);
+    crate::arena::put(sb);
+    // z1 = sa*sb - z0 - z2 >= 0 always.
+    let borrow = crate::limb::sub_assign_slice(&mut z1, trim(&z0));
+    debug_assert_eq!(borrow, 0);
+    let borrow = crate::limb::sub_assign_slice(&mut z1, trim(&z2));
+    debug_assert_eq!(borrow, 0);
+
+    // out = z2 << 2m | z1 << m | z0, assembled with rippled adds.
+    out.clear();
+    out.resize(a.len() + b.len(), 0);
+    let z0t = trim(&z0);
+    out[..z0t.len()].copy_from_slice(z0t);
+    add_at(out, m, trim(&z1));
+    add_at(out, 2 * m, trim(&z2));
+    crate::arena::put(z0);
+    crate::arena::put(z1);
+    crate::arena::put(z2);
 }
 
 /// Split `n` at `at` limbs: returns `(low, high)` as Naturals.
@@ -60,25 +185,6 @@ fn shl_limbs(n: &Natural, limbs: usize) -> Natural {
     let mut v = vec![0u64; limbs + n.limb_len()];
     v[limbs..].copy_from_slice(n.limbs());
     Natural::from_limbs(v)
-}
-
-/// Karatsuba: 3 recursive multiplications of half-size operands.
-fn karatsuba(a: &Natural, b: &Natural) -> Natural {
-    let m = a.limb_len().max(b.limb_len()).div_ceil(2);
-    let (a0, a1) = split(a, m);
-    let (b0, b1) = split(b, m);
-    let z0 = &a0 * &b0;
-    let z2 = &a1 * &b1;
-    let sa = &a0 + &a1;
-    let sb = &b0 + &b1;
-    // z1 = sa*sb - z0 - z2 >= 0 always.
-    let mut z1 = &sa * &sb;
-    z1.sub_assign_ref(&z0);
-    z1.sub_assign_ref(&z2);
-    let mut out = shl_limbs(&z2, 2 * m);
-    out.add_assign_ref(&shl_limbs(&z1, m));
-    out.add_assign_ref(&z0);
-    out
 }
 
 /// Toom-3 with evaluation points {0, 1, -1, 2, inf} and Bodrato's
@@ -143,39 +249,12 @@ fn toom3(a: &Natural, b: &Natural) -> Natural {
 }
 
 /// Multiply, dispatching on operand size. This is the single entry point all
-/// operator impls funnel through.
+/// operator impls funnel through; the result buffer and every scratch
+/// intermediate come from the thread's arena.
 pub(crate) fn mul_naturals(a: &Natural, b: &Natural) -> Natural {
-    let (small, large) = if a.limb_len() <= b.limb_len() {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    let sn = small.limb_len();
-    if sn == 0 {
-        return Natural::zero();
-    }
-    if sn < KARATSUBA_THRESHOLD {
-        return Natural::from_limbs(schoolbook(small.limbs(), large.limbs()));
-    }
-    // Highly unbalanced operands: multiply block-by-block so the recursive
-    // algorithms always see roughly balanced halves.
-    if large.limb_len() > 2 * sn {
-        let mut out = Natural::zero();
-        let mut offset = 0usize;
-        for chunk in large.limbs().chunks(sn) {
-            let part = mul_naturals(small, &Natural::from_limb_slice(chunk));
-            out.add_assign_ref(&shl_limbs(&part, offset));
-            offset += sn;
-        }
-        return out;
-    }
-    if sn < TOOM3_THRESHOLD {
-        karatsuba(a, b)
-    } else if sn < crate::ntt::NTT_THRESHOLD {
-        toom3(a, b)
-    } else {
-        crate::ntt::mul_ntt(a, b)
-    }
+    let mut out = crate::arena::take(a.limb_len() + b.limb_len());
+    mul_slices_into(a.limbs(), b.limbs(), &mut out);
+    Natural::from_limbs(out)
 }
 
 impl Natural {
@@ -189,7 +268,18 @@ impl Natural {
     /// (recursive calls still dispatch normally) — the threshold-tuning
     /// probe for bench example `mul_tuning`.
     pub fn mul_karatsuba(&self, rhs: &Natural) -> Natural {
-        karatsuba(self, rhs)
+        let mut out = crate::arena::take(self.limb_len() + rhs.limb_len());
+        karatsuba_into(self.limbs(), rhs.limbs(), &mut out);
+        Natural::from_limbs(out)
+    }
+
+    /// Multiply into a caller-provided value, reusing its backing storage
+    /// (and the thread arena for scratch). Semantically identical to
+    /// `out = self * rhs`; the allocating operators are thin wrappers over
+    /// this kernel.
+    pub fn mul_into(&self, rhs: &Natural, out: &mut Natural) {
+        mul_slices_into(self.limbs(), rhs.limbs(), out.vec_mut());
+        out.normalize();
     }
 
     /// Toom-3 at the top level regardless of [`TOOM3_THRESHOLD`]
@@ -204,8 +294,9 @@ impl Natural {
         if m == 0 || self.is_zero() {
             return Natural::zero();
         }
-        let mut out = vec![0u64; self.limb_len() + 1];
-        out[..self.limb_len()].copy_from_slice(self.limbs());
+        let mut out = crate::arena::take(self.limb_len() + 1);
+        out.extend_from_slice(self.limbs());
+        out.push(0);
         let mut carry = 0u64;
         for l in out.iter_mut() {
             let (lo, hi) = crate::limb::mul_add_carry(0, *l, m, carry);

@@ -54,6 +54,22 @@ impl Natural {
         &self.limbs
     }
 
+    /// Take the backing limb storage (little-endian, normalized). The
+    /// counterpart of [`from_limbs`](Natural::from_limbs); the arena's
+    /// [`recycle`](crate::arena::recycle) uses it to reclaim a dead
+    /// value's buffer.
+    pub fn into_limbs(self) -> Vec<u64> {
+        self.limbs
+    }
+
+    /// Mutable access to the backing storage for in-place kernels
+    /// (`*_into` variants in `mul`/`div`/`recip`). Callers must restore
+    /// the normalization invariant (via [`normalize`](Natural::normalize))
+    /// before the value is observed.
+    pub(crate) fn vec_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.limbs
+    }
+
     /// Number of limbs (0 for the value 0).
     pub fn limb_len(&self) -> usize {
         self.limbs.len()
@@ -174,9 +190,10 @@ impl Natural {
         out
     }
 
-    /// Parse a big-endian byte string.
+    /// Parse a big-endian byte string. The limb buffer comes from the
+    /// thread arena, so bulk decodes (shard reads) reuse recycled storage.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut limbs = crate::arena::take(bytes.len() / 8 + 1);
         for chunk in bytes.rchunks(8) {
             let mut buf = [0u8; 8];
             buf[8 - chunk.len()..].copy_from_slice(chunk);

@@ -150,23 +150,13 @@ fn pow2(bits: u64) -> Natural {
     p
 }
 
-/// Low `k` limbs of `a` (i.e. `a mod beta^k`).
-fn low_limbs(a: &Natural, k: usize) -> Natural {
-    let limbs = a.limbs();
-    if limbs.len() <= k {
-        a.clone()
+/// `a >> (64*k)` — the limbs above the low `k`, as a borrowed view.
+#[inline]
+fn high_limb_slice(a: &[u64], k: usize) -> &[u64] {
+    if a.len() <= k {
+        &[]
     } else {
-        Natural::from_limb_slice(&limbs[..k])
-    }
-}
-
-/// `a >> (64*k)` — the limbs above the low `k`.
-fn high_limbs(a: &Natural, k: usize) -> Natural {
-    let limbs = a.limbs();
-    if limbs.len() <= k {
-        Natural::zero()
-    } else {
-        Natural::from_limb_slice(&limbs[k..])
+        &a[k..]
     }
 }
 
@@ -196,16 +186,30 @@ fn invert_newton(n: &Natural, cap: usize) -> Natural {
         Natural::from(u128::MAX / (n1 as u128 + 1))
     };
     let mut g = t + 64; // z ~ 2^g / n
-    let mut correct: u64 = 60;
+    let correct: u64 = 60;
     let needed = e - t + 2; // significant bits of mu, plus slack
 
-    while correct < needed {
+    // Precision ladder, built backwards from the target so the last step
+    // runs from exactly half precision. Doubling forward instead can land
+    // the second-to-last step arbitrarily close to `needed` (e.g. 87% of
+    // it), making the final full-size multiply redo almost-converged work
+    // — measured at ~2x the total build cost. Each rung satisfies
+    // `rung <= 2 * previous - 4`, the same 4-bit truncation budget per
+    // step as before: `prev = ceil(rung/2) + 2` gives
+    // `2*prev - 4 = 2*ceil(rung/2) >= rung`.
+    let mut ladder: Vec<u64> = Vec::new();
+    let mut c = needed;
+    while c > correct {
+        ladder.push(c);
+        c = c.div_ceil(2) + 2;
+    }
+
+    for &c_next in ladder.iter().rev() {
         // Each step squares the relative error; budget 4 bits of it for
         // the truncations below. The working exponent saturates at the
         // target `e` (near-unit quotients get there with bits still to
-        // earn); steps then continue at constant exponent — the classical
-        // fixed-precision Newton iteration — until `correct` catches up.
-        let c_next = (2 * correct - 4).min(needed);
+        // earn); late rungs then run at constant exponent — the classical
+        // fixed-precision Newton iteration — while the error squares down.
         let g_next = (t - 1 + c_next + NEWTON_GUARD_BITS).min(e);
         // Truncate n to the precision this step can use, rounding up so
         // the subtracted term over-estimates (keeps z' from overshooting).
@@ -229,7 +233,6 @@ fn invert_newton(n: &Natural, cap: usize) -> Natural {
             None => return &pow2(e) / n,
         };
         g = g_next;
-        correct = c_next;
     }
 
     // z is now within a few ulps of floor(2^e/n) and is left approximate
@@ -364,37 +367,53 @@ impl Reciprocal {
 
     /// One generalized-Barrett step for `x < beta^cap`: two multiplies and
     /// at most `2 + MU_MAX_SLACK_ULPS` correction subtractions (see the
-    /// module-level bound). A reciprocal so damaged that the bound is
-    /// exceeded — impossible for ones built here — degrades to one exact
-    /// division rather than a wrong remainder.
-    fn step(&self, x: &Natural, n: &Natural) -> Natural {
-        debug_assert!(x.limb_len() <= self.cap);
-        if x < n {
-            return x.clone();
+    /// module-level bound), writing the remainder into `out` (which may
+    /// carry high zero limbs; callers normalize). Both product scratches
+    /// come from the thread arena, so a warmed pool runs the step without
+    /// heap allocation. A reciprocal so damaged that the correction bound
+    /// is exceeded — impossible for ones built here — degrades to one
+    /// exact division rather than a wrong remainder.
+    fn step_into(&self, x: &[u64], n: &Natural, out: &mut Vec<u64>) {
+        use crate::limb::{cmp_slices, effective_len, sub_assign_slice};
+        use core::cmp::Ordering;
+        debug_assert!(effective_len(x) <= self.cap);
+        out.clear();
+        if cmp_slices(x, n.limbs()) == Ordering::Less {
+            out.extend_from_slice(x);
+            return;
         }
         let m = self.m;
         // q_hat = floor(floor(x / beta^(m-1)) * mu / beta^(cap-m+1)).
-        let q1 = high_limbs(x, m - 1);
-        let q3 = high_limbs(&(&q1 * &self.mu), self.cap - m + 1);
+        let q1 = high_limb_slice(x, m - 1);
+        let mut t1 = crate::arena::take(q1.len() + self.mu.limb_len());
+        crate::mul::mul_slices_into(q1, self.mu.limbs(), &mut t1);
+        let q3 = high_limb_slice(&t1, self.cap - m + 1);
         // r = x - q_hat*n, computed mod beta^(m+1): the true value lies in
         // [0, (3 + slack) n) which is far below beta^(m+1), so the low
-        // limbs determine it.
+        // limbs determine it. The fixed-width subtraction ignoring the
+        // final borrow IS the mod-beta^(m+1) arithmetic (a wrapped result
+        // equals r1 + beta^k - r2).
         let k = m + 1;
-        let r1 = low_limbs(x, k);
-        let r2 = low_limbs(&(&q3 * n), k);
-        let mut r = match r1.checked_sub(&r2) {
-            Some(d) => d,
-            None => &(&r1 + &pow2(64 * k as u64)) - &r2,
-        };
+        let mut t2 = crate::arena::take(q3.len() + m);
+        crate::mul::mul_slices_into(q3, n.limbs(), &mut t2);
+        out.extend_from_slice(&x[..k.min(x.len())]);
+        out.resize(k, 0);
+        let r2 = &t2[..k.min(t2.len())];
+        let _wrap = sub_assign_slice(out, r2);
+        crate::arena::put(t1);
+        crate::arena::put(t2);
         let mut corrections = 0u32;
-        while &r >= n {
+        while cmp_slices(out, n.limbs()) != Ordering::Less {
             if corrections == MAX_BARRETT_CORRECTIONS {
-                return x.div_rem(n).1;
+                let r = Natural::from_limb_slice(x).div_rem(n).1;
+                let old = core::mem::replace(out, r.into_limbs());
+                crate::arena::put(old);
+                return;
             }
-            r.sub_assign_ref(n);
+            let borrow = sub_assign_slice(out, n.limbs());
+            debug_assert_eq!(borrow, 0);
             corrections += 1;
         }
-        r
     }
 }
 
@@ -411,6 +430,25 @@ impl Natural {
     /// [`RecipError::ModulusMismatch`] if `recip` was built for a
     /// different modulus.
     pub fn barrett_rem(&self, n: &Natural, recip: &Reciprocal) -> Result<Natural, RecipError> {
+        let mut out = Natural::from_limbs(crate::arena::take(recip.m + 1));
+        self.barrett_rem_into(n, recip, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`barrett_rem`](Natural::barrett_rem) into a caller-provided value,
+    /// reusing its backing storage; the allocating form is a thin wrapper
+    /// over this kernel. With a warmed thread arena the reduction performs
+    /// no heap allocation.
+    ///
+    /// # Errors
+    /// Same conditions as [`barrett_rem`](Natural::barrett_rem); `out` is
+    /// untouched on error.
+    pub fn barrett_rem_into(
+        &self,
+        n: &Natural,
+        recip: &Reciprocal,
+        out: &mut Natural,
+    ) -> Result<(), RecipError> {
         if n.is_zero() {
             return Err(RecipError::ZeroModulus);
         }
@@ -420,14 +458,22 @@ impl Natural {
                 found_bits: n.bit_len(),
             });
         }
+        let buf = out.vec_mut();
         if self < n {
-            return Ok(self.clone());
+            buf.clear();
+            buf.extend_from_slice(self.limbs());
+            return Ok(());
         }
         if recip.m == 1 {
-            return Ok(Natural::from(self.rem_limb(n.low_limb())));
+            buf.clear();
+            buf.push(self.rem_limb(n.low_limb()));
+            out.normalize();
+            return Ok(());
         }
         if self.limb_len() <= recip.cap {
-            return Ok(recip.step(self, n));
+            recip.step_into(self.limbs(), n, buf);
+            out.normalize();
+            return Ok(());
         }
         // Fold from the top in chunks sized so every step stays under the
         // capacity: r < n < beta^m, so r * beta^take + chunk has at most
@@ -435,8 +481,8 @@ impl Natural {
         let limbs = self.limbs();
         let take_per_step = recip.cap - recip.m;
         let mut pos = limbs.len() - recip.cap;
-        let mut r = recip.step(&Natural::from_limb_slice(&limbs[pos..]), n);
-        let mut window: Vec<u64> = Vec::with_capacity(recip.cap);
+        recip.step_into(&limbs[pos..], n, buf);
+        let mut window = crate::arena::take(recip.cap);
         while pos > 0 {
             let take = take_per_step.min(pos);
             pos -= take;
@@ -444,10 +490,12 @@ impl Natural {
             // without shifts: low limbs from the value, high from r.
             window.clear();
             window.extend_from_slice(&limbs[pos..pos + take]);
-            window.extend_from_slice(r.limbs());
-            r = recip.step(&Natural::from_limb_slice(&window), n);
+            window.extend_from_slice(crate::mul::trim(buf));
+            recip.step_into(&window, n, buf);
         }
-        Ok(r)
+        crate::arena::put(window);
+        out.normalize();
+        Ok(())
     }
 }
 

@@ -14,7 +14,8 @@ impl Natural {
         }
         let limb_shift = (bits / 64) as usize;
         let bit_shift = (bits % 64) as u32;
-        let mut limbs = vec![0u64; limb_shift + self.limbs.len() + 1];
+        let mut limbs = crate::arena::take(limb_shift + self.limbs.len() + 1);
+        limbs.resize(limb_shift + self.limbs.len() + 1, 0);
         let carry = limb::shl_limbs_small(
             &mut limbs[limb_shift..limb_shift + self.limbs.len()],
             &self.limbs,
@@ -40,8 +41,10 @@ impl Natural {
         let n = self.limbs.len();
         if bit_shift != 0 {
             let src = core::mem::take(&mut self.limbs);
-            let mut dst = vec![0u64; n];
+            let mut dst = crate::arena::take(n);
+            dst.resize(n, 0);
             limb::shr_limbs_small(&mut dst, &src, bit_shift);
+            crate::arena::put(src);
             *self = Natural::from_limbs(dst);
         } else {
             self.normalize();
@@ -53,7 +56,29 @@ impl Natural {
         if self.is_zero() || bits == 0 {
             return;
         }
-        *self = self.shl_bits(bits);
+        let shifted = self.shl_bits(bits);
+        let old = core::mem::replace(self, shifted);
+        crate::arena::recycle(old);
+    }
+
+    /// Truncate in place to the low `bits` bits: `self mod 2^bits`.
+    ///
+    /// The scaled remainder tree's child step is a multiply *mod a power of
+    /// two* — this is that modulus, done by limb truncation plus one mask
+    /// rather than arithmetic.
+    pub fn keep_low_bits(&mut self, bits: u64) {
+        let whole = (bits / 64) as usize;
+        let partial = (bits % 64) as u32;
+        if whole >= self.limbs.len() {
+            return;
+        }
+        if partial == 0 {
+            self.limbs.truncate(whole);
+        } else {
+            self.limbs.truncate(whole + 1);
+            self.limbs[whole] &= (1u64 << partial) - 1;
+        }
+        self.normalize();
     }
 }
 
@@ -123,6 +148,26 @@ mod tests {
         x.set_bit(1000, true);
         let y = &(&x << 777) >> 777;
         assert_eq!(y, x);
+    }
+
+    #[test]
+    fn keep_low_bits_matches_mask() {
+        for v in [1u128, 0xdead_beef_cafe_f00d_1234_5678u128, u128::MAX] {
+            for bits in [0u64, 1, 13, 63, 64, 65, 127, 128, 300] {
+                let mut x = n(v);
+                x.keep_low_bits(bits);
+                let expect = if bits >= 128 {
+                    v
+                } else {
+                    v & ((1u128 << bits) - 1)
+                };
+                assert_eq!(x, n(expect), "v={v} bits={bits}");
+            }
+        }
+        let mut big = Natural::one();
+        big.set_bit(1000, true);
+        big.keep_low_bits(1000);
+        assert_eq!(big, Natural::one());
     }
 
     #[test]

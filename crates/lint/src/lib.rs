@@ -442,6 +442,62 @@ mod tests {
     }
 
     #[test]
+    fn arena_checkout_without_release_is_flagged() {
+        let src =
+            "fn f(n: usize) -> usize {\n    let buf = crate::arena::take(n);\n    buf.len()\n}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::ARENA_DISCIPLINE);
+        assert!(d[0].message.contains("never returns"));
+    }
+
+    #[test]
+    fn arena_checkout_paired_or_transferred_is_fine() {
+        let put = "fn f(n: usize) {\n    let buf = arena::take(n);\n    arena::put(buf);\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", put).is_empty());
+        let xfer = "fn f(n: usize) -> Natural {\n    let buf = wk_bigint::arena::take(n);\n    Natural::from_limbs(buf)\n}\n";
+        assert!(check_source("crates/batchgcd/src/x.rs", "batchgcd", xfer).is_empty());
+        let inline = "fn f(n: usize) -> Natural {\n    Natural::from_limbs(arena::take(n))\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", inline).is_empty());
+    }
+
+    #[test]
+    fn return_between_checkout_and_release_is_flagged() {
+        let src = "fn f(n: usize) -> usize {\n    let buf = arena::take(n);\n    if n == 0 {\n        return 0;\n    }\n    arena::put(buf);\n    n\n}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::ARENA_DISCIPLINE);
+        assert!(d[0].message.contains("`return` between"));
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn arena_buffer_stored_in_struct_is_flagged() {
+        let literal = "fn f(n: usize) -> Cache {\n    Cache { buf: arena::take(n) }\n}\n";
+        let d = check_source("crates/batchgcd/src/x.rs", "batchgcd", literal);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("struct field"));
+        let assign = "fn f(c: &mut Cache, n: usize) {\n    c.buf = crate::arena::take(n);\n}\n";
+        let d = check_source("crates/bigint/src/x.rs", "bigint", assign);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("struct field"));
+    }
+
+    #[test]
+    fn arena_rule_scoped_to_arithmetic_crates() {
+        let src = "fn f(n: usize) -> usize {\n    let buf = arena::take(n);\n    buf.len()\n}\n";
+        assert!(check_source("crates/service/src/x.rs", "service", src)
+            .iter()
+            .all(|d| d.rule != rules::ARENA_DISCIPLINE));
+    }
+
+    #[test]
+    fn arena_allow_with_justification_suppresses() {
+        let src = "fn f(n: usize) -> Vec<u64> {\n    // lint:allow(arena-discipline) returned to the caller, which recycles it\n    let buf = arena::take(n);\n    buf\n}\n";
+        assert!(check_source("crates/bigint/src/x.rs", "bigint", src).is_empty());
+    }
+
+    #[test]
     fn diagnostics_sorted_and_rendered() {
         let src = "pub fn f(v: Option<u32>, w: &[u32]) -> u32 {\n    v.unwrap() + w[0]\n}\n";
         let d = check_source("crates/bigint/src/x.rs", "bigint", src);

@@ -7,6 +7,7 @@
 //! | `atomics-ordering-audit` | `batchgcd/src/pool.rs`        | every `Ordering::Relaxed` is tagged `metrics` or `control`; `control` + `Relaxed` is an error |
 //! | `limb-normalization`     | whole workspace               | no raw `Natural { limbs: ... }` construction outside `natural.rs` |
 //! | `forbid-unsafe-creep`    | whole workspace               | no `unsafe` outside the audited allowlist |
+//! | `arena-discipline`       | `bigint`, `batchgcd`          | every `arena::take` checkout flows back (`arena::put` / `Natural::from_limbs`) in its block with no `return` in between, and never lands in a struct field |
 //!
 //! The workspace-level rules (`durability-publish`, `panic-reachability`,
 //! `lock-discipline`, `watermark-provenance`) live in [`crate::semantic`];
@@ -22,6 +23,7 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Lexed, Token, TokenKind};
 use crate::testmap::TestMap;
 
+pub const ARENA_DISCIPLINE: &str = "arena-discipline";
 pub const NO_PANIC: &str = "no-panic-in-lib";
 pub const ATOMICS: &str = "atomics-ordering-audit";
 pub const LIMB_NORM: &str = "limb-normalization";
@@ -37,6 +39,7 @@ pub const WATERMARK: &str = "watermark-provenance";
 /// (`unused-allow`, `bad-annotation`) are deliberately absent: the
 /// annotation layer cannot suppress its own audit.
 pub const KNOWN_RULES: &[&str] = &[
+    ARENA_DISCIPLINE,
     ATOMICS,
     DURABILITY,
     UNSAFE_CREEP,
@@ -75,6 +78,9 @@ const UNSAFE_ALLOWLIST: &[&str] = &["batchgcd/src/pool.rs"];
 const LIMB_CONSTRUCTOR_FILE: &str = "bigint/src/natural.rs";
 /// The file under the atomics-ordering audit.
 const ATOMICS_FILE: &str = "batchgcd/src/pool.rs";
+/// Crates whose code checks limb buffers out of the thread arena
+/// (`wk_bigint::arena`) and is therefore under the checkout/return audit.
+const ARENA_CRATES: &[&str] = &["bigint", "batchgcd"];
 
 /// Everything the rules need to know about one source file.
 pub struct FileContext<'s> {
@@ -124,6 +130,7 @@ pub fn file_findings(ctx: &FileContext) -> Vec<Diagnostic> {
     limb_normalization(ctx, &mut findings);
     forbid_unsafe_creep(ctx, &mut findings);
     atomics_ordering_audit(ctx, &mut findings);
+    arena_discipline(ctx, &mut findings);
     findings
 }
 
@@ -335,6 +342,196 @@ fn atomics_ordering_audit(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
             Some(AtomicsTag::Metrics) => {}
         }
     }
+}
+
+/// `arena-discipline`: limb-arena checkouts in the arithmetic crates must
+/// come back. A `let buf = arena::take(..)` binding has to flow into
+/// `arena::put(buf)` or `Natural::from_limbs(.. buf ..)` before its
+/// lexical block ends, with no `return` between checkout and release
+/// (every path must return the buffer); and no `arena::take` result may
+/// be stored into a struct field — scratch lives for one pass, structs
+/// outlive it.
+///
+/// Approximations, deliberate and documented: consumption is looked up
+/// lexically (a release inside a conditional branch counts), `?` exits
+/// are not tracked, and tuple-pattern bindings are opaque — all
+/// under-reporting, never misattributing. An inline
+/// `Natural::from_limbs(arena::take(..))` transfers ownership at birth
+/// and needs no pairing; the `Natural` recycles through the arena on its
+/// own.
+fn arena_discipline(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ARENA_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let full = 0..toks.len();
+
+    // Struct-escape scan: a checkout whose destination is a struct field,
+    // either by assignment (`slot.buf = arena::take(..)`) or in a struct
+    // literal (`Scratch { buf: arena::take(..) }`).
+    for i in 0..toks.len() {
+        let Some(start) = arena_take_at(ctx, i) else {
+            continue;
+        };
+        if ctx.testmap.is_test_line(toks[i].line) {
+            continue;
+        }
+        let field_assign = start >= 3
+            && toks[start - 1].kind == TokenKind::Punct('=')
+            && toks[start - 2].kind == TokenKind::Ident
+            && toks[start - 3].kind == TokenKind::Punct('.');
+        let struct_literal = start >= 3
+            && toks[start - 1].kind == TokenKind::Punct(':')
+            && toks[start - 2].kind == TokenKind::Ident
+            && matches!(
+                toks[start - 3].kind,
+                TokenKind::Punct('{') | TokenKind::Punct(',')
+            );
+        if field_assign || struct_literal {
+            out.push(
+                ctx.diag(
+                    &toks[i],
+                    ARENA_DISCIPLINE,
+                    "arena buffer stored in a struct field".to_string(),
+                    "a checkout must not outlive the pass: keep scratch in locals (or a \
+                 `DescentScratch` that recycles on reset) and let structs own plain \
+                 allocations, or annotate `// lint:allow(arena-discipline) <why>`"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    // Checkout/return pairing for simple `let` bindings of a bare take.
+    for stmt in crate::dataflow::let_statements(ctx.src, toks, &full) {
+        let take_idx = stmt.init.start + arena_path_len(ctx, stmt.init.start);
+        let is_bare_take = take_idx < stmt.init.end
+            && arena_take_at(ctx, take_idx).map(|s| s == stmt.init.start) == Some(true);
+        if !is_bare_take || ctx.testmap.is_test_line(toks[take_idx].line) {
+            continue;
+        }
+        let block_end = crate::dataflow::enclosing_block_end(toks, &full, stmt.let_idx);
+        let live = stmt.end + 1..block_end;
+        let released = live.clone().find(|&j| {
+            is_arena_put_of(ctx, j, &stmt.name) || is_from_limbs_with(ctx, j, &stmt.name)
+        });
+        match released {
+            None => out.push(
+                ctx.diag(
+                    &toks[take_idx],
+                    ARENA_DISCIPLINE,
+                    format!("arena checkout `{}` never returns to the pool", stmt.name),
+                    "flow the buffer back through `arena::put` or transfer ownership via \
+                 `Natural::from_limbs` before the block ends, or annotate \
+                 `// lint:allow(arena-discipline) <why>`"
+                        .to_string(),
+                ),
+            ),
+            Some(release_idx) => {
+                if let Some(ret) = (stmt.end + 1..release_idx).find(|&j| {
+                    toks[j].kind == TokenKind::Ident && toks[j].text(ctx.src) == "return"
+                }) {
+                    out.push(
+                        ctx.diag(
+                            &toks[ret],
+                            ARENA_DISCIPLINE,
+                            format!(
+                                "`return` between the checkout of `{}` and its release",
+                                stmt.name
+                            ),
+                            "every path must return the buffer: release before the early \
+                         exit, or annotate `// lint:allow(arena-discipline) <why>`"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// If `toks[i]` is the `take` of an `arena::take(` path call, the index of
+/// the first path token (`arena`, or its `crate`/`wk_bigint` qualifier).
+fn arena_take_at(ctx: &FileContext, i: usize) -> Option<usize> {
+    let toks = &ctx.lexed.tokens;
+    let tok = toks.get(i)?;
+    if !(tok.kind == TokenKind::Ident
+        && tok.text(ctx.src) == "take"
+        && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+        && i >= 3
+        && toks[i - 1].kind == TokenKind::Punct(':')
+        && toks[i - 2].kind == TokenKind::Punct(':')
+        && toks[i - 3].kind == TokenKind::Ident
+        && toks[i - 3].text(ctx.src) == "arena")
+    {
+        return None;
+    }
+    let mut start = i - 3;
+    while start >= 3
+        && toks[start - 1].kind == TokenKind::Punct(':')
+        && toks[start - 2].kind == TokenKind::Punct(':')
+        && toks[start - 3].kind == TokenKind::Ident
+    {
+        start -= 3;
+    }
+    Some(start)
+}
+
+/// Token length of the path prefix leading to a `take` call that begins at
+/// `start` (`arena::` is 3 tokens, `crate::arena::` is 6, ...), found by
+/// walking forward to the next `take`/`(` pair.
+fn arena_path_len(ctx: &FileContext, start: usize) -> usize {
+    let toks = &ctx.lexed.tokens;
+    let mut j = start;
+    while j + 1 < toks.len()
+        && toks[j].kind == TokenKind::Ident
+        && toks[j + 1].kind == TokenKind::Punct(':')
+    {
+        j += 3;
+    }
+    j.saturating_sub(start)
+}
+
+/// `arena::put(name)` (any path qualification on `arena`).
+fn is_arena_put_of(ctx: &FileContext, j: usize, name: &str) -> bool {
+    let toks = &ctx.lexed.tokens;
+    toks[j].kind == TokenKind::Ident
+        && toks[j].text(ctx.src) == "put"
+        && j >= 3
+        && toks[j - 1].kind == TokenKind::Punct(':')
+        && toks[j - 2].kind == TokenKind::Punct(':')
+        && toks[j - 3].kind == TokenKind::Ident
+        && toks[j - 3].text(ctx.src) == "arena"
+        && toks.get(j + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+        && toks
+            .get(j + 2)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(ctx.src) == name)
+}
+
+/// `from_limbs( .. name .. )` — ownership transfer into a `Natural`.
+fn is_from_limbs_with(ctx: &FileContext, j: usize, name: &str) -> bool {
+    let toks = &ctx.lexed.tokens;
+    if !(toks[j].kind == TokenKind::Ident
+        && toks[j].text(ctx.src) == "from_limbs"
+        && toks.get(j + 1).map(|t| t.kind) == Some(TokenKind::Punct('(')))
+    {
+        return false;
+    }
+    let mut depth = 0i64;
+    for tok in toks.iter().skip(j + 1) {
+        match tok.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            TokenKind::Ident if tok.text(ctx.src) == name => return true,
+            _ => {}
+        }
+    }
+    false
 }
 
 /// Apply `lint:allow` suppressions and audit the annotation layer itself:

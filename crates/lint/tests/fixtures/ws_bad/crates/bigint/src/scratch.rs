@@ -1,0 +1,50 @@
+//! Seeded-violation fixture for `arena-discipline`: a checkout that never
+//! returns, an early exit between checkout and release, and buffers
+//! stored in structs that outlive the pass.
+
+pub struct Cache {
+    pub buf: Vec<u64>,
+}
+
+pub fn leaky(n: usize) -> usize {
+    let buf = crate::arena::take(n);
+    buf.len()
+}
+
+pub fn early_exit(n: usize) -> usize {
+    let buf = crate::arena::take(n);
+    if n == 0 {
+        return 0;
+    }
+    let len = buf.len();
+    crate::arena::put(buf);
+    len
+}
+
+pub fn stored(n: usize) -> Cache {
+    Cache {
+        buf: crate::arena::take(n),
+    }
+}
+
+pub fn stored_by_assignment(c: &mut Cache, n: usize) {
+    c.buf = crate::arena::take(n);
+}
+
+pub fn paired(n: usize) -> usize {
+    let buf = crate::arena::take(n);
+    let len = buf.len();
+    crate::arena::put(buf);
+    len
+}
+
+pub fn transferred(n: usize) -> crate::Natural {
+    let buf = crate::arena::take(n);
+    crate::Natural::from_limbs(buf)
+}
+
+pub fn allowed(n: usize) -> Vec<u64> {
+    // lint:allow(arena-discipline) returned to the caller, which recycles it
+    let buf = crate::arena::take(n);
+    buf
+}

@@ -76,7 +76,7 @@ fn cli_quiet_prints_only_the_summary() {
         .expect("run wk-lint");
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
-    assert_eq!(stdout.trim_end(), "wk-lint: 19 violations in 5 files");
+    assert_eq!(stdout.trim_end(), "wk-lint: 23 violations in 6 files");
 }
 
 #[test]
